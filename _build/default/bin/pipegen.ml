@@ -1,0 +1,354 @@
+(* pipegen: the pipeline transformation tool as a command line.
+
+   Takes a built-in prepared sequential machine, performs the paper's
+   steps 3) and 4) — forwarding and interlock synthesis plus the stall
+   engine and speculation support — and emits reports, HDL, the
+   generated proof, or runs the verification. *)
+
+let machines = [ "toy3"; "dlx5"; "dlx6"; "dlx5_intr"; "dlx5_bp" ]
+
+let kernels () =
+  List.map
+    (fun (p : Dlx.Progs.t) -> (p.Dlx.Progs.prog_name, p))
+    (Dlx.Progs.all_kernels @ [ Dlx.Progs.overflow_trap ])
+
+type selection = {
+  tr : Pipeline.Transform.t;
+  reference : Machine.Seqsem.trace option;
+  instructions : int;
+}
+
+let select ~machine ~kernel ~program_file ~interlock_only ~tree =
+  let options =
+    {
+      Pipeline.Fwd_spec.mode =
+        (if interlock_only then Pipeline.Fwd_spec.Interlock_only
+         else Pipeline.Fwd_spec.Full);
+      impl = tree;
+    }
+  in
+  let dlx variant =
+    let p =
+      match (program_file, kernel) with
+      | Some path, _ -> (
+        match Dlx.Asm_parser.parse_file path with
+        | items ->
+          (* The parser's "halt" already expanded to the idiom; strip it
+             so Progs.make (which appends its own) measures the dynamic
+             count correctly. *)
+          let body =
+            let rec drop_halt = function
+              | [] -> []
+              | Dlx.Asm.Label "$halt" :: _ -> []
+              | item :: rest -> item :: drop_halt rest
+            in
+            drop_halt items
+          in
+          let config =
+            match variant with
+            | Dlx.Seq_dlx.With_interrupts { sisr } ->
+              { Dlx.Refmodel.with_interrupts = true; sisr }
+            | Dlx.Seq_dlx.Base | Dlx.Seq_dlx.Branch_predict ->
+              Dlx.Refmodel.default_config
+          in
+          Dlx.Progs.make ~config (Filename.basename path) body
+        | exception Dlx.Asm_parser.Parse_error { line; message } ->
+          Format.eprintf "%s:%d: %s@." path line message;
+          exit 2)
+      | None, None -> Dlx.Progs.fib 10
+      | None, Some name -> (
+        match List.assoc_opt name (kernels ()) with
+        | Some p -> p
+        | None ->
+          Format.eprintf "unknown kernel %s; available: %s@." name
+            (String.concat ", " (List.map fst (kernels ())));
+          exit 2)
+    in
+    let program = Dlx.Progs.program p in
+    let n = p.Dlx.Progs.dyn_instructions in
+    {
+      tr =
+        Dlx.Seq_dlx.transform ~options ~data:p.Dlx.Progs.data variant ~program;
+      reference =
+        Some
+          (Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data variant ~program
+             ~instructions:n);
+      instructions = n;
+    }
+  in
+  let dlx6 () =
+    (* The DLX with a two-stage memory, derived mechanically by
+       splitting EX/MEM (Machine.Retime). *)
+    let p =
+      match kernel with
+      | None -> Dlx.Progs.fib 10
+      | Some name -> (
+        match List.assoc_opt name (kernels ()) with
+        | Some p -> p
+        | None ->
+          Format.eprintf "unknown kernel %s@." name;
+          exit 2)
+    in
+    let m =
+      Machine.Retime.insert_passthrough
+        (Dlx.Seq_dlx.machine ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+           ~program:(Dlx.Progs.program p))
+        ~at:3
+    in
+    {
+      tr =
+        Pipeline.Transform.run ~options
+          ~hints:(Dlx.Seq_dlx.hints Dlx.Seq_dlx.Base)
+          m;
+      reference =
+        Some
+          (Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+             ~program:(Dlx.Progs.program p)
+             ~instructions:p.Dlx.Progs.dyn_instructions);
+      instructions = p.Dlx.Progs.dyn_instructions;
+    }
+  in
+  match machine with
+  | "dlx6" -> dlx6 ()
+  | "toy3" ->
+    {
+      tr = Core.Toy.transform ~options ~program:Core.Toy.default_program ();
+      reference = None;
+      instructions = List.length Core.Toy.default_program;
+    }
+  | "dlx5" -> dlx Dlx.Seq_dlx.Base
+  | "dlx5_intr" -> dlx (Dlx.Seq_dlx.With_interrupts { sisr = 8 })
+  | "dlx5_bp" -> dlx Dlx.Seq_dlx.Branch_predict
+  | other ->
+    Format.eprintf "unknown machine %s; available: %s@." other
+      (String.concat ", " machines);
+    exit 2
+
+open Cmdliner
+
+let machine_arg =
+  let doc =
+    Printf.sprintf "Machine to transform (%s)." (String.concat ", " machines)
+  in
+  Arg.(value & pos 0 string "dlx5" & info [] ~docv:"MACHINE" ~doc)
+
+let kernel_arg =
+  let doc = "DLX kernel to load into instruction memory." in
+  Arg.(value & opt (some string) None & info [ "kernel"; "k" ] ~docv:"NAME" ~doc)
+
+let program_arg =
+  let doc = "DLX assembly file to load into instruction memory." in
+  Arg.(value & opt (some file) None & info [ "program"; "p" ] ~docv:"FILE" ~doc)
+
+let interlock_arg =
+  let doc = "Interlock-only mode: no forwarding paths (baseline E5)." in
+  Arg.(value & flag & info [ "interlock-only" ] ~doc)
+
+let tree_arg =
+  let doc =
+    "Selection network implementation: chain (default, figure 2), tree \
+     (find-first-one + balanced multiplexers) or bus (tri-state drivers)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("chain", Hw.Circuits.Chain); ("tree", Hw.Circuits.Tree);
+                  ("bus", Hw.Circuits.Bus) ])
+        Hw.Circuits.Chain
+    & info [ "impl" ] ~docv:"IMPL" ~doc)
+
+let common machine kernel program_file interlock tree =
+  select ~machine ~kernel ~program_file ~interlock_only:interlock ~tree
+
+let show_cmd =
+  let run machine kernel program_file interlock tree =
+    let s = common machine kernel program_file interlock tree in
+    Format.printf "%a@." Machine.Spec.pp_summary s.tr.Pipeline.Transform.base;
+    Format.printf "%a" Pipeline.Report.pp_inventory s.tr;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print the machine and the generated hardware.")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg))
+
+let verilog_cmd =
+  let run machine kernel program_file interlock tree =
+    let s = common machine kernel program_file interlock tree in
+    print_string (Core.verilog s.tr);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Emit the generated control logic as HDL.")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg))
+
+let verify_cmd =
+  let run machine kernel program_file interlock tree =
+    let s = common machine kernel program_file interlock tree in
+    let v =
+      Core.verify ?reference:s.reference ~max_instructions:s.instructions s.tr
+    in
+    Format.printf "%a" Proof_engine.Consistency.pp_report
+      v.Core.consistency;
+    Format.printf "%a" Proof_engine.Liveness.pp_report v.Core.liveness;
+    let cov = Pipeline.Coverage.measure ~stop_after:s.instructions s.tr in
+    Format.printf "%a" Pipeline.Coverage.pp cov;
+    List.iter (Format.printf "  coverage hole: %s@.")
+      (Pipeline.Coverage.holes cov);
+    Format.printf "obligations:@.%a" Proof_engine.Obligation.pp
+      v.Core.obligations;
+    if Core.verified v then begin
+      Format.printf "VERIFIED@.";
+      `Ok ()
+    end
+    else begin
+      Format.printf "VERIFICATION FAILED@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the generated proof obligations and the checkers.")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg))
+
+let proof_cmd =
+  let run machine kernel program_file interlock tree =
+    let s = common machine kernel program_file interlock tree in
+    let v =
+      Core.verify ?reference:s.reference ~max_instructions:s.instructions s.tr
+    in
+    print_string (Core.proof_script s.tr v);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "proof"
+       ~doc:"Emit the PVS-style proof theory with discharge annotations.")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg))
+
+let run_cmd =
+  let diagram_arg =
+    let doc = "Print the instruction/cycle pipeline diagram." in
+    Cmdliner.Arg.(value & flag & info [ "diagram"; "d" ] ~doc)
+  in
+  let run machine kernel program_file interlock tree diagram =
+    let s = common machine kernel program_file interlock tree in
+    let result =
+      if diagram then begin
+        let d, result =
+          Pipeline.Diagram.capture ~stop_after:s.instructions s.tr
+        in
+        print_string d;
+        result
+      end
+      else Pipeline.Pipesem.run ~stop_after:s.instructions s.tr
+    in
+    let row =
+      Workload.Stats.of_stats ~label:machine
+        ~n_stages:s.tr.Pipeline.Transform.base.Machine.Spec.n_stages
+        result.Pipeline.Pipesem.stats
+    in
+    Format.printf "%a" Workload.Stats.pp_table [ row ];
+    (match result.Pipeline.Pipesem.outcome with
+    | Pipeline.Pipesem.Completed -> ()
+    | Pipeline.Pipesem.Deadlocked ->
+      Format.printf "DEADLOCK@.";
+      exit 1
+    | Pipeline.Pipesem.Out_of_cycles ->
+      Format.printf "out of cycles@.";
+      exit 1);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate the pipelined machine and report CPI.")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg $ diagram_arg))
+
+let trace_cmd =
+  let out_arg =
+    let doc = "Output VCD file." in
+    Cmdliner.Arg.(
+      value & opt string "pipeline.vcd" & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run machine kernel program_file interlock tree out =
+    let s = common machine kernel program_file interlock tree in
+    let result =
+      Pipeline.Tracer.write ~path:out ~stop_after:s.instructions s.tr
+    in
+    Format.printf "wrote %s (%d cycles, %d instructions)@." out
+      result.Pipeline.Pipesem.stats.Pipeline.Pipesem.cycles
+      result.Pipeline.Pipesem.stats.Pipeline.Pipesem.retired;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Simulate and dump a VCD waveform of the stall engine.")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg $ out_arg))
+
+let dot_cmd =
+  let run machine kernel program_file interlock tree =
+    let s = common machine kernel program_file interlock tree in
+    print_string (Pipeline.Dot.forwarding_graph s.tr);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Emit a Graphviz diagram of the pipeline and its forwarding paths.")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg))
+
+let symbolic_cmd =
+  let insn_arg =
+    let doc = "Number of instructions to prove (BDD sizes grow with it)." in
+    Cmdliner.Arg.(value & opt int 8 & info [ "instructions"; "n" ] ~doc)
+  in
+  let run machine kernel program_file interlock tree insns =
+    let s = common machine kernel program_file interlock tree in
+    let outcome =
+      Proof_engine.Symsim.check
+        ~instructions:(min insns s.instructions)
+        s.tr
+    in
+    Format.printf "%a@." Proof_engine.Symsim.pp_outcome outcome;
+    match outcome with
+    | Proof_engine.Symsim.Proved _ -> `Ok ()
+    | Proof_engine.Symsim.Control_depends_on_data _ -> `Ok ()
+    | Proof_engine.Symsim.Mismatch _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "symbolic"
+       ~doc:
+         "Prove data consistency for all initial register-file contents at           once (symbolic co-simulation).")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg $ insn_arg))
+
+let () =
+  let info =
+    Cmd.info "pipegen" ~version:"1.0"
+      ~doc:
+        "Automated pipeline design: transform a prepared sequential machine \
+         into a pipelined machine with synthesized forwarding and interlock."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ show_cmd; verilog_cmd; verify_cmd; proof_cmd; run_cmd; trace_cmd;
+            dot_cmd; symbolic_cmd ]))

@@ -1,0 +1,1 @@
+examples/branch_prediction.ml: Dlx Format List Pipeline Proof_engine

@@ -1,0 +1,1 @@
+examples/deep_pipeline.ml: Core Format Hw List Pipeline Proof_engine

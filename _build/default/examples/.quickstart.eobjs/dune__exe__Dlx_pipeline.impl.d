@@ -1,0 +1,1 @@
+examples/dlx_pipeline.ml: Dlx Format List Pipeline Proof_engine

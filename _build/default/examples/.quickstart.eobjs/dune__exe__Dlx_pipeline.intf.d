@@ -1,0 +1,1 @@
+examples/dlx_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/precise_interrupts.ml: Dlx Format Hw List Machine Pipeline Printf Proof_engine String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hw List Machine Pipeline Proof_engine

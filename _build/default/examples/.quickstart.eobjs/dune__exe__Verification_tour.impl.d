@@ -1,0 +1,1 @@
+examples/verification_tour.ml: Dlx Format Hw List Option Pipeline Printf Proof_engine String

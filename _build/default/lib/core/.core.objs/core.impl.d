@@ -1,0 +1,1 @@
+lib/core/core.ml: Elastic Format Hw Pipeline Proof_engine Toy

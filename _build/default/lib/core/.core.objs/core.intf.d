@@ -1,0 +1,1 @@
+lib/core/core.mli: Elastic Machine Pipeline Proof_engine Toy

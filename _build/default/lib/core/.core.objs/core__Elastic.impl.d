@@ -1,0 +1,1 @@
+lib/core/elastic.ml: Hw List Machine Pipeline Printf

@@ -1,0 +1,1 @@
+lib/core/elastic.mli: Machine Pipeline

@@ -1,0 +1,1 @@
+lib/core/toy.ml: Hw List Machine Pipeline

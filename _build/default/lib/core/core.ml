@@ -1,0 +1,33 @@
+let pipeline_of_sequential ?options ?hints ?speculations m =
+  Pipeline.Transform.run ?options ?hints ?speculations m
+
+type verification = {
+  consistency : Proof_engine.Consistency.report;
+  liveness : Proof_engine.Liveness.report;
+  obligations : Proof_engine.Obligation.obligation list;
+}
+
+let verify ?ext ?max_instructions ?reference tr =
+  let consistency =
+    Proof_engine.Consistency.check ?ext ?max_instructions ?reference tr
+  in
+  let liveness =
+    Proof_engine.Liveness.check ?ext
+      ~stop_after:consistency.Proof_engine.Consistency.instructions tr
+  in
+  let obligations =
+    Proof_engine.Obligation.discharge_all ?ext ?max_instructions ?reference tr
+  in
+  { consistency; liveness; obligations }
+
+let verified v =
+  Proof_engine.Consistency.ok v.consistency
+  && Proof_engine.Liveness.ok v.liveness
+  && Proof_engine.Obligation.all_discharged v.obligations
+
+let report tr = Format.asprintf "%a" Pipeline.Report.pp_inventory tr
+let verilog tr = Hw.Verilog.to_string (Pipeline.Report.verilog tr)
+let proof_script tr v = Proof_engine.Pvs_gen.theory tr v.obligations
+
+module Toy = Toy
+module Elastic = Elastic

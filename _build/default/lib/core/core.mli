@@ -1,0 +1,59 @@
+(** Automated pipeline design — one-call facade.
+
+    The full API lives in the underlying libraries:
+
+    - [Hw] — bit vectors, the combinational expression IR, cost model,
+      circuit generators, HDL emission;
+    - [Machine] — prepared sequential machine descriptions, validation,
+      sequential (round-robin) semantics;
+    - [Pipeline] — the transformation tool: stall engine, forwarding,
+      interlock, speculation, pipelined simulation, reports;
+    - [Proof_engine] — obligation generation and the checkers (data
+      consistency, liveness, trace invariants, exhaustive sweeps),
+      PVS-style proof emission;
+    - [Dlx] — the paper's case study: ISA, assembler, golden model,
+      prepared sequential DLX and its speculation variants;
+    - [Workload] — program generators, metrics, parameter sweeps.
+
+    This module packages the common flow: take a prepared sequential
+    machine, pipeline it, verify it, report on it. *)
+
+val pipeline_of_sequential :
+  ?options:Pipeline.Fwd_spec.options ->
+  ?hints:Pipeline.Fwd_spec.hint list ->
+  ?speculations:Pipeline.Fwd_spec.speculation list ->
+  Machine.Spec.t ->
+  Pipeline.Transform.t
+(** Validate and transform (paper steps 3 and 4). *)
+
+type verification = {
+  consistency : Proof_engine.Consistency.report;
+  liveness : Proof_engine.Liveness.report;
+  obligations : Proof_engine.Obligation.obligation list;
+}
+
+val verify :
+  ?ext:Pipeline.Pipesem.ext_model ->
+  ?max_instructions:int ->
+  ?reference:Machine.Seqsem.trace ->
+  Pipeline.Transform.t ->
+  verification
+(** Generate and discharge the proof obligations; run the
+    data-consistency and liveness checkers. *)
+
+val verified : verification -> bool
+
+val report : Pipeline.Transform.t -> string
+(** The generated-hardware inventory (figure 2 style). *)
+
+val verilog : Pipeline.Transform.t -> string
+(** The generated control logic as an HDL module. *)
+
+val proof_script : Pipeline.Transform.t -> verification -> string
+(** The PVS-style proof theory with discharge annotations. *)
+
+(** The 3-stage demo machine (see {!module:Toy}). *)
+module Toy : module type of Toy
+
+(** The depth-parametric machine family (see {!module:Elastic}). *)
+module Elastic : module type of Elastic

@@ -1,0 +1,163 @@
+module Spec = Machine.Spec
+module E = Hw.Expr
+
+let min_stages = 3
+
+let encode ~late ~dst ~src1 ~src2 =
+  ((if late then 1 else 0) lsl 12)
+  lor ((dst land 15) lsl 8)
+  lor ((src1 land 15) lsl 4)
+  lor (src2 land 15)
+
+let reg ?prev ?(visible = false) name width stage kind =
+  { Spec.reg_name = name; width; stage; kind; visible; prev_instance = prev }
+
+let w ?guard ?addr dst value = { Spec.dst; value; guard; wr_addr = addr }
+let inst name k = Printf.sprintf "%s.%d" name k
+
+let machine ~n ~program =
+  if n < min_stages then invalid_arg "Elastic.machine: need at least 3 stages";
+  let lat = n - 2 in
+  let ir = E.input "IR.1" 16 in
+  let is_late = E.( ==: ) (E.slice ir ~hi:15 ~lo:12) (E.const_int ~width:4 1) in
+  let read_reg hi lo =
+    E.File_read { file = "REG"; data_width = 16; addr = E.slice ir ~hi ~lo }
+  in
+  (* Instance chains: C/D span stages 1..n-2 (instances .2 .. .(n-1));
+     A/B/opl are needed up to the late unit (instances .2 .. .lat). *)
+  let chain name width ~first ~last =
+    List.init (last - first + 1) (fun i ->
+        let k = first + i in
+        let prev = if k = first then None else Some (inst name (k - 1)) in
+        reg ?prev (inst name k) width (k - 1) Spec.Simple)
+  in
+  let registers =
+    [
+      reg "PC" 8 0 ~visible:true Spec.Simple;
+      reg "IMEM" 16 0 (Spec.File { addr_bits = 8 });
+      reg "IR.1" 16 0 Spec.Simple;
+      reg "REG" 16 (n - 1) ~visible:true (Spec.File { addr_bits = 4 });
+    ]
+    @ chain "C" 16 ~first:2 ~last:(n - 1)
+    @ chain "D" 4 ~first:2 ~last:(n - 1)
+    @ (if lat >= 2 then
+         chain "A" 16 ~first:2 ~last:lat
+         @ chain "B" 16 ~first:2 ~last:lat
+         @ chain "opl" 1 ~first:2 ~last:lat
+       else [])
+  in
+  let stage0 =
+    {
+      Spec.index = 0;
+      stage_name = "IF";
+      writes =
+        [
+          w "IR.1"
+            (E.File_read
+               { file = "IMEM"; data_width = 16; addr = E.input "PC" 8 });
+          w "PC" (E.( +: ) (E.input "PC" 8) (E.const_int ~width:8 1));
+        ];
+    }
+  in
+  let ga = read_reg 7 4 and gb = read_reg 3 0 in
+  let stage1_writes =
+    [
+      (* The fast unit: result valid unless the operation is late. *)
+      w ~guard:(E.not_ is_late) "C.2" (E.( +: ) ga gb);
+      w "D.2" (E.slice ir ~hi:11 ~lo:8);
+    ]
+    @
+    if lat >= 2 then
+      [ w "A.2" ga; w "B.2" gb; w "opl.2" is_late ]
+    else []
+  in
+  let stage1 = { Spec.index = 1; stage_name = "RD"; writes = stage1_writes } in
+  let mid_stages =
+    (* Stages 2 .. n-3 are pure pass-through (instance auto-shift). *)
+    List.init (max 0 (lat - 2)) (fun i ->
+        { Spec.index = 2 + i; stage_name = Printf.sprintf "P%d" (2 + i);
+          writes = [] })
+  in
+  let late_stage =
+    if lat >= 2 then
+      [
+        {
+          Spec.index = lat;
+          stage_name = "LT";
+          writes =
+            [
+              (* The late unit: produce the xor for late operations,
+                 pass the fast result through otherwise. *)
+              w
+                (inst "C" (lat + 1))
+                (E.mux
+                   (E.input (inst "opl" lat) 1)
+                   (E.( ^: ) (E.input (inst "A" lat) 16) (E.input (inst "B" lat) 16))
+                   (E.input (inst "C" lat) 16));
+            ];
+        };
+      ]
+    else []
+  in
+  let wb =
+    {
+      Spec.index = n - 1;
+      stage_name = "WB";
+      writes =
+        [
+          w
+            ~addr:(E.input (inst "D" (n - 1)) 4)
+            "REG"
+            (E.input (inst "C" (n - 1)) 16);
+        ];
+    }
+  in
+  let stage1' =
+    (* For n = 3 the late unit coincides with stage 1: resolve both ops
+       there (no late hazard in the shallowest machine). *)
+    if lat >= 2 then stage1
+    else
+      {
+        stage1 with
+        Spec.writes =
+          [
+            w "C.2" (E.mux is_late (E.( ^: ) ga gb) (E.( +: ) ga gb));
+            w "D.2" (E.slice ir ~hi:11 ~lo:8);
+          ];
+      }
+  in
+  {
+    Spec.machine_name = Printf.sprintf "elastic%d" n;
+    n_stages = n;
+    registers;
+    stages = (stage0 :: stage1' :: mid_stages) @ late_stage @ [ wb ];
+    init =
+      [
+        ( "IMEM",
+          Machine.Value.file_of_list ~width:16 ~addr_bits:8
+            (List.map (fun v -> Hw.Bitvec.make ~width:16 v) program) );
+        ( "REG",
+          Machine.Value.file_of_list ~width:16 ~addr_bits:4
+            (List.init 5 (fun i -> Hw.Bitvec.make ~width:16 i)) );
+      ];
+  }
+
+let hints ~n =
+  ignore n;
+  [
+    Pipeline.Fwd_spec.hint ~stage:1 ~label:"srcA" ~chain:"C.2"
+      (Pipeline.Fwd_spec.File_port ("REG", 0));
+    Pipeline.Fwd_spec.hint ~stage:1 ~label:"srcB" ~chain:"C.2"
+      (Pipeline.Fwd_spec.File_port ("REG", 1));
+  ]
+
+let transform ?options ~n ~program () =
+  Pipeline.Transform.run ?options ~hints:(hints ~n) (machine ~n ~program)
+
+let chain_program ~late ~length =
+  List.init length (fun i ->
+      encode ~late ~dst:1 ~src1:1 ~src2:(2 + (i land 1)))
+
+let independent_program ~length =
+  List.init length (fun i ->
+      encode ~late:false ~dst:(1 + (i mod 8)) ~src1:(9 + (i mod 4)) ~src2:13)

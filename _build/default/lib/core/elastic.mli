@@ -1,0 +1,48 @@
+(** A depth-parametric prepared sequential machine.
+
+    The paper's remark that the generated forwarding hardware "gets
+    slow with larger pipelines" (§4.2) concerns machines with more
+    stages between operand fetch and write-back.  This family makes the
+    depth a parameter: an [n]-stage machine ([n ≥ 3]) with
+
+    - stage 0: fetch ([IR.1 := IMEM[PC]], [PC := PC+1]);
+    - stage 1: operand fetch + the {e fast} unit: [C.2 := A + B]
+      (invalid for late operations);
+    - stages 2 .. n-3: pass-through pipeline stages (the result and
+      control shift along the [C] / [D] instance chains);
+    - stage n-2: the {e late} unit: [C.(n-1) := A xor B] for late
+      operations (emulating a multi-cycle functional unit), pass-through
+      otherwise;
+    - stage n-1: write-back into the 16-entry register file.
+
+    The forwarding chain for the register-file operands is the full [C]
+    instance chain, so the transformation synthesizes [n-2] forwarding
+    sources and [n-3] valid bits per operand — the paper's "larger
+    pipeline" in the flesh.  A dependent fast op never stalls; a
+    dependent late op stalls until the producer reaches stage [n-2],
+    the generalized load-use interlock.
+
+    Instructions are 16 bits: [op(4) dst(4) src1(4) src2(4)] with
+    [op = 0] fast (add) and [op = 1] late (xor). *)
+
+val min_stages : int
+(** 3. *)
+
+val encode : late:bool -> dst:int -> src1:int -> src2:int -> int
+
+val machine : n:int -> program:int list -> Machine.Spec.t
+(** Registers r1..r4 start as 1..4.
+    @raise Invalid_argument if [n < min_stages]. *)
+
+val hints : n:int -> Pipeline.Fwd_spec.hint list
+
+val transform :
+  ?options:Pipeline.Fwd_spec.options -> n:int -> program:int list -> unit ->
+  Pipeline.Transform.t
+
+val chain_program : late:bool -> length:int -> int list
+(** A fully dependent chain of [length] operations on r1 (fast or
+    late): the stress input for depth sweeps. *)
+
+val independent_program : length:int -> int list
+(** Round-robin independent fast ops. *)

@@ -1,0 +1,88 @@
+module Spec = Machine.Spec
+module E = Hw.Expr
+
+let encode ~dst ~src1 ~src2 =
+  ((dst land 15) lsl 8) lor ((src1 land 15) lsl 4) lor (src2 land 15)
+
+let bv ~width v = Hw.Bitvec.make ~width v
+
+let machine ~program =
+  let reg name width stage ?prev ?(visible = false) kind =
+    { Spec.reg_name = name; width; stage; kind; visible; prev_instance = prev }
+  in
+  let ir = E.input "IR.1" 16 in
+  let read_reg hi lo =
+    E.File_read { file = "REG"; data_width = 16; addr = E.slice ir ~hi ~lo }
+  in
+  let w ?guard ?addr dst value = { Spec.dst; value; guard; wr_addr = addr } in
+  {
+    Spec.machine_name = "toy3";
+    n_stages = 3;
+    registers =
+      [
+        reg "PC" 8 0 ~visible:true Spec.Simple;
+        reg "IMEM" 16 0 (Spec.File { addr_bits = 8 });
+        reg "IR.1" 16 0 Spec.Simple;
+        reg "C.2" 16 1 Spec.Simple;
+        reg "D.2" 4 1 Spec.Simple;
+        reg "REG" 16 2 ~visible:true (Spec.File { addr_bits = 4 });
+      ];
+    stages =
+      [
+        {
+          Spec.index = 0;
+          stage_name = "FETCH";
+          writes =
+            [
+              w "IR.1"
+                (E.File_read
+                   { file = "IMEM"; data_width = 16; addr = E.input "PC" 8 });
+              w "PC" (E.( +: ) (E.input "PC" 8) (E.const_int ~width:8 1));
+            ];
+        };
+        {
+          Spec.index = 1;
+          stage_name = "EX";
+          writes =
+            [
+              w "C.2" (E.( +: ) (read_reg 7 4) (read_reg 3 0));
+              w "D.2" (E.slice ir ~hi:11 ~lo:8);
+            ];
+        };
+        {
+          Spec.index = 2;
+          stage_name = "WB";
+          writes = [ w ~addr:(E.input "D.2" 4) "REG" (E.input "C.2" 16) ];
+        };
+      ];
+    init =
+      [
+        ( "IMEM",
+          Machine.Value.file_of_list ~width:16 ~addr_bits:8
+            (List.map (bv ~width:16) program) );
+        ( "REG",
+          Machine.Value.file_of_list ~width:16 ~addr_bits:4
+            [ bv ~width:16 0; bv ~width:16 1; bv ~width:16 2 ] );
+      ];
+  }
+
+let hints =
+  [
+    Pipeline.Fwd_spec.hint ~stage:1 ~label:"srcA"
+      (Pipeline.Fwd_spec.File_port ("REG", 0));
+    Pipeline.Fwd_spec.hint ~stage:1 ~label:"srcB"
+      (Pipeline.Fwd_spec.File_port ("REG", 1));
+  ]
+
+let transform ?options ~program () =
+  Pipeline.Transform.run ?options ~hints (machine ~program)
+
+let default_program =
+  [
+    encode ~dst:3 ~src1:1 ~src2:2;
+    encode ~dst:4 ~src1:3 ~src2:3;
+    encode ~dst:5 ~src1:4 ~src2:1;
+    encode ~dst:6 ~src1:5 ~src2:4;
+    encode ~dst:7 ~src1:6 ~src2:6;
+    encode ~dst:1 ~src1:7 ~src2:2;
+  ]

@@ -1,0 +1,23 @@
+(** A 3-stage "triadic add" machine, the smallest interesting input to
+    the transformation tool.
+
+    Every instruction is [dst src1 src2] packed into 16 bits and
+    computes [REG[dst] := REG[src1] + REG[src2]].  Stage 0 fetches,
+    stage 1 reads the two operands (the forwarded reads), stage 2
+    writes the 16-entry register file.  Used by the quickstart, the
+    exhaustive (BMC) checks and the test suite. *)
+
+val encode : dst:int -> src1:int -> src2:int -> int
+(** Fields are 4 bits each. *)
+
+val machine : program:int list -> Machine.Spec.t
+(** Registers r1 and r2 start as 1 and 2; everything else is zero. *)
+
+val hints : Pipeline.Fwd_spec.hint list
+
+val transform :
+  ?options:Pipeline.Fwd_spec.options -> program:int list -> unit ->
+  Pipeline.Transform.t
+
+val default_program : int list
+(** A 6-instruction dependent chain. *)

@@ -1,0 +1,1 @@
+lib/dlx/asm.ml: Format Hashtbl Isa List

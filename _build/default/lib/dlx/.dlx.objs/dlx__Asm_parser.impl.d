@@ -1,0 +1,1 @@
+lib/dlx/asm_parser.ml: Asm Buffer Format Isa List String

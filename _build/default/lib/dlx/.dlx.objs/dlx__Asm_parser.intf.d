@@ -1,0 +1,1 @@
+lib/dlx/asm_parser.mli: Asm

@@ -1,0 +1,1 @@
+lib/dlx/isa.ml: Format Option Printf

@@ -1,0 +1,1 @@
+lib/dlx/progs.ml: Asm Char Isa List Printf Refmodel String

@@ -1,0 +1,1 @@
+lib/dlx/progs.mli: Asm Refmodel

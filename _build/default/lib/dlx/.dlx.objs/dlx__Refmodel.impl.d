@@ -1,0 +1,1 @@
+lib/dlx/refmodel.ml: Array Isa List

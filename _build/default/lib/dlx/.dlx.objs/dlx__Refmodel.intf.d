@@ -1,0 +1,1 @@
+lib/dlx/refmodel.mli:

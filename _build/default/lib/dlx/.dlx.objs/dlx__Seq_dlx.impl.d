@@ -1,0 +1,1 @@
+lib/dlx/seq_dlx.ml: Array Func Hw Isa List Machine Op Pipeline Refmodel String

@@ -1,0 +1,1 @@
+lib/dlx/seq_dlx.mli: Machine Pipeline

@@ -1,0 +1,65 @@
+type item =
+  | Label of string
+  | Insn of Isa.t
+  | Beqz_l of Isa.reg * string
+  | Bnez_l of Isa.reg * string
+  | J_l of string
+  | Jal_l of string
+
+exception Asm_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Asm_error s)) fmt
+
+let is_insn = function
+  | Label _ -> false
+  | Insn _ | Beqz_l _ | Bnez_l _ | J_l _ | Jal_l _ -> true
+
+let assemble ?(origin = 0) items =
+  (* Pass 1: label addresses. *)
+  let table = Hashtbl.create 16 in
+  let addr = ref origin in
+  List.iter
+    (fun item ->
+      match item with
+      | Label l ->
+        if Hashtbl.mem table l then err "duplicate label %s" l;
+        Hashtbl.replace table l !addr
+      | Insn _ | Beqz_l _ | Bnez_l _ | J_l _ | Jal_l _ -> addr := !addr + 4)
+    items;
+  let resolve ~at l =
+    match Hashtbl.find_opt table l with
+    | None -> err "unknown label %s" l
+    | Some target ->
+      let off = target - (at + 4) in
+      if off < -32768 || off > 32767 then err "branch to %s out of range" l;
+      off
+  in
+  let resolve26 ~at l =
+    match Hashtbl.find_opt table l with
+    | None -> err "unknown label %s" l
+    | Some target -> target - (at + 4)
+  in
+  (* Pass 2. *)
+  let addr = ref origin in
+  List.filter_map
+    (fun item ->
+      let at = !addr in
+      let emit i =
+        addr := !addr + 4;
+        Some (Isa.encode i)
+      in
+      match item with
+      | Label _ -> None
+      | Insn i -> emit i
+      | Beqz_l (r, l) -> emit (Isa.Beqz (r, resolve ~at l))
+      | Bnez_l (r, l) -> emit (Isa.Bnez (r, resolve ~at l))
+      | J_l l -> emit (Isa.J (resolve26 ~at l))
+      | Jal_l l -> emit (Isa.Jal (resolve26 ~at l)))
+    items
+
+let halt = [ Label "$halt"; J_l "$halt"; Insn Isa.Nop ]
+
+let instructions_until_halt items =
+  List.length (List.filter is_insn items)
+
+let words_of items = List.length (List.filter is_insn items)

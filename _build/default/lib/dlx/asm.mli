@@ -1,0 +1,39 @@
+(** A small two-pass assembler for DLX programs.
+
+    Programs are lists of items: labels, concrete instructions, and
+    label-relative control transfers; [assemble] resolves labels to the
+    byte offsets the delayed-branch semantics expect
+    ([target - (branch_address + 4)]) and returns instruction words.
+
+    The delay slot is architectural: the instruction written after a
+    branch executes unconditionally.  The [halt] idiom — a jump to
+    itself plus a [nop] delay slot — parks the machine in a tight loop
+    so that pipelined over-fetch past the end of a program is
+    harmless. *)
+
+type item =
+  | Label of string
+  | Insn of Isa.t
+  | Beqz_l of Isa.reg * string  (** branch to label, delay slot follows *)
+  | Bnez_l of Isa.reg * string
+  | J_l of string
+  | Jal_l of string
+
+exception Asm_error of string
+
+val assemble : ?origin:int -> item list -> int list
+(** Instruction words in order.  [origin] is the byte address of the
+    first instruction (default 0); labels are resolved against it.
+    @raise Asm_error on duplicate or unknown labels or out-of-range
+    offsets. *)
+
+val halt : item list
+(** [J_l self; Nop] — append to park the machine. *)
+
+val instructions_until_halt : item list -> int
+(** Number of instruction words up to and including the halt jump's
+    delay slot; convenient as a [stop_after] bound for straight-line
+    programs (loops need an explicit dynamic count). *)
+
+val words_of : item list -> int
+(** Instruction words the item list assembles to. *)

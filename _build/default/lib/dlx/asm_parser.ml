@@ -1,0 +1,150 @@
+exception Parse_error of { line : int; message : string }
+
+let err ~line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip_comment s =
+  let cut_at idx s = String.sub s 0 idx in
+  let s =
+    match String.index_opt s ';' with Some i -> cut_at i s | None -> s
+  in
+  let s =
+    match String.index_opt s '#' with Some i -> cut_at i s | None -> s
+  in
+  let rec find_slashes i =
+    if i + 1 >= String.length s then None
+    else if s.[i] = '/' && s.[i + 1] = '/' then Some i
+    else find_slashes (i + 1)
+  in
+  match find_slashes 0 with Some i -> cut_at i s | None -> s
+
+let tokenize s =
+  (* Split on whitespace and commas; keep "off(rN)" together. *)
+  let buf = Buffer.create 8 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' -> flush ()
+      | _ -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !tokens
+
+let parse_reg ~line tok =
+  let tok = String.lowercase_ascii tok in
+  if String.length tok < 2 || tok.[0] <> 'r' then
+    err ~line "expected a register, got %S" tok
+  else
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some r when r >= 0 && r <= 31 -> r
+    | Some r -> err ~line "register r%d out of range" r
+    | None -> err ~line "expected a register, got %S" tok
+
+let parse_imm ~line tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> err ~line "expected an immediate, got %S" tok
+
+(* "off(rN)" *)
+let parse_mem ~line tok =
+  match String.index_opt tok '(' with
+  | None -> err ~line "expected offset(base), got %S" tok
+  | Some i ->
+    if String.length tok < i + 3 || tok.[String.length tok - 1] <> ')' then
+      err ~line "expected offset(base), got %S" tok
+    else
+      let off = if i = 0 then 0 else parse_imm ~line (String.sub tok 0 i) in
+      let base =
+        parse_reg ~line (String.sub tok (i + 1) (String.length tok - i - 2))
+      in
+      (off, base)
+
+let rec parse_line ~line s =
+  match tokenize s with
+  | [] -> []
+  | mnemonic :: args -> (
+    let m = String.lowercase_ascii mnemonic in
+    (* A label? *)
+    if String.length m > 1 && m.[String.length m - 1] = ':' then
+      let label = String.sub mnemonic 0 (String.length mnemonic - 1) in
+      Asm.Label label :: parse_line ~line (String.concat " " args)
+    else
+      let reg = parse_reg ~line in
+      let imm = parse_imm ~line in
+      let mem = parse_mem ~line in
+      let rrr mk = function
+        | [ d; a; b ] -> [ Asm.Insn (mk (reg d) (reg a) (reg b)) ]
+        | args -> err ~line "%s takes rd, rs1, rs2 (got %d operands)" m (List.length args)
+      in
+      let rri mk = function
+        | [ d; a; i ] -> [ Asm.Insn (mk (reg d) (reg a) (imm i)) ]
+        | args -> err ~line "%s takes rd, rs1, imm (got %d operands)" m (List.length args)
+      in
+      let load mk = function
+        | [ d; addr ] ->
+          let off, base = mem addr in
+          [ Asm.Insn (mk (reg d) base off) ]
+        | args -> err ~line "%s takes rd, off(base) (got %d operands)" m (List.length args)
+      in
+      match (m, args) with
+      | "add", a -> rrr (fun d x y -> Isa.Add (d, x, y)) a
+      | "sub", a -> rrr (fun d x y -> Isa.Sub (d, x, y)) a
+      | "and", a -> rrr (fun d x y -> Isa.And (d, x, y)) a
+      | "or", a -> rrr (fun d x y -> Isa.Or (d, x, y)) a
+      | "xor", a -> rrr (fun d x y -> Isa.Xor (d, x, y)) a
+      | "sll", a -> rrr (fun d x y -> Isa.Sll (d, x, y)) a
+      | "srl", a -> rrr (fun d x y -> Isa.Srl (d, x, y)) a
+      | "sra", a -> rrr (fun d x y -> Isa.Sra (d, x, y)) a
+      | "slt", a -> rrr (fun d x y -> Isa.Slt (d, x, y)) a
+      | "sltu", a -> rrr (fun d x y -> Isa.Sltu (d, x, y)) a
+      | "addi", a -> rri (fun d x i -> Isa.Addi (d, x, i)) a
+      | "andi", a -> rri (fun d x i -> Isa.Andi (d, x, i)) a
+      | "ori", a -> rri (fun d x i -> Isa.Ori (d, x, i)) a
+      | "xori", a -> rri (fun d x i -> Isa.Xori (d, x, i)) a
+      | "slti", a -> rri (fun d x i -> Isa.Slti (d, x, i)) a
+      | "slli", a -> rri (fun d x i -> Isa.Slli (d, x, i)) a
+      | "srli", a -> rri (fun d x i -> Isa.Srli (d, x, i)) a
+      | "srai", a -> rri (fun d x i -> Isa.Srai (d, x, i)) a
+      | "lhi", [ d; i ] -> [ Asm.Insn (Isa.Lhi (reg d, imm i)) ]
+      | "lw", a -> load (fun d b o -> Isa.Lw (d, b, o)) a
+      | "lb", a -> load (fun d b o -> Isa.Lb (d, b, o)) a
+      | "lbu", a -> load (fun d b o -> Isa.Lbu (d, b, o)) a
+      | "lh", a -> load (fun d b o -> Isa.Lh (d, b, o)) a
+      | "lhu", a -> load (fun d b o -> Isa.Lhu (d, b, o)) a
+      | "sw", [ addr; src ] ->
+        let off, base = mem addr in
+        [ Asm.Insn (Isa.Sw (base, reg src, off)) ]
+      | "beqz", [ r; target ] -> [ Asm.Beqz_l (reg r, target) ]
+      | "bnez", [ r; target ] -> [ Asm.Bnez_l (reg r, target) ]
+      | "j", [ target ] -> [ Asm.J_l target ]
+      | "jal", [ target ] -> [ Asm.Jal_l target ]
+      | "jr", [ r ] -> [ Asm.Insn (Isa.Jr (reg r)) ]
+      | "jalr", [ r ] -> [ Asm.Insn (Isa.Jalr (reg r)) ]
+      | "trap", [ c ] -> [ Asm.Insn (Isa.Trap (imm c land 0x3F)) ]
+      | "rfe", [] -> [ Asm.Insn Isa.Rfe ]
+      | "nop", [] -> [ Asm.Insn Isa.Nop ]
+      | "halt", [] -> Asm.halt
+      | _, _ -> err ~line "unknown or malformed instruction %S" s)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i l -> parse_line ~line:(i + 1) (String.trim (strip_comment l)))
+       lines)
+
+let parse_program text = Asm.assemble (parse text)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text

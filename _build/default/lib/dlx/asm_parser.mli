@@ -1,0 +1,37 @@
+(** Textual DLX assembly.
+
+    A line-based parser for the mnemonics of {!Isa}, producing
+    {!Asm.item} lists.  Syntax:
+
+    {v
+    ; comments run to end of line (also "#" and "//")
+    start:                 ; labels end with a colon
+        addi r1, r0, 10
+        lhi  r2, 0x7fff    ; immediates are decimal, hex (0x) or negative
+    loop:
+        lw   r4, 8(r1)     ; memory operands are offset(base)
+        sw   0(r2), r4     ; store: address first, source second
+        add  r5, r4, r4
+        beqz r1, done      ; control flow targets are labels
+        nop                ;   (each branch needs its delay slot)
+        j    loop
+        nop
+    done:
+        halt               ; expands to the jump-to-self + nop idiom
+    v}
+
+    Register names are [r0]..[r31] (case-insensitive).  [trap] takes a
+    code; [rfe], [nop] and [halt] take nothing; [jr]/[jalr] take one
+    register. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Asm.item list
+(** @raise Parse_error with a 1-based line number. *)
+
+val parse_program : string -> int list
+(** [parse] then {!Asm.assemble}.
+    @raise Parse_error or [Asm.Asm_error]. *)
+
+val parse_file : string -> Asm.item list
+(** Reads the file and {!parse}s it. *)

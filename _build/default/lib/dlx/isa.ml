@@ -1,0 +1,233 @@
+type reg = int
+
+type t =
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Sll of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  | Addi of reg * reg * int
+  | Andi of reg * reg * int
+  | Ori of reg * reg * int
+  | Xori of reg * reg * int
+  | Slti of reg * reg * int
+  | Lhi of reg * int
+  | Slli of reg * reg * int
+  | Srli of reg * reg * int
+  | Srai of reg * reg * int
+  | Lw of reg * reg * int
+  | Lb of reg * reg * int
+  | Lbu of reg * reg * int
+  | Lh of reg * reg * int
+  | Lhu of reg * reg * int
+  | Sw of reg * reg * int
+  | Beqz of reg * int
+  | Bnez of reg * int
+  | J of int
+  | Jal of int
+  | Jr of reg
+  | Jalr of reg
+  | Trap of int
+  | Rfe
+  | Nop
+
+module Op = struct
+  let rtype = 0x00
+  let addi = 0x08
+  let andi = 0x0C
+  let ori = 0x0D
+  let xori = 0x0E
+  let slti = 0x0A
+  let lhi = 0x0F
+  let slli = 0x14
+  let srli = 0x16
+  let srai = 0x17
+  let lw = 0x23
+  let lb = 0x20
+  let lbu = 0x24
+  let lh = 0x21
+  let lhu = 0x25
+  let sw = 0x2B
+  let beqz = 0x04
+  let bnez = 0x05
+  let j = 0x02
+  let jal = 0x03
+  let jr = 0x12
+  let jalr = 0x13
+  let trap = 0x11
+  let rfe = 0x10
+end
+
+module Func = struct
+  let add = 0x20
+  let sub = 0x22
+  let and_ = 0x24
+  let or_ = 0x25
+  let xor = 0x26
+  let sll = 0x04
+  let srl = 0x06
+  let sra = 0x07
+  let slt = 0x2A
+  let sltu = 0x2B
+end
+
+let opcode_bits = (31, 26)
+let rs1_bits = (25, 21)
+let rs2_bits = (20, 16)
+let rd_r_bits = (15, 11)
+let imm_bits = (15, 0)
+let func_bits = (5, 0)
+
+let mask16 v = v land 0xFFFF
+let mask26 v = v land 0x3FFFFFF
+
+let check_reg r =
+  if r < 0 || r > 31 then invalid_arg (Printf.sprintf "bad register r%d" r)
+
+let rtype func ~rd ~rs1 ~rs2 =
+  check_reg rd;
+  check_reg rs1;
+  check_reg rs2;
+  (Op.rtype lsl 26) lor (rs1 lsl 21) lor (rs2 lsl 16) lor (rd lsl 11) lor func
+
+let itype op ~rd ~rs1 imm =
+  check_reg rd;
+  check_reg rs1;
+  (op lsl 26) lor (rs1 lsl 21) lor (rd lsl 16) lor mask16 imm
+
+let jtype op off = (op lsl 26) lor mask26 off
+
+let encode = function
+  | Add (rd, rs1, rs2) -> rtype Func.add ~rd ~rs1 ~rs2
+  | Sub (rd, rs1, rs2) -> rtype Func.sub ~rd ~rs1 ~rs2
+  | And (rd, rs1, rs2) -> rtype Func.and_ ~rd ~rs1 ~rs2
+  | Or (rd, rs1, rs2) -> rtype Func.or_ ~rd ~rs1 ~rs2
+  | Xor (rd, rs1, rs2) -> rtype Func.xor ~rd ~rs1 ~rs2
+  | Sll (rd, rs1, rs2) -> rtype Func.sll ~rd ~rs1 ~rs2
+  | Srl (rd, rs1, rs2) -> rtype Func.srl ~rd ~rs1 ~rs2
+  | Sra (rd, rs1, rs2) -> rtype Func.sra ~rd ~rs1 ~rs2
+  | Slt (rd, rs1, rs2) -> rtype Func.slt ~rd ~rs1 ~rs2
+  | Sltu (rd, rs1, rs2) -> rtype Func.sltu ~rd ~rs1 ~rs2
+  | Addi (rd, rs1, imm) -> itype Op.addi ~rd ~rs1 imm
+  | Andi (rd, rs1, imm) -> itype Op.andi ~rd ~rs1 imm
+  | Ori (rd, rs1, imm) -> itype Op.ori ~rd ~rs1 imm
+  | Xori (rd, rs1, imm) -> itype Op.xori ~rd ~rs1 imm
+  | Slti (rd, rs1, imm) -> itype Op.slti ~rd ~rs1 imm
+  | Lhi (rd, imm) -> itype Op.lhi ~rd ~rs1:0 imm
+  | Slli (rd, rs1, sh) -> itype Op.slli ~rd ~rs1 (sh land 31)
+  | Srli (rd, rs1, sh) -> itype Op.srli ~rd ~rs1 (sh land 31)
+  | Srai (rd, rs1, sh) -> itype Op.srai ~rd ~rs1 (sh land 31)
+  | Lw (rd, rs1, off) -> itype Op.lw ~rd ~rs1 off
+  | Lb (rd, rs1, off) -> itype Op.lb ~rd ~rs1 off
+  | Lbu (rd, rs1, off) -> itype Op.lbu ~rd ~rs1 off
+  | Lh (rd, rs1, off) -> itype Op.lh ~rd ~rs1 off
+  | Lhu (rd, rs1, off) -> itype Op.lhu ~rd ~rs1 off
+  | Sw (rs1, rs2, off) -> itype Op.sw ~rd:rs2 ~rs1 off
+  | Beqz (rs1, off) -> itype Op.beqz ~rd:0 ~rs1 off
+  | Bnez (rs1, off) -> itype Op.bnez ~rd:0 ~rs1 off
+  | J off -> jtype Op.j off
+  | Jal off -> jtype Op.jal off
+  | Jr rs1 -> itype Op.jr ~rd:0 ~rs1 0
+  | Jalr rs1 -> itype Op.jalr ~rd:31 ~rs1 0
+  | Trap code -> jtype Op.trap (code land 0x3F)
+  | Rfe -> jtype Op.rfe 0
+  | Nop -> rtype Func.sll ~rd:0 ~rs1:0 ~rs2:0
+
+let nop_word = encode Nop
+
+let sext16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+let sext26 v = if v land 0x2000000 <> 0 then v - 0x4000000 else v
+
+let decode word =
+  let op = (word lsr 26) land 0x3F in
+  let rs1 = (word lsr 21) land 0x1F in
+  let rs2 = (word lsr 16) land 0x1F in
+  let rd_r = (word lsr 11) land 0x1F in
+  let func = word land 0x3F in
+  let imm = word land 0xFFFF in
+  let simm = sext16 imm in
+  if op = Op.rtype then
+    if rd_r = 0 && rs1 = 0 && rs2 = 0 && func = Func.sll then Some Nop
+    else if func = Func.add then Some (Add (rd_r, rs1, rs2))
+    else if func = Func.sub then Some (Sub (rd_r, rs1, rs2))
+    else if func = Func.and_ then Some (And (rd_r, rs1, rs2))
+    else if func = Func.or_ then Some (Or (rd_r, rs1, rs2))
+    else if func = Func.xor then Some (Xor (rd_r, rs1, rs2))
+    else if func = Func.sll then Some (Sll (rd_r, rs1, rs2))
+    else if func = Func.srl then Some (Srl (rd_r, rs1, rs2))
+    else if func = Func.sra then Some (Sra (rd_r, rs1, rs2))
+    else if func = Func.slt then Some (Slt (rd_r, rs1, rs2))
+    else if func = Func.sltu then Some (Sltu (rd_r, rs1, rs2))
+    else None
+  else if op = Op.addi then Some (Addi (rs2, rs1, simm))
+  else if op = Op.andi then Some (Andi (rs2, rs1, imm))
+  else if op = Op.ori then Some (Ori (rs2, rs1, imm))
+  else if op = Op.xori then Some (Xori (rs2, rs1, imm))
+  else if op = Op.slti then Some (Slti (rs2, rs1, simm))
+  else if op = Op.lhi then Some (Lhi (rs2, imm))
+  else if op = Op.slli then Some (Slli (rs2, rs1, imm land 31))
+  else if op = Op.srli then Some (Srli (rs2, rs1, imm land 31))
+  else if op = Op.srai then Some (Srai (rs2, rs1, imm land 31))
+  else if op = Op.lw then Some (Lw (rs2, rs1, simm))
+  else if op = Op.lb then Some (Lb (rs2, rs1, simm))
+  else if op = Op.lbu then Some (Lbu (rs2, rs1, simm))
+  else if op = Op.lh then Some (Lh (rs2, rs1, simm))
+  else if op = Op.lhu then Some (Lhu (rs2, rs1, simm))
+  else if op = Op.sw then Some (Sw (rs1, rs2, simm))
+  else if op = Op.beqz then Some (Beqz (rs1, simm))
+  else if op = Op.bnez then Some (Bnez (rs1, simm))
+  else if op = Op.j then Some (J (sext26 (word land 0x3FFFFFF)))
+  else if op = Op.jal then Some (Jal (sext26 (word land 0x3FFFFFF)))
+  else if op = Op.jr then Some (Jr rs1)
+  else if op = Op.jalr then Some (Jalr rs1)
+  else if op = Op.trap then Some (Trap (word land 0x3F))
+  else if op = Op.rfe then Some Rfe
+  else None
+
+let is_legal word = Option.is_some (decode word)
+
+let pp ppf i =
+  let r = Printf.sprintf "r%d" in
+  let p fmt = Format.fprintf ppf fmt in
+  match i with
+  | Add (d, a, b) -> p "add %s, %s, %s" (r d) (r a) (r b)
+  | Sub (d, a, b) -> p "sub %s, %s, %s" (r d) (r a) (r b)
+  | And (d, a, b) -> p "and %s, %s, %s" (r d) (r a) (r b)
+  | Or (d, a, b) -> p "or %s, %s, %s" (r d) (r a) (r b)
+  | Xor (d, a, b) -> p "xor %s, %s, %s" (r d) (r a) (r b)
+  | Sll (d, a, b) -> p "sll %s, %s, %s" (r d) (r a) (r b)
+  | Srl (d, a, b) -> p "srl %s, %s, %s" (r d) (r a) (r b)
+  | Sra (d, a, b) -> p "sra %s, %s, %s" (r d) (r a) (r b)
+  | Slt (d, a, b) -> p "slt %s, %s, %s" (r d) (r a) (r b)
+  | Sltu (d, a, b) -> p "sltu %s, %s, %s" (r d) (r a) (r b)
+  | Addi (d, a, i) -> p "addi %s, %s, %d" (r d) (r a) i
+  | Andi (d, a, i) -> p "andi %s, %s, %d" (r d) (r a) i
+  | Ori (d, a, i) -> p "ori %s, %s, %d" (r d) (r a) i
+  | Xori (d, a, i) -> p "xori %s, %s, %d" (r d) (r a) i
+  | Slti (d, a, i) -> p "slti %s, %s, %d" (r d) (r a) i
+  | Lhi (d, i) -> p "lhi %s, %d" (r d) i
+  | Slli (d, a, s) -> p "slli %s, %s, %d" (r d) (r a) s
+  | Srli (d, a, s) -> p "srli %s, %s, %d" (r d) (r a) s
+  | Srai (d, a, s) -> p "srai %s, %s, %d" (r d) (r a) s
+  | Lw (d, a, o) -> p "lw %s, %d(%s)" (r d) o (r a)
+  | Lb (d, a, o) -> p "lb %s, %d(%s)" (r d) o (r a)
+  | Lbu (d, a, o) -> p "lbu %s, %d(%s)" (r d) o (r a)
+  | Lh (d, a, o) -> p "lh %s, %d(%s)" (r d) o (r a)
+  | Lhu (d, a, o) -> p "lhu %s, %d(%s)" (r d) o (r a)
+  | Sw (a, s, o) -> p "sw %d(%s), %s" o (r a) (r s)
+  | Beqz (a, o) -> p "beqz %s, %d" (r a) o
+  | Bnez (a, o) -> p "bnez %s, %d" (r a) o
+  | J o -> p "j %d" o
+  | Jal o -> p "jal %d" o
+  | Jr a -> p "jr %s" (r a)
+  | Jalr a -> p "jalr %s" (r a)
+  | Trap c -> p "trap %d" c
+  | Rfe -> p "rfe"
+  | Nop -> p "nop"
+
+let to_string i = Format.asprintf "%a" pp i

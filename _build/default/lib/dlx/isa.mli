@@ -1,0 +1,147 @@
+(** The DLX instruction set (paper §4.2 case study).
+
+    A standard in-order RISC ISA in the style of Hennessy & Patterson's
+    DLX, restricted as in the paper: no floating point unit, one branch
+    delay slot (so the instruction fetch needs no speculation), plus
+    the precise-interrupt extension of §5 (TRAP / RFE / overflow).
+
+    {2 Architectural conventions}
+
+    - 32 general-purpose registers; [r0] reads as zero and is never
+      written.
+    - Byte addresses; instruction and data memories are word-organized
+      ([2^12] words each); subword loads go through the [shift4load]
+      aligner of figure 2.  Subword stores are not implemented (the
+      data memory has a word-wide write port; read-modify-write would
+      be a structural change out of the paper's scope).
+    - Delayed-PC semantics with one delay slot.  The machine keeps two
+      program counters: [dpc] (address of the executing instruction)
+      and [pc] (address of the next, already committed, instruction).
+      Every instruction performs [dpc' = pc] and
+      [pc' = taken ? target : pc + 4].  The instruction at [pc] when a
+      branch executes is the delay slot; branch targets are relative to
+      the branch's own address + 4 ([target = dpc + 4 + offset]).
+    - [jal]/[jalr] link [r31 := pc + 4] — the address following the
+      delay slot. *)
+
+type reg = int
+(** 0..31 *)
+
+type t =
+  (* R-type ALU *)
+  | Add of reg * reg * reg  (** [Add (rd, rs1, rs2)] *)
+  | Sub of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Sll of reg * reg * reg  (** shift amount = rs2 mod 32 *)
+  | Srl of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Slt of reg * reg * reg  (** signed set-less-than *)
+  | Sltu of reg * reg * reg
+  (* I-type ALU (immediate sign-extended unless noted) *)
+  | Addi of reg * reg * int  (** [Addi (rd, rs1, imm)] *)
+  | Andi of reg * reg * int  (** zero-extended immediate *)
+  | Ori of reg * reg * int   (** zero-extended *)
+  | Xori of reg * reg * int  (** zero-extended *)
+  | Slti of reg * reg * int
+  | Lhi of reg * int         (** [rd := imm << 16] *)
+  | Slli of reg * reg * int
+  | Srli of reg * reg * int
+  | Srai of reg * reg * int
+  (* memory *)
+  | Lw of reg * reg * int  (** [Lw (rd, rs1, offset)] *)
+  | Lb of reg * reg * int
+  | Lbu of reg * reg * int
+  | Lh of reg * reg * int
+  | Lhu of reg * reg * int
+  | Sw of reg * reg * int  (** [Sw (rs1, rs2, offset)]: MEM[rs1+off] := rs2 *)
+  (* control, one delay slot each *)
+  | Beqz of reg * int  (** byte offset relative to branch address + 4 *)
+  | Bnez of reg * int
+  | J of int
+  | Jal of int
+  | Jr of reg
+  | Jalr of reg
+  (* system (precise-interrupt variant, paper §5) *)
+  | Trap of int  (** raises an interrupt with the given 6-bit cause *)
+  | Rfe          (** return from exception: restores pc/dpc, re-enables *)
+  | Nop
+
+val encode : t -> int
+(** 32-bit instruction word. *)
+
+val decode : int -> t option
+(** [None] for illegal encodings (an illegal opcode raises an
+    interrupt in the variant machine; the base machine treats it as
+    [Nop]). *)
+
+val is_legal : int -> bool
+
+val nop_word : int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** {1 Field accessors used by the machine descriptions} *)
+
+val opcode_bits : int * int
+(** (hi, lo) = (31, 26) *)
+
+val rs1_bits : int * int
+(** (25, 21) *)
+
+val rs2_bits : int * int
+(** (20, 16) — also the I-type rd field *)
+
+val rd_r_bits : int * int
+(** (15, 11) *)
+
+val imm_bits : int * int
+(** (15, 0) *)
+
+val func_bits : int * int
+(** (5, 0) *)
+
+(** Opcode values (6 bits). *)
+module Op : sig
+  val rtype : int
+  val addi : int
+  val andi : int
+  val ori : int
+  val xori : int
+  val slti : int
+  val lhi : int
+  val slli : int
+  val srli : int
+  val srai : int
+  val lw : int
+  val lb : int
+  val lbu : int
+  val lh : int
+  val lhu : int
+  val sw : int
+  val beqz : int
+  val bnez : int
+  val j : int
+  val jal : int
+  val jr : int
+  val jalr : int
+  val trap : int
+  val rfe : int
+end
+
+(** R-type function codes (6 bits). *)
+module Func : sig
+  val add : int
+  val sub : int
+  val and_ : int
+  val or_ : int
+  val xor : int
+  val sll : int
+  val srl : int
+  val sra : int
+  val slt : int
+  val sltu : int
+end

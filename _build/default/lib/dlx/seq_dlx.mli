@@ -1,0 +1,65 @@
+(** The prepared sequential five-stage DLX (paper §4.2).
+
+    Stages: 0 IF, 1 ID, 2 EX, 3 MEM, 4 WB.  The machine reads its two
+    GPR operands in the decode stage; the result register [C] has
+    pipelined instances [C.3] (written by EX) and [C.4] (written by
+    MEM) which serve as the designated forwarding registers — the
+    paper's [C:2]/[C:3] under its stage-of-residence naming.  The
+    machine uses one branch delay slot, so instruction fetch needs no
+    speculation: the fetch address is obtained by ordinary forwarding
+    of the [DPC] register from the decode stage.
+
+    Three variants:
+
+    - {!Base} — the paper's case-study machine;
+    - {!With_interrupts} — precise interrupts via speculation (§5):
+      the machine speculates that no interrupt occurs; the truth is
+      known in stage 4, where a misspeculation performs the JISR
+      updates through the rollback mechanism;
+    - {!Branch_predict} — fetch speculation (§5): the fetch stage
+      predicts the next fetch address sequentially ([SPC := SPC + 4])
+      instead of using the forwarded [DPC]; the comparison against the
+      true address squashes a wrong fetch.  Architecturally identical
+      to [Base]. *)
+
+type variant =
+  | Base
+  | With_interrupts of { sisr : int }
+  | Branch_predict
+
+val mem_addr_bits : int
+(** 12: both memories hold [2^12] words. *)
+
+val machine :
+  ?data:(int * int) list -> variant -> program:int list -> Machine.Spec.t
+(** The prepared sequential machine with the program in instruction
+    memory (word 0 onward) and optional data-memory initialization. *)
+
+val hints : variant -> Pipeline.Fwd_spec.hint list
+(** The designer input of §4.2: forwarding-register designations
+    ([C.3] chain for both GPR operands) plus operand-usage gating. *)
+
+val speculations : variant -> Pipeline.Fwd_spec.speculation list
+(** Empty for [Base]; the no-interrupt speculation for
+    [With_interrupts]; the next-fetch-address speculation for
+    [Branch_predict]. *)
+
+val transform :
+  ?options:Pipeline.Fwd_spec.options ->
+  ?data:(int * int) list ->
+  variant ->
+  program:int list ->
+  Pipeline.Transform.t
+(** [machine] + [hints] + [speculations] + [Pipeline.Transform.run]. *)
+
+val ref_trace :
+  ?data:(int * int) list ->
+  variant ->
+  program:int list ->
+  instructions:int ->
+  Machine.Seqsem.trace
+(** The specification trace [R_S^i] produced by the ISA golden model
+    ({!Refmodel}), in the shape {!Proof_engine.Consistency} consumes.
+    Required for the speculation variants, valid for all three. *)
+
+val visible_names : variant -> string list

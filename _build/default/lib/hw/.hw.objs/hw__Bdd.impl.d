@@ -1,0 +1,1 @@
+lib/hw/bdd.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/hw/circuits.mli: Expr

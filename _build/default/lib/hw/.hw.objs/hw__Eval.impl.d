@@ -1,0 +1,1 @@
+lib/hw/eval.ml: Bitvec Expr Format List

@@ -1,0 +1,1 @@
+lib/hw/eval.mli: Bitvec Expr

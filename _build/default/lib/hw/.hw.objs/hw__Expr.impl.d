@@ -1,0 +1,1 @@
+lib/hw/expr.ml: Bitvec Format List

@@ -1,0 +1,1 @@
+lib/hw/expr.mli: Bitvec Format

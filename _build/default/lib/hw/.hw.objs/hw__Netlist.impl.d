@@ -1,0 +1,1 @@
+lib/hw/netlist.ml: Cost Expr Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/hw/opt.ml: Bitvec Cost Eval Expr Format

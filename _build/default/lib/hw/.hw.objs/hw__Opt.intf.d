@@ -1,0 +1,1 @@
+lib/hw/opt.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/hw/vcd.ml: Bitvec Char Format Hashtbl List Printf String Verilog

@@ -1,0 +1,1 @@
+lib/hw/verilog.ml: Bitvec Expr Format List String

@@ -1,0 +1,1 @@
+lib/hw/wave.ml: Format List Option String

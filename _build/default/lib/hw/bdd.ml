@@ -1,0 +1,116 @@
+(* Nodes are indices into growable arrays; 0 = false, 1 = true. *)
+
+type t = int
+
+type man = {
+  mutable var_of : int array;   (* node -> variable *)
+  mutable lo_of : int array;    (* node -> low child (var = 0 branch) *)
+  mutable hi_of : int array;
+  mutable size : int;
+  unique : (int * int * int, int) Hashtbl.t;  (* (var, lo, hi) -> node *)
+  cache : (int * int * int, int) Hashtbl.t;   (* ite memo *)
+}
+
+let fls : t = 0
+let tru : t = 1
+
+let manager () =
+  let cap = 1024 in
+  let m =
+    {
+      var_of = Array.make cap max_int;
+      lo_of = Array.make cap 0;
+      hi_of = Array.make cap 0;
+      size = 2;
+      unique = Hashtbl.create 1024;
+      cache = Hashtbl.create 4096;
+    }
+  in
+  (* Terminals carry an infinite variable so they sort last. *)
+  m.var_of.(0) <- max_int;
+  m.var_of.(1) <- max_int;
+  m
+
+let grow m =
+  let cap = Array.length m.var_of in
+  if m.size >= cap then begin
+    let ncap = cap * 2 in
+    let extend a d =
+      let b = Array.make ncap d in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    m.var_of <- extend m.var_of max_int;
+    m.lo_of <- extend m.lo_of 0;
+    m.hi_of <- extend m.hi_of 0
+  end
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some n -> n
+    | None ->
+      grow m;
+      let n = m.size in
+      m.size <- n + 1;
+      m.var_of.(n) <- v;
+      m.lo_of.(n) <- lo;
+      m.hi_of.(n) <- hi;
+      Hashtbl.replace m.unique (v, lo, hi) n;
+      n
+
+let var m v = mk m v fls tru
+let nvar m v = mk m v tru fls
+
+let rec ite m f g h =
+  if f = tru then g
+  else if f = fls then h
+  else if g = h then g
+  else if g = tru && h = fls then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+      let v =
+        min m.var_of.(f) (min m.var_of.(g) m.var_of.(h))
+      in
+      let branch node side =
+        if m.var_of.(node) = v then
+          if side then m.hi_of.(node) else m.lo_of.(node)
+        else node
+      in
+      let hi = ite m (branch f true) (branch g true) (branch h true) in
+      let lo = ite m (branch f false) (branch g false) (branch h false) in
+      let r = mk m v lo hi in
+      Hashtbl.replace m.cache key r;
+      r
+
+let neg m f = ite m f fls tru
+let conj m a b = ite m a b fls
+let disj m a b = ite m a tru b
+let xor m a b = ite m a (neg m b) b
+let xnor m a b = ite m a b (neg m b)
+
+let equal (a : t) (b : t) = a = b
+let is_tru t = t = tru
+let is_fls t = t = fls
+let node_count m = m.size
+
+let any_sat m f =
+  if f = fls then None
+  else
+    let rec walk f acc =
+      if f = tru then acc
+      else if m.hi_of.(f) <> fls then
+        walk m.hi_of.(f) ((m.var_of.(f), true) :: acc)
+      else walk m.lo_of.(f) ((m.var_of.(f), false) :: acc)
+    in
+    Some (List.rev (walk f []))
+
+let rec eval m f assign =
+  if f = tru then true
+  else if f = fls then false
+  else if assign m.var_of.(f) then eval m m.hi_of.(f) assign
+  else eval m m.lo_of.(f) assign

@@ -1,0 +1,113 @@
+(** Fixed-width bit vectors.
+
+    A bit vector pairs a width [1..62] with a value held in an OCaml
+    [int]; all operations truncate their result to the width of their
+    operands.  This is the value domain [W(R)] of the paper's register
+    model: every register has a domain given by its width. *)
+
+type t
+(** A bit vector.  Structural equality ([=]) is value equality. *)
+
+exception Width_mismatch of string
+(** Raised by binary operations whose operands have different widths,
+    with a description of the offending operation. *)
+
+val max_width : int
+(** Largest supported width (62). *)
+
+val make : width:int -> int -> t
+(** [make ~width v] is the bit vector of [width] bits holding [v]
+    truncated to [width] bits.  [v] may be negative; it is interpreted
+    in two's complement.  @raise Invalid_argument if [width] is outside
+    [1..max_width]. *)
+
+val zero : int -> t
+(** [zero width] is the all-zeros vector. *)
+
+val one : int -> t
+(** [one width] is the vector holding 1. *)
+
+val ones : int -> t
+(** [ones width] is the all-ones vector. *)
+
+val width : t -> int
+(** Number of bits. *)
+
+val to_int : t -> int
+(** Unsigned value, in [0 .. 2^width - 1]. *)
+
+val to_signed_int : t -> int
+(** Two's-complement signed value. *)
+
+val equal : t -> t -> bool
+(** Value and width equality. *)
+
+val compare : t -> t -> int
+(** Total order: first by width, then by unsigned value. *)
+
+val is_zero : t -> bool
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (0 = least significant).
+    @raise Invalid_argument if [i] is out of range. *)
+
+(** {1 Arithmetic} (modulo [2^width]) *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+
+(** {1 Bitwise logic} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** {1 Shifts} (shift amount is the unsigned value of the second
+    operand; results saturate to zero / sign as usual) *)
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+
+(** {1 Comparisons} (producing 1-bit vectors) *)
+
+val eq : t -> t -> t
+val lt_unsigned : t -> t -> t
+val lt_signed : t -> t -> t
+
+(** {1 Structure} *)
+
+val concat : t -> t -> t
+(** [concat hi lo] has width [width hi + width lo], [hi] in the upper
+    bits.  @raise Invalid_argument if the result exceeds [max_width]. *)
+
+val slice : t -> hi:int -> lo:int -> t
+(** [slice v ~hi ~lo] extracts bits [hi..lo] inclusive.
+    @raise Invalid_argument unless [width v > hi >= lo >= 0]. *)
+
+val zero_extend : t -> int -> t
+(** [zero_extend v w] widens [v] to [w] bits with zeros.
+    @raise Invalid_argument if [w < width v]. *)
+
+val sign_extend : t -> int -> t
+(** [sign_extend v w] widens [v] to [w] bits replicating the sign bit. *)
+
+val truncate : t -> int -> t
+(** [truncate v w] keeps the low [w] bits of [v]. *)
+
+val of_bool : bool -> t
+(** 1-bit vector: [true] is 1. *)
+
+val to_bool : t -> bool
+(** [true] iff nonzero (any width). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [width'dvalue], e.g. [32'd42]. *)
+
+val to_string : t -> string
+
+val pp_hex : Format.formatter -> t -> unit
+(** Prints as [width'hvalue] in hexadecimal. *)

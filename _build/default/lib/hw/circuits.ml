@@ -1,0 +1,82 @@
+let check_bit e =
+  if Expr.width e <> 1 then
+    invalid_arg "Circuits: expected a 1-bit expression"
+
+let prefix_or xs =
+  List.iter check_bit xs;
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let d = ref 1 in
+  while !d < n do
+    (* Recursive doubling: combine from high index down so each round
+       reads the previous round's values. *)
+    for i = n - 1 downto !d do
+      arr.(i) <- Expr.( ||: ) arr.(i - !d) arr.(i)
+    done;
+    d := !d * 2
+  done;
+  Array.to_list arr
+
+let find_first_one xs =
+  match xs with
+  | [] -> []
+  | first :: rest ->
+    (* prefixes.(i) = x_0 | ... | x_i; the output for x_{i+1} masks
+       with prefixes.(i), so the list aligns with [rest]. *)
+    let prefixes = prefix_or xs in
+    let rec go rest prefixes =
+      match (rest, prefixes) with
+      | [], _ -> []
+      | x :: rest', p :: prefixes' ->
+        Expr.( &&: ) x (Expr.not_ p) :: go rest' prefixes'
+      | _ :: _, [] -> assert false
+    in
+    first :: go rest prefixes
+
+let onehot_mux cases =
+  match cases with
+  | [] -> invalid_arg "Circuits.onehot_mux: empty"
+  | (_, v0) :: _ ->
+    let w = Expr.width v0 in
+    let mask (s, v) =
+      check_bit s;
+      if w = 1 then Expr.( &&: ) s v
+      else Expr.Binop (Expr.And, Expr.Sext (s, w), v)
+    in
+    let masked = List.map mask cases in
+    (* Balanced OR tree. *)
+    let rec pairwise acc = function
+      | a :: b :: rest -> pairwise (Expr.Binop (Expr.Or, a, b) :: acc) rest
+      | [a] -> List.rev (a :: acc)
+      | [] -> List.rev acc
+    in
+    let rec tree = function
+      | [] -> assert false
+      | [x] -> x
+      | xs -> tree (pairwise [] xs)
+    in
+    tree masked
+
+type priority_impl = Chain | Tree | Bus
+
+let priority_select ~impl cases ~default =
+  match impl with
+  | Chain -> Expr.mux_cases ~default cases
+  | Tree | Bus -> (
+    match cases with
+    | [] -> default
+    | _ ->
+      let conds = List.map fst cases in
+      let vals = List.map snd cases in
+      let onehot = find_first_one conds in
+      (* The "no hit" detector reuses the logarithmic-depth prefix
+         network (its last output is the OR of all hits). *)
+      let any =
+        match List.rev (prefix_or conds) with
+        | last :: _ -> last
+        | [] -> Expr.fls
+      in
+      let none = Expr.not_ any in
+      onehot_mux ((none, default) :: List.combine onehot vals))
+
+let equality_tester a b = Expr.( ==: ) a b

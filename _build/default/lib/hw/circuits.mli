@@ -1,0 +1,46 @@
+(** Generic circuit generators.
+
+    The forwarding synthesis (paper §4) needs a priority selector: take
+    the value of the *smallest* stage index with an active hit signal
+    ([top = min {j | hit[j]}]).  The paper's figure 2 realizes this
+    with a linear chain of multiplexers and notes that "this hardware
+    gets slow with larger pipelines.  With larger pipelines, one can
+    use a find first one circuit and a balanced tree of multiplexers".
+    Both implementations are provided here and compared in experiment
+    E3. *)
+
+val prefix_or : Expr.t list -> Expr.t list
+(** [prefix_or [x0; x1; ...]] is [[x0; x0|x1; x0|x1|x2; ...]] built as
+    a logarithmic-depth parallel-prefix (recursive-doubling) network.
+    All inputs must be 1 bit wide. *)
+
+val find_first_one : Expr.t list -> Expr.t list
+(** One-hot "find first one": output [i] is active iff input [i] is
+    active and no earlier input is.  Logarithmic depth. *)
+
+val onehot_mux : (Expr.t * Expr.t) list -> Expr.t
+(** [onehot_mux [(s0, v0); ...]]: assuming at most one select is
+    active, returns the selected value (all-zeros when none is).
+    Built as AND-masking plus a balanced OR tree: logarithmic depth.
+    @raise Invalid_argument on the empty list. *)
+
+type priority_impl =
+  | Chain  (** linear multiplexer chain, as in the paper's figure 2 *)
+  | Tree   (** find-first-one + balanced multiplexer tree (§4.2) *)
+  | Bus
+      (** operand bus with tri-state drivers (§4.2's other alternative):
+          find-first-one enables drive the sources onto a shared wire.
+          Logically this is the same one-hot selection as [Tree] (and is
+          simulated as such); it differs in the implementation cost —
+          constant selection depth after the enables, one driver per
+          source bit — which {!Pipeline.Mux_impl} prices analytically. *)
+
+val priority_select :
+  impl:priority_impl -> (Expr.t * Expr.t) list -> default:Expr.t -> Expr.t
+(** [priority_select ~impl cases ~default] returns the value of the
+    first case whose (1-bit) condition holds, or [default] when none
+    does.  Both implementations compute the same function; they differ
+    in gate count and depth (see {!Cost}). *)
+
+val equality_tester : Expr.t -> Expr.t -> Expr.t
+(** The address comparator of the hit signals ([=?] in figure 2). *)

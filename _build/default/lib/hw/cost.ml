@@ -1,0 +1,68 @@
+type t = { gates : int; depth : int }
+
+let zero = { gates = 0; depth = 0 }
+let add a b = { gates = a.gates + b.gates; depth = max a.depth b.depth }
+let seq a b = { gates = a.gates + b.gates; depth = a.depth + b.depth }
+
+let clog2 n =
+  if n < 1 then invalid_arg "Cost.clog2";
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  go 0 1
+
+(* Per-operator prices; [w] is the operand width. *)
+
+let inverter w = { gates = w; depth = 1 }
+let gate2 w = { gates = w; depth = 1 }
+let adder w = { gates = 5 * w; depth = clog2 (max 2 w) + 2 }
+let multiplier w = { gates = 5 * w * w; depth = (2 * clog2 (max 2 w)) + 4 }
+let comparator_eq w = { gates = w + (w - 1); depth = 1 + clog2 (max 2 w) }
+let comparator_lt w = adder w
+let mux_gate w = { gates = 3 * w; depth = 2 }
+let reduction w = { gates = w - 1; depth = clog2 (max 2 w) }
+let barrel_shifter w =
+  let l = clog2 (max 2 w) in
+  { gates = 3 * w * l; depth = 2 * l }
+
+(* A register-file read port: address decoder plus output mux tree. *)
+let file_read_port ~addr_bits ~data_width =
+  let entries = 1 lsl addr_bits in
+  { gates = ((entries - 1) * 3 * data_width) + (entries * addr_bits);
+    depth = addr_bits + 2 }
+
+let rec of_expr e =
+  match e with
+  | Expr.Const _ | Expr.Input _ -> zero
+  | Expr.Unop (op, a) ->
+    let w = Expr.width a in
+    let price =
+      match op with
+      | Expr.Not -> inverter w
+      | Expr.Neg -> adder w
+      | Expr.Reduce_or | Expr.Reduce_and -> reduction w
+    in
+    seq (of_expr a) price
+  | Expr.Binop (op, a, b) ->
+    let w = Expr.width a in
+    let price =
+      match op with
+      | Expr.Add | Expr.Sub -> adder w
+      | Expr.Mul -> multiplier w
+      | Expr.And | Expr.Or | Expr.Xor -> gate2 w
+      | Expr.Eq | Expr.Ne -> comparator_eq w
+      | Expr.Ltu | Expr.Lts -> comparator_lt w
+      | Expr.Shl | Expr.Shr | Expr.Sra -> (
+        match b with
+        | Expr.Const _ -> zero  (* constant shift is wiring *)
+        | _ -> barrel_shifter w)
+    in
+    seq (add (of_expr a) (of_expr b)) price
+  | Expr.Mux (s, a, b) ->
+    let w = Expr.width a in
+    seq (add (of_expr s) (add (of_expr a) (of_expr b))) (mux_gate w)
+  | Expr.Concat (a, b) -> add (of_expr a) (of_expr b)
+  | Expr.Slice (a, _, _) | Expr.Zext (a, _) | Expr.Sext (a, _) -> of_expr a
+  | Expr.File_read { data_width; addr; _ } ->
+    let addr_bits = Expr.width addr in
+    seq (of_expr addr) (file_read_port ~addr_bits ~data_width)
+
+let pp ppf t = Format.fprintf ppf "%d gates / %d levels" t.gates t.depth

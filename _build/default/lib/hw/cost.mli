@@ -1,0 +1,33 @@
+(** Gate-level cost model.
+
+    Prices an expression in equivalent 2-input gates (area) and logic
+    levels (depth).  The model follows the textbook conventions of
+    Mueller & Paul ("Computer Architecture: Complexity and
+    Correctness"), the paper's reference [20]: conditional-sum adders
+    with logarithmic depth, balanced AND/OR trees for reductions and
+    equality testers, 3-gate multiplexers.
+
+    Only relative comparisons matter for the reproduction: the paper's
+    §4.2 remark that the linear forwarding mux chain "gets slow with
+    larger pipelines" while a find-first-one circuit with a balanced
+    mux tree has logarithmic depth (experiment E3). *)
+
+type t = { gates : int;  (** equivalent 2-input gate count *)
+           depth : int   (** logic levels on the critical path *) }
+
+val zero : t
+val add : t -> t -> t
+(** Parallel composition: gates add, depth is the maximum. *)
+
+val seq : t -> t -> t
+(** Series composition: gates add, depths add. *)
+
+val of_expr : Expr.t -> t
+(** Cost of an expression tree (no common-subexpression sharing:
+    expressions are priced as written, the way a naive synthesis
+    would build them). *)
+
+val clog2 : int -> int
+(** [clog2 n] is [ceil (log2 n)] for [n >= 1] ([clog2 1 = 0]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type env = {
+  lookup_input : string -> Bitvec.t;
+  lookup_file : string -> Bitvec.t -> Bitvec.t;
+}
+
+exception Eval_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let eval_unop op a =
+  match op with
+  | Expr.Not -> Bitvec.lognot a
+  | Expr.Neg -> Bitvec.neg a
+  | Expr.Reduce_or -> Bitvec.of_bool (not (Bitvec.is_zero a))
+  | Expr.Reduce_and -> Bitvec.of_bool (Bitvec.equal a (Bitvec.ones (Bitvec.width a)))
+
+let eval_binop op a b =
+  match op with
+  | Expr.Add -> Bitvec.add a b
+  | Expr.Sub -> Bitvec.sub a b
+  | Expr.Mul -> Bitvec.mul a b
+  | Expr.And -> Bitvec.logand a b
+  | Expr.Or -> Bitvec.logor a b
+  | Expr.Xor -> Bitvec.logxor a b
+  | Expr.Eq -> Bitvec.eq a b
+  | Expr.Ne -> Bitvec.lognot (Bitvec.eq a b)
+  | Expr.Ltu -> Bitvec.lt_unsigned a b
+  | Expr.Lts -> Bitvec.lt_signed a b
+  | Expr.Shl -> Bitvec.shift_left a (Bitvec.to_int b)
+  | Expr.Shr -> Bitvec.shift_right_logical a (Bitvec.to_int b)
+  | Expr.Sra -> Bitvec.shift_right_arith a (Bitvec.to_int b)
+
+let rec eval env e =
+  match e with
+  | Expr.Const v -> v
+  | Expr.Input (n, w) ->
+    let v = try env.lookup_input n with Not_found -> err "unknown input %s" n in
+    if Bitvec.width v <> w then
+      err "input %s: stored width %d, expression expects %d" n (Bitvec.width v) w
+    else v
+  | Expr.Unop (op, a) -> eval_unop op (eval env a)
+  | Expr.Binop (op, a, b) -> eval_binop op (eval env a) (eval env b)
+  | Expr.Mux (s, a, b) ->
+    if Bitvec.to_bool (eval env s) then eval env a else eval env b
+  | Expr.Concat (a, b) -> Bitvec.concat (eval env a) (eval env b)
+  | Expr.Slice (a, hi, lo) -> Bitvec.slice (eval env a) ~hi ~lo
+  | Expr.Zext (a, w) -> Bitvec.zero_extend (eval env a) w
+  | Expr.Sext (a, w) -> Bitvec.sign_extend (eval env a) w
+  | Expr.File_read { file; data_width; addr } ->
+    let v =
+      try env.lookup_file file (eval env addr)
+      with Not_found -> err "unknown register file %s" file
+    in
+    if Bitvec.width v <> data_width then
+      err "file %s: stored width %d, expression expects %d" file
+        (Bitvec.width v) data_width
+    else v
+
+let eval_bool env e = Bitvec.to_bool (eval env e)
+
+let env_of_assoc ?(files = []) bindings =
+  {
+    lookup_input = (fun n -> List.assoc n bindings);
+    lookup_file = (fun f addr -> (List.assoc f files) addr);
+  }

@@ -1,0 +1,28 @@
+(** Evaluation of combinational expressions.
+
+    The cycle simulators evaluate the stage functions [f_k] (and the
+    synthesized forwarding, interlock and stall-engine expressions)
+    against the current register contents. *)
+
+type env = {
+  lookup_input : string -> Bitvec.t;
+      (** Value of a named register or signal.  Should raise
+          [Not_found] (or any exception) for unknown names. *)
+  lookup_file : string -> Bitvec.t -> Bitvec.t;
+      (** [lookup_file file addr] reads a register-file entry. *)
+}
+
+exception Eval_error of string
+(** Raised when a lookup fails or a value has an unexpected width. *)
+
+val eval : env -> Expr.t -> Bitvec.t
+(** Evaluate; the result width equals [Expr.width] of the expression. *)
+
+val eval_bool : env -> Expr.t -> bool
+(** Evaluate a 1-bit expression to a boolean. *)
+
+val env_of_assoc :
+  ?files:(string * (Bitvec.t -> Bitvec.t)) list ->
+  (string * Bitvec.t) list ->
+  env
+(** Convenience environment over association lists (for tests). *)

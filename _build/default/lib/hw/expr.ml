@@ -1,0 +1,221 @@
+type unop = Not | Neg | Reduce_or | Reduce_and
+
+type binop =
+  | Add | Sub | Mul
+  | And | Or | Xor
+  | Eq | Ne
+  | Ltu | Lts
+  | Shl | Shr | Sra
+
+type t =
+  | Const of Bitvec.t
+  | Input of string * int
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t
+  | Concat of t * t
+  | Slice of t * int * int
+  | Zext of t * int
+  | Sext of t * int
+  | File_read of { file : string; data_width : int; addr : t }
+
+exception Ill_typed of string
+
+let ill fmt = Format.kasprintf (fun s -> raise (Ill_typed s)) fmt
+
+let rec width e =
+  match e with
+  | Const v -> Bitvec.width v
+  | Input (_, w) ->
+    if w < 1 || w > Bitvec.max_width then ill "input width %d" w else w
+  | Unop ((Not | Neg), a) -> width a
+  | Unop ((Reduce_or | Reduce_and), a) ->
+    let _ = width a in
+    1
+  | Binop ((Add | Sub | Mul | And | Or | Xor), a, b) ->
+    let wa = width a and wb = width b in
+    if wa <> wb then ill "binop operand widths %d vs %d" wa wb else wa
+  | Binop ((Eq | Ne | Ltu | Lts), a, b) ->
+    let wa = width a and wb = width b in
+    if wa <> wb then ill "comparison operand widths %d vs %d" wa wb else 1
+  | Binop ((Shl | Shr | Sra), a, b) ->
+    let wa = width a in
+    let _ = width b in
+    wa
+  | Mux (sel, a, b) ->
+    let ws = width sel in
+    if ws <> 1 then ill "mux select width %d (want 1)" ws;
+    let wa = width a and wb = width b in
+    if wa <> wb then ill "mux branch widths %d vs %d" wa wb else wa
+  | Concat (hi, lo) ->
+    let w = width hi + width lo in
+    if w > Bitvec.max_width then ill "concat result width %d too large" w else w
+  | Slice (a, hi, lo) ->
+    let wa = width a in
+    if lo < 0 || hi < lo || hi >= wa then
+      ill "slice [%d:%d] of %d-bit expression" hi lo wa
+    else hi - lo + 1
+  | Zext (a, w) | Sext (a, w) ->
+    let wa = width a in
+    if w < wa || w > Bitvec.max_width then ill "extend %d-bit to %d bits" wa w
+    else w
+  | File_read { data_width; addr; _ } ->
+    let _ = width addr in
+    if data_width < 1 || data_width > Bitvec.max_width then
+      ill "file read width %d" data_width
+    else data_width
+
+let check e = match width e with w -> Ok w | exception Ill_typed m -> Error m
+
+let const v = Const v
+let const_int ~width v = Const (Bitvec.make ~width v)
+let input n w = Input (n, w)
+let tru = const_int ~width:1 1
+let fls = const_int ~width:1 0
+let bool_of b = if b then tru else fls
+
+let not_ = function
+  | Unop (Not, a) -> a
+  | e -> Unop (Not, e)
+
+let ( &&: ) a b =
+  match (a, b) with
+  | Const c, e when Bitvec.width c = 1 -> if Bitvec.to_bool c then e else fls
+  | e, Const c when Bitvec.width c = 1 -> if Bitvec.to_bool c then e else fls
+  | _ -> Binop (And, a, b)
+
+let ( ||: ) a b =
+  match (a, b) with
+  | Const c, e when Bitvec.width c = 1 -> if Bitvec.to_bool c then tru else e
+  | e, Const c when Bitvec.width c = 1 -> if Bitvec.to_bool c then tru else e
+  | _ -> Binop (Or, a, b)
+
+let ( ^: ) a b = Binop (Xor, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+
+let mux sel a b =
+  match sel with
+  | Const c when Bitvec.width c = 1 -> if Bitvec.to_bool c then a else b
+  | _ -> Mux (sel, a, b)
+
+let mux_cases ~default cases =
+  List.fold_right (fun (c, v) rest -> mux c v rest) cases default
+
+let slice e ~hi ~lo = Slice (e, hi, lo)
+let bit e i = slice e ~hi:i ~lo:i
+
+let concat_list = function
+  | [] -> invalid_arg "Expr.concat_list: empty"
+  | e :: es -> List.fold_left (fun acc x -> Concat (acc, x)) e es
+
+let reduce_or e = if width e = 1 then e else Unop (Reduce_or, e)
+let reduce_and e = if width e = 1 then e else Unop (Reduce_and, e)
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Const _ | Input _ -> acc
+  | Unop (_, a) | Slice (a, _, _) | Zext (a, _) | Sext (a, _) -> fold f acc a
+  | Binop (_, a, b) | Concat (a, b) -> fold f (fold f acc a) b
+  | Mux (s, a, b) -> fold f (fold f (fold f acc s) a) b
+  | File_read { addr; _ } -> fold f acc addr
+
+let inputs e =
+  let add acc = function
+    | Input (n, w) -> if List.mem_assoc n acc then acc else (n, w) :: acc
+    | Const _ | Unop _ | Binop _ | Mux _ | Concat _ | Slice _ | Zext _
+    | Sext _ | File_read _ -> acc
+  in
+  List.rev (fold add [] e)
+
+let file_reads e =
+  let add acc = function
+    | File_read { file; data_width; _ } ->
+      if List.mem_assoc file acc then acc else (file, data_width) :: acc
+    | Const _ | Input _ | Unop _ | Binop _ | Mux _ | Concat _ | Slice _
+    | Zext _ | Sext _ -> acc
+  in
+  List.rev (fold add [] e)
+
+let rec subst f e =
+  match e with
+  | Const _ -> e
+  | Input (n, w) -> (
+    match f n with
+    | None -> e
+    | Some v ->
+      let wv = width v in
+      if wv <> w then ill "subst for %s: width %d, want %d" n wv w else v)
+  | Unop (op, a) -> Unop (op, subst f a)
+  | Binop (op, a, b) -> Binop (op, subst f a, subst f b)
+  | Mux (s, a, b) -> Mux (subst f s, subst f a, subst f b)
+  | Concat (a, b) -> Concat (subst f a, subst f b)
+  | Slice (a, hi, lo) -> Slice (subst f a, hi, lo)
+  | Zext (a, w) -> Zext (subst f a, w)
+  | Sext (a, w) -> Sext (subst f a, w)
+  | File_read { file; data_width; addr } ->
+    File_read { file; data_width; addr = subst f addr }
+
+let rec subst_file_read f e =
+  match e with
+  | Const _ | Input _ -> e
+  | Unop (op, a) -> Unop (op, subst_file_read f a)
+  | Binop (op, a, b) -> Binop (op, subst_file_read f a, subst_file_read f b)
+  | Mux (s, a, b) ->
+    Mux (subst_file_read f s, subst_file_read f a, subst_file_read f b)
+  | Concat (a, b) -> Concat (subst_file_read f a, subst_file_read f b)
+  | Slice (a, hi, lo) -> Slice (subst_file_read f a, hi, lo)
+  | Zext (a, w) -> Zext (subst_file_read f a, w)
+  | Sext (a, w) -> Sext (subst_file_read f a, w)
+  | File_read { file; data_width; addr } -> (
+    let addr = subst_file_read f addr in
+    match f ~file ~addr with
+    | None -> File_read { file; data_width; addr }
+    | Some v ->
+      let wv = width v in
+      if wv <> data_width then
+        ill "file-read subst for %s: width %d, want %d" file wv data_width
+      else v)
+
+let size e = fold (fun n _ -> n + 1) 0 e
+
+let equal a b = a = b
+
+let unop_name = function
+  | Not -> "~"
+  | Neg -> "-"
+  | Reduce_or -> "|"
+  | Reduce_and -> "&"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Ltu -> "<u"
+  | Lts -> "<s"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Sra -> ">>>"
+
+let rec pp ppf = function
+  | Const v -> Bitvec.pp ppf v
+  | Input (n, _) -> Format.pp_print_string ppf n
+  | Unop (op, a) -> Format.fprintf ppf "%s(%a)" (unop_name op) pp a
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Mux (s, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" pp s pp a pp b
+  | Concat (a, b) -> Format.fprintf ppf "{%a, %a}" pp a pp b
+  | Slice (a, hi, lo) -> Format.fprintf ppf "%a[%d:%d]" pp a hi lo
+  | Zext (a, w) -> Format.fprintf ppf "zext%d(%a)" w pp a
+  | Sext (a, w) -> Format.fprintf ppf "sext%d(%a)" w pp a
+  | File_read { file; addr; _ } -> Format.fprintf ppf "%s[%a]" file pp addr
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,119 @@
+(** Combinational expression IR.
+
+    The paper models the data paths of stage [k] as a function [f_k]
+    from input-register values to output-register values.  We represent
+    such functions as width-annotated combinational expressions over
+    named inputs.  The transformation tool rewrites these expressions
+    (e.g. substituting the forwarding network [g_k_R] for a plain
+    register read), evaluates them in the cycle simulators, prices them
+    with the gate-level cost model, and prints them as HDL. *)
+
+type unop =
+  | Not          (** bitwise complement *)
+  | Neg          (** two's-complement negation *)
+  | Reduce_or    (** 1-bit OR of all bits *)
+  | Reduce_and   (** 1-bit AND of all bits *)
+
+type binop =
+  | Add | Sub | Mul
+  | And | Or | Xor
+  | Eq | Ne                   (** 1-bit results *)
+  | Ltu | Lts                 (** unsigned / signed less-than, 1-bit *)
+  | Shl | Shr | Sra           (** shift left / logical right / arithmetic
+                                  right; the right operand is the shift
+                                  amount, any width *)
+
+type t =
+  | Const of Bitvec.t
+  | Input of string * int
+      (** [Input (name, width)]: the value of register or signal
+          [name].  Width is recorded at construction so expressions are
+          self-contained. *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t
+      (** [Mux (sel, a, b)]: [a] if [sel] is nonzero, else [b].  [sel]
+          must be 1 bit wide. *)
+  | Concat of t * t            (** [Concat (hi, lo)] *)
+  | Slice of t * int * int     (** [Slice (e, hi, lo)] *)
+  | Zext of t * int
+  | Sext of t * int
+  | File_read of { file : string; data_width : int; addr : t }
+      (** Read port of register file [file] at address [addr]; the
+          paper's [f_k_Rra] signal feeds [addr]. *)
+
+exception Ill_typed of string
+
+val width : t -> int
+(** Width of the expression's result.  @raise Ill_typed on malformed
+    expressions (mismatched operand widths, non-1-bit mux select,
+    out-of-range slice, ...).  [width] fully checks the expression. *)
+
+val check : t -> (int, string) result
+(** Like {!width} but returning [Error] instead of raising. *)
+
+(** {1 Smart constructors} *)
+
+val const : Bitvec.t -> t
+val const_int : width:int -> int -> t
+val input : string -> int -> t
+val tru : t
+val fls : t
+val bool_of : bool -> t
+val not_ : t -> t
+val ( &&: ) : t -> t -> t
+val ( ||: ) : t -> t -> t
+val ( ^: ) : t -> t -> t
+val ( ==: ) : t -> t -> t
+val ( <>: ) : t -> t -> t
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val mux : t -> t -> t -> t
+val mux_cases : default:t -> (t * t) list -> t
+(** [mux_cases ~default [(c1, v1); (c2, v2); ...]] is a priority
+    chain: [v1] if [c1], else [v2] if [c2], ..., else [default]. *)
+
+val slice : t -> hi:int -> lo:int -> t
+val bit : t -> int -> t
+(** [bit e i] is [slice e ~hi:i ~lo:i]. *)
+
+val concat_list : t list -> t
+(** Concatenation, head is most significant.
+    @raise Invalid_argument on the empty list. *)
+
+val reduce_or : t -> t
+val reduce_and : t -> t
+
+(** {1 Traversal and rewriting} *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** [fold f acc e] applies [f] to every subexpression of [e] (including
+    [e] itself), top-down. *)
+
+val inputs : t -> (string * int) list
+(** Named inputs read by the expression, each listed once, in first-use
+    order.  Register-file reads are reported via {!file_reads}. *)
+
+val file_reads : t -> (string * int) list
+(** Register files read by the expression: [(file, data_width)], each
+    file listed once. *)
+
+val subst : (string -> t option) -> t -> t
+(** [subst f e] replaces every [Input (n, _)] with [v] when
+    [f n = Some v].  Replacement values must have matching widths
+    (checked). *)
+
+val subst_file_read : (file:string -> addr:t -> t option) -> t -> t
+(** Replaces [File_read] nodes; the callback sees the (already
+    rewritten) address expression.  Used to splice the forwarding
+    network in place of an operand fetch. *)
+
+val size : t -> int
+(** Number of nodes, a crude complexity measure. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering (infix, Verilog-flavoured). *)
+
+val to_string : t -> string

@@ -1,0 +1,68 @@
+type t = {
+  distinct : (Expr.t, unit) Hashtbl.t;
+  mutable shared : int;   (* gate count, each node once *)
+  mutable tree : int;     (* gate count as priced on the trees *)
+}
+
+(* The incremental gate price of one node (children already priced). *)
+let node_gates e =
+  match e with
+  | Expr.Const _ | Expr.Input _ | Expr.Concat _ | Expr.Slice _ | Expr.Zext _
+  | Expr.Sext _ -> 0
+  | Expr.Unop _ | Expr.Binop _ | Expr.Mux _ | Expr.File_read _ ->
+    (* Price the node alone by subtracting the children's tree costs
+       from the node's tree cost. *)
+    let child_cost =
+      match e with
+      | Expr.Unop (_, a) -> (Cost.of_expr a).Cost.gates
+      | Expr.Binop (_, a, b) ->
+        (Cost.of_expr a).Cost.gates + (Cost.of_expr b).Cost.gates
+      | Expr.Mux (s, a, b) ->
+        (Cost.of_expr s).Cost.gates + (Cost.of_expr a).Cost.gates
+        + (Cost.of_expr b).Cost.gates
+      | Expr.File_read { addr; _ } -> (Cost.of_expr addr).Cost.gates
+      | Expr.Const _ | Expr.Input _ | Expr.Concat _ | Expr.Slice _
+      | Expr.Zext _ | Expr.Sext _ -> 0
+    in
+    (Cost.of_expr e).Cost.gates - child_cost
+
+let create () = { distinct = Hashtbl.create 256; shared = 0; tree = 0 }
+
+let rec visit t e =
+  if not (Hashtbl.mem t.distinct e) then begin
+    Hashtbl.replace t.distinct e ();
+    t.shared <- t.shared + node_gates e;
+    match e with
+    | Expr.Const _ | Expr.Input _ -> ()
+    | Expr.Unop (_, a) | Expr.Slice (a, _, _) | Expr.Zext (a, _)
+    | Expr.Sext (a, _) -> visit t a
+    | Expr.Binop (_, a, b) | Expr.Concat (a, b) ->
+      visit t a;
+      visit t b
+    | Expr.Mux (s, a, b) ->
+      visit t s;
+      visit t a;
+      visit t b
+    | Expr.File_read { addr; _ } -> visit t addr
+  end
+
+let of_signals signals =
+  let t = create () in
+  List.iter
+    (fun (_, e) ->
+      t.tree <- t.tree + (Cost.of_expr e).Cost.gates;
+      visit t e)
+    signals;
+  t
+
+let of_expr e = of_signals [ ("", e) ]
+let node_count t = Hashtbl.length t.distinct
+let shared_gates t = t.shared
+let tree_gates t = t.tree
+
+let sharing_ratio t =
+  if t.tree = 0 then 1.0 else float_of_int t.shared /. float_of_int t.tree
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%d distinct nodes; %d gates shared (%d as trees, %.0f%%)"
+    (node_count t) t.shared t.tree (100.0 *. sharing_ratio t)

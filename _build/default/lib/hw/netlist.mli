@@ -1,0 +1,35 @@
+(** Hash-consed combinational netlists.
+
+    {!Cost.of_expr} prices an expression {e tree}: a subexpression used
+    twice is paid for twice, the way naive synthesis would duplicate
+    it.  Real synthesis shares common subexpressions.  This module
+    builds the shared DAG for a set of named signals (hash-consing
+    structurally equal nodes, with named signals acting as explicit
+    sharing points) and prices each gate once — the number a synthesis
+    tool would report for the generated control logic.
+
+    Depth is unchanged by sharing; the interesting delta is area. *)
+
+type t
+
+val of_signals : (string * Expr.t) list -> t
+(** Build the DAG for an ordered signal list (later definitions may
+    reference earlier ones by name, as in [Pipeline.Transform.signals];
+    named references are sharing points and are not inlined). *)
+
+val of_expr : Expr.t -> t
+(** Single-expression convenience. *)
+
+val node_count : t -> int
+(** Distinct structural nodes (inputs and constants included). *)
+
+val shared_gates : t -> int
+(** Total equivalent gate count with each distinct node priced once. *)
+
+val tree_gates : t -> int
+(** The unshared (expression-tree) count, for comparison. *)
+
+val sharing_ratio : t -> float
+(** [shared / tree], in (0, 1]; lower means more reuse was found. *)
+
+val pp_summary : Format.formatter -> t -> unit

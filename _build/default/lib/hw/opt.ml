@@ -1,0 +1,116 @@
+let const_env =
+  {
+    Eval.lookup_input = (fun _ -> raise Not_found);
+    lookup_file = (fun _ _ -> raise Not_found);
+  }
+
+let is_const = function Expr.Const _ -> true | _ -> false
+
+let as_const e =
+  match e with Expr.Const v -> Some v | _ -> None
+
+let zero_of w = Expr.const_int ~width:w 0
+let ones_of w = Expr.Const (Bitvec.ones w)
+
+let is_zero e =
+  match as_const e with Some v -> Bitvec.is_zero v | None -> false
+
+let is_ones e =
+  match as_const e with
+  | Some v -> Bitvec.equal v (Bitvec.ones (Bitvec.width v))
+  | None -> false
+
+(* One bottom-up pass. *)
+let rec pass e =
+  let e =
+    match e with
+    | Expr.Const _ | Expr.Input _ -> e
+    | Expr.Unop (op, a) -> Expr.Unop (op, pass a)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, pass a, pass b)
+    | Expr.Mux (s, a, b) -> Expr.Mux (pass s, pass a, pass b)
+    | Expr.Concat (a, b) -> Expr.Concat (pass a, pass b)
+    | Expr.Slice (a, hi, lo) -> Expr.Slice (pass a, hi, lo)
+    | Expr.Zext (a, w) -> Expr.Zext (pass a, w)
+    | Expr.Sext (a, w) -> Expr.Sext (pass a, w)
+    | Expr.File_read { file; data_width; addr } ->
+      Expr.File_read { file; data_width; addr = pass addr }
+  in
+  rewrite e
+
+and rewrite e =
+  let w = Expr.width e in
+  match e with
+  (* Full constant folding (no free inputs below this node). *)
+  | Expr.Unop (_, a) when is_const a -> Expr.Const (Eval.eval const_env e)
+  | Expr.Binop (_, a, b) when is_const a && is_const b ->
+    Expr.Const (Eval.eval const_env e)
+  | Expr.Slice (a, _, _) when is_const a -> Expr.Const (Eval.eval const_env e)
+  | (Expr.Zext (a, _) | Expr.Sext (a, _)) when is_const a ->
+    Expr.Const (Eval.eval const_env e)
+  | Expr.Concat (a, b) when is_const a && is_const b ->
+    Expr.Const (Eval.eval const_env e)
+  (* Double complement. *)
+  | Expr.Unop (Expr.Not, Expr.Unop (Expr.Not, a)) -> a
+  (* Boolean / bitwise identities. *)
+  | Expr.Binop (Expr.And, a, b) when is_zero a || is_zero b -> zero_of w
+  | Expr.Binop (Expr.And, a, b) when is_ones b -> a
+  | Expr.Binop (Expr.And, a, b) when is_ones a -> b
+  | Expr.Binop (Expr.And, a, b) when Expr.equal a b -> a
+  | Expr.Binop (Expr.Or, a, b) when is_ones a || is_ones b -> ones_of w
+  | Expr.Binop (Expr.Or, a, b) when is_zero b -> a
+  | Expr.Binop (Expr.Or, a, b) when is_zero a -> b
+  | Expr.Binop (Expr.Or, a, b) when Expr.equal a b -> a
+  | Expr.Binop (Expr.Xor, a, b) when is_zero b -> a
+  | Expr.Binop (Expr.Xor, a, b) when is_zero a -> b
+  | Expr.Binop (Expr.Xor, a, b) when Expr.equal a b -> zero_of w
+  (* Arithmetic identities. *)
+  | Expr.Binop (Expr.Add, a, b) when is_zero b -> a
+  | Expr.Binop (Expr.Add, a, b) when is_zero a -> b
+  | Expr.Binop (Expr.Sub, a, b) when is_zero b -> a
+  | Expr.Binop ((Expr.Shl | Expr.Shr | Expr.Sra), a, b) when is_zero b -> a
+  (* Comparisons of an expression with itself (expressions are pure). *)
+  | Expr.Binop (Expr.Eq, a, b) when Expr.equal a b -> Expr.tru
+  | Expr.Binop (Expr.Ne, a, b) when Expr.equal a b -> Expr.fls
+  | Expr.Binop (Expr.Ltu, a, b) when Expr.equal a b -> Expr.fls
+  | Expr.Binop (Expr.Lts, a, b) when Expr.equal a b -> Expr.fls
+  (* Mux collapsing. *)
+  | Expr.Mux (s, a, b) when is_const s ->
+    if Bitvec.to_bool (Eval.eval const_env s) then a else b
+  | Expr.Mux (_, a, b) when Expr.equal a b -> a
+  | Expr.Mux (s, a, b) when w = 1 && is_ones a && is_zero b -> s
+  | Expr.Mux (s, a, b) when w = 1 && is_zero a && is_ones b -> Expr.not_ s
+  (* Extensions and slices that do nothing. *)
+  | Expr.Zext (a, wz) when Expr.width a = wz -> a
+  | Expr.Sext (a, ws) when Expr.width a = ws -> a
+  | Expr.Slice (a, hi, 0) when hi = Expr.width a - 1 -> a
+  (* Slice of a zero-extension entirely within the low part. *)
+  | Expr.Slice (Expr.Zext (a, _), hi, lo) when hi < Expr.width a ->
+    rewrite (Expr.Slice (a, hi, lo))
+  | _ -> e
+
+let simplify e =
+  let rec go e n =
+    let e' = pass e in
+    if n = 0 || Expr.equal e' e then e' else go e' (n - 1)
+  in
+  go e 4
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  gates_before : int;
+  gates_after : int;
+}
+
+let measure e =
+  let e' = simplify e in
+  {
+    nodes_before = Expr.size e;
+    nodes_after = Expr.size e';
+    gates_before = (Cost.of_expr e).Cost.gates;
+    gates_after = (Cost.of_expr e').Cost.gates;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d -> %d nodes, %d -> %d gates" s.nodes_before
+    s.nodes_after s.gates_before s.gates_after

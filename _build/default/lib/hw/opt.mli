@@ -1,0 +1,27 @@
+(** Combinational simplification.
+
+    A conservative, semantics-preserving rewriter: constant folding,
+    boolean/arithmetic identities, mux and extension collapsing.
+    The synthesis path already folds constants through the smart
+    constructors of {!Expr}, so on tool-generated logic this mostly
+    mops up what machine descriptions written by hand leave behind;
+    [Pipeline.Transform.optimize] applies it to a whole transformed
+    machine.
+
+    Soundness contract: for every environment, [eval (simplify e) =
+    eval e], and [width (simplify e) = width e].  Checked by property
+    tests against random expressions. *)
+
+val simplify : Expr.t -> Expr.t
+(** Bottom-up rewrite to a fixpoint (bounded). *)
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  gates_before : int;
+  gates_after : int;
+}
+
+val measure : Expr.t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,92 @@
+type t = {
+  timescale : string;
+  signals : (string * int) list;
+  ids : (string, string) Hashtbl.t;
+  mutable samples : (string * Bitvec.t) list list;  (* reversed *)
+}
+
+(* VCD identifier codes: printable ASCII 33..126, shortest first. *)
+let id_of_index i =
+  let base = 94 and first = 33 in
+  let rec go acc i =
+    let acc = String.make 1 (Char.chr (first + (i mod base))) ^ acc in
+    if i < base then acc else go acc ((i / base) - 1)
+  in
+  go "" i
+
+let create ?(timescale = "1 ns") signals =
+  let ids = Hashtbl.create 16 in
+  List.iteri (fun i (name, _) -> Hashtbl.replace ids name (id_of_index i)) signals;
+  { timescale; signals; ids; samples = [] }
+
+let sample t values =
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name t.signals with
+      | None -> invalid_arg (Printf.sprintf "Vcd.sample: unknown signal %s" name)
+      | Some w ->
+        if Bitvec.width v <> w then
+          invalid_arg
+            (Printf.sprintf "Vcd.sample: %s has width %d, declared %d" name
+               (Bitvec.width v) w))
+    values;
+  t.samples <- values :: t.samples
+
+let cycles t = List.length t.samples
+
+let binary_string v =
+  let w = Bitvec.width v in
+  String.init w (fun i -> if Bitvec.bit v (w - 1 - i) then '1' else '0')
+
+let pp_change ppf ~id v =
+  if Bitvec.width v = 1 then
+    Format.fprintf ppf "%d%s@." (Bitvec.to_int v) id
+  else Format.fprintf ppf "b%s %s@." (binary_string v) id
+
+let output ppf t =
+  Format.fprintf ppf "$version automated-pipeline-design $end@.";
+  Format.fprintf ppf "$timescale %s $end@." t.timescale;
+  Format.fprintf ppf "$scope module pipeline $end@.";
+  List.iter
+    (fun (name, w) ->
+      Format.fprintf ppf "$var wire %d %s %s $end@." w
+        (Hashtbl.find t.ids name)
+        (Verilog.sanitize name))
+    t.signals;
+  Format.fprintf ppf "$upscope $end@.$enddefinitions $end@.";
+  (* Initial values: everything unknown until first sampled. *)
+  Format.fprintf ppf "$dumpvars@.";
+  List.iter
+    (fun (name, w) ->
+      let id = Hashtbl.find t.ids name in
+      if w = 1 then Format.fprintf ppf "x%s@." id
+      else Format.fprintf ppf "b%s %s@." (String.make w 'x') id)
+    t.signals;
+  Format.fprintf ppf "$end@.";
+  let last : (string, Bitvec.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun time values ->
+      Format.fprintf ppf "#%d@." time;
+      List.iter
+        (fun (name, v) ->
+          let changed =
+            match Hashtbl.find_opt last name with
+            | Some prev -> not (Bitvec.equal prev v)
+            | None -> true
+          in
+          if changed then begin
+            Hashtbl.replace last name v;
+            pp_change ppf ~id:(Hashtbl.find t.ids name) v
+          end)
+        values)
+    (List.rev t.samples);
+  Format.fprintf ppf "#%d@." (cycles t)
+
+let to_string t = Format.asprintf "%a" output t
+
+let write_file ~path t =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  output ppf t;
+  Format.pp_print_flush ppf ();
+  close_out oc

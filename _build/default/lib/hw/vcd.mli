@@ -1,0 +1,28 @@
+(** Value Change Dump (IEEE 1364 §18) emission.
+
+    Records per-cycle samples of named signals and renders a [.vcd]
+    file readable by GTKWave and friends — the practical way to inspect
+    the stall engine and forwarding behaviour of a simulated pipeline
+    (see [Pipeline.Tracer]). *)
+
+type t
+
+val create : ?timescale:string -> (string * int) list -> t
+(** The argument lists the signals as [(name, width)]; [timescale]
+    defaults to ["1 ns"] (one simulation cycle = one timescale
+    unit). *)
+
+val sample : t -> (string * Bitvec.t) list -> unit
+(** Append one cycle.  Signals missing from the list keep their
+    previous value; unknown names are rejected.
+    @raise Invalid_argument on an unknown name or wrong width. *)
+
+val cycles : t -> int
+
+val output : Format.formatter -> t -> unit
+(** The complete VCD document: header, declarations, initial dump and
+    one [#t] section per cycle with the changed signals. *)
+
+val to_string : t -> string
+
+val write_file : path:string -> t -> unit

@@ -1,0 +1,104 @@
+type port_dir = In | Out
+
+type port = { port_name : string; port_width : int; dir : port_dir }
+
+type item =
+  | Wire of string * int * Expr.t
+  | Reg_decl of string * int * Expr.t option
+  | Comment of string
+
+type modul = {
+  module_name : string;
+  ports : port list;
+  items : item list;
+}
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    s
+
+let unop_sym = function
+  | Expr.Not -> "~"
+  | Expr.Neg -> "-"
+  | Expr.Reduce_or -> "|"
+  | Expr.Reduce_and -> "&"
+
+let binop_sym = function
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.And -> "&"
+  | Expr.Or -> "|"
+  | Expr.Xor -> "^"
+  | Expr.Eq -> "=="
+  | Expr.Ne -> "!="
+  | Expr.Ltu -> "<"
+  | Expr.Lts -> "<"  (* operands are $signed-wrapped below *)
+  | Expr.Shl -> "<<"
+  | Expr.Shr -> ">>"
+  | Expr.Sra -> ">>>"
+
+let rec pp_expr ppf e =
+  match e with
+  | Expr.Const v ->
+    Format.fprintf ppf "%d'd%d" (Bitvec.width v) (Bitvec.to_int v)
+  | Expr.Input (n, _) -> Format.pp_print_string ppf (sanitize n)
+  | Expr.Unop (op, a) -> Format.fprintf ppf "%s(%a)" (unop_sym op) pp_expr a
+  | Expr.Binop (Expr.Lts, a, b) ->
+    Format.fprintf ppf "($signed(%a) < $signed(%a))" pp_expr a pp_expr b
+  | Expr.Binop (Expr.Sra, a, b) ->
+    Format.fprintf ppf "($signed(%a) >>> (%a))" pp_expr a pp_expr b
+  | Expr.Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_sym op) pp_expr b
+  | Expr.Mux (s, a, b) ->
+    Format.fprintf ppf "(%a ? %a : %a)" pp_expr s pp_expr a pp_expr b
+  | Expr.Concat (a, b) -> Format.fprintf ppf "{%a, %a}" pp_expr a pp_expr b
+  | Expr.Slice (a, hi, lo) ->
+    if hi = lo then Format.fprintf ppf "%a[%d]" pp_expr a hi
+    else Format.fprintf ppf "%a[%d:%d]" pp_expr a hi lo
+  | Expr.Zext (a, w) ->
+    let wa = Expr.width a in
+    Format.fprintf ppf "{%d'd0, %a}" (w - wa) pp_expr a
+  | Expr.Sext (a, w) ->
+    let wa = Expr.width a in
+    Format.fprintf ppf "{{%d{%a[%d]}}, %a}" (w - wa) pp_expr a (wa - 1) pp_expr a
+  | Expr.File_read { file; addr; _ } ->
+    Format.fprintf ppf "%s[%a]" (sanitize file) pp_expr addr
+
+let pp_range ppf w =
+  if w > 1 then Format.fprintf ppf "[%d:0] " (w - 1) else ()
+
+let pp_port ppf p =
+  let dir = match p.dir with In -> "input" | Out -> "output" in
+  Format.fprintf ppf "%s %a%s" dir pp_range p.port_width (sanitize p.port_name)
+
+let pp_item ppf = function
+  | Comment c -> Format.fprintf ppf "  // %s@." c
+  | Wire (n, w, e) ->
+    Format.fprintf ppf "  wire %a%s = %a;@." pp_range w (sanitize n) pp_expr e
+  | Reg_decl (n, w, next) -> (
+    Format.fprintf ppf "  reg %a%s;@." pp_range w (sanitize n);
+    match next with
+    | None -> ()
+    | Some e ->
+      Format.fprintf ppf "  always @@(posedge clk) %s <= %a;@." (sanitize n)
+        pp_expr e)
+
+let pp_module ppf m =
+  Format.fprintf ppf "module %s (@." (sanitize m.module_name);
+  Format.fprintf ppf "  input clk%s@."
+    (if m.ports = [] then "" else ",");
+  List.iteri
+    (fun i p ->
+      let sep = if i = List.length m.ports - 1 then "" else "," in
+      Format.fprintf ppf "  %a%s@." pp_port p sep)
+    m.ports;
+  Format.fprintf ppf ");@.";
+  List.iter (pp_item ppf) m.items;
+  Format.fprintf ppf "endmodule@."
+
+let to_string m = Format.asprintf "%a" pp_module m

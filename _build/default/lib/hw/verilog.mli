@@ -1,0 +1,36 @@
+(** Emission of generated hardware as Verilog-flavoured HDL.
+
+    The paper's tool inserts forwarding and interlock hardware into an
+    existing HDL design; our tool emits the synthesized logic (stall
+    engine, forwarding networks, hit/valid/dhaz signals, speculation
+    comparators) as a self-contained module so a designer can inspect
+    or integrate it.  The dialect is standard structural Verilog minus
+    vendor pragmas; [File_read] nodes print as memory indexing. *)
+
+type port_dir = In | Out
+
+type port = { port_name : string; port_width : int; dir : port_dir }
+
+type item =
+  | Wire of string * int * Expr.t   (** [wire [w-1:0] name = expr;] *)
+  | Reg_decl of string * int * Expr.t option
+      (** registered signal with optional next-state expression,
+          printed as a declaration plus a clocked always block *)
+  | Comment of string
+
+type modul = {
+  module_name : string;
+  ports : port list;
+  items : item list;
+}
+
+val pp_expr : Format.formatter -> Expr.t -> unit
+(** Expression in Verilog concrete syntax. *)
+
+val pp_module : Format.formatter -> modul -> unit
+
+val to_string : modul -> string
+
+val sanitize : string -> string
+(** Map a register name like ["C.3"] or ["GPRa'"] to a valid Verilog
+    identifier (dots and primes become underscores). *)

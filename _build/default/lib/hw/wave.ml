@@ -1,0 +1,42 @@
+type t = { columns : string list; mutable rows : (string * string) list list }
+
+let create ~columns = { columns; rows = [] }
+let record t row = t.rows <- row :: t.rows
+let record_bits t row =
+  record t (List.map (fun (n, b) -> (n, if b then "1" else "0")) row)
+
+let cycles t = List.length t.rows
+let rows_in_order t = List.rev t.rows
+
+let cell t ~cycle ~column =
+  match List.nth_opt (rows_in_order t) cycle with
+  | None -> None
+  | Some row -> List.assoc_opt column row
+
+let pp ppf t =
+  let rows = rows_in_order t in
+  let col_width c =
+    List.fold_left
+      (fun acc row ->
+        match List.assoc_opt c row with
+        | None -> acc
+        | Some v -> max acc (String.length v))
+      (String.length c) rows
+  in
+  let widths = List.map (fun c -> (c, col_width c)) t.columns in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  Format.fprintf ppf "%s" (pad "cycle" 5);
+  List.iter (fun (c, w) -> Format.fprintf ppf "  %s" (pad c w)) widths;
+  Format.fprintf ppf "@.";
+  List.iteri
+    (fun i row ->
+      Format.fprintf ppf "%s" (pad (string_of_int i) 5);
+      List.iter
+        (fun (c, w) ->
+          let v = Option.value ~default:"." (List.assoc_opt c row) in
+          Format.fprintf ppf "  %s" (pad v w))
+        widths;
+      Format.fprintf ppf "@.")
+    rows
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,27 @@
+(** Per-cycle trace tables.
+
+    A lightweight recorder for simulator traces: named columns, one row
+    per cycle, rendered as an ASCII table.  Used by the examples and by
+    the Table 1 reproduction (the round-robin [ue] schedule). *)
+
+type t
+
+val create : columns:string list -> t
+(** Column order is the display order. *)
+
+val record : t -> (string * string) list -> unit
+(** Append one cycle; missing columns display as ["."]. *)
+
+val record_bits : t -> (string * bool) list -> unit
+(** Convenience: booleans are shown as ["1"] / ["0"]. *)
+
+val cycles : t -> int
+
+val cell : t -> cycle:int -> column:string -> string option
+(** Look up a recorded value. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render: a header row then one row per cycle, first column is the
+    cycle number. *)
+
+val to_string : t -> string

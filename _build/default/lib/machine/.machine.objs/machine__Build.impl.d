@@ -1,0 +1,1 @@
+lib/machine/build.ml: List Printf Spec String Validate Value

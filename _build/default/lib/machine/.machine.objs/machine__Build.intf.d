@@ -1,0 +1,1 @@
+lib/machine/build.mli: Hw Spec

@@ -1,0 +1,1 @@
+lib/machine/commit.ml: Format Hw List Spec State Value

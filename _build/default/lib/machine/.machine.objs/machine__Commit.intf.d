@@ -1,0 +1,1 @@
+lib/machine/commit.mli: Format Hw Spec State

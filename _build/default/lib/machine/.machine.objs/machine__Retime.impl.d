@@ -1,0 +1,1 @@
+lib/machine/retime.ml: Hw List Option Printf Spec String

@@ -1,0 +1,1 @@
+lib/machine/retime.mli: Spec

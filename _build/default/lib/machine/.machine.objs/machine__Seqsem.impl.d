@@ -1,0 +1,1 @@
+lib/machine/seqsem.ml: Array Commit Hw List Printf Spec State Value

@@ -1,0 +1,1 @@
+lib/machine/seqsem.mli: Hw Spec State Value

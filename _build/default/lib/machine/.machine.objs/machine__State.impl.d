@@ -1,0 +1,1 @@
+lib/machine/state.ml: Hashtbl Hw List Printf Spec String Value

@@ -1,0 +1,1 @@
+lib/machine/validate.ml: Array Format Hw List Option Printf Spec String Value

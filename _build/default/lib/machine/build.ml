@@ -1,0 +1,129 @@
+type t = {
+  name : string;
+  stage_names : string list;
+  registers : Spec.register list;  (* reverse order *)
+  writes : (int * Spec.write) list;  (* reverse order *)
+  init : (string * Value.t) list;
+}
+
+let start ~name ~stages =
+  if stages = [] then invalid_arg "Build.start: no stages";
+  { name; stage_names = stages; registers = []; writes = []; init = [] }
+
+let check_stage b stage =
+  if stage < 0 || stage >= List.length b.stage_names then
+    invalid_arg (Printf.sprintf "Build: stage %d out of range" stage)
+
+let simple ?(visible = false) ?prev ?init name ~width ~stage b =
+  check_stage b stage;
+  let r =
+    {
+      Spec.reg_name = name;
+      width;
+      stage;
+      kind = Spec.Simple;
+      visible;
+      prev_instance = prev;
+    }
+  in
+  {
+    b with
+    registers = r :: b.registers;
+    init =
+      (match init with
+      | Some v -> (name, Value.scalar v) :: b.init
+      | None -> b.init);
+  }
+
+let file ?(visible = false) ?init name ~width ~addr_bits ~stage b =
+  check_stage b stage;
+  let r =
+    {
+      Spec.reg_name = name;
+      width;
+      stage;
+      kind = Spec.File { addr_bits };
+      visible;
+      prev_instance = None;
+    }
+  in
+  {
+    b with
+    registers = r :: b.registers;
+    init =
+      (match init with
+      | Some entries ->
+        (name, Value.file_of_list ~width ~addr_bits entries) :: b.init
+      | None -> b.init);
+  }
+
+(* "X.k" -> ("X", Some k); "PC" -> ("PC", None) *)
+let split_dotted name =
+  match String.rindex_opt name '.' with
+  | None -> (name, None)
+  | Some i -> (
+    let prefix = String.sub name 0 i in
+    let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+    match int_of_string_opt suffix with
+    | Some k -> (prefix, Some k)
+    | None -> (name, None))
+
+let pipe name ~through b =
+  let r =
+    match
+      List.find_opt (fun (r : Spec.register) -> r.Spec.reg_name = name) b.registers
+    with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Build.pipe: unknown register %s" name)
+  in
+  if through <= r.Spec.stage then
+    invalid_arg
+      (Printf.sprintf "Build.pipe: %s is already in stage %d" name r.Spec.stage);
+  check_stage b through;
+  let prefix, base_k = split_dotted name in
+  let instance_name k =
+    match base_k with
+    | Some k0 -> Printf.sprintf "%s.%d" prefix (k0 + k)
+    | None -> Printf.sprintf "%s.%d" prefix (r.Spec.stage + 1 + k)
+  in
+  let rec go b prev stage k =
+    if stage > through then b
+    else
+      let nm = instance_name k in
+      let reg =
+        { r with Spec.reg_name = nm; stage; prev_instance = Some prev }
+      in
+      go { b with registers = reg :: b.registers } nm (stage + 1) (k + 1)
+  in
+  go b name (r.Spec.stage + 1) 1
+
+let write ?guard ?addr ~stage dst value b =
+  check_stage b stage;
+  { b with writes = (stage, { Spec.dst; value; guard; wr_addr = addr }) :: b.writes }
+
+let spec b =
+  let stages =
+    List.mapi
+      (fun index stage_name ->
+        {
+          Spec.index;
+          stage_name;
+          writes =
+            List.rev
+              (List.filter_map
+                 (fun (k, w) -> if k = index then Some w else None)
+                 b.writes);
+        })
+      b.stage_names
+  in
+  let m =
+    {
+      Spec.machine_name = b.name;
+      n_stages = List.length b.stage_names;
+      registers = List.rev b.registers;
+      stages;
+      init = List.rev b.init;
+    }
+  in
+  Validate.check_exn m;
+  m

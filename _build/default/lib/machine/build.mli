@@ -1,0 +1,52 @@
+(** A combinator layer for writing prepared sequential machines.
+
+    {!Spec.t} is a plain record; describing a machine by hand means a
+    lot of record boilerplate.  This builder keeps descriptions close
+    to how a designer thinks — declare registers, pipe them, write them
+    from stages — while producing exactly a {!Spec.t} (validated on
+    {!spec}).
+
+    {[
+      let m =
+        Build.start ~name:"toy3" ~stages:[ "FETCH"; "EX"; "WB" ]
+        |> Build.simple "PC" ~width:8 ~stage:0 ~visible:true
+        |> Build.file "IMEM" ~width:16 ~addr_bits:8 ~stage:0
+        |> Build.simple "IR.1" ~width:16 ~stage:0
+        |> Build.simple "C.2" ~width:16 ~stage:1
+        |> Build.simple "D.2" ~width:4 ~stage:1
+        |> Build.file "REG" ~width:16 ~addr_bits:4 ~stage:2 ~visible:true
+        |> Build.write ~stage:0 "IR.1" Expr.(file_read "IMEM" ...)
+        |> ...
+        |> Build.spec
+    ]} *)
+
+type t
+
+val start : name:string -> stages:string list -> t
+(** Stage names in pipeline order (their count fixes [n_stages]). *)
+
+val simple :
+  ?visible:bool -> ?prev:string -> ?init:Hw.Bitvec.t ->
+  string -> width:int -> stage:int -> t -> t
+(** Declare a scalar register.  [prev] links a pipelined instance. *)
+
+val file :
+  ?visible:bool -> ?init:Hw.Bitvec.t list ->
+  string -> width:int -> addr_bits:int -> stage:int -> t -> t
+
+val pipe : string -> through:int -> t -> t
+(** [pipe r ~through b] creates pass-through instances of [r] in every
+    stage after [r]'s up to [through]: a register named ["X.k"] (for
+    any prefix [X]) written by stage [s] yields ["X.k+1"] ... each
+    linked via [prev_instance] — the boilerplate of a forwarding or
+    control chain in one line.  Registers without the dotted-suffix
+    convention get ["<name>.k"] suffixes starting at their stage + 2.
+    @raise Invalid_argument if [through] is not beyond [r]'s stage. *)
+
+val write :
+  ?guard:Hw.Expr.t -> ?addr:Hw.Expr.t ->
+  stage:int -> string -> Hw.Expr.t -> t -> t
+
+val spec : t -> Spec.t
+(** Assemble and validate.
+    @raise Failure (from {!Validate.check_exn}) if ill-formed. *)

@@ -1,0 +1,80 @@
+type update =
+  | Set_scalar of string * Hw.Bitvec.t
+  | Write_file of string * Hw.Bitvec.t * Hw.Bitvec.t
+
+let eval_guard env g =
+  match g with None -> true | Some g -> Hw.Eval.eval_bool env g
+
+let eval_write (m : Spec.t) ~env (w : Spec.write) =
+  let r = Spec.find_register m w.dst in
+  let enabled = eval_guard env w.guard in
+  match r.kind with
+  | Spec.File _ ->
+    if enabled then
+      let addr =
+        match w.wr_addr with
+        | Some a -> Hw.Eval.eval env a
+        | None -> invalid_arg "Commit: file write without address"
+      in
+      [ Write_file (w.dst, addr, Hw.Eval.eval env w.value) ]
+    else []
+  | Spec.Simple -> (
+    match r.prev_instance with
+    | None -> if enabled then [ Set_scalar (w.dst, Hw.Eval.eval env w.value) ] else []
+    | Some p ->
+      let v =
+        if enabled then Hw.Eval.eval env w.value
+        else
+          (* Pass-through from the previous instance. *)
+          Hw.Eval.eval env (Hw.Expr.input p r.width)
+      in
+      [ Set_scalar (w.dst, v) ])
+
+let stage_updates (m : Spec.t) ~stage ~env state =
+  let s = Spec.stage_of m stage in
+  let explicit = List.concat_map (eval_write m ~env) s.writes in
+  (* Instance registers of this stage without an explicit write still
+     shift from their previous instance. *)
+  let written = List.map (fun (w : Spec.write) -> w.dst) s.writes in
+  let shifts =
+    List.filter_map
+      (fun (r : Spec.register) ->
+        match r.prev_instance with
+        | Some p
+          when r.stage = stage && not (List.mem r.reg_name written) ->
+          Some (Set_scalar (r.reg_name, Value.read_scalar (State.get state p)))
+        | Some _ | None -> None)
+      m.registers
+  in
+  explicit @ shifts
+
+let writes_updates (m : Spec.t) ~writes ~env _state =
+  List.concat_map
+    (fun (w : Spec.write) ->
+      let r = Spec.find_register m w.dst in
+      let enabled = eval_guard env w.guard in
+      if not enabled then []
+      else
+        match r.kind with
+        | Spec.File _ ->
+          let addr =
+            match w.wr_addr with
+            | Some a -> Hw.Eval.eval env a
+            | None -> invalid_arg "Commit: file write without address"
+          in
+          [ Write_file (w.dst, addr, Hw.Eval.eval env w.value) ]
+        | Spec.Simple -> [ Set_scalar (w.dst, Hw.Eval.eval env w.value) ])
+    writes
+
+let apply state updates =
+  List.iter
+    (fun u ->
+      match u with
+      | Set_scalar (n, v) -> State.set_scalar state n v
+      | Write_file (f, addr, data) -> State.write_file state f ~addr ~data)
+    updates
+
+let pp_update ppf = function
+  | Set_scalar (n, v) -> Format.fprintf ppf "%s := %a" n Hw.Bitvec.pp v
+  | Write_file (f, a, d) ->
+    Format.fprintf ppf "%s[%a] := %a" f Hw.Bitvec.pp a Hw.Bitvec.pp d

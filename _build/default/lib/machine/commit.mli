@@ -1,0 +1,36 @@
+(** Register-update semantics of one stage, shared by the sequential
+    simulator and (through the transformed machine) the pipelined one.
+
+    Implements the clock-enable convention of paper §2: when stage [k]
+    updates,
+
+    - a pipelined *instance* register ([prev_instance = Some p])
+      receives [f_k]'s value if the write enable is active and the
+      previous instance's current value otherwise (it always clocks);
+    - any other register is clocked only when its write enable is
+      active ([ce = f_k_Rwe ∧ ue_k]); register files write one entry at
+      [f_k_Rwa].
+
+    Evaluation is two-phase: all expressions of the stage are evaluated
+    against the pre-update state, then all updates commit at once (a
+    clock edge). *)
+
+type update =
+  | Set_scalar of string * Hw.Bitvec.t
+  | Write_file of string * Hw.Bitvec.t * Hw.Bitvec.t  (** file, addr, data *)
+
+val stage_updates :
+  Spec.t -> stage:int -> env:Hw.Eval.env -> State.t -> update list
+(** Evaluate stage [stage]'s writes (and instance shifts) in [env];
+    [State.t] supplies the previous-instance values for pass-through.
+    Raises [Hw.Eval.Eval_error] on evaluation failure. *)
+
+val writes_updates :
+  Spec.t -> writes:Spec.write list -> env:Hw.Eval.env -> State.t -> update list
+(** Like {!stage_updates} but for an explicit write list (used for the
+    speculation rollback writes, paper §5); instance pass-through is
+    not applied — only listed writes commit, under their guards. *)
+
+val apply : State.t -> update list -> unit
+
+val pp_update : Format.formatter -> update -> unit

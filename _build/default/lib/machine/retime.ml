@@ -1,0 +1,150 @@
+let shift_stage ~at k = if k >= at then k + 1 else k
+
+(* Bridge names must be fresh even when the same position is split
+   repeatedly. *)
+let bridge_name (m : Spec.t) p ~at =
+  let rec fresh candidate =
+    if Spec.register_exists m candidate then fresh (candidate ^ "'")
+    else candidate
+  in
+  fresh (Printf.sprintf "%s@%d" p at)
+
+let insert_passthrough (m : Spec.t) ~at =
+  if at < 1 || at > m.Spec.n_stages - 1 then
+    invalid_arg
+      (Printf.sprintf "Retime.insert_passthrough: at=%d not in 1..%d" at
+         (m.Spec.n_stages - 1));
+  let old_split_stage = Spec.stage_of m at in
+  (* Which producers of stage at-1 must cross the new stage? *)
+  let read_names =
+    let names = ref [] in
+    let add n = if not (List.mem n !names) then names := n :: !names in
+    List.iter
+      (fun (w : Spec.write) ->
+        List.iter
+          (fun e -> List.iter (fun (n, _) -> add n) (Hw.Expr.inputs e))
+          ((w.Spec.value :: Option.to_list w.Spec.guard)
+          @ Option.to_list w.Spec.wr_addr))
+      old_split_stage.Spec.writes;
+    !names
+  in
+  let produced_at_boundary n =
+    Spec.register_exists m n
+    && (Spec.find_register m n).Spec.stage = at - 1
+  in
+  let needs_bridge_for_read =
+    List.filter produced_at_boundary read_names
+    |> List.filter (fun n ->
+           match (Spec.find_register m n).Spec.kind with
+           | Spec.Simple -> true
+           | Spec.File _ ->
+             invalid_arg
+               (Printf.sprintf
+                  "Retime: register file %s is written by stage %d and read \
+                   by stage %d; files cannot be piped across the inserted \
+                   stage"
+                  n (at - 1) at))
+  in
+  (* Instance links crossing the boundary: X written by old stage [at]
+     with prev_instance in stage at-1. *)
+  let needs_bridge_for_link =
+    List.filter_map
+      (fun (r : Spec.register) ->
+        match r.Spec.prev_instance with
+        | Some p when r.Spec.stage = at && produced_at_boundary p -> Some p
+        | Some _ | None -> None)
+      m.Spec.registers
+  in
+  let bridged =
+    List.sort_uniq String.compare (needs_bridge_for_read @ needs_bridge_for_link)
+  in
+  let bridge_of p = bridge_name m p ~at in
+  (* File reads of files owned by stage at-1 that are never written:
+     re-assign ownership to the reader so the read stays local. *)
+  let orphan_files =
+    List.filter_map
+      (fun (f, _) ->
+        if
+          produced_at_boundary f
+          && Spec.writes_to m f = []
+          && (match (Spec.find_register m f).Spec.kind with
+             | Spec.File _ -> true
+             | Spec.Simple -> false)
+        then Some f
+        else None)
+      (Spec.stage_file_reads m at)
+  in
+  let registers =
+    List.map
+      (fun (r : Spec.register) ->
+        let stage =
+          if List.mem r.Spec.reg_name orphan_files then at + 1
+          else shift_stage ~at r.Spec.stage
+        in
+        let prev_instance =
+          match r.Spec.prev_instance with
+          | Some p when r.Spec.stage = at && List.mem p bridged ->
+            Some (bridge_of p)
+          | other -> other
+        in
+        { r with Spec.stage; prev_instance })
+      m.Spec.registers
+    @ List.map
+        (fun p ->
+          let pr = Spec.find_register m p in
+          {
+            Spec.reg_name = bridge_of p;
+            width = pr.Spec.width;
+            stage = at;
+            kind = Spec.Simple;
+            visible = false;
+            prev_instance = Some p;
+          })
+        bridged
+  in
+  let subst_bridges e =
+    Hw.Expr.subst
+      (fun n ->
+        if List.mem n bridged then
+          Some (Hw.Expr.input (bridge_of n) (Spec.find_register m n).Spec.width)
+        else None)
+      e
+  in
+  let rewrite_write (w : Spec.write) =
+    {
+      w with
+      Spec.value = subst_bridges w.Spec.value;
+      guard = Option.map subst_bridges w.Spec.guard;
+      wr_addr = Option.map subst_bridges w.Spec.wr_addr;
+    }
+  in
+  let stages =
+    List.concat_map
+      (fun (s : Spec.stage) ->
+        if s.Spec.index < at then [ s ]
+        else if s.Spec.index = at then
+          [
+            {
+              Spec.index = at;
+              stage_name = Printf.sprintf "P%d" at;
+              writes = [];
+            };
+            {
+              s with
+              Spec.index = at + 1;
+              writes = List.map rewrite_write s.Spec.writes;
+            };
+          ]
+        else [ { s with Spec.index = s.Spec.index + 1 } ])
+      m.Spec.stages
+  in
+  {
+    m with
+    Spec.machine_name = m.Spec.machine_name ^ "+";
+    n_stages = m.Spec.n_stages + 1;
+    registers;
+    stages;
+  }
+
+let rec deepen m ~at ~times =
+  if times <= 0 then m else deepen (insert_passthrough m ~at) ~at ~times:(times - 1)

@@ -1,0 +1,42 @@
+(** Stage insertion (a mechanized piece of step 1 of the textbook
+    recipe).
+
+    The paper assumes the partitioning into stages is done manually.
+    [insert_passthrough] automates a common re-partitioning: splitting
+    the pipeline by inserting an empty stage at a given position — the
+    way a designer deepens a machine when a stage's logic no longer
+    fits the cycle time (e.g. giving the memory access two stages).
+
+    Inserting a stage at position [at] (the new stage takes index
+    [at]; old stages [at..n-1] shift to [at+1..n]):
+
+    - registers written by the shifted stages move with them;
+    - a register produced right before the insertion point and consumed
+      right after it must now cross the new stage, so a {e bridge
+      instance} is created in the inserted stage (named
+      ["<reg>@<at>"]), the consumer's expressions are rewritten to read
+      the bridge, and instance links are re-threaded through it —
+      which means existing forwarding-register chains simply grow by
+      one pass-through member and the transformation tool synthesizes
+      the extra forwarding source and valid bit without any new hints;
+    - register files cannot be piped: a never-written file (a ROM,
+      e.g. instruction memory) that the split stage reads is simply
+      re-assigned to the reader so the read stays local; a {e written}
+      file crossing the boundary is rejected (that split would create a
+      write-after-read hazard no forwarding can fix — re-partition
+      differently).
+
+    The sequential semantics per instruction is unchanged (the new
+    stage only shifts values), so the machine remains its own
+    specification.  Stage indices in forwarding hints and speculations
+    refer to the {e new} numbering; use {!shift_stage} to adjust
+    existing ones. *)
+
+val insert_passthrough : Spec.t -> at:int -> Spec.t
+(** @raise Invalid_argument unless [1 <= at <= n_stages - 1]. *)
+
+val deepen : Spec.t -> at:int -> times:int -> Spec.t
+(** Insert [times] consecutive pass-through stages at [at]. *)
+
+val shift_stage : at:int -> int -> int
+(** [shift_stage ~at k] is the new index of old stage [k]. *)

@@ -1,0 +1,51 @@
+type trace = {
+  spec_before : (string * Value.t) list array;
+  instructions : int;
+  halted : bool;
+}
+
+let step_stage m state ~stage =
+  let env = State.eval_env state in
+  let updates = Commit.stage_updates m ~stage ~env state in
+  Commit.apply state updates
+
+let run_instruction (m : Spec.t) state =
+  for k = 0 to m.n_stages - 1 do
+    step_stage m state ~stage:k
+  done
+
+let run_state ?(halt = fun _ -> false) ~max_instructions (m : Spec.t) =
+  let state = State.create m in
+  let snaps = ref [] in
+  let count = ref 0 in
+  let halted = ref false in
+  (try
+     while !count < max_instructions do
+       if halt state then begin
+         halted := true;
+         raise Exit
+       end;
+       snaps := State.snapshot_visible m state :: !snaps;
+       run_instruction m state;
+       incr count
+     done
+   with Exit -> ());
+  snaps := State.snapshot_visible m state :: !snaps;
+  ( {
+      spec_before = Array.of_list (List.rev !snaps);
+      instructions = !count;
+      halted = !halted;
+    },
+    state )
+
+let run ?halt ~max_instructions m =
+  fst (run_state ?halt ~max_instructions m)
+
+let ue_table ~n_stages ~cycles =
+  let columns = List.init n_stages (fun k -> Printf.sprintf "ue_%d" k) in
+  let wave = Hw.Wave.create ~columns in
+  for t = 0 to cycles - 1 do
+    Hw.Wave.record_bits wave
+      (List.mapi (fun k c -> (c, t mod n_stages = k)) columns)
+  done;
+  wave

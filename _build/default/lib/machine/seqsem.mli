@@ -1,0 +1,46 @@
+(** Sequential reference semantics (paper §2, table 1).
+
+    The prepared sequential machine executes one instruction at a time
+    by enabling the update-enable signals [ue_0, ue_1, ..., ue_{n-1}]
+    round robin: stage [k] of instruction [I_i] runs in cycle
+    [i*n + k].  This machine "behaves as desired" by assumption and
+    serves as the reference for the correctness proof: the trace of
+    programmer-visible states [R_S^i] (the correct value of [R] right
+    before the execution of instruction [I_i]) is recorded here and
+    consumed by the data-consistency checker. *)
+
+type trace = {
+  spec_before : (string * Value.t) list array;
+      (** [spec_before.(i)] is the visible state [R_S^i]: right before
+          instruction [I_i].  Length is [instructions + 1]; the last
+          entry is the final visible state. *)
+  instructions : int;  (** number of instructions executed *)
+  halted : bool;       (** stopped because the halt predicate held *)
+}
+
+val step_stage : Spec.t -> State.t -> stage:int -> unit
+(** Run one stage of the current instruction: evaluate its data paths
+    against the current state and commit (one [ue_k] cycle). *)
+
+val run_instruction : Spec.t -> State.t -> unit
+(** One full round-robin sweep: stages [0 .. n-1]. *)
+
+val run :
+  ?halt:(State.t -> bool) ->
+  max_instructions:int ->
+  Spec.t ->
+  trace
+(** Execute from the initial state.  [halt] is tested before each
+    instruction (default: never). *)
+
+val run_state :
+  ?halt:(State.t -> bool) ->
+  max_instructions:int ->
+  Spec.t ->
+  trace * State.t
+(** Like {!run} but also returning the final machine state. *)
+
+val ue_table : n_stages:int -> cycles:int -> Hw.Wave.t
+(** The paper's Table 1: the round-robin pattern of [ue_k] signals of
+    the sequential machine in the absence of stalls (column [ue_k] is 1
+    in cycle [T] iff [T mod n = k]). *)

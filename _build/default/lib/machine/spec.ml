@@ -1,0 +1,142 @@
+type reg_kind =
+  | Simple
+  | File of { addr_bits : int }
+
+type register = {
+  reg_name : string;
+  width : int;
+  stage : int;
+  kind : reg_kind;
+  visible : bool;
+  prev_instance : string option;
+}
+
+type write = {
+  dst : string;
+  value : Hw.Expr.t;
+  guard : Hw.Expr.t option;
+  wr_addr : Hw.Expr.t option;
+}
+
+type stage = {
+  index : int;
+  stage_name : string;
+  writes : write list;
+}
+
+type t = {
+  machine_name : string;
+  n_stages : int;
+  registers : register list;
+  stages : stage list;
+  init : (string * Value.t) list;
+}
+
+let find_register m name =
+  List.find (fun r -> String.equal r.reg_name name) m.registers
+
+let register_exists m name =
+  List.exists (fun r -> String.equal r.reg_name name) m.registers
+
+let stage_of m k =
+  match List.find_opt (fun s -> s.index = k) m.stages with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Spec.stage_of: no stage %d" k)
+
+let writes_to m name =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun w -> if String.equal w.dst name then Some (s.index, w) else None)
+        s.writes)
+    m.stages
+
+let write_to m name =
+  match writes_to m name with [] -> None | (k, w) :: _ -> Some (k, w)
+
+let write_exprs w =
+  (w.value :: Option.to_list w.guard) @ Option.to_list w.wr_addr
+
+let stage_inputs m k =
+  let s = stage_of m k in
+  let add acc (n, w) = if List.mem_assoc n acc then acc else (n, w) :: acc in
+  let exprs = List.concat_map write_exprs s.writes in
+  List.rev
+    (List.fold_left
+       (fun acc e -> List.fold_left add acc (Hw.Expr.inputs e))
+       [] exprs)
+
+let stage_file_reads m k =
+  let s = stage_of m k in
+  let acc = ref [] in
+  let visit e =
+    let collect seen node =
+      match node with
+      | Hw.Expr.File_read { file; addr; _ } ->
+        if List.exists (fun (f, a) -> String.equal f file && Hw.Expr.equal a addr) seen
+        then seen
+        else (file, addr) :: seen
+      | Hw.Expr.Const _ | Hw.Expr.Input _ | Hw.Expr.Unop _ | Hw.Expr.Binop _
+      | Hw.Expr.Mux _ | Hw.Expr.Concat _ | Hw.Expr.Slice _ | Hw.Expr.Zext _
+      | Hw.Expr.Sext _ -> seen
+    in
+    acc := Hw.Expr.fold collect !acc e
+  in
+  List.iter (fun w -> List.iter visit (write_exprs w)) s.writes;
+  List.rev !acc
+
+let instance_chain m name =
+  let rec back acc n =
+    match (find_register m n).prev_instance with
+    | None -> List.rev (n :: acc)
+    | Some p -> back (n :: acc) p
+  in
+  back [] name
+
+let next_instance m name =
+  List.find_map
+    (fun r ->
+      match r.prev_instance with
+      | Some p when String.equal p name -> Some r.reg_name
+      | Some _ | None -> None)
+    m.registers
+
+let instance_at_stage m name ~consumer_stage =
+  let target = consumer_stage - 1 in
+  (* Walk backwards then forwards along the chain to the instance
+     written by [target]. *)
+  let rec back n =
+    let r = find_register m n in
+    if r.stage = target then Some n
+    else if r.stage > target then
+      match r.prev_instance with None -> None | Some p -> back p
+    else None
+  in
+  let rec fwd n =
+    let r = find_register m n in
+    if r.stage = target then Some n
+    else if r.stage < target then
+      match next_instance m n with None -> None | Some nx -> fwd nx
+    else None
+  in
+  let r = find_register m name in
+  if r.stage >= target then back name else fwd name
+
+let visible_registers m = List.filter (fun r -> r.visible) m.registers
+
+let initial_value m r =
+  match List.assoc_opt r.reg_name m.init with
+  | Some v -> Value.copy v
+  | None -> (
+    match r.kind with
+    | Simple -> Value.zero_scalar ~width:r.width
+    | File { addr_bits } -> Value.zero_file ~width:r.width ~addr_bits)
+
+let pp_summary ppf m =
+  Format.fprintf ppf "machine %s: %d stages, %d registers@." m.machine_name
+    m.n_stages (List.length m.registers);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  stage %d (%s): writes %s@." s.index s.stage_name
+        (String.concat ", " (List.map (fun w -> w.dst) s.writes)))
+    m.stages

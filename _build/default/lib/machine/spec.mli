@@ -1,0 +1,104 @@
+(** Prepared sequential machine descriptions (paper §2).
+
+    A machine is a set of pipeline stages [0 .. n-1], a set of
+    registers each assigned to the stage that writes it, and per-stage
+    data-path functions.  Steps 1) and 2) of the textbook pipelining
+    recipe — partitioning into stages and resolving structural hazards
+    — are assumed done by the designer (and checked by
+    {!Validate.run}); the transformation tool in [Pipeline.Transform]
+    performs steps 3) and 4), forwarding and interlock.
+
+    Naming conventions follow the paper: the pipelined instance of
+    register [R] written by stage [k-1] is called [R.k]; instance
+    registers are linked through {!field-register.prev_instance} so the
+    clock-enable rule of §2 applies (an instance receives [f_k]'s value
+    when the write enable is active and the previous instance's value
+    otherwise). *)
+
+type reg_kind =
+  | Simple
+  | File of { addr_bits : int }
+      (** register file with [2^addr_bits] entries (paper figure 1) *)
+
+type register = {
+  reg_name : string;
+  width : int;  (** data width; for files, the entry width *)
+  stage : int;  (** the stage that writes this register: [R ∈ out(stage)] *)
+  kind : reg_kind;
+  visible : bool;
+      (** programmer-visible: subject to the data-consistency criterion *)
+  prev_instance : string option;
+      (** [Some r]: this register is the pipelined instance following
+          [r]; when its stage updates without an active write enable it
+          receives [r]'s current value. *)
+}
+
+(** One register update performed by a stage: the paper's [f_k_R]
+    (value), [f_k_Rwe] (write enable) and [f_k_Rwa] (write address for
+    register files). *)
+type write = {
+  dst : string;
+  value : Hw.Expr.t;   (** over the stage's input registers *)
+  guard : Hw.Expr.t option;  (** [None] means always enabled *)
+  wr_addr : Hw.Expr.t option;  (** required iff [dst] is a [File] *)
+}
+
+type stage = {
+  index : int;
+  stage_name : string;  (** e.g. ["IF"], ["ID"], ... *)
+  writes : write list;
+}
+
+type t = {
+  machine_name : string;
+  n_stages : int;
+  registers : register list;
+  stages : stage list;  (** indexed [0 .. n_stages-1], in order *)
+  init : (string * Value.t) list;
+      (** initial register contents; unlisted registers start at zero *)
+}
+
+(** {1 Lookup} *)
+
+val find_register : t -> string -> register
+(** @raise Not_found *)
+
+val register_exists : t -> string -> bool
+
+val stage_of : t -> int -> stage
+(** @raise Invalid_argument if out of range *)
+
+val writes_to : t -> string -> (int * write) list
+(** All [(stage index, write)] pairs targeting a register.  A
+    well-formed machine has at most one. *)
+
+val write_to : t -> string -> (int * write) option
+(** The unique write to a register, if any. *)
+
+val stage_inputs : t -> int -> (string * int) list
+(** [in(k)]: registers read by stage [k]'s expressions (including
+    write-enable and address expressions), with widths, each once. *)
+
+val stage_file_reads : t -> int -> (string * Hw.Expr.t) list
+(** Distinct register-file read ports of stage [k]: [(file, address
+    expression)] pairs, each distinct pair once. *)
+
+val instance_chain : t -> string -> string list
+(** [instance_chain m r] follows [prev_instance] links backwards from
+    [r]: [[r; prev; prev-prev; ...]], ending at the chain's head. *)
+
+val instance_at_stage : t -> string -> consumer_stage:int -> string option
+(** Walk the chain of [r] to find the instance written by stage
+    [consumer_stage - 1] (hence readable by stage [consumer_stage]),
+    searching both directions from [r]. *)
+
+val next_instance : t -> string -> string option
+(** The instance (if any) whose [prev_instance] is the given register. *)
+
+val visible_registers : t -> register list
+
+val initial_value : t -> register -> Value.t
+(** From [init], or all-zeros. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-paragraph structural summary (stages, registers, writes). *)

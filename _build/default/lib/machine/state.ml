@@ -1,0 +1,64 @@
+type t = (string, Value.t) Hashtbl.t
+
+let create (m : Spec.t) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Spec.register) ->
+      Hashtbl.replace tbl r.reg_name (Spec.initial_value m r))
+    m.registers;
+  tbl
+
+let get t name =
+  match Hashtbl.find_opt t name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "State.get: unknown register %s" name)
+
+let set t name v = Hashtbl.replace t name v
+let get_scalar t name = Value.read_scalar (get t name)
+let set_scalar t name v = set t name (Value.Scalar v)
+let read_file t name addr = Value.read_file (get t name) addr
+
+let write_file t name ~addr ~data =
+  Value.write_file (get t name) addr data
+
+let eval_env t =
+  {
+    Hw.Eval.lookup_input =
+      (fun n ->
+        match Hashtbl.find_opt t n with
+        | Some (Value.Scalar v) -> v
+        | Some (Value.File _) ->
+          raise (Hw.Eval.Eval_error (n ^ " is a register file, not a scalar"))
+        | None -> raise Not_found);
+    Hw.Eval.lookup_file =
+      (fun f addr ->
+        match Hashtbl.find_opt t f with
+        | Some (Value.File _ as v) -> Value.read_file v addr
+        | Some (Value.Scalar _) ->
+          raise (Hw.Eval.Eval_error (f ^ " is a scalar, not a register file"))
+        | None -> raise Not_found);
+  }
+
+let snapshot t =
+  Hashtbl.fold (fun n v acc -> (n, Value.copy v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot_visible (m : Spec.t) t =
+  Spec.visible_registers m
+  |> List.map (fun (r : Spec.register) -> (r.reg_name, Value.copy (get t r.reg_name)))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let restore t snap = List.iter (fun (n, v) -> set t n (Value.copy v)) snap
+
+let diff a b =
+  let names = List.map fst a in
+  let names_b = List.map fst b in
+  if List.sort String.compare names <> List.sort String.compare names_b then
+    invalid_arg "State.diff: snapshots have different shapes";
+  List.filter_map
+    (fun (n, va) ->
+      let vb = List.assoc n b in
+      if Value.equal va vb then None else Some n)
+    a
+
+let equal_on a b = diff a b = []

@@ -1,0 +1,39 @@
+(** Mutable register state of a machine, shared by the sequential and
+    pipelined simulators. *)
+
+type t
+
+val create : Spec.t -> t
+(** All registers at their initial values ({!Spec.initial_value}). *)
+
+val get : t -> string -> Value.t
+(** @raise Invalid_argument for unknown registers. *)
+
+val set : t -> string -> Value.t -> unit
+
+val get_scalar : t -> string -> Hw.Bitvec.t
+
+val set_scalar : t -> string -> Hw.Bitvec.t -> unit
+
+val read_file : t -> string -> Hw.Bitvec.t -> Hw.Bitvec.t
+
+val write_file : t -> string -> addr:Hw.Bitvec.t -> data:Hw.Bitvec.t -> unit
+
+val eval_env : t -> Hw.Eval.env
+(** Environment reading registers by name (scalars as inputs, files
+    through [lookup_file]). *)
+
+val snapshot : t -> (string * Value.t) list
+(** Deep copy of all registers, for later comparison. *)
+
+val snapshot_visible : Spec.t -> t -> (string * Value.t) list
+(** Deep copy of the programmer-visible registers only. *)
+
+val restore : t -> (string * Value.t) list -> unit
+
+val equal_on : (string * Value.t) list -> (string * Value.t) list -> bool
+(** Pointwise equality of two snapshots over their common names (both
+    snapshots must have the same name set; extra names are an error). *)
+
+val diff : (string * Value.t) list -> (string * Value.t) list -> string list
+(** Names whose values differ between two same-shaped snapshots. *)

@@ -1,0 +1,270 @@
+type issue = { where : string; what : string }
+
+let issue where fmt = Format.kasprintf (fun what -> { where; what }) fmt
+
+let check_stage_indices (m : Spec.t) =
+  let indices = List.map (fun (s : Spec.stage) -> s.index) m.stages in
+  if indices <> List.init m.n_stages (fun i -> i) then
+    [ issue "stages" "stage indices must be 0..%d in order" (m.n_stages - 1) ]
+  else []
+
+let check_register (m : Spec.t) (r : Spec.register) =
+  let where = Printf.sprintf "register %s" r.reg_name in
+  let range =
+    if r.stage < 0 || r.stage >= m.n_stages then
+      [ issue where "writing stage %d out of range" r.stage ]
+    else []
+  in
+  let width =
+    if r.width < 1 || r.width > Hw.Bitvec.max_width then
+      [ issue where "width %d out of range" r.width ]
+    else []
+  in
+  let kind =
+    match r.kind with
+    | Spec.Simple -> []
+    | Spec.File { addr_bits } ->
+      if addr_bits < 1 || addr_bits > 20 then
+        [ issue where "addr_bits %d out of range" addr_bits ]
+      else []
+  in
+  let chain =
+    match r.prev_instance with
+    | None -> []
+    | Some p ->
+      if not (Spec.register_exists m p) then
+        [ issue where "prev_instance %s does not exist" p ]
+      else
+        let pr = Spec.find_register m p in
+        let e1 =
+          if pr.width <> r.width then
+            [ issue where "prev_instance %s has width %d, expected %d" p
+                pr.width r.width ]
+          else []
+        in
+        let e2 =
+          if pr.stage <> r.stage - 1 then
+            [ issue where "prev_instance %s written by stage %d, expected %d" p
+                pr.stage (r.stage - 1) ]
+          else []
+        in
+        let e3 =
+          if pr.kind <> r.kind then
+            [ issue where "prev_instance %s has a different kind" p ]
+          else []
+        in
+        e1 @ e2 @ e3
+  in
+  range @ width @ kind @ chain
+
+let check_expr (m : Spec.t) ~where e =
+  let typing =
+    match Hw.Expr.check e with
+    | Ok _ -> []
+    | Error msg -> [ issue where "ill-typed expression: %s" msg ]
+  in
+  let reads =
+    List.concat_map
+      (fun (n, w) ->
+        if not (Spec.register_exists m n) then
+          [ issue where "reads undeclared register %s" n ]
+        else
+          let r = Spec.find_register m n in
+          match r.kind with
+          | Spec.File _ ->
+            [ issue where "reads register file %s as a scalar" n ]
+          | Spec.Simple ->
+            if r.width <> w then
+              [ issue where "reads %s at width %d, declared %d" n w r.width ]
+            else [])
+      (Hw.Expr.inputs e)
+  in
+  let file_reads =
+    List.concat_map
+      (fun (f, w) ->
+        if not (Spec.register_exists m f) then
+          [ issue where "reads undeclared register file %s" f ]
+        else
+          let r = Spec.find_register m f in
+          match r.kind with
+          | Spec.Simple -> [ issue where "file-reads scalar register %s" f ]
+          | Spec.File _ ->
+            if r.width <> w then
+              [ issue where "file-reads %s at width %d, declared %d" f w r.width ]
+            else [])
+      (Hw.Expr.file_reads e)
+  in
+  typing @ reads @ file_reads
+
+let check_file_read_addr_widths (m : Spec.t) ~where e =
+  let check acc node =
+    match node with
+    | Hw.Expr.File_read { file; addr; _ } when Spec.register_exists m file -> (
+      let r = Spec.find_register m file in
+      match r.kind with
+      | Spec.File { addr_bits } -> (
+        match Hw.Expr.check addr with
+        | Ok w when w <> addr_bits ->
+          issue where "file %s read address has width %d, expected %d" file w
+            addr_bits
+          :: acc
+        | Ok _ | Error _ -> acc)
+      | Spec.Simple -> acc)
+    | Hw.Expr.File_read _ | Hw.Expr.Const _ | Hw.Expr.Input _ | Hw.Expr.Unop _
+    | Hw.Expr.Binop _ | Hw.Expr.Mux _ | Hw.Expr.Concat _ | Hw.Expr.Slice _
+    | Hw.Expr.Zext _ | Hw.Expr.Sext _ -> acc
+  in
+  Hw.Expr.fold check [] e
+
+let check_write (m : Spec.t) (s : Spec.stage) (w : Spec.write) =
+  let where = Printf.sprintf "stage %d write to %s" s.index w.dst in
+  if not (Spec.register_exists m w.dst) then
+    [ issue where "target register is undeclared" ]
+  else
+    let r = Spec.find_register m w.dst in
+    let owner =
+      if r.stage <> s.index then
+        [ issue where "register belongs to stage %d" r.stage ]
+      else []
+    in
+    let addr =
+      match (r.kind, w.wr_addr) with
+      | Spec.Simple, Some _ ->
+        [ issue where "scalar register written with an address" ]
+      | Spec.File _, None ->
+        [ issue where "register file written without an address" ]
+      | Spec.File { addr_bits }, Some a -> (
+        match Hw.Expr.check a with
+        | Ok wa when wa <> addr_bits ->
+          [ issue where "write address width %d, expected %d" wa addr_bits ]
+        | Ok _ -> []
+        | Error msg -> [ issue where "ill-typed write address: %s" msg ])
+      | Spec.Simple, None -> []
+    in
+    let value_width =
+      match Hw.Expr.check w.value with
+      | Ok wv when wv <> r.width ->
+        [ issue where "value width %d, register width %d" wv r.width ]
+      | Ok _ | Error _ -> []
+    in
+    let guard_width =
+      match w.guard with
+      | None -> []
+      | Some g -> (
+        match Hw.Expr.check g with
+        | Ok 1 -> []
+        | Ok wg -> [ issue where "guard width %d, expected 1" wg ]
+        | Error msg -> [ issue where "ill-typed guard: %s" msg ])
+    in
+    let exprs = (w.value :: Option.to_list w.guard) @ Option.to_list w.wr_addr in
+    let expr_issues = List.concat_map (check_expr m ~where) exprs in
+    let addr_issues =
+      List.concat_map (check_file_read_addr_widths m ~where) exprs
+    in
+    owner @ addr @ value_width @ guard_width @ expr_issues @ addr_issues
+
+let check_unique_writer (m : Spec.t) =
+  List.concat_map
+    (fun (r : Spec.register) ->
+      match Spec.writes_to m r.reg_name with
+      | [] | [ _ ] -> []
+      | ws ->
+        [ issue
+            (Printf.sprintf "register %s" r.reg_name)
+            "written by %d stages (structural hazard): %s" (List.length ws)
+            (String.concat ", "
+               (List.map (fun (k, _) -> string_of_int k) ws)) ])
+    m.registers
+
+let check_init (m : Spec.t) =
+  List.concat_map
+    (fun (name, v) ->
+      let where = Printf.sprintf "init of %s" name in
+      if not (Spec.register_exists m name) then
+        [ issue where "undeclared register" ]
+      else
+        let r = Spec.find_register m name in
+        match (r.kind, v) with
+        | Spec.Simple, Value.Scalar bv ->
+          if Hw.Bitvec.width bv <> r.width then
+            [ issue where "width %d, expected %d" (Hw.Bitvec.width bv) r.width ]
+          else []
+        | Spec.File { addr_bits }, Value.File arr ->
+          if Array.length arr <> 1 lsl addr_bits then
+            [ issue where "file size %d, expected %d" (Array.length arr)
+                (1 lsl addr_bits) ]
+          else if
+            Array.exists (fun e -> Hw.Bitvec.width e <> r.width) arr
+          then [ issue where "entry width mismatch" ]
+          else []
+        | Spec.Simple, Value.File _ -> [ issue where "file value for scalar" ]
+        | Spec.File _, Value.Scalar _ -> [ issue where "scalar value for file" ])
+    m.init
+
+let run (m : Spec.t) =
+  let dup_regs =
+    let names = List.map (fun (r : Spec.register) -> r.reg_name) m.registers in
+    let sorted = List.sort String.compare names in
+    let rec dups = function
+      | a :: b :: rest ->
+        if String.equal a b then
+          issue (Printf.sprintf "register %s" a) "declared twice" :: dups rest
+        else dups (b :: rest)
+      | [ _ ] | [] -> []
+    in
+    dups sorted
+  in
+  check_stage_indices m @ dup_regs
+  @ List.concat_map (check_register m) m.registers
+  @ List.concat_map
+      (fun (s : Spec.stage) -> List.concat_map (check_write m s) s.writes)
+      m.stages
+  @ check_unique_writer m @ check_init m
+
+let check_exn m =
+  match run m with
+  | [] -> ()
+  | issues ->
+    let msg =
+      issues
+      |> List.map (fun i -> Printf.sprintf "%s: %s" i.where i.what)
+      |> String.concat "\n"
+    in
+    failwith
+      (Printf.sprintf "machine %s is not well-formed:\n%s" m.machine_name msg)
+
+let reads_needing_forwarding (m : Spec.t) =
+  let local r ~stage:k =
+    (* An instance of [r] is an output of stage k-1 or stage k. *)
+    let chain_member n =
+      let reg = Spec.find_register m n in
+      reg.stage = k - 1 || reg.stage = k
+    in
+    let rec walk_back n =
+      chain_member n
+      ||
+      match (Spec.find_register m n).prev_instance with
+      | Some p -> walk_back p
+      | None -> false
+    in
+    let rec walk_fwd n =
+      chain_member n
+      ||
+      match Spec.next_instance m n with
+      | Some nx -> walk_fwd nx
+      | None -> false
+    in
+    walk_back r || walk_fwd r
+  in
+  List.concat_map
+    (fun (s : Spec.stage) ->
+      let k = s.index in
+      let scalar_reads = List.map fst (Spec.stage_inputs m k) in
+      let file_reads = List.map fst (Spec.stage_file_reads m k) in
+      List.filter_map
+        (fun r ->
+          if Spec.register_exists m r && not (local r ~stage:k) then Some (k, r)
+          else None)
+        (scalar_reads @ file_reads))
+    m.stages
+  |> List.sort_uniq compare

@@ -1,0 +1,33 @@
+(** Well-formedness of prepared sequential machines.
+
+    The transformation assumes the designer already performed steps 1)
+    and 2) of the textbook recipe (stage partitioning and structural-
+    hazard resolution).  [run] checks that the description is
+    consistent with the paper's machine model:
+
+    - stage indices are [0 .. n-1], in order, with no gaps;
+    - every register's writing stage is in range;
+    - each register is written by at most one stage — a register
+      written by two stages would be a structural hazard (step 2
+      violated) — and by no stage other than its declared one;
+    - instance chains are consistent: [prev_instance] exists, has the
+      same width and kind, and belongs to the previous stage;
+    - every expression is well-typed and only reads declared registers
+      with matching widths;
+    - file writes carry a write address of the right width, scalar
+      writes carry none; file reads use the right address width;
+    - initial values have the right shape. *)
+
+type issue = { where : string; what : string }
+
+val run : Spec.t -> issue list
+(** Empty iff the machine is well-formed. *)
+
+val check_exn : Spec.t -> unit
+(** @raise Failure listing all issues, if any. *)
+
+val reads_needing_forwarding : Spec.t -> (int * string) list
+(** Pairs [(stage k, register R)] such that stage [k] reads [R] but no
+    instance of [R] is an output of stage [k-1] or [k] — exactly the
+    reads for which the paper's §4 says forwarding logic is required.
+    File reads are reported by file name. *)

@@ -1,0 +1,61 @@
+type t =
+  | Scalar of Hw.Bitvec.t
+  | File of Hw.Bitvec.t array
+
+let scalar v = Scalar v
+let zero_scalar ~width = Scalar (Hw.Bitvec.zero width)
+
+let zero_file ~width ~addr_bits =
+  File (Array.make (1 lsl addr_bits) (Hw.Bitvec.zero width))
+
+let file_of_list ~width ~addr_bits entries =
+  let n = 1 lsl addr_bits in
+  if List.length entries > n then
+    invalid_arg "Value.file_of_list: too many entries";
+  List.iter
+    (fun e ->
+      if Hw.Bitvec.width e <> width then
+        invalid_arg "Value.file_of_list: width mismatch")
+    entries;
+  let arr = Array.make n (Hw.Bitvec.zero width) in
+  List.iteri (fun i e -> arr.(i) <- e) entries;
+  File arr
+
+let copy = function
+  | Scalar _ as v -> v
+  | File arr -> File (Array.copy arr)
+
+let equal a b =
+  match (a, b) with
+  | Scalar x, Scalar y -> Hw.Bitvec.equal x y
+  | File x, File y ->
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri (fun i xi -> if not (Hw.Bitvec.equal xi y.(i)) then ok := false) x;
+        !ok)
+  | Scalar _, File _ | File _, Scalar _ -> false
+
+let read_scalar = function
+  | Scalar v -> v
+  | File _ -> invalid_arg "Value.read_scalar: register file"
+
+let read_file t addr =
+  match t with
+  | Scalar _ -> invalid_arg "Value.read_file: scalar"
+  | File arr -> arr.(Hw.Bitvec.to_int addr land (Array.length arr - 1))
+
+let write_file t addr data =
+  match t with
+  | Scalar _ -> invalid_arg "Value.write_file: scalar"
+  | File arr -> arr.(Hw.Bitvec.to_int addr land (Array.length arr - 1)) <- data
+
+let pp ppf = function
+  | Scalar v -> Hw.Bitvec.pp ppf v
+  | File arr ->
+    Format.fprintf ppf "[|";
+    Array.iteri
+      (fun i v ->
+        if i > 0 then Format.fprintf ppf "; ";
+        Hw.Bitvec.pp ppf v)
+      arr;
+    Format.fprintf ppf "|]"

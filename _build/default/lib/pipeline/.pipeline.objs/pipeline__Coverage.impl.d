@@ -1,0 +1,1 @@
+lib/pipeline/coverage.ml: Array Format Hw List Machine Pipesem Printf String Transform

@@ -1,0 +1,1 @@
+lib/pipeline/coverage.mli: Format Pipesem Transform

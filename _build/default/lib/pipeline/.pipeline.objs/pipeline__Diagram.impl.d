@@ -1,0 +1,1 @@
+lib/pipeline/diagram.ml: Array Buffer Hw List Machine Option Pipesem Printf String Transform

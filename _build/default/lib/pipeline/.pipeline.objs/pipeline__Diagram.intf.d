@@ -1,0 +1,1 @@
+lib/pipeline/diagram.mli: Hw Pipesem Transform

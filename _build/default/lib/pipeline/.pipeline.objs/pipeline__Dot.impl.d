@@ -1,0 +1,1 @@
+lib/pipeline/dot.ml: Buffer Format Hw List Machine Printf Transform

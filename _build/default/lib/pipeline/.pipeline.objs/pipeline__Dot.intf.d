@@ -1,0 +1,1 @@
+lib/pipeline/dot.mli: Transform

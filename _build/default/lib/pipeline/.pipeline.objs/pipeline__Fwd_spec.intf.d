@@ -1,0 +1,1 @@
+lib/pipeline/fwd_spec.mli: Hw Machine

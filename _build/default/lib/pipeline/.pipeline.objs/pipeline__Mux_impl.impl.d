@@ -1,0 +1,1 @@
+lib/pipeline/mux_impl.ml: Format Hw List Printf

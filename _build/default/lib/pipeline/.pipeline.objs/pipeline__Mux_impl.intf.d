@@ -1,0 +1,1 @@
+lib/pipeline/mux_impl.mli: Format Hw

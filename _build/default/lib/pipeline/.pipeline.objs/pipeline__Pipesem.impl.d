@@ -1,0 +1,1 @@
+lib/pipeline/pipesem.ml: Array Fwd_spec Hashtbl Hw List Machine Stall_engine Transform

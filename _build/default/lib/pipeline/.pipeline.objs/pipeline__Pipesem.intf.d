@@ -1,0 +1,1 @@
+lib/pipeline/pipesem.mli: Hw Machine Transform

@@ -1,0 +1,1 @@
+lib/pipeline/report.ml: Array Format Fwd_spec Hashtbl Hw List Machine Option Printf Stall_engine String Transform

@@ -1,0 +1,1 @@
+lib/pipeline/report.mli: Format Hw Transform

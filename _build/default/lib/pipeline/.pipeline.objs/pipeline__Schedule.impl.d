@@ -1,0 +1,1 @@
+lib/pipeline/schedule.ml: Array Format List Pipesem

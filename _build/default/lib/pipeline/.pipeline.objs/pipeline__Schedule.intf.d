@@ -1,0 +1,1 @@
+lib/pipeline/schedule.mli: Pipesem

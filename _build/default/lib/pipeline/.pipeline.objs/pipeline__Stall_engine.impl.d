@@ -1,0 +1,1 @@
+lib/pipeline/stall_engine.ml: Array Hw List Printf Transform

@@ -1,0 +1,1 @@
+lib/pipeline/stall_engine.mli: Hw

@@ -1,0 +1,1 @@
+lib/pipeline/tracer.ml: Array Hw List Machine Option Pipesem Printf Transform

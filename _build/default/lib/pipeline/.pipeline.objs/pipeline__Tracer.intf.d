@@ -1,0 +1,1 @@
+lib/pipeline/tracer.mli: Hw Pipesem Transform

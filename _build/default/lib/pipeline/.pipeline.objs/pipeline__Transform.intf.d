@@ -1,0 +1,1 @@
+lib/pipeline/transform.mli: Fwd_spec Hw Machine

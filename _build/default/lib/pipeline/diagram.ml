@@ -1,0 +1,82 @@
+module Spec = Machine.Spec
+
+let stage_abbrev (t : Transform.t) k =
+  let s = Spec.stage_of t.Transform.base k in
+  let name = s.Spec.stage_name in
+  if String.length name >= 2 then String.sub name 0 2
+  else name ^ string_of_int k
+
+let of_trace (t : Transform.t) records =
+  let max_tag =
+    List.fold_left
+      (fun acc (r : Pipesem.cycle_record) ->
+        Array.fold_left
+          (fun acc tag -> match tag with Some i -> max acc i | None -> acc)
+          acc r.Pipesem.tags)
+      0 records
+  in
+  let columns = List.init (max_tag + 1) (fun i -> Printf.sprintf "I%d" i) in
+  let wave = Hw.Wave.create ~columns in
+  List.iter
+    (fun (r : Pipesem.cycle_record) ->
+      let row = ref [] in
+      Array.iteri
+        (fun k tag ->
+          match tag with
+          | Some i when r.Pipesem.full.(k) || k = 0 ->
+            let cell =
+              if r.Pipesem.rollback.(k) then "x"
+              else stage_abbrev t k
+            in
+            row := (Printf.sprintf "I%d" i, cell) :: !row
+          | Some _ | None -> ())
+        r.Pipesem.tags;
+      Hw.Wave.record wave !row)
+    records;
+  wave
+
+let render ?max_instructions (t : Transform.t) records =
+  let wave = of_trace t records in
+  let cycles = List.length records in
+  let max_tag =
+    List.fold_left
+      (fun acc (r : Pipesem.cycle_record) ->
+        Array.fold_left
+          (fun acc tag -> match tag with Some i -> max acc i | None -> acc)
+          acc r.Pipesem.tags)
+      0 records
+  in
+  let shown =
+    match max_instructions with
+    | Some m -> min (max_tag + 1) m
+    | None -> max_tag + 1
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "instr";
+  for c = 0 to cycles - 1 do
+    Buffer.add_string buf (Printf.sprintf " %3d" c)
+  done;
+  Buffer.add_char buf '\n';
+  for i = 0 to shown - 1 do
+    Buffer.add_string buf (Printf.sprintf "I%-4d" i);
+    for c = 0 to cycles - 1 do
+      let cell =
+        Option.value ~default:""
+          (Hw.Wave.cell wave ~cycle:c ~column:(Printf.sprintf "I%d" i))
+      in
+      Buffer.add_string buf (Printf.sprintf " %3s" cell)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let capture ?ext ~stop_after t =
+  let records = ref [] in
+  let callbacks =
+    {
+      Pipesem.no_callbacks with
+      Pipesem.on_cycle = (fun r -> records := r :: !records);
+    }
+  in
+  let result = Pipesem.run ?ext ~callbacks ~stop_after t in
+  (render t (List.rev !records), result)

@@ -1,0 +1,34 @@
+(** Textbook pipeline diagrams.
+
+    Renders a recorded execution as the classical instruction/cycle
+    grid: one row per instruction, one column per cycle, each cell the
+    stage the instruction occupied — stalls show as repeated stage
+    names, squashes as [x].
+
+    {v
+    instr  0    1    2    3    4    5    6
+    I0     IF   ID   EX   ME   WB
+    I1          IF   ID   ID   EX   ME   WB
+    I2               IF   IF   ID   EX   ...
+    v} *)
+
+val of_trace :
+  Transform.t -> Pipesem.cycle_record list -> Hw.Wave.t
+(** Columns are instruction labels [I<n>]; the wave's "cycles" are the
+    recorded cycles.  (Use {!render} for the transposed, textbook
+    orientation.) *)
+
+val render :
+  ?max_instructions:int ->
+  Transform.t ->
+  Pipesem.cycle_record list ->
+  string
+(** The instruction-major grid shown above.  Stage names come from the
+    machine description (first two characters). *)
+
+val capture :
+  ?ext:Pipesem.ext_model ->
+  stop_after:int ->
+  Transform.t ->
+  string * Pipesem.result
+(** Run and render in one step. *)

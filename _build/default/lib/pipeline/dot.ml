@@ -1,0 +1,94 @@
+module Spec = Machine.Spec
+
+let node_id name = "r_" ^ Hw.Verilog.sanitize name
+
+let forwarding_graph (t : Transform.t) =
+  let m = t.Transform.base in
+  let b = Buffer.create 4096 in
+  let pr fmt = Format.kasprintf (Buffer.add_string b) fmt in
+  pr "digraph %s {\n" (Hw.Verilog.sanitize m.Spec.machine_name);
+  pr "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  pr "  fontsize=11;\n";
+  (* Stage clusters with their output registers. *)
+  List.iter
+    (fun (s : Spec.stage) ->
+      pr "  subgraph cluster_stage%d {\n" s.Spec.index;
+      pr "    label=\"stage %d (%s)\";\n" s.Spec.index s.Spec.stage_name;
+      pr "    style=rounded;\n";
+      List.iter
+        (fun (r : Spec.register) ->
+          if r.Spec.stage = s.Spec.index then begin
+            let shape =
+              match r.Spec.kind with
+              | Spec.File _ -> "box3d"
+              | Spec.Simple -> "box"
+            in
+            pr "    %s [label=\"%s\\n%d bit%s\", shape=%s%s];\n"
+              (node_id r.Spec.reg_name) r.Spec.reg_name r.Spec.width
+              (match r.Spec.kind with
+              | Spec.File { addr_bits } ->
+                Printf.sprintf " x 2^%d" addr_bits
+              | Spec.Simple -> "")
+              shape
+              (if r.Spec.visible then ", penwidth=2" else "")
+          end)
+        m.Spec.registers;
+      pr "  }\n")
+    m.Spec.stages;
+  (* Instance-chain flow. *)
+  List.iter
+    (fun (r : Spec.register) ->
+      match r.Spec.prev_instance with
+      | Some p ->
+        pr "  %s -> %s [color=gray40];\n" (node_id p) (node_id r.Spec.reg_name)
+      | None -> ())
+    m.Spec.registers;
+  (* Forwarding edges: source stage -> consumer's operand register. *)
+  List.iter
+    (fun (r : Transform.rule) ->
+      let consumer = Printf.sprintf "g_%s" r.Transform.rule_label in
+      pr
+        "  %s [label=\"g %s\\n(stage %d operand)\", shape=trapezium, \
+         style=filled, fillcolor=lightyellow];\n"
+        consumer r.Transform.rule_label r.Transform.consumer_stage;
+      (* Default: the architectural register. *)
+      pr "  %s -> %s [style=dashed, color=gray, label=\"no hit\"];\n"
+        (node_id r.Transform.operand_reg)
+        consumer;
+      List.iter
+        (fun (s : Transform.source) ->
+          match s.Transform.src_kind with
+          | Transform.From_writer ->
+            pr
+              "  f%d -> %s [style=dashed, color=blue, label=\"hit[%d] (Din)\"];\n"
+              s.Transform.src_stage consumer s.Transform.src_stage;
+            pr "  f%d [label=\"f_%d output\", shape=ellipse];\n"
+              s.Transform.src_stage s.Transform.src_stage
+          | Transform.From_chain c -> (
+            match
+              Spec.instance_at_stage m c
+                ~consumer_stage:(s.Transform.src_stage + 1)
+            with
+            | Some inst ->
+              pr "  %s -> %s [style=dashed, color=blue, label=\"hit[%d]\"];\n"
+                (node_id inst) consumer s.Transform.src_stage
+            | None ->
+              pr
+                "  f%d -> %s [style=dashed, color=blue, label=\"hit[%d]\"];\n"
+                s.Transform.src_stage consumer s.Transform.src_stage)
+          | Transform.No_source ->
+            pr
+              "  stall%d_%s [label=\"stall\", shape=plaintext, \
+               fontcolor=red];\n"
+              s.Transform.src_stage r.Transform.rule_label;
+            pr "  stall%d_%s -> %s [style=dotted, color=red];\n"
+              s.Transform.src_stage r.Transform.rule_label consumer)
+        r.Transform.sources)
+    t.Transform.rules;
+  pr "}\n";
+  Buffer.contents b
+
+let write_file ~path t =
+  let oc = open_out path in
+  output_string oc (forwarding_graph t);
+  close_out oc

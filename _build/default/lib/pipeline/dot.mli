@@ -1,0 +1,12 @@
+(** Graphviz rendering of the pipeline and its generated forwarding
+    paths — the figure-2 view as a diagram.
+
+    One cluster per stage containing its output registers; solid edges
+    for the pipeline register flow (instance chains); dashed, labelled
+    edges for every synthesized forwarding source into its consumer
+    stage; dotted edges for the interlock-only (stall) sources.
+    Render with [dot -Tsvg]. *)
+
+val forwarding_graph : Transform.t -> string
+
+val write_file : path:string -> Transform.t -> unit

@@ -1,0 +1,44 @@
+type operand_sel =
+  | Reg of string
+  | File_port of string * int
+
+type hint = {
+  h_stage : int;
+  h_operand : operand_sel;
+  h_label : string option;
+  h_chain : string option;
+  h_we_override : (int * Hw.Expr.t) list;
+  h_wa_override : (int * Hw.Expr.t) list;
+  h_needed : Hw.Expr.t option;
+}
+
+let hint ?label ?chain ?(we_override = []) ?(wa_override = []) ?needed ~stage
+    operand =
+  {
+    h_stage = stage;
+    h_operand = operand;
+    h_label = label;
+    h_chain = chain;
+    h_we_override = we_override;
+    h_wa_override = wa_override;
+    h_needed = needed;
+  }
+
+type speculation = {
+  spec_label : string;
+  resolve_stage : int;
+  mispredict : Hw.Expr.t;
+  rollback_writes : Machine.Spec.write list;
+  retires : bool;
+}
+
+type mode =
+  | Full
+  | Interlock_only
+
+type options = {
+  mode : mode;
+  impl : Hw.Circuits.priority_impl;
+}
+
+let default_options = { mode = Full; impl = Hw.Circuits.Chain }

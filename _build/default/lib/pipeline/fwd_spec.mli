@@ -1,0 +1,100 @@
+(** Designer input to the transformation tool.
+
+    The paper keeps the manual effort deliberately low: besides the
+    prepared sequential machine itself, the designer only names, per
+    forwarded operand, the registers holding intermediate results (the
+    *forwarding registers*, §4.1 — e.g. [C.3]/[C.4] for the DLX GPR
+    operands) and, for speculative inputs, which value is speculated on
+    and where the truth is detected (§5).  Everything else — hit
+    signals, valid bits, multiplexers, interlock, the stall engine and
+    the rollback machinery — is synthesized. *)
+
+(** Which operand of a consumer stage a hint applies to. *)
+type operand_sel =
+  | Reg of string
+      (** a plain register read by the stage (e.g. [DPC] in fetch) *)
+  | File_port of string * int
+      (** [File_port (file, i)]: the [i]-th distinct read port of
+          register file [file] in the stage, in order of appearance in
+          the stage's expressions (e.g. the DLX decode stage reads
+          [GPR] twice: port 0 is operand A, port 1 is operand B) *)
+
+type hint = {
+  h_stage : int;  (** the consumer stage [k] *)
+  h_operand : operand_sel;
+  h_label : string option;
+      (** display label, e.g. ["GPRa"]; defaults to a generated one *)
+  h_chain : string option;
+      (** name of any register of the forwarding-register chain (e.g.
+          ["C.3"]); the tool walks the instance links to find the
+          instance relevant at each stage.  [None] means no forwarding
+          registers are designated: every hit raises a data hazard
+          (pure interlock for this operand). *)
+  h_we_override : (int * Hw.Expr.t) list;
+      (** per-stage replacements for the auto-derived precomputed write
+          enable [Rwe.j] (rarely needed) *)
+  h_wa_override : (int * Hw.Expr.t) list;
+      (** per-stage replacements for the precomputed write address
+          [Rwa.j] *)
+  h_needed : Hw.Expr.t option;
+      (** 1-bit condition over the consumer stage's inputs: the operand
+          is actually used only when it holds (e.g. a jump does not
+          read its register fields).  Gates the rule's data-hazard
+          signal — never the forwarding muxes — so a wrong condition
+          can cost stalls or, if too narrow, break consistency; the
+          checkers will catch the latter.  [None] means always
+          needed. *)
+}
+
+val hint :
+  ?label:string ->
+  ?chain:string ->
+  ?we_override:(int * Hw.Expr.t) list ->
+  ?wa_override:(int * Hw.Expr.t) list ->
+  ?needed:Hw.Expr.t ->
+  stage:int ->
+  operand_sel ->
+  hint
+
+(** Speculation (paper §5): the designer states which input value is
+    speculative.  The tool adds a comparator on the actual value and
+    wires the rollback. *)
+type speculation = {
+  spec_label : string;
+  resolve_stage : int;
+      (** stage [k] where the truth is known; the comparison fires only
+          when the stage is full and not stalled *)
+  mispredict : Hw.Expr.t;
+      (** 1-bit: guessed value differs from the actual value.  Reads
+          the resolve stage's inputs (forwarded operands are used, like
+          any stage input). *)
+  rollback_writes : Machine.Spec.write list;
+      (** corrective updates committed when the rollback fires (e.g.
+          the JISR updates for precise interrupts); normal [ue]-gated
+          writes of the squashed stages are suppressed *)
+  retires : bool;
+      (** [true]: the rollback writes realize the squashed
+          instruction's sequential semantics, so it counts as executed
+          (precise interrupts).  [false]: the squashed instructions
+          were wrongly fetched and are re-fetched (branch
+          misprediction). *)
+}
+
+(** Transformation options. *)
+type mode =
+  | Full            (** forwarding + interlock (the paper's result) *)
+  | Interlock_only
+      (** no bypass paths: every hit raises a data hazard and stalls
+          until the producer has written the register.  Used as the
+          baseline in experiment E5. *)
+
+type options = {
+  mode : mode;
+  impl : Hw.Circuits.priority_impl;
+      (** multiplexer structure for the [top] selection (experiment
+          E3): [Chain] is figure 2's linear chain, [Tree] the
+          find-first-one + balanced tree of §4.2 *)
+}
+
+val default_options : options
+(** [Full] with [Chain] (the paper's figure 2 construction). *)

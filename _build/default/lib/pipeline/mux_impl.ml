@@ -1,0 +1,59 @@
+type point = {
+  sources : int;
+  data_width : int;
+  chain : Hw.Cost.t;
+  tree : Hw.Cost.t;
+  bus : Hw.Cost.t;
+}
+
+let build_network ~impl ~sources ~data_width =
+  let cases =
+    List.init sources (fun j ->
+        ( Hw.Expr.input (Printf.sprintf "hit_%d" j) 1,
+          Hw.Expr.input (Printf.sprintf "cand_%d" j) data_width ))
+  in
+  let default = Hw.Expr.input "reg_value" data_width in
+  Hw.Circuits.priority_select ~impl cases ~default
+
+(* The bus: the find-first-one enables (priced on the real network),
+   plus one tri-state driver per source bit (~1 gate equivalent each,
+   including the default's driver) and one settling level. *)
+let bus_cost ~sources ~data_width =
+  (* The enables are produced in parallel: gates add, depth is the
+     deepest output. *)
+  let enables =
+    List.fold_left
+      (fun acc e -> Hw.Cost.add acc (Hw.Cost.of_expr e))
+      Hw.Cost.zero
+      (Hw.Circuits.find_first_one
+         (List.init sources (fun j ->
+              Hw.Expr.input (Printf.sprintf "hit_%d" j) 1)))
+  in
+  Hw.Cost.seq enables
+    { Hw.Cost.gates = (sources + 1) * data_width; depth = 1 }
+
+let measure ~sources ~data_width =
+  let cost impl =
+    Hw.Cost.of_expr (build_network ~impl ~sources ~data_width)
+  in
+  {
+    sources;
+    data_width;
+    chain = cost Hw.Circuits.Chain;
+    tree = cost Hw.Circuits.Tree;
+    bus = bus_cost ~sources ~data_width;
+  }
+
+let sweep ~depths ~data_width =
+  List.map (fun sources -> measure ~sources ~data_width) depths
+
+let pp_sweep ppf points =
+  Format.fprintf ppf "%8s  %11s %11s  %11s %10s  %10s %9s@." "sources"
+    "chain gates" "chain depth" "tree gates" "tree depth" "bus gates"
+    "bus depth";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%8d  %11d %11d  %11d %10d  %10d %9d@." p.sources
+        p.chain.Hw.Cost.gates p.chain.Hw.Cost.depth p.tree.Hw.Cost.gates
+        p.tree.Hw.Cost.depth p.bus.Hw.Cost.gates p.bus.Hw.Cost.depth)
+    points

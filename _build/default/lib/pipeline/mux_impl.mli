@@ -1,0 +1,34 @@
+(** Experiment E3: forwarding multiplexer implementations.
+
+    The paper (§4.2) notes of the generated linear mux chain: "this
+    hardware gets slow with larger pipelines.  With larger pipelines,
+    one can use a find first one circuit and a balanced tree of
+    multiplexers".  This module builds the [top]-selection network for
+    a parametric number of forwarding sources with both structures and
+    prices them, reproducing the asymptotic claim: linear depth for the
+    chain, logarithmic for the tree. *)
+
+type point = {
+  sources : int;  (** forwarding sources = pipeline depth - 2 roughly *)
+  data_width : int;
+  chain : Hw.Cost.t;
+  tree : Hw.Cost.t;
+  bus : Hw.Cost.t;
+      (** tri-state operand bus: find-first-one enables plus one driver
+          per source bit and a single bus settling level (priced
+          analytically — the simulated network is the [Tree]
+          equivalent) *)
+}
+
+val build_network :
+  impl:Hw.Circuits.priority_impl -> sources:int -> data_width:int -> Hw.Expr.t
+(** The priority-selection network over fresh hit/candidate inputs. *)
+
+val measure : sources:int -> data_width:int -> point
+
+val sweep : depths:int list -> data_width:int -> point list
+
+val bus_cost : sources:int -> data_width:int -> Hw.Cost.t
+
+val pp_sweep : Format.formatter -> point list -> unit
+(** Table: sources, chain/tree/bus gates and depth. *)

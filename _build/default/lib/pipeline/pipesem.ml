@@ -1,0 +1,252 @@
+module State = Machine.State
+
+type ext_model = stage:int -> cycle:int -> bool
+
+type retire_kind =
+  | Normal
+  | Via_rollback of string
+
+type cycle_record = {
+  cycle : int;
+  full : bool array;
+  stall : bool array;
+  dhaz : bool array;
+  ext : bool array;
+  rollback : bool array;
+  ue : bool array;
+  tags : int option array;
+}
+
+type callbacks = {
+  on_signals : cycle:int -> (string -> Hw.Bitvec.t option) -> unit;
+  on_cycle : cycle_record -> unit;
+  on_edge : cycle_record -> Machine.State.t -> unit;
+  on_retire : tag:int -> kind:retire_kind -> Machine.State.t -> unit;
+}
+
+let no_callbacks =
+  {
+    on_signals = (fun ~cycle:_ _ -> ());
+    on_cycle = (fun _ -> ());
+    on_edge = (fun _ _ -> ());
+    on_retire = (fun ~tag:_ ~kind:_ _ -> ());
+  }
+
+type outcome =
+  | Completed
+  | Deadlocked
+  | Out_of_cycles
+
+type stats = {
+  cycles : int;
+  retired : int;
+  fetch_stall_cycles : int;
+  dhaz_cycles : int;
+  ext_cycles : int;
+  rollbacks : int;
+  squashed : int;
+}
+
+type result = {
+  outcome : outcome;
+  stats : stats;
+  state : Machine.State.t;
+}
+
+let bool_bv b = Hw.Bitvec.of_bool b
+
+let run ?(ext = fun ~stage:_ ~cycle:_ -> false) ?(callbacks = no_callbacks)
+    ?max_cycles ~stop_after (t : Transform.t) =
+  let m = t.Transform.machine in
+  let n = m.Machine.Spec.n_stages in
+  let max_cycles =
+    match max_cycles with
+    | Some c -> c
+    | None -> (stop_after * 4 * n) + 10_000
+  in
+  let deadlock_window = (4 * n) + 64 in
+  let state = State.create m in
+  let fullb = Array.make n false in
+  let tags = Array.make n None in
+  tags.(0) <- Some 0;
+  let retired = ref 0 in
+  let cycle = ref 0 in
+  let idle = ref 0 in
+  let outcome = ref Out_of_cycles in
+  let fetch_stall_cycles = ref 0 in
+  let dhaz_cycles = ref 0 in
+  let ext_cycles = ref 0 in
+  let rollbacks = ref 0 in
+  let squashed = ref 0 in
+  let base_env = State.eval_env state in
+  (while !retired < stop_after && !cycle < max_cycles && !outcome <> Deadlocked
+   do
+     let overlay : (string, Hw.Bitvec.t) Hashtbl.t = Hashtbl.create 64 in
+     let env =
+       {
+         Hw.Eval.lookup_input =
+           (fun name ->
+             match Hashtbl.find_opt overlay name with
+             | Some v -> v
+             | None -> base_env.Hw.Eval.lookup_input name);
+         lookup_file = base_env.Hw.Eval.lookup_file;
+       }
+     in
+     (* Bind the free inputs: full and ext per stage. *)
+     let ext_now = Array.init n (fun k -> ext ~stage:k ~cycle:!cycle) in
+     for k = 0 to n - 1 do
+       Hashtbl.replace overlay (Transform.full_signal k)
+         (bool_bv (k = 0 || fullb.(k)));
+       Hashtbl.replace overlay (Transform.ext_signal k) (bool_bv ext_now.(k))
+     done;
+     (* Evaluate the synthesized signals in definition order. *)
+     List.iter
+       (fun (name, e) -> Hashtbl.replace overlay name (Hw.Eval.eval env e))
+       t.Transform.signals;
+     callbacks.on_signals ~cycle:!cycle (fun name ->
+         match Hashtbl.find_opt overlay name with
+         | Some v -> Some v
+         | None -> (
+           match Machine.State.get state name with
+           | Machine.Value.Scalar v -> Some v
+           | Machine.Value.File _ -> None
+           | exception Invalid_argument _ -> None));
+     let dhaz =
+       Array.init n (fun k ->
+           Hw.Bitvec.to_bool (Hashtbl.find overlay t.Transform.stage_dhaz.(k)))
+     in
+     (* Stall engine. *)
+     let mispredict ~stage ~stalled =
+       (not stalled)
+       && List.exists
+            (fun (sp : Fwd_spec.speculation) ->
+              sp.Fwd_spec.resolve_stage = stage
+              && Hw.Eval.eval_bool env sp.Fwd_spec.mispredict)
+            t.Transform.speculations
+     in
+     let s = Stall_engine.compute ~fullb ~dhaz ~ext:ext_now ~mispredict in
+     let record =
+       {
+         cycle = !cycle;
+         full = Array.copy s.Stall_engine.full;
+         stall = Array.copy s.Stall_engine.stall;
+         dhaz = Array.copy dhaz;
+         ext = Array.copy ext_now;
+         rollback = Array.copy s.Stall_engine.rollback;
+         ue = Array.copy s.Stall_engine.ue;
+         tags = Array.copy tags;
+       }
+     in
+     callbacks.on_cycle record;
+     (* Which speculation fires?  Only the deepest rollback commits its
+        corrective writes; everything at or above it is squashed. *)
+     let deepest_rollback =
+       let rec find k = if k < 0 then None else if s.rollback.(k) then Some k else find (k - 1) in
+       find (n - 1)
+     in
+     let firing_spec =
+       match deepest_rollback with
+       | None -> None
+       | Some k ->
+         List.find_opt
+           (fun (sp : Fwd_spec.speculation) ->
+             sp.Fwd_spec.resolve_stage = k
+             && Hw.Eval.eval_bool env sp.Fwd_spec.mispredict)
+           t.Transform.speculations
+     in
+     (* Collect all register updates against the pre-edge state. *)
+     let updates = ref [] in
+     for k = 0 to n - 1 do
+       if s.ue.(k) then
+         updates :=
+           Machine.Commit.stage_updates m ~stage:k ~env state :: !updates
+     done;
+     (match firing_spec with
+     | None -> ()
+     | Some sp ->
+       updates :=
+         Machine.Commit.writes_updates m ~writes:sp.Fwd_spec.rollback_writes
+           ~env state
+         :: !updates);
+     (* Clock edge: registers, tags, full bits. *)
+     List.iter (Machine.Commit.apply state) (List.rev !updates);
+     callbacks.on_edge record state;
+     let retirements = ref [] in
+     if s.ue.(n - 1) then (
+       match tags.(n - 1) with
+       | Some tag -> retirements := (tag, Normal) :: !retirements
+       | None -> assert false);
+     (match (deepest_rollback, firing_spec) with
+     | Some k, Some sp when sp.Fwd_spec.retires -> (
+       match tags.(k) with
+       | Some tag -> retirements := (tag, Via_rollback sp.Fwd_spec.spec_label) :: !retirements
+       | None -> assert false)
+     | Some _, Some _ | Some _, None | None, _ -> ());
+     (* Count evicted (non-retiring) instructions. *)
+     (match deepest_rollback with
+     | None -> ()
+     | Some k ->
+       incr rollbacks;
+       for j = 0 to k do
+         match tags.(j) with
+         | Some tag
+           when not (List.exists (fun (t', _) -> t' = tag) !retirements) ->
+           if s.full.(j) then incr squashed
+         | Some _ | None -> ()
+       done);
+     (* Tag shift. *)
+     let old_tags = Array.copy tags in
+     for st = n - 1 downto 1 do
+       tags.(st) <-
+         (if s.rollback_up.(st) then None
+          else if s.ue.(st - 1) then old_tags.(st - 1)
+          else if s.stall.(st) && s.full.(st) then old_tags.(st)
+          else None)
+     done;
+     (match (deepest_rollback, firing_spec) with
+     | Some k, Some sp ->
+       let base = match old_tags.(k) with Some tag -> tag | None -> 0 in
+       tags.(0) <- Some (base + if sp.Fwd_spec.retires then 1 else 0)
+     | Some k, None ->
+       (* A rollback with no matching speculation cannot happen: the
+          mispredict test selected one.  Keep the fetch tag. *)
+       ignore k
+     | None, _ ->
+       if s.ue.(0) then
+         tags.(0) <-
+           Some ((match old_tags.(0) with Some tag -> tag | None -> 0) + 1));
+     let fullb' = Stall_engine.next_fullb s in
+     Array.blit fullb' 0 fullb 0 n;
+     (* Statistics and liveness. *)
+     if s.stall.(0) then incr fetch_stall_cycles;
+     if Array.exists (fun b -> b) dhaz then incr dhaz_cycles;
+     if Array.exists (fun b -> b) ext_now then incr ext_cycles;
+     List.iter
+       (fun (tag, kind) ->
+         incr retired;
+         callbacks.on_retire ~tag ~kind state)
+       (List.sort compare !retirements);
+     if Array.exists (fun b -> b) s.ue || !retirements <> [] then idle := 0
+     else begin
+       incr idle;
+       if !idle > deadlock_window then outcome := Deadlocked
+     end;
+     incr cycle
+   done);
+  if !retired >= stop_after then outcome := Completed;
+  {
+    outcome = !outcome;
+    stats =
+      {
+        cycles = !cycle;
+        retired = !retired;
+        fetch_stall_cycles = !fetch_stall_cycles;
+        dhaz_cycles = !dhaz_cycles;
+        ext_cycles = !ext_cycles;
+        rollbacks = !rollbacks;
+        squashed = !squashed;
+      };
+    state;
+  }
+
+let cpi s = if s.retired = 0 then infinity else float_of_int s.cycles /. float_of_int s.retired

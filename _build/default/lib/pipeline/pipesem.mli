@@ -1,0 +1,93 @@
+(** Cycle-accurate simulation of the transformed (pipelined) machine.
+
+    Each cycle:
+
+    + read the full bits, bind the ["$full_k"] / ["$ext_k"] free
+      inputs, and evaluate the synthesized signal definitions in order
+      (hits, valid bits, forwarded operands [g_k], data hazards);
+    + run the stall engine (paper §3) to obtain stalls, rollbacks and
+      update enables;
+    + for every stage with [ue_k], evaluate its data paths against the
+      pre-edge state; for a firing speculation, evaluate its rollback
+      writes; commit everything as one clock edge, together with the
+      [fullb] and instruction-tag updates.
+
+    Instruction tags track which sequential instruction index occupies
+    each stage — the simulator's ground-truth scheduling function,
+    which the paper's inductive [I(k,T)] is checked against (see
+    {!Schedule}). *)
+
+type ext_model = stage:int -> cycle:int -> bool
+(** External stall injection ([ext_k], e.g. slow memory). *)
+
+type retire_kind =
+  | Normal                  (** left the last stage via [ue_{n-1}] *)
+  | Via_rollback of string  (** retired by a [retires] speculation's
+                                rollback writes (precise interrupts) *)
+
+type cycle_record = {
+  cycle : int;
+  full : bool array;
+  stall : bool array;
+  dhaz : bool array;
+  ext : bool array;
+  rollback : bool array;
+  ue : bool array;
+  tags : int option array;  (** pre-edge instruction tags per stage *)
+}
+
+type callbacks = {
+  on_signals : cycle:int -> (string -> Hw.Bitvec.t option) -> unit;
+      (** after the synthesized combinational signals have been
+          evaluated for the cycle, before the stall engine: the lookup
+          resolves synthesized signal names, free inputs
+          (["$full_k"]/["$ext_k"]) and scalar registers, all pre-edge.
+          Used by {!Tracer}. *)
+  on_cycle : cycle_record -> unit;
+      (** after signal computation, before the clock edge *)
+  on_edge : cycle_record -> Machine.State.t -> unit;
+      (** after the clock edge: the record describes the cycle that
+          just committed (pre-edge tags), the state is post-edge.
+          Used by the data-consistency checker. *)
+  on_retire : tag:int -> kind:retire_kind -> Machine.State.t -> unit;
+      (** after the clock edge of the retiring cycle; the state passed
+          is live — snapshot what you need *)
+}
+
+val no_callbacks : callbacks
+
+type outcome =
+  | Completed       (** the requested number of instructions retired *)
+  | Deadlocked      (** liveness violation: no progress within the bound *)
+  | Out_of_cycles   (** [max_cycles] reached first *)
+
+type stats = {
+  cycles : int;
+  retired : int;
+  fetch_stall_cycles : int;  (** cycles in which stage 0 was stalled *)
+  dhaz_cycles : int;   (** cycles in which some stage had a data hazard *)
+  ext_cycles : int;    (** cycles in which some stage had an external stall *)
+  rollbacks : int;
+  squashed : int;      (** instructions evicted (excluding retiring ones) *)
+}
+
+type result = {
+  outcome : outcome;
+  stats : stats;
+  state : Machine.State.t;  (** final register state *)
+}
+
+val run :
+  ?ext:ext_model ->
+  ?callbacks:callbacks ->
+  ?max_cycles:int ->
+  stop_after:int ->
+  Transform.t ->
+  result
+(** Simulate from the initial state until [stop_after] instructions
+    have retired.  [max_cycles] defaults to a generous bound derived
+    from [stop_after].  Deadlock is declared when no stage updates for
+    [4 * n_stages + 64] consecutive cycles while work remains. *)
+
+val cpi : stats -> float
+(** Cycles per retired instruction. *)

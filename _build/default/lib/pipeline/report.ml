@@ -1,0 +1,176 @@
+type source_summary = {
+  sum_stage : int;
+  sum_kind : string;
+  sum_eq_tester : bool;
+  sum_conservative : bool;
+}
+
+type rule_summary = {
+  sum_label : string;
+  sum_consumer : int;
+  sum_operand : string;
+  sum_writer : int;
+  sum_sources : source_summary list;
+  sum_eq_testers : int;
+  sum_hit_signals : int;
+  sum_mux_count : int;
+  sum_cost : Hw.Cost.t;
+}
+
+let count_muxes e =
+  Hw.Expr.fold
+    (fun n node -> match node with Hw.Expr.Mux _ -> n + 1 | _ -> n)
+    0 e
+
+let signal_def (t : Transform.t) name = List.assoc name t.Transform.signals
+
+let signal_cost t name = Hw.Cost.of_expr (signal_def t name)
+
+let inventory (t : Transform.t) =
+  List.map
+    (fun (r : Transform.rule) ->
+      let sources =
+        List.map
+          (fun (s : Transform.source) ->
+            {
+              sum_stage = s.Transform.src_stage;
+              sum_kind =
+                (match s.Transform.src_kind with
+                | Transform.From_writer -> "f_w (writer)"
+                | Transform.From_chain c -> "via " ^ c
+                | Transform.No_source -> "(stall only)");
+              sum_eq_tester = s.Transform.has_addr_compare;
+              sum_conservative = s.Transform.conservative;
+            })
+          r.Transform.sources
+      in
+      let g_cost, muxes =
+        match r.Transform.g_signal with
+        | None -> (Hw.Cost.zero, 0)
+        | Some g ->
+          let e = signal_def t g in
+          (Hw.Cost.of_expr e, count_muxes e)
+      in
+      {
+        sum_label = r.Transform.rule_label;
+        sum_consumer = r.Transform.consumer_stage;
+        sum_operand =
+          (match r.Transform.operand_port with
+          | None -> r.Transform.operand_reg
+          | Some p -> Printf.sprintf "%s (port %d)" r.Transform.operand_reg p);
+        sum_writer = r.Transform.writer_stage;
+        sum_sources = sources;
+        sum_eq_testers =
+          List.length (List.filter (fun s -> s.sum_eq_tester) sources);
+        sum_hit_signals = List.length sources;
+        sum_mux_count = muxes;
+        sum_cost = g_cost;
+      })
+    t.Transform.rules
+
+let pp_inventory ppf (t : Transform.t) =
+  let inv = inventory t in
+  Format.fprintf ppf "generated forwarding/interlock hardware for %s:@."
+    t.Transform.base.Machine.Spec.machine_name;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "  operand %s: read in stage %d, written by stage %d@." r.sum_operand
+        r.sum_consumer r.sum_writer;
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "    stage %d: hit%s -> %s%s@." s.sum_stage
+            (if s.sum_eq_tester then " (=? tester)" else "")
+            s.sum_kind
+            (if s.sum_conservative then " [conservative]" else ""))
+        r.sum_sources;
+      Format.fprintf ppf
+        "    totals: %d hit signals, %d equality testers, %d muxes, %a@."
+        r.sum_hit_signals r.sum_eq_testers r.sum_mux_count Hw.Cost.pp
+        r.sum_cost)
+    inv
+
+let verilog (t : Transform.t) =
+  let m = t.Transform.machine in
+  let n = m.Machine.Spec.n_stages in
+  (* Free inputs: designer registers referenced by the signal
+     definitions, plus ext per stage. *)
+  let referenced = Hashtbl.create 64 in
+  List.iter
+    (fun (_, e) ->
+      List.iter
+        (fun (name, w) ->
+          if String.length name > 0 && name.[0] <> '$' then
+            Hashtbl.replace referenced name w)
+        (Hw.Expr.inputs e))
+    t.Transform.signals;
+  let ports =
+    Hashtbl.fold
+      (fun name w acc ->
+        { Hw.Verilog.port_name = name; port_width = w; dir = Hw.Verilog.In }
+        :: acc)
+      referenced []
+    |> List.sort compare
+  in
+  let ext_ports =
+    List.init n (fun k ->
+        {
+          Hw.Verilog.port_name = Transform.ext_signal k;
+          port_width = 1;
+          dir = Hw.Verilog.In;
+        })
+  in
+  let qv_regs =
+    List.filter_map
+      (fun (r : Machine.Spec.register) ->
+        if
+          String.length r.Machine.Spec.reg_name > 0
+          && r.Machine.Spec.reg_name.[0] = '$'
+        then
+          let wr = Machine.Spec.write_to m r.Machine.Spec.reg_name in
+          Some
+            (Hw.Verilog.Reg_decl
+               ( r.Machine.Spec.reg_name,
+                 r.Machine.Spec.width,
+                 Option.map (fun (_, w) -> w.Machine.Spec.value) wr ))
+        else None)
+      m.Machine.Spec.registers
+  in
+  let full_regs =
+    List.init (n - 1) (fun i ->
+        let s = i + 1 in
+        Hw.Verilog.Reg_decl
+          ( Transform.full_signal s,
+            1,
+            Some (Hw.Expr.input (Printf.sprintf "$fullb_next_%d" s) 1) ))
+  in
+  let sig_wires =
+    List.map
+      (fun (name, e) -> Hw.Verilog.Wire (name, Hw.Expr.width e, e))
+      t.Transform.signals
+  in
+  let mispredict k =
+    List.fold_left
+      (fun acc (sp : Fwd_spec.speculation) ->
+        if sp.Fwd_spec.resolve_stage = k then
+          Hw.Expr.( ||: ) acc sp.Fwd_spec.mispredict
+        else acc)
+      Hw.Expr.fls t.Transform.speculations
+  in
+  let engine =
+    Stall_engine.exprs ~n_stages:n
+      ~dhaz:(fun k -> Hw.Expr.input t.Transform.stage_dhaz.(k) 1)
+      ~mispredict
+    |> List.map (fun (name, e) -> Hw.Verilog.Wire (name, Hw.Expr.width e, e))
+  in
+  {
+    Hw.Verilog.module_name =
+      t.Transform.base.Machine.Spec.machine_name ^ "_pipeline_control";
+    ports = ports @ ext_ports;
+    items =
+      (Hw.Verilog.Comment "synthesized forwarding / interlock signals"
+       :: sig_wires)
+      @ (Hw.Verilog.Comment "valid-bit pipeline (Qv registers)" :: qv_regs)
+      @ (Hw.Verilog.Comment "stall engine (paper section 3)" :: engine)
+      @ (Hw.Verilog.Comment "full bits" :: full_regs);
+  }

@@ -1,0 +1,46 @@
+(** Reporting of the generated hardware.
+
+    [inventory] reproduces the structural content of the paper's
+    figure 2: for every synthesized forwarding network, the equality
+    testers, hit signals, forwarding registers, valid bits and the
+    multiplexer chain, plus gate/depth costs from {!Hw.Cost}.
+    [verilog] emits the full generated logic — forwarding networks,
+    interlock, valid-bit pipeline and stall engine — as one HDL
+    module. *)
+
+type source_summary = {
+  sum_stage : int;
+  sum_kind : string;   (** ["f_w (writer)"], ["via C.3"], ["(stall only)"] *)
+  sum_eq_tester : bool;
+  sum_conservative : bool;
+}
+
+type rule_summary = {
+  sum_label : string;
+  sum_consumer : int;
+  sum_operand : string;
+  sum_writer : int;
+  sum_sources : source_summary list;
+  sum_eq_testers : int;
+  sum_hit_signals : int;
+  sum_mux_count : int;   (** data multiplexers in the g network *)
+  sum_cost : Hw.Cost.t;  (** of the g network (zero in interlock mode) *)
+}
+
+val inventory : Transform.t -> rule_summary list
+
+val pp_inventory : Format.formatter -> Transform.t -> unit
+(** Figure-2-style textual rendering. *)
+
+val count_muxes : Hw.Expr.t -> int
+(** Number of [Mux] nodes in an expression. *)
+
+val verilog : Transform.t -> Hw.Verilog.modul
+(** The generated forwarding + interlock + stall-engine logic as a
+    module.  Register state (pipeline registers, [Qv] bits, full bits)
+    appears as clocked [reg]s; designer registers read by the logic
+    appear as input ports. *)
+
+val signal_cost : Transform.t -> string -> Hw.Cost.t
+(** Cost of one named synthesized signal ({!Hw.Cost.of_expr} of its
+    definition). @raise Not_found for unknown signals. *)

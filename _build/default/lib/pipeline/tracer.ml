@@ -1,0 +1,80 @@
+module Spec = Machine.Spec
+
+let engine_signals n =
+  List.concat_map
+    (fun k ->
+      [
+        (Printf.sprintf "full_%d" k, 1);
+        (Printf.sprintf "stall_%d" k, 1);
+        (Printf.sprintf "dhaz_%d" k, 1);
+        (Printf.sprintf "ue_%d" k, 1);
+        (Printf.sprintf "rollback_%d" k, 1);
+      ])
+    (List.init n (fun k -> k))
+
+let trace ?ext ?(registers = []) ?signals ~stop_after (t : Transform.t) =
+  let m = t.Transform.machine in
+  let n = m.Spec.n_stages in
+  let signals =
+    match signals with
+    | Some s -> s
+    | None -> Array.to_list t.Transform.stage_dhaz
+  in
+  List.iter
+    (fun r ->
+      match Spec.find_register m r with
+      | { Spec.kind = Spec.Simple; _ } -> ()
+      | { Spec.kind = Spec.File _; _ } ->
+        invalid_arg (Printf.sprintf "Tracer: %s is a register file" r)
+      | exception Not_found ->
+        invalid_arg (Printf.sprintf "Tracer: unknown register %s" r))
+    registers;
+  let sig_width name =
+    match List.assoc_opt name t.Transform.signals with
+    | Some e -> Hw.Expr.width e
+    | None -> invalid_arg (Printf.sprintf "Tracer: unknown signal %s" name)
+  in
+  let reg_width r = (Spec.find_register m r).Spec.width in
+  let declared =
+    engine_signals n
+    @ List.map (fun r -> (r, reg_width r)) registers
+    @ List.map (fun s -> (s, sig_width s)) signals
+  in
+  let vcd = Hw.Vcd.create declared in
+  (* Values are captured pre-edge: the synthesized signals and scalar
+     registers through the simulator's signal hook, the stall-engine
+     bits from the cycle record; both describe the same cycle. *)
+  let pending = ref [] in
+  let callbacks =
+    {
+      Pipesem.no_callbacks with
+      Pipesem.on_signals =
+        (fun ~cycle:_ lookup ->
+          let fetch name = Option.map (fun v -> (name, v)) (lookup name) in
+          pending :=
+            List.filter_map fetch signals
+            @ List.filter_map fetch registers);
+      on_cycle =
+        (fun r ->
+          let bits k =
+            [
+              (Printf.sprintf "full_%d" k, Hw.Bitvec.of_bool r.Pipesem.full.(k));
+              ( Printf.sprintf "stall_%d" k,
+                Hw.Bitvec.of_bool r.Pipesem.stall.(k) );
+              (Printf.sprintf "dhaz_%d" k, Hw.Bitvec.of_bool r.Pipesem.dhaz.(k));
+              (Printf.sprintf "ue_%d" k, Hw.Bitvec.of_bool r.Pipesem.ue.(k));
+              ( Printf.sprintf "rollback_%d" k,
+                Hw.Bitvec.of_bool r.Pipesem.rollback.(k) );
+            ]
+          in
+          Hw.Vcd.sample vcd
+            (List.concat_map bits (List.init n (fun k -> k)) @ !pending));
+    }
+  in
+  let result = Pipesem.run ?ext ~callbacks ~stop_after t in
+  (vcd, result)
+
+let write ~path ?ext ?registers ?signals ~stop_after t =
+  let vcd, result = trace ?ext ?registers ?signals ~stop_after t in
+  Hw.Vcd.write_file ~path vcd;
+  result

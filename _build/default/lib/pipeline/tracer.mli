@@ -1,0 +1,29 @@
+(** Waveform capture for pipelined simulations.
+
+    Runs the transformed machine and records, per cycle, the stall
+    engine signals ([full]/[stall]/[dhaz]/[ue]/[rollback] per stage),
+    selected scalar registers, and selected synthesized signals (hits,
+    valids, forwarded operands) into a VCD document — the debugging
+    view a hardware engineer expects from the generated design. *)
+
+val trace :
+  ?ext:Pipesem.ext_model ->
+  ?registers:string list ->
+  ?signals:string list ->
+  stop_after:int ->
+  Transform.t ->
+  Hw.Vcd.t * Pipesem.result
+(** [registers] are scalar registers of the transformed machine
+    (default: none); [signals] are synthesized signal names from
+    [Transform.signals] (default: every stage's [dhaz]).  The engine
+    signals are always included.  All values are captured pre-edge.
+    @raise Invalid_argument for unknown names. *)
+
+val write :
+  path:string ->
+  ?ext:Pipesem.ext_model ->
+  ?registers:string list ->
+  ?signals:string list ->
+  stop_after:int ->
+  Transform.t ->
+  Pipesem.result

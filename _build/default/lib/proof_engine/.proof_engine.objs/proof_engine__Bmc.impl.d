@@ -1,0 +1,1 @@
+lib/proof_engine/bmc.ml: Consistency Format List Pipeline Printexc Printf String

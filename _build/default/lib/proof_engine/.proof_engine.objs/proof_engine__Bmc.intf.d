@@ -1,0 +1,1 @@
+lib/proof_engine/bmc.mli: Format Pipeline

@@ -1,0 +1,1 @@
+lib/proof_engine/consistency.mli: Format Machine Pipeline

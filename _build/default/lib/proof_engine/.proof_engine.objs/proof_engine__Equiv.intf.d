@@ -1,0 +1,1 @@
+lib/proof_engine/equiv.mli: Format Hw

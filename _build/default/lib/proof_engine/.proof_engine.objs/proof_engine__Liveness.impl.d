@@ -1,0 +1,1 @@
+lib/proof_engine/liveness.ml: Format Machine Pipeline

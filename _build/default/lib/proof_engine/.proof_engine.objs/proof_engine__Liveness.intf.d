@@ -1,0 +1,1 @@
+lib/proof_engine/liveness.mli: Format Pipeline

@@ -1,0 +1,1 @@
+lib/proof_engine/machine_gen.ml: Array Consistency Format Hw List Machine Pipeline Printexc Printf

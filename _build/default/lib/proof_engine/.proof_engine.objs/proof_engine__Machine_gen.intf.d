@@ -1,0 +1,1 @@
+lib/proof_engine/machine_gen.mli: Format Machine Pipeline

@@ -1,0 +1,1 @@
+lib/proof_engine/obligation.mli: Format Machine Pipeline

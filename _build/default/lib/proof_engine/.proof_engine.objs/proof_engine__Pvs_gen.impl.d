@@ -1,0 +1,1 @@
+lib/proof_engine/pvs_gen.ml: Buffer Format Hw List Machine Obligation Pipeline String

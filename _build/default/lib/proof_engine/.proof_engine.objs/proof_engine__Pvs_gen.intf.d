@@ -1,0 +1,1 @@
+lib/proof_engine/pvs_gen.mli: Obligation Pipeline

@@ -1,0 +1,1 @@
+lib/proof_engine/symsim.ml: Array Equiv Format Hashtbl Hw List Machine Option Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/proof_engine/symsim.mli: Format Pipeline

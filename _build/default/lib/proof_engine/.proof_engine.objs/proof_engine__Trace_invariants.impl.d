@@ -1,0 +1,1 @@
+lib/proof_engine/trace_invariants.ml: Array Format List Pipeline Printf String

@@ -1,0 +1,56 @@
+type outcome = {
+  programs : int;
+  failures : (int list * string) list;
+}
+
+let ok o = o.failures = []
+
+let exhaustive ?(max_failures = 5) ?ext ~build ~alphabet ~length () =
+  let programs = ref 0 in
+  let failures = ref [] in
+  let rec enumerate prefix remaining =
+    if remaining = 0 then begin
+      let program = List.rev prefix in
+      incr programs;
+      let reason =
+        match build program with
+        | exception e -> Some ("transform failed: " ^ Printexc.to_string e)
+        | t -> (
+          let report =
+            Consistency.check ?ext ~max_instructions:(length + 4) t
+          in
+          if Consistency.ok report then None
+          else
+            Some
+              (match report.Consistency.violations with
+              | v :: _ ->
+                Printf.sprintf "instr %d register %s: expected %s, got %s"
+                  v.Consistency.tag v.Consistency.register
+                  v.Consistency.expected v.Consistency.got
+              | [] -> (
+                match report.Consistency.outcome with
+                | Pipeline.Pipesem.Deadlocked -> "deadlock"
+                | Pipeline.Pipesem.Out_of_cycles -> "out of cycles"
+                | Pipeline.Pipesem.Completed -> "lemma or final-state failure")))
+      in
+      match reason with
+      | None -> ()
+      | Some r ->
+        if List.length !failures < max_failures then
+          failures := (program, r) :: !failures
+    end
+    else
+      List.iter (fun insn -> enumerate (insn :: prefix) (remaining - 1)) alphabet
+  in
+  enumerate [] length;
+  { programs = !programs; failures = List.rev !failures }
+
+let pp ppf o =
+  Format.fprintf ppf "exhaustive check: %d programs, %d failures@." o.programs
+    (List.length o.failures);
+  List.iter
+    (fun (prog, reason) ->
+      Format.fprintf ppf "  program [%s]: %s@."
+        (String.concat "; " (List.map string_of_int prog))
+        reason)
+    o.failures

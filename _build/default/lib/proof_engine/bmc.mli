@@ -1,0 +1,36 @@
+(** Exhaustive bounded checking for small machines.
+
+    The paper discharges its lemmas in PVS; our substitute for the
+    theorem prover (see DESIGN.md) combines the per-run checkers with
+    an exhaustive sweep: for machines whose behaviour is determined by
+    a short program over a small instruction alphabet, [exhaustive]
+    co-simulates {e every} program of the given length and reports any
+    counterexample.  This covers all interleavings of hazards,
+    forwarding hits and stalls expressible at that bound — a
+    bounded-model-checking argument rather than an inductive proof,
+    exchanged for zero manual effort. *)
+
+type outcome = {
+  programs : int;           (** programs checked *)
+  failures : (int list * string) list;
+      (** failing programs (as encoding lists) with a reason, at most
+          [max_failures] recorded *)
+}
+
+val ok : outcome -> bool
+
+val exhaustive :
+  ?max_failures:int ->
+  ?ext:Pipeline.Pipesem.ext_model ->
+  build:(int list -> Pipeline.Transform.t) ->
+  alphabet:int list ->
+  length:int ->
+  unit ->
+  outcome
+(** [exhaustive ~build ~alphabet ~length ()] enumerates all
+    [|alphabet|^length] programs, builds the transformed machine for
+    each (the program usually lands in instruction-memory init), and
+    runs the full consistency check.  Keep [|alphabet|^length] modest:
+    it is a product with the per-program simulation cost. *)
+
+val pp : Format.formatter -> outcome -> unit

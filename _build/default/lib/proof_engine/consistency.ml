@@ -1,0 +1,198 @@
+module Spec = Machine.Spec
+module Pipesem = Pipeline.Pipesem
+
+type violation = {
+  at_cycle : int;
+  at_stage : int;
+  tag : int;
+  register : string;
+  expected : string;
+  got : string;
+}
+
+type lemma1_status =
+  | Lemma_ok
+  | Lemma_skipped_rollback
+  | Lemma_failed of string list
+
+type report = {
+  instructions : int;
+  retirements : int;
+  edge_checks : int;
+  violations : violation list;
+  lemma1 : lemma1_status;
+  outcome : Pipesem.outcome;
+  stats : Pipesem.stats;
+  final_visible_match : bool option;
+  trace : Pipesem.cycle_record list;
+}
+
+let ok r =
+  r.violations = []
+  && r.outcome = Pipesem.Completed
+  && (match r.lemma1 with
+     | Lemma_ok | Lemma_skipped_rollback -> true
+     | Lemma_failed _ -> false)
+  &&
+  match r.final_visible_match with None | Some true -> true | Some false -> false
+
+let value_at snapshot name = List.assoc_opt name snapshot
+
+let check ?ext ?(max_instructions = 200) ?reference (t : Pipeline.Transform.t) =
+  let base = t.Pipeline.Transform.base in
+  let n = base.Spec.n_stages in
+  let seq_trace =
+    match reference with
+    | Some trace -> trace
+    | None -> Machine.Seqsem.run ~max_instructions base
+  in
+  let instructions = seq_trace.Machine.Seqsem.instructions in
+  let spec = seq_trace.Machine.Seqsem.spec_before in
+  let visible_of_stage =
+    Array.init n (fun k ->
+        List.filter (fun (r : Spec.register) -> r.Spec.stage = k)
+          (Spec.visible_registers base))
+  in
+  (* Violations are buffered per instruction tag: writes by an
+     instruction that is later squashed by a rollback are speculative
+     and corrected by the rollback writes (paper §5 — "the guessed
+     value has no influence on the correctness"), so its pending
+     comparisons are cancelled when the squash happens. *)
+  let violations = ref [] in
+  let edge_checks = ref 0 in
+  let retirements = ref 0 in
+  let records = ref [] in
+  let compare_reg ~cycle ~stage ~tag snapshot (r : Spec.register) state =
+    incr edge_checks;
+    let got = Machine.State.get state r.Spec.reg_name in
+    match value_at snapshot r.Spec.reg_name with
+    | None -> ()
+    | Some expected ->
+      if not (Machine.Value.equal expected got) then
+        violations :=
+          {
+            at_cycle = cycle;
+            at_stage = stage;
+            tag;
+            register = r.Spec.reg_name;
+            expected = Format.asprintf "%a" Machine.Value.pp expected;
+            got = Format.asprintf "%a" Machine.Value.pp got;
+          }
+          :: !violations
+  in
+  let on_edge (rec_ : Pipesem.cycle_record) state =
+    for k = 0 to n - 1 do
+      if rec_.Pipesem.ue.(k) then
+        match rec_.Pipesem.tags.(k) with
+        | Some i when i + 1 <= instructions ->
+          List.iter
+            (fun r ->
+              compare_reg ~cycle:rec_.Pipesem.cycle ~stage:k ~tag:i spec.(i + 1)
+                r state)
+            visible_of_stage.(k)
+        | Some _ | None -> ()
+    done
+  in
+  let on_retire ~tag ~kind state =
+    incr retirements;
+    match kind with
+    | Pipesem.Normal -> ()
+    | Pipesem.Via_rollback _ when tag + 1 <= instructions ->
+      (* The rollback writes realize the instruction's sequential
+         semantics; compare the full visible state. *)
+      List.iter
+        (fun (r : Spec.register) ->
+          compare_reg ~cycle:(-1) ~stage:(-1) ~tag spec.(tag + 1) r state)
+        (Spec.visible_registers base)
+    | Pipesem.Via_rollback _ -> ()
+  in
+  let on_cycle (r : Pipesem.cycle_record) =
+    records := r :: !records;
+    (* A rollback at stage k squashes the instructions in stages 0..k;
+       cancel their buffered speculative-write comparisons.  The
+       retiring instruction itself (if the speculation retires) is
+       re-checked against the full visible state in [on_retire]. *)
+    let deepest =
+      let rec find k =
+        if k < 0 then None
+        else if r.Pipesem.rollback.(k) then Some k
+        else find (k - 1)
+      in
+      find (n - 1)
+    in
+    match deepest with
+    | None -> ()
+    | Some k -> (
+      match r.Pipesem.tags.(k) with
+      | None -> ()
+      | Some base ->
+        violations := List.filter (fun v -> v.tag < base) !violations)
+  in
+  let callbacks =
+    { Pipesem.no_callbacks with Pipesem.on_cycle; on_edge; on_retire }
+  in
+  let result = Pipesem.run ?ext ~callbacks ~stop_after:instructions t in
+  let trace = List.rev !records in
+  let lemma1 =
+    if Pipeline.Schedule.has_rollback trace then Lemma_skipped_rollback
+    else
+      match Pipeline.Schedule.check_lemma1 ~n_stages:n trace with
+      | Ok () -> Lemma_ok
+      | Error es -> Lemma_failed es
+  in
+  let final_visible_match =
+    if
+      Pipeline.Schedule.has_rollback trace
+      || result.Pipesem.outcome <> Pipesem.Completed
+    then None
+    else begin
+      (* Registers of the last stage see no over-fetch interference. *)
+      let final_spec = spec.(instructions) in
+      let last_stage_regs = visible_of_stage.(n - 1) in
+      let all_match =
+        List.for_all
+          (fun (r : Spec.register) ->
+            match value_at final_spec r.Spec.reg_name with
+            | None -> true
+            | Some expected ->
+              Machine.Value.equal expected
+                (Machine.State.get result.Pipesem.state r.Spec.reg_name))
+          last_stage_regs
+      in
+      Some all_match
+    end
+  in
+  {
+    instructions;
+    retirements = !retirements;
+    edge_checks = !edge_checks;
+    violations = List.rev !violations;
+    lemma1;
+    outcome = result.Pipesem.outcome;
+    stats = result.Pipesem.stats;
+    final_visible_match;
+    trace;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "data consistency: %d instructions, %d retirements, %d register \
+     comparisons, %d violations; lemma 1: %s; outcome: %s@."
+    r.instructions r.retirements r.edge_checks
+    (List.length r.violations)
+    (match r.lemma1 with
+    | Lemma_ok -> "ok"
+    | Lemma_skipped_rollback -> "skipped (rollbacks)"
+    | Lemma_failed es -> Printf.sprintf "%d violations" (List.length es))
+    (match r.outcome with
+    | Pipesem.Completed -> "completed"
+    | Pipesem.Deadlocked -> "DEADLOCK"
+    | Pipesem.Out_of_cycles -> "out of cycles");
+  List.iteri
+    (fun i v ->
+      if i < 10 then
+        Format.fprintf ppf
+          "  violation: cycle %d stage %d instr %d register %s: expected %s, \
+           got %s@."
+          v.at_cycle v.at_stage v.tag v.register v.expected v.got)
+    r.violations

@@ -1,0 +1,73 @@
+(** Data consistency (paper §6.2), checked by co-simulation.
+
+    The criterion: let [I(k,T) = i], let [R ∈ out(k)] be a
+    programmer-visible register; then the implementation value of [R]
+    relates to the specification value [R_S^i] (the correct value right
+    before instruction [I_i] executes).  Equivalently, and as checked
+    here: right after instruction [i] updates stage [k] ([ue_k] clock
+    edge), every visible register of [out(k)] holds [R_S^{i+1}].
+
+    The specification values come from running the prepared sequential
+    machine ({!Machine.Seqsem.run}); the implementation values from the
+    pipelined simulator, via its [on_edge] hook.  For a speculation
+    with [retires = true] (precise interrupts) resolving in the last
+    stage, the rollback commit is checked against the full visible
+    state [R_S^{i+1}]. *)
+
+type violation = {
+  at_cycle : int;
+  at_stage : int;
+  tag : int;       (** instruction index *)
+  register : string;
+  expected : string;
+  got : string;
+}
+
+type lemma1_status =
+  | Lemma_ok
+  | Lemma_skipped_rollback
+      (** the trace contained rollbacks; the scheduling-function lemmas
+          apply to rollback-free execution (paper §6.1) *)
+  | Lemma_failed of string list
+
+type report = {
+  instructions : int;      (** instructions co-checked *)
+  retirements : int;
+  edge_checks : int;       (** individual register comparisons made *)
+  violations : violation list;
+  lemma1 : lemma1_status;
+      (** scheduling-function properties on the same trace *)
+  outcome : Pipeline.Pipesem.outcome;
+  stats : Pipeline.Pipesem.stats;
+  final_visible_match : bool option;
+      (** [Some true/false] when the run was rollback-free and retired
+          exactly the sequential instruction count: whether the visible
+          registers of the last stage match at the end; [None] when the
+          comparison does not apply *)
+  trace : Pipeline.Pipesem.cycle_record list;
+      (** the recorded per-cycle signals, for further invariant checks *)
+}
+
+val ok : report -> bool
+(** No violations, completed, and Lemma 1 holds (or the trace had
+    rollbacks, where Lemma 1 is out of scope). *)
+
+val check :
+  ?ext:Pipeline.Pipesem.ext_model ->
+  ?max_instructions:int ->
+  ?reference:Machine.Seqsem.trace ->
+  Pipeline.Transform.t ->
+  report
+(** Run the sequential reference and the pipelined machine on the same
+    initial state and compare.  [max_instructions] bounds the
+    sequential run (default 200).
+
+    [reference] supplies the specification trace explicitly instead of
+    running {!Machine.Seqsem} on the base machine.  This is required
+    for machines whose sequential description is completed by a
+    speculation declaration (paper §5): e.g. with precise interrupts,
+    the JISR updates live in the speculation's rollback writes, so the
+    plain round-robin sweep does not perform them — the reference is
+    then the ISA-level golden model (see [Dlx.Refmodel]). *)
+
+val pp_report : Format.formatter -> report -> unit

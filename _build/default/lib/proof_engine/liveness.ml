@@ -1,0 +1,45 @@
+module Pipesem = Pipeline.Pipesem
+
+type report = {
+  checked : int;
+  max_gap : int;
+  bound : int;
+  outcome : Pipesem.outcome;
+}
+
+let ok r = r.outcome = Pipesem.Completed && r.max_gap <= r.bound
+
+let check ?ext ?bound ~stop_after (t : Pipeline.Transform.t) =
+  let n = t.Pipeline.Transform.base.Machine.Spec.n_stages in
+  let bound = match bound with Some b -> b | None -> (8 * n) + 64 in
+  let last_retire_cycle = ref 0 in
+  let current_cycle = ref 0 in
+  let max_gap = ref 0 in
+  let checked = ref 0 in
+  let callbacks =
+    {
+      Pipesem.no_callbacks with
+      Pipesem.on_cycle =
+        (fun r -> current_cycle := r.Pipesem.cycle);
+      on_retire =
+        (fun ~tag:_ ~kind:_ _ ->
+          incr checked;
+          let gap = !current_cycle - !last_retire_cycle + 1 in
+          if gap > !max_gap then max_gap := gap;
+          last_retire_cycle := !current_cycle);
+    }
+  in
+  let result = Pipesem.run ?ext ~callbacks ~stop_after t in
+  {
+    checked = !checked;
+    max_gap = !max_gap;
+    bound;
+    outcome = result.Pipesem.outcome;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "liveness: %d retirements, max inter-retirement gap %d cycles (bound %d): \
+     %s@."
+    r.checked r.max_gap r.bound
+    (if ok r then "ok" else "VIOLATED")

@@ -1,0 +1,32 @@
+(** Liveness (paper §6.3): a finite upper bound exists such that a
+    given instruction terminates.
+
+    For an [n]-stage machine whose external stall sources are bounded
+    (each [ext_k] episode lasts at most [e] cycles) and whose
+    speculations cannot livelock, every instruction retires within a
+    bound linear in [n], [e] and the number of in-flight rollbacks.
+    The checker runs the pipelined machine and measures the largest gap
+    between consecutive retirements (and from reset to the first
+    retirement), then compares it against the supplied bound. *)
+
+type report = {
+  checked : int;          (** retirements observed *)
+  max_gap : int;          (** largest inter-retirement gap in cycles *)
+  bound : int;
+  outcome : Pipeline.Pipesem.outcome;
+}
+
+val ok : report -> bool
+(** Completed within the bound. *)
+
+val check :
+  ?ext:Pipeline.Pipesem.ext_model ->
+  ?bound:int ->
+  stop_after:int ->
+  Pipeline.Transform.t ->
+  report
+(** [bound] defaults to [8 * n_stages + 64], comfortably above any
+    legitimate stall run for the machines in this repository;
+    ext models that stall longer need an explicit bound. *)
+
+val pp_report : Format.formatter -> report -> unit

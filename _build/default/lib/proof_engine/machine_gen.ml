@@ -1,0 +1,259 @@
+module Spec = Machine.Spec
+module E = Hw.Expr
+
+type params = {
+  n_stages : int;
+  data_width : int;
+  addr_bits : int;
+  late_stage : int option;
+  has_accumulator : bool;
+  seed : int;
+}
+
+(* Deterministic xorshift, as in Workload.Gen but independent. *)
+type rng = { mutable s : int }
+
+let rng_make seed = { s = (seed * 0x9E3779B1) lor 1 }
+
+let rng_bits r =
+  let s = r.s in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  r.s <- s land max_int;
+  r.s
+
+let rng_int r n = if n <= 0 then 0 else rng_bits r mod n
+let rng_bool r = rng_bits r land 1 = 1
+
+let sample_params ~seed =
+  let rng = rng_make seed in
+  let n_stages = 3 + rng_int rng 4 in
+  let late_stage =
+    if n_stages >= 4 && rng_bool rng then Some (2 + rng_int rng (n_stages - 3))
+    else None
+  in
+  {
+    n_stages;
+    data_width = [| 8; 12; 16 |].(rng_int rng 3);
+    addr_bits = 2 + rng_int rng 3;
+    late_stage;
+    has_accumulator = rng_bool rng;
+    seed;
+  }
+
+let pp_params ppf p =
+  Format.fprintf ppf
+    "machine(seed=%d): %d stages, %d-bit data, 2^%d registers, late unit %s, \
+     accumulator %b"
+    p.seed p.n_stages p.data_width p.addr_bits
+    (match p.late_stage with None -> "none" | Some l -> string_of_int l)
+    p.has_accumulator
+
+(* Instruction fields: [15] late, [3a-1:2a] dst, [2a-1:a] src1,
+   [a-1:0] src2. *)
+let encode p ~late ~dst ~src1 ~src2 =
+  let a = p.addr_bits in
+  let mask = (1 lsl a) - 1 in
+  ((if late then 1 else 0) lsl 15)
+  lor ((dst land mask) lsl (2 * a))
+  lor ((src1 land mask) lsl a)
+  lor (src2 land mask)
+
+let inst name k = Printf.sprintf "%s.%d" name k
+
+(* A random combinational expression of the data width over the two
+   operands and an instruction-derived immediate. *)
+let random_expr rng ~width ~a ~b ~ir =
+  let imm =
+    let bits = min width 8 in
+    let sl = E.slice ir ~hi:(bits - 1) ~lo:0 in
+    if width = bits then sl else E.Zext (sl, width)
+  in
+  let leaf () =
+    match rng_int rng 3 with 0 -> a | 1 -> b | _ -> imm
+  in
+  let rec go depth =
+    if depth = 0 then leaf ()
+    else
+      match rng_int rng 6 with
+      | 0 -> E.( +: ) (go (depth - 1)) (go (depth - 1))
+      | 1 -> E.( -: ) (go (depth - 1)) (go (depth - 1))
+      | 2 -> E.Binop (E.And, go (depth - 1), go (depth - 1))
+      | 3 -> E.Binop (E.Or, go (depth - 1), go (depth - 1))
+      | 4 -> E.( ^: ) (go (depth - 1)) (go (depth - 1))
+      | _ -> E.Mux (E.bit ir 14, go (depth - 1), go (depth - 1))
+  in
+  go (1 + rng_int rng 2)
+
+let reg ?prev ?(visible = false) name width stage kind =
+  { Spec.reg_name = name; width; stage; kind; visible; prev_instance = prev }
+
+let w_ ?guard ?addr dst value = { Spec.dst; value; guard; wr_addr = addr }
+
+let machine p ~program =
+  let rng = rng_make (p.seed lxor 0xABCD) in
+  let n = p.n_stages in
+  let wd = p.data_width in
+  let a = p.addr_bits in
+  let ir = E.input "IR.1" 16 in
+  let is_late = E.bit ir 15 in
+  let ga =
+    E.File_read
+      { file = "RF"; data_width = wd;
+        addr = E.slice ir ~hi:((2 * a) - 1) ~lo:a }
+  in
+  let gb =
+    E.File_read
+      { file = "RF"; data_width = wd; addr = E.slice ir ~hi:(a - 1) ~lo:0 }
+  in
+  let dest = E.slice ir ~hi:((3 * a) - 1) ~lo:(2 * a) in
+  let fast_expr = random_expr rng ~width:wd ~a:ga ~b:gb ~ir in
+  let chain name width ~first ~last =
+    if last < first then []
+    else
+      List.init (last - first + 1) (fun i ->
+          let k = first + i in
+          let prev = if k = first then None else Some (inst name (k - 1)) in
+          reg ?prev (inst name k) width (k - 1) Spec.Simple)
+  in
+  let late = p.late_stage in
+  let registers =
+    [
+      reg "PC" 8 0 ~visible:true Spec.Simple;
+      reg "IMEM" 16 0 (Spec.File { addr_bits = 8 });
+      reg "IR.1" 16 0 Spec.Simple;
+      reg "RF" wd (n - 1) ~visible:true (Spec.File { addr_bits = a });
+    ]
+    @ chain "C" wd ~first:2 ~last:(n - 1)
+    @ chain "D" a ~first:2 ~last:(n - 1)
+    @ (match late with
+      | None -> []
+      | Some l ->
+        chain "A" wd ~first:2 ~last:l
+        @ chain "B" wd ~first:2 ~last:l
+        @ chain "opl" 1 ~first:2 ~last:l)
+    @
+    if p.has_accumulator then [ reg "ACC" wd (n - 1) ~visible:true Spec.Simple ]
+    else []
+  in
+  let stage0 =
+    {
+      Spec.index = 0;
+      stage_name = "IF";
+      writes =
+        [
+          w_ "IR.1"
+            (E.File_read
+               { file = "IMEM"; data_width = 16; addr = E.input "PC" 8 });
+          w_ "PC" (E.( +: ) (E.input "PC" 8) (E.const_int ~width:8 1));
+        ];
+    }
+  in
+  let stage1 =
+    {
+      Spec.index = 1;
+      stage_name = "RD";
+      writes =
+        (match late with
+        | None -> [ w_ "C.2" fast_expr ]
+        | Some _ ->
+          [
+            w_ ~guard:(E.not_ is_late) "C.2" fast_expr;
+            w_ "A.2" ga;
+            w_ "B.2" gb;
+            w_ "opl.2" is_late;
+          ])
+        @ [ w_ "D.2" dest ];
+    }
+  in
+  let mids =
+    List.init (n - 3) (fun i ->
+        let k = 2 + i in
+        let writes =
+          match late with
+          | Some l when l = k ->
+            let la = E.input (inst "A" l) wd
+            and lb = E.input (inst "B" l) wd in
+            let late_expr = random_expr rng ~width:wd ~a:la ~b:lb ~ir:(E.Zext (E.input (inst "opl" l) 1, 16)) in
+            [
+              w_
+                (inst "C" (l + 1))
+                (E.mux (E.input (inst "opl" l) 1) late_expr
+                   (E.input (inst "C" l) wd));
+            ]
+          | Some _ | None -> []
+        in
+        { Spec.index = k; stage_name = Printf.sprintf "S%d" k; writes })
+  in
+  let wb =
+    {
+      Spec.index = n - 1;
+      stage_name = "WB";
+      writes =
+        w_
+          ~addr:(E.input (inst "D" (n - 1)) a)
+          "RF"
+          (E.input (inst "C" (n - 1)) wd)
+        ::
+        (if p.has_accumulator then
+           [
+             w_ "ACC"
+               (E.( ^: ) (E.input "ACC" wd) (E.input (inst "C" (n - 1)) wd));
+           ]
+         else []);
+    }
+  in
+  {
+    Spec.machine_name = Printf.sprintf "gen_%d" p.seed;
+    n_stages = n;
+    registers;
+    stages = (stage0 :: stage1 :: mids) @ [ wb ];
+    init =
+      [
+        ( "IMEM",
+          Machine.Value.file_of_list ~width:16 ~addr_bits:8
+            (List.map (fun v -> Hw.Bitvec.make ~width:16 v) program) );
+        ( "RF",
+          Machine.Value.file_of_list ~width:wd ~addr_bits:a
+            (List.init (1 lsl a) (fun i ->
+                 Hw.Bitvec.make ~width:wd ((i * 3) + 1))) );
+      ];
+  }
+
+let hints p =
+  ignore p;
+  [
+    Pipeline.Fwd_spec.hint ~stage:1 ~label:"opA" ~chain:"C.2"
+      (Pipeline.Fwd_spec.File_port ("RF", 0));
+    Pipeline.Fwd_spec.hint ~stage:1 ~label:"opB" ~chain:"C.2"
+      (Pipeline.Fwd_spec.File_port ("RF", 1));
+  ]
+
+let random_program p ~length =
+  let rng = rng_make (p.seed lxor 0x1234) in
+  let regs = 1 lsl p.addr_bits in
+  let last = ref 1 in
+  List.init length (fun _ ->
+      let pick () = if rng_bool rng then !last else rng_int rng regs in
+      let src1 = pick () and src2 = pick () in
+      let dst = rng_int rng regs in
+      last := dst;
+      encode p ~late:(rng_int rng 4 = 0) ~dst ~src1 ~src2)
+
+let check_one ~seed ~program_length =
+  let p = sample_params ~seed in
+  let program = random_program p ~length:program_length in
+  match
+    Pipeline.Transform.run ~hints:(hints p) (machine p ~program)
+  with
+  | exception e ->
+    Error
+      (Format.asprintf "%a: transform raised %s" pp_params p
+         (Printexc.to_string e))
+  | tr -> (
+    let report = Consistency.check ~max_instructions:program_length tr in
+    if Consistency.ok report then Ok ()
+    else
+      Error
+        (Format.asprintf "%a: %a" pp_params p Consistency.pp_report report))

@@ -1,0 +1,44 @@
+(** Random prepared sequential machines.
+
+    The fixed case studies (toy, DLX, the depth-parametric family)
+    exercise hand-picked structures.  This generator samples the
+    machine space itself: random stage count, data width, register-file
+    size, random combinational data paths, and a randomly placed "late"
+    functional unit — then the property tests assert that
+    {e every generated machine}, once transformed, is data consistent
+    with its own sequential semantics on random programs.
+
+    The family: an [n]-stage machine ([3..6]) fetching 16-bit
+    instructions ([late(1) dst(a) src1(a) src2(a)] fields), reading two
+    register-file operands in stage 1 (the forwarded reads), computing
+    a random expression over them, passing the result down a forwarding
+    chain, with write-back in the last stage; optionally a visible
+    accumulator register in the last stage.  Late operations produce
+    their (different, also random) expression only in a random later
+    stage — randomized interlock structure. *)
+
+type params = {
+  n_stages : int;
+  data_width : int;
+  addr_bits : int;
+  late_stage : int option;  (** stage of the late unit, in [2..n-2] *)
+  has_accumulator : bool;
+  seed : int;
+}
+
+val sample_params : seed:int -> params
+(** Deterministic in the seed. *)
+
+val machine : params -> program:int list -> Machine.Spec.t
+
+val hints : params -> Pipeline.Fwd_spec.hint list
+
+val random_program : params -> length:int -> int list
+(** Random instructions with a dependency bias, in the machine's
+    encoding. *)
+
+val check_one : seed:int -> program_length:int -> (unit, string) result
+(** Sample a machine and a program, transform, co-simulate against the
+    sequential semantics, and report. *)
+
+val pp_params : Format.formatter -> params -> unit

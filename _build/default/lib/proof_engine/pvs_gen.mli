@@ -1,0 +1,17 @@
+(** PVS-style proof script emission.
+
+    The paper's tool generates, besides the hardware, "the proofs
+    necessary in order to verify the forwarding and interlock
+    hardware".  This module renders the generated obligations as a
+    PVS-flavoured theory: the scheduling function, Lemma 1, the
+    per-operand Lemma 2/3 instances with the machine's concrete
+    register and stage names, the data-consistency theorem and the
+    liveness theorem, each annotated with how this repository
+    discharges it (see DESIGN.md for the theorem-prover substitution).
+    The output is a faithful template of the paper's §6 proof
+    structure, suitable as the starting point for a real PVS run. *)
+
+val theory : Pipeline.Transform.t -> Obligation.obligation list -> string
+(** Render the machine's proof theory. *)
+
+val write_file : path:string -> Pipeline.Transform.t -> Obligation.obligation list -> unit

@@ -1,0 +1,1 @@
+lib/workload/sweep.ml: Dlx Format Gen List Pipeline Proof_engine Stats

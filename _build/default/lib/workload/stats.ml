@@ -1,0 +1,38 @@
+type row = {
+  label : string;
+  instructions : int;
+  cycles : int;
+  cpi : float;
+  speedup_vs_sequential : float;
+  fetch_stall_cycles : int;
+  rollbacks : int;
+}
+
+let of_stats ~label ~n_stages (s : Pipeline.Pipesem.stats) =
+  let cpi = Pipeline.Pipesem.cpi s in
+  {
+    label;
+    instructions = s.Pipeline.Pipesem.retired;
+    cycles = s.Pipeline.Pipesem.cycles;
+    cpi;
+    speedup_vs_sequential = float_of_int n_stages /. cpi;
+    fetch_stall_cycles = s.Pipeline.Pipesem.fetch_stall_cycles;
+    rollbacks = s.Pipeline.Pipesem.rollbacks;
+  }
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%-22s %8s %8s %6s %8s %7s %9s@." "workload" "instr"
+    "cycles" "CPI" "speedup" "stalls" "rollbacks";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-22s %8d %8d %6.2f %8.2f %7d %9d@." r.label
+        r.instructions r.cycles r.cpi r.speedup_vs_sequential
+        r.fetch_stall_cycles r.rollbacks)
+    rows
+
+let geomean_cpi rows =
+  match rows with
+  | [] -> nan
+  | _ ->
+    let log_sum = List.fold_left (fun acc r -> acc +. log r.cpi) 0.0 rows in
+    exp (log_sum /. float_of_int (List.length rows))

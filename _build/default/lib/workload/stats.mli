@@ -1,0 +1,20 @@
+(** Derived performance metrics for machine comparisons. *)
+
+type row = {
+  label : string;
+  instructions : int;
+  cycles : int;
+  cpi : float;
+  speedup_vs_sequential : float;
+      (** [n_stages / cpi]: the sequential machine spends [n] cycles
+          per instruction *)
+  fetch_stall_cycles : int;
+  rollbacks : int;
+}
+
+val of_stats :
+  label:string -> n_stages:int -> Pipeline.Pipesem.stats -> row
+
+val pp_table : Format.formatter -> row list -> unit
+
+val geomean_cpi : row list -> float

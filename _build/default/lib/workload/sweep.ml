@@ -1,0 +1,65 @@
+type config = {
+  variant : Dlx.Seq_dlx.variant;
+  options : Pipeline.Fwd_spec.options;
+  ext : Pipeline.Pipesem.ext_model option;
+  verify : bool;
+}
+
+let default =
+  {
+    variant = Dlx.Seq_dlx.Base;
+    options = Pipeline.Fwd_spec.default_options;
+    ext = None;
+    verify = true;
+  }
+
+exception Verification_failed of string
+
+let memory_wait_states ~every ~wait ~stage ~cycle =
+  stage = 3 && cycle mod every < wait
+
+let run_program ?(config = default) (p : Dlx.Progs.t) =
+  let program = Dlx.Progs.program p in
+  let tr =
+    Dlx.Seq_dlx.transform ~options:config.options ~data:p.Dlx.Progs.data
+      config.variant ~program
+  in
+  let n = p.Dlx.Progs.dyn_instructions in
+  let stats =
+    if config.verify then begin
+      let reference =
+        Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data config.variant ~program
+          ~instructions:n
+      in
+      let report =
+        Proof_engine.Consistency.check ?ext:config.ext ~max_instructions:n
+          ~reference tr
+      in
+      if not (Proof_engine.Consistency.ok report) then
+        raise
+          (Verification_failed
+             (Format.asprintf "%s: %a" p.Dlx.Progs.prog_name
+                Proof_engine.Consistency.pp_report report));
+      report.Proof_engine.Consistency.stats
+    end
+    else
+      let result =
+        Pipeline.Pipesem.run ?ext:config.ext ~stop_after:n tr
+      in
+      result.Pipeline.Pipesem.stats
+  in
+  Stats.of_stats ~label:p.Dlx.Progs.prog_name ~n_stages:5 stats
+
+let dependency_sweep ?config ~biases ~length ~seed () =
+  List.map
+    (fun bias ->
+      let p = Gen.generate ~seed ~length (Gen.alu_only ~dependency_bias:bias) in
+      (bias, run_program ?config p))
+    biases
+
+let branch_sweep ?config ~taken_fracs ~length ~seed () =
+  List.map
+    (fun tf ->
+      let p = Gen.generate ~seed ~length (Gen.branch_heavy ~taken_frac:tf) in
+      (tf, run_program ?config p))
+    taken_fracs

@@ -1,0 +1,32 @@
+(** Experiment drivers: run a program on a configured DLX pipeline and
+    collect the metrics the benchmark harness reports. *)
+
+type config = {
+  variant : Dlx.Seq_dlx.variant;
+  options : Pipeline.Fwd_spec.options;
+  ext : Pipeline.Pipesem.ext_model option;  (** e.g. slow memory *)
+  verify : bool;  (** also run the data-consistency checker *)
+}
+
+val default : config
+(** Base variant, full forwarding, no external stalls, verified. *)
+
+val run_program : ?config:config -> Dlx.Progs.t -> Stats.row
+(** Transform, simulate [dyn_instructions] instructions, optionally
+    verify against the golden model (failures raise). *)
+
+exception Verification_failed of string
+
+val memory_wait_states : every:int -> wait:int -> Pipeline.Pipesem.ext_model
+(** A deterministic slow-memory model: every [every]-th cycle, the MEM
+    stage stalls for [wait] consecutive cycles — the paper's "external
+    stall condition... e.g. caused by slow memory". *)
+
+val dependency_sweep :
+  ?config:config -> biases:float list -> length:int -> seed:int -> unit ->
+  (float * Stats.row) list
+(** CPI as a function of the operand dependency bias. *)
+
+val branch_sweep :
+  ?config:config -> taken_fracs:float list -> length:int -> seed:int -> unit ->
+  (float * Stats.row) list

@@ -1,0 +1,1 @@
+test/test_asm_parser.ml: Alcotest Array Dlx List Proof_engine

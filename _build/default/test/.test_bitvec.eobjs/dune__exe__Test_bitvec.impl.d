@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Hw List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_build.ml: Alcotest Array Core Hw List Machine Pipeline Printf Proof_engine String

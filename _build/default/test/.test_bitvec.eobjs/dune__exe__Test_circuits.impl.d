@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Hw List Pipeline Printf QCheck QCheck_alcotest

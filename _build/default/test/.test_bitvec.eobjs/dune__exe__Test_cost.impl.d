@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Hw QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Core Dlx List Option Pipeline String

@@ -1,0 +1,1 @@
+test/test_dlx.ml: Alcotest Array Dlx Format Hw List Machine Pipeline Printf Proof_engine Workload

@@ -1,0 +1,1 @@
+test/test_elastic.ml: Alcotest Core Format Hw List Machine Pipeline Printf Proof_engine String

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Dlx Hw List Pipeline Printf Proof_engine QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Hw List Printf QCheck QCheck_alcotest

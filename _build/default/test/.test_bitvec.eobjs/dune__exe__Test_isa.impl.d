@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Dlx List Printf QCheck QCheck_alcotest

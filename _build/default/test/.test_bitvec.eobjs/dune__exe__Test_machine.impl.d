@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Core Dlx Hw List Machine Printf String

@@ -1,0 +1,1 @@
+test/test_machine_gen.ml: Alcotest Format List Machine Pipeline Proof_engine

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Dlx Hw Pipeline

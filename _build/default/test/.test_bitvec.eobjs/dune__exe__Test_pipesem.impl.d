@@ -1,0 +1,1 @@
+test/test_pipesem.ml: Alcotest Array Core Float Hw List Machine Pipeline

@@ -1,0 +1,1 @@
+test/test_proof.ml: Alcotest Array Core Dlx Hw List Pipeline Proof_engine String

@@ -1,0 +1,1 @@
+test/test_refmodel.ml: Alcotest Array Dlx List Printf String

@@ -1,0 +1,1 @@
+test/test_retime.ml: Alcotest Core Dlx Format Hw List Machine Pipeline Proof_engine

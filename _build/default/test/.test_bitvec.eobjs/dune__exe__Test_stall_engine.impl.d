@@ -1,0 +1,1 @@
+test/test_stall_engine.ml: Alcotest Array Hashtbl Hw List Pipeline Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stall_engine.mli:

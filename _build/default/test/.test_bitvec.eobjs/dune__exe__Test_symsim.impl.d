@@ -1,0 +1,1 @@
+test/test_symsim.ml: Alcotest Core Dlx Format Hw List Pipeline Printf Proof_engine

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Core Dlx Hashtbl Hw List Machine Pipeline String

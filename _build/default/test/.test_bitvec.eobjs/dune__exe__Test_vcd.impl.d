@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Core Dlx Hw List Pipeline Printf String

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Dlx Format Hw Pipeline String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dlx Float Format Hw List Pipeline String Workload

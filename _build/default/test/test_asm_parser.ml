@@ -1,0 +1,147 @@
+(* The textual assembler. *)
+
+module P = Dlx.Asm_parser
+module I = Dlx.Isa
+module A = Dlx.Asm
+
+let parse_one s =
+  match P.parse s with
+  | [ A.Insn i ] -> i
+  | items -> Alcotest.failf "expected one instruction, got %d items" (List.length items)
+
+let check_insn msg expected s =
+  Alcotest.(check string) msg (I.to_string expected) (I.to_string (parse_one s))
+
+let test_alu () =
+  check_insn "add" (I.Add (3, 1, 2)) "add r3, r1, r2";
+  check_insn "case insensitive" (I.Sub (3, 1, 2)) "SUB R3, R1, R2";
+  check_insn "addi negative" (I.Addi (1, 1, -5)) "addi r1, r1, -5";
+  check_insn "hex" (I.Ori (2, 2, 0xFF)) "ori r2, r2, 0xff";
+  check_insn "lhi" (I.Lhi (4, 0x7FFF)) "lhi r4, 0x7fff";
+  check_insn "slli" (I.Slli (4, 5, 3)) "slli r4, r5, 3"
+
+let test_memory () =
+  check_insn "lw" (I.Lw (4, 1, 8)) "lw r4, 8(r1)";
+  check_insn "lw no offset" (I.Lw (4, 1, 0)) "lw r4, (r1)";
+  check_insn "lb negative" (I.Lb (4, 1, -3)) "lb r4, -3(r1)";
+  check_insn "sw" (I.Sw (2, 7, 12)) "sw 12(r2), r7"
+
+let test_control_and_system () =
+  (match P.parse "beqz r1, done" with
+  | [ A.Beqz_l (1, "done") ] -> ()
+  | _ -> Alcotest.fail "beqz");
+  (match P.parse "j loop" with
+  | [ A.J_l "loop" ] -> ()
+  | _ -> Alcotest.fail "j");
+  check_insn "jr" (I.Jr 31) "jr r31";
+  check_insn "trap" (I.Trap 5) "trap 5";
+  check_insn "rfe" I.Rfe "rfe";
+  check_insn "nop" I.Nop "nop"
+
+let test_labels_and_comments () =
+  let items =
+    P.parse
+      "; leading comment\nstart:  addi r1, r0, 3 ; trailing\n  # another\n\
+       loop: bnez r1, loop // slashes\n  nop\n"
+  in
+  match items with
+  | [ A.Label "start"; A.Insn _; A.Label "loop"; A.Bnez_l (1, "loop");
+      A.Insn I.Nop ] -> ()
+  | _ -> Alcotest.failf "unexpected shape (%d items)" (List.length items)
+
+let test_halt_expansion () =
+  match P.parse "halt" with
+  | [ A.Label "$halt"; A.J_l "$halt"; A.Insn I.Nop ] -> ()
+  | _ -> Alcotest.fail "halt expansion"
+
+let test_errors () =
+  let expect_error s =
+    match P.parse s with
+    | exception P.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  expect_error "frobnicate r1";
+  expect_error "add r1, r2";
+  expect_error "add r1, r2, 5";
+  expect_error "addi r1, r2, banana";
+  expect_error "lw r1, r2";
+  expect_error "add r32, r1, r2"
+
+let test_error_line_numbers () =
+  match P.parse "nop\nnop\nbogus r1\n" with
+  | exception P.Parse_error { line = 3; _ } -> ()
+  | exception P.Parse_error { line; _ } ->
+    Alcotest.failf "wrong line %d" line
+  | _ -> Alcotest.fail "accepted"
+
+let test_roundtrip_through_machine () =
+  (* Assemble a program textually, run it on the golden model. *)
+  let text =
+    "        addi r1, r0, 5\n\
+     \        addi r10, r0, 0\n\
+     loop:   add  r10, r10, r1\n\
+     \        addi r1, r1, -1\n\
+     \        bnez r1, loop\n\
+     \        nop\n\
+     \        sw 0(r0), r10\n\
+     \        halt\n"
+  in
+  let program = P.parse_program text in
+  let s = Dlx.Refmodel.create ~program () in
+  Dlx.Refmodel.run s ~steps:30;
+  Alcotest.(check int) "sum 1..5" 15 s.Dlx.Refmodel.mem.(0)
+
+let test_parsed_program_pipelines_consistently () =
+  let text =
+    "        addi r1, r0, 256\n\
+     \        lw   r2, 0(r1)\n\
+     \        add  r3, r2, r2\n\
+     \        sw   4(r1), r3\n\
+     \        halt\n"
+  in
+  let body =
+    List.filter
+      (fun item -> match item with A.Label "$halt" -> false | _ -> true)
+      (P.parse text)
+  in
+  (* Progs.make re-appends the halt idiom; drop the parsed one. *)
+  let rec drop_tail = function
+    | [ A.J_l "$halt"; A.Insn I.Nop ] -> []
+    | x :: rest -> x :: drop_tail rest
+    | [] -> []
+  in
+  let p = Dlx.Progs.make ~data:[ (64, 21) ] "parsed" (drop_tail body) in
+  let tr =
+    Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p)
+  in
+  let report =
+    Proof_engine.Consistency.check ~max_instructions:p.Dlx.Progs.dyn_instructions
+      tr
+  in
+  Alcotest.(check bool) "consistent" true (Proof_engine.Consistency.ok report)
+
+let () =
+  Alcotest.run "asm_parser"
+    [
+      ( "syntax",
+        [
+          Alcotest.test_case "alu" `Quick test_alu;
+          Alcotest.test_case "memory" `Quick test_memory;
+          Alcotest.test_case "control / system" `Quick test_control_and_system;
+          Alcotest.test_case "labels and comments" `Quick
+            test_labels_and_comments;
+          Alcotest.test_case "halt" `Quick test_halt_expansion;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "rejections" `Quick test_errors;
+          Alcotest.test_case "line numbers" `Quick test_error_line_numbers;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "golden model" `Quick test_roundtrip_through_machine;
+          Alcotest.test_case "pipelined" `Quick
+            test_parsed_program_pipelines_consistently;
+        ] );
+    ]

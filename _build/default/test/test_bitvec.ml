@@ -1,0 +1,154 @@
+(* Unit and property tests for Hw.Bitvec. *)
+
+module B = Hw.Bitvec
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_make_truncates () =
+  check "mask to width" 3 (B.to_int (B.make ~width:4 0x13));
+  check "negative two's complement" 0xF (B.to_int (B.make ~width:4 (-1)));
+  check "full width" 0 (B.to_int (B.make ~width:8 256))
+
+let test_bounds () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Bitvec.make: width 0 not in 1..62")
+    (fun () -> ignore (B.make ~width:0 1));
+  check "max width ones" B.max_width (B.width (B.ones B.max_width))
+
+let test_signed () =
+  check "positive" 3 (B.to_signed_int (B.make ~width:4 3));
+  check "negative" (-1) (B.to_signed_int (B.make ~width:4 15));
+  check "min" (-8) (B.to_signed_int (B.make ~width:4 8))
+
+let test_arith () =
+  let a = B.make ~width:8 200 and b = B.make ~width:8 100 in
+  check "add wraps" 44 (B.to_int (B.add a b));
+  check "sub" 100 (B.to_int (B.sub a b));
+  check "neg" 56 (B.to_int (B.neg a));
+  check "mul wraps" ((200 * 100) land 255) (B.to_int (B.mul a b))
+
+let test_width_mismatch () =
+  let a = B.make ~width:8 1 and b = B.make ~width:4 1 in
+  Alcotest.check_raises "add" (B.Width_mismatch "add: 8 vs 4 bits") (fun () ->
+      ignore (B.add a b))
+
+let test_logic () =
+  let a = B.make ~width:4 0b1100 and b = B.make ~width:4 0b1010 in
+  check "and" 0b1000 (B.to_int (B.logand a b));
+  check "or" 0b1110 (B.to_int (B.logor a b));
+  check "xor" 0b0110 (B.to_int (B.logxor a b));
+  check "not" 0b0011 (B.to_int (B.lognot a))
+
+let test_shifts () =
+  let a = B.make ~width:8 0b10010110 in
+  check "shl" 0b01011000 (B.to_int (B.shift_left a 2));
+  check "shl overflow" 0 (B.to_int (B.shift_left a 8));
+  check "shr" 0b00100101 (B.to_int (B.shift_right_logical a 2));
+  check "sra keeps sign" 0b11100101 (B.to_int (B.shift_right_arith a 2));
+  check "sra saturates" 0xFF (B.to_int (B.shift_right_arith a 20))
+
+let test_compare () =
+  let a = B.make ~width:4 0xF and b = B.make ~width:4 1 in
+  check_bool "ltu" false (B.to_bool (B.lt_unsigned a b));
+  check_bool "lts (-1 < 1)" true (B.to_bool (B.lt_signed a b));
+  check_bool "eq" true (B.to_bool (B.eq a a))
+
+let test_structure () =
+  let hi = B.make ~width:4 0xA and lo = B.make ~width:4 0x5 in
+  let c = B.concat hi lo in
+  check "concat" 0xA5 (B.to_int c);
+  check "concat width" 8 (B.width c);
+  check "slice hi" 0xA (B.to_int (B.slice c ~hi:7 ~lo:4));
+  check "slice lo" 0x5 (B.to_int (B.slice c ~hi:3 ~lo:0));
+  check "zero_extend" 0xA5 (B.to_int (B.zero_extend c 12));
+  check "sign_extend" 0xFA5 (B.to_int (B.sign_extend c 12));
+  check "truncate" 0x5 (B.to_int (B.truncate c 4))
+
+let test_bits () =
+  let v = B.make ~width:4 0b1010 in
+  check_bool "bit 0" false (B.bit v 0);
+  check_bool "bit 1" true (B.bit v 1);
+  check_bool "bit 3" true (B.bit v 3)
+
+let test_pp () =
+  Alcotest.(check string) "pp" "8'd42" (B.to_string (B.make ~width:8 42))
+
+(* Properties. *)
+
+let arb_pair_same_width =
+  QCheck.make
+    ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%d b=%d" w a b)
+    QCheck.Gen.(
+      int_range 1 30 >>= fun w ->
+      int_bound ((1 lsl w) - 1) >>= fun a ->
+      int_bound ((1 lsl w) - 1) >>= fun b -> return (w, a, b))
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:500 arb_pair_same_width
+    (fun (w, a, b) ->
+      let x = B.make ~width:w a and y = B.make ~width:w b in
+      B.equal (B.add x y) (B.add y x))
+
+let prop_add_neg_is_sub =
+  QCheck.Test.make ~name:"a + (-b) = a - b" ~count:500 arb_pair_same_width
+    (fun (w, a, b) ->
+      let x = B.make ~width:w a and y = B.make ~width:w b in
+      B.equal (B.add x (B.neg y)) (B.sub x y))
+
+let prop_concat_slice_roundtrip =
+  QCheck.Test.make ~name:"concat then slice round-trips" ~count:500
+    arb_pair_same_width (fun (w, a, b) ->
+      QCheck.assume (2 * w <= B.max_width);
+      let x = B.make ~width:w a and y = B.make ~width:w b in
+      let c = B.concat x y in
+      B.equal (B.slice c ~hi:((2 * w) - 1) ~lo:w) x
+      && B.equal (B.slice c ~hi:(w - 1) ~lo:0) y)
+
+let prop_signed_unsigned_agree =
+  QCheck.Test.make ~name:"to_signed_int mod 2^w = to_int" ~count:500
+    arb_pair_same_width (fun (w, a, _) ->
+      let x = B.make ~width:w a in
+      (B.to_signed_int x land ((1 lsl w) - 1)) = B.to_int x)
+
+let prop_lognot_involution =
+  QCheck.Test.make ~name:"double complement" ~count:500 arb_pair_same_width
+    (fun (w, a, _) ->
+      let x = B.make ~width:w a in
+      B.equal (B.lognot (B.lognot x)) x)
+
+let prop_shift_left_is_mul =
+  QCheck.Test.make ~name:"shl k = mul by 2^k" ~count:500
+    QCheck.(pair arb_pair_same_width (int_bound 5))
+    (fun ((w, a, _), k) ->
+      QCheck.assume (k < w);
+      let x = B.make ~width:w a in
+      B.equal (B.shift_left x k) (B.mul x (B.make ~width:w (1 lsl k))))
+
+let () =
+  Alcotest.run "bitvec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make truncates" `Quick test_make_truncates;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "signed" `Quick test_signed;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+          Alcotest.test_case "logic" `Quick test_logic;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "bits" `Quick test_bits;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_commutes;
+            prop_add_neg_is_sub;
+            prop_concat_slice_roundtrip;
+            prop_signed_unsigned_agree;
+            prop_lognot_involution;
+            prop_shift_left_is_mul;
+          ] );
+    ]

@@ -1,0 +1,148 @@
+(* The circuit generators: prefix networks, find-first-one, one-hot
+   muxes and the two priority-selection implementations (paper §4.2's
+   mux chain vs find-first-one + balanced tree). *)
+
+module E = Hw.Expr
+module B = Hw.Bitvec
+module C = Hw.Circuits
+
+let bv1 b = B.of_bool b
+
+let env_of_bools bools values =
+  Hw.Eval.env_of_assoc
+    (List.mapi (fun i b -> (Printf.sprintf "x%d" i, bv1 b)) bools
+    @ List.mapi
+        (fun i v -> (Printf.sprintf "v%d" i, B.make ~width:8 v))
+        values
+    @ [ ("def", B.make ~width:8 222) ])
+
+let bit_inputs n = List.init n (fun i -> E.input (Printf.sprintf "x%d" i) 1)
+
+let eval_bits env es = List.map (fun e -> B.to_bool (Hw.Eval.eval env e)) es
+
+let test_prefix_or () =
+  let inputs = bit_inputs 5 in
+  let prefixes = C.prefix_or inputs in
+  let bools = [ false; true; false; false; true ] in
+  let env = env_of_bools bools [] in
+  Alcotest.(check (list bool))
+    "prefix values"
+    [ false; true; true; true; true ]
+    (eval_bits env prefixes)
+
+let test_find_first_one () =
+  let inputs = bit_inputs 5 in
+  let ffo = C.find_first_one inputs in
+  let env = env_of_bools [ false; true; false; true; true ] [] in
+  Alcotest.(check (list bool))
+    "one-hot first"
+    [ false; true; false; false; false ]
+    (eval_bits env ffo)
+
+let test_find_first_one_empty_and_single () =
+  Alcotest.(check int) "empty" 0 (List.length (C.find_first_one []));
+  let single = C.find_first_one [ E.input "x0" 1 ] in
+  let env = env_of_bools [ true ] [] in
+  Alcotest.(check (list bool)) "single" [ true ] (eval_bits env single)
+
+let test_onehot_mux () =
+  let cases =
+    List.init 3 (fun i ->
+        (E.input (Printf.sprintf "x%d" i) 1, E.input (Printf.sprintf "v%d" i) 8))
+  in
+  let e = C.onehot_mux cases in
+  let env = env_of_bools [ false; true; false ] [ 10; 20; 30 ] in
+  Alcotest.(check int) "selected" 20 (B.to_int (Hw.Eval.eval env e));
+  let env0 = env_of_bools [ false; false; false ] [ 10; 20; 30 ] in
+  Alcotest.(check int) "none = zero" 0 (B.to_int (Hw.Eval.eval env0 e))
+
+let select_with impl n_cases bools values =
+  let cases =
+    List.init n_cases (fun i ->
+        (E.input (Printf.sprintf "x%d" i) 1, E.input (Printf.sprintf "v%d" i) 8))
+  in
+  let e = C.priority_select ~impl cases ~default:(E.input "def" 8) in
+  B.to_int (Hw.Eval.eval (env_of_bools bools values) e)
+
+let test_priority_chain () =
+  Alcotest.(check int) "first hit"
+    20
+    (select_with C.Chain 3 [ false; true; true ] [ 10; 20; 30 ]);
+  Alcotest.(check int) "default"
+    222
+    (select_with C.Chain 3 [ false; false; false ] [ 10; 20; 30 ])
+
+let test_priority_tree () =
+  Alcotest.(check int) "first hit"
+    20
+    (select_with C.Tree 3 [ false; true; true ] [ 10; 20; 30 ]);
+  Alcotest.(check int) "default"
+    222
+    (select_with C.Tree 3 [ false; false; false ] [ 10; 20; 30 ])
+
+(* Property: the two implementations compute the same function. *)
+let prop_chain_eq_tree =
+  QCheck.Test.make ~name:"chain = tree (priority select)" ~count:500
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 0 7) bool)
+        (list_of_size (QCheck.Gen.int_range 0 7) (int_bound 255)))
+    (fun (bools, vals) ->
+      let n = min (List.length bools) (List.length vals) in
+      let bools = List.filteri (fun i _ -> i < n) bools in
+      let vals = List.filteri (fun i _ -> i < n) vals in
+      select_with C.Chain n bools vals = select_with C.Tree n bools vals)
+
+(* Property: find-first-one output is one-hot and marks the first. *)
+let prop_ffo_onehot =
+  QCheck.Test.make ~name:"find_first_one is one-hot" ~count:500
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 10) bool)
+    (fun bools ->
+      let n = List.length bools in
+      let outs =
+        eval_bits (env_of_bools bools [])
+          (C.find_first_one (bit_inputs n))
+      in
+      let actives = List.filter (fun b -> b) outs in
+      let expected_index =
+        let rec go i = function
+          | [] -> None
+          | true :: _ -> Some i
+          | false :: rest -> go (i + 1) rest
+        in
+        go 0 bools
+      in
+      match expected_index with
+      | None -> actives = []
+      | Some i -> List.length actives = 1 && List.nth outs i)
+
+(* Property: the tree network has logarithmic depth, the chain linear
+   (the paper's asymptotic claim, experiment E3). *)
+let test_depth_asymptotics () =
+  let depth impl sources =
+    (Hw.Cost.of_expr (Pipeline.Mux_impl.build_network ~impl ~sources ~data_width:32)).Hw.Cost.depth
+  in
+  let chain_32 = depth C.Chain 32 and chain_4 = depth C.Chain 4 in
+  let tree_32 = depth C.Tree 32 and tree_4 = depth C.Tree 4 in
+  Alcotest.(check bool) "chain grows linearly" true (chain_32 >= chain_4 + 28 * 2 / 2);
+  Alcotest.(check bool) "tree grows slowly" true (tree_32 <= tree_4 + 16);
+  Alcotest.(check bool) "tree beats chain at 32" true (tree_32 < chain_32)
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "prefix_or" `Quick test_prefix_or;
+          Alcotest.test_case "find_first_one" `Quick test_find_first_one;
+          Alcotest.test_case "ffo edge cases" `Quick
+            test_find_first_one_empty_and_single;
+          Alcotest.test_case "onehot_mux" `Quick test_onehot_mux;
+          Alcotest.test_case "priority chain" `Quick test_priority_chain;
+          Alcotest.test_case "priority tree" `Quick test_priority_tree;
+          Alcotest.test_case "depth asymptotics" `Quick test_depth_asymptotics;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_chain_eq_tree; prop_ffo_onehot ] );
+    ]

@@ -1,0 +1,83 @@
+(* The gate-level cost model. *)
+
+module E = Hw.Expr
+module C = Hw.Cost
+
+let test_clog2 () =
+  Alcotest.(check int) "1" 0 (C.clog2 1);
+  Alcotest.(check int) "2" 1 (C.clog2 2);
+  Alcotest.(check int) "3" 2 (C.clog2 3);
+  Alcotest.(check int) "8" 3 (C.clog2 8);
+  Alcotest.(check int) "9" 4 (C.clog2 9)
+
+let test_leaves_free () =
+  Alcotest.(check int) "const" 0 (C.of_expr (E.const_int ~width:32 5)).C.gates;
+  Alcotest.(check int) "input" 0 (C.of_expr (E.input "x" 32)).C.gates;
+  Alcotest.(check int) "slice free" 0
+    (C.of_expr (E.slice (E.input "x" 32) ~hi:7 ~lo:0)).C.gates
+
+let test_adder () =
+  let add = E.( +: ) (E.input "a" 32) (E.input "b" 32) in
+  let c = C.of_expr add in
+  Alcotest.(check int) "area 5w" 160 c.C.gates;
+  Alcotest.(check int) "log depth" (C.clog2 32 + 2) c.C.depth
+
+let test_series_composition () =
+  let a = E.input "a" 8 and b = E.input "b" 8 in
+  let two_adds = E.( +: ) (E.( +: ) a b) b in
+  let one_add = E.( +: ) a b in
+  let c2 = C.of_expr two_adds and c1 = C.of_expr one_add in
+  Alcotest.(check int) "area doubles" (2 * c1.C.gates) c2.C.gates;
+  Alcotest.(check int) "depth doubles" (2 * c1.C.depth) c2.C.depth
+
+let test_parallel_composition () =
+  (* mux of two adds: depth = add + mux, not 2*add. *)
+  let a = E.input "a" 8 and b = E.input "b" 8 in
+  let e = E.Mux (E.input "s" 1, E.( +: ) a b, E.( -: ) a b) in
+  let c = C.of_expr e in
+  let add_depth = (C.of_expr (E.( +: ) a b)).C.depth in
+  Alcotest.(check int) "depth = add + mux levels" (add_depth + 2) c.C.depth
+
+let test_constant_shift_free () =
+  let e = E.Binop (E.Shl, E.input "a" 32, E.const_int ~width:5 3) in
+  Alcotest.(check int) "constant shift" 0 (C.of_expr e).C.gates;
+  let v = E.Binop (E.Shl, E.input "a" 32, E.input "sh" 5) in
+  Alcotest.(check bool) "variable shift costs" true ((C.of_expr v).C.gates > 0)
+
+let test_eq_tester () =
+  let e = E.( ==: ) (E.input "a" 5) (E.input "b" 5) in
+  let c = C.of_expr e in
+  Alcotest.(check int) "w XNOR + AND tree" (5 + 4) c.C.gates;
+  Alcotest.(check int) "depth" (1 + C.clog2 5) c.C.depth
+
+let test_combine () =
+  let a = { C.gates = 5; depth = 3 } and b = { C.gates = 7; depth = 2 } in
+  Alcotest.(check int) "add gates" 12 (C.add a b).C.gates;
+  Alcotest.(check int) "add depth is max" 3 (C.add a b).C.depth;
+  Alcotest.(check int) "seq depth sums" 5 (C.seq a b).C.depth
+
+let prop_cost_nonnegative =
+  QCheck.Test.make ~name:"costs are nonnegative and monotone in size"
+    ~count:200
+    QCheck.(int_range 1 24)
+    (fun w ->
+      let e = E.( +: ) (E.input "a" w) (E.input "b" w) in
+      let c = C.of_expr e in
+      c.C.gates >= 0 && c.C.depth >= 0)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "clog2" `Quick test_clog2;
+          Alcotest.test_case "leaves free" `Quick test_leaves_free;
+          Alcotest.test_case "adder" `Quick test_adder;
+          Alcotest.test_case "series" `Quick test_series_composition;
+          Alcotest.test_case "parallel" `Quick test_parallel_composition;
+          Alcotest.test_case "constant shift" `Quick test_constant_shift_free;
+          Alcotest.test_case "eq tester" `Quick test_eq_tester;
+          Alcotest.test_case "combinators" `Quick test_combine;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_cost_nonnegative ]);
+    ]

@@ -1,0 +1,66 @@
+(* The instruction/cycle pipeline diagram. *)
+
+let capture (p : Dlx.Progs.t) =
+  let tr =
+    Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p)
+  in
+  fst (Pipeline.Diagram.capture ~stop_after:p.Dlx.Progs.dyn_instructions tr)
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let cells_of_row row =
+  String.split_on_char ' ' row |> List.filter (fun c -> c <> "") |> List.tl
+
+let test_smooth_flow () =
+  let d = capture (Dlx.Progs.hazard_independent 6) in
+  match lines d with
+  | _header :: i0 :: i1 :: _ ->
+    Alcotest.(check (list string)) "I0 stages"
+      [ "IF"; "ID"; "EX"; "ME"; "WB" ]
+      (cells_of_row i0);
+    (* I1 enters one cycle later, no stalls. *)
+    Alcotest.(check (list string)) "I1 stages"
+      [ "IF"; "ID"; "EX"; "ME"; "WB" ]
+      (cells_of_row i1)
+  | _ -> Alcotest.fail "diagram shape"
+
+let test_stall_repeats_stage () =
+  let d = capture (Dlx.Progs.hazard_load_use 2) in
+  (* The dependent add (I2) repeats ID while the load is in EX. *)
+  match lines d with
+  | _ :: _ :: _ :: i2 :: _ ->
+    let cells = cells_of_row i2 in
+    Alcotest.(check (list string)) "load-use stall visible"
+      [ "IF"; "ID"; "ID"; "EX"; "ME"; "WB" ]
+      cells
+  | _ -> Alcotest.fail "diagram shape"
+
+let test_rollback_marked () =
+  let p = Dlx.Progs.overflow_trap in
+  let tr =
+    Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data
+      (Dlx.Seq_dlx.With_interrupts { sisr = 8 })
+      ~program:(Dlx.Progs.program p)
+  in
+  let d, _ = Pipeline.Diagram.capture ~stop_after:p.Dlx.Progs.dyn_instructions tr in
+  Alcotest.(check bool) "squash marker present" true
+    (String.split_on_char 'x' d |> List.length > 1)
+
+let test_row_count () =
+  let d = capture (Dlx.Progs.hazard_independent 4) in
+  (* Header + one row per fetched instruction (incl. over-fetch). *)
+  Alcotest.(check bool) "several rows" true (List.length (lines d) >= 5)
+
+let () =
+  Alcotest.run "diagram"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "smooth flow" `Quick test_smooth_flow;
+          Alcotest.test_case "stalls repeat stages" `Quick
+            test_stall_repeats_stage;
+          Alcotest.test_case "rollback marker" `Quick test_rollback_marked;
+          Alcotest.test_case "row count" `Quick test_row_count;
+        ] );
+    ]

@@ -1,0 +1,400 @@
+(* Integration tests of the DLX case study (paper §4.2): the prepared
+   sequential machine against the golden model, and the transformed
+   pipeline against both, across kernels, random programs, operating
+   modes, external stalls and the speculation variants. *)
+
+module P = Pipeline.Pipesem
+module F = Pipeline.Fwd_spec
+module Progs = Dlx.Progs
+module SD = Dlx.Seq_dlx
+
+let transform ?options ?(variant = SD.Base) (p : Progs.t) =
+  SD.transform ?options ~data:p.Progs.data variant
+    ~program:(Progs.program p)
+
+let check_consistent ?ext ?options ?(variant = SD.Base) (p : Progs.t) =
+  let tr = transform ?options ~variant p in
+  let n = p.Progs.dyn_instructions in
+  let reference =
+    SD.ref_trace ~data:p.Progs.data variant ~program:(Progs.program p)
+      ~instructions:n
+  in
+  let report = Proof_engine.Consistency.check ?ext ~max_instructions:n ~reference tr in
+  if not (Proof_engine.Consistency.ok report) then
+    Alcotest.failf "%s inconsistent: %s" p.Progs.prog_name
+      (Format.asprintf "%a" Proof_engine.Consistency.pp_report report);
+  report
+
+(* ---------------- sequential machine vs golden model ---------------- *)
+
+let test_seqsem_matches_refmodel () =
+  List.iter
+    (fun (p : Progs.t) ->
+      let program = Progs.program p in
+      let m = SD.machine ~data:p.Progs.data SD.Base ~program in
+      let n = p.Progs.dyn_instructions in
+      let seq = Machine.Seqsem.run ~max_instructions:n m in
+      let refr = SD.ref_trace ~data:p.Progs.data SD.Base ~program ~instructions:n in
+      for i = 0 to n do
+        List.iter
+          (fun (name, v) ->
+            match List.assoc_opt name refr.Machine.Seqsem.spec_before.(i) with
+            | Some v' ->
+              if not (Machine.Value.equal v v') then
+                Alcotest.failf "%s: instr %d register %s differs"
+                  p.Progs.prog_name i name
+            | None -> ())
+          seq.Machine.Seqsem.spec_before.(i)
+      done)
+    Progs.all_kernels
+
+(* ---------------- pipelined consistency ---------------- *)
+
+let test_kernels_consistent () =
+  List.iter (fun p -> ignore (check_consistent p)) Progs.all_kernels
+
+let test_kernels_consistent_tree_impl () =
+  let options = { F.mode = F.Full; impl = Hw.Circuits.Tree } in
+  List.iter
+    (fun p -> ignore (check_consistent ~options p))
+    [ Progs.fib 8; Progs.hazard_load_use 6; Progs.bubble_sort [ 3; 1; 2 ] ]
+
+let test_kernels_consistent_interlock_only () =
+  let options = { F.mode = F.Interlock_only; impl = Hw.Circuits.Chain } in
+  List.iter
+    (fun p -> ignore (check_consistent ~options p))
+    [ Progs.fib 8; Progs.hazard_dependent_chain 10; Progs.memcpy 4 ]
+
+let test_random_programs_consistent () =
+  List.iter
+    (fun seed ->
+      let p = Workload.Gen.generate ~seed ~length:60 Workload.Gen.typical in
+      ignore (check_consistent p))
+    [ 1; 2; 3; 42; 99 ]
+
+let test_random_memory_heavy_consistent () =
+  List.iter
+    (fun seed ->
+      let p = Workload.Gen.generate ~seed ~length:60 Workload.Gen.memory_heavy in
+      ignore (check_consistent p))
+    [ 7; 8 ]
+
+let test_ext_stalls_consistent () =
+  let ext = Workload.Sweep.memory_wait_states ~every:5 ~wait:2 in
+  List.iter
+    (fun p -> ignore (check_consistent ~ext p))
+    [ Progs.memcpy 6; Progs.hazard_load_use 6 ]
+
+(* ---------------- performance shape ---------------- *)
+
+let cycles ?options ?ext (p : Progs.t) =
+  let tr = transform ?options p in
+  let r = P.run ?ext ~stop_after:p.Progs.dyn_instructions tr in
+  Alcotest.(check bool) "completed" true (r.P.outcome = P.Completed);
+  r.P.stats.P.cycles
+
+let test_dependent_chain_no_stalls () =
+  (* Back-to-back ALU dependencies: forwarding sustains CPI 1 —
+     n instructions need n + (pipeline fill) cycles. *)
+  let p = Progs.hazard_dependent_chain 24 in
+  Alcotest.(check int) "n + 4 cycles" (p.Progs.dyn_instructions + 4) (cycles p)
+
+let test_load_use_one_stall_each () =
+  (* Each load-use pair costs exactly one interlock cycle. *)
+  let p = Progs.hazard_load_use 12 in
+  Alcotest.(check int) "n + pairs + 4"
+    (p.Progs.dyn_instructions + 12 + 4)
+    (cycles p)
+
+let test_interlock_only_much_slower () =
+  let p = Progs.hazard_dependent_chain 24 in
+  let full = cycles p in
+  let inter =
+    cycles ~options:{ F.mode = F.Interlock_only; impl = Hw.Circuits.Chain } p
+  in
+  Alcotest.(check bool) "at least 2x slower" true (inter >= 2 * full)
+
+let test_needed_gating_avoids_phantom_stall () =
+  (* The I-type destination field occupies the rs2 slot: without the
+     operand-usage gating, [lw r2; addi r2, r1, 7] would stall on a
+     phantom read of r2. *)
+  let open Dlx.Asm in
+  let open Dlx.Isa in
+  let mk second =
+    Progs.
+      {
+        prog_name = "phantom";
+        items =
+          [ Insn (Addi (1, 0, 256)); Insn (Lw (2, 1, 0)); Insn second ]
+          @ Dlx.Asm.halt;
+        data = [ (64, 5) ];
+        dyn_instructions = 3;
+      }
+  in
+  let phantom = cycles (mk (Addi (2, 1, 7))) in
+  let neutral = cycles (mk (Addi (9, 1, 7))) in
+  Alcotest.(check int) "no phantom stall" neutral phantom
+
+let test_real_load_use_still_stalls () =
+  let open Dlx.Asm in
+  let open Dlx.Isa in
+  let mk second =
+    Progs.
+      {
+        prog_name = "real";
+        items =
+          [ Insn (Addi (1, 0, 256)); Insn (Lw (2, 1, 0)); Insn second ]
+          @ Dlx.Asm.halt;
+        data = [ (64, 5) ];
+        dyn_instructions = 3;
+      }
+  in
+  let dependent = cycles (mk (Add (3, 2, 2))) in
+  let independent = cycles (mk (Add (3, 1, 1))) in
+  Alcotest.(check int) "one stall" (independent + 1) dependent
+
+(* ---------------- speculation variants ---------------- *)
+
+let test_interrupt_variant_consistent () =
+  let p = Progs.overflow_trap in
+  let report =
+    check_consistent ~variant:(SD.With_interrupts { sisr = 8 }) p
+  in
+  Alcotest.(check bool) "rollbacks happened" true
+    (report.Proof_engine.Consistency.stats.P.rollbacks >= 3)
+
+let test_interrupt_variant_plain_programs () =
+  (* Programs without interrupts behave identically on the variant. *)
+  List.iter
+    (fun p ->
+      ignore (check_consistent ~variant:(SD.With_interrupts { sisr = 8 }) p))
+    [ Progs.fib 8; Progs.memcpy 4 ]
+
+let test_bp_variant_consistent () =
+  List.iter
+    (fun p -> ignore (check_consistent ~variant:SD.Branch_predict p))
+    [ Progs.fib 8; Progs.branch_heavy 6; Progs.bubble_sort [ 2; 1; 3 ] ]
+
+let test_bp_costs_only_performance () =
+  let p = Progs.branch_heavy 8 in
+  let base = check_consistent ~variant:SD.Base p in
+  let bp = check_consistent ~variant:SD.Branch_predict p in
+  Alcotest.(check bool) "bp not faster" true
+    (bp.Proof_engine.Consistency.stats.P.cycles
+    >= base.Proof_engine.Consistency.stats.P.cycles);
+  Alcotest.(check bool) "bp rolled back" true
+    (bp.Proof_engine.Consistency.stats.P.rollbacks > 0)
+
+let test_bp_random_consistent () =
+  List.iter
+    (fun seed ->
+      let p =
+        Workload.Gen.generate ~seed ~length:50
+          (Workload.Gen.branch_heavy ~taken_frac:0.7)
+      in
+      ignore (check_consistent ~variant:SD.Branch_predict p))
+    [ 11; 12 ]
+
+(* ---------------- directed edge cases ---------------- *)
+
+let directed ?(data = []) name items =
+  Dlx.Progs.make ~data name items
+
+let test_jal_link_forwarding () =
+  (* jal writes r31 via the link path through C; using r31 in the very
+     next instructions must forward correctly. *)
+  let open Dlx.Asm in
+  let open Dlx.Isa in
+  let p =
+    directed "jal_fwd"
+      [
+        Jal_l "sub";
+        Insn Nop;
+        (* the return lands here (link = 8) and skips the subroutine *)
+        J_l "end";
+        Insn (Addi (10, 0, 99));
+        Label "sub";
+        Insn (Addi (4, 31, 0));   (* r4 := link, forwarded *)
+        Insn (Add (5, 31, 31));
+        Insn (Jr 31);
+        Insn Nop;
+        Label "end";
+      ]
+  in
+  ignore (check_consistent p)
+
+let test_call_return () =
+  let open Dlx.Asm in
+  let open Dlx.Isa in
+  let p =
+    directed "call_ret"
+      [
+        Insn (Addi (1, 0, 3));
+        Jal_l "double";
+        Insn Nop;
+        Insn (Addi (2, 1, 0));  (* after return: r2 := 6 *)
+        J_l "end";
+        Insn Nop;
+        Label "double";
+        Insn (Add (1, 1, 1));
+        Insn (Jr 31);
+        Insn Nop;
+        Label "end";
+      ]
+  in
+  let report = check_consistent p in
+  ignore report
+
+let test_branch_on_loaded_value () =
+  (* beqz on a just-loaded register: the branch condition is a
+     forwarded operand with a load-use interlock. *)
+  let open Dlx.Asm in
+  let open Dlx.Isa in
+  let p =
+    directed ~data:[ (64, 0); (65, 7) ] "beqz_on_load"
+      [
+        Insn (Addi (1, 0, 256));
+        Insn (Lw (2, 1, 0));   (* 0 *)
+        Bnez_l (2, "wrong");
+        Insn Nop;
+        Insn (Lw (3, 1, 4));   (* 7 *)
+        Bnez_l (3, "right");
+        Insn Nop;
+        Label "wrong";
+        Insn (Addi (9, 0, 1)); (* must not execute *)
+        Label "right";
+        Insn (Addi (10, 0, 2));
+      ]
+  in
+  ignore (check_consistent p)
+
+let test_store_data_forwarding () =
+  (* The stored value and the store address are both forwarded
+     operands. *)
+  let open Dlx.Asm in
+  let open Dlx.Isa in
+  let p =
+    directed "store_fwd"
+      [
+        Insn (Addi (1, 0, 256));
+        Insn (Addi (2, 0, 1234));
+        Insn (Sw (1, 2, 0));        (* data forwarded from EX *)
+        Insn (Addi (3, 1, 4));
+        Insn (Sw (3, 2, 0));        (* address forwarded *)
+        Insn (Lw (4, 1, 4));
+      ]
+  in
+  ignore (check_consistent p)
+
+let test_ext_stall_during_forwarding () =
+  (* Memory wait states while a load result is being forwarded: the
+     taint term must hold the consumer until the stage can complete. *)
+  let ext = Workload.Sweep.memory_wait_states ~every:3 ~wait:1 in
+  List.iter
+    (fun p -> ignore (check_consistent ~ext p))
+    [ Progs.hazard_load_use 8; Progs.bubble_sort [ 5; 2; 4; 1 ] ]
+
+let test_random_interrupt_programs () =
+  List.iter
+    (fun seed ->
+      let p =
+        Workload.Gen.generate_with_interrupts ~seed ~length:60 ~sisr:8
+          Workload.Gen.typical
+      in
+      let report =
+        check_consistent ~variant:(SD.With_interrupts { sisr = 8 }) p
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d rolled back" seed)
+        true
+        (report.Proof_engine.Consistency.stats.P.rollbacks > 0))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_interrupt_during_hazard () =
+  (* An overflow retiring while a younger load-use pair is stalled. *)
+  let open Dlx.Asm in
+  let open Dlx.Isa in
+  let p =
+    Dlx.Progs.make
+      ~config:{ Dlx.Refmodel.with_interrupts = true; sisr = 8 }
+      ~data:[ (64, 5) ]
+      "intr_during_stall"
+      [
+        J_l "main";
+        Insn Nop;
+        Label "isr";
+        Insn Rfe;
+        Label "main";
+        Insn (Lhi (1, 0x7FFF));
+        Insn (Ori (1, 1, 0xFFFF));
+        Insn (Addi (9, 0, 256));
+        Insn (Add (2, 1, 1));   (* overflow resolving in WB... *)
+        Insn (Lw (3, 9, 0));    (* ...while this load-use pair *)
+        Insn (Add (4, 3, 3));   (* stalls in decode *)
+        Insn (Addi (5, 0, 7));
+      ]
+  in
+  ignore (check_consistent ~variant:(SD.With_interrupts { sisr = 8 }) p)
+
+let () =
+  Alcotest.run "dlx"
+    [
+      ( "sequential machine",
+        [
+          Alcotest.test_case "seqsem = refmodel on kernels" `Slow
+            test_seqsem_matches_refmodel;
+        ] );
+      ( "pipelined consistency",
+        [
+          Alcotest.test_case "kernels" `Slow test_kernels_consistent;
+          Alcotest.test_case "tree impl" `Quick test_kernels_consistent_tree_impl;
+          Alcotest.test_case "interlock only" `Quick
+            test_kernels_consistent_interlock_only;
+          Alcotest.test_case "random programs" `Slow
+            test_random_programs_consistent;
+          Alcotest.test_case "memory heavy" `Quick
+            test_random_memory_heavy_consistent;
+          Alcotest.test_case "external stalls" `Quick test_ext_stalls_consistent;
+        ] );
+      ( "performance shape",
+        [
+          Alcotest.test_case "dependent chain CPI 1" `Quick
+            test_dependent_chain_no_stalls;
+          Alcotest.test_case "load-use stalls once" `Quick
+            test_load_use_one_stall_each;
+          Alcotest.test_case "interlock-only slowdown" `Quick
+            test_interlock_only_much_slower;
+          Alcotest.test_case "needed gating" `Quick
+            test_needed_gating_avoids_phantom_stall;
+          Alcotest.test_case "real load-use stalls" `Quick
+            test_real_load_use_still_stalls;
+        ] );
+      ( "directed edge cases",
+        [
+          Alcotest.test_case "jal link forwarding" `Quick
+            test_jal_link_forwarding;
+          Alcotest.test_case "call / return" `Quick test_call_return;
+          Alcotest.test_case "branch on load" `Quick
+            test_branch_on_loaded_value;
+          Alcotest.test_case "store forwarding" `Quick
+            test_store_data_forwarding;
+          Alcotest.test_case "ext during forwarding" `Quick
+            test_ext_stall_during_forwarding;
+        ] );
+      ( "speculation",
+        [
+          Alcotest.test_case "interrupts consistent" `Quick
+            test_interrupt_variant_consistent;
+          Alcotest.test_case "random interrupt programs" `Slow
+            test_random_interrupt_programs;
+          Alcotest.test_case "interrupt during stall" `Quick
+            test_interrupt_during_hazard;
+          Alcotest.test_case "variant on plain programs" `Quick
+            test_interrupt_variant_plain_programs;
+          Alcotest.test_case "branch prediction consistent" `Quick
+            test_bp_variant_consistent;
+          Alcotest.test_case "bp performance only" `Quick
+            test_bp_costs_only_performance;
+          Alcotest.test_case "bp random programs" `Slow test_bp_random_consistent;
+        ] );
+    ]

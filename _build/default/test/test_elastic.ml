@@ -1,0 +1,146 @@
+(* The depth-parametric machine family: forwarding chains longer than
+   the DLX's, consistency at every depth, and the generalized load-use
+   interlock. *)
+
+module El = Core.Elastic
+module T = Pipeline.Transform
+module F = Pipeline.Fwd_spec
+
+let check ~n ?options program =
+  let tr = El.transform ?options ~n ~program () in
+  let report =
+    Proof_engine.Consistency.check ~max_instructions:(List.length program) tr
+  in
+  if not (Proof_engine.Consistency.ok report) then
+    Alcotest.failf "n=%d inconsistent: %s" n
+      (Format.asprintf "%a" Proof_engine.Consistency.pp_report report);
+  report
+
+let depths = [ 3; 4; 5; 6; 7; 8; 10 ]
+
+let test_consistent_all_depths () =
+  List.iter
+    (fun n ->
+      ignore (check ~n (El.chain_program ~late:false ~length:20));
+      ignore (check ~n (El.chain_program ~late:true ~length:20));
+      ignore (check ~n (El.independent_program ~length:20)))
+    depths
+
+let test_consistent_tree_impl () =
+  let options = { F.mode = F.Full; impl = Hw.Circuits.Tree } in
+  List.iter
+    (fun n -> ignore (check ~n ~options (El.chain_program ~late:true ~length:12)))
+    [ 4; 6; 8 ]
+
+let test_consistent_interlock_only () =
+  let options = { F.mode = F.Interlock_only; impl = Hw.Circuits.Chain } in
+  List.iter
+    (fun n -> ignore (check ~n ~options (El.chain_program ~late:false ~length:12)))
+    [ 3; 5; 7 ]
+
+let test_source_count_scales () =
+  List.iter
+    (fun n ->
+      let tr = El.transform ~n ~program:[] () in
+      match T.find_rule tr ~stage:1 ~operand:(F.File_port ("REG", 0)) with
+      | Some r ->
+        Alcotest.(check int)
+          (Printf.sprintf "sources at n=%d" n)
+          (n - 2)
+          (List.length r.T.sources)
+      | None -> Alcotest.fail "rule missing")
+    depths
+
+let test_valid_bit_count_scales () =
+  (* One Qv register per chain stage: the chain spans stages 1..n-2. *)
+  List.iter
+    (fun n ->
+      let tr = El.transform ~n ~program:[] () in
+      let qv =
+        List.filter
+          (fun (r : Machine.Spec.register) ->
+            String.length r.Machine.Spec.reg_name >= 4
+            && String.sub r.Machine.Spec.reg_name 0 4 = "$Qv_")
+          tr.T.machine.Machine.Spec.registers
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "Qv count at n=%d" n)
+        (n - 2) (List.length qv))
+    depths
+
+let cycles ~n program =
+  (check ~n program).Proof_engine.Consistency.stats.Pipeline.Pipesem.cycles
+
+let test_fast_chain_never_stalls () =
+  List.iter
+    (fun n ->
+      let len = 20 in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d" n)
+        (len + n - 1)
+        (cycles ~n (El.chain_program ~late:false ~length:len)))
+    depths
+
+let test_late_chain_stalls_linearly () =
+  (* A dependent late op waits until the producer is *in* stage n-2
+     (where the result is forwardable as it is computed): n-4 stall
+     cycles per dependent instruction, for n >= 5. *)
+  List.iter
+    (fun n ->
+      let len = 20 in
+      let expected = len + n - 1 + ((n - 4) * (len - 1)) in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d" n)
+        expected
+        (cycles ~n (El.chain_program ~late:true ~length:len)))
+    [ 5; 6; 8 ]
+
+let test_late_distance_sweep () =
+  (* Padding the dependency with independent instructions absorbs the
+     stalls one by one. *)
+  let n = 6 in
+  let mk gap =
+    [ El.encode ~late:true ~dst:1 ~src1:2 ~src2:3 ]
+    @ List.init gap (fun i -> El.encode ~late:false ~dst:(8 + i) ~src1:9 ~src2:10)
+    @ [ El.encode ~late:false ~dst:4 ~src1:1 ~src2:1 ]
+  in
+  let baseline gap = List.length (mk gap) + n - 1 in
+  List.iter
+    (fun gap ->
+      let stalls = max 0 (n - 4 - gap) in
+      Alcotest.(check int)
+        (Printf.sprintf "gap %d" gap)
+        (baseline gap + stalls)
+        (cycles ~n (mk gap)))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_bad_depth_rejected () =
+  match El.machine ~n:2 ~program:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "depth 2 accepted"
+
+let () =
+  Alcotest.run "elastic"
+    [
+      ( "consistency",
+        [
+          Alcotest.test_case "all depths" `Slow test_consistent_all_depths;
+          Alcotest.test_case "tree impl" `Quick test_consistent_tree_impl;
+          Alcotest.test_case "interlock only" `Quick
+            test_consistent_interlock_only;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "source count" `Quick test_source_count_scales;
+          Alcotest.test_case "valid bits" `Quick test_valid_bit_count_scales;
+          Alcotest.test_case "bad depth" `Quick test_bad_depth_rejected;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "fast chains CPI 1" `Quick
+            test_fast_chain_never_stalls;
+          Alcotest.test_case "late chains stall linearly" `Quick
+            test_late_chain_stalls_linearly;
+          Alcotest.test_case "distance sweep" `Quick test_late_distance_sweep;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for the combinational expression IR: width checking,
+   evaluation, traversal and substitution. *)
+
+module E = Hw.Expr
+module B = Hw.Bitvec
+
+let bv ~width v = B.make ~width v
+let env bindings = Hw.Eval.env_of_assoc bindings
+let eval_int e bindings = B.to_int (Hw.Eval.eval (env bindings) e)
+
+let test_widths () =
+  Alcotest.(check int) "const" 8 (E.width (E.const_int ~width:8 5));
+  Alcotest.(check int) "add" 8
+    (E.width (E.( +: ) (E.input "a" 8) (E.input "b" 8)));
+  Alcotest.(check int) "eq is 1 bit" 1
+    (E.width (E.( ==: ) (E.input "a" 8) (E.input "b" 8)));
+  Alcotest.(check int) "concat" 12
+    (E.width (E.Concat (E.input "a" 8, E.input "b" 4)));
+  Alcotest.(check int) "slice" 3
+    (E.width (E.slice (E.input "a" 8) ~hi:4 ~lo:2));
+  Alcotest.(check int) "mux" 8
+    (E.width (E.Mux (E.input "s" 1, E.input "a" 8, E.input "b" 8)))
+
+let test_ill_typed () =
+  let bad = E.( +: ) (E.input "a" 8) (E.input "b" 4) in
+  (match E.check bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected width error");
+  let bad_mux = E.Mux (E.input "s" 2, E.input "a" 8, E.input "b" 8) in
+  (match E.check bad_mux with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected mux select error");
+  match E.check (E.Slice (E.input "a" 8, 9, 0)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected slice range error"
+
+let test_eval_basic () =
+  let a = E.input "a" 8 and b = E.input "b" 8 in
+  let bindings = [ ("a", bv ~width:8 12); ("b", bv ~width:8 200) ] in
+  Alcotest.(check int) "add" 212 (eval_int (E.( +: ) a b) bindings);
+  Alcotest.(check int) "sub wraps" ((12 - 200) land 255)
+    (eval_int (E.( -: ) a b) bindings);
+  Alcotest.(check int) "mux true" 12
+    (eval_int (E.mux E.tru a b) bindings);
+  Alcotest.(check int) "slice" 3 (eval_int (E.slice a ~hi:3 ~lo:2) bindings);
+  Alcotest.(check int) "sext" 0xFC8
+    (eval_int (E.Sext (E.input "b" 8, 12)) bindings)
+
+let test_eval_reductions () =
+  let a = E.input "a" 4 in
+  Alcotest.(check int) "reduce_or nonzero" 1
+    (eval_int (E.reduce_or a) [ ("a", bv ~width:4 2) ]);
+  Alcotest.(check int) "reduce_or zero" 0
+    (eval_int (E.reduce_or a) [ ("a", bv ~width:4 0) ]);
+  Alcotest.(check int) "reduce_and ones" 1
+    (eval_int (E.reduce_and a) [ ("a", bv ~width:4 15) ]);
+  Alcotest.(check int) "reduce_and partial" 0
+    (eval_int (E.reduce_and a) [ ("a", bv ~width:4 7) ])
+
+let test_eval_shifts () =
+  let a = E.input "a" 8 and sh = E.input "sh" 3 in
+  let bindings = [ ("a", bv ~width:8 0b10010110); ("sh", bv ~width:3 2) ] in
+  Alcotest.(check int) "shl" 0b01011000
+    (eval_int (E.Binop (E.Shl, a, sh)) bindings);
+  Alcotest.(check int) "sra" 0b11100101
+    (eval_int (E.Binop (E.Sra, a, sh)) bindings)
+
+let test_file_read () =
+  let e =
+    E.File_read { file = "RF"; data_width = 8; addr = E.input "a" 2 }
+  in
+  let files = [ ("RF", fun addr -> bv ~width:8 (10 + B.to_int addr)) ] in
+  let env = Hw.Eval.env_of_assoc ~files [ ("a", bv ~width:2 3) ] in
+  Alcotest.(check int) "file read" 13 (B.to_int (Hw.Eval.eval env e))
+
+let test_unknown_input () =
+  Alcotest.check_raises "unknown" (Hw.Eval.Eval_error "unknown input nope")
+    (fun () -> ignore (Hw.Eval.eval (env []) (E.input "nope" 4)))
+
+let test_inputs_and_files () =
+  let e =
+    E.( +: )
+      (E.input "x" 8)
+      (E.mux (E.input "s" 1)
+         (E.File_read { file = "RF"; data_width = 8; addr = E.input "x" 8 })
+         (E.input "y" 8))
+  in
+  Alcotest.(check (list (pair string int)))
+    "inputs once, in order"
+    [ ("x", 8); ("s", 1); ("y", 8) ]
+    (E.inputs e);
+  Alcotest.(check (list (pair string int))) "files" [ ("RF", 8) ] (E.file_reads e)
+
+let test_subst () =
+  let e = E.( +: ) (E.input "x" 8) (E.input "y" 8) in
+  let e' = E.subst (fun n -> if n = "x" then Some (E.const_int ~width:8 7) else None) e in
+  Alcotest.(check int) "substituted" 9 (eval_int e' [ ("y", bv ~width:8 2) ]);
+  Alcotest.check_raises "width mismatch"
+    (E.Ill_typed "subst for y: width 4, want 8") (fun () ->
+      ignore (E.subst (fun _ -> Some (E.const_int ~width:4 0)) e))
+
+let test_subst_file_read () =
+  let e = E.File_read { file = "RF"; data_width = 8; addr = E.input "a" 2 } in
+  let e' =
+    E.subst_file_read
+      (fun ~file ~addr:_ ->
+        if file = "RF" then Some (E.const_int ~width:8 99) else None)
+      e
+  in
+  Alcotest.(check int) "replaced" 99 (eval_int e' [])
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "true && e = e" true
+    (E.equal (E.( &&: ) E.tru (E.input "x" 1)) (E.input "x" 1));
+  Alcotest.(check bool) "false && e = false" true
+    (E.equal (E.( &&: ) E.fls (E.input "x" 1)) E.fls);
+  Alcotest.(check bool) "false || e = e" true
+    (E.equal (E.( ||: ) E.fls (E.input "x" 1)) (E.input "x" 1));
+  Alcotest.(check bool) "not not" true
+    (E.equal (E.not_ (E.not_ (E.input "x" 1))) (E.input "x" 1));
+  Alcotest.(check bool) "const mux folds" true
+    (E.equal (E.mux E.tru (E.input "a" 4) (E.input "b" 4)) (E.input "a" 4))
+
+let test_size () =
+  Alcotest.(check int) "size" 3
+    (E.size (E.( +: ) (E.input "a" 4) (E.input "b" 4)))
+
+(* Property: mux_cases behaves as a priority chain. *)
+let prop_mux_cases =
+  QCheck.Test.make ~name:"mux_cases priority" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 6) (pair bool (int_bound 255)))
+    (fun cases ->
+      let exprs =
+        List.map
+          (fun (c, v) -> (E.bool_of c, E.const_int ~width:8 v))
+          cases
+      in
+      let e = E.mux_cases ~default:(E.const_int ~width:8 111) exprs in
+      let expected =
+        match List.find_opt fst cases with
+        | Some (_, v) -> v
+        | None -> 111
+      in
+      eval_int e [] = expected)
+
+(* Property: evaluation width always matches the static width. *)
+let arb_expr =
+  let open QCheck.Gen in
+  let rec gen depth w =
+    if depth = 0 then
+      oneof
+        [
+          (int_bound 1000 >|= fun v -> E.const_int ~width:w v);
+          return (E.input (Printf.sprintf "v%d" w) w);
+        ]
+    else
+      frequency
+        [
+          (2, gen 0 w);
+          ( 3,
+            oneofl [ E.Add; E.Sub; E.And; E.Or; E.Xor ] >>= fun op ->
+            gen (depth - 1) w >>= fun a ->
+            gen (depth - 1) w >|= fun b -> E.Binop (op, a, b) );
+          ( 1,
+            gen (depth - 1) 1 >>= fun s ->
+            gen (depth - 1) w >>= fun a ->
+            gen (depth - 1) w >|= fun b -> E.Mux (s, a, b) );
+          (1, gen (depth - 1) w >|= fun a -> E.Unop (E.Not, a));
+        ]
+  in
+  QCheck.make
+    ~print:E.to_string
+    (int_range 1 16 >>= fun w -> gen 3 w >|= fun e -> e)
+
+let prop_eval_width =
+  QCheck.Test.make ~name:"evaluation width = static width" ~count:300 arb_expr
+    (fun e ->
+      let bindings =
+        List.map (fun (n, w) -> (n, bv ~width:w 3)) (E.inputs e)
+      in
+      B.width (Hw.Eval.eval (env bindings) e) = E.width e)
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "widths" `Quick test_widths;
+          Alcotest.test_case "ill-typed" `Quick test_ill_typed;
+          Alcotest.test_case "eval basic" `Quick test_eval_basic;
+          Alcotest.test_case "eval reductions" `Quick test_eval_reductions;
+          Alcotest.test_case "eval shifts" `Quick test_eval_shifts;
+          Alcotest.test_case "file read" `Quick test_file_read;
+          Alcotest.test_case "unknown input" `Quick test_unknown_input;
+          Alcotest.test_case "inputs / files" `Quick test_inputs_and_files;
+          Alcotest.test_case "subst" `Quick test_subst;
+          Alcotest.test_case "subst file read" `Quick test_subst_file_read;
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "size" `Quick test_size;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_mux_cases; prop_eval_width ]
+      );
+    ]

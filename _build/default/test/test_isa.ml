@@ -1,0 +1,126 @@
+(* ISA encode/decode and the assembler. *)
+
+module I = Dlx.Isa
+module A = Dlx.Asm
+
+let test_roundtrip_examples () =
+  let cases =
+    [
+      I.Add (3, 1, 2);
+      I.Sub (31, 30, 29);
+      I.Sll (4, 5, 6);
+      I.Slt (7, 8, 9);
+      I.Addi (3, 1, -5);
+      I.Addi (3, 1, 32767);
+      I.Andi (2, 2, 0xFFFF);
+      I.Lhi (10, 0xABCD);
+      I.Slli (4, 4, 31);
+      I.Lw (5, 1, -8);
+      I.Lb (5, 1, 3);
+      I.Lbu (5, 1, 3);
+      I.Lh (5, 1, 2);
+      I.Lhu (5, 1, 2);
+      I.Sw (1, 9, 100);
+      I.Beqz (7, -12);
+      I.Bnez (7, 16);
+      I.J 1024;
+      I.J (-4);
+      I.Jal 2048;
+      I.Jr 31;
+      I.Jalr 4;
+      I.Trap 5;
+      I.Rfe;
+      I.Nop;
+    ]
+  in
+  List.iter
+    (fun i ->
+      match I.decode (I.encode i) with
+      | Some i' ->
+        Alcotest.(check string) (I.to_string i) (I.to_string i) (I.to_string i')
+      | None -> Alcotest.failf "%s decodes to illegal" (I.to_string i))
+    cases
+
+let test_illegal () =
+  Alcotest.(check bool) "opcode 0x3F illegal" false (I.is_legal (0x3F lsl 26));
+  Alcotest.(check bool) "rtype bad func" false
+    (I.is_legal ((1 lsl 21) lor 0x3F));
+  Alcotest.(check bool) "nop legal" true (I.is_legal I.nop_word)
+
+let prop_roundtrip =
+  let arb =
+    QCheck.make
+      ~print:(fun w -> Printf.sprintf "0x%08x" w)
+      QCheck.Gen.(int_bound ((1 lsl 30) - 1) >|= fun v -> v * 4)
+  in
+  QCheck.Test.make ~name:"decode-encode-decode stable" ~count:2000 arb
+    (fun word ->
+      let word = word land 0xFFFFFFFF in
+      match I.decode word with
+      | None -> true
+      | Some i -> (
+        match I.decode (I.encode i) with
+        | Some i' -> i = i' || I.to_string i = I.to_string i'
+        | None -> false))
+
+let test_assemble_labels () =
+  let items =
+    [
+      A.Insn (I.Addi (1, 0, 3));
+      A.Label "loop";
+      A.Insn (I.Addi (1, 1, -1));
+      A.Bnez_l (1, "loop");
+      A.Insn I.Nop;
+    ]
+  in
+  let words = A.assemble items in
+  Alcotest.(check int) "4 words" 4 (List.length words);
+  (* The branch sits at byte 8; target "loop" is byte 4; offset =
+     4 - (8 + 4) = -8. *)
+  match I.decode (List.nth words 2) with
+  | Some (I.Bnez (1, -8)) -> ()
+  | Some i -> Alcotest.failf "branch decoded as %s" (I.to_string i)
+  | None -> Alcotest.fail "branch illegal"
+
+let test_assemble_forward_label () =
+  let items =
+    [ A.J_l "end"; A.Insn I.Nop; A.Insn (I.Addi (1, 0, 1)); A.Label "end" ]
+  in
+  match I.decode (List.nth (A.assemble items) 0) with
+  | Some (I.J 8) -> ()
+  | Some i -> Alcotest.failf "jump decoded as %s" (I.to_string i)
+  | None -> Alcotest.fail "illegal"
+
+let test_assemble_errors () =
+  (match A.assemble [ A.J_l "nowhere" ] with
+  | exception A.Asm_error _ -> ()
+  | _ -> Alcotest.fail "unknown label accepted");
+  match A.assemble [ A.Label "x"; A.Label "x" ] with
+  | exception A.Asm_error _ -> ()
+  | _ -> Alcotest.fail "duplicate label accepted"
+
+let test_halt_idiom () =
+  let words = A.assemble A.halt in
+  Alcotest.(check int) "two words" 2 (List.length words);
+  match I.decode (List.nth words 0) with
+  | Some (I.J (-4)) -> ()
+  | Some i -> Alcotest.failf "halt jump decoded as %s" (I.to_string i)
+  | None -> Alcotest.fail "illegal"
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "round trips" `Quick test_roundtrip_examples;
+          Alcotest.test_case "illegal encodings" `Quick test_illegal;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "backward label" `Quick test_assemble_labels;
+          Alcotest.test_case "forward label" `Quick test_assemble_forward_label;
+          Alcotest.test_case "errors" `Quick test_assemble_errors;
+          Alcotest.test_case "halt idiom" `Quick test_halt_idiom;
+        ] );
+    ]

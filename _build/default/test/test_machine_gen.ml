@@ -1,0 +1,86 @@
+(* The machine-space property: every sampled prepared sequential
+   machine, once transformed, is data consistent with its own
+   sequential semantics on random programs. *)
+
+module MG = Proof_engine.Machine_gen
+
+let test_params_deterministic () =
+  let p1 = MG.sample_params ~seed:7 and p2 = MG.sample_params ~seed:7 in
+  Alcotest.(check string) "same params"
+    (Format.asprintf "%a" MG.pp_params p1)
+    (Format.asprintf "%a" MG.pp_params p2);
+  let p3 = MG.sample_params ~seed:8 in
+  Alcotest.(check bool) "different seeds vary" true
+    (Format.asprintf "%a" MG.pp_params p1
+    <> Format.asprintf "%a" MG.pp_params p3
+    ||
+    let p4 = MG.sample_params ~seed:9 in
+    Format.asprintf "%a" MG.pp_params p1
+    <> Format.asprintf "%a" MG.pp_params p4)
+
+let test_machines_validate () =
+  List.iter
+    (fun seed ->
+      let p = MG.sample_params ~seed in
+      let program = MG.random_program p ~length:10 in
+      match Machine.Validate.run (MG.machine p ~program) with
+      | [] -> ()
+      | issues ->
+        Alcotest.failf "%a: %d validation issues"
+          (fun ppf -> MG.pp_params ppf)
+          p (List.length issues))
+    (List.init 40 (fun i -> i + 1))
+
+let test_property_sweep () =
+  List.iter
+    (fun seed ->
+      match MG.check_one ~seed ~program_length:30 with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    (List.init 60 (fun i -> i + 1))
+
+let test_symbolic_proofs_on_random_machines () =
+  (* For sampled machines, prove data consistency for all initial
+     register-file contents at once (skipping any machine whose control
+     would depend on symbolic data, which this family never has). *)
+  List.iter
+    (fun seed ->
+      let p = MG.sample_params ~seed in
+      let program = MG.random_program p ~length:12 in
+      let tr =
+        Pipeline.Transform.run ~hints:(MG.hints p) (MG.machine p ~program)
+      in
+      match
+        Proof_engine.Symsim.check ~symbolic:[ "RF" ] ~instructions:12 tr
+      with
+      | Proof_engine.Symsim.Proved _ -> ()
+      | o ->
+        Alcotest.failf "%a: %a"
+          (fun ppf -> MG.pp_params ppf)
+          p Proof_engine.Symsim.pp_outcome o)
+    [ 2; 5; 9; 14; 23; 31 ]
+
+let test_longer_programs () =
+  List.iter
+    (fun seed ->
+      match MG.check_one ~seed ~program_length:120 with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    [ 3; 17; 42 ]
+
+let () =
+  Alcotest.run "machine_gen"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_params_deterministic;
+          Alcotest.test_case "well-formed" `Quick test_machines_validate;
+        ] );
+      ( "property",
+        [
+          Alcotest.test_case "60 random machines" `Slow test_property_sweep;
+          Alcotest.test_case "longer programs" `Slow test_longer_programs;
+          Alcotest.test_case "symbolic proofs on random machines" `Slow
+            test_symbolic_proofs_on_random_machines;
+        ] );
+    ]

@@ -1,0 +1,68 @@
+(* Shared-netlist costing. *)
+
+module E = Hw.Expr
+module N = Hw.Netlist
+
+let x = E.input "x" 8
+let y = E.input "y" 8
+
+let test_no_sharing () =
+  let e = E.( +: ) x y in
+  let n = N.of_expr e in
+  Alcotest.(check int) "shared = tree" (N.tree_gates n) (N.shared_gates n);
+  Alcotest.(check (float 0.001)) "ratio 1" 1.0 (N.sharing_ratio n)
+
+let test_shared_subterm () =
+  (* (x+y) used twice: the adder is paid once in the shared count. *)
+  let sum = E.( +: ) x y in
+  let e = E.Binop (E.And, sum, E.Binop (E.Or, sum, y)) in
+  let n = N.of_expr e in
+  let adder = (Hw.Cost.of_expr sum).Hw.Cost.gates in
+  Alcotest.(check int) "tree double-counts"
+    (N.shared_gates n + adder)
+    (N.tree_gates n);
+  Alcotest.(check bool) "ratio < 1" true (N.sharing_ratio n < 1.0)
+
+let test_across_signals () =
+  (* The same expression appearing in two signals is shared. *)
+  let sum = E.( +: ) x y in
+  let n = N.of_signals [ ("a", sum); ("b", E.Unop (E.Not, sum)) ] in
+  let adder = (Hw.Cost.of_expr sum).Hw.Cost.gates in
+  Alcotest.(check int) "one adder + one inverter" (adder + 8)
+    (N.shared_gates n)
+
+let test_tree_network_shares_prefixes () =
+  (* The find-first-one network reuses its prefix OR terms: sharing
+     must find substantial reuse in the Tree selection network. *)
+  let e =
+    Pipeline.Mux_impl.build_network ~impl:Hw.Circuits.Tree ~sources:16
+      ~data_width:32
+  in
+  let n = N.of_expr e in
+  Alcotest.(check bool) "strict reuse" true (N.shared_gates n < N.tree_gates n)
+
+let test_dlx_signals () =
+  let p = Dlx.Progs.fib 5 in
+  let tr =
+    Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p)
+  in
+  let n = N.of_signals tr.Pipeline.Transform.signals in
+  Alcotest.(check bool) "nonempty" true (N.node_count n > 100);
+  Alcotest.(check bool) "sharing found" true (N.sharing_ratio n <= 1.0);
+  Alcotest.(check bool) "shared <= tree" true
+    (N.shared_gates n <= N.tree_gates n)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "sharing",
+        [
+          Alcotest.test_case "no sharing" `Quick test_no_sharing;
+          Alcotest.test_case "shared subterm" `Quick test_shared_subterm;
+          Alcotest.test_case "across signals" `Quick test_across_signals;
+          Alcotest.test_case "tree network prefixes" `Quick
+            test_tree_network_shares_prefixes;
+          Alcotest.test_case "dlx control logic" `Quick test_dlx_signals;
+        ] );
+    ]

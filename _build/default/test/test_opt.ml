@@ -1,0 +1,160 @@
+(* The combinational simplifier: identities, folding, and the
+   soundness contract (simplify preserves semantics and width). *)
+
+module E = Hw.Expr
+module O = Hw.Opt
+module B = Hw.Bitvec
+
+let x = E.input "x" 8
+let s = E.input "s" 1
+
+let check_simplifies msg expected e =
+  Alcotest.(check string) msg (E.to_string expected) (E.to_string (O.simplify e))
+
+let test_constant_folding () =
+  check_simplifies "add" (E.const_int ~width:8 7)
+    (E.( +: ) (E.const_int ~width:8 3) (E.const_int ~width:8 4));
+  check_simplifies "nested"
+    (E.const_int ~width:8 12)
+    (E.Binop
+       (E.And, E.const_int ~width:8 0xFC,
+        E.( +: ) (E.const_int ~width:8 6) (E.const_int ~width:8 6)));
+  check_simplifies "slice of const" (E.const_int ~width:4 0xA)
+    (E.slice (E.const_int ~width:8 0xA5) ~hi:7 ~lo:4)
+
+let test_identities () =
+  check_simplifies "x & 0" (E.const_int ~width:8 0)
+    (E.Binop (E.And, x, E.const_int ~width:8 0));
+  check_simplifies "x & ones" x (E.Binop (E.And, x, E.Const (B.ones 8)));
+  check_simplifies "x | 0" x (E.Binop (E.Or, x, E.const_int ~width:8 0));
+  check_simplifies "x ^ x" (E.const_int ~width:8 0) (E.( ^: ) x x);
+  check_simplifies "x & x" x (E.Binop (E.And, x, x));
+  check_simplifies "x + 0" x (E.( +: ) x (E.const_int ~width:8 0));
+  check_simplifies "x - 0" x (E.( -: ) x (E.const_int ~width:8 0));
+  check_simplifies "x == x" E.tru (E.( ==: ) x x);
+  check_simplifies "x != x" E.fls (E.( <>: ) x x);
+  check_simplifies "not not" s (E.Unop (E.Not, E.Unop (E.Not, s)));
+  check_simplifies "shift by 0" x
+    (E.Binop (E.Shl, x, E.const_int ~width:3 0))
+
+let test_mux () =
+  check_simplifies "same branches" x (E.Mux (s, x, x));
+  check_simplifies "select itself" s
+    (E.Mux (s, E.tru, E.fls));
+  check_simplifies "inverted select" (E.not_ s)
+    (E.Mux (s, E.fls, E.tru));
+  check_simplifies "const select" x
+    (E.Mux (E.tru, x, E.input "y" 8))
+
+let test_extensions () =
+  check_simplifies "zext same width" x (E.Zext (x, 8));
+  check_simplifies "full slice" x (E.Slice (x, 7, 0));
+  check_simplifies "slice under zext" (E.Slice (x, 3, 1))
+    (E.Slice (E.Zext (x, 16), 3, 1))
+
+let test_stats () =
+  let e = E.( +: ) (E.const_int ~width:8 1) (E.const_int ~width:8 2) in
+  let st = O.measure e in
+  Alcotest.(check int) "before" 3 st.O.nodes_before;
+  Alcotest.(check int) "after" 1 st.O.nodes_after;
+  Alcotest.(check bool) "gates drop" true (st.O.gates_after < st.O.gates_before)
+
+(* Soundness: simplify preserves evaluation and width on random
+   expressions over a fixed environment shape. *)
+let arb_expr =
+  let open QCheck.Gen in
+  let rec gen depth w =
+    if depth = 0 then
+      oneof
+        [
+          (int_bound 300 >|= fun v -> E.const_int ~width:w v);
+          return (E.input (Printf.sprintf "v%d" w) w);
+          return (E.const_int ~width:w 0);
+          return (E.Const (B.ones w));
+        ]
+    else
+      frequency
+        [
+          (2, gen 0 w);
+          ( 4,
+            oneofl [ E.Add; E.Sub; E.And; E.Or; E.Xor; E.Shl; E.Shr ]
+            >>= fun op ->
+            gen (depth - 1) w >>= fun a ->
+            gen (depth - 1) w >|= fun b -> E.Binop (op, a, b) );
+          ( 2,
+            oneofl [ E.Eq; E.Ne; E.Ltu; E.Lts ] >>= fun op ->
+            gen (depth - 1) w >>= fun a ->
+            gen (depth - 1) w >|= fun b ->
+            E.Zext (E.Binop (op, a, b), w) );
+          ( 2,
+            gen (depth - 1) 1 >>= fun sel ->
+            gen (depth - 1) w >>= fun a ->
+            gen (depth - 1) w >|= fun b -> E.Mux (sel, a, b) );
+          (1, gen (depth - 1) w >|= fun a -> E.Unop (E.Not, a));
+          ( 1,
+            gen (depth - 1) w >|= fun a ->
+            if w + 4 <= B.max_width then E.Slice (E.Zext (a, w + 4), w - 1, 0)
+            else a );
+        ]
+  in
+  QCheck.make ~print:E.to_string
+    (int_range 1 12 >>= fun w -> gen 4 w)
+
+let prop_sound =
+  QCheck.Test.make ~name:"simplify preserves semantics" ~count:1000 arb_expr
+    (fun e ->
+      let e' = O.simplify e in
+      if E.width e' <> E.width e then false
+      else
+        (* Try several environments. *)
+        List.for_all
+          (fun salt ->
+            let env =
+              Hw.Eval.env_of_assoc
+                (List.map
+                   (fun (n, w) -> (n, B.make ~width:w (salt * 37)))
+                   (E.inputs e))
+            in
+            B.equal (Hw.Eval.eval env e) (Hw.Eval.eval env e'))
+          [ 0; 1; 2; 5; 255 ])
+
+let prop_never_grows =
+  QCheck.Test.make ~name:"simplify never grows the tree" ~count:500 arb_expr
+    (fun e -> E.size (O.simplify e) <= E.size e)
+
+(* The optimized transform stays consistent. *)
+let test_optimized_machine_consistent () =
+  let p = Dlx.Progs.bubble_sort [ 3; 1; 2 ] in
+  let tr =
+    Pipeline.Transform.optimize
+      (Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+         ~program:(Dlx.Progs.program p))
+  in
+  let n = p.Dlx.Progs.dyn_instructions in
+  let reference =
+    Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p) ~instructions:n
+  in
+  let report = Proof_engine.Consistency.check ~max_instructions:n ~reference tr in
+  Alcotest.(check bool) "consistent" true (Proof_engine.Consistency.ok report)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "rewrites",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "identities" `Quick test_identities;
+          Alcotest.test_case "mux" `Quick test_mux;
+          Alcotest.test_case "extensions" `Quick test_extensions;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "soundness",
+        List.map QCheck_alcotest.to_alcotest [ prop_sound; prop_never_grows ]
+      );
+      ( "integration",
+        [
+          Alcotest.test_case "optimized machine" `Quick
+            test_optimized_machine_consistent;
+        ] );
+    ]

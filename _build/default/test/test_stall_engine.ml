@@ -1,0 +1,185 @@
+(* The stall engine (paper §3): the pure per-cycle equations, the
+   full-bit update, and the HDL export of the same equations. *)
+
+module SE = Pipeline.Stall_engine
+
+let no_mispredict ~stage:_ ~stalled:_ = false
+
+let compute ?(dhaz = [||]) ?(ext = [||]) ?(mispredict = no_mispredict) fullb =
+  let n = Array.length fullb in
+  let pad a = if Array.length a = n then a else Array.make n false in
+  SE.compute ~fullb ~dhaz:(pad dhaz) ~ext:(pad ext) ~mispredict
+
+let test_all_flowing () =
+  let s = compute [| true; true; true; true |] in
+  Alcotest.(check (array bool)) "all full" [| true; true; true; true |] s.SE.full;
+  Alcotest.(check (array bool)) "no stalls" [| false; false; false; false |] s.SE.stall;
+  Alcotest.(check (array bool)) "all ue" [| true; true; true; true |] s.SE.ue;
+  Alcotest.(check (array bool)) "next full" [| true; true; true; true |]
+    (SE.next_fullb s)
+
+let test_stage0_always_full () =
+  let s = compute [| false; false; false; false |] in
+  Alcotest.(check bool) "full_0" true s.SE.full.(0);
+  Alcotest.(check bool) "ue_0" true s.SE.ue.(0)
+
+let test_dhaz_stalls_above () =
+  (* dhaz in stage 1: stages 0 and 1 stall, stages 2,3 proceed. *)
+  let s = compute ~dhaz:[| false; true; false; false |] [| true; true; true; true |] in
+  Alcotest.(check (array bool)) "stalls" [| true; true; false; false |] s.SE.stall;
+  Alcotest.(check (array bool)) "ue" [| false; false; true; true |] s.SE.ue;
+  (* Stage 2 empties (bubble), stage 1 keeps its instruction. *)
+  Alcotest.(check (array bool)) "next full" [| true; true; false; true |]
+    (SE.next_fullb s)
+
+let test_bubble_does_not_stall () =
+  (* Stage 1 stalled, stage 2 empty: the bubble absorbs the stall. *)
+  let s =
+    compute ~dhaz:[| false; true; false; false |]
+      [| true; true; false; true |]
+  in
+  Alcotest.(check bool) "stage 2 no stall" false s.SE.stall.(2);
+  Alcotest.(check bool) "stage 3 proceeds" true s.SE.ue.(3);
+  (* An empty stage never stalls nor updates. *)
+  Alcotest.(check bool) "stage 2 no ue" false s.SE.ue.(2)
+
+let test_bubble_removal () =
+  (* Stage 2 empty, stage 1 full and flowing: bubble filled next cycle. *)
+  let s = compute [| true; true; false; true |] in
+  Alcotest.(check bool) "stage 1 flows into bubble" true (SE.next_fullb s).(2)
+
+let test_ext_stall () =
+  let s = compute ~ext:[| false; false; false; true |] [| true; true; true; true |] in
+  Alcotest.(check (array bool)) "everything stalls"
+    [| true; true; true; true |] s.SE.stall;
+  Alcotest.(check (array bool)) "nothing moves"
+    [| false; false; false; false |] s.SE.ue
+
+let test_rollback_squash () =
+  (* Misspeculation detected in stage 2: stages 0..2 squashed, stage 3
+     proceeds. *)
+  let mispredict ~stage ~stalled:_ = stage = 2 in
+  let s = compute ~mispredict [| true; true; true; true |] in
+  Alcotest.(check (array bool)) "rollback" [| false; false; true; false |] s.SE.rollback;
+  Alcotest.(check (array bool)) "rollback'" [| true; true; true; false |] s.SE.rollback_up;
+  Alcotest.(check (array bool)) "ue" [| false; false; false; true |] s.SE.ue;
+  (* Stage 3's instruction retires and nothing refills it: the whole
+     pipe behind the rollback is empty. *)
+  Alcotest.(check (array bool)) "squashed" [| true; false; false; false |]
+    (SE.next_fullb s)
+
+let test_rollback_not_when_stalled () =
+  (* The comparison fires only in a full, unstalled stage. *)
+  let mispredict ~stage ~stalled = stage = 2 && not stalled in
+  let s =
+    compute ~mispredict ~ext:[| false; false; false; true |]
+      [| true; true; true; true |]
+  in
+  Alcotest.(check (array bool)) "no rollback under stall"
+    [| false; false; false; false |] s.SE.rollback
+
+let test_rollback_squashes_stalled_stage () =
+  (* A stalled stage above the rollback point is squashed anyway. *)
+  let mispredict ~stage ~stalled:_ = stage = 3 in
+  let s =
+    compute ~mispredict ~dhaz:[| false; true; false; false |]
+      [| true; true; true; true |]
+  in
+  Alcotest.(check bool) "stage 1 was stalled" true s.SE.stall.(1);
+  Alcotest.(check bool) "stage 1 still squashed" false (SE.next_fullb s).(1)
+
+(* Property: the invariants of Trace_invariants hold for arbitrary
+   dhaz/ext/full combinations. *)
+let prop_engine_invariants =
+  QCheck.Test.make ~name:"engine invariants" ~count:1000
+    QCheck.(triple (list_of_size (QCheck.Gen.return 5) bool)
+              (list_of_size (QCheck.Gen.return 5) bool)
+              (list_of_size (QCheck.Gen.return 5) bool))
+    (fun (fl, dh, ex) ->
+      let fullb = Array.of_list fl
+      and dhaz = Array.of_list dh
+      and ext = Array.of_list ex in
+      let s = SE.compute ~fullb ~dhaz ~ext ~mispredict:no_mispredict in
+      let n = 5 in
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        if s.SE.ue.(k) && (s.SE.stall.(k) || not s.SE.full.(k)) then ok := false;
+        if s.SE.stall.(k) && not s.SE.full.(k) then ok := false;
+        if
+          k < n - 1 && s.SE.stall.(k + 1) && s.SE.full.(k)
+          && not s.SE.stall.(k)
+        then ok := false
+      done;
+      !ok)
+
+(* The HDL export computes the same functions as the OCaml engine. *)
+let prop_exprs_match =
+  let module E = Hw.Expr in
+  QCheck.Test.make ~name:"HDL stall engine = reference" ~count:500
+    QCheck.(triple (list_of_size (QCheck.Gen.return 4) bool)
+              (list_of_size (QCheck.Gen.return 4) bool)
+              (list_of_size (QCheck.Gen.return 4) bool))
+    (fun (fl, dh, ex) ->
+      let n = 4 in
+      let fullb = Array.of_list fl
+      and dhaz = Array.of_list dh
+      and ext = Array.of_list ex in
+      let reference = SE.compute ~fullb ~dhaz ~ext ~mispredict:no_mispredict in
+      let defs =
+        SE.exprs ~n_stages:n
+          ~dhaz:(fun k -> E.input (Printf.sprintf "$dh_%d" k) 1)
+          ~mispredict:(fun _ -> E.fls)
+      in
+      let tbl = Hashtbl.create 32 in
+      for k = 0 to n - 1 do
+        Hashtbl.replace tbl (Pipeline.Transform.full_signal k)
+          (Hw.Bitvec.of_bool (k = 0 || fullb.(k)));
+        Hashtbl.replace tbl (Pipeline.Transform.ext_signal k)
+          (Hw.Bitvec.of_bool ext.(k));
+        Hashtbl.replace tbl (Printf.sprintf "$dh_%d" k)
+          (Hw.Bitvec.of_bool dhaz.(k))
+      done;
+      let env =
+        {
+          Hw.Eval.lookup_input = (fun name -> Hashtbl.find tbl name);
+          lookup_file = (fun _ _ -> Hw.Bitvec.zero 1);
+        }
+      in
+      List.iter
+        (fun (name, e) -> Hashtbl.replace tbl name (Hw.Eval.eval env e))
+        defs;
+      let get name = Hw.Bitvec.to_bool (Hashtbl.find tbl name) in
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        if get (Printf.sprintf "$stall_%d" k) <> reference.SE.stall.(k) then
+          ok := false;
+        if get (Printf.sprintf "$ue_%d" k) <> reference.SE.ue.(k) then
+          ok := false
+      done;
+      for s = 1 to n - 1 do
+        if get (Printf.sprintf "$fullb_next_%d" s) <> (SE.next_fullb reference).(s)
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "stall_engine"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "all flowing" `Quick test_all_flowing;
+          Alcotest.test_case "stage 0 always full" `Quick test_stage0_always_full;
+          Alcotest.test_case "dhaz stalls above" `Quick test_dhaz_stalls_above;
+          Alcotest.test_case "bubble absorbs stall" `Quick test_bubble_does_not_stall;
+          Alcotest.test_case "bubble removal" `Quick test_bubble_removal;
+          Alcotest.test_case "ext stall" `Quick test_ext_stall;
+          Alcotest.test_case "rollback squash" `Quick test_rollback_squash;
+          Alcotest.test_case "no rollback when stalled" `Quick
+            test_rollback_not_when_stalled;
+          Alcotest.test_case "rollback beats stall" `Quick
+            test_rollback_squashes_stalled_stage;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_engine_invariants; prop_exprs_match ] );
+    ]

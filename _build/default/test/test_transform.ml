@@ -1,0 +1,260 @@
+(* The transformation tool: generated rule structure, signal
+   namespaces, operating modes and error handling. *)
+
+module T = Pipeline.Transform
+module F = Pipeline.Fwd_spec
+module Spec = Machine.Spec
+module E = Hw.Expr
+
+let toy_tr ?options () =
+  Core.Toy.transform ?options ~program:Core.Toy.default_program ()
+
+let dlx_tr ?options variant =
+  let p = Dlx.Progs.fib 5 in
+  Dlx.Seq_dlx.transform ?options ~data:p.Dlx.Progs.data variant
+    ~program:(Dlx.Progs.program p)
+
+let test_toy_rules () =
+  let tr = toy_tr () in
+  Alcotest.(check int) "two rules" 2 (List.length tr.T.rules);
+  List.iter
+    (fun (r : T.rule) ->
+      Alcotest.(check int) "consumer" 1 r.T.consumer_stage;
+      Alcotest.(check int) "writer" 2 r.T.writer_stage;
+      Alcotest.(check int) "one source" 1 (List.length r.T.sources);
+      match r.T.sources with
+      | [ s ] ->
+        Alcotest.(check bool) "writer source" true (s.T.src_kind = T.From_writer);
+        Alcotest.(check bool) "eq tester" true s.T.has_addr_compare;
+        Alcotest.(check bool) "not conservative" false s.T.conservative
+      | _ -> Alcotest.fail "source shape")
+    tr.T.rules
+
+let test_dlx_figure2_structure () =
+  (* The paper's figure 2: the GPR operand read in decode has hits in
+     stages 2, 3 (via the C chain) and 4 (the writer). *)
+  let tr = dlx_tr Dlx.Seq_dlx.Base in
+  let rule =
+    match T.find_rule tr ~stage:1 ~operand:(F.File_port ("GPR", 0)) with
+    | Some r -> r
+    | None -> Alcotest.fail "GPRa rule missing"
+  in
+  Alcotest.(check int) "writer stage" 4 rule.T.writer_stage;
+  Alcotest.(check (list int)) "source stages" [ 2; 3; 4 ]
+    (List.map (fun (s : T.source) -> s.T.src_stage) rule.T.sources);
+  Alcotest.(check int) "three equality testers" 3
+    (List.length
+       (List.filter (fun (s : T.source) -> s.T.has_addr_compare) rule.T.sources));
+  (match rule.T.sources with
+  | [ s2; s3; s4 ] ->
+    Alcotest.(check bool) "stage 2 via C.3" true (s2.T.src_kind = T.From_chain "C.3");
+    Alcotest.(check bool) "stage 3 via C.3" true (s3.T.src_kind = T.From_chain "C.3");
+    Alcotest.(check bool) "stage 4 writer" true (s4.T.src_kind = T.From_writer)
+  | _ -> Alcotest.fail "sources");
+  (* And the DPC forwarding of the fetch stage. *)
+  match T.find_rule tr ~stage:0 ~operand:(F.Reg "DPC") with
+  | Some r ->
+    Alcotest.(check (list int)) "DPC source" [ 1 ]
+      (List.map (fun (s : T.source) -> s.T.src_stage) r.T.sources)
+  | None -> Alcotest.fail "DPC rule missing"
+
+let test_qv_registers () =
+  (* The valid-bit pipeline: one Qv register per chain stage. *)
+  let tr = dlx_tr Dlx.Seq_dlx.Base in
+  let qv =
+    List.filter
+      (fun (r : Spec.register) ->
+        String.length r.Spec.reg_name > 3
+        && String.sub r.Spec.reg_name 0 4 = "$Qv_")
+      tr.T.machine.Spec.registers
+  in
+  Alcotest.(check (list string)) "Qv registers" [ "$Qv_C.3.3"; "$Qv_C.3.4" ]
+    (List.sort String.compare
+       (List.map (fun (r : Spec.register) -> r.Spec.reg_name) qv))
+
+let test_signal_order () =
+  (* Every signal definition only references registers, free inputs or
+     earlier signals. *)
+  let tr = dlx_tr Dlx.Seq_dlx.Base in
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (fun (name, e) ->
+      List.iter
+        (fun (n, _) ->
+          if String.length n > 0 && n.[0] = '$' then begin
+            let starts p =
+              String.length n >= String.length p
+              && String.sub n 0 (String.length p) = p
+            in
+            let free = starts "$full" || starts "$ext" || starts "$Qv_" in
+            if not (free || Hashtbl.mem defined n) then
+              Alcotest.failf "signal %s references %s before definition" name n
+          end)
+        (Hw.Expr.inputs e);
+      Hashtbl.replace defined name ())
+    tr.T.signals
+
+let test_interlock_only () =
+  let options = { F.mode = F.Interlock_only; impl = Hw.Circuits.Chain } in
+  let tr = dlx_tr ~options Dlx.Seq_dlx.Base in
+  List.iter
+    (fun (r : T.rule) ->
+      Alcotest.(check (option string)) "no g network" None r.T.g_signal)
+    tr.T.rules;
+  (* The stage functions still read the register file directly. *)
+  let s1 = Spec.stage_of tr.T.machine 1 in
+  let reads_gpr =
+    List.exists
+      (fun (w : Spec.write) ->
+        List.mem_assoc "GPR" (Hw.Expr.file_reads w.Spec.value))
+      s1.Spec.writes
+  in
+  Alcotest.(check bool) "direct file reads remain" true reads_gpr
+
+let test_full_mode_substitutes () =
+  let tr = dlx_tr Dlx.Seq_dlx.Base in
+  let s1 = Spec.stage_of tr.T.machine 1 in
+  let a2 =
+    List.find (fun (w : Spec.write) -> w.Spec.dst = "A.2") s1.Spec.writes
+  in
+  match a2.Spec.value with
+  | Hw.Expr.Input (name, 32) ->
+    Alcotest.(check bool) "g signal" true
+      (String.length name > 3 && String.sub name 0 3 = "$g_")
+  | _ -> Alcotest.fail "A.2 should be a g signal reference"
+
+let test_tree_impl_equivalent () =
+  (* Chain and tree implementations give the same pipelined behaviour. *)
+  let p = Dlx.Progs.bubble_sort [ 4; 1; 3; 2 ] in
+  let run options =
+    let tr =
+      Dlx.Seq_dlx.transform ~options ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+        ~program:(Dlx.Progs.program p)
+    in
+    let r = Pipeline.Pipesem.run ~stop_after:p.Dlx.Progs.dyn_instructions tr in
+    ( r.Pipeline.Pipesem.stats.Pipeline.Pipesem.cycles,
+      Machine.State.get r.Pipeline.Pipesem.state "MEM" )
+  in
+  let c1, m1 = run { F.mode = F.Full; impl = Hw.Circuits.Chain } in
+  let c2, m2 = run { F.mode = F.Full; impl = Hw.Circuits.Tree } in
+  Alcotest.(check int) "same cycles" c1 c2;
+  Alcotest.(check bool) "same memory" true (Machine.Value.equal m1 m2)
+
+let test_rejects_malformed () =
+  let m = Core.Toy.machine ~program:[] in
+  let broken =
+    {
+      m with
+      Spec.registers =
+        List.map
+          (fun (r : Spec.register) ->
+            if r.Spec.reg_name = "C.2" then { r with Spec.width = 8 } else r)
+          m.Spec.registers;
+    }
+  in
+  match T.run broken with
+  | exception T.Transform_error _ -> ()
+  | _ -> Alcotest.fail "expected Transform_error"
+
+let test_rejects_backward_read () =
+  (* A later stage reading a register written by an earlier one must be
+     rejected (the designer should add pipelined instances). *)
+  let m = Core.Toy.machine ~program:[] in
+  let broken =
+    {
+      m with
+      Spec.stages =
+        List.map
+          (fun (s : Spec.stage) ->
+            if s.Spec.index = 2 then
+              {
+                s with
+                Spec.writes =
+                  [
+                    {
+                      Spec.dst = "REG";
+                      value = E.input "IR.1" 16;
+                      guard = None;
+                      wr_addr = Some (E.input "D.2" 4);
+                    };
+                  ];
+              }
+            else s)
+          m.Spec.stages;
+    }
+  in
+  match T.run broken with
+  | exception T.Transform_error msg ->
+    Alcotest.(check bool) "mentions instances" true
+      (let sub = "pipelined instances" in
+       let n = String.length sub and h = String.length msg in
+       let rec go i = i + n <= h && (String.sub msg i n = sub || go (i + 1)) in
+       go 0)
+  | _ -> Alcotest.fail "expected Transform_error"
+
+let test_speculation_validation () =
+  let m = Core.Toy.machine ~program:[] in
+  let bad_spec =
+    {
+      F.spec_label = "bad";
+      resolve_stage = 9;
+      mispredict = E.fls;
+      rollback_writes = [];
+      retires = false;
+    }
+  in
+  match T.run ~speculations:[ bad_spec ] m with
+  | exception T.Transform_error _ -> ()
+  | _ -> Alcotest.fail "expected resolve-stage error"
+
+let test_conservative_no_writer () =
+  (* EPC is written only by the rollback: its read sources must be
+     fully conservative. *)
+  let tr = dlx_tr (Dlx.Seq_dlx.With_interrupts { sisr = 8 }) in
+  match T.find_rule tr ~stage:1 ~operand:(F.Reg "EPC") with
+  | Some r ->
+    List.iter
+      (fun (s : T.source) ->
+        Alcotest.(check bool) "conservative" true s.T.conservative;
+        Alcotest.(check bool) "no candidate" true (s.T.cand_signal = None))
+      r.T.sources
+  | None -> Alcotest.fail "EPC rule missing"
+
+let test_inventory_and_cost () =
+  let tr = dlx_tr Dlx.Seq_dlx.Base in
+  let inv = Pipeline.Report.inventory tr in
+  let gpra = List.find (fun r -> r.Pipeline.Report.sum_label = "1_GPRa") inv in
+  Alcotest.(check int) "3 muxes" 3 gpra.Pipeline.Report.sum_mux_count;
+  Alcotest.(check int) "3 hits" 3 gpra.Pipeline.Report.sum_hit_signals;
+  Alcotest.(check bool) "positive cost" true
+    (gpra.Pipeline.Report.sum_cost.Hw.Cost.gates > 0)
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "toy rules" `Quick test_toy_rules;
+          Alcotest.test_case "figure 2 structure" `Quick
+            test_dlx_figure2_structure;
+          Alcotest.test_case "Qv registers" `Quick test_qv_registers;
+          Alcotest.test_case "signal dependency order" `Quick test_signal_order;
+          Alcotest.test_case "inventory" `Quick test_inventory_and_cost;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "interlock only" `Quick test_interlock_only;
+          Alcotest.test_case "full substitutes reads" `Quick
+            test_full_mode_substitutes;
+          Alcotest.test_case "tree = chain behaviour" `Quick
+            test_tree_impl_equivalent;
+          Alcotest.test_case "conservative sources" `Quick
+            test_conservative_no_writer;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "malformed machine" `Quick test_rejects_malformed;
+          Alcotest.test_case "backward read" `Quick test_rejects_backward_read;
+          Alcotest.test_case "bad speculation" `Quick test_speculation_validation;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* VCD emission and the pipeline tracer. *)
+
+let bv ~width v = Hw.Bitvec.make ~width v
+
+let has ~sub s =
+  let n = String.length sub and h = String.length s in
+  let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_document_structure () =
+  let vcd = Hw.Vcd.create [ ("clk_like", 1); ("bus", 8) ] in
+  Hw.Vcd.sample vcd [ ("clk_like", bv ~width:1 1); ("bus", bv ~width:8 0xA5) ];
+  Hw.Vcd.sample vcd [ ("clk_like", bv ~width:1 0) ];
+  Hw.Vcd.sample vcd [ ("clk_like", bv ~width:1 0); ("bus", bv ~width:8 0xA5) ];
+  let s = Hw.Vcd.to_string vcd in
+  Alcotest.(check bool) "timescale" true (has ~sub:"$timescale 1 ns $end" s);
+  Alcotest.(check bool) "var decl" true
+    (has ~sub:"$var wire 8" s && has ~sub:"bus $end" s);
+  Alcotest.(check bool) "enddefinitions" true (has ~sub:"$enddefinitions" s);
+  Alcotest.(check bool) "initial x" true (has ~sub:"bxxxxxxxx" s);
+  Alcotest.(check bool) "binary value" true (has ~sub:"b10100101" s);
+  Alcotest.(check bool) "timestamps" true
+    (has ~sub:"#0" s && has ~sub:"#1" s && has ~sub:"#2" s)
+
+let test_change_compression () =
+  (* An unchanged value must not be re-emitted. *)
+  let vcd = Hw.Vcd.create [ ("x", 4) ] in
+  Hw.Vcd.sample vcd [ ("x", bv ~width:4 7) ];
+  Hw.Vcd.sample vcd [ ("x", bv ~width:4 7) ];
+  Hw.Vcd.sample vcd [ ("x", bv ~width:4 8) ];
+  let s = Hw.Vcd.to_string vcd in
+  let count_sub sub =
+    let n = String.length sub in
+    let rec go i acc =
+      if i + n > String.length s then acc
+      else go (i + 1) (acc + if String.sub s i n = sub then 1 else 0)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "0111 once" 1 (count_sub "b0111");
+  Alcotest.(check int) "1000 once" 1 (count_sub "b1000")
+
+let test_many_signals_unique_ids () =
+  (* More signals than single-character VCD identifiers: ids must stay
+     unique and the document parseable. *)
+  let signals = List.init 200 (fun i -> (Printf.sprintf "s%d" i, 1)) in
+  let vcd = Hw.Vcd.create signals in
+  Hw.Vcd.sample vcd
+    (List.mapi (fun i (n, _) -> (n, bv ~width:1 (i land 1))) signals);
+  let s = Hw.Vcd.to_string vcd in
+  (* Extract the identifier of each $var line and check uniqueness. *)
+  let ids =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           match String.split_on_char ' ' line with
+           | [ "$var"; "wire"; _; id; _; "$end" ] -> Some id
+           | _ -> None)
+  in
+  Alcotest.(check int) "200 declarations" 200 (List.length ids);
+  Alcotest.(check int) "unique ids" 200
+    (List.length (List.sort_uniq String.compare ids))
+
+let test_sample_validation () =
+  let vcd = Hw.Vcd.create [ ("x", 4) ] in
+  (match Hw.Vcd.sample vcd [ ("y", bv ~width:4 0) ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "unknown signal accepted");
+  match Hw.Vcd.sample vcd [ ("x", bv ~width:8 0) ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "wrong width accepted"
+
+let test_tracer_on_dlx () =
+  let p = Dlx.Progs.hazard_load_use 4 in
+  let tr =
+    Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p)
+  in
+  let vcd, result =
+    Pipeline.Tracer.trace ~registers:[ "PC"; "IR.1" ]
+      ~signals:[ "$dhaz_stage_1"; "$g_1_GPRa" ]
+      ~stop_after:p.Dlx.Progs.dyn_instructions tr
+  in
+  Alcotest.(check bool) "completed" true
+    (result.Pipeline.Pipesem.outcome = Pipeline.Pipesem.Completed);
+  Alcotest.(check int) "one sample per cycle"
+    result.Pipeline.Pipesem.stats.Pipeline.Pipesem.cycles
+    (Hw.Vcd.cycles vcd);
+  let s = Hw.Vcd.to_string vcd in
+  Alcotest.(check bool) "engine signals" true (has ~sub:"stall_1 $end" s);
+  Alcotest.(check bool) "register traced" true (has ~sub:" PC $end" s);
+  Alcotest.(check bool) "g network traced" true (has ~sub:"_g_1_GPRa $end" s);
+  (* The load-use program must show dhaz_1 pulsing. *)
+  Alcotest.(check bool) "hazard visible" true (has ~sub:"1(" s || has ~sub:"1" s)
+
+let test_tracer_rejects_unknown () =
+  let tr = Core.Toy.transform ~program:Core.Toy.default_program () in
+  match Pipeline.Tracer.trace ~registers:[ "nope" ] ~stop_after:2 tr with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown register accepted"
+
+let () =
+  Alcotest.run "vcd"
+    [
+      ( "document",
+        [
+          Alcotest.test_case "structure" `Quick test_document_structure;
+          Alcotest.test_case "change compression" `Quick test_change_compression;
+          Alcotest.test_case "many signals" `Quick test_many_signals_unique_ids;
+          Alcotest.test_case "validation" `Quick test_sample_validation;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "dlx waveform" `Quick test_tracer_on_dlx;
+          Alcotest.test_case "unknown names" `Quick test_tracer_rejects_unknown;
+        ] );
+    ]

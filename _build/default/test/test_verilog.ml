@@ -1,0 +1,127 @@
+(* HDL emission: concrete syntax of expressions and module structure,
+   plus the Wave trace tables. *)
+
+module E = Hw.Expr
+module V = Hw.Verilog
+
+let expr_str e = Format.asprintf "%a" V.pp_expr e
+
+let test_sanitize () =
+  Alcotest.(check string) "dots" "C_3" (V.sanitize "C.3");
+  Alcotest.(check string) "dollar" "_g_1_GPRa" (V.sanitize "$g_1_GPRa")
+
+let test_exprs () =
+  Alcotest.(check string) "const" "8'd42" (expr_str (E.const_int ~width:8 42));
+  Alcotest.(check string) "add" "(a + b)"
+    (expr_str (E.( +: ) (E.input "a" 8) (E.input "b" 8)));
+  Alcotest.(check string) "mux" "(s ? a : b)"
+    (expr_str (E.Mux (E.input "s" 1, E.input "a" 8, E.input "b" 8)));
+  Alcotest.(check string) "slice" "a[4:2]"
+    (expr_str (E.slice (E.input "a" 8) ~hi:4 ~lo:2));
+  Alcotest.(check string) "single bit" "a[3]"
+    (expr_str (E.slice (E.input "a" 8) ~hi:3 ~lo:3));
+  Alcotest.(check string) "signed compare"
+    "($signed(a) < $signed(b))"
+    (expr_str (E.Binop (E.Lts, E.input "a" 8, E.input "b" 8)));
+  Alcotest.(check string) "zext" "{4'd0, a}"
+    (expr_str (E.Zext (E.input "a" 4, 8)));
+  Alcotest.(check string) "sext" "{{4{a[3]}}, a}"
+    (expr_str (E.Sext (E.input "a" 4, 8)));
+  Alcotest.(check string) "file read" "GPR[a]"
+    (expr_str (E.File_read { file = "GPR"; data_width = 32; addr = E.input "a" 5 }))
+
+let test_module () =
+  let m =
+    {
+      V.module_name = "demo";
+      ports = [ { V.port_name = "x"; port_width = 8; dir = V.In } ];
+      items =
+        [
+          V.Comment "hello";
+          V.Wire ("y", 8, E.( +: ) (E.input "x" 8) (E.const_int ~width:8 1));
+          V.Reg_decl ("q", 8, Some (E.input "y" 8));
+        ];
+    }
+  in
+  let s = V.to_string m in
+  let has sub =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "module header" true (has "module demo (");
+  Alcotest.(check bool) "clk port" true (has "input clk");
+  Alcotest.(check bool) "input port" true (has "input [7:0] x");
+  Alcotest.(check bool) "wire" true (has "wire [7:0] y = (x + 8'd1);");
+  Alcotest.(check bool) "reg" true (has "reg [7:0] q;");
+  Alcotest.(check bool) "always" true (has "always @(posedge clk) q <= y;");
+  Alcotest.(check bool) "endmodule" true (has "endmodule")
+
+let test_dlx_verilog_emits () =
+  (* The generated control logic of the DLX prints without raising and
+     mentions the key synthesized signals. *)
+  let p = Dlx.Progs.fib 5 in
+  let tr =
+    Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p)
+  in
+  let s = Hw.Verilog.to_string (Pipeline.Report.verilog tr) in
+  let has sub =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "g network" true (has "_g_1_GPRa");
+  Alcotest.(check bool) "hit signal" true (has "_hit_1_GPRa_2");
+  Alcotest.(check bool) "stall engine" true (has "_stall_0");
+  Alcotest.(check bool) "ue" true (has "_ue_4");
+  Alcotest.(check bool) "valid pipe" true (has "_Qv_C_3");
+  Alcotest.(check bool) "dhaz" true (has "_dhaz_stage_1")
+
+let test_wave () =
+  let w = Hw.Wave.create ~columns:[ "a"; "b" ] in
+  Hw.Wave.record_bits w [ ("a", true); ("b", false) ];
+  Hw.Wave.record w [ ("a", "7") ];
+  Alcotest.(check int) "cycles" 2 (Hw.Wave.cycles w);
+  Alcotest.(check (option string)) "cell" (Some "1")
+    (Hw.Wave.cell w ~cycle:0 ~column:"a");
+  Alcotest.(check (option string)) "missing cell" None
+    (Hw.Wave.cell w ~cycle:1 ~column:"b");
+  let s = Hw.Wave.to_string w in
+  Alcotest.(check bool) "renders" true (String.length s > 10)
+
+let test_dot_graph () =
+  let p = Dlx.Progs.fib 5 in
+  let tr =
+    Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p)
+  in
+  let s = Pipeline.Dot.forwarding_graph tr in
+  let has sub =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (has "digraph dlx5");
+  Alcotest.(check bool) "stage clusters" true (has "cluster_stage4");
+  Alcotest.(check bool) "g node" true (has "g 1_GPRa");
+  Alcotest.(check bool) "hit edges" true (has "hit[2]");
+  Alcotest.(check bool) "chain edge from C.3" true (has "r_C_3 -> g_1_GPRa");
+  Alcotest.(check bool) "instance flow" true (has "r_C_3 -> r_C_4");
+  (* Balanced braces: crude well-formedness. *)
+  let count c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 s in
+  Alcotest.(check int) "braces balance" (count '{') (count '}')
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "sanitize" `Quick test_sanitize;
+          Alcotest.test_case "expressions" `Quick test_exprs;
+          Alcotest.test_case "module" `Quick test_module;
+          Alcotest.test_case "dlx control logic" `Quick test_dlx_verilog_emits;
+          Alcotest.test_case "wave tables" `Quick test_wave;
+          Alcotest.test_case "dot graph" `Quick test_dot_graph;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Workload generation and the sweep drivers. *)
+
+module G = Workload.Gen
+module S = Workload.Sweep
+
+let test_determinism () =
+  let p1 = G.generate ~seed:5 ~length:40 G.typical in
+  let p2 = G.generate ~seed:5 ~length:40 G.typical in
+  Alcotest.(check (list int)) "same program"
+    (Dlx.Progs.program p1) (Dlx.Progs.program p2);
+  let p3 = G.generate ~seed:6 ~length:40 G.typical in
+  Alcotest.(check bool) "different seed differs" true
+    (Dlx.Progs.program p1 <> Dlx.Progs.program p3)
+
+let test_terminates () =
+  List.iter
+    (fun seed ->
+      let p = G.generate ~seed ~length:80 (G.branch_heavy ~taken_frac:0.9) in
+      Alcotest.(check bool) "positive dynamic count" true
+        (p.Dlx.Progs.dyn_instructions > 0);
+      Alcotest.(check bool) "bounded" true
+        (p.Dlx.Progs.dyn_instructions < 100_000))
+    [ 1; 2; 3 ]
+
+let test_run_program_verifies () =
+  let p = G.generate ~seed:17 ~length:50 G.typical in
+  let row = S.run_program p in
+  Alcotest.(check bool) "ran" true (row.Workload.Stats.cycles > 0);
+  Alcotest.(check bool) "cpi sane" true
+    (row.Workload.Stats.cpi >= 1.0 && row.Workload.Stats.cpi < 5.0)
+
+let test_run_program_catches_sabotage () =
+  (* An interlock-only machine claiming to be verified still passes (it
+     is correct); this is the positive control for the negative test in
+     test_proof. *)
+  let p = G.generate ~seed:18 ~length:30 G.typical in
+  let config =
+    {
+      S.default with
+      S.options =
+        { Pipeline.Fwd_spec.mode = Pipeline.Fwd_spec.Interlock_only;
+          impl = Hw.Circuits.Chain };
+    }
+  in
+  let row = S.run_program ~config p in
+  Alcotest.(check bool) "slower but correct" true
+    (row.Workload.Stats.cpi > 1.0)
+
+let test_dependency_sweep_monotone_without_forwarding () =
+  let config =
+    {
+      S.default with
+      S.options =
+        { Pipeline.Fwd_spec.mode = Pipeline.Fwd_spec.Interlock_only;
+          impl = Hw.Circuits.Chain };
+    }
+  in
+  let rows =
+    S.dependency_sweep ~config ~biases:[ 0.0; 1.0 ] ~length:60 ~seed:3 ()
+  in
+  match rows with
+  | [ (_, low); (_, high) ] ->
+    Alcotest.(check bool) "more dependencies, more stalls" true
+      (high.Workload.Stats.cpi > low.Workload.Stats.cpi)
+  | _ -> Alcotest.fail "two rows expected"
+
+let test_forwarding_flattens_dependency_sweep () =
+  let rows = S.dependency_sweep ~biases:[ 0.0; 1.0 ] ~length:60 ~seed:3 () in
+  match rows with
+  | [ (_, low); (_, high) ] ->
+    (* With forwarding, dependent ALU chains cost nothing. *)
+    Alcotest.(check bool) "flat" true
+      (Float.abs (high.Workload.Stats.cpi -. low.Workload.Stats.cpi) < 0.2)
+  | _ -> Alcotest.fail "two rows expected"
+
+let test_memory_wait_states () =
+  let p = Dlx.Progs.memcpy 6 in
+  let fast = S.run_program p in
+  let slow =
+    S.run_program
+      ~config:
+        { S.default with S.ext = Some (S.memory_wait_states ~every:4 ~wait:2) }
+      p
+  in
+  Alcotest.(check bool) "wait states cost cycles" true
+    (slow.Workload.Stats.cycles > fast.Workload.Stats.cycles)
+
+let test_calls_generated_and_verified () =
+  (* The typical profile emits jal/jr subroutine calls; the programs
+     must still verify (link-register forwarding in random testing). *)
+  let p = Workload.Gen.generate ~seed:21 ~length:80 Workload.Gen.typical in
+  let words = Dlx.Progs.program p in
+  let has_jal =
+    List.exists
+      (fun w ->
+        match Dlx.Isa.decode w with Some (Dlx.Isa.Jal _) -> true | _ -> false)
+      words
+  in
+  let has_jr =
+    List.exists
+      (fun w ->
+        match Dlx.Isa.decode w with Some (Dlx.Isa.Jr _) -> true | _ -> false)
+      words
+  in
+  Alcotest.(check bool) "jal present" true has_jal;
+  Alcotest.(check bool) "jr present" true has_jr;
+  let row = S.run_program p in
+  Alcotest.(check bool) "functions executed" true
+    (row.Workload.Stats.instructions > 80)
+
+let test_stats_table () =
+  let p = Dlx.Progs.fib 8 in
+  let row = S.run_program p in
+  let s = Format.asprintf "%a" Workload.Stats.pp_table [ row ] in
+  Alcotest.(check bool) "prints" true (String.length s > 40);
+  Alcotest.(check (float 0.0001)) "geomean of singleton"
+    row.Workload.Stats.cpi
+    (Workload.Stats.geomean_cpi [ row ])
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "terminates" `Quick test_terminates;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "run and verify" `Quick test_run_program_verifies;
+          Alcotest.test_case "interlock-only control" `Quick
+            test_run_program_catches_sabotage;
+          Alcotest.test_case "dependency sweep (no fwd)" `Slow
+            test_dependency_sweep_monotone_without_forwarding;
+          Alcotest.test_case "dependency sweep (fwd)" `Slow
+            test_forwarding_flattens_dependency_sweep;
+          Alcotest.test_case "memory wait states" `Quick test_memory_wait_states;
+          Alcotest.test_case "subroutine calls" `Quick
+            test_calls_generated_and_verified;
+          Alcotest.test_case "stats table" `Quick test_stats_table;
+        ] );
+    ]
