@@ -23,6 +23,25 @@ let section id title =
   Format.printf "%s: %s@." id title;
   Format.printf "==================================================@."
 
+(* Machine-readable results, written to BENCH_pipeline.json at the end
+   of the run and re-read through the parser as a self-check. *)
+let export_entries : Obs.Export.entry list ref = ref []
+let add_entry e = export_entries := e :: !export_entries
+
+let export_path = "BENCH_pipeline.json"
+
+let write_export () =
+  let entries = List.rev !export_entries in
+  Obs.Export.write_file ~path:export_path entries;
+  match Obs.Export.read_file ~path:export_path with
+  | Error msg ->
+    Format.printf "BENCH export does NOT round-trip: %s@." msg;
+    exit 1
+  | Ok back ->
+    assert (back = entries);
+    Format.printf "@.wrote %s (%d entries, round-trip checked)@." export_path
+      (List.length entries)
+
 (* ------------------------------------------------------------------ *)
 (* T1: Table 1                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -121,7 +140,7 @@ let run_kernel ?options ?(variant = Dlx.Seq_dlx.Base) (p : Dlx.Progs.t) =
     Workload.Stats.of_stats ~label:p.Dlx.Progs.prog_name ~n_stages:5
       report.Proof_engine.Consistency.stats )
 
-let case_study () =
+let case_study ?(kernels = Dlx.Progs.all_kernels) () =
   section "C1" "Case study - pipelined DLX: correctness and CPI";
   let rows =
     List.map
@@ -131,8 +150,21 @@ let case_study () =
           Format.printf "INCONSISTENT on %s!@." p.Dlx.Progs.prog_name;
           exit 1
         end;
+        (* CPI breakdown via hazard attribution for the export. *)
+        let _, summary =
+          Pipeline.Attribution.run ~stop_after:p.Dlx.Progs.dyn_instructions
+            (dlx_transform p)
+        in
+        let d = Obs.Hazard.decompose summary in
+        add_entry
+          (Obs.Export.entry
+             ~cpi:row.Workload.Stats.cpi
+             ~instructions:row.Workload.Stats.instructions
+             ~cycles:row.Workload.Stats.cycles
+             ~breakdown:d.Obs.Hazard.terms
+             ("C1." ^ p.Dlx.Progs.prog_name));
         row)
-      Dlx.Progs.all_kernels
+      kernels
   in
   Format.printf "%a" Workload.Stats.pp_table rows;
   Format.printf "geomean CPI %.3f (sequential machine: CPI = 5.000)@."
@@ -541,7 +573,9 @@ let run_bechamel () =
     (fun (name, ols) ->
       let est =
         match Analyze.OLS.estimates ols with
-        | Some [ e ] -> Printf.sprintf "%.0f" e
+        | Some [ e ] ->
+          add_entry (Obs.Export.entry ~ns_per_run:e ("TIMING." ^ name));
+          Printf.sprintf "%.0f" e
         | Some _ | None -> "n/a"
       in
       let r2 =
@@ -552,7 +586,16 @@ let run_bechamel () =
       Format.printf "  %-44s %16s %8s@." name est r2)
     (List.sort compare rows)
 
-let () =
+(* --smoke: the fast subset wired into the @check alias — T1, F2 and
+   C1 on one tiny kernel, plus the export round-trip check. *)
+let smoke () =
+  table1 ();
+  figure2 ();
+  case_study ~kernels:[ Dlx.Progs.fib 5 ] ();
+  write_export ();
+  Format.printf "@.smoke ok.@."
+
+let full () =
   table1 ();
   figure1 ();
   figure2 ();
@@ -568,4 +611,8 @@ let () =
   memory_latency_sweep ();
   retime_sweep ();
   run_bechamel ();
+  write_export ();
   Format.printf "@.all experiments reproduced.@."
+
+let () =
+  if Array.exists (( = ) "--smoke") Sys.argv then smoke () else full ()

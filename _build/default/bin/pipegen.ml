@@ -18,6 +18,25 @@ type selection = {
   instructions : int;
 }
 
+let unknown ~what ~name ~available =
+  Format.eprintf "unknown %s %s; available: %s@." what name
+    (String.concat ", " available);
+  exit 2
+
+(* Exact kernel name, or a unique prefix of one ("fib" -> "fib_10"). *)
+let find_kernel name =
+  let ks = kernels () in
+  match List.assoc_opt name ks with
+  | Some p -> p
+  | None -> (
+    match
+      List.filter
+        (fun (n, _) -> String.starts_with ~prefix:name n)
+        ks
+    with
+    | [ (_, p) ] -> p
+    | _ -> unknown ~what:"kernel" ~name ~available:(List.map fst ks))
+
 let select ~machine ~kernel ~program_file ~interlock_only ~tree =
   let options =
     {
@@ -56,13 +75,7 @@ let select ~machine ~kernel ~program_file ~interlock_only ~tree =
           Format.eprintf "%s:%d: %s@." path line message;
           exit 2)
       | None, None -> Dlx.Progs.fib 10
-      | None, Some name -> (
-        match List.assoc_opt name (kernels ()) with
-        | Some p -> p
-        | None ->
-          Format.eprintf "unknown kernel %s; available: %s@." name
-            (String.concat ", " (List.map fst (kernels ())));
-          exit 2)
+      | None, Some name -> find_kernel name
     in
     let program = Dlx.Progs.program p in
     let n = p.Dlx.Progs.dyn_instructions in
@@ -82,12 +95,7 @@ let select ~machine ~kernel ~program_file ~interlock_only ~tree =
     let p =
       match kernel with
       | None -> Dlx.Progs.fib 10
-      | Some name -> (
-        match List.assoc_opt name (kernels ()) with
-        | Some p -> p
-        | None ->
-          Format.eprintf "unknown kernel %s@." name;
-          exit 2)
+      | Some name -> find_kernel name
     in
     let m =
       Machine.Retime.insert_passthrough
@@ -119,10 +127,7 @@ let select ~machine ~kernel ~program_file ~interlock_only ~tree =
   | "dlx5" -> dlx Dlx.Seq_dlx.Base
   | "dlx5_intr" -> dlx (Dlx.Seq_dlx.With_interrupts { sisr = 8 })
   | "dlx5_bp" -> dlx Dlx.Seq_dlx.Branch_predict
-  | other ->
-    Format.eprintf "unknown machine %s; available: %s@." other
-      (String.concat ", " machines);
-    exit 2
+  | other -> unknown ~what:"machine" ~name:other ~available:machines
 
 open Cmdliner
 
@@ -313,6 +318,83 @@ let dot_cmd =
         (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
        $ tree_arg))
 
+let machine_opt_arg =
+  let doc =
+    Printf.sprintf "Machine to transform (%s)." (String.concat ", " machines)
+  in
+  Arg.(
+    value & opt string "dlx5" & info [ "machine"; "m" ] ~docv:"MACHINE" ~doc)
+
+let stats_cmd =
+  let json_arg =
+    let doc = "Emit the hazard summary as JSON on stdout." in
+    Cmdliner.Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run machine kernel program_file interlock tree json =
+    let s = common machine kernel program_file interlock tree in
+    let result, summary =
+      Pipeline.Attribution.run ~stop_after:s.instructions s.tr
+    in
+    (match result.Pipeline.Pipesem.outcome with
+    | Pipeline.Pipesem.Completed -> ()
+    | Pipeline.Pipesem.Deadlocked ->
+      Format.eprintf "DEADLOCK@.";
+      exit 1
+    | Pipeline.Pipesem.Out_of_cycles ->
+      Format.eprintf "out of cycles@.";
+      exit 1);
+    if json then
+      print_endline (Obs.Json.to_string (Obs.Hazard.summary_to_json summary))
+    else begin
+      Format.printf "%a" Obs.Hazard.pp_summary summary;
+      Format.printf "%a" Obs.Hazard.pp_decomposition
+        (Obs.Hazard.decompose summary)
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Simulate with hazard attribution and print the CPI decomposition \
+          (CPI = 1 + stall components, exact cycle accounting).")
+    Term.(
+      ret
+        (const run $ machine_opt_arg $ kernel_arg $ program_arg
+       $ interlock_arg $ tree_arg $ json_arg))
+
+let profile_cmd =
+  let out_arg =
+    let doc = "Output trace-event JSON file (Perfetto / chrome://tracing)." in
+    Cmdliner.Arg.(
+      value
+      & opt string "pipegen_trace.json"
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run machine kernel program_file interlock tree out =
+    Obs.Span.set_enabled true;
+    let s = common machine kernel program_file interlock tree in
+    let (_ : Pipeline.Pipesem.result) =
+      Pipeline.Pipesem.run ~stop_after:s.instructions s.tr
+    in
+    let v =
+      Core.verify ?reference:s.reference ~max_instructions:s.instructions s.tr
+    in
+    let records = Obs.Span.records () in
+    Obs.Trace_event.write_file ~path:out ~process_name:"pipegen" records;
+    Format.printf "wrote %s (%d spans, verified=%b)@." out
+      (List.length records) (Core.verified v);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run transform, simulation and verification with phase profiling \
+          enabled and write a Chrome trace-event JSON.")
+    Term.(
+      ret
+        (const run $ machine_opt_arg $ kernel_arg $ program_arg
+       $ interlock_arg $ tree_arg $ out_arg))
+
 let symbolic_cmd =
   let insn_arg =
     let doc = "Number of instructions to prove (BDD sizes grow with it)." in
@@ -350,5 +432,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ show_cmd; verilog_cmd; verify_cmd; proof_cmd; run_cmd; trace_cmd;
-            dot_cmd; symbolic_cmd ]))
+          [ show_cmd; verilog_cmd; verify_cmd; proof_cmd; run_cmd; stats_cmd;
+            profile_cmd; trace_cmd; dot_cmd; symbolic_cmd ]))

@@ -1,0 +1,1 @@
+lib/obs/export.ml: Fun Json List Option Printf Result

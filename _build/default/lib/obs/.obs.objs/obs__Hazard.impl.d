@@ -1,0 +1,1 @@
+lib/obs/hazard.ml: Array Format Hashtbl Json List Map Option Printf

@@ -1,0 +1,1 @@
+lib/obs/hazard.mli: Format Json

@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Buffer Float Fun Hashtbl Json List Printf String Unix

@@ -1,0 +1,1 @@
+lib/obs/span.ml: Fun List Unix

@@ -1,0 +1,1 @@
+lib/obs/trace_event.ml: Json List Span

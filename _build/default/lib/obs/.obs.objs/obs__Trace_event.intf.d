@@ -1,0 +1,1 @@
+lib/obs/trace_event.mli: Json Span

@@ -1,0 +1,249 @@
+type cause =
+  | Startup
+  | Dhaz of { stage : int; operand : string }
+  | Ext_stall
+  | Rollback_squash
+  | Fetch_stall_propagated
+
+let cause_label = function
+  | Startup -> "startup"
+  | Dhaz { stage; operand } -> Printf.sprintf "dhaz:stage%d:%s" stage operand
+  | Ext_stall -> "ext_stall"
+  | Rollback_squash -> "rollback_squash"
+  | Fetch_stall_propagated -> "fetch_stall_propagated"
+
+module Causes = Map.Make (struct
+  type t = cause
+
+  let compare = compare
+end)
+
+type t = {
+  n_stages : int;
+  reasons : cause option array;
+      (* reasons.(k) = Some c when stage k holds a bubble created by c;
+         None when the stage holds an instruction.  Stage 0 is always
+         full, so index 0 is unused. *)
+  mutable lost_map : int Causes.t;
+  stage_maps : int Causes.t array;
+  hits : (string * string, int) Hashtbl.t;
+  mutable total_cycles : int;
+  mutable retired : int;
+  mutable retiring_cycles : int;
+  mutable multi_retire_extra : int;
+}
+
+let create ~n_stages =
+  let reasons = Array.make (max n_stages 1) (Some Startup) in
+  reasons.(0) <- None;
+  {
+    n_stages;
+    reasons;
+    lost_map = Causes.empty;
+    stage_maps = Array.make n_stages Causes.empty;
+    hits = Hashtbl.create 16;
+    total_cycles = 0;
+    retired = 0;
+    retiring_cycles = 0;
+    multi_retire_extra = 0;
+  }
+
+let bump map cause = Causes.update cause (fun n -> Some (Option.value n ~default:0 + 1)) map
+
+(* Why is stage [k] stalled this cycle?  [stall_k = (dhaz_k ∨ ext_k ∨
+   stall_{k+1}) ∧ full_k]; attribute in the engine's OR order, falling
+   back to the propagated-stall cause (for stage 0 this is the paper's
+   fetch stall). *)
+let stall_cause ~dhaz ~ext ~operand k =
+  if dhaz.(k) then
+    Dhaz { stage = k; operand = Option.value (operand k) ~default:"?" }
+  else if ext.(k) then Ext_stall
+  else Fetch_stall_propagated
+
+let observe t ~full ~stall ~dhaz ~ext ~rollback ~ue ~operand ~retired =
+  let n = t.n_stages in
+  (* rollback'_k = ⋁_{i ≥ k} rollback_i (suffix over deeper stages) *)
+  let rollback_up = Array.make n false in
+  for k = n - 1 downto 0 do
+    rollback_up.(k) <-
+      rollback.(k) || (k < n - 1 && rollback_up.(k + 1))
+  done;
+  (* Retirement-slot attribution: a cycle with no retirement is charged
+     to whatever kept the last stage from producing one. *)
+  let w = n - 1 in
+  if retired = 0 then begin
+    let cause =
+      if rollback_up.(w) then Rollback_squash
+      else if full.(w) && stall.(w) then stall_cause ~dhaz ~ext ~operand w
+      else if not full.(w) then
+        (* The bubble occupying writeback; Startup covers the fill
+           cycles before the first instruction arrives. *)
+        Option.value t.reasons.(w) ~default:Startup
+      else
+        (* full ∧ ¬stall ∧ ¬rollback' ⇒ ue_w ⇒ a retirement; by the
+           simulator's invariant this branch is unreachable. *)
+        Startup
+    in
+    t.lost_map <- bump t.lost_map cause
+  end
+  else begin
+    t.retiring_cycles <- t.retiring_cycles + 1;
+    t.multi_retire_extra <- t.multi_retire_extra + (retired - 1)
+  end;
+  t.retired <- t.retired + retired;
+  (* Per-stage attribution of every ¬ue_k cycle. *)
+  for k = 0 to n - 1 do
+    if not ue.(k) then begin
+      let cause =
+        if rollback_up.(k) then Rollback_squash
+        else if full.(k) then stall_cause ~dhaz ~ext ~operand k
+        else Option.value t.reasons.(k) ~default:Startup
+      in
+      t.stage_maps.(k) <- bump t.stage_maps.(k) cause
+    end
+  done;
+  (* Bubble-reason shift, mirroring the simulator's tag shift: a stage
+     that fails to receive from above records why stage k-1 did not
+     deliver.  At a creation site the cause is always local (a
+     propagated stall at k-1 implies stage k itself stalled, which
+     contradicts the bubble forming at k). *)
+  let old = Array.copy t.reasons in
+  for st = n - 1 downto 1 do
+    t.reasons.(st) <-
+      (if rollback_up.(st) then Some Rollback_squash
+       else if ue.(st - 1) then None  (* instruction moves in *)
+       else if stall.(st) && full.(st) then old.(st)  (* holds its content *)
+       else if not full.(st - 1) then
+         Some (Option.value old.(st - 1) ~default:Startup)  (* bubble moves down *)
+       else if rollback_up.(st - 1) then Some Rollback_squash
+       else Some (stall_cause ~dhaz ~ext ~operand (st - 1)))
+  done;
+  t.total_cycles <- t.total_cycles + 1
+
+let record_hit t ~rule ~source =
+  let key = (rule, source) in
+  Hashtbl.replace t.hits key
+    (Option.value (Hashtbl.find_opt t.hits key) ~default:0 + 1)
+
+type component = { cause : cause; cycles : int }
+
+type summary = {
+  n_stages : int;
+  total_cycles : int;
+  retired : int;
+  retiring_cycles : int;
+  multi_retire_extra : int;
+  lost : component list;
+  stage_stalls : (int * component list) list;
+  hits : ((string * string) * int) list;
+}
+
+let components_of map =
+  Causes.bindings map
+  |> List.map (fun (cause, cycles) -> { cause; cycles })
+  |> List.sort (fun a b -> compare (-a.cycles, a.cause) (-b.cycles, b.cause))
+
+let summary (t : t) =
+  {
+    n_stages = t.n_stages;
+    total_cycles = t.total_cycles;
+    retired = t.retired;
+    retiring_cycles = t.retiring_cycles;
+    multi_retire_extra = t.multi_retire_extra;
+    lost = components_of t.lost_map;
+    stage_stalls =
+      List.init t.n_stages (fun k -> (k, components_of t.stage_maps.(k)));
+    hits =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hits []
+      |> List.sort compare;
+  }
+
+let cpi s =
+  if s.retired = 0 then infinity
+  else float_of_int s.total_cycles /. float_of_int s.retired
+
+type decomposition = {
+  base : float;
+  terms : (string * float) list;
+  cpi_total : float;
+}
+
+let decompose s =
+  let r = float_of_int (max s.retired 1) in
+  let terms =
+    List.map
+      (fun c -> (cause_label c.cause, float_of_int c.cycles /. r))
+      s.lost
+  in
+  let terms =
+    if s.multi_retire_extra > 0 then
+      terms
+      @ [ ("multi_retire", -.float_of_int s.multi_retire_extra /. r) ]
+    else terms
+  in
+  { base = 1.0; terms; cpi_total = cpi s }
+
+let pp_decomposition ppf d =
+  Format.fprintf ppf "  %-34s %8.4f@." "base (one cycle per instruction)"
+    d.base;
+  List.iter
+    (fun (label, v) -> Format.fprintf ppf "  %-34s %8.4f@." label v)
+    d.terms;
+  Format.fprintf ppf "  %-34s %8.4f@." "= CPI" d.cpi_total
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "cycles %d, retired %d (%d retiring cycles, %d coincident), CPI %.4f@."
+    s.total_cycles s.retired s.retiring_cycles s.multi_retire_extra (cpi s);
+  Format.fprintf ppf "lost-cycle attribution (retirement slot):@.";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-34s %8d@." (cause_label c.cause) c.cycles)
+    s.lost;
+  Format.fprintf ppf "per-stage stall attribution (cycles with !ue_k):@.";
+  List.iter
+    (fun (k, comps) ->
+      if comps <> [] then begin
+        Format.fprintf ppf "  stage %d:@." k;
+        List.iter
+          (fun c ->
+            Format.fprintf ppf "    %-32s %8d@." (cause_label c.cause) c.cycles)
+          comps
+      end)
+    s.stage_stalls;
+  if s.hits <> [] then begin
+    Format.fprintf ppf "forwarding-source hits (operand <- source):@.";
+    List.iter
+      (fun ((rule, source), count) ->
+        Format.fprintf ppf "  %-22s <- %-16s %8d@." rule source count)
+      s.hits
+  end
+
+let summary_to_json s =
+  let components comps =
+    Json.Obj
+      (List.map (fun c -> (cause_label c.cause, Json.Int c.cycles)) comps)
+  in
+  Json.Obj
+    [
+      ("n_stages", Json.Int s.n_stages);
+      ("cycles", Json.Int s.total_cycles);
+      ("retired", Json.Int s.retired);
+      ("retiring_cycles", Json.Int s.retiring_cycles);
+      ("multi_retire_extra", Json.Int s.multi_retire_extra);
+      ("cpi", Json.Float (cpi s));
+      ("lost", components s.lost);
+      ( "stage_stalls",
+        Json.Obj
+          (List.filter_map
+             (fun (k, comps) ->
+               if comps = [] then None
+               else Some (Printf.sprintf "stage%d" k, components comps))
+             s.stage_stalls) );
+      ( "forwarding_hits",
+        Json.Obj
+          (List.map
+             (fun ((rule, source), count) ->
+               (rule ^ "<-" ^ source, Json.Int count))
+             s.hits) );
+    ]

@@ -1,0 +1,50 @@
+(** Minimal zero-dependency JSON: a value type, a serializer and a
+    recursive-descent parser.
+
+    The observability subsystem must emit machine-readable artifacts
+    ([BENCH_pipeline.json], Chrome trace events, metric dumps) and read
+    them back for regression comparison, without adding an external
+    JSON dependency.  Floats are printed with 17 significant digits so
+    that serialize → parse round-trips losslessly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** member order is preserved *)
+
+val to_string : ?minify:bool -> t -> string
+(** [minify] defaults to [false] (2-space indentation). *)
+
+val pp : Format.formatter -> t -> unit
+
+exception Parse_error of { pos : int; msg : string }
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input (including trailing junk).
+    Numbers without [.], [e] or [E] parse as [Int], all others as
+    [Float].  [\uXXXX] escapes are decoded to UTF-8. *)
+
+val parse : string -> (t, string) result
+
+val write_file : path:string -> t -> unit
+val read_file : path:string -> (t, string) result
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)]; [None] on missing key or non-object. *)
+
+val to_int_opt : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float_opt : t -> float option
+(** [Float f] and [Int n] (as [float_of_int n]). *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option
+val to_obj_opt : t -> (string * t) list option
+val to_bool_opt : t -> bool option

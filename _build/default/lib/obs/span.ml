@@ -1,0 +1,47 @@
+type record = {
+  span_name : string;
+  start_us : float;
+  dur_us : float;
+  depth : int;
+  args : (string * string) list;
+}
+
+let flag = ref false
+let origin = ref 0.0
+let depth_now = ref 0
+let completed : record list ref = ref []
+
+let set_enabled b =
+  flag := b;
+  if b then begin
+    origin := Unix.gettimeofday ();
+    depth_now := 0;
+    completed := []
+  end
+
+let enabled () = !flag
+let reset () = completed := []
+
+let with_span ?(args = []) span_name f =
+  if not !flag then f ()
+  else begin
+    let start = Unix.gettimeofday () in
+    let depth = !depth_now in
+    incr depth_now;
+    Fun.protect
+      ~finally:(fun () ->
+        decr depth_now;
+        let stop = Unix.gettimeofday () in
+        completed :=
+          {
+            span_name;
+            start_us = (start -. !origin) *. 1e6;
+            dur_us = (stop -. start) *. 1e6;
+            depth;
+            args;
+          }
+          :: !completed)
+      f
+  end
+
+let records () = List.rev !completed

@@ -1,0 +1,33 @@
+(** Phase profiling: lightweight wall-clock spans around the stages of
+    the transformation/verification pipeline (hint resolution,
+    forwarding synthesis, stall-engine construction, consistency
+    checking, BMC/equivalence), rendered to Chrome trace-event JSON by
+    {!Trace_event} and loadable in Perfetto / chrome://tracing.
+
+    Collection is process-global and off by default: instrumented code
+    calls {!with_span} unconditionally, which costs one branch when
+    disabled.  Nesting is tracked so the viewer can reconstruct the
+    flame graph. *)
+
+type record = {
+  span_name : string;
+  start_us : float;  (** microseconds since {!set_enabled}[ true] *)
+  dur_us : float;
+  depth : int;       (** static nesting depth at entry, 0 = top level *)
+  args : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+(** Enabling resets the clock origin and clears previous records. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop collected records (keeps the enabled flag and clock origin). *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk; when collection is enabled, records a completed
+    span even if the thunk raises.  No-op wrapper when disabled. *)
+
+val records : unit -> record list
+(** Completed spans in completion order (children before parents). *)

@@ -1,0 +1,49 @@
+let event (r : Span.record) =
+  Json.Obj
+    ([
+       ("name", Json.String r.Span.span_name);
+       ("cat", Json.String "pipegen");
+       ("ph", Json.String "X");
+       ("ts", Json.Float r.Span.start_us);
+       ("dur", Json.Float r.Span.dur_us);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int 1);
+     ]
+    @
+    match r.Span.args with
+    | [] -> []
+    | args ->
+      [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)) ])
+
+let metadata name =
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let to_json ?(process_name = "pipegen") records =
+  (* Chrome expects events sorted by timestamp; parents (which complete
+     after their children) must still come first for stable nesting, so
+     sort by (start, deeper-last). *)
+  let sorted =
+    List.sort
+      (fun (a : Span.record) (b : Span.record) ->
+        match compare a.Span.start_us b.Span.start_us with
+        | 0 -> compare a.Span.depth b.Span.depth
+        | c -> c)
+      records
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata process_name :: List.map event sorted));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_string ?process_name records = Json.to_string (to_json ?process_name records)
+
+let write_file ~path ?process_name records =
+  Json.write_file ~path (to_json ?process_name records)

@@ -1,0 +1,1 @@
+lib/pipeline/attribution.ml: Array Hw List Machine Obs Pipesem Printf Transform

@@ -1,0 +1,1 @@
+lib/pipeline/attribution.mli: Obs Pipesem Transform

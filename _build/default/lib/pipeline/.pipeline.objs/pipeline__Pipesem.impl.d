@@ -1,1 +1,1 @@
-lib/pipeline/pipesem.ml: Array Fwd_spec Hashtbl Hw List Machine Stall_engine Transform
+lib/pipeline/pipesem.ml: Array Fwd_spec Hashtbl Hw List Machine Obs Stall_engine Transform

@@ -1,1 +1,1 @@
-lib/pipeline/stall_engine.ml: Array Hw List Printf Transform
+lib/pipeline/stall_engine.ml: Array Hw List Obs Printf Transform

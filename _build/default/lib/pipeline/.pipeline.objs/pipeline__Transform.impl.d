@@ -1,1 +1,1 @@
-lib/pipeline/transform.ml: Array Format Fwd_spec Hashtbl Hw List Machine Option Printf String
+lib/pipeline/transform.ml: Array Format Fwd_spec Hashtbl Hw List Machine Obs Option Printf String

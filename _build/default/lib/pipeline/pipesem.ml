@@ -57,6 +57,7 @@ let bool_bv b = Hw.Bitvec.of_bool b
 
 let run ?(ext = fun ~stage:_ ~cycle:_ -> false) ?(callbacks = no_callbacks)
     ?max_cycles ~stop_after (t : Transform.t) =
+  Obs.Span.with_span "pipesem.run" @@ fun () ->
   let m = t.Transform.machine in
   let n = m.Machine.Spec.n_stages in
   let max_cycles =

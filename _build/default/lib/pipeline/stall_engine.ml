@@ -35,6 +35,7 @@ let next_fullb s =
       else (s.ue.(k - 1) || s.stall.(k)) && not s.rollback_up.(k))
 
 let exprs ~n_stages ~dhaz ~mispredict =
+  Obs.Span.with_span "stall_engine.exprs" @@ fun () ->
   let open Hw.Expr in
   let full k = if k = 0 then tru else input (Transform.full_signal k) 1 in
   let ext k = input (Transform.ext_signal k) 1 in

@@ -260,7 +260,10 @@ let synth_rule b m (options : Fwd_spec.options) ~rewritten ~original ~hints ~k o
        pipelined instances (step 1 of the recipe)"
       k reg_name w;
   assert (w > k);
-  let hint = find_hint hints ~stage:k ~operand in
+  let hint =
+    Obs.Span.with_span "transform.hint_resolution" (fun () ->
+        find_hint hints ~stage:k ~operand)
+  in
   let label =
     let base =
       match hint with
@@ -476,34 +479,39 @@ let is_local (m : Spec.t) ~k name =
 
 let run ?(options = Fwd_spec.default_options) ?(hints = [])
     ?(speculations = []) (m : Spec.t) =
-  (match Machine.Validate.run m with
-  | [] -> ()
-  | issues ->
-    err "machine %s is not well-formed: %s" m.machine_name
-      (String.concat "; "
-         (List.map
-            (fun (i : Machine.Validate.issue) ->
-              i.Machine.Validate.where ^ ": " ^ i.Machine.Validate.what)
-            issues)));
-  List.iter
-    (fun (sp : Fwd_spec.speculation) ->
-      if sp.resolve_stage < 0 || sp.resolve_stage >= m.n_stages then
-        err "speculation %s: resolve stage %d out of range" sp.spec_label
-          sp.resolve_stage;
+  Obs.Span.with_span "transform.run" ~args:[ ("machine", m.machine_name) ]
+  @@ fun () ->
+  Obs.Span.with_span "transform.validate" (fun () ->
+      (match Machine.Validate.run m with
+      | [] -> ()
+      | issues ->
+        err "machine %s is not well-formed: %s" m.machine_name
+          (String.concat "; "
+             (List.map
+                (fun (i : Machine.Validate.issue) ->
+                  i.Machine.Validate.where ^ ": " ^ i.Machine.Validate.what)
+                issues)));
       List.iter
-        (fun (w : Spec.write) ->
-          if not (Spec.register_exists m w.dst) then
-            err "speculation %s: rollback write to unknown register %s"
-              sp.spec_label w.dst)
-        sp.rollback_writes)
-    speculations;
+        (fun (sp : Fwd_spec.speculation) ->
+          if sp.resolve_stage < 0 || sp.resolve_stage >= m.n_stages then
+            err "speculation %s: resolve stage %d out of range" sp.spec_label
+              sp.resolve_stage;
+          List.iter
+            (fun (w : Spec.write) ->
+              if not (Spec.register_exists m w.dst) then
+                err "speculation %s: rollback write to unknown register %s"
+                  sp.spec_label w.dst)
+            sp.rollback_writes)
+        speculations);
   let b = new_builder () in
   let rewritten_tbl : (int, Spec.write list) Hashtbl.t = Hashtbl.create 8 in
   let rewritten j = try Hashtbl.find rewritten_tbl j with Not_found -> [] in
   let original j = (Spec.stage_of m j).Spec.writes in
   let stage_dhaz = Array.make m.n_stages "" in
   let spec_out = ref [] in
+  Obs.Span.with_span "transform.forwarding_synthesis" (fun () ->
   for k = m.n_stages - 1 downto 0 do
+    Obs.Span.with_span (Printf.sprintf "transform.stage_%d" k) @@ fun () ->
     let stage_rule_dhaz = ref [] in
     (* Memoized per-operand synthesis. *)
     let scalar_memo : (string, Hw.Expr.t option) Hashtbl.t = Hashtbl.create 4 in
@@ -592,22 +600,23 @@ let run ?(options = Fwd_spec.default_options) ?(hints = [])
     in
     def b (stage_dhaz_signal k) dhaz_k;
     stage_dhaz.(k) <- stage_dhaz_signal k
-  done;
+  done);
   let machine =
-    {
-      m with
-      Spec.registers = m.registers @ List.rev b.extra_regs;
-      stages =
-        List.map
-          (fun (s : Spec.stage) ->
-            let extra =
-              List.filter_map
-                (fun (j, w) -> if j = s.index then Some w else None)
-                (List.rev b.extra_writes)
-            in
-            { s with Spec.writes = rewritten s.index @ extra })
-          m.stages;
-    }
+    Obs.Span.with_span "transform.assemble" (fun () ->
+        {
+          m with
+          Spec.registers = m.registers @ List.rev b.extra_regs;
+          stages =
+            List.map
+              (fun (s : Spec.stage) ->
+                let extra =
+                  List.filter_map
+                    (fun (j, w) -> if j = s.index then Some w else None)
+                    (List.rev b.extra_writes)
+                in
+                { s with Spec.writes = rewritten s.index @ extra })
+              m.stages;
+        })
   in
   {
     base = m;

@@ -1,1 +1,1 @@
-lib/proof_engine/bmc.ml: Consistency Format List Pipeline Printexc Printf String
+lib/proof_engine/bmc.ml: Consistency Format List Obs Pipeline Printexc Printf String

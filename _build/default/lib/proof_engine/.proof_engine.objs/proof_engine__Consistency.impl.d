@@ -1,1 +1,1 @@
-lib/proof_engine/consistency.ml: Array Format List Machine Pipeline Printf
+lib/proof_engine/consistency.ml: Array Format List Machine Obs Pipeline Printf

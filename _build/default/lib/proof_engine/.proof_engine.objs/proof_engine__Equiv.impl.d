@@ -1,1 +1,1 @@
-lib/proof_engine/equiv.ml: Array Format Hashtbl Hw Lazy List Option Printf String
+lib/proof_engine/equiv.ml: Array Format Hashtbl Hw Lazy List Obs Option Printf String

@@ -1,1 +1,1 @@
-lib/proof_engine/liveness.ml: Format Machine Pipeline
+lib/proof_engine/liveness.ml: Format Machine Obs Pipeline

@@ -1,1 +1,1 @@
-lib/proof_engine/obligation.ml: Consistency Equiv Format Hw List Liveness Machine Option Pipeline Printf String Symsim Trace_invariants
+lib/proof_engine/obligation.ml: Consistency Equiv Format Hw List Liveness Machine Obs Option Pipeline Printf String Symsim Trace_invariants

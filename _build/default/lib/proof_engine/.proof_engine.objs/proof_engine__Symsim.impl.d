@@ -1,1 +1,1 @@
-lib/proof_engine/symsim.ml: Array Equiv Format Hashtbl Hw List Machine Option Pipeline Printf String
+lib/proof_engine/symsim.ml: Array Equiv Format Hashtbl Hw List Machine Obs Option Pipeline Printf String

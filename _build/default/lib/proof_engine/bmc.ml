@@ -6,6 +6,7 @@ type outcome = {
 let ok o = o.failures = []
 
 let exhaustive ?(max_failures = 5) ?ext ~build ~alphabet ~length () =
+  Obs.Span.with_span "verify.bmc" @@ fun () ->
   let programs = ref 0 in
   let failures = ref [] in
   let rec enumerate prefix remaining =

@@ -39,6 +39,7 @@ let ok r =
 let value_at snapshot name = List.assoc_opt name snapshot
 
 let check ?ext ?(max_instructions = 200) ?reference (t : Pipeline.Transform.t) =
+  Obs.Span.with_span "verify.consistency" @@ fun () ->
   let base = t.Pipeline.Transform.base in
   let n = base.Spec.n_stages in
   let seq_trace =

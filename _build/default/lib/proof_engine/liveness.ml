@@ -10,6 +10,7 @@ type report = {
 let ok r = r.outcome = Pipesem.Completed && r.max_gap <= r.bound
 
 let check ?ext ?bound ~stop_after (t : Pipeline.Transform.t) =
+  Obs.Span.with_span "verify.liveness" @@ fun () ->
   let n = t.Pipeline.Transform.base.Machine.Spec.n_stages in
   let bound = match bound with Some b -> b | None -> (8 * n) + 64 in
   let last_retire_cycle = ref 0 in

@@ -174,6 +174,7 @@ let check_top_structural (t : Transform.t) (r : Transform.rule) =
       Error (Printf.sprintf "width mismatch %d vs %d" a b))
 
 let discharge_all ?ext ?max_instructions ?reference (t : Transform.t) =
+  Obs.Span.with_span "verify.obligations" @@ fun () ->
   let obs = generate t in
   let report = Consistency.check ?ext ?max_instructions ?reference t in
   (* A short symbolic co-simulation strengthens the data-consistency

@@ -1,1 +1,1 @@
-lib/workload/stats.ml: Format List Pipeline
+lib/workload/stats.ml: Format List Obs Pipeline

@@ -1,1 +1,1 @@
-lib/workload/stats.mli: Format Pipeline
+lib/workload/stats.mli: Format Obs Pipeline

@@ -9,12 +9,17 @@ type row = {
       (** [n_stages / cpi]: the sequential machine spends [n] cycles
           per instruction *)
   fetch_stall_cycles : int;
+  dhaz_cycles : int;  (** cycles a data-hazard interlock held some stage *)
+  ext_cycles : int;  (** cycles an external stall held some stage *)
   rollbacks : int;
+  squashed : int;  (** speculatively fetched instructions squashed *)
 }
 
 val of_stats :
   label:string -> n_stages:int -> Pipeline.Pipesem.stats -> row
 
 val pp_table : Format.formatter -> row list -> unit
+
+val row_to_json : row -> Obs.Json.t
 
 val geomean_cpi : row list -> float

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Dlx Float Hw List Obs Pipeline String Workload

@@ -1,0 +1,1 @@
+test/test_tracer.ml: Alcotest Dlx Hw List Pipeline Printf String

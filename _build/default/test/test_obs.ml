@@ -1,0 +1,291 @@
+(* The observability subsystem: JSON round-trips, the metrics
+   registry, span collection, the bench export schema, and — the core
+   property — exact hazard-attribution cycle accounting on the DLX. *)
+
+let json = Alcotest.testable Obs.Json.pp ( = )
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("null", Null);
+          ("bools", List [ Bool true; Bool false ]);
+          ("ints", List [ Int 0; Int (-42); Int max_int ]);
+          ( "floats",
+            List [ Float 0.1; Float 1e-300; Float (-.Float.pi); Float 3.0 ] );
+          ("str", String "a \"quoted\"\nline\twith \\ and \x07 control");
+          ("nested", Obj [ ("empty_list", List []); ("empty_obj", Obj []) ]);
+        ])
+  in
+  Alcotest.check json "pretty round-trip" v
+    (Obs.Json.parse_exn (Obs.Json.to_string v));
+  Alcotest.check json "minified round-trip" v
+    (Obs.Json.parse_exn (Obs.Json.to_string ~minify:true v))
+
+let test_json_parse () =
+  Alcotest.check json "unicode escape"
+    (Obs.Json.String "a\xc3\xa9b")
+    (Obs.Json.parse_exn {|"aéb"|});
+  Alcotest.check json "number classes"
+    (Obs.Json.List [ Obs.Json.Int 12; Obs.Json.Float 1.5; Obs.Json.Float 1e2 ])
+    (Obs.Json.parse_exn "[12, 1.5, 1e2]");
+  List.iter
+    (fun bad ->
+      match Obs.Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg ~help:"retired instructions" "retired" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "same name shares state" 5
+    (Obs.Metrics.counter_value (Obs.Metrics.counter reg "retired"));
+  let g = Obs.Metrics.gauge reg "cpi" in
+  Obs.Metrics.set g 1.25;
+  Alcotest.(check (float 0.0)) "gauge" 1.25 (Obs.Metrics.gauge_value g);
+  let h = Obs.Metrics.histogram reg "stall_run_length" in
+  List.iter (Obs.Metrics.observe h) [ 1.0; 1.0; 3.0; 9.0 ];
+  Alcotest.(check int) "histogram count" 4 (Obs.Metrics.histogram_count h);
+  Alcotest.(check (float 0.0)) "histogram sum" 14.0
+    (Obs.Metrics.histogram_sum h);
+  (match Obs.Json.member "counters" (Obs.Metrics.to_json reg) with
+  | Some (Obs.Json.Obj fields) ->
+    Alcotest.(check bool) "counter serialized" true
+      (List.mem_assoc "retired" fields)
+  | _ -> Alcotest.fail "counters object missing");
+  Alcotest.(check bool) "csv has rows" true
+    (String.length (Obs.Metrics.to_csv reg) > 0);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: retired already registered as a counter")
+    (fun () -> ignore (Obs.Metrics.gauge reg "retired"))
+
+(* ------------------------------------------------------------------ *)
+(* Spans and trace events                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_spans () =
+  Obs.Span.set_enabled true;
+  let r =
+    Obs.Span.with_span "outer" (fun () ->
+        Obs.Span.with_span ~args:[ ("k", "1") ] "inner" (fun () -> 7))
+  in
+  Obs.Span.set_enabled false;
+  Alcotest.(check int) "value through" 7 r;
+  (* set_enabled false keeps the records until the next enable. *)
+  match Obs.Span.records () with
+  | [ inner; outer ] ->
+    Alcotest.(check string) "inner first" "inner" inner.Obs.Span.span_name;
+    Alcotest.(check int) "inner depth" 1 inner.Obs.Span.depth;
+    Alcotest.(check string) "outer second" "outer" outer.Obs.Span.span_name;
+    Alcotest.(check int) "outer depth" 0 outer.Obs.Span.depth;
+    let trace = Obs.Trace_event.to_json [ inner; outer ] in
+    (match Obs.Json.member "traceEvents" trace with
+    | Some (Obs.Json.List evs) ->
+      (* two spans + the process_name metadata record *)
+      Alcotest.(check int) "trace events" 3 (List.length evs)
+    | _ -> Alcotest.fail "traceEvents missing");
+    Alcotest.check json "trace JSON parses" trace
+      (Obs.Json.parse_exn (Obs.Trace_event.to_string [ inner; outer ]))
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
+
+let test_spans_disabled () =
+  Obs.Span.reset ();
+  let r = Obs.Span.with_span "ignored" (fun () -> 3) in
+  Alcotest.(check int) "value through" 3 r;
+  Alcotest.(check int) "no records" 0 (List.length (Obs.Span.records ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bench export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_export_roundtrip () =
+  let entries =
+    [
+      Obs.Export.entry ~cpi:1.25 ~instructions:64 ~cycles:80
+        ~breakdown:[ ("dhaz:stage1:1_GPRa", 0.1875); ("startup", 0.0625) ]
+        "C1.fib_10";
+      Obs.Export.entry ~ns_per_run:1234.5 "TIMING.F2_dlx_transformation";
+      Obs.Export.entry "empty";
+    ]
+  in
+  (match Obs.Export.of_json (Obs.Export.to_json entries) with
+  | Ok back -> Alcotest.(check bool) "round-trip" true (back = entries)
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg);
+  (* Unknown schema versions are rejected. *)
+  match
+    Obs.Export.of_json
+      (Obs.Json.Obj
+         [
+           ("schema", Obs.Json.String "pipeline-bench/999");
+           ("experiments", Obs.Json.Obj []);
+         ])
+  with
+  | Ok _ -> Alcotest.fail "accepted unknown schema"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Hazard attribution: exact cycle accounting on the DLX               *)
+(* ------------------------------------------------------------------ *)
+
+let run_attribution ?options ?(variant = Dlx.Seq_dlx.Base) p =
+  let tr =
+    Dlx.Seq_dlx.transform ?options ~data:p.Dlx.Progs.data variant
+      ~program:(Dlx.Progs.program p)
+  in
+  Pipeline.Attribution.run ~stop_after:p.Dlx.Progs.dyn_instructions tr
+
+let check_exact_accounting label (result : Pipeline.Pipesem.result)
+    (s : Obs.Hazard.summary) =
+  Alcotest.(check bool)
+    (label ^ " completed") true
+    (result.Pipeline.Pipesem.outcome = Pipeline.Pipesem.Completed);
+  let stats = result.Pipeline.Pipesem.stats in
+  Alcotest.(check int)
+    (label ^ " cycles agree") stats.Pipeline.Pipesem.cycles s.Obs.Hazard.total_cycles;
+  Alcotest.(check int)
+    (label ^ " retired agree") stats.Pipeline.Pipesem.retired s.Obs.Hazard.retired;
+  (* The integer identities behind CPI = 1 + sum of components. *)
+  let lost =
+    List.fold_left
+      (fun acc (c : Obs.Hazard.component) -> acc + c.Obs.Hazard.cycles)
+      0 s.Obs.Hazard.lost
+  in
+  Alcotest.(check int)
+    (label ^ " cycles = retiring + lost")
+    s.Obs.Hazard.total_cycles
+    (s.Obs.Hazard.retiring_cycles + lost);
+  Alcotest.(check int)
+    (label ^ " retired = retiring + coincident")
+    s.Obs.Hazard.retired
+    (s.Obs.Hazard.retiring_cycles + s.Obs.Hazard.multi_retire_extra);
+  let d = Obs.Hazard.decompose s in
+  let total =
+    List.fold_left
+      (fun acc (_, v) -> acc +. v)
+      d.Obs.Hazard.base d.Obs.Hazard.terms
+  in
+  Alcotest.(check (float 1e-9))
+    (label ^ " decomposition sums to CPI")
+    (Pipeline.Pipesem.cpi stats) total;
+  Alcotest.(check (float 1e-9))
+    (label ^ " cpi_total consistent")
+    (Pipeline.Pipesem.cpi stats) d.Obs.Hazard.cpi_total
+
+let test_accounting_forwarding () =
+  let result, s = run_attribution (Dlx.Progs.fib 10) in
+  check_exact_accounting "fwd" result s;
+  (* Full forwarding absorbs fib's hazards: only pipeline fill remains,
+     and the GPR operands are fed by the synthesized bypass paths. *)
+  List.iter
+    (fun (c : Obs.Hazard.component) ->
+      Alcotest.(check bool) "only startup lost" true
+        (c.Obs.Hazard.cause = Obs.Hazard.Startup))
+    s.Obs.Hazard.lost;
+  Alcotest.(check bool) "forwarding hits recorded" true
+    (List.exists
+       (fun ((rule, source), n) ->
+         rule = "1_GPRa" && source <> "reg" && n > 0)
+       s.Obs.Hazard.hits)
+
+let test_accounting_interlock () =
+  let options =
+    {
+      Pipeline.Fwd_spec.mode = Pipeline.Fwd_spec.Interlock_only;
+      impl = Hw.Circuits.Chain;
+    }
+  in
+  let result, s = run_attribution ~options (Dlx.Progs.fib 10) in
+  check_exact_accounting "interlock" result s;
+  (* Without forwarding the interlock must stall; the lost cycles name
+     the stage and operand rule that raised each hazard. *)
+  Alcotest.(check bool) "dhaz components present" true
+    (List.exists
+       (fun (c : Obs.Hazard.component) ->
+         match c.Obs.Hazard.cause with
+         | Obs.Hazard.Dhaz { stage = _; operand } -> operand <> ""
+         | _ -> false)
+       s.Obs.Hazard.lost)
+
+let test_accounting_speculation () =
+  let result, s =
+    run_attribution ~variant:Dlx.Seq_dlx.Branch_predict
+      (Dlx.Progs.branch_heavy 8)
+  in
+  check_exact_accounting "speculation" result s;
+  Alcotest.(check bool) "squash cycles attributed" true
+    (List.exists
+       (fun (c : Obs.Hazard.component) ->
+         c.Obs.Hazard.cause = Obs.Hazard.Rollback_squash
+         && c.Obs.Hazard.cycles > 0)
+       s.Obs.Hazard.lost)
+
+let test_accounting_ext_stalls () =
+  let p = Dlx.Progs.memcpy 8 in
+  let tr =
+    Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+      ~program:(Dlx.Progs.program p)
+  in
+  let ext = Workload.Sweep.memory_wait_states ~every:4 ~wait:2 in
+  let t = Pipeline.Attribution.create tr in
+  let result =
+    Pipeline.Pipesem.run ~ext
+      ~callbacks:(Pipeline.Attribution.callbacks t)
+      ~stop_after:p.Dlx.Progs.dyn_instructions tr
+  in
+  let s = Pipeline.Attribution.finalize t in
+  check_exact_accounting "ext" result s;
+  Alcotest.(check bool) "ext stall cycles attributed" true
+    (List.exists
+       (fun (c : Obs.Hazard.component) ->
+         c.Obs.Hazard.cause = Obs.Hazard.Ext_stall && c.Obs.Hazard.cycles > 0)
+       s.Obs.Hazard.lost)
+
+let test_summary_json () =
+  let _, s = run_attribution (Dlx.Progs.fib 5) in
+  let j = Obs.Hazard.summary_to_json s in
+  (* The serialized summary is valid JSON and carries the accounting. *)
+  let j' = Obs.Json.parse_exn (Obs.Json.to_string j) in
+  Alcotest.check json "summary JSON round-trips" j j';
+  match Obs.Json.member "cycles" j' with
+  | Some v ->
+    Alcotest.(check (option int))
+      "total cycles" (Some s.Obs.Hazard.total_cycles) (Obs.Json.to_int_opt v)
+  | None -> Alcotest.fail "cycles missing"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parser" `Quick test_json_parse;
+        ] );
+      ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics ]);
+      ( "spans",
+        [
+          Alcotest.test_case "collection" `Quick test_spans;
+          Alcotest.test_case "disabled" `Quick test_spans_disabled;
+        ] );
+      ("export", [ Alcotest.test_case "round-trip" `Quick test_export_roundtrip ]);
+      ( "hazard attribution",
+        [
+          Alcotest.test_case "forwarding" `Quick test_accounting_forwarding;
+          Alcotest.test_case "interlock-only" `Quick test_accounting_interlock;
+          Alcotest.test_case "speculation" `Quick test_accounting_speculation;
+          Alcotest.test_case "external stalls" `Quick test_accounting_ext_stalls;
+          Alcotest.test_case "summary JSON" `Quick test_summary_json;
+        ] );
+    ]

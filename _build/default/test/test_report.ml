@@ -1,0 +1,48 @@
+(* The hardware inventory (paper figure 2) and signal costing. *)
+
+let fib = Dlx.Progs.fib 5
+
+let dlx_transform () =
+  Dlx.Seq_dlx.transform ~data:fib.Dlx.Progs.data Dlx.Seq_dlx.Base
+    ~program:(Dlx.Progs.program fib)
+
+let test_figure2_inventory () =
+  let tr = dlx_transform () in
+  let inv = Pipeline.Report.inventory tr in
+  let gpr_rules =
+    (* sum_operand carries the port: "GPR (port 0)" / "GPR (port 1)". *)
+    List.filter
+      (fun (r : Pipeline.Report.rule_summary) ->
+        String.starts_with ~prefix:"GPR" r.Pipeline.Report.sum_operand)
+      inv
+  in
+  (* Two GPR read ports, each figure 2's structure exactly: hit
+     signals for stages 2..4, one =? tester each, a 3-deep mux chain
+     over C.3 / C.4 / Din before the register read. *)
+  Alcotest.(check int) "two GPR operands" 2 (List.length gpr_rules);
+  List.iter
+    (fun (r : Pipeline.Report.rule_summary) ->
+      Alcotest.(check int) "hit signals" 3 r.Pipeline.Report.sum_hit_signals;
+      Alcotest.(check int) "eq testers" 3 r.Pipeline.Report.sum_eq_testers;
+      Alcotest.(check int) "muxes" 3 r.Pipeline.Report.sum_mux_count;
+      Alcotest.(check int) "consumer stage" 1 r.Pipeline.Report.sum_consumer;
+      Alcotest.(check int) "writer stage" 4 r.Pipeline.Report.sum_writer)
+    gpr_rules
+
+let test_signal_cost () =
+  let tr = dlx_transform () in
+  let cost = Pipeline.Report.signal_cost tr "$g_1_GPRa" in
+  Alcotest.(check bool) "positive gate count" true (cost.Hw.Cost.gates > 0);
+  Alcotest.check_raises "unknown signal" Not_found (fun () ->
+      ignore (Pipeline.Report.signal_cost tr "$no_such_signal"))
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "figure 2 inventory" `Quick
+            test_figure2_inventory;
+          Alcotest.test_case "signal cost" `Quick test_signal_cost;
+        ] );
+    ]

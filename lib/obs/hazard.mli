@@ -1,0 +1,107 @@
+(** Hazard attribution: classify every non-retiring cycle of a
+    pipelined simulation and decompose the measured CPI into exact
+    integer stall components.
+
+    The engine consumes the per-cycle stall-engine signals (full,
+    stall, dhaz, ext, rollback, ue — the arrays of
+    [Pipeline.Pipesem.cycle_record]) and is deliberately independent of
+    the pipeline library so it can be unit-tested on hand-written
+    signal sequences.  Two attributions are maintained:
+
+    - {b retirement-slot attribution}: each cycle in which no
+      instruction retires is charged to the {e origin} of the bubble or
+      stall observed at the last stage.  Bubbles are tracked from their
+      creation site down the pipe with the same shift discipline the
+      simulator applies to instruction tags, so a data hazard in the
+      decode stage is charged as [Dhaz {stage = 1; _}] when its bubble
+      reaches writeback three cycles later.  This yields the exact
+      accounting [cycles = retiring_cycles + Σ lost(cause)] and hence
+      [CPI = 1 + Σ components] (see {!decompose});
+
+    - {b per-stage attribution}: for every stage and cycle with
+      [¬ue_k], why that stage did no useful work — its own data hazard,
+      its own external stall, a stall propagated from deeper stages
+      (at stage 0: the fetch stall), a squash, or an inherited bubble.
+
+    In addition, per-source forwarding-hit counters record which bypass
+    source (forwarding register instance or the writer's [Din])
+    actually fed each operand on each consuming cycle. *)
+
+type cause =
+  | Startup  (** pipeline fill: the bubble existed at reset *)
+  | Dhaz of { stage : int; operand : string }
+      (** interlock: stage [stage] stalled on a data hazard of the
+          named operand rule *)
+  | Ext_stall  (** external stall condition ([ext_k], e.g. slow memory) *)
+  | Rollback_squash  (** bubble injected by a speculation rollback *)
+  | Fetch_stall_propagated
+      (** the stage was stalled only because a deeper stage stalled
+          (per-stage attribution; at creation sites the local cause is
+          always known, so this never reaches the retirement slot) *)
+
+val cause_label : cause -> string
+(** Stable machine-readable label, e.g. ["dhaz:stage1:1_GPRa"]. *)
+
+type t
+
+val create : n_stages:int -> t
+
+val observe :
+  t ->
+  full:bool array ->
+  stall:bool array ->
+  dhaz:bool array ->
+  ext:bool array ->
+  rollback:bool array ->
+  ue:bool array ->
+  operand:(int -> string option) ->
+  retired:int ->
+  unit
+(** Feed one simulated cycle, pre-edge signals plus the number of
+    instructions that retired at that cycle's clock edge.  [operand]
+    names the rule whose data hazard raised [dhaz.(k)], when known.
+    Cycles must be fed in order. *)
+
+val record_hit : t -> rule:string -> source:string -> unit
+(** One operand consumption fed by [source] (a forwarding register
+    name, ["Din"], or ["reg"] for the architectural read). *)
+
+type component = { cause : cause; cycles : int }
+
+type summary = {
+  n_stages : int;
+  total_cycles : int;
+  retired : int;
+  retiring_cycles : int;  (** cycles with ≥ 1 retirement *)
+  multi_retire_extra : int;
+      (** retirements beyond the first in their cycle (a rollback that
+          retires in the same cycle as a normal writeback) *)
+  lost : component list;
+      (** retirement-slot attribution; [Σ cycles = total_cycles -
+          retiring_cycles] exactly *)
+  stage_stalls : (int * component list) list;
+      (** per-stage attribution of [¬ue_k] cycles *)
+  hits : ((string * string) * int) list;
+      (** [(rule, source)] consumption counts *)
+}
+
+val summary : t -> summary
+
+val cpi : summary -> float
+
+type decomposition = {
+  base : float;  (** 1.0: each retired instruction's own cycle *)
+  terms : (string * float) list;
+      (** labelled CPI components; negative [multi_retire] credit when
+          rollback retirements coincide with normal ones *)
+  cpi_total : float;
+}
+
+val decompose : summary -> decomposition
+(** [base +. Σ terms = cpi_total] up to floating-point rounding; the
+    underlying integer identity is exact (see {!summary}). *)
+
+val pp_decomposition : Format.formatter -> decomposition -> unit
+val pp_summary : Format.formatter -> summary -> unit
+
+val summary_to_json : summary -> Json.t

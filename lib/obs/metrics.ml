@@ -1,0 +1,227 @@
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : float }
+
+(* Power-of-two buckets: bucket [i] counts samples in (2^(i-1), 2^i];
+   bucket 0 counts samples <= 1.  64 buckets cover the full int range. *)
+type histogram = {
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type timer = { mutable t_total_s : float; mutable t_count : int }
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Timer of timer
+
+type registry = {
+  tbl : (string, string * instrument) Hashtbl.t;  (* name -> help, metric *)
+  mutable order : string list;                    (* reverse insertion order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Timer _ -> "timer"
+
+let register reg ?(help = "") name fresh extract =
+  match Hashtbl.find_opt reg.tbl name with
+  | Some (_, existing) -> (
+    match extract existing with
+    | Some m -> m
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s already registered as a %s" name
+           (kind_name existing)))
+  | None ->
+    let m = fresh () in
+    let instrument, value = m in
+    Hashtbl.replace reg.tbl name (help, instrument);
+    reg.order <- name :: reg.order;
+    value
+
+let counter reg ?help name =
+  register reg ?help name
+    (fun () ->
+      let c = { c_value = 0 } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: negative counter increment";
+  c.c_value <- c.c_value + n
+
+let counter_value c = c.c_value
+
+let gauge reg ?help name =
+  register reg ?help name
+    (fun () ->
+      let g = { g_value = 0.0 } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram reg ?help name =
+  register reg ?help name
+    (fun () ->
+      let h =
+        {
+          buckets = Array.make 64 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = Float.infinity;
+          h_max = Float.neg_infinity;
+        }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+let bucket_index v =
+  if v <= 1.0 then 0
+  else
+    let i = int_of_float (Float.ceil (Float.log2 v)) in
+    if i < 0 then 0 else if i > 63 then 63 else i
+
+let observe h v =
+  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let histogram_buckets h =
+  let acc = ref [] in
+  for i = 63 downto 0 do
+    if h.buckets.(i) > 0 then acc := (Float.pow 2.0 (float_of_int i), h.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let timer reg ?help name =
+  register reg ?help name
+    (fun () ->
+      let t = { t_total_s = 0.0; t_count = 0 } in
+      (Timer t, t))
+    (function Timer t -> Some t | _ -> None)
+
+let time t f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.t_total_s <- t.t_total_s +. (Unix.gettimeofday () -. t0);
+      t.t_count <- t.t_count + 1)
+    f
+
+let timer_total_s t = t.t_total_s
+let timer_count t = t.t_count
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fold_ordered reg f =
+  List.fold_left
+    (fun acc name ->
+      match Hashtbl.find_opt reg.tbl name with
+      | Some (help, m) -> f acc name help m
+      | None -> acc)
+    [] (List.rev reg.order)
+  |> List.rev
+
+let to_json reg =
+  let pick want =
+    fold_ordered reg (fun acc name help m ->
+        match want name help m with Some j -> j :: acc | None -> acc)
+  in
+  let counters =
+    pick (fun name _ m ->
+        match m with Counter c -> Some (name, Json.Int c.c_value) | _ -> None)
+  in
+  let gauges =
+    pick (fun name _ m ->
+        match m with Gauge g -> Some (name, Json.Float g.g_value) | _ -> None)
+  in
+  let histograms =
+    pick (fun name _ m ->
+        match m with
+        | Histogram h ->
+          Some
+            ( name,
+              Json.Obj
+                [
+                  ("count", Json.Int h.h_count);
+                  ("sum", Json.Float h.h_sum);
+                  ( "min",
+                    if h.h_count = 0 then Json.Null else Json.Float h.h_min );
+                  ( "max",
+                    if h.h_count = 0 then Json.Null else Json.Float h.h_max );
+                  ( "buckets",
+                    Json.List
+                      (List.map
+                         (fun (le, count) ->
+                           Json.Obj
+                             [ ("le", Json.Float le); ("count", Json.Int count) ])
+                         (histogram_buckets h)) );
+                ] )
+        | _ -> None)
+  in
+  let timers =
+    pick (fun name _ m ->
+        match m with
+        | Timer t ->
+          Some
+            ( name,
+              Json.Obj
+                [
+                  ("total_s", Json.Float t.t_total_s);
+                  ("count", Json.Int t.t_count);
+                ] )
+        | _ -> None)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+      ("timers", Json.Obj timers);
+    ]
+
+let to_csv reg =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "kind,name,value,count,help\n";
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let row kind name value count help =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%s,%d,%s\n" kind (quote name) value count
+         (quote help))
+  in
+  List.iter
+    (fun (kind, name, value, count, help) -> row kind name value count help)
+    (fold_ordered reg (fun acc name help m ->
+         (match m with
+         | Counter c -> ("counter", name, string_of_int c.c_value, 1, help)
+         | Gauge g -> ("gauge", name, Printf.sprintf "%.6g" g.g_value, 1, help)
+         | Histogram h ->
+           ("histogram", name, Printf.sprintf "%.6g" h.h_sum, h.h_count, help)
+         | Timer t ->
+           ("timer", name, Printf.sprintf "%.6g" t.t_total_s, t.t_count, help))
+         :: acc));
+  Buffer.contents buf

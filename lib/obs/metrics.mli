@@ -1,0 +1,70 @@
+(** Zero-dependency metrics registry: counters, gauges, histograms and
+    timers, with JSON and CSV serialization.
+
+    A registry is an explicit value (no global): simulators, checkers
+    and benchmark drivers create one per run and hand it to the
+    serializers.  Metric names within a registry are unique; asking for
+    an existing name of the same kind returns the existing instrument,
+    of a different kind raises [Invalid_argument]. *)
+
+type registry
+
+val create : unit -> registry
+
+(** {1 Counters} — monotone integer accumulators *)
+
+type counter
+
+val counter : registry -> ?help:string -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** @raise Invalid_argument on a negative increment. *)
+
+val counter_value : counter -> int
+
+(** {1 Gauges} — last-write-wins floats *)
+
+type gauge
+
+val gauge : registry -> ?help:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} — power-of-two-bucketed distributions of
+    non-negative samples, with exact count/sum/min/max *)
+
+type histogram
+
+val histogram : registry -> ?help:string -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** Negative samples clamp to bucket 0. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)], ascending. *)
+
+(** {1 Timers} — wall-clock span accumulators *)
+
+type timer
+
+val timer : registry -> ?help:string -> string -> timer
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Accumulates elapsed wall-clock seconds (and a call count) even when
+    the thunk raises. *)
+
+val timer_total_s : timer -> float
+val timer_count : timer -> int
+
+(** {1 Serialization} *)
+
+val to_json : registry -> Json.t
+(** [{ "counters": {...}, "gauges": {...}, "histograms": {...},
+       "timers": {...} }], each metric keyed by name. *)
+
+val to_csv : registry -> string
+(** One row per metric: [kind,name,value,count,help]; histograms report
+    their sum in [value]. *)

@@ -1,0 +1,15 @@
+(** Chrome trace-event JSON (the ["traceEvents"] object format), from
+    collected {!Span} records.
+
+    The output loads in Perfetto (ui.perfetto.dev) and chrome://tracing
+    and complements the VCD view of [Pipeline.Tracer]: the VCD shows
+    the simulated machine's cycles, the trace shows where the tool
+    itself spends wall-clock time. *)
+
+val to_json : ?process_name:string -> Span.record list -> Json.t
+(** Complete ["X"] (duration) events on one pid/tid; span args become
+    event args. *)
+
+val to_string : ?process_name:string -> Span.record list -> string
+
+val write_file : path:string -> ?process_name:string -> Span.record list -> unit

@@ -206,6 +206,7 @@ let value_of_assignment man assign vec =
     |> List.fold_left ( lor ) 0)
 
 let check left right =
+  Obs.Span.with_span "verify.equiv" @@ fun () ->
   let wl = E.width left and wr = E.width right in
   if wl <> wr then Width_mismatch (wl, wr)
   else

@@ -306,6 +306,7 @@ let copy_path ps =
   }
 
 let check ?symbolic ?(max_paths = 64) ~instructions (t : Pipeline.Transform.t) =
+  Obs.Span.with_span "verify.symsim" @@ fun () ->
   let base = t.Pipeline.Transform.base in
   let machine = t.Pipeline.Transform.machine in
   let n = base.Spec.n_stages in

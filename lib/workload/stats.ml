@@ -5,7 +5,10 @@ type row = {
   cpi : float;
   speedup_vs_sequential : float;
   fetch_stall_cycles : int;
+  dhaz_cycles : int;
+  ext_cycles : int;
   rollbacks : int;
+  squashed : int;
 }
 
 let of_stats ~label ~n_stages (s : Pipeline.Pipesem.stats) =
@@ -17,18 +20,37 @@ let of_stats ~label ~n_stages (s : Pipeline.Pipesem.stats) =
     cpi;
     speedup_vs_sequential = float_of_int n_stages /. cpi;
     fetch_stall_cycles = s.Pipeline.Pipesem.fetch_stall_cycles;
+    dhaz_cycles = s.Pipeline.Pipesem.dhaz_cycles;
+    ext_cycles = s.Pipeline.Pipesem.ext_cycles;
     rollbacks = s.Pipeline.Pipesem.rollbacks;
+    squashed = s.Pipeline.Pipesem.squashed;
   }
 
 let pp_table ppf rows =
-  Format.fprintf ppf "%-22s %8s %8s %6s %8s %7s %9s@." "workload" "instr"
-    "cycles" "CPI" "speedup" "stalls" "rollbacks";
+  Format.fprintf ppf "%-22s %8s %8s %6s %8s %7s %6s %5s %9s %7s@." "workload"
+    "instr" "cycles" "CPI" "speedup" "stalls" "dhaz" "ext" "rollbacks"
+    "squash";
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-22s %8d %8d %6.2f %8.2f %7d %9d@." r.label
-        r.instructions r.cycles r.cpi r.speedup_vs_sequential
-        r.fetch_stall_cycles r.rollbacks)
+      Format.fprintf ppf "%-22s %8d %8d %6.2f %8.2f %7d %6d %5d %9d %7d@."
+        r.label r.instructions r.cycles r.cpi r.speedup_vs_sequential
+        r.fetch_stall_cycles r.dhaz_cycles r.ext_cycles r.rollbacks r.squashed)
     rows
+
+let row_to_json r =
+  Obs.Json.Obj
+    [
+      ("label", Obs.Json.String r.label);
+      ("instructions", Obs.Json.Int r.instructions);
+      ("cycles", Obs.Json.Int r.cycles);
+      ("cpi", Obs.Json.Float r.cpi);
+      ("speedup_vs_sequential", Obs.Json.Float r.speedup_vs_sequential);
+      ("fetch_stall_cycles", Obs.Json.Int r.fetch_stall_cycles);
+      ("dhaz_cycles", Obs.Json.Int r.dhaz_cycles);
+      ("ext_cycles", Obs.Json.Int r.ext_cycles);
+      ("rollbacks", Obs.Json.Int r.rollbacks);
+      ("squashed", Obs.Json.Int r.squashed);
+    ]
 
 let geomean_cpi rows =
   match rows with

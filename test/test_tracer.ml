@@ -1,0 +1,71 @@
+(* The pipeline tracer: engine signals in the VCD, register/signal
+   selection, and rejection of unknown names. *)
+
+let has ~sub s =
+  let n = String.length sub and h = String.length s in
+  let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let fib = Dlx.Progs.fib 5
+
+let dlx_transform () =
+  Dlx.Seq_dlx.transform ~data:fib.Dlx.Progs.data Dlx.Seq_dlx.Base
+    ~program:(Dlx.Progs.program fib)
+
+let stop_after = fib.Dlx.Progs.dyn_instructions
+
+let test_engine_signals () =
+  let tr = dlx_transform () in
+  let vcd, result = Pipeline.Tracer.trace ~stop_after tr in
+  Alcotest.(check bool)
+    "completed" true
+    (result.Pipeline.Pipesem.outcome = Pipeline.Pipesem.Completed);
+  let s = Hw.Vcd.to_string vcd in
+  (* Every stall-engine bit of every stage is declared. *)
+  for k = 0 to 4 do
+    List.iter
+      (fun base ->
+        let name = Printf.sprintf "%s_%d" base k in
+        Alcotest.(check bool) name true (has ~sub:(name ^ " $end") s))
+      [ "full"; "stall"; "dhaz"; "ue"; "rollback" ]
+  done;
+  (* The default signal selection is each stage's dhaz (VCD declares
+     the sanitized name: "$dhaz_stage_1" -> "_dhaz_stage_1"). *)
+  Alcotest.(check bool) "default dhaz signal" true (has ~sub:"_dhaz_stage_1" s)
+
+let test_register_selection () =
+  let tr = dlx_transform () in
+  let vcd, _ =
+    Pipeline.Tracer.trace ~registers:[ "DPC" ] ~signals:[ "$g_1_GPRa" ]
+      ~stop_after tr
+  in
+  let s = Hw.Vcd.to_string vcd in
+  Alcotest.(check bool) "DPC declared" true (has ~sub:"DPC $end" s);
+  Alcotest.(check bool) "g network declared" true (has ~sub:"_g_1_GPRa" s);
+  (* Explicit signal selection replaces the default. *)
+  Alcotest.(check bool)
+    "no default dhaz" false
+    (has ~sub:"_dhaz_stage_1" s)
+
+let test_unknown_names () =
+  let tr = dlx_transform () in
+  Alcotest.check_raises "unknown register"
+    (Invalid_argument "Tracer: unknown register NOPE") (fun () ->
+      ignore (Pipeline.Tracer.trace ~registers:[ "NOPE" ] ~stop_after tr));
+  Alcotest.check_raises "register file rejected"
+    (Invalid_argument "Tracer: GPR is a register file") (fun () ->
+      ignore (Pipeline.Tracer.trace ~registers:[ "GPR" ] ~stop_after tr));
+  Alcotest.check_raises "unknown signal"
+    (Invalid_argument "Tracer: unknown signal $nope") (fun () ->
+      ignore (Pipeline.Tracer.trace ~signals:[ "$nope" ] ~stop_after tr))
+
+let () =
+  Alcotest.run "tracer"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "engine signals" `Quick test_engine_signals;
+          Alcotest.test_case "selection" `Quick test_register_selection;
+          Alcotest.test_case "unknown names" `Quick test_unknown_names;
+        ] );
+    ]
