@@ -126,18 +126,24 @@ let figure2 () =
 (* C1: the case study                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run_kernel ?options ?(variant = Dlx.Seq_dlx.Base) (p : Dlx.Progs.t) =
-  let tr = dlx_transform ?options ~variant p in
-  let n = p.Dlx.Progs.dyn_instructions in
-  let reference =
-    Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data variant
-      ~program:(Dlx.Progs.program p) ~instructions:n
+let sim_kernel ?options ?(variant = Dlx.Seq_dlx.Base) (p : Dlx.Progs.t) =
+  let config =
+    {
+      Workload.Sweep.default with
+      Workload.Sweep.variant;
+      options =
+        (match options with
+        | Some o -> o
+        | None -> Pipeline.Fwd_spec.default_options);
+    }
   in
-  let report =
-    Proof_engine.Consistency.check ~max_instructions:n ~reference tr
-  in
+  Workload.Sweep.sim_of_program ~config p
+
+let run_kernel ?options ?variant (p : Dlx.Progs.t) =
+  let sim = sim_kernel ?options ?variant p in
+  let report = Workload.Sim.verify sim in
   ( report,
-    Workload.Stats.of_stats ~label:p.Dlx.Progs.prog_name ~n_stages:5
+    Workload.Sim.stats_row ~label:p.Dlx.Progs.prog_name sim
       report.Proof_engine.Consistency.stats )
 
 let case_study ?(kernels = Dlx.Progs.all_kernels) () =
@@ -145,16 +151,19 @@ let case_study ?(kernels = Dlx.Progs.all_kernels) () =
   let rows =
     List.map
       (fun p ->
-        let report, row = run_kernel p in
+        let sim = sim_kernel p in
+        let report = Workload.Sim.verify sim in
+        let row =
+          Workload.Sim.stats_row ~label:p.Dlx.Progs.prog_name sim
+            report.Proof_engine.Consistency.stats
+        in
         if not (Proof_engine.Consistency.ok report) then begin
           Format.printf "INCONSISTENT on %s!@." p.Dlx.Progs.prog_name;
           exit 1
         end;
-        (* CPI breakdown via hazard attribution for the export. *)
-        let _, summary =
-          Pipeline.Attribution.run ~stop_after:p.Dlx.Progs.dyn_instructions
-            (dlx_transform p)
-        in
+        (* CPI breakdown via hazard attribution for the export; the
+           attribution run shares the kernel's compiled plan. *)
+        let _, summary = Workload.Sim.attribute sim in
         let d = Obs.Hazard.decompose summary in
         add_entry
           (Obs.Export.entry
@@ -504,6 +513,139 @@ let retime_sweep () =
   Format.printf " consumer costs interlock stalls.)@."
 
 (* ------------------------------------------------------------------ *)
+(* PERF: compiled plans vs the tree-walking interpreter                *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock [f] by repetition until [budget] seconds of processor
+   time have elapsed (at least [min_runs] runs), returning ns/run. *)
+let time_ns_per_run ?(budget = 0.2) ?(min_runs = 3) f =
+  let t0 = Sys.time () in
+  let runs = ref 0 in
+  while !runs < min_runs || Sys.time () -. t0 < budget do
+    ignore (f ());
+    incr runs
+  done;
+  (Sys.time () -. t0) *. 1e9 /. float_of_int !runs
+
+let perf_compiled () =
+  section "PERF"
+    "Compiled evaluation plans vs interpreted simulation (same driver loop)";
+  Format.printf "  %-16s %12s %14s %14s %9s %12s@." "kernel" "cycles"
+    "interp ns/run" "compiled ns/run" "speedup" "Mcycles/s";
+  let speedups =
+    List.map
+      (fun p ->
+        let sim = sim_kernel p in
+        let compiled = (Workload.Sim.run sim).Pipeline.Pipesem.stats in
+        let interpreted =
+          (Workload.Sim.run_interpreted sim).Pipeline.Pipesem.stats
+        in
+        (* The two engines drive the same cycle loop: every statistic
+           must agree bit for bit, or the compiler is wrong. *)
+        if compiled <> interpreted then begin
+          Format.printf "STATS DIVERGE on %s (compiled vs interpreted)!@."
+            p.Dlx.Progs.prog_name;
+          exit 1
+        end;
+        let ns_c = time_ns_per_run (fun () -> Workload.Sim.run sim) in
+        let ns_i =
+          time_ns_per_run (fun () -> Workload.Sim.run_interpreted sim)
+        in
+        let speedup = ns_i /. ns_c in
+        let mcps = float_of_int compiled.Pipeline.Pipesem.cycles /. ns_c *. 1e3 in
+        Format.printf "  %-16s %12d %14.0f %14.0f %8.2fx %12.2f@."
+          p.Dlx.Progs.prog_name compiled.Pipeline.Pipesem.cycles ns_i ns_c
+          speedup mcps;
+        let counts label ns =
+          add_entry
+            (Obs.Export.entry ~ns_per_run:ns
+               ~cpi:(Pipeline.Pipesem.cpi compiled)
+               ~instructions:compiled.Pipeline.Pipesem.retired
+               ~cycles:compiled.Pipeline.Pipesem.cycles
+               (Printf.sprintf "PERF.%s_sim_%s" label p.Dlx.Progs.prog_name))
+        in
+        counts "compiled" ns_c;
+        counts "interpreted" ns_i;
+        speedup)
+      (* Long enough that cycle throughput dominates per-run setup
+         (state creation, plan binding). *)
+      [
+        Workload.Gen.generate ~seed:7 ~length:400 Workload.Gen.typical;
+        Workload.Gen.generate ~seed:11 ~length:400
+          (Workload.Gen.alu_only ~dependency_bias:0.6);
+      ]
+  in
+  let geo =
+    exp
+      (List.fold_left (fun a s -> a +. log s) 0.0 speedups
+      /. float_of_int (List.length speedups))
+  in
+  add_entry (Obs.Export.entry ~ns_per_run:geo "PERF.speedup_geomean");
+  Format.printf
+    "geomean speedup %.2fx (identical cycles, retirements and hazard counts)@."
+    geo
+
+(* ------------------------------------------------------------------ *)
+(* Baseline regression guard (@check): compare the semantic fields of
+   this run's export against the committed BENCH_pipeline.json.  CPI,
+   instruction and cycle counts are deterministic — any drift means
+   the simulators changed behaviour.  Wall-clock (ns_per_run) fields
+   are reported but never fail the build.                              *)
+(* ------------------------------------------------------------------ *)
+
+let compare_baseline ~path =
+  let entries = List.rev !export_entries in
+  match Obs.Export.read_file ~path with
+  | Error msg ->
+    Format.printf "baseline %s unreadable: %s@." path msg;
+    exit 1
+  | Ok baseline ->
+    let drift = ref [] in
+    let compared = ref 0 in
+    List.iter
+      (fun (b : Obs.Export.entry) ->
+        match
+          List.find_opt
+            (fun (e : Obs.Export.entry) ->
+              e.Obs.Export.experiment = b.Obs.Export.experiment)
+            entries
+        with
+        | None -> ()  (* baseline entry from another mode (e.g. full) *)
+        | Some e ->
+          incr compared;
+          let check field pp old_v new_v =
+            if old_v <> new_v then
+              drift :=
+                Format.asprintf "%s: %s %a -> %a" b.Obs.Export.experiment
+                  field pp old_v pp new_v
+                :: !drift
+          in
+          let pp_fo ppf = Format.fprintf ppf "%a" (Format.pp_print_option Format.pp_print_float) in
+          let pp_io ppf = Format.fprintf ppf "%a" (Format.pp_print_option Format.pp_print_int) in
+          check "cpi" pp_fo b.Obs.Export.cpi e.Obs.Export.cpi;
+          check "instructions" pp_io b.Obs.Export.instructions
+            e.Obs.Export.instructions;
+          check "cycles" pp_io b.Obs.Export.cycles e.Obs.Export.cycles;
+          match (b.Obs.Export.ns_per_run, e.Obs.Export.ns_per_run) with
+          | Some old_ns, Some new_ns when old_ns > 0.0 ->
+            Format.printf "  %-44s wall %+.0f%% (informational)@."
+              b.Obs.Export.experiment
+              ((new_ns -. old_ns) /. old_ns *. 100.0)
+          | _ -> ())
+      baseline;
+    if !compared = 0 then begin
+      Format.printf "baseline %s shares no experiments with this run@." path;
+      exit 1
+    end;
+    if !drift <> [] then begin
+      Format.printf "SEMANTIC DRIFT vs %s:@." path;
+      List.iter (Format.printf "  %s@.") (List.rev !drift);
+      exit 1
+    end;
+    Format.printf "baseline check ok: %d entries, no semantic drift@."
+      !compared
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing of each experiment's core computation               *)
 (* ------------------------------------------------------------------ *)
 
@@ -513,6 +655,7 @@ let bechamel_tests () =
   let bheavy = Dlx.Progs.branch_heavy 8 in
   let toy () = Core.Toy.transform ~program:Core.Toy.default_program () in
   let dlx_tr = dlx_transform fib10 in
+  let dlx_c = Pipeline.Pipesem.compile dlx_tr in
   let bp_tr = dlx_transform ~variant:Dlx.Seq_dlx.Branch_predict bheavy in
   let il_tr = dlx_transform ~options:interlock_only_options fib10 in
   [
@@ -537,8 +680,14 @@ let bechamel_tests () =
            Pipeline.Mux_impl.measure ~sources:32 ~data_width:32));
     Test.make ~name:"E4_pipelined_simulation_fib"
       (Staged.stage (fun () ->
-           Pipeline.Pipesem.run ~stop_after:fib10.Dlx.Progs.dyn_instructions
-             dlx_tr));
+           Pipeline.Pipesem.run_compiled
+             ~stop_after:fib10.Dlx.Progs.dyn_instructions dlx_c));
+    Test.make ~name:"E4_interpreted_simulation_fib"
+      (Staged.stage (fun () ->
+           Pipeline.Pipesem.run_reference
+             ~stop_after:fib10.Dlx.Progs.dyn_instructions dlx_tr));
+    Test.make ~name:"E4_plan_compilation_dlx"
+      (Staged.stage (fun () -> Pipeline.Pipesem.compile dlx_tr));
     Test.make ~name:"E5_interlock_only_simulation"
       (Staged.stage (fun () ->
            Pipeline.Pipesem.run ~stop_after:fib10.Dlx.Progs.dyn_instructions
@@ -587,11 +736,13 @@ let run_bechamel () =
     (List.sort compare rows)
 
 (* --smoke: the fast subset wired into the @check alias — T1, F2 and
-   C1 on one tiny kernel, plus the export round-trip check. *)
+   C1 on one tiny kernel, the compiled-vs-interpreted perf check, plus
+   the export round-trip check. *)
 let smoke () =
   table1 ();
   figure2 ();
   case_study ~kernels:[ Dlx.Progs.fib 5 ] ();
+  perf_compiled ();
   write_export ();
   Format.printf "@.smoke ok.@."
 
@@ -610,9 +761,20 @@ let full () =
   depth_sweep ();
   memory_latency_sweep ();
   retime_sweep ();
+  perf_compiled ();
   run_bechamel ();
   write_export ();
   Format.printf "@.all experiments reproduced.@."
 
 let () =
-  if Array.exists (( = ) "--smoke") Sys.argv then smoke () else full ()
+  let argv = Sys.argv in
+  let baseline = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--baseline" && i + 1 < Array.length argv then
+        baseline := Some argv.(i + 1))
+    argv;
+  if Array.exists (( = ) "--smoke") argv then smoke () else full ();
+  match !baseline with
+  | None -> ()
+  | Some path -> compare_baseline ~path

@@ -12,11 +12,19 @@ let kernels () =
     (fun (p : Dlx.Progs.t) -> (p.Dlx.Progs.prog_name, p))
     (Dlx.Progs.all_kernels @ [ Dlx.Progs.overflow_trap ])
 
+(* Every command views the selected machine through the same compiled
+   simulation handle: one Pipesem.compile per invocation, shared by
+   run/trace/stats/verify. *)
 type selection = {
-  tr : Pipeline.Transform.t;
+  sim : Workload.Sim.t;
   reference : Machine.Seqsem.trace option;
-  instructions : int;
 }
+
+let selection ?reference ~instructions tr =
+  { sim = Workload.Sim.make ?reference ~instructions tr; reference }
+
+let sel_tr s = Workload.Sim.transform s.sim
+let sel_instructions s = Workload.Sim.instructions s.sim
 
 let unknown ~what ~name ~available =
   Format.eprintf "unknown %s %s; available: %s@." what name
@@ -79,15 +87,12 @@ let select ~machine ~kernel ~program_file ~interlock_only ~tree =
     in
     let program = Dlx.Progs.program p in
     let n = p.Dlx.Progs.dyn_instructions in
-    {
-      tr =
-        Dlx.Seq_dlx.transform ~options ~data:p.Dlx.Progs.data variant ~program;
-      reference =
-        Some
-          (Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data variant ~program
-             ~instructions:n);
-      instructions = n;
-    }
+    selection
+      ~reference:
+        (Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data variant ~program
+           ~instructions:n)
+      ~instructions:n
+      (Dlx.Seq_dlx.transform ~options ~data:p.Dlx.Progs.data variant ~program)
   in
   let dlx6 () =
     (* The DLX with a two-stage memory, derived mechanically by
@@ -103,27 +108,22 @@ let select ~machine ~kernel ~program_file ~interlock_only ~tree =
            ~program:(Dlx.Progs.program p))
         ~at:3
     in
-    {
-      tr =
-        Pipeline.Transform.run ~options
-          ~hints:(Dlx.Seq_dlx.hints Dlx.Seq_dlx.Base)
-          m;
-      reference =
-        Some
-          (Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
-             ~program:(Dlx.Progs.program p)
-             ~instructions:p.Dlx.Progs.dyn_instructions);
-      instructions = p.Dlx.Progs.dyn_instructions;
-    }
+    selection
+      ~reference:
+        (Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+           ~program:(Dlx.Progs.program p)
+           ~instructions:p.Dlx.Progs.dyn_instructions)
+      ~instructions:p.Dlx.Progs.dyn_instructions
+      (Pipeline.Transform.run ~options
+         ~hints:(Dlx.Seq_dlx.hints Dlx.Seq_dlx.Base)
+         m)
   in
   match machine with
   | "dlx6" -> dlx6 ()
   | "toy3" ->
-    {
-      tr = Core.Toy.transform ~options ~program:Core.Toy.default_program ();
-      reference = None;
-      instructions = List.length Core.Toy.default_program;
-    }
+    selection
+      ~instructions:(List.length Core.Toy.default_program)
+      (Core.Toy.transform ~options ~program:Core.Toy.default_program ())
   | "dlx5" -> dlx Dlx.Seq_dlx.Base
   | "dlx5_intr" -> dlx (Dlx.Seq_dlx.With_interrupts { sisr = 8 })
   | "dlx5_bp" -> dlx Dlx.Seq_dlx.Branch_predict
@@ -167,8 +167,9 @@ let common machine kernel program_file interlock tree =
 let show_cmd =
   let run machine kernel program_file interlock tree =
     let s = common machine kernel program_file interlock tree in
-    Format.printf "%a@." Machine.Spec.pp_summary s.tr.Pipeline.Transform.base;
-    Format.printf "%a" Pipeline.Report.pp_inventory s.tr;
+    Format.printf "%a@." Machine.Spec.pp_summary
+      (sel_tr s).Pipeline.Transform.base;
+    Format.printf "%a" Pipeline.Report.pp_inventory (sel_tr s);
     `Ok ()
   in
   Cmd.v (Cmd.info "show" ~doc:"Print the machine and the generated hardware.")
@@ -180,7 +181,7 @@ let show_cmd =
 let verilog_cmd =
   let run machine kernel program_file interlock tree =
     let s = common machine kernel program_file interlock tree in
-    print_string (Core.verilog s.tr);
+    print_string (Core.verilog (sel_tr s));
     `Ok ()
   in
   Cmd.v
@@ -194,12 +195,16 @@ let verify_cmd =
   let run machine kernel program_file interlock tree =
     let s = common machine kernel program_file interlock tree in
     let v =
-      Core.verify ?reference:s.reference ~max_instructions:s.instructions s.tr
+      Core.verify ?reference:s.reference
+        ~max_instructions:(sel_instructions s)
+        ~compiled:(Workload.Sim.compiled s.sim) (sel_tr s)
     in
     Format.printf "%a" Proof_engine.Consistency.pp_report
       v.Core.consistency;
     Format.printf "%a" Proof_engine.Liveness.pp_report v.Core.liveness;
-    let cov = Pipeline.Coverage.measure ~stop_after:s.instructions s.tr in
+    let cov =
+      Pipeline.Coverage.measure ~stop_after:(sel_instructions s) (sel_tr s)
+    in
     Format.printf "%a" Pipeline.Coverage.pp cov;
     List.iter (Format.printf "  coverage hole: %s@.")
       (Pipeline.Coverage.holes cov);
@@ -226,9 +231,11 @@ let proof_cmd =
   let run machine kernel program_file interlock tree =
     let s = common machine kernel program_file interlock tree in
     let v =
-      Core.verify ?reference:s.reference ~max_instructions:s.instructions s.tr
+      Core.verify ?reference:s.reference
+        ~max_instructions:(sel_instructions s)
+        ~compiled:(Workload.Sim.compiled s.sim) (sel_tr s)
     in
-    print_string (Core.proof_script s.tr v);
+    print_string (Core.proof_script (sel_tr s) v);
     `Ok ()
   in
   Cmd.v
@@ -249,17 +256,15 @@ let run_cmd =
     let result =
       if diagram then begin
         let d, result =
-          Pipeline.Diagram.capture ~stop_after:s.instructions s.tr
+          Pipeline.Diagram.capture ~stop_after:(sel_instructions s) (sel_tr s)
         in
         print_string d;
         result
       end
-      else Pipeline.Pipesem.run ~stop_after:s.instructions s.tr
+      else Workload.Sim.run s.sim
     in
     let row =
-      Workload.Stats.of_stats ~label:machine
-        ~n_stages:s.tr.Pipeline.Transform.base.Machine.Spec.n_stages
-        result.Pipeline.Pipesem.stats
+      Workload.Sim.stats_row ~label:machine s.sim result.Pipeline.Pipesem.stats
     in
     Format.printf "%a" Workload.Stats.pp_table [ row ];
     (match result.Pipeline.Pipesem.outcome with
@@ -287,9 +292,7 @@ let trace_cmd =
   in
   let run machine kernel program_file interlock tree out =
     let s = common machine kernel program_file interlock tree in
-    let result =
-      Pipeline.Tracer.write ~path:out ~stop_after:s.instructions s.tr
-    in
+    let result = Workload.Sim.trace_vcd ~path:out s.sim in
     Format.printf "wrote %s (%d cycles, %d instructions)@." out
       result.Pipeline.Pipesem.stats.Pipeline.Pipesem.cycles
       result.Pipeline.Pipesem.stats.Pipeline.Pipesem.retired;
@@ -306,7 +309,7 @@ let trace_cmd =
 let dot_cmd =
   let run machine kernel program_file interlock tree =
     let s = common machine kernel program_file interlock tree in
-    print_string (Pipeline.Dot.forwarding_graph s.tr);
+    print_string (Pipeline.Dot.forwarding_graph (sel_tr s));
     `Ok ()
   in
   Cmd.v
@@ -332,9 +335,7 @@ let stats_cmd =
   in
   let run machine kernel program_file interlock tree json =
     let s = common machine kernel program_file interlock tree in
-    let result, summary =
-      Pipeline.Attribution.run ~stop_after:s.instructions s.tr
-    in
+    let result, summary = Workload.Sim.attribute s.sim in
     (match result.Pipeline.Pipesem.outcome with
     | Pipeline.Pipesem.Completed -> ()
     | Pipeline.Pipesem.Deadlocked ->
@@ -373,11 +374,11 @@ let profile_cmd =
   let run machine kernel program_file interlock tree out =
     Obs.Span.set_enabled true;
     let s = common machine kernel program_file interlock tree in
-    let (_ : Pipeline.Pipesem.result) =
-      Pipeline.Pipesem.run ~stop_after:s.instructions s.tr
-    in
+    let (_ : Pipeline.Pipesem.result) = Workload.Sim.run s.sim in
     let v =
-      Core.verify ?reference:s.reference ~max_instructions:s.instructions s.tr
+      Core.verify ?reference:s.reference
+        ~max_instructions:(sel_instructions s)
+        ~compiled:(Workload.Sim.compiled s.sim) (sel_tr s)
     in
     let records = Obs.Span.records () in
     Obs.Trace_event.write_file ~path:out ~process_name:"pipegen" records;
@@ -404,8 +405,8 @@ let symbolic_cmd =
     let s = common machine kernel program_file interlock tree in
     let outcome =
       Proof_engine.Symsim.check
-        ~instructions:(min insns s.instructions)
-        s.tr
+        ~instructions:(min insns (sel_instructions s))
+        (sel_tr s)
     in
     Format.printf "%a@." Proof_engine.Symsim.pp_outcome outcome;
     match outcome with

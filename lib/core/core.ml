@@ -7,16 +7,22 @@ type verification = {
   obligations : Proof_engine.Obligation.obligation list;
 }
 
-let verify ?ext ?max_instructions ?reference tr =
+let verify ?ext ?max_instructions ?reference ?compiled tr =
+  (* One evaluation plan serves every co-simulation below. *)
+  let compiled =
+    match compiled with Some c -> c | None -> Pipeline.Pipesem.compile tr
+  in
   let consistency =
-    Proof_engine.Consistency.check ?ext ?max_instructions ?reference tr
+    Proof_engine.Consistency.check ?ext ?max_instructions ?reference ~compiled
+      tr
   in
   let liveness =
-    Proof_engine.Liveness.check ?ext
+    Proof_engine.Liveness.check ?ext ~compiled
       ~stop_after:consistency.Proof_engine.Consistency.instructions tr
   in
   let obligations =
-    Proof_engine.Obligation.discharge_all ?ext ?max_instructions ?reference tr
+    Proof_engine.Obligation.discharge_all ?ext ?max_instructions ?reference
+      ~compiled tr
   in
   { consistency; liveness; obligations }
 

@@ -36,6 +36,7 @@ val verify :
   ?ext:Pipeline.Pipesem.ext_model ->
   ?max_instructions:int ->
   ?reference:Machine.Seqsem.trace ->
+  ?compiled:Pipeline.Pipesem.compiled ->
   Pipeline.Transform.t ->
   verification
 (** Generate and discharge the proof obligations; run the

@@ -58,8 +58,49 @@ let rec eval env e =
 
 let eval_bool env e = Bitvec.to_bool (eval env e)
 
+(* Hash-table-backed lookup; [List.rev] + [replace] keeps the
+   first-binding-wins semantics of [List.assoc]. *)
+let tbl_of_assoc l =
+  let tbl = Hashtbl.create (max 16 (List.length l)) in
+  List.iter (fun (n, v) -> Hashtbl.replace tbl n v) (List.rev l);
+  tbl
+
 let env_of_assoc ?(files = []) bindings =
+  let inputs = tbl_of_assoc bindings in
+  let files = tbl_of_assoc files in
   {
-    lookup_input = (fun n -> List.assoc n bindings);
-    lookup_file = (fun f addr -> (List.assoc f files) addr);
+    lookup_input = (fun n -> Hashtbl.find inputs n);
+    lookup_file = (fun f addr -> (Hashtbl.find files f) addr);
   }
+
+type env_spec = {
+  spec_inputs : (string * int) list;
+  spec_files : (string * int) list;
+}
+
+type compiled = {
+  plan : Plan.t;
+  roots : int array;
+}
+
+let compile spec exprs =
+  let b =
+    Plan.create ~inputs:spec.spec_inputs ~files:spec.spec_files ()
+  in
+  let roots = Array.of_list (List.map (Plan.root b) exprs) in
+  { plan = Plan.build b; roots }
+
+let run_plan c env =
+  let inst = Plan.instance c.plan in
+  Plan.iter_inputs c.plan (fun name ~slot ~width:_ ->
+      let v =
+        try env.lookup_input name
+        with Not_found -> err "unknown input %s" name
+      in
+      try Plan.set inst slot v with Plan.Run_error m -> err "%s" m);
+  Plan.iter_files c.plan (fun name ~index:_ ~width:_ ->
+      Plan.bind_file inst name (fun addr ->
+          try env.lookup_file name addr
+          with Not_found -> err "unknown register file %s" name));
+  (try Plan.run inst with Plan.Run_error m -> err "%s" m);
+  Array.map (Plan.get inst) c.roots

@@ -1,0 +1,365 @@
+exception Compile_error of string
+exception Run_error of string
+
+let cerr fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+let rerr fmt = Format.kasprintf (fun s -> raise (Run_error s)) fmt
+
+(* One tape instruction; [dst] is the slot written. *)
+type op =
+  | O_unop of Expr.unop * int
+  | O_binop of Expr.binop * int * int
+  | O_mux of int * int * int
+  | O_concat of int * int
+  | O_slice of int * int * int
+  | O_zext of int * int
+  | O_sext of int * int
+  | O_file_read of int * int * int  (* file index, addr slot, data width *)
+
+type step = { dst : int; op : op }
+
+(* Hash-consing key: structure plus child slots.  Two syntactically
+   different subtrees that compile to the same key share a slot. *)
+type key =
+  | K_const of Bitvec.t
+  | K_unop of Expr.unop * int
+  | K_binop of Expr.binop * int * int
+  | K_mux of int * int * int
+  | K_concat of int * int
+  | K_slice of int * int * int
+  | K_zext of int * int
+  | K_sext of int * int
+  | K_file_read of int * int
+
+type builder = {
+  auto : bool;
+  mutable n_slots : int;
+  mutable widths : int array;  (* slot -> width, grown on demand *)
+  mutable consts_rev : (int * Bitvec.t) list;
+  mutable tape_rev : step list;
+  b_inputs : (string, int * int) Hashtbl.t;   (* name -> slot, width *)
+  b_defines : (string, int * int) Hashtbl.t;  (* name -> slot, width *)
+  b_files : (string, int * int) Hashtbl.t;    (* name -> index, width *)
+  mutable n_files : int;
+  cse : (key, int) Hashtbl.t;
+  mutable built : bool;
+}
+
+type t = {
+  p_n_slots : int;
+  p_widths : int array;
+  consts : (int * Bitvec.t) array;
+  tape : step array;
+  p_inputs : (string, int * int) Hashtbl.t;
+  p_defines : (string, int * int) Hashtbl.t;
+  p_files : (string, int * int) Hashtbl.t;
+  file_names : string array;  (* index -> name, for errors *)
+  file_widths : int array;
+  names : string option array;  (* slot -> name view *)
+}
+
+type instance = {
+  plan : t;
+  slots : Bitvec.t array;
+  files : (Bitvec.t -> Bitvec.t) array;
+}
+
+let alloc b w =
+  let s = b.n_slots in
+  b.n_slots <- s + 1;
+  let cap = Array.length b.widths in
+  if s >= cap then begin
+    let widths = Array.make (max 16 (2 * cap)) 0 in
+    Array.blit b.widths 0 widths 0 cap;
+    b.widths <- widths
+  end;
+  b.widths.(s) <- w;
+  s
+
+let width_ok w = w >= 1 && w <= Bitvec.max_width
+
+let add_input b name w =
+  if not (width_ok w) then cerr "input %s: width %d" name w;
+  match Hashtbl.find_opt b.b_inputs name with
+  | Some (s, w') ->
+    if w' <> w then
+      cerr "input %s: declared width %d, expression expects %d" name w' w;
+    s
+  | None ->
+    let s = alloc b w in
+    Hashtbl.replace b.b_inputs name (s, w);
+    s
+
+let add_file b name w =
+  if not (width_ok w) then cerr "file %s: width %d" name w;
+  match Hashtbl.find_opt b.b_files name with
+  | Some (i, w') ->
+    if w' <> w then
+      cerr "file %s: declared width %d, expression expects %d" name w' w;
+    i
+  | None ->
+    if not b.auto then cerr "unknown register file %s" name;
+    let i = b.n_files in
+    b.n_files <- i + 1;
+    Hashtbl.replace b.b_files name (i, w);
+    i
+
+let create ?(auto = false) ?(inputs = []) ?(files = []) () =
+  let b =
+    {
+      auto;
+      n_slots = 0;
+      widths = Array.make 64 0;
+      consts_rev = [];
+      tape_rev = [];
+      b_inputs = Hashtbl.create 64;
+      b_defines = Hashtbl.create 64;
+      b_files = Hashtbl.create 4;
+      n_files = 0;
+      cse = Hashtbl.create 256;
+      built = false;
+    }
+  in
+  List.iter (fun (n, w) -> ignore (add_input b n w)) inputs;
+  List.iter
+    (fun (n, w) ->
+      if not (width_ok w) then cerr "file %s: width %d" n w;
+      if not (Hashtbl.mem b.b_files n) then begin
+        Hashtbl.replace b.b_files n (b.n_files, w);
+        b.n_files <- b.n_files + 1
+      end)
+    files;
+  b
+
+let intern b key w op =
+  match Hashtbl.find_opt b.cse key with
+  | Some s -> s
+  | None ->
+    let s = alloc b w in
+    Hashtbl.replace b.cse key s;
+    b.tape_rev <- { dst = s; op } :: b.tape_rev;
+    s
+
+let intern_const b v =
+  let key = K_const v in
+  match Hashtbl.find_opt b.cse key with
+  | Some s -> s
+  | None ->
+    let s = alloc b (Bitvec.width v) in
+    Hashtbl.replace b.cse key s;
+    b.consts_rev <- (s, v) :: b.consts_rev;
+    s
+
+(* Compile one expression bottom-up.  Width rules mirror [Expr.width],
+   but run over already-compiled child slots, so each shared node is
+   checked (and compiled) exactly once. *)
+let rec compile b e =
+  let w s = b.widths.(s) in
+  match e with
+  | Expr.Const v -> intern_const b v
+  | Expr.Input (name, wi) -> (
+    match Hashtbl.find_opt b.b_defines name with
+    | Some (s, wd) ->
+      if wd <> wi then
+        cerr "input %s: defined width %d, expression expects %d" name wd wi;
+      s
+    | None ->
+      if b.auto || Hashtbl.mem b.b_inputs name then add_input b name wi
+      else cerr "unknown input %s" name)
+  | Expr.Unop (op, a) ->
+    let sa = compile b a in
+    let wr =
+      match op with
+      | Expr.Not | Expr.Neg -> w sa
+      | Expr.Reduce_or | Expr.Reduce_and -> 1
+    in
+    intern b (K_unop (op, sa)) wr (O_unop (op, sa))
+  | Expr.Binop (op, a, bb) ->
+    let sa = compile b a in
+    let sb = compile b bb in
+    let wa = w sa and wb = w sb in
+    let wr =
+      match op with
+      | Expr.Add | Expr.Sub | Expr.Mul | Expr.And | Expr.Or | Expr.Xor ->
+        if wa <> wb then cerr "binop operand widths %d vs %d" wa wb;
+        wa
+      | Expr.Eq | Expr.Ne | Expr.Ltu | Expr.Lts ->
+        if wa <> wb then cerr "comparison operand widths %d vs %d" wa wb;
+        1
+      | Expr.Shl | Expr.Shr | Expr.Sra -> wa
+    in
+    intern b (K_binop (op, sa, sb)) wr (O_binop (op, sa, sb))
+  | Expr.Mux (s, a, bb) ->
+    let ss = compile b s in
+    let sa = compile b a in
+    let sb = compile b bb in
+    if w ss <> 1 then cerr "mux select width %d (want 1)" (w ss);
+    if w sa <> w sb then cerr "mux branch widths %d vs %d" (w sa) (w sb);
+    intern b (K_mux (ss, sa, sb)) (w sa) (O_mux (ss, sa, sb))
+  | Expr.Concat (hi, lo) ->
+    let sh = compile b hi in
+    let sl = compile b lo in
+    let wr = w sh + w sl in
+    if wr > Bitvec.max_width then cerr "concat result width %d too large" wr;
+    intern b (K_concat (sh, sl)) wr (O_concat (sh, sl))
+  | Expr.Slice (a, hi, lo) ->
+    let sa = compile b a in
+    let wa = w sa in
+    if lo < 0 || hi < lo || hi >= wa then
+      cerr "slice [%d:%d] of %d-bit expression" hi lo wa;
+    intern b (K_slice (sa, hi, lo)) (hi - lo + 1) (O_slice (sa, hi, lo))
+  | Expr.Zext (a, wz) ->
+    let sa = compile b a in
+    let wa = w sa in
+    if wz < wa || wz > Bitvec.max_width then cerr "extend %d-bit to %d bits" wa wz;
+    if wz = wa then sa else intern b (K_zext (sa, wz)) wz (O_zext (sa, wz))
+  | Expr.Sext (a, wz) ->
+    let sa = compile b a in
+    let wa = w sa in
+    if wz < wa || wz > Bitvec.max_width then cerr "extend %d-bit to %d bits" wa wz;
+    if wz = wa then sa else intern b (K_sext (sa, wz)) wz (O_sext (sa, wz))
+  | Expr.File_read { file; data_width; addr } ->
+    let sa = compile b addr in
+    let fi = add_file b file data_width in
+    intern b (K_file_read (fi, sa)) data_width (O_file_read (fi, sa, data_width))
+
+let check_built b = if b.built then cerr "builder already built"
+
+let root b e =
+  check_built b;
+  compile b e
+
+let define b name e =
+  check_built b;
+  if Hashtbl.mem b.b_defines name then cerr "duplicate definition of %s" name;
+  if Hashtbl.mem b.b_inputs name then
+    cerr "definition of %s collides with a declared input" name;
+  let s = compile b e in
+  Hashtbl.replace b.b_defines name (s, b.widths.(s));
+  s
+
+let input b name w =
+  check_built b;
+  match Hashtbl.find_opt b.b_defines name with
+  | Some _ -> cerr "input %s collides with a definition" name
+  | None -> add_input b name w
+
+let build b =
+  check_built b;
+  b.built <- true;
+  let file_names = Array.make b.n_files "" in
+  let file_widths = Array.make b.n_files 0 in
+  Hashtbl.iter
+    (fun n (i, w) ->
+      file_names.(i) <- n;
+      file_widths.(i) <- w)
+    b.b_files;
+  let names = Array.make (max b.n_slots 1) None in
+  Hashtbl.iter (fun n (s, _) -> names.(s) <- Some n) b.b_inputs;
+  Hashtbl.iter (fun n (s, _) -> names.(s) <- Some n) b.b_defines;
+  {
+    p_n_slots = b.n_slots;
+    p_widths = Array.sub b.widths 0 (max b.n_slots 1);
+    consts = Array.of_list (List.rev b.consts_rev);
+    tape = Array.of_list (List.rev b.tape_rev);
+    p_inputs = b.b_inputs;
+    p_defines = b.b_defines;
+    p_files = b.b_files;
+    file_names;
+    file_widths;
+    names;
+  }
+
+let n_slots p = p.p_n_slots
+let n_instrs p = Array.length p.tape
+let input_slot p n = Option.map fst (Hashtbl.find_opt p.p_inputs n)
+let define_slot p n = Option.map fst (Hashtbl.find_opt p.p_defines n)
+
+let slot_of_name p n =
+  match define_slot p n with Some _ as s -> s | None -> input_slot p n
+
+let iter_inputs p f =
+  Hashtbl.iter (fun n (slot, width) -> f n ~slot ~width) p.p_inputs
+
+let iter_files p f =
+  Hashtbl.iter (fun n (index, width) -> f n ~index ~width) p.p_files
+
+let slot_name p s =
+  if s >= 0 && s < Array.length p.names then p.names.(s) else None
+
+let instance p =
+  let slots = Array.make (max p.p_n_slots 1) (Bitvec.zero 1) in
+  Array.iter (fun (s, v) -> slots.(s) <- v) p.consts;
+  let files =
+    Array.init (Array.length p.file_names) (fun i ->
+        fun _ -> rerr "unbound register file %s" p.file_names.(i))
+  in
+  { plan = p; slots; files }
+
+let bind_file inst name reader =
+  match Hashtbl.find_opt inst.plan.p_files name with
+  | None -> ()
+  | Some (i, _) -> inst.files.(i) <- reader
+
+let set inst s v =
+  let w = inst.plan.p_widths.(s) in
+  if Bitvec.width v <> w then
+    rerr "input %s: stored width %d, expression expects %d"
+      (match slot_name inst.plan s with Some n -> n | None -> string_of_int s)
+      (Bitvec.width v) w;
+  inst.slots.(s) <- v
+
+let apply_unop op a =
+  match op with
+  | Expr.Not -> Bitvec.lognot a
+  | Expr.Neg -> Bitvec.neg a
+  | Expr.Reduce_or -> Bitvec.of_bool (not (Bitvec.is_zero a))
+  | Expr.Reduce_and ->
+    Bitvec.of_bool (Bitvec.equal a (Bitvec.ones (Bitvec.width a)))
+
+let apply_binop op a b =
+  match op with
+  | Expr.Add -> Bitvec.add a b
+  | Expr.Sub -> Bitvec.sub a b
+  | Expr.Mul -> Bitvec.mul a b
+  | Expr.And -> Bitvec.logand a b
+  | Expr.Or -> Bitvec.logor a b
+  | Expr.Xor -> Bitvec.logxor a b
+  | Expr.Eq -> Bitvec.eq a b
+  | Expr.Ne -> Bitvec.lognot (Bitvec.eq a b)
+  | Expr.Ltu -> Bitvec.lt_unsigned a b
+  | Expr.Lts -> Bitvec.lt_signed a b
+  | Expr.Shl -> Bitvec.shift_left a (Bitvec.to_int b)
+  | Expr.Shr -> Bitvec.shift_right_logical a (Bitvec.to_int b)
+  | Expr.Sra -> Bitvec.shift_right_arith a (Bitvec.to_int b)
+
+let run inst =
+  let s = inst.slots in
+  let tape = inst.plan.tape in
+  for i = 0 to Array.length tape - 1 do
+    let { dst; op } = Array.unsafe_get tape i in
+    let v =
+      match op with
+      | O_unop (o, a) -> apply_unop o s.(a)
+      | O_binop (o, a, b) -> apply_binop o s.(a) s.(b)
+      | O_mux (c, a, b) -> if Bitvec.to_bool s.(c) then s.(a) else s.(b)
+      | O_concat (a, b) -> Bitvec.concat s.(a) s.(b)
+      | O_slice (a, hi, lo) -> Bitvec.slice s.(a) ~hi ~lo
+      | O_zext (a, w) -> Bitvec.zero_extend s.(a) w
+      | O_sext (a, w) -> Bitvec.sign_extend s.(a) w
+      | O_file_read (f, a, w) ->
+        let v = inst.files.(f) s.(a) in
+        if Bitvec.width v <> w then
+          rerr "file %s: stored width %d, expression expects %d"
+            inst.plan.file_names.(f) (Bitvec.width v) w;
+        v
+    in
+    s.(dst) <- v
+  done
+
+let get inst slot = inst.slots.(slot)
+let get_bool inst slot = Bitvec.to_bool inst.slots.(slot)
+
+let read_name inst name =
+  match slot_of_name inst.plan name with
+  | Some s -> Some inst.slots.(s)
+  | None -> None

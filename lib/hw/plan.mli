@@ -1,0 +1,120 @@
+(** Compiled evaluation plans (compile once, evaluate many).
+
+    The cycle simulators used to re-traverse every synthesized
+    expression each cycle through the tree-walking interpreter
+    {!Eval.eval}, resolving registers and signals through string-keyed
+    closures.  A {e plan} compiles a set of expressions once into a
+    topologically ordered instruction tape over integer {e slots}:
+
+    - common subexpressions are hash-consed and evaluated once per
+      {!run};
+    - widths are checked at compile time ({!Compile_error}), not per
+      evaluation;
+    - register and signal names are resolved to slot indices up front;
+    - register-file reads dispatch through a pre-bound file table.
+
+    {2 Building}
+
+    A {!builder} compiles expressions incrementally.  {!define} names
+    the result (later expressions referring to the name via
+    [Expr.Input] resolve to its slot, like the simulator's
+    definition-order signal lists); {!root} compiles an anonymous
+    expression.  Both return the result slot.  [Expr.Input] names that
+    are neither defines nor declared inputs are added as new input
+    slots when the builder was created with [~auto:true], and rejected
+    with {!Compile_error} otherwise.
+
+    {2 Running}
+
+    An {!instance} holds the mutable slot array for one evaluation
+    context.  Bind the file table ({!bind_file}), load the input slots
+    ({!set}), then {!run} executes the tape; read results with {!get}.
+    A plan is immutable and can back any number of instances. *)
+
+exception Compile_error of string
+(** Width mismatch, undeclared name, or duplicate definition. *)
+
+exception Run_error of string
+(** Unbound register file, or a width mismatch on a value entering the
+    plan at run time ({!set}, or a file read returning the wrong
+    width). *)
+
+type t
+(** A compiled plan: instruction tape, slot/width tables, name maps. *)
+
+type builder
+
+type instance
+(** Mutable evaluation state over a plan's slots. *)
+
+(** {1 Compilation} *)
+
+val create :
+  ?auto:bool ->
+  ?inputs:(string * int) list ->
+  ?files:(string * int) list ->
+  unit ->
+  builder
+(** [create ~auto ~inputs ~files ()]: [inputs] declares external
+    scalar inputs (name, width); [files] declares register files
+    (name, data width).  [auto] (default [false]) adds undeclared
+    names on demand instead of rejecting them. *)
+
+val define : builder -> string -> Expr.t -> int
+(** Compile and name a result; subsequent [Expr.Input] references to
+    the name resolve to the returned slot.
+    @raise Compile_error on re-definition or width errors. *)
+
+val root : builder -> Expr.t -> int
+(** Compile an anonymous expression; returns its slot. *)
+
+val input : builder -> string -> int -> int
+(** [input b name width] declares (or finds) the external input slot
+    for [name].  @raise Compile_error on a width conflict. *)
+
+val build : builder -> t
+(** Freeze the tape.  The builder must not be used afterwards. *)
+
+(** {1 Plan structure} *)
+
+val n_slots : t -> int
+
+val n_instrs : t -> int
+(** Tape length — the per-{!run} work, after hash-consing. *)
+
+val input_slot : t -> string -> int option
+val define_slot : t -> string -> int option
+
+val slot_of_name : t -> string -> int option
+(** Defines first, then inputs: the slot a name resolves to. *)
+
+val iter_inputs : t -> (string -> slot:int -> width:int -> unit) -> unit
+val iter_files : t -> (string -> index:int -> width:int -> unit) -> unit
+
+val slot_name : t -> int -> string option
+(** Slot-to-name view for name-based callback interfaces (inverse of
+    {!slot_of_name}; anonymous interior slots yield [None]). *)
+
+(** {1 Evaluation} *)
+
+val instance : t -> instance
+(** Fresh slots (constants preloaded), no files bound. *)
+
+val bind_file : instance -> string -> (Bitvec.t -> Bitvec.t) -> unit
+(** Bind a register-file reader.  Unknown names are ignored (the plan
+    never reads them).  Readers are consulted on every [File_read]
+    executed by {!run}; results are width-checked ({!Run_error}). *)
+
+val set : instance -> int -> Bitvec.t -> unit
+(** Load an input slot.  @raise Run_error on width mismatch. *)
+
+val run : instance -> unit
+(** Execute the tape: every non-input slot receives its value.
+    @raise Run_error on an unbound file. *)
+
+val get : instance -> int -> Bitvec.t
+val get_bool : instance -> int -> bool
+
+val read_name : instance -> string -> Bitvec.t option
+(** Name-based lookup over defines and inputs (callback compatibility
+    view). *)

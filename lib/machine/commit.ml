@@ -66,6 +66,116 @@ let writes_updates (m : Spec.t) ~writes ~env _state =
         | Spec.Simple -> [ Set_scalar (w.dst, Hw.Eval.eval env w.value) ])
     writes
 
+(* ---- compiled path: writes evaluated through a Plan ---- *)
+
+type cwrite = {
+  cw_dst : string;
+  cw_file : bool;
+  cw_value : int;        (* slot of f_k_R *)
+  cw_guard : int option; (* slot of f_k_Rwe; [None] = always enabled *)
+  cw_addr : int option;  (* slot of f_k_Rwa for files *)
+  cw_pass : int option;  (* slot of the previous instance (pass-through) *)
+}
+
+type cstage = {
+  cs_writes : cwrite list;
+  cs_shifts : (string * int) list;
+      (* instance registers without an explicit write: dst, slot of
+         the previous instance's value *)
+}
+
+let compile_write ?(pass = true) (m : Spec.t) b (w : Spec.write) =
+  let r = Spec.find_register m w.dst in
+  let guard = Option.map (Hw.Plan.root b) w.guard in
+  match r.kind with
+  | Spec.File _ ->
+    let addr =
+      match w.wr_addr with
+      | Some a -> Hw.Plan.root b a
+      | None -> invalid_arg "Commit: file write without address"
+    in
+    {
+      cw_dst = w.dst;
+      cw_file = true;
+      cw_value = Hw.Plan.root b w.value;
+      cw_guard = guard;
+      cw_addr = Some addr;
+      cw_pass = None;
+    }
+  | Spec.Simple ->
+    let pass_slot =
+      if pass then
+        Option.map
+          (fun p -> Hw.Plan.root b (Hw.Expr.input p r.width))
+          r.prev_instance
+      else None
+    in
+    {
+      cw_dst = w.dst;
+      cw_file = false;
+      cw_value = Hw.Plan.root b w.value;
+      cw_guard = guard;
+      cw_addr = None;
+      cw_pass = pass_slot;
+    }
+
+let compile_writes (m : Spec.t) b writes =
+  (* Rollback writes have no pass-through: a disabled corrective write
+     simply does nothing (mirrors [writes_updates]). *)
+  List.map (compile_write ~pass:false m b) writes
+
+let compile_stage (m : Spec.t) b ~stage =
+  let s = Spec.stage_of m stage in
+  let writes = List.map (compile_write m b) s.writes in
+  let written = List.map (fun (w : Spec.write) -> w.dst) s.writes in
+  let shifts =
+    List.filter_map
+      (fun (r : Spec.register) ->
+        match r.prev_instance with
+        | Some p when r.stage = stage && not (List.mem r.reg_name written) ->
+          Some
+            ( r.reg_name,
+              Hw.Plan.root b
+                (Hw.Expr.input p (Spec.find_register m p).width) )
+        | Some _ | None -> None)
+      m.registers
+  in
+  { cs_writes = writes; cs_shifts = shifts }
+
+let cwrite_updates inst (cw : cwrite) =
+  let enabled =
+    match cw.cw_guard with
+    | None -> true
+    | Some g -> Hw.Plan.get_bool inst g
+  in
+  if cw.cw_file then
+    if enabled then
+      [
+        Write_file
+          ( cw.cw_dst,
+            Hw.Plan.get inst (Option.get cw.cw_addr),
+            Hw.Plan.get inst cw.cw_value );
+      ]
+    else []
+  else
+    match cw.cw_pass with
+    | None ->
+      if enabled then [ Set_scalar (cw.cw_dst, Hw.Plan.get inst cw.cw_value) ]
+      else []
+    | Some p ->
+      [
+        Set_scalar
+          (cw.cw_dst, Hw.Plan.get inst (if enabled then cw.cw_value else p));
+      ]
+
+let stage_updates_compiled inst (cs : cstage) =
+  List.concat_map (cwrite_updates inst) cs.cs_writes
+  @ List.map
+      (fun (dst, slot) -> Set_scalar (dst, Hw.Plan.get inst slot))
+      cs.cs_shifts
+
+let writes_updates_compiled inst cws = List.concat_map (cwrite_updates inst) cws
+
 let apply state updates =
   List.iter
     (fun u ->

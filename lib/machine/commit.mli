@@ -23,13 +23,45 @@ val stage_updates :
   Spec.t -> stage:int -> env:Hw.Eval.env -> State.t -> update list
 (** Evaluate stage [stage]'s writes (and instance shifts) in [env];
     [State.t] supplies the previous-instance values for pass-through.
-    Raises [Hw.Eval.Eval_error] on evaluation failure. *)
+    Raises [Hw.Eval.Eval_error] on evaluation failure.  Closure-path
+    compatibility shim; the simulators use the compiled path below. *)
 
 val writes_updates :
   Spec.t -> writes:Spec.write list -> env:Hw.Eval.env -> State.t -> update list
 (** Like {!stage_updates} but for an explicit write list (used for the
     speculation rollback writes, paper §5); instance pass-through is
-    not applied — only listed writes commit, under their guards. *)
+    not applied — only listed writes commit, under their guards.
+    Closure-path compatibility shim. *)
+
+(** {1 Compiled path}
+
+    Stage writes compiled once into a {!Hw.Plan} builder; per cycle
+    the simulator runs the plan and materializes updates from slots. *)
+
+type cwrite
+(** One compiled register write: value / guard / address / instance
+    pass-through resolved to plan slots. *)
+
+type cstage = {
+  cs_writes : cwrite list;
+  cs_shifts : (string * int) list;
+      (** instance registers without an explicit write: destination,
+          slot holding the previous instance's value *)
+}
+
+val compile_stage : Spec.t -> Hw.Plan.builder -> stage:int -> cstage
+(** Compile stage [stage]'s writes and shifts into the builder
+    (subexpressions are shared with whatever else the builder holds). *)
+
+val compile_writes : Spec.t -> Hw.Plan.builder -> Spec.write list -> cwrite list
+(** Compile an explicit write list (rollback writes): no instance
+    pass-through, mirroring {!writes_updates}. *)
+
+val stage_updates_compiled : Hw.Plan.instance -> cstage -> update list
+(** Read the updates of a stage from an evaluated plan instance.
+    Equivalent to {!stage_updates} against the same pre-edge values. *)
+
+val writes_updates_compiled : Hw.Plan.instance -> cwrite list -> update list
 
 val apply : State.t -> update list -> unit
 

@@ -14,8 +14,41 @@ let run_instruction (m : Spec.t) state =
     step_stage m state ~stage:k
   done
 
-let run_state ?(halt = fun _ -> false) ~max_instructions (m : Spec.t) =
+(* Compiled machine: one plan per stage (a stage reads the state its
+   predecessor just committed, so each stage re-loads and re-runs its
+   own tape). *)
+type compiled = {
+  cm_spec : Spec.t;
+  cm_stages : (Hw.Plan.t * Commit.cstage) array;
+}
+
+let compile (m : Spec.t) =
+  {
+    cm_spec = m;
+    cm_stages =
+      Array.init m.n_stages (fun k ->
+          let b = Hw.Plan.create ~auto:true () in
+          let cs = Commit.compile_stage m b ~stage:k in
+          (Hw.Plan.build b, cs));
+  }
+
+let spec cm = cm.cm_spec
+
+let run_state_compiled ?(halt = fun _ -> false) ~max_instructions cm =
+  let m = cm.cm_spec in
   let state = State.create m in
+  let stages =
+    Array.map
+      (fun (plan, cs) -> (State.bind_plan state plan, cs))
+      cm.cm_stages
+  in
+  let step k =
+    let bound, cs = stages.(k) in
+    State.load bound;
+    Hw.Plan.run (State.bound_instance bound);
+    Commit.apply state
+      (Commit.stage_updates_compiled (State.bound_instance bound) cs)
+  in
   let snaps = ref [] in
   let count = ref 0 in
   let halted = ref false in
@@ -26,7 +59,9 @@ let run_state ?(halt = fun _ -> false) ~max_instructions (m : Spec.t) =
          raise Exit
        end;
        snaps := State.snapshot_visible m state :: !snaps;
-       run_instruction m state;
+       for k = 0 to m.n_stages - 1 do
+         step k
+       done;
        incr count
      done
    with Exit -> ());
@@ -37,6 +72,9 @@ let run_state ?(halt = fun _ -> false) ~max_instructions (m : Spec.t) =
       halted = !halted;
     },
     state )
+
+let run_state ?halt ~max_instructions (m : Spec.t) =
+  run_state_compiled ?halt ~max_instructions (compile m)
 
 let run ?halt ~max_instructions m =
   fst (run_state ?halt ~max_instructions m)

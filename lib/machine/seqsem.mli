@@ -20,18 +20,36 @@ type trace = {
 
 val step_stage : Spec.t -> State.t -> stage:int -> unit
 (** Run one stage of the current instruction: evaluate its data paths
-    against the current state and commit (one [ue_k] cycle). *)
+    against the current state and commit (one [ue_k] cycle).
+    Closure-path compatibility shim (tree-walking evaluation); the
+    batch runners below compile the machine first. *)
 
 val run_instruction : Spec.t -> State.t -> unit
-(** One full round-robin sweep: stages [0 .. n-1]. *)
+(** One full round-robin sweep: stages [0 .. n-1] (closure path). *)
+
+type compiled
+(** The machine's stage writes compiled to evaluation plans (one tape
+    per stage), reusable across runs. *)
+
+val compile : Spec.t -> compiled
+
+val spec : compiled -> Spec.t
+
+val run_state_compiled :
+  ?halt:(State.t -> bool) ->
+  max_instructions:int ->
+  compiled ->
+  trace * State.t
+(** Execute a precompiled machine from its initial state. *)
 
 val run :
   ?halt:(State.t -> bool) ->
   max_instructions:int ->
   Spec.t ->
   trace
-(** Execute from the initial state.  [halt] is tested before each
-    instruction (default: never). *)
+(** Execute from the initial state ({!compile} +
+    {!run_state_compiled}).  [halt] is tested before each instruction
+    (default: never). *)
 
 val run_state :
   ?halt:(State.t -> bool) ->

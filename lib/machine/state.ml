@@ -1,19 +1,27 @@
-type t = (string, Value.t) Hashtbl.t
+(* Registers live in mutable cells so that plan bindings can capture a
+   cell once and read the current value without a per-cycle hash
+   lookup. *)
+type cell = { mutable v : Value.t }
+type t = (string, cell) Hashtbl.t
 
 let create (m : Spec.t) =
   let tbl = Hashtbl.create 64 in
   List.iter
     (fun (r : Spec.register) ->
-      Hashtbl.replace tbl r.reg_name (Spec.initial_value m r))
+      Hashtbl.replace tbl r.reg_name { v = Spec.initial_value m r })
     m.registers;
   tbl
 
 let get t name =
   match Hashtbl.find_opt t name with
-  | Some v -> v
+  | Some c -> c.v
   | None -> invalid_arg (Printf.sprintf "State.get: unknown register %s" name)
 
-let set t name v = Hashtbl.replace t name v
+let set t name v =
+  match Hashtbl.find_opt t name with
+  | Some c -> c.v <- v
+  | None -> Hashtbl.replace t name { v }
+
 let get_scalar t name = Value.read_scalar (get t name)
 let set_scalar t name v = set t name (Value.Scalar v)
 let read_file t name addr = Value.read_file (get t name) addr
@@ -26,21 +34,55 @@ let eval_env t =
     Hw.Eval.lookup_input =
       (fun n ->
         match Hashtbl.find_opt t n with
-        | Some (Value.Scalar v) -> v
-        | Some (Value.File _) ->
+        | Some { v = Value.Scalar v } -> v
+        | Some { v = Value.File _ } ->
           raise (Hw.Eval.Eval_error (n ^ " is a register file, not a scalar"))
         | None -> raise Not_found);
     Hw.Eval.lookup_file =
       (fun f addr ->
         match Hashtbl.find_opt t f with
-        | Some (Value.File _ as v) -> Value.read_file v addr
-        | Some (Value.Scalar _) ->
+        | Some { v = Value.File _ as v } -> Value.read_file v addr
+        | Some { v = Value.Scalar _ } ->
           raise (Hw.Eval.Eval_error (f ^ " is a scalar, not a register file"))
         | None -> raise Not_found);
   }
 
+type bound = {
+  instance : Hw.Plan.instance;
+  loads : (int * cell) array;  (* input slot <- cell, refreshed by [load] *)
+}
+
+let bind_plan ?(extern = fun _ -> false) t plan =
+  let loads = ref [] in
+  Hw.Plan.iter_inputs plan (fun name ~slot ~width:_ ->
+      match Hashtbl.find_opt t name with
+      | Some ({ v = Value.Scalar _ } as c) -> loads := (slot, c) :: !loads
+      | Some { v = Value.File _ } ->
+        raise (Hw.Eval.Eval_error (name ^ " is a register file, not a scalar"))
+      | None ->
+        if not (extern name) then
+          raise (Hw.Eval.Eval_error ("unknown input " ^ name)));
+  let instance = Hw.Plan.instance plan in
+  Hw.Plan.iter_files plan (fun name ~index:_ ~width:_ ->
+      match Hashtbl.find_opt t name with
+      | Some ({ v = Value.File _ } as c) ->
+        Hw.Plan.bind_file instance name (fun addr -> Value.read_file c.v addr)
+      | Some { v = Value.Scalar _ } ->
+        raise (Hw.Eval.Eval_error (name ^ " is a scalar, not a register file"))
+      | None ->
+        raise (Hw.Eval.Eval_error ("unknown register file " ^ name)));
+  { instance; loads = Array.of_list !loads }
+
+let bound_instance b = b.instance
+
+let load b =
+  let inst = b.instance in
+  Array.iter
+    (fun (slot, c) -> Hw.Plan.set inst slot (Value.read_scalar c.v))
+    b.loads
+
 let snapshot t =
-  Hashtbl.fold (fun n v acc -> (n, Value.copy v) :: acc) t []
+  Hashtbl.fold (fun n c acc -> (n, Value.copy c.v) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot_visible (m : Spec.t) t =

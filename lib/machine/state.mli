@@ -21,7 +21,30 @@ val write_file : t -> string -> addr:Hw.Bitvec.t -> data:Hw.Bitvec.t -> unit
 
 val eval_env : t -> Hw.Eval.env
 (** Environment reading registers by name (scalars as inputs, files
-    through [lookup_file]). *)
+    through [lookup_file]).  Compatibility shim for the tree-walking
+    {!Hw.Eval.eval}; the simulators bind plans instead
+    ({!bind_plan}). *)
+
+(** {1 Plan binding} *)
+
+type bound
+(** A plan instance wired to this state: every scalar plan input is
+    paired with its register cell, every plan file reads the live
+    register file. *)
+
+val bind_plan : ?extern:(string -> bool) -> t -> Hw.Plan.t -> bound
+(** Resolve every plan input against the state's registers.  Names
+    satisfying [extern] (default: none) are left for the caller to
+    set each cycle (the simulator's ["$full_k"]/["$ext_k"] free
+    inputs).  @raise Hw.Eval.Eval_error for names that are neither
+    registers nor external, or that have the wrong shape
+    (file vs scalar). *)
+
+val bound_instance : bound -> Hw.Plan.instance
+
+val load : bound -> unit
+(** Refresh every bound input slot from the current register values
+    (call once per evaluation, before {!Hw.Plan.run}). *)
 
 val snapshot : t -> (string * Value.t) list
 (** Deep copy of all registers, for later comparison. *)

@@ -101,7 +101,10 @@ let finalize t =
   flush t;
   Obs.Hazard.summary t.hazard
 
-let run ?ext ?max_cycles ~stop_after tr =
+let run ?ext ?max_cycles ?compiled ~stop_after tr =
   let t = create tr in
-  let result = Pipesem.run ?ext ~callbacks:t.cbs ?max_cycles ~stop_after tr in
+  let c = match compiled with Some c -> c | None -> Pipesem.compile tr in
+  let result =
+    Pipesem.run_compiled ?ext ~callbacks:t.cbs ?max_cycles ~stop_after c
+  in
   (result, finalize t)

@@ -36,7 +36,9 @@ val source_label : Transform.source -> string
 val run :
   ?ext:Pipesem.ext_model ->
   ?max_cycles:int ->
+  ?compiled:Pipesem.compiled ->
   stop_after:int ->
   Transform.t ->
   Pipesem.result * Obs.Hazard.summary
-(** [Pipesem.run] with attribution attached. *)
+(** [Pipesem.run] with attribution attached.  [compiled] reuses an
+    existing evaluation plan for the machine. *)

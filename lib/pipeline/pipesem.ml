@@ -55,9 +55,25 @@ type result = {
 
 let bool_bv b = Hw.Bitvec.of_bool b
 
-let run ?(ext = fun ~stage:_ ~cycle:_ -> false) ?(callbacks = no_callbacks)
-    ?max_cycles ~stop_after (t : Transform.t) =
-  Obs.Span.with_span "pipesem.run" @@ fun () ->
+(* ------------------------------------------------------------------ *)
+(* The cycle driver, generic over how a cycle's combinational values
+   are produced.  Both the compiled (plan) and the reference (closure)
+   engines drive exactly this loop, so their schedules, statistics and
+   verdicts agree by construction.                                     *)
+(* ------------------------------------------------------------------ *)
+
+type engine = {
+  eng_begin : cycle:int -> fullb:bool array -> ext_now:bool array -> unit;
+      (* bind the free inputs and evaluate the cycle's signals *)
+  eng_lookup : string -> Hw.Bitvec.t option;  (* on_signals view *)
+  eng_dhaz : int -> bool;
+  eng_mispredict : Fwd_spec.speculation -> bool;
+  eng_stage_updates : int -> Machine.Commit.update list;
+  eng_rollback_updates : Fwd_spec.speculation -> Machine.Commit.update list;
+}
+
+let run_loop ~engine ~state ?(ext = fun ~stage:_ ~cycle:_ -> false)
+    ?(callbacks = no_callbacks) ?max_cycles ~stop_after (t : Transform.t) =
   let m = t.Transform.machine in
   let n = m.Machine.Spec.n_stages in
   let max_cycles =
@@ -66,7 +82,6 @@ let run ?(ext = fun ~stage:_ ~cycle:_ -> false) ?(callbacks = no_callbacks)
     | None -> (stop_after * 4 * n) + 10_000
   in
   let deadlock_window = (4 * n) + 64 in
-  let state = State.create m in
   let fullb = Array.make n false in
   let tags = Array.make n None in
   tags.(0) <- Some 0;
@@ -79,50 +94,20 @@ let run ?(ext = fun ~stage:_ ~cycle:_ -> false) ?(callbacks = no_callbacks)
   let ext_cycles = ref 0 in
   let rollbacks = ref 0 in
   let squashed = ref 0 in
-  let base_env = State.eval_env state in
   (while !retired < stop_after && !cycle < max_cycles && !outcome <> Deadlocked
    do
-     let overlay : (string, Hw.Bitvec.t) Hashtbl.t = Hashtbl.create 64 in
-     let env =
-       {
-         Hw.Eval.lookup_input =
-           (fun name ->
-             match Hashtbl.find_opt overlay name with
-             | Some v -> v
-             | None -> base_env.Hw.Eval.lookup_input name);
-         lookup_file = base_env.Hw.Eval.lookup_file;
-       }
-     in
-     (* Bind the free inputs: full and ext per stage. *)
+     (* Bind the free inputs (full and ext per stage) and evaluate the
+        synthesized signals in definition order. *)
      let ext_now = Array.init n (fun k -> ext ~stage:k ~cycle:!cycle) in
-     for k = 0 to n - 1 do
-       Hashtbl.replace overlay (Transform.full_signal k)
-         (bool_bv (k = 0 || fullb.(k)));
-       Hashtbl.replace overlay (Transform.ext_signal k) (bool_bv ext_now.(k))
-     done;
-     (* Evaluate the synthesized signals in definition order. *)
-     List.iter
-       (fun (name, e) -> Hashtbl.replace overlay name (Hw.Eval.eval env e))
-       t.Transform.signals;
-     callbacks.on_signals ~cycle:!cycle (fun name ->
-         match Hashtbl.find_opt overlay name with
-         | Some v -> Some v
-         | None -> (
-           match Machine.State.get state name with
-           | Machine.Value.Scalar v -> Some v
-           | Machine.Value.File _ -> None
-           | exception Invalid_argument _ -> None));
-     let dhaz =
-       Array.init n (fun k ->
-           Hw.Bitvec.to_bool (Hashtbl.find overlay t.Transform.stage_dhaz.(k)))
-     in
+     engine.eng_begin ~cycle:!cycle ~fullb ~ext_now;
+     callbacks.on_signals ~cycle:!cycle engine.eng_lookup;
+     let dhaz = Array.init n engine.eng_dhaz in
      (* Stall engine. *)
      let mispredict ~stage ~stalled =
        (not stalled)
        && List.exists
             (fun (sp : Fwd_spec.speculation) ->
-              sp.Fwd_spec.resolve_stage = stage
-              && Hw.Eval.eval_bool env sp.Fwd_spec.mispredict)
+              sp.Fwd_spec.resolve_stage = stage && engine.eng_mispredict sp)
             t.Transform.speculations
      in
      let s = Stall_engine.compute ~fullb ~dhaz ~ext:ext_now ~mispredict in
@@ -151,24 +136,17 @@ let run ?(ext = fun ~stage:_ ~cycle:_ -> false) ?(callbacks = no_callbacks)
        | Some k ->
          List.find_opt
            (fun (sp : Fwd_spec.speculation) ->
-             sp.Fwd_spec.resolve_stage = k
-             && Hw.Eval.eval_bool env sp.Fwd_spec.mispredict)
+             sp.Fwd_spec.resolve_stage = k && engine.eng_mispredict sp)
            t.Transform.speculations
      in
      (* Collect all register updates against the pre-edge state. *)
      let updates = ref [] in
      for k = 0 to n - 1 do
-       if s.ue.(k) then
-         updates :=
-           Machine.Commit.stage_updates m ~stage:k ~env state :: !updates
+       if s.ue.(k) then updates := engine.eng_stage_updates k :: !updates
      done;
      (match firing_spec with
      | None -> ()
-     | Some sp ->
-       updates :=
-         Machine.Commit.writes_updates m ~writes:sp.Fwd_spec.rollback_writes
-           ~env state
-         :: !updates);
+     | Some sp -> updates := engine.eng_rollback_updates sp :: !updates);
      (* Clock edge: registers, tags, full bits. *)
      List.iter (Machine.Commit.apply state) (List.rev !updates);
      callbacks.on_edge record state;
@@ -249,5 +227,189 @@ let run ?(ext = fun ~stage:_ ~cycle:_ -> false) ?(callbacks = no_callbacks)
       };
     state;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Compiled engine: one evaluation plan per transformed machine.       *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  c_tr : Transform.t;
+  c_plan : Hw.Plan.t;
+  c_free : (string, unit) Hashtbl.t;  (* the $full_k / $ext_k names *)
+  c_full_slots : int array;
+  c_ext_slots : int array;
+  c_dhaz_slots : int array;
+  c_spec_slots : (Fwd_spec.speculation * int) list;     (* assq *)
+  c_stages : Machine.Commit.cstage array;
+  c_rollbacks : (Fwd_spec.speculation * Machine.Commit.cwrite list) list;
+}
+
+let compile (t : Transform.t) =
+  Obs.Span.with_span "pipesem.compile" @@ fun () ->
+  let m = t.Transform.machine in
+  let n = m.Machine.Spec.n_stages in
+  let b = Hw.Plan.create ~auto:true () in
+  (* Free inputs first, so they exist even when no signal reads them. *)
+  let c_full_slots =
+    Array.init n (fun k -> Hw.Plan.input b (Transform.full_signal k) 1)
+  in
+  let c_ext_slots =
+    Array.init n (fun k -> Hw.Plan.input b (Transform.ext_signal k) 1)
+  in
+  List.iter
+    (fun (name, e) -> ignore (Hw.Plan.define b name e))
+    t.Transform.signals;
+  let c_spec_slots =
+    List.map
+      (fun (sp : Fwd_spec.speculation) ->
+        (sp, Hw.Plan.root b sp.Fwd_spec.mispredict))
+      t.Transform.speculations
+  in
+  let c_stages =
+    Array.init n (fun k -> Machine.Commit.compile_stage m b ~stage:k)
+  in
+  let c_rollbacks =
+    List.map
+      (fun (sp : Fwd_spec.speculation) ->
+        (sp, Machine.Commit.compile_writes m b sp.Fwd_spec.rollback_writes))
+      t.Transform.speculations
+  in
+  let plan = Hw.Plan.build b in
+  let c_dhaz_slots =
+    Array.map
+      (fun name ->
+        match Hw.Plan.define_slot plan name with
+        | Some s -> s
+        | None -> invalid_arg ("Pipesem.compile: no dhaz signal " ^ name))
+      t.Transform.stage_dhaz
+  in
+  let c_free = Hashtbl.create (2 * n) in
+  for k = 0 to n - 1 do
+    Hashtbl.replace c_free (Transform.full_signal k) ();
+    Hashtbl.replace c_free (Transform.ext_signal k) ()
+  done;
+  {
+    c_tr = t;
+    c_plan = plan;
+    c_free;
+    c_full_slots;
+    c_ext_slots;
+    c_dhaz_slots;
+    c_spec_slots;
+    c_stages;
+    c_rollbacks;
+  }
+
+let transform c = c.c_tr
+let plan c = c.c_plan
+
+let plan_engine c state =
+  let bound =
+    State.bind_plan ~extern:(Hashtbl.mem c.c_free) state c.c_plan
+  in
+  let inst = State.bound_instance bound in
+  let n = Array.length c.c_full_slots in
+  let eng_begin ~cycle:_ ~fullb ~ext_now =
+    State.load bound;
+    for k = 0 to n - 1 do
+      Hw.Plan.set inst c.c_full_slots.(k) (bool_bv (k = 0 || fullb.(k)));
+      Hw.Plan.set inst c.c_ext_slots.(k) (bool_bv ext_now.(k))
+    done;
+    Hw.Plan.run inst
+  in
+  let eng_lookup name =
+    match Hw.Plan.read_name inst name with
+    | Some v -> Some v
+    | None -> (
+      match Machine.State.get state name with
+      | Machine.Value.Scalar v -> Some v
+      | Machine.Value.File _ -> None
+      | exception Invalid_argument _ -> None)
+  in
+  {
+    eng_begin;
+    eng_lookup;
+    eng_dhaz = (fun k -> Hw.Plan.get_bool inst c.c_dhaz_slots.(k));
+    eng_mispredict =
+      (fun sp -> Hw.Plan.get_bool inst (List.assq sp c.c_spec_slots));
+    eng_stage_updates =
+      (fun k -> Machine.Commit.stage_updates_compiled inst c.c_stages.(k));
+    eng_rollback_updates =
+      (fun sp ->
+        Machine.Commit.writes_updates_compiled inst (List.assq sp c.c_rollbacks));
+  }
+
+let run_compiled ?ext ?callbacks ?max_cycles ~stop_after c =
+  Obs.Span.with_span "pipesem.run" @@ fun () ->
+  let state = State.create c.c_tr.Transform.machine in
+  run_loop ~engine:(plan_engine c state) ~state ?ext ?callbacks ?max_cycles
+    ~stop_after c.c_tr
+
+let run ?ext ?callbacks ?max_cycles ~stop_after t =
+  run_compiled ?ext ?callbacks ?max_cycles ~stop_after (compile t)
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the original tree-walking interpreter with its
+   per-cycle string-keyed overlay.  Kept as a documented compatibility
+   shim: the compiled path is benchmarked and property-checked against
+   it (same driver loop, so any divergence is an evaluation bug).      *)
+(* ------------------------------------------------------------------ *)
+
+let reference_engine (t : Transform.t) state =
+  let m = t.Transform.machine in
+  let n = m.Machine.Spec.n_stages in
+  let base_env = State.eval_env state in
+  let overlay : (string, Hw.Bitvec.t) Hashtbl.t = Hashtbl.create 64 in
+  let env =
+    {
+      Hw.Eval.lookup_input =
+        (fun name ->
+          match Hashtbl.find_opt overlay name with
+          | Some v -> v
+          | None -> base_env.Hw.Eval.lookup_input name);
+      lookup_file = base_env.Hw.Eval.lookup_file;
+    }
+  in
+  let eng_begin ~cycle:_ ~fullb ~ext_now =
+    Hashtbl.reset overlay;
+    for k = 0 to n - 1 do
+      Hashtbl.replace overlay (Transform.full_signal k)
+        (bool_bv (k = 0 || fullb.(k)));
+      Hashtbl.replace overlay (Transform.ext_signal k) (bool_bv ext_now.(k))
+    done;
+    List.iter
+      (fun (name, e) -> Hashtbl.replace overlay name (Hw.Eval.eval env e))
+      t.Transform.signals
+  in
+  let eng_lookup name =
+    match Hashtbl.find_opt overlay name with
+    | Some v -> Some v
+    | None -> (
+      match Machine.State.get state name with
+      | Machine.Value.Scalar v -> Some v
+      | Machine.Value.File _ -> None
+      | exception Invalid_argument _ -> None)
+  in
+  {
+    eng_begin;
+    eng_lookup;
+    eng_dhaz =
+      (fun k ->
+        Hw.Bitvec.to_bool (Hashtbl.find overlay t.Transform.stage_dhaz.(k)));
+    eng_mispredict =
+      (fun sp -> Hw.Eval.eval_bool env sp.Fwd_spec.mispredict);
+    eng_stage_updates =
+      (fun k -> Machine.Commit.stage_updates m ~stage:k ~env state);
+    eng_rollback_updates =
+      (fun sp ->
+        Machine.Commit.writes_updates m ~writes:sp.Fwd_spec.rollback_writes
+          ~env state);
+  }
+
+let run_reference ?ext ?callbacks ?max_cycles ~stop_after (t : Transform.t) =
+  Obs.Span.with_span "pipesem.run_reference" @@ fun () ->
+  let state = State.create t.Transform.machine in
+  run_loop ~engine:(reference_engine t state) ~state ?ext ?callbacks
+    ?max_cycles ~stop_after t
 
 let cpi s = if s.retired = 0 then infinity else float_of_int s.cycles /. float_of_int s.retired

@@ -77,6 +77,34 @@ type result = {
   state : Machine.State.t;  (** final register state *)
 }
 
+type compiled
+(** A transformed machine compiled to a single evaluation plan: the
+    synthesized signals, every speculation's mispredict predicate, all
+    stage writes and all rollback writes share one hash-consed
+    instruction tape ({!Hw.Plan}), evaluated once per cycle over
+    integer slots instead of re-walking expression trees against a
+    string-keyed overlay. *)
+
+val compile : Transform.t -> compiled
+(** Compile once; reuse across {!run_compiled} calls (the plan is
+    immutable — each run gets a private instance). *)
+
+val transform : compiled -> Transform.t
+val plan : compiled -> Hw.Plan.t
+
+val run_compiled :
+  ?ext:ext_model ->
+  ?callbacks:callbacks ->
+  ?max_cycles:int ->
+  stop_after:int ->
+  compiled ->
+  result
+(** Simulate a precompiled machine from the initial state until
+    [stop_after] instructions have retired.  [max_cycles] defaults to
+    a generous bound derived from [stop_after].  Deadlock is declared
+    when no stage updates for [4 * n_stages + 64] consecutive cycles
+    while work remains. *)
+
 val run :
   ?ext:ext_model ->
   ?callbacks:callbacks ->
@@ -84,10 +112,21 @@ val run :
   stop_after:int ->
   Transform.t ->
   result
-(** Simulate from the initial state until [stop_after] instructions
-    have retired.  [max_cycles] defaults to a generous bound derived
-    from [stop_after].  Deadlock is declared when no stage updates for
-    [4 * n_stages + 64] consecutive cycles while work remains. *)
+(** {!compile} + {!run_compiled}. *)
+
+val run_reference :
+  ?ext:ext_model ->
+  ?callbacks:callbacks ->
+  ?max_cycles:int ->
+  stop_after:int ->
+  Transform.t ->
+  result
+(** Closure-path compatibility shim: the original tree-walking
+    interpreter with a per-cycle string-keyed overlay, driving the
+    {e same} cycle loop as the compiled path (stall engine, tags,
+    retirement, statistics are shared code).  Kept as the oracle for
+    differential tests and the interpreted baseline in the benchmark
+    suite; simulation users should call {!run}. *)
 
 val cpi : stats -> float
 (** Cycles per retired instruction. *)

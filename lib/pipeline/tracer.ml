@@ -12,7 +12,8 @@ let engine_signals n =
       ])
     (List.init n (fun k -> k))
 
-let trace ?ext ?(registers = []) ?signals ~stop_after (t : Transform.t) =
+let trace ?ext ?(registers = []) ?signals ?compiled ~stop_after
+    (t : Transform.t) =
   let m = t.Transform.machine in
   let n = m.Spec.n_stages in
   let signals =
@@ -71,10 +72,11 @@ let trace ?ext ?(registers = []) ?signals ~stop_after (t : Transform.t) =
             (List.concat_map bits (List.init n (fun k -> k)) @ !pending));
     }
   in
-  let result = Pipesem.run ?ext ~callbacks ~stop_after t in
+  let c = match compiled with Some c -> c | None -> Pipesem.compile t in
+  let result = Pipesem.run_compiled ?ext ~callbacks ~stop_after c in
   (vcd, result)
 
-let write ~path ?ext ?registers ?signals ~stop_after t =
-  let vcd, result = trace ?ext ?registers ?signals ~stop_after t in
+let write ~path ?ext ?registers ?signals ?compiled ~stop_after t =
+  let vcd, result = trace ?ext ?registers ?signals ?compiled ~stop_after t in
   Hw.Vcd.write_file ~path vcd;
   result

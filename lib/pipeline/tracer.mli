@@ -10,13 +10,17 @@ val trace :
   ?ext:Pipesem.ext_model ->
   ?registers:string list ->
   ?signals:string list ->
+  ?compiled:Pipesem.compiled ->
   stop_after:int ->
   Transform.t ->
   Hw.Vcd.t * Pipesem.result
 (** [registers] are scalar registers of the transformed machine
     (default: none); [signals] are synthesized signal names from
     [Transform.signals] (default: every stage's [dhaz]).  The engine
-    signals are always included.  All values are captured pre-edge.
+    signals are always included.  All values are captured pre-edge
+    (the compiled simulator's slot-to-name view keeps the lookup
+    name-based).  [compiled] reuses an existing evaluation plan for
+    the machine instead of compiling a fresh one.
     @raise Invalid_argument for unknown names. *)
 
 val write :
@@ -24,6 +28,7 @@ val write :
   ?ext:Pipesem.ext_model ->
   ?registers:string list ->
   ?signals:string list ->
+  ?compiled:Pipesem.compiled ->
   stop_after:int ->
   Transform.t ->
   Pipesem.result

@@ -38,7 +38,8 @@ let ok r =
 
 let value_at snapshot name = List.assoc_opt name snapshot
 
-let check ?ext ?(max_instructions = 200) ?reference (t : Pipeline.Transform.t) =
+let check ?ext ?(max_instructions = 200) ?reference ?compiled
+    (t : Pipeline.Transform.t) =
   Obs.Span.with_span "verify.consistency" @@ fun () ->
   let base = t.Pipeline.Transform.base in
   let n = base.Spec.n_stages in
@@ -132,7 +133,10 @@ let check ?ext ?(max_instructions = 200) ?reference (t : Pipeline.Transform.t) =
   let callbacks =
     { Pipesem.no_callbacks with Pipesem.on_cycle; on_edge; on_retire }
   in
-  let result = Pipesem.run ?ext ~callbacks ~stop_after:instructions t in
+  let result =
+    let c = match compiled with Some c -> c | None -> Pipesem.compile t in
+    Pipesem.run_compiled ?ext ~callbacks ~stop_after:instructions c
+  in
   let trace = List.rev !records in
   let lemma1 =
     if Pipeline.Schedule.has_rollback trace then Lemma_skipped_rollback

@@ -56,11 +56,17 @@ val check :
   ?ext:Pipeline.Pipesem.ext_model ->
   ?max_instructions:int ->
   ?reference:Machine.Seqsem.trace ->
+  ?compiled:Pipeline.Pipesem.compiled ->
   Pipeline.Transform.t ->
   report
 (** Run the sequential reference and the pipelined machine on the same
     initial state and compare.  [max_instructions] bounds the
     sequential run (default 200).
+
+    [compiled] supplies a precompiled evaluation plan for [t]
+    (obtained from {!Pipeline.Pipesem.compile}), avoiding a
+    recompilation when the caller already holds one — e.g.
+    {!Workload.Sim} verifying the same machine it simulates.
 
     [reference] supplies the specification trace explicitly instead of
     running {!Machine.Seqsem} on the base machine.  This is required

@@ -22,6 +22,7 @@ val ok : report -> bool
 val check :
   ?ext:Pipeline.Pipesem.ext_model ->
   ?bound:int ->
+  ?compiled:Pipeline.Pipesem.compiled ->
   stop_after:int ->
   Pipeline.Transform.t ->
   report

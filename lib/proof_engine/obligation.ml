@@ -173,10 +173,13 @@ let check_top_structural (t : Transform.t) (r : Transform.rule) =
     | Equiv.Width_mismatch (a, b) ->
       Error (Printf.sprintf "width mismatch %d vs %d" a b))
 
-let discharge_all ?ext ?max_instructions ?reference (t : Transform.t) =
+let discharge_all ?ext ?max_instructions ?reference ?compiled
+    (t : Transform.t) =
   Obs.Span.with_span "verify.obligations" @@ fun () ->
   let obs = generate t in
-  let report = Consistency.check ?ext ?max_instructions ?reference t in
+  let report =
+    Consistency.check ?ext ?max_instructions ?reference ?compiled t
+  in
   (* A short symbolic co-simulation strengthens the data-consistency
      evidence from "on this run" to "for all initial data" when the
      machine's symbolic state is small enough.  Only attempted without
@@ -213,7 +216,8 @@ let discharge_all ?ext ?max_instructions ?reference (t : Transform.t) =
   let n = t.Transform.base.Spec.n_stages in
   let ti = Trace_invariants.check ~n_stages:n report.Consistency.trace in
   let live =
-    Liveness.check ?ext ~stop_after:report.Consistency.instructions t
+    Liveness.check ?ext ?compiled ~stop_after:report.Consistency.instructions
+      t
   in
   let lemma1_status =
     match report.Consistency.lemma1 with

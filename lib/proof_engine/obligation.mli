@@ -39,11 +39,13 @@ val discharge_all :
   ?ext:Pipeline.Pipesem.ext_model ->
   ?max_instructions:int ->
   ?reference:Machine.Seqsem.trace ->
+  ?compiled:Pipeline.Pipesem.compiled ->
   Pipeline.Transform.t ->
   obligation list
 (** Generate and check.  Structural obligations are checked on the
     netlist; behavioural ones by one co-simulation run with full trace
-    recording. *)
+    recording.  [compiled] reuses an existing evaluation plan for the
+    co-simulations. *)
 
 val all_discharged : obligation list -> bool
 

@@ -18,23 +18,27 @@ exception Verification_failed of string
 let memory_wait_states ~every ~wait ~stage ~cycle =
   stage = 3 && cycle mod every < wait
 
-let run_program ?(config = default) (p : Dlx.Progs.t) =
+let sim_of_program ?(config = default) (p : Dlx.Progs.t) =
   let program = Dlx.Progs.program p in
   let tr =
     Dlx.Seq_dlx.transform ~options:config.options ~data:p.Dlx.Progs.data
       config.variant ~program
   in
   let n = p.Dlx.Progs.dyn_instructions in
+  let reference =
+    if config.verify then
+      Some
+        (Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data config.variant ~program
+           ~instructions:n)
+    else None
+  in
+  Sim.make ?reference ~instructions:n tr
+
+let run_program ?(config = default) (p : Dlx.Progs.t) =
+  let sim = sim_of_program ~config p in
   let stats =
     if config.verify then begin
-      let reference =
-        Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data config.variant ~program
-          ~instructions:n
-      in
-      let report =
-        Proof_engine.Consistency.check ?ext:config.ext ~max_instructions:n
-          ~reference tr
-      in
+      let report = Sim.verify ?ext:config.ext sim in
       if not (Proof_engine.Consistency.ok report) then
         raise
           (Verification_failed
@@ -42,11 +46,7 @@ let run_program ?(config = default) (p : Dlx.Progs.t) =
                 Proof_engine.Consistency.pp_report report));
       report.Proof_engine.Consistency.stats
     end
-    else
-      let result =
-        Pipeline.Pipesem.run ?ext:config.ext ~stop_after:n tr
-      in
-      result.Pipeline.Pipesem.stats
+    else (Sim.run ?ext:config.ext sim).Pipeline.Pipesem.stats
   in
   Stats.of_stats ~label:p.Dlx.Progs.prog_name ~n_stages:5 stats
 

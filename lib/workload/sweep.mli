@@ -11,9 +11,15 @@ type config = {
 val default : config
 (** Base variant, full forwarding, no external stalls, verified. *)
 
+val sim_of_program : ?config:config -> Dlx.Progs.t -> Sim.t
+(** Transform the configured DLX variant with the program loaded and
+    wrap it in a {!Sim} handle (reference trace attached when
+    [config.verify] is set). *)
+
 val run_program : ?config:config -> Dlx.Progs.t -> Stats.row
 (** Transform, simulate [dyn_instructions] instructions, optionally
-    verify against the golden model (failures raise). *)
+    verify against the golden model (failures raise).  All simulation
+    goes through the compiled plan ({!Sim}). *)
 
 exception Verification_failed of string
 

@@ -104,6 +104,67 @@ let test_cpi () =
        { P.cycles = 10; retired = 5; fetch_stall_cycles = 0; dhaz_cycles = 0;
          ext_cycles = 0; rollbacks = 0; squashed = 0 })
 
+(* The compiled-plan engine and the tree-walking reference engine
+   drive the same cycle loop; every observable — outcome, statistics,
+   per-cycle records, final architectural state — must agree. *)
+let check_engines_agree ?ext ~stop_after tr =
+  let record cycles r = cycles := r :: !cycles in
+  let cc = ref [] and ci = ref [] in
+  let compiled =
+    P.run ?ext
+      ~callbacks:{ P.no_callbacks with P.on_cycle = record cc }
+      ~stop_after tr
+  in
+  let interp =
+    P.run_reference ?ext
+      ~callbacks:{ P.no_callbacks with P.on_cycle = record ci }
+      ~stop_after tr
+  in
+  Alcotest.(check bool) "same outcome" true
+    (compiled.P.outcome = interp.P.outcome);
+  Alcotest.(check bool) "same stats" true
+    (compiled.P.stats = interp.P.stats);
+  Alcotest.(check bool) "same cycle records" true (!cc = !ci);
+  Alcotest.(check bool) "same REG" true
+    (Machine.Value.equal
+       (Machine.State.get compiled.P.state "REG")
+       (Machine.State.get interp.P.state "REG"))
+
+let test_compiled_matches_reference () =
+  check_engines_agree ~stop_after:6 (toy_tr ());
+  check_engines_agree ~stop_after:6
+    (toy_tr ~options:{ F.mode = F.Interlock_only; impl = Hw.Circuits.Chain } ());
+  (* External stalls exercise the ext inputs of the plan. *)
+  let ext ~stage ~cycle = stage = 2 && cycle mod 3 = 0 in
+  check_engines_agree ~ext ~stop_after:6 (toy_tr ())
+
+let test_compiled_matches_reference_dlx () =
+  (* A DLX kernel with branches: speculation mispredict roots and
+     rollback writes through the plan, including the GPR file. *)
+  let p = Dlx.Progs.branch_heavy 6 in
+  let tr =
+    Dlx.Seq_dlx.transform ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Branch_predict
+      ~program:(Dlx.Progs.program p)
+  in
+  let stop_after = p.Dlx.Progs.dyn_instructions in
+  let compiled = P.run ~stop_after tr in
+  let interp = P.run_reference ~stop_after tr in
+  Alcotest.(check bool) "same stats" true (compiled.P.stats = interp.P.stats);
+  Alcotest.(check bool) "rollbacks exercised" true
+    (compiled.P.stats.P.rollbacks > 0);
+  Alcotest.(check bool) "same GPR" true
+    (Machine.Value.equal
+       (Machine.State.get compiled.P.state "GPR")
+       (Machine.State.get interp.P.state "GPR"))
+
+let test_compile_reuse () =
+  (* One compiled machine, many runs: instances do not leak state. *)
+  let c = P.compile (toy_tr ()) in
+  let a = P.run_compiled ~stop_after:6 c in
+  let b = P.run_compiled ~stop_after:6 c in
+  Alcotest.(check bool) "deterministic" true (a.P.stats = b.P.stats);
+  Alcotest.(check int) "cycles" 8 a.P.stats.P.cycles
+
 let () =
   Alcotest.run "pipesem"
     [
@@ -118,5 +179,14 @@ let () =
           Alcotest.test_case "callbacks and tags" `Quick test_callbacks_and_tags;
           Alcotest.test_case "fetch tag monotone" `Quick test_fetch_tag_monotone;
           Alcotest.test_case "cpi" `Quick test_cpi;
+        ] );
+      ( "compiled vs reference",
+        [
+          Alcotest.test_case "toy engines agree" `Quick
+            test_compiled_matches_reference;
+          Alcotest.test_case "dlx speculation engines agree" `Quick
+            test_compiled_matches_reference_dlx;
+          Alcotest.test_case "compile once, run many" `Quick
+            test_compile_reuse;
         ] );
     ]

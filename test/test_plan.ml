@@ -1,0 +1,304 @@
+(* The compiled evaluation core (Hw.Plan): differential testing
+   against the legacy tree-walking interpreter over randomly generated
+   well-typed expressions covering every operator, compile-time width
+   rejection, hash-consing, and the Eval.compile bridge. *)
+
+module E = Hw.Expr
+module B = Hw.Bitvec
+module P = Hw.Plan
+
+let bv ~width v = B.make ~width (v land ((1 lsl width) - 1))
+
+(* A deterministic register file shared by every evaluation path. *)
+let mem_width = 8
+let mem_fun addr = bv ~width:mem_width ((B.to_int addr * 37) + 11)
+
+let legacy_env bindings =
+  let base = Hw.Eval.env_of_assoc bindings in
+  {
+    base with
+    Hw.Eval.lookup_file =
+      (fun name addr ->
+        if name = "mem" then mem_fun addr else raise Not_found);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Random well-typed expressions, all operators, random widths.        *)
+(* Input names encode their width ("v<w>_<i>") so any two occurrences  *)
+(* agree.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let arb_expr_seed =
+  let open QCheck.Gen in
+  let leaf w =
+    oneof
+      [
+        (int_bound ((1 lsl min w 20) - 1) >|= fun v -> E.const_int ~width:w v);
+        ( int_bound 2 >|= fun i ->
+          E.input (Printf.sprintf "v%d_%d" w i) w );
+      ]
+  in
+  let rec gen depth w =
+    if depth = 0 then leaf w
+    else
+      let sub = gen (depth - 1) in
+      let arith =
+        ( 4,
+          oneofl [ E.Add; E.Sub; E.Mul; E.And; E.Or; E.Xor ] >>= fun op ->
+          sub w >>= fun a ->
+          sub w >|= fun b -> E.Binop (op, a, b) )
+      in
+      let shifts =
+        ( 2,
+          oneofl [ E.Shl; E.Shr; E.Sra ] >>= fun op ->
+          sub w >>= fun a ->
+          int_range 1 4 >>= fun wb ->
+          sub wb >|= fun b -> E.Binop (op, a, b) )
+      in
+      let mux =
+        ( 2,
+          sub 1 >>= fun s ->
+          sub w >>= fun a ->
+          sub w >|= fun b -> E.Mux (s, a, b) )
+      in
+      let unops =
+        ( 2,
+          oneofl [ E.Not; E.Neg ] >>= fun op ->
+          sub w >|= fun a -> E.Unop (op, a) )
+      in
+      let slice =
+        ( 1,
+          int_range w 16 >>= fun wa ->
+          int_range 0 (wa - w) >>= fun lo ->
+          sub wa >|= fun a -> E.Slice (a, lo + w - 1, lo) )
+      in
+      let extend =
+        ( 1,
+          int_range 1 w >>= fun wa ->
+          oneofl [ (fun a -> E.Zext (a, w)); (fun a -> E.Sext (a, w)) ]
+          >>= fun mk ->
+          sub wa >|= mk )
+      in
+      let concat =
+        (* [max] keeps the range valid when [w = 1]; the branch is only
+           selected for [w > 1]. *)
+        ( 1,
+          int_range 1 (max 1 (w - 1)) >>= fun w1 ->
+          sub w1 >>= fun hi ->
+          sub (w - w1) >|= fun lo -> E.Concat (hi, lo) )
+      in
+      let one_bit =
+        [
+          ( 2,
+            oneofl [ E.Eq; E.Ne; E.Ltu; E.Lts ] >>= fun op ->
+            int_range 1 16 >>= fun wa ->
+            sub wa >>= fun a ->
+            sub wa >|= fun b -> E.Binop (op, a, b) );
+          ( 1,
+            oneofl [ E.Reduce_or; E.Reduce_and ] >>= fun op ->
+            int_range 1 16 >>= fun wa ->
+            sub wa >|= fun a -> E.Unop (op, a) );
+        ]
+      in
+      let file_read =
+        ( 1,
+          int_range 1 8 >>= fun wa ->
+          sub wa >|= fun addr ->
+          E.File_read { file = "mem"; data_width = mem_width; addr } )
+      in
+      frequency
+        ((1, leaf w) :: arith :: shifts :: mux :: unops :: unops
+        :: (if w > 1 then [ slice; extend; concat ] else [ slice ])
+        @ (if w = 1 then one_bit else [])
+        @ if w = mem_width then [ file_read ] else [])
+  in
+  QCheck.make
+    ~print:(fun (e, seed) -> Printf.sprintf "seed %d: %s" seed (E.to_string e))
+    QCheck.Gen.(
+      pair
+        (int_range 1 16 >>= fun w -> gen 4 w)
+        (int_bound 1_000_000))
+
+(* Deterministic pseudo-random input values from the seed. *)
+let bindings_of e seed =
+  List.map
+    (fun (name, w) -> (name, bv ~width:w (Hashtbl.hash (name, seed))))
+    (E.inputs e)
+
+(* Evaluate [e] through the direct Plan API. *)
+let plan_value e bindings =
+  let b = P.create ~auto:true ~files:[ ("mem", mem_width) ] () in
+  let slot = P.root b e in
+  let plan = P.build b in
+  let inst = P.instance plan in
+  P.bind_file inst "mem" mem_fun;
+  P.iter_inputs plan (fun name ~slot ~width:_ ->
+      P.set inst slot (List.assoc name bindings));
+  P.run inst;
+  P.get inst slot
+
+(* Evaluate [e] through the Eval.compile bridge (closure env in, plan
+   underneath). *)
+let bridge_value e bindings =
+  let spec =
+    {
+      Hw.Eval.spec_inputs = E.inputs e;
+      spec_files = [ ("mem", mem_width) ];
+    }
+  in
+  let compiled = Hw.Eval.compile spec [ e ] in
+  (Hw.Eval.run_plan compiled (legacy_env bindings)).(0)
+
+let prop_plan_matches_interpreter =
+  QCheck.Test.make ~name:"plan = tree-walking eval (all ops)" ~count:500
+    arb_expr_seed (fun (e, seed) ->
+      let bindings = bindings_of e seed in
+      let reference = Hw.Eval.eval (legacy_env bindings) e in
+      B.equal reference (plan_value e bindings)
+      && B.equal reference (bridge_value e bindings))
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time width checking                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compiles e =
+  let b = P.create ~auto:true () in
+  match P.root b e with
+  | (_ : int) -> true
+  | exception P.Compile_error _ -> false
+
+let test_compile_errors () =
+  let i8 = E.input "a" 8 and i4 = E.input "b" 4 in
+  Alcotest.(check bool) "binop width mismatch" false
+    (compiles (E.Binop (E.Add, i8, i4)));
+  Alcotest.(check bool) "comparison width mismatch" false
+    (compiles (E.Binop (E.Ltu, i8, i4)));
+  Alcotest.(check bool) "mux select too wide" false
+    (compiles (E.Mux (i4, i8, i8)));
+  Alcotest.(check bool) "mux branch mismatch" false
+    (compiles (E.Mux (E.input "s" 1, i8, i4)));
+  Alcotest.(check bool) "slice out of range" false
+    (compiles (E.Slice (i8, 9, 0)));
+  Alcotest.(check bool) "shrinking zext" false (compiles (E.Zext (i8, 4)));
+  Alcotest.(check bool) "inconsistent input width" false
+    (compiles (E.Binop (E.Add, i8, E.Zext (E.input "a" 4, 8))));
+  Alcotest.(check bool) "well-typed accepted" true
+    (compiles (E.Binop (E.Add, i8, E.Zext (i4, 8))))
+
+let test_strict_inputs () =
+  (* Without ~auto, undeclared names are compile-time errors... *)
+  let b = P.create ~inputs:[ ("a", 8) ] () in
+  (match P.root b (E.input "nope" 8) with
+  | (_ : int) -> Alcotest.fail "expected Compile_error"
+  | exception P.Compile_error _ -> ());
+  (* ...and declared ones must be used at their declared width. *)
+  let b = P.create ~inputs:[ ("a", 8) ] () in
+  (match P.root b (E.input "a" 4) with
+  | (_ : int) -> Alcotest.fail "expected width conflict"
+  | exception P.Compile_error _ -> ());
+  (* Duplicate defines are rejected. *)
+  let b = P.create ~auto:true () in
+  let (_ : int) = P.define b "x" (E.const_int ~width:4 1) in
+  match P.define b "x" (E.const_int ~width:4 2) with
+  | (_ : int) -> Alcotest.fail "expected duplicate-define error"
+  | exception P.Compile_error _ -> ()
+
+let test_run_errors () =
+  let b = P.create ~inputs:[ ("a", 8) ] ~files:[ ("mem", 8) ] () in
+  let slot =
+    P.root b
+      (E.Binop
+         ( E.Add,
+           E.input "a" 8,
+           E.File_read { file = "mem"; data_width = 8; addr = E.input "a" 8 }
+         ))
+  in
+  let plan = P.build b in
+  (* Wrong input width at run time. *)
+  let inst = P.instance plan in
+  (match P.set inst (Option.get (P.input_slot plan "a")) (bv ~width:4 1) with
+  | () -> Alcotest.fail "expected Run_error on width"
+  | exception P.Run_error _ -> ());
+  (* Unbound file. *)
+  let inst = P.instance plan in
+  P.set inst (Option.get (P.input_slot plan "a")) (bv ~width:8 1);
+  (match P.run inst with
+  | () -> Alcotest.fail "expected Run_error on unbound file"
+  | exception P.Run_error _ -> ());
+  (* Bound: runs, and the name view resolves. *)
+  P.bind_file inst "mem" mem_fun;
+  P.run inst;
+  Alcotest.(check bool) "result" true (B.width (P.get inst slot) = 8);
+  Alcotest.(check bool) "read_name input" true
+    (P.read_name inst "a" = Some (bv ~width:8 1))
+
+let test_hash_consing () =
+  (* (a + b) used three times: one add on the tape, not three. *)
+  let a = E.input "a" 8 and b = E.input "b" 8 in
+  let s = E.Binop (E.Add, a, b) in
+  let e = E.Binop (E.Xor, E.Binop (E.Mul, s, s), s) in
+  let builder = P.create ~auto:true () in
+  let (_ : int) = P.root builder e in
+  let plan = P.build builder in
+  Alcotest.(check int) "tape length" 3 (P.n_instrs plan);
+  (* Identical roots share the same slot. *)
+  let builder = P.create ~auto:true () in
+  let s1 = P.root builder s in
+  let s2 = P.root builder (E.Binop (E.Add, a, b)) in
+  Alcotest.(check int) "cse slot" s1 s2;
+  let (_ : P.t) = P.build builder in
+  ()
+
+let test_define_resolution () =
+  (* A define is visible to later expressions by name, like the
+     simulator's ordered signal lists. *)
+  let b = P.create ~inputs:[ ("x", 8) ] () in
+  let (_ : int) =
+    P.define b "double" (E.Binop (E.Add, E.input "x" 8, E.input "x" 8))
+  in
+  let quad =
+    P.root b (E.Binop (E.Add, E.input "double" 8, E.input "double" 8))
+  in
+  let plan = P.build b in
+  let inst = P.instance plan in
+  P.set inst (Option.get (P.input_slot plan "x")) (bv ~width:8 5);
+  P.run inst;
+  Alcotest.(check int) "quad" 20 (B.to_int (P.get inst quad));
+  Alcotest.(check bool) "define readable" true
+    (P.read_name inst "double" = Some (bv ~width:8 10));
+  Alcotest.(check bool) "slot name view" true
+    (P.slot_name plan (Option.get (P.define_slot plan "double"))
+    = Some "double")
+
+let test_env_of_assoc_semantics () =
+  (* First binding wins (List.assoc compatibility) and unknown names
+     still raise, so Eval_error reporting is preserved. *)
+  let env =
+    Hw.Eval.env_of_assoc
+      [ ("a", bv ~width:8 1); ("a", bv ~width:8 2) ]
+  in
+  Alcotest.(check int) "first binding wins" 1
+    (B.to_int (Hw.Eval.eval env (E.input "a" 8)));
+  match Hw.Eval.eval env (E.input "nope" 8) with
+  | (_ : B.t) -> Alcotest.fail "expected Eval_error"
+  | exception Hw.Eval.Eval_error _ -> ()
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "compile-time width errors" `Quick
+            test_compile_errors;
+          Alcotest.test_case "strict inputs" `Quick test_strict_inputs;
+          Alcotest.test_case "run-time errors" `Quick test_run_errors;
+          Alcotest.test_case "hash-consing" `Quick test_hash_consing;
+          Alcotest.test_case "define resolution" `Quick
+            test_define_resolution;
+          Alcotest.test_case "env_of_assoc semantics" `Quick
+            test_env_of_assoc_semantics;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_plan_matches_interpreter ] );
+    ]
