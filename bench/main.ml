@@ -28,18 +28,18 @@ let section id title =
 let export_entries : Obs.Export.entry list ref = ref []
 let add_entry e = export_entries := e :: !export_entries
 
-let export_path = "BENCH_pipeline.json"
+let export_path = ref "BENCH_pipeline.json"
 
 let write_export () =
   let entries = List.rev !export_entries in
-  Obs.Export.write_file ~path:export_path entries;
-  match Obs.Export.read_file ~path:export_path with
+  Obs.Export.write_file ~path:!export_path entries;
+  match Obs.Export.read_file ~path:!export_path with
   | Error msg ->
     Format.printf "BENCH export does NOT round-trip: %s@." msg;
     exit 1
   | Ok back ->
     assert (back = entries);
-    Format.printf "@.wrote %s (%d entries, round-trip checked)@." export_path
+    Format.printf "@.wrote %s (%d entries, round-trip checked)@." !export_path
       (List.length entries)
 
 (* ------------------------------------------------------------------ *)
@@ -516,8 +516,8 @@ let retime_sweep () =
 (* PERF: compiled plans vs the tree-walking interpreter                *)
 (* ------------------------------------------------------------------ *)
 
-(* Wall-clock [f] by repetition until [budget] seconds of processor
-   time have elapsed (at least [min_runs] runs), returning ns/run. *)
+(* Time [f] by repetition until [budget] seconds of processor time
+   have elapsed (at least [min_runs] runs), returning ns/run. *)
 let time_ns_per_run ?(budget = 0.2) ?(min_runs = 3) f =
   let t0 = Sys.time () in
   let runs = ref 0 in
@@ -526,6 +526,18 @@ let time_ns_per_run ?(budget = 0.2) ?(min_runs = 3) f =
     incr runs
   done;
   (Sys.time () -. t0) *. 1e9 /. float_of_int !runs
+
+(* Wall-clock variant for parallel work: [Sys.time] sums the processor
+   time of every domain, which hides any parallel speedup, so the
+   pool-vs-serial comparison uses [Unix.gettimeofday]. *)
+let time_wall_ns ?(budget = 0.2) ?(min_runs = 2) f =
+  let t0 = Unix.gettimeofday () in
+  let runs = ref 0 in
+  while !runs < min_runs || Unix.gettimeofday () -. t0 < budget do
+    ignore (f ());
+    incr runs
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int !runs
 
 let perf_compiled () =
   section "PERF"
@@ -584,6 +596,66 @@ let perf_compiled () =
   Format.printf
     "geomean speedup %.2fx (identical cycles, retirements and hazard counts)@."
     geo
+
+(* ------------------------------------------------------------------ *)
+(* PERF-PAR: domain-pool sweep throughput vs serial                    *)
+(* ------------------------------------------------------------------ *)
+
+let perf_parallel ~jobs () =
+  section "PERF-PAR"
+    (Printf.sprintf
+       "Parallel sweep throughput - domain pool (-j %d) vs serial" jobs);
+  let biases = [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ] in
+  let sweep ?pool () =
+    Workload.Sweep.dependency_sweep ?pool ~biases ~length:400 ~seed:7 ()
+  in
+  let serial = sweep () in
+  Exec.Pool.with_pool ~size:jobs @@ fun pool ->
+  let parallel = sweep ~pool () in
+  (* The determinism contract, enforced: every sweep row (CPI, cycles,
+     hazard and squash counts, ...) must match the serial run bit for
+     bit at any pool size. *)
+  if serial <> parallel then begin
+    Format.printf "PARALLEL SWEEP ROWS DIVERGE from serial (-j %d)!@." jobs;
+    exit 1
+  end;
+  Format.printf "  %d sweep points, rows bit-identical at -j %d@."
+    (List.length serial) jobs;
+  List.iter
+    (fun (bias, (row : Workload.Stats.row)) ->
+      add_entry
+        (Obs.Export.entry ~cpi:row.Workload.Stats.cpi
+           ~instructions:row.Workload.Stats.instructions
+           ~cycles:row.Workload.Stats.cycles
+           (Printf.sprintf "PERF.par_sweep_bias_%.0f" (bias *. 100.))))
+    serial;
+  let ns_serial = time_wall_ns (fun () -> sweep ()) in
+  Exec.Pool.reset_stats pool;
+  let ns_parallel = time_wall_ns (fun () -> sweep ~pool ()) in
+  let util = Exec.Pool.stats pool in
+  let speedup = ns_serial /. ns_parallel in
+  Format.printf
+    "  serial %.2f ms/sweep, -j %d %.2f ms/sweep: speedup %.2fx@."
+    (ns_serial /. 1e6) jobs (ns_parallel /. 1e6) speedup;
+  Format.printf "  (wall clock; informational - this host has %d core%s)@."
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  List.iter
+    (fun (s : Exec.Pool.domain_stats) ->
+      Format.printf "  worker %d: %4d tasks, %8.3f s busy@." s.Exec.Pool.worker
+        s.Exec.Pool.tasks s.Exec.Pool.busy_s)
+    util;
+  add_entry (Obs.Export.entry ~ns_per_run:ns_serial "PERF.sweep_serial");
+  add_entry
+    (Obs.Export.entry ~ns_per_run:ns_parallel
+       ~breakdown:
+         (List.map
+            (fun (s : Exec.Pool.domain_stats) ->
+              ( Printf.sprintf "worker%d_busy_s" s.Exec.Pool.worker,
+                s.Exec.Pool.busy_s ))
+            util)
+       "PERF.sweep_parallel");
+  add_entry (Obs.Export.entry ~ns_per_run:speedup "PERF.par_sweep_speedup")
 
 (* ------------------------------------------------------------------ *)
 (* Baseline regression guard (@check): compare the semantic fields of
@@ -736,17 +808,19 @@ let run_bechamel () =
     (List.sort compare rows)
 
 (* --smoke: the fast subset wired into the @check alias — T1, F2 and
-   C1 on one tiny kernel, the compiled-vs-interpreted perf check, plus
-   the export round-trip check. *)
-let smoke () =
+   C1 on one tiny kernel, the compiled-vs-interpreted perf check, the
+   parallel-sweep determinism check, plus the export round-trip
+   check. *)
+let smoke ~jobs () =
   table1 ();
   figure2 ();
   case_study ~kernels:[ Dlx.Progs.fib 5 ] ();
   perf_compiled ();
+  perf_parallel ~jobs ();
   write_export ();
   Format.printf "@.smoke ok.@."
 
-let full () =
+let full ~jobs () =
   table1 ();
   figure1 ();
   figure2 ();
@@ -762,6 +836,7 @@ let full () =
   memory_latency_sweep ();
   retime_sweep ();
   perf_compiled ();
+  perf_parallel ~jobs ();
   run_bechamel ();
   write_export ();
   Format.printf "@.all experiments reproduced.@."
@@ -769,12 +844,32 @@ let full () =
 let () =
   let argv = Sys.argv in
   let baseline = ref None in
+  let jobs = ref (Exec.Pool.default_size ()) in
   Array.iteri
     (fun i a ->
-      if a = "--baseline" && i + 1 < Array.length argv then
-        baseline := Some argv.(i + 1))
+      let value () =
+        if i + 1 < Array.length argv then Some argv.(i + 1) else None
+      in
+      match a with
+      | "--baseline" -> baseline := value ()
+      | "--out" -> (
+        match value () with Some p -> export_path := p | None -> ())
+      | "-j" | "--jobs" -> (
+        match value () with
+        | Some "max" -> jobs := Exec.Pool.default_size ()
+        | Some n -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> jobs := n
+          | _ ->
+            Format.printf "bad -j value %S (want a positive int or max)@." n;
+            exit 2)
+        | None ->
+          Format.printf "-j needs a value@.";
+          exit 2)
+      | _ -> ())
     argv;
-  if Array.exists (( = ) "--smoke") argv then smoke () else full ();
+  if Array.exists (( = ) "--smoke") argv then smoke ~jobs:!jobs ()
+  else full ~jobs:!jobs ();
   match !baseline with
   | None -> ()
   | Some path -> compare_baseline ~path

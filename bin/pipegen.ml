@@ -161,6 +161,28 @@ let tree_arg =
         Hw.Circuits.Chain
     & info [ "impl" ] ~docv:"IMPL" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Parallelism for verification: the consistency run, obligation suite and \
+     checkers fan out over an OCaml domain pool of $(docv) domains (results \
+     are bit-identical at any value).  Defaults to the host's recommended \
+     domain count; 1 disables the pool."
+  in
+  Arg.(
+    value
+    & opt int (Exec.Pool.default_size ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* Run [f pool] inside a pool of [jobs] domains; [-j 1] passes no pool
+   at all (the pure serial path, not even an inline pool). *)
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    Format.eprintf "-j must be at least 1@.";
+    exit 2
+  end
+  else if jobs = 1 then f None
+  else Exec.Pool.with_pool ~size:jobs (fun pool -> f (Some pool))
+
 let common machine kernel program_file interlock tree =
   select ~machine ~kernel ~program_file ~interlock_only:interlock ~tree
 
@@ -192,10 +214,11 @@ let verilog_cmd =
        $ tree_arg))
 
 let verify_cmd =
-  let run machine kernel program_file interlock tree =
+  let run machine kernel program_file interlock tree jobs =
     let s = common machine kernel program_file interlock tree in
     let v =
-      Core.verify ?reference:s.reference
+      with_jobs jobs @@ fun pool ->
+      Core.verify ?reference:s.reference ?pool
         ~max_instructions:(sel_instructions s)
         ~compiled:(Workload.Sim.compiled s.sim) (sel_tr s)
     in
@@ -225,13 +248,14 @@ let verify_cmd =
     Term.(
       ret
         (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
-       $ tree_arg))
+       $ tree_arg $ jobs_arg))
 
 let proof_cmd =
-  let run machine kernel program_file interlock tree =
+  let run machine kernel program_file interlock tree jobs =
     let s = common machine kernel program_file interlock tree in
     let v =
-      Core.verify ?reference:s.reference
+      with_jobs jobs @@ fun pool ->
+      Core.verify ?reference:s.reference ?pool
         ~max_instructions:(sel_instructions s)
         ~compiled:(Workload.Sim.compiled s.sim) (sel_tr s)
     in
@@ -244,7 +268,7 @@ let proof_cmd =
     Term.(
       ret
         (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
-       $ tree_arg))
+       $ tree_arg $ jobs_arg))
 
 let run_cmd =
   let diagram_arg =
@@ -371,12 +395,13 @@ let profile_cmd =
       & opt string "pipegen_trace.json"
       & info [ "output"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run machine kernel program_file interlock tree out =
+  let run machine kernel program_file interlock tree out jobs =
     Obs.Span.set_enabled true;
     let s = common machine kernel program_file interlock tree in
     let (_ : Pipeline.Pipesem.result) = Workload.Sim.run s.sim in
     let v =
-      Core.verify ?reference:s.reference
+      with_jobs jobs @@ fun pool ->
+      Core.verify ?reference:s.reference ?pool
         ~max_instructions:(sel_instructions s)
         ~compiled:(Workload.Sim.compiled s.sim) (sel_tr s)
     in
@@ -394,7 +419,7 @@ let profile_cmd =
     Term.(
       ret
         (const run $ machine_opt_arg $ kernel_arg $ program_arg
-       $ interlock_arg $ tree_arg $ out_arg))
+       $ interlock_arg $ tree_arg $ out_arg $ jobs_arg))
 
 let symbolic_cmd =
   let insn_arg =

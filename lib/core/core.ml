@@ -7,22 +7,43 @@ type verification = {
   obligations : Proof_engine.Obligation.obligation list;
 }
 
-let verify ?ext ?max_instructions ?reference ?compiled tr =
-  (* One evaluation plan serves every co-simulation below. *)
+let verify ?ext ?max_instructions ?reference ?compiled ?pool tr =
+  (* One evaluation plan serves every co-simulation below: the compiled
+     plan is immutable after [compile], so sharing it across pool
+     domains is safe (each run builds its own state and plan instance —
+     see {!Pipeline.Pipesem}). *)
   let compiled =
     match compiled with Some c -> c | None -> Pipeline.Pipesem.compile tr
   in
+  (* The top-level consistency run and the obligation suite are
+     independent; discharge them concurrently.  The obligation task
+     nests its own [Pool.map] — the caller-helping pool makes that safe
+     at any size.  Liveness depends on the consistency run's
+     instruction count, so it stays after the join. *)
+  let results =
+    Exec.Pool.map_opt pool
+      (fun task -> task ())
+      [
+        (fun () ->
+          `Consistency
+            (Proof_engine.Consistency.check ?ext ?max_instructions ?reference
+               ~compiled tr));
+        (fun () ->
+          `Obligations
+            (Proof_engine.Obligation.discharge_all ?ext ?max_instructions
+               ?reference ~compiled ?pool tr));
+      ]
+  in
   let consistency =
-    Proof_engine.Consistency.check ?ext ?max_instructions ?reference ~compiled
-      tr
+    List.find_map (function `Consistency r -> Some r | _ -> None) results
+    |> Option.get
+  and obligations =
+    List.find_map (function `Obligations o -> Some o | _ -> None) results
+    |> Option.get
   in
   let liveness =
     Proof_engine.Liveness.check ?ext ~compiled
       ~stop_after:consistency.Proof_engine.Consistency.instructions tr
-  in
-  let obligations =
-    Proof_engine.Obligation.discharge_all ?ext ?max_instructions ?reference
-      ~compiled tr
   in
   { consistency; liveness; obligations }
 

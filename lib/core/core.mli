@@ -37,10 +37,16 @@ val verify :
   ?max_instructions:int ->
   ?reference:Machine.Seqsem.trace ->
   ?compiled:Pipeline.Pipesem.compiled ->
+  ?pool:Exec.Pool.t ->
   Pipeline.Transform.t ->
   verification
 (** Generate and discharge the proof obligations; run the
-    data-consistency and liveness checkers. *)
+    data-consistency and liveness checkers.
+
+    With [pool], the top-level consistency run and the obligation suite
+    are discharged concurrently, and the obligation checkers fan out
+    over the same pool (see {!Proof_engine.Obligation.discharge_all}).
+    The result is identical to the serial run at any pool size. *)
 
 val verified : verification -> bool
 

@@ -1,0 +1,182 @@
+(* A fixed-size domain pool over one shared work queue.
+
+   The locking discipline: every field except the queue's task
+   closures is read and written under [mutex].  Task closures run
+   outside the lock.  Result cells written by a worker become visible
+   to the submitting thread through the mutex acquire/release pair
+   around the batch counter — the counter reaching zero happens-after
+   every result write.
+
+   The submitting thread of [map] does not merely wait: while its
+   batch is unfinished it pops and runs queued tasks (its own or any
+   other batch's).  This makes [map] re-entrant — a task calling [map]
+   on the same pool always makes progress — and lets a size-[n] pool
+   deliver [n]-way parallelism with only [n - 1] spawned domains. *)
+
+type domain_stats = { worker : int; tasks : int; busy_s : float }
+
+type t = {
+  pool_size : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+      (* signalled on: new batch, batch completion, shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t array;
+  w_tasks : int array; (* slot 0 = submitting thread, 1.. = workers *)
+  w_busy : float array;
+}
+
+let default_size () = Domain.recommended_domain_count ()
+
+(* Run one task outside the lock, charging wall time to [slot]. *)
+let run_task t slot task =
+  let t0 = Unix.gettimeofday () in
+  task ();
+  let dt = Unix.gettimeofday () -. t0 in
+  Mutex.lock t.mutex;
+  t.w_tasks.(slot) <- t.w_tasks.(slot) + 1;
+  t.w_busy.(slot) <- t.w_busy.(slot) +. dt;
+  Mutex.unlock t.mutex
+
+let worker_loop t slot =
+  let rec next () =
+    (* invariant: mutex held here *)
+    if not (Queue.is_empty t.queue) then begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      run_task t slot task;
+      Mutex.lock t.mutex;
+      next ()
+    end
+    else if t.closed then Mutex.unlock t.mutex
+    else begin
+      Condition.wait t.work t.mutex;
+      next ()
+    end
+  in
+  Mutex.lock t.mutex;
+  next ()
+
+let create ?size () =
+  let pool_size = match size with None -> default_size () | Some n -> n in
+  if pool_size < 1 then
+    invalid_arg "Exec.Pool.create: size must be at least 1";
+  let t =
+    {
+      pool_size;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [||];
+      w_tasks = Array.make pool_size 0;
+      w_busy = Array.make pool_size 0.0;
+    }
+  in
+  t.domains <-
+    Array.init (pool_size - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let size t = t.pool_size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.closed then Mutex.unlock t.mutex
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f xs =
+  if t.pool_size <= 1 then begin
+    (* Zero-domain fallback: inline, still accounted in the stats. *)
+    let t0 = Unix.gettimeofday () in
+    let r = List.map f xs in
+    t.w_tasks.(0) <- t.w_tasks.(0) + List.length xs;
+    t.w_busy.(0) <- t.w_busy.(0) +. (Unix.gettimeofday () -. t0);
+    r
+  end
+  else
+    match xs with
+    | [] -> []
+    | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let first_error = ref None in
+      let task i () =
+        (match f arr.(i) with
+        | r -> results.(i) <- Some r
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock t.mutex;
+          if !first_error = None then first_error := Some (e, bt);
+          Mutex.unlock t.mutex);
+        Mutex.lock t.mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast t.work;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Exec.Pool.map: pool has been shut down"
+      end;
+      for i = 0 to n - 1 do
+        Queue.add (task i) t.queue
+      done;
+      Condition.broadcast t.work;
+      (* Help drain the queue until this batch is done. *)
+      let rec wait_drain () =
+        (* invariant: mutex held here *)
+        if !remaining = 0 then Mutex.unlock t.mutex
+        else if not (Queue.is_empty t.queue) then begin
+          let task = Queue.pop t.queue in
+          Mutex.unlock t.mutex;
+          run_task t 0 task;
+          Mutex.lock t.mutex;
+          wait_drain ()
+        end
+        else begin
+          Condition.wait t.work t.mutex;
+          wait_drain ()
+        end
+      in
+      wait_drain ();
+      (match !first_error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false)
+           results)
+
+let map_reduce t ~map:f ~fold ~init xs = List.fold_left fold init (map t f xs)
+
+let stats t =
+  Mutex.lock t.mutex;
+  let r =
+    List.init t.pool_size (fun i ->
+        { worker = i; tasks = t.w_tasks.(i); busy_s = t.w_busy.(i) })
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let reset_stats t =
+  Mutex.lock t.mutex;
+  Array.fill t.w_tasks 0 t.pool_size 0;
+  Array.fill t.w_busy 0 t.pool_size 0.0;
+  Mutex.unlock t.mutex
+
+let map_opt pool f xs =
+  match pool with None -> List.map f xs | Some p -> map p f xs

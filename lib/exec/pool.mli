@@ -1,0 +1,85 @@
+(** A fixed-size OCaml 5 domain pool for embarrassingly parallel
+    verification work: sweep points, proof-obligation discharge, BMC
+    program enumeration.
+
+    A pool of size [n] provides [n]-way parallelism: [n - 1] worker
+    domains plus the submitting thread, which {e helps} drain the work
+    queue while it waits for its batch.  Helping makes {!map}
+    re-entrant — a task may itself call {!map} on the same pool (e.g.
+    obligation discharge nested inside {!Core.verify}) without risk of
+    deadlock, because every blocked caller executes queued tasks
+    instead of sleeping on an idle queue.
+
+    [size = 1] is the zero-domain fallback: no domains are spawned and
+    {!map} runs inline, exactly [List.map].
+
+    {2 Determinism contract}
+
+    {!map} preserves input order and {!map_reduce} folds in input
+    order, so results are bit-identical to the serial execution as
+    long as the per-element function is pure (or touches only
+    domain-local state).  The simulation stack satisfies this: a
+    compiled plan ({!Hw.Plan.t}, {!Pipeline.Pipesem.compiled}) is
+    immutable and may be shared across domains, while every run
+    creates its own private {!Hw.Plan.instance} and machine state.
+
+    {2 Exceptions}
+
+    If any task raises, {!map} first drains the batch (every task
+    still runs to completion), then re-raises the first-recorded
+    exception with its original backtrace.  The pool itself survives:
+    subsequent batches on the same pool work normally. *)
+
+type t
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] spawns [size - 1] worker domains
+    (default size: {!default_size}).  @raise Invalid_argument when
+    [size < 1]. *)
+
+val size : t -> int
+(** The parallelism degree [n] the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map.  With a pool of size 1, runs
+    inline.  @raise Invalid_argument on a pool that has been shut
+    down. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> fold:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a list -> 'acc
+(** [map] in parallel, then a left fold over the results in input
+    order (the merge is deterministic regardless of completion
+    order). *)
+
+val shutdown : t -> unit
+(** Signal the workers and join them.  Idempotent.  Pending work of a
+    concurrent {!map} is still drained (the caller of that map helps);
+    new batches are rejected. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} (also on exceptions). *)
+
+(** {1 Utilization} *)
+
+type domain_stats = {
+  worker : int;   (** 0 = the submitting thread, 1.. = spawned domains *)
+  tasks : int;    (** tasks executed by this worker *)
+  busy_s : float; (** wall-clock seconds spent inside tasks *)
+}
+
+val stats : t -> domain_stats list
+(** Cumulative per-worker utilization since creation (or the last
+    {!reset_stats}), in worker order. *)
+
+val reset_stats : t -> unit
+
+(** {1 Optional-pool helper} *)
+
+val map_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_opt None] is [List.map]; [map_opt (Some pool)] is
+    [map pool].  The idiom for [?pool] parameters throughout the
+    verification stack. *)

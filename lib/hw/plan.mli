@@ -29,7 +29,22 @@
     An {!instance} holds the mutable slot array for one evaluation
     context.  Bind the file table ({!bind_file}), load the input slots
     ({!set}), then {!run} executes the tape; read results with {!get}.
-    A plan is immutable and can back any number of instances. *)
+    A plan is immutable and can back any number of instances.
+
+    {2 Thread safety}
+
+    The plan/instance split is the concurrency contract for the whole
+    simulation stack (see {!Exec.Pool}):
+
+    - a built {!t} is {e immutable} — share it freely across domains;
+      any number of instances may be created from and evaluated over
+      the same plan concurrently;
+    - a {!builder} and an {!instance} are single-domain mutable state:
+      confine each to the domain that created it (one instance per
+      concurrent evaluation, never shared).
+
+    Callers running plan-backed simulations in an {!Exec.Pool} compile
+    once and create a fresh instance inside each task. *)
 
 exception Compile_error of string
 (** Width mismatch, undeclared name, or duplicate definition. *)

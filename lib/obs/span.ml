@@ -6,25 +6,37 @@ type record = {
   args : (string * string) list;
 }
 
+(* Collection is process-global and shared by every domain: the record
+   list and the clock origin are guarded by [lock]; the nesting depth
+   is domain-local (spans opened by a worker domain start at depth 0
+   in that domain's own flame). *)
+let lock = Mutex.create ()
 let flag = ref false
 let origin = ref 0.0
-let depth_now = ref 0
 let completed : record list ref = ref []
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let set_enabled b =
+  Mutex.lock lock;
   flag := b;
   if b then begin
     origin := Unix.gettimeofday ();
-    depth_now := 0;
     completed := []
-  end
+  end;
+  Mutex.unlock lock;
+  Domain.DLS.get depth_key := 0
 
 let enabled () = !flag
-let reset () = completed := []
+
+let reset () =
+  Mutex.lock lock;
+  completed := [];
+  Mutex.unlock lock
 
 let with_span ?(args = []) span_name f =
   if not !flag then f ()
   else begin
+    let depth_now = Domain.DLS.get depth_key in
     let start = Unix.gettimeofday () in
     let depth = !depth_now in
     incr depth_now;
@@ -32,7 +44,7 @@ let with_span ?(args = []) span_name f =
       ~finally:(fun () ->
         decr depth_now;
         let stop = Unix.gettimeofday () in
-        completed :=
+        let r =
           {
             span_name;
             start_us = (start -. !origin) *. 1e6;
@@ -40,8 +52,15 @@ let with_span ?(args = []) span_name f =
             depth;
             args;
           }
-          :: !completed)
+        in
+        Mutex.lock lock;
+        completed := r :: !completed;
+        Mutex.unlock lock)
       f
   end
 
-let records () = List.rev !completed
+let records () =
+  Mutex.lock lock;
+  let r = List.rev !completed in
+  Mutex.unlock lock;
+  r

@@ -7,7 +7,13 @@
     Collection is process-global and off by default: instrumented code
     calls {!with_span} unconditionally, which costs one branch when
     disabled.  Nesting is tracked so the viewer can reconstruct the
-    flame graph. *)
+    flame graph.
+
+    Thread-safety: safe to call from any OCaml 5 domain.  The record
+    list is mutex-protected; the nesting depth is domain-local, so a
+    span opened inside an {!Exec.Pool} worker starts at depth 0 of
+    that worker's own flame.  {!records} returns spans from every
+    domain in completion order. *)
 
 type record = {
   span_name : string;

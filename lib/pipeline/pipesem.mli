@@ -87,7 +87,13 @@ type compiled
 
 val compile : Transform.t -> compiled
 (** Compile once; reuse across {!run_compiled} calls (the plan is
-    immutable — each run gets a private instance). *)
+    immutable — each run gets a private instance).
+
+    Thread safety: a [compiled] value is immutable after [compile] and
+    may be shared across {!Exec.Pool} domains; every {!run_compiled}
+    call allocates its own {!Machine.State.t} and {!Hw.Plan.instance},
+    so concurrent runs over one [compiled] never share mutable state
+    (the {!Hw.Plan} plan/instance contract). *)
 
 val transform : compiled -> Transform.t
 val plan : compiled -> Hw.Plan.t

@@ -5,46 +5,49 @@ type outcome = {
 
 let ok o = o.failures = []
 
-let exhaustive ?(max_failures = 5) ?ext ~build ~alphabet ~length () =
+let exhaustive ?(max_failures = 5) ?ext ?pool ~build ~alphabet ~length () =
   Obs.Span.with_span "verify.bmc" @@ fun () ->
-  let programs = ref 0 in
-  let failures = ref [] in
+  (* Materialize the program space in enumeration order, then check
+     every program independently — the unit of pool fan-out.  Failures
+     keep the enumeration order, so the outcome is identical to the
+     serial sweep at any pool size. *)
   let rec enumerate prefix remaining =
-    if remaining = 0 then begin
-      let program = List.rev prefix in
-      incr programs;
-      let reason =
-        match build program with
-        | exception e -> Some ("transform failed: " ^ Printexc.to_string e)
-        | t -> (
-          let report =
-            Consistency.check ?ext ~max_instructions:(length + 4) t
-          in
-          if Consistency.ok report then None
-          else
-            Some
-              (match report.Consistency.violations with
-              | v :: _ ->
-                Printf.sprintf "instr %d register %s: expected %s, got %s"
-                  v.Consistency.tag v.Consistency.register
-                  v.Consistency.expected v.Consistency.got
-              | [] -> (
-                match report.Consistency.outcome with
-                | Pipeline.Pipesem.Deadlocked -> "deadlock"
-                | Pipeline.Pipesem.Out_of_cycles -> "out of cycles"
-                | Pipeline.Pipesem.Completed -> "lemma or final-state failure")))
-      in
-      match reason with
-      | None -> ()
-      | Some r ->
-        if List.length !failures < max_failures then
-          failures := (program, r) :: !failures
-    end
+    if remaining = 0 then [ List.rev prefix ]
     else
-      List.iter (fun insn -> enumerate (insn :: prefix) (remaining - 1)) alphabet
+      List.concat_map
+        (fun insn -> enumerate (insn :: prefix) (remaining - 1))
+        alphabet
   in
-  enumerate [] length;
-  { programs = !programs; failures = List.rev !failures }
+  let programs = enumerate [] length in
+  let check program =
+    match build program with
+    | exception e -> Some ("transform failed: " ^ Printexc.to_string e)
+    | t -> (
+      let report = Consistency.check ?ext ~max_instructions:(length + 4) t in
+      if Consistency.ok report then None
+      else
+        Some
+          (match report.Consistency.violations with
+          | v :: _ ->
+            Printf.sprintf "instr %d register %s: expected %s, got %s"
+              v.Consistency.tag v.Consistency.register
+              v.Consistency.expected v.Consistency.got
+          | [] -> (
+            match report.Consistency.outcome with
+            | Pipeline.Pipesem.Deadlocked -> "deadlock"
+            | Pipeline.Pipesem.Out_of_cycles -> "out of cycles"
+            | Pipeline.Pipesem.Completed -> "lemma or final-state failure")))
+  in
+  let checked =
+    Exec.Pool.map_opt pool (fun program -> (program, check program)) programs
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (program, Some reason) :: rest -> (program, reason) :: take (n - 1) rest
+    | (_, None) :: rest -> take n rest
+  in
+  { programs = List.length programs; failures = take max_failures checked }
 
 let pp ppf o =
   Format.fprintf ppf "exhaustive check: %d programs, %d failures@." o.programs

@@ -22,6 +22,7 @@ val ok : outcome -> bool
 val exhaustive :
   ?max_failures:int ->
   ?ext:Pipeline.Pipesem.ext_model ->
+  ?pool:Exec.Pool.t ->
   build:(int list -> Pipeline.Transform.t) ->
   alphabet:int list ->
   length:int ->
@@ -31,6 +32,10 @@ val exhaustive :
     [|alphabet|^length] programs, builds the transformed machine for
     each (the program usually lands in instruction-memory init), and
     runs the full consistency check.  Keep [|alphabet|^length] modest:
-    it is a product with the per-program simulation cost. *)
+    it is a product with the per-program simulation cost.
+
+    With [pool], programs are checked concurrently (each check builds
+    its own machine and plan); failures are reported in enumeration
+    order, identically to the serial sweep. *)
 
 val pp : Format.formatter -> outcome -> unit

@@ -257,3 +257,8 @@ let check_one ~seed ~program_length =
     else
       Error
         (Format.asprintf "%a: %a" pp_params p Consistency.pp_report report))
+
+let check_many ?pool ?(program_length = 30) seeds =
+  Exec.Pool.map_opt pool
+    (fun seed -> (seed, check_one ~seed ~program_length))
+    seeds

@@ -41,4 +41,12 @@ val check_one : seed:int -> program_length:int -> (unit, string) result
 (** Sample a machine and a program, transform, co-simulate against the
     sequential semantics, and report. *)
 
+val check_many :
+  ?pool:Exec.Pool.t -> ?program_length:int -> int list ->
+  (int * (unit, string) result) list
+(** {!check_one} for every seed (default [program_length] 30),
+    fanned out over the pool when given: the machine-space BMC sweep.
+    Each seed builds its own machine, plan and traces, so results are
+    independent and returned in seed order. *)
+
 val pp_params : Format.formatter -> params -> unit

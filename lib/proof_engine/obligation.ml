@@ -173,19 +173,40 @@ let check_top_structural (t : Transform.t) (r : Transform.rule) =
     | Equiv.Width_mismatch (a, b) ->
       Error (Printf.sprintf "width mismatch %d vs %d" a b))
 
-let discharge_all ?ext ?max_instructions ?reference ?compiled
+let discharge_all ?ext ?max_instructions ?reference ?compiled ?pool
     (t : Transform.t) =
   Obs.Span.with_span "verify.obligations" @@ fun () ->
   let obs = generate t in
+  (* Discharge in two parallel waves.  Wave 1: the co-simulation run
+     and the per-rule structural proofs are mutually independent (the
+     BDD checker builds a private manager per rule; the co-simulation
+     instantiates the shared immutable plan privately).  Wave 2:
+     everything that consumes the recorded trace.  Results are
+     assembled in the fixed obligation order, so the statuses are
+     bit-identical to the serial discharge. *)
+  let wave1 =
+    (fun () ->
+      `Report (Consistency.check ?ext ?max_instructions ?reference ?compiled t))
+    :: List.map
+         (fun (r : Transform.rule) () ->
+           `Top (r.Transform.rule_label, check_top_structural t r))
+         t.Transform.rules
+  in
+  let wave1 = Exec.Pool.map_opt pool (fun task -> task ()) wave1 in
   let report =
-    Consistency.check ?ext ?max_instructions ?reference ?compiled t
+    match wave1 with `Report r :: _ -> r | _ -> assert false
+  in
+  let top_results =
+    List.filter_map
+      (function `Top (label, res) -> Some (label, res) | `Report _ -> None)
+      wave1
   in
   (* A short symbolic co-simulation strengthens the data-consistency
      evidence from "on this run" to "for all initial data" when the
      machine's symbolic state is small enough.  Only attempted without
      an external reference (the symbolic checker uses the machine's own
      sequential semantics) and without ext stalls. *)
-  let symbolic_evidence =
+  let symbolic_task () =
     match (reference, ext) with
     | None, None -> (
       let small =
@@ -214,10 +235,23 @@ let discharge_all ?ext ?max_instructions ?reference ?compiled
     | _ -> None
   in
   let n = t.Transform.base.Spec.n_stages in
-  let ti = Trace_invariants.check ~n_stages:n report.Consistency.trace in
-  let live =
-    Liveness.check ?ext ?compiled ~stop_after:report.Consistency.instructions
-      t
+  let wave2 =
+    Exec.Pool.map_opt pool
+      (fun task -> task ())
+      [
+        (fun () -> `Sym (symbolic_task ()));
+        (fun () ->
+          `Ti (Trace_invariants.check ~n_stages:n report.Consistency.trace));
+        (fun () ->
+          `Live
+            (Liveness.check ?ext ?compiled
+               ~stop_after:report.Consistency.instructions t));
+      ]
+  in
+  let symbolic_evidence, ti, live =
+    match wave2 with
+    | [ `Sym s; `Ti ti; `Live l ] -> (s, ti, l)
+    | _ -> assert false
   in
   let lemma1_status =
     match report.Consistency.lemma1 with
@@ -277,17 +311,10 @@ let discharge_all ?ext ?max_instructions ?reference ?compiled
            consistency_status (String.sub id 3 (String.length id - 3))
          else if starts "TOP." then begin
            let label = String.sub id 4 (String.length id - 4) in
-           match
-             List.find_opt
-               (fun (r : Transform.rule) ->
-                 String.equal r.Transform.rule_label label)
-               t.Transform.rules
-           with
+           match List.assoc_opt label top_results with
            | None -> Failed "rule not found"
-           | Some r -> (
-             match check_top_structural t r with
-             | Ok msg -> Discharged msg
-             | Error msg -> Failed msg)
+           | Some (Ok msg) -> Discharged msg
+           | Some (Error msg) -> Failed msg
          end
          else if starts "L2." || starts "L3." || starts "SP." then
            cosim_global_status ()

@@ -40,12 +40,22 @@ val discharge_all :
   ?max_instructions:int ->
   ?reference:Machine.Seqsem.trace ->
   ?compiled:Pipeline.Pipesem.compiled ->
+  ?pool:Exec.Pool.t ->
   Pipeline.Transform.t ->
   obligation list
 (** Generate and check.  Structural obligations are checked on the
     netlist; behavioural ones by one co-simulation run with full trace
     recording.  [compiled] reuses an existing evaluation plan for the
-    co-simulations. *)
+    co-simulations.
+
+    With [pool], the independent checks fan out over the domain pool:
+    first the co-simulation alongside every per-rule structural (BDD)
+    proof, then the trace-invariant re-derivation, the liveness run
+    and the symbolic strengthening concurrently.  Each task either
+    builds private state (a BDD manager per rule) or instantiates the
+    shared immutable plan privately, and the statuses are assembled in
+    the fixed obligation order — the result is bit-identical to the
+    serial discharge. *)
 
 val all_discharged : obligation list -> bool
 

@@ -7,7 +7,15 @@
     run / trace / attribute / verify entry points used by {!Sweep},
     the benchmark harness and the [pipegen] CLI all dispatch through
     it, so a machine is compiled once per selection no matter how many
-    views of it are requested. *)
+    views of it are requested.
+
+    Thread safety: the plan is held in a [Lazy.t], and OCaml lazy
+    suspensions are {e not} domain-safe — two domains racing the first
+    force is undefined behaviour.  Either force it on one domain
+    before sharing ({!compiled} — the resulting
+    {!Pipeline.Pipesem.compiled} is immutable and freely shareable) or,
+    as {!Sweep} does, build one [t] per {!Exec.Pool} task and never
+    share it. *)
 
 type t
 

@@ -50,16 +50,27 @@ let run_program ?(config = default) (p : Dlx.Progs.t) =
   in
   Stats.of_stats ~label:p.Dlx.Progs.prog_name ~n_stages:5 stats
 
-let dependency_sweep ?config ~biases ~length ~seed () =
-  List.map
-    (fun bias ->
+(* Each sweep point owns its whole pipeline — program generation,
+   transformation, plan compilation, simulation, verification — so the
+   points share no mutable state and fan out over the pool verbatim.
+   Pool.map preserves input order: the rows are bit-identical to the
+   serial execution whatever the pool size. *)
+let sweep_span name ?pool points f =
+  let j =
+    match pool with None -> 1 | Some p -> Exec.Pool.size p
+  in
+  Obs.Span.with_span name
+    ~args:
+      [ ("points", string_of_int (List.length points));
+        ("j", string_of_int j) ]
+  @@ fun () -> Exec.Pool.map_opt pool f points
+
+let dependency_sweep ?config ?pool ~biases ~length ~seed () =
+  sweep_span "sweep.dependency" ?pool biases (fun bias ->
       let p = Gen.generate ~seed ~length (Gen.alu_only ~dependency_bias:bias) in
       (bias, run_program ?config p))
-    biases
 
-let branch_sweep ?config ~taken_fracs ~length ~seed () =
-  List.map
-    (fun tf ->
+let branch_sweep ?config ?pool ~taken_fracs ~length ~seed () =
+  sweep_span "sweep.branch" ?pool taken_fracs (fun tf ->
       let p = Gen.generate ~seed ~length (Gen.branch_heavy ~taken_frac:tf) in
       (tf, run_program ?config p))
-    taken_fracs

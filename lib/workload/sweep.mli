@@ -29,10 +29,16 @@ val memory_wait_states : every:int -> wait:int -> Pipeline.Pipesem.ext_model
     stall condition... e.g. caused by slow memory". *)
 
 val dependency_sweep :
-  ?config:config -> biases:float list -> length:int -> seed:int -> unit ->
+  ?config:config -> ?pool:Exec.Pool.t ->
+  biases:float list -> length:int -> seed:int -> unit ->
   (float * Stats.row) list
-(** CPI as a function of the operand dependency bias. *)
+(** CPI as a function of the operand dependency bias.  With [pool],
+    the points fan out over the domain pool, one {!Sim.t} per point
+    (generation, transformation, plan compilation and simulation are
+    all per-task); rows are bit-identical to the serial run and in
+    input order. *)
 
 val branch_sweep :
-  ?config:config -> taken_fracs:float list -> length:int -> seed:int -> unit ->
+  ?config:config -> ?pool:Exec.Pool.t ->
+  taken_fracs:float list -> length:int -> seed:int -> unit ->
   (float * Stats.row) list

@@ -1,0 +1,225 @@
+(* The domain pool (Exec.Pool): order preservation and bit-identical
+   results at every pool size, exception propagation with batch
+   draining, pool reuse, nested (re-entrant) maps, utilization stats —
+   and the sweep determinism regression: parallel sweep rows must equal
+   the serial rows field for field. *)
+
+module Pool = Exec.Pool
+
+(* Explicit qcheck seeding: QCHECK_SEED when set, a fixed default
+   otherwise, threaded into every property and printed with each
+   counterexample so a failure replays with
+   `QCHECK_SEED=<n> dune runtest`. *)
+let qcheck_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some n -> n
+  | None -> 421_337
+
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed |]) test
+
+(* ------------------------------------------------------------------ *)
+(* Property: Pool.map is List.map, at any pool size                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_map_is_list_map =
+  QCheck.Test.make ~name:"Pool.map = List.map (order, j in {1,2,4})"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (j, xs) ->
+         Printf.sprintf "QCHECK_SEED=%d j=%d [%s]" qcheck_seed j
+           (String.concat "; " (List.map string_of_int xs)))
+       QCheck.Gen.(
+         pair (oneofl [ 1; 2; 4 ]) (list_size (int_bound 64) small_int)))
+    (fun (j, xs) ->
+      let f x = (x * 7919) lxor (x lsl 3) in
+      Pool.with_pool ~size:j (fun pool -> Pool.map pool f xs) = List.map f xs)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_exception_propagation () =
+  Pool.with_pool ~size:4 @@ fun pool ->
+  let inputs = List.init 8 Fun.id in
+  (match
+     Pool.map pool
+       (fun x -> if x = 3 then failwith "boom3" else x * 2)
+       inputs
+   with
+  | (_ : int list) -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom3" msg);
+  (* The batch drained and the pool survived: the next map works. *)
+  Alcotest.(check (list int)) "pool reusable after failure"
+    (List.map (fun x -> x + 1) inputs)
+    (Pool.map pool (fun x -> x + 1) inputs)
+
+let test_pool_reuse_and_stats () =
+  Pool.with_pool ~size:3 @@ fun pool ->
+  Pool.reset_stats pool;
+  let n_batches = 10 and n_tasks = 24 in
+  for i = 1 to n_batches do
+    let expect = List.init n_tasks (fun x -> x * i) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "batch %d" i)
+      expect
+      (Pool.map pool (fun x -> x * i) (List.init n_tasks Fun.id))
+  done;
+  let stats = Pool.stats pool in
+  Alcotest.(check int) "one stats row per worker" 3 (List.length stats);
+  Alcotest.(check int) "every task accounted"
+    (n_batches * n_tasks)
+    (List.fold_left (fun a (s : Pool.domain_stats) -> a + s.Pool.tasks) 0 stats)
+
+let test_nested_map () =
+  (* A task that itself maps on the same pool: the helping caller makes
+     this deadlock-free even when all workers are busy. *)
+  Pool.with_pool ~size:2 @@ fun pool ->
+  let result =
+    Pool.map pool
+      (fun row -> Pool.map pool (fun col -> (row * 10) + col) [ 0; 1; 2 ])
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested rows"
+    [ [ 0; 1; 2 ]; [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ] ]
+    result
+
+let test_map_reduce_ordered () =
+  (* The fold must run in input order regardless of completion order:
+     string concatenation is order-sensitive. *)
+  Pool.with_pool ~size:4 @@ fun pool ->
+  let s =
+    Pool.map_reduce pool
+      ~map:string_of_int
+      ~fold:(fun acc x -> acc ^ x)
+      ~init:""
+      (List.init 10 Fun.id)
+  in
+  Alcotest.(check string) "ordered fold" "0123456789" s
+
+let test_size_one_inline () =
+  let pool = Pool.create ~size:1 () in
+  Alcotest.(check int) "size" 1 (Pool.size pool);
+  Alcotest.(check (list int)) "inline map" [ 2; 4; 6 ]
+    (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+let test_shutdown_rejects () =
+  let pool = Pool.create ~size:2 () in
+  Alcotest.(check (list int)) "works before" [ 1 ]
+    (Pool.map pool Fun.id [ 1 ]);
+  Pool.shutdown pool;
+  match Pool.map pool Fun.id [ 1 ] with
+  | (_ : int list) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_invalid_size () =
+  match Pool.create ~size:0 () with
+  | (_ : Pool.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_map_opt () =
+  Alcotest.(check (list int)) "None = List.map" [ 2; 3 ]
+    (Pool.map_opt None succ [ 1; 2 ]);
+  Pool.with_pool ~size:2 @@ fun pool ->
+  Alcotest.(check (list int)) "Some = Pool.map" [ 2; 3 ]
+    (Pool.map_opt (Some pool) succ [ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism regression: -j 4 rows = serial rows, field for    *)
+(* field (incl. the dhaz/ext/squash columns)                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_rows_equal what (serial : (float * Workload.Stats.row) list)
+    (parallel : (float * Workload.Stats.row) list) =
+  Alcotest.(check int)
+    (what ^ ": same point count")
+    (List.length serial) (List.length parallel);
+  List.iter2
+    (fun (xs, (s : Workload.Stats.row)) (xp, (p : Workload.Stats.row)) ->
+      let ck name field = Alcotest.(check int) (what ^ ": " ^ name) (field s) (field p) in
+      Alcotest.(check (float 0.0)) (what ^ ": point") xs xp;
+      Alcotest.(check string) (what ^ ": label") s.Workload.Stats.label
+        p.Workload.Stats.label;
+      ck "instructions" (fun r -> r.Workload.Stats.instructions);
+      ck "cycles" (fun r -> r.Workload.Stats.cycles);
+      Alcotest.(check (float 0.0)) (what ^ ": cpi") s.Workload.Stats.cpi
+        p.Workload.Stats.cpi;
+      Alcotest.(check (float 0.0))
+        (what ^ ": speedup")
+        s.Workload.Stats.speedup_vs_sequential
+        p.Workload.Stats.speedup_vs_sequential;
+      ck "fetch_stall_cycles" (fun r -> r.Workload.Stats.fetch_stall_cycles);
+      ck "dhaz_cycles" (fun r -> r.Workload.Stats.dhaz_cycles);
+      ck "ext_cycles" (fun r -> r.Workload.Stats.ext_cycles);
+      ck "rollbacks" (fun r -> r.Workload.Stats.rollbacks);
+      ck "squashed" (fun r -> r.Workload.Stats.squashed))
+    serial parallel
+
+let test_dependency_sweep_deterministic () =
+  let biases = [ 0.0; 0.5; 1.0 ] in
+  let serial =
+    Workload.Sweep.dependency_sweep ~biases ~length:60 ~seed:3 ()
+  in
+  Pool.with_pool ~size:4 @@ fun pool ->
+  let parallel =
+    Workload.Sweep.dependency_sweep ~pool ~biases ~length:60 ~seed:3 ()
+  in
+  check_rows_equal "dependency" serial parallel
+
+let test_branch_sweep_deterministic () =
+  let taken_fracs = [ 0.0; 0.5; 1.0 ] in
+  let serial =
+    Workload.Sweep.branch_sweep ~taken_fracs ~length:60 ~seed:9 ()
+  in
+  Pool.with_pool ~size:4 @@ fun pool ->
+  let parallel =
+    Workload.Sweep.branch_sweep ~pool ~taken_fracs ~length:60 ~seed:9 ()
+  in
+  check_rows_equal "branch" serial parallel
+
+let test_verify_deterministic () =
+  (* Core.verify with and without a pool: same verdict, same reports. *)
+  let tr = Core.Toy.transform ~program:Core.Toy.default_program () in
+  let serial = Core.verify tr in
+  let parallel = Pool.with_pool ~size:4 (fun pool -> Core.verify ~pool tr) in
+  Alcotest.(check bool) "serial verdict" true (Core.verified serial);
+  Alcotest.(check bool) "parallel verdict" true (Core.verified parallel);
+  Alcotest.(check bool) "same consistency report" true
+    (serial.Core.consistency = parallel.Core.consistency);
+  Alcotest.(check bool) "same liveness report" true
+    (serial.Core.liveness = parallel.Core.liveness);
+  Alcotest.(check int) "same obligation count"
+    (List.length serial.Core.obligations)
+    (List.length parallel.Core.obligations)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "reuse and stats" `Quick
+            test_pool_reuse_and_stats;
+          Alcotest.test_case "nested map" `Quick test_nested_map;
+          Alcotest.test_case "map_reduce ordered" `Quick
+            test_map_reduce_ordered;
+          Alcotest.test_case "size 1 inline" `Quick test_size_one_inline;
+          Alcotest.test_case "shutdown rejects" `Quick test_shutdown_rejects;
+          Alcotest.test_case "invalid size" `Quick test_invalid_size;
+          Alcotest.test_case "map_opt" `Quick test_map_opt;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "dependency sweep -j4 = serial" `Quick
+            test_dependency_sweep_deterministic;
+          Alcotest.test_case "branch sweep -j4 = serial" `Quick
+            test_branch_sweep_deterministic;
+          Alcotest.test_case "Core.verify -j4 = serial" `Quick
+            test_verify_deterministic;
+        ] );
+      ("properties", List.map to_alcotest [ prop_map_is_list_map ]);
+    ]

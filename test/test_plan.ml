@@ -7,6 +7,18 @@ module E = Hw.Expr
 module B = Hw.Bitvec
 module P = Hw.Plan
 
+(* Explicit qcheck seeding: QCHECK_SEED when set, a fixed default
+   otherwise, threaded into the properties and printed with each
+   counterexample so a failure replays with
+   `QCHECK_SEED=<n> dune runtest`. *)
+let qcheck_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some n -> n
+  | None -> 421_337
+
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed |]) test
+
 let bv ~width v = B.make ~width (v land ((1 lsl width) - 1))
 
 (* A deterministic register file shared by every evaluation path. *)
@@ -113,7 +125,9 @@ let arb_expr_seed =
         @ if w = mem_width then [ file_read ] else [])
   in
   QCheck.make
-    ~print:(fun (e, seed) -> Printf.sprintf "seed %d: %s" seed (E.to_string e))
+    ~print:(fun (e, seed) ->
+      Printf.sprintf "QCHECK_SEED=%d value seed %d: %s" qcheck_seed seed
+        (E.to_string e))
     QCheck.Gen.(
       pair
         (int_range 1 16 >>= fun w -> gen 4 w)
@@ -299,6 +313,5 @@ let () =
             test_env_of_assoc_semantics;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_plan_matches_interpreter ] );
+        List.map to_alcotest [ prop_plan_matches_interpreter ] );
     ]
