@@ -658,11 +658,61 @@ let perf_parallel ~jobs () =
   add_entry (Obs.Export.entry ~ns_per_run:speedup "PERF.par_sweep_speedup")
 
 (* ------------------------------------------------------------------ *)
+(* CAMPAIGN: fault-injection detection coverage (smoke campaign)       *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic fault-injection campaign on the 3-stage toy
+   machine: ~20 mutants sampled with a fixed seed, plus the
+   deliberately wedged engine, which must be timed out and classified
+   without aborting the run.  The classification counts become a
+   breakdown in the export and regress like CPI: any drift in
+   detection coverage fails @check, and the counts must be
+   bit-identical at every pool size. *)
+let campaign_smoke ~jobs () =
+  section "CAMPAIGN"
+    (Printf.sprintf
+       "Fault-injection detection coverage - toy3 smoke campaign (-j %d)" jobs);
+  let tr = Core.Toy.transform ~program:Core.Toy.default_program () in
+  let seed = 42 in
+  let mutants =
+    Fault.Mutate.sample ~seed ~count:19
+      (Fault.Mutate.enumerate ~transients:6 ~seed tr)
+    @ [ Fault.Mutate.apply (Fault.Mutate.Hang { at_cycle = 5 }) tr ]
+  in
+  let target =
+    Fault.Campaign.make_target
+      ~instructions:(List.length Core.Toy.default_program) tr
+  in
+  let outcomes, summary =
+    Exec.Pool.with_pool ~size:jobs @@ fun pool ->
+    Fault.Campaign.run ~pool ~timeout_s:2.0 target mutants
+  in
+  List.iter (fun o -> Format.printf "  %a@." Fault.Campaign.pp_outcome o)
+    outcomes;
+  Format.printf "  %a@." Fault.Campaign.pp_summary summary;
+  add_entry
+    (Obs.Export.entry
+       ~breakdown:(Fault.Campaign.breakdown summary)
+       "CAMPAIGN.toy3_smoke");
+  if not (Fault.Campaign.ok summary) then begin
+    Format.printf "CAMPAIGN FAILED: missed or aborted mutants@.";
+    exit 1
+  end;
+  if summary.Fault.Campaign.timed_out <> 1 then begin
+    Format.printf
+      "CAMPAIGN FAILED: the wedged-engine mutant was not timed out@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Baseline regression guard (@check): compare the semantic fields of
    this run's export against the committed BENCH_pipeline.json.  CPI,
    instruction and cycle counts are deterministic — any drift means
-   the simulators changed behaviour.  Wall-clock (ns_per_run) fields
-   are reported but never fail the build.                              *)
+   the simulators changed behaviour.  Breakdowns of non-timing entries
+   (hazard-attribution terms, campaign detection coverage) are
+   semantic too and diffed the same way; wall-clock (ns_per_run)
+   fields — and the per-worker breakdowns attached to them — are
+   reported but never fail the build.                                  *)
 (* ------------------------------------------------------------------ *)
 
 let compare_baseline ~path =
@@ -698,6 +748,22 @@ let compare_baseline ~path =
           check "instructions" pp_io b.Obs.Export.instructions
             e.Obs.Export.instructions;
           check "cycles" pp_io b.Obs.Export.cycles e.Obs.Export.cycles;
+          (* Breakdowns on timing entries hold per-worker wall clock;
+             everywhere else they are semantic (hazard terms, campaign
+             classification counts) and must match key for key. *)
+          (if b.Obs.Export.ns_per_run = None && e.Obs.Export.ns_per_run = None
+           then
+             let pp_f ppf = Format.fprintf ppf "%g" in
+             List.iter
+               (fun (k, bv) ->
+                 match List.assoc_opt k e.Obs.Export.breakdown with
+                 | Some ev -> check ("breakdown." ^ k) pp_f bv ev
+                 | None ->
+                   drift :=
+                     Printf.sprintf "%s: breakdown key %s disappeared"
+                       b.Obs.Export.experiment k
+                     :: !drift)
+               b.Obs.Export.breakdown);
           match (b.Obs.Export.ns_per_run, e.Obs.Export.ns_per_run) with
           | Some old_ns, Some new_ns when old_ns > 0.0 ->
             Format.printf "  %-44s wall %+.0f%% (informational)@."
@@ -809,14 +875,15 @@ let run_bechamel () =
 
 (* --smoke: the fast subset wired into the @check alias — T1, F2 and
    C1 on one tiny kernel, the compiled-vs-interpreted perf check, the
-   parallel-sweep determinism check, plus the export round-trip
-   check. *)
+   parallel-sweep determinism check, the fault-injection smoke
+   campaign, plus the export round-trip check. *)
 let smoke ~jobs () =
   table1 ();
   figure2 ();
   case_study ~kernels:[ Dlx.Progs.fib 5 ] ();
   perf_compiled ();
   perf_parallel ~jobs ();
+  campaign_smoke ~jobs ();
   write_export ();
   Format.printf "@.smoke ok.@."
 
@@ -837,6 +904,7 @@ let full ~jobs () =
   retime_sweep ();
   perf_compiled ();
   perf_parallel ~jobs ();
+  campaign_smoke ~jobs ();
   run_bechamel ();
   write_export ();
   Format.printf "@.all experiments reproduced.@."

@@ -7,6 +7,31 @@
 
 let machines = [ "toy3"; "dlx5"; "dlx6"; "dlx5_intr"; "dlx5_bp" ]
 
+(* Every user-facing error funnels through [guard]: [Usage] is a
+   command-line mistake (exit 2), [Failed_check] a verification or
+   campaign failure (exit 3), anything else an internal error reported
+   without a backtrace (exit 1). *)
+exception Usage of string
+exception Failed_check of string
+
+let guard f =
+  try f () with
+  | Usage msg ->
+    Format.eprintf "pipegen: %s@." msg;
+    exit 2
+  | Failed_check msg ->
+    Format.eprintf "pipegen: %s@." msg;
+    exit 3
+  | Pipeline.Transform.Transform_error msg ->
+    Format.eprintf "pipegen: transform error: %s@." msg;
+    exit 1
+  | Hw.Expr.Ill_typed msg ->
+    Format.eprintf "pipegen: ill-typed expression: %s@." msg;
+    exit 1
+  | Sys_error msg | Failure msg ->
+    Format.eprintf "pipegen: %s@." msg;
+    exit 1
+
 let kernels () =
   List.map
     (fun (p : Dlx.Progs.t) -> (p.Dlx.Progs.prog_name, p))
@@ -18,18 +43,20 @@ let kernels () =
 type selection = {
   sim : Workload.Sim.t;
   reference : Machine.Seqsem.trace option;
+  disasm : (int -> string option) option;
 }
 
-let selection ?reference ~instructions tr =
-  { sim = Workload.Sim.make ?reference ~instructions tr; reference }
+let selection ?reference ?disasm ~instructions tr =
+  { sim = Workload.Sim.make ?reference ~instructions tr; reference; disasm }
 
 let sel_tr s = Workload.Sim.transform s.sim
 let sel_instructions s = Workload.Sim.instructions s.sim
 
 let unknown ~what ~name ~available =
-  Format.eprintf "unknown %s %s; available: %s@." what name
-    (String.concat ", " available);
-  exit 2
+  raise
+    (Usage
+       (Printf.sprintf "unknown %s %s; available: %s" what name
+          (String.concat ", " available)))
 
 (* Exact kernel name, or a unique prefix of one ("fib" -> "fib_10"). *)
 let find_kernel name =
@@ -80,17 +107,18 @@ let select ~machine ~kernel ~program_file ~interlock_only ~tree =
           in
           Dlx.Progs.make ~config (Filename.basename path) body
         | exception Dlx.Asm_parser.Parse_error { line; message } ->
-          Format.eprintf "%s:%d: %s@." path line message;
-          exit 2)
+          raise (Usage (Printf.sprintf "%s:%d: %s" path line message)))
       | None, None -> Dlx.Progs.fib 10
       | None, Some name -> find_kernel name
     in
     let program = Dlx.Progs.program p in
     let n = p.Dlx.Progs.dyn_instructions in
-    selection
-      ~reference:
-        (Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data variant ~program
-           ~instructions:n)
+    let reference =
+      Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data variant ~program
+        ~instructions:n
+    in
+    selection ~reference
+      ~disasm:(Dlx.Seq_dlx.disasm ~reference ~program)
       ~instructions:n
       (Dlx.Seq_dlx.transform ~options ~data:p.Dlx.Progs.data variant ~program)
   in
@@ -108,11 +136,13 @@ let select ~machine ~kernel ~program_file ~interlock_only ~tree =
            ~program:(Dlx.Progs.program p))
         ~at:3
     in
-    selection
-      ~reference:
-        (Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
-           ~program:(Dlx.Progs.program p)
-           ~instructions:p.Dlx.Progs.dyn_instructions)
+    let reference =
+      Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
+        ~program:(Dlx.Progs.program p)
+        ~instructions:p.Dlx.Progs.dyn_instructions
+    in
+    selection ~reference
+      ~disasm:(Dlx.Seq_dlx.disasm ~reference ~program:(Dlx.Progs.program p))
       ~instructions:p.Dlx.Progs.dyn_instructions
       (Pipeline.Transform.run ~options
          ~hints:(Dlx.Seq_dlx.hints Dlx.Seq_dlx.Base)
@@ -176,10 +206,7 @@ let jobs_arg =
 (* Run [f pool] inside a pool of [jobs] domains; [-j 1] passes no pool
    at all (the pure serial path, not even an inline pool). *)
 let with_jobs jobs f =
-  if jobs < 1 then begin
-    Format.eprintf "-j must be at least 1@.";
-    exit 2
-  end
+  if jobs < 1 then raise (Usage "-j must be at least 1")
   else if jobs = 1 then f None
   else Exec.Pool.with_pool ~size:jobs (fun pool -> f (Some pool))
 
@@ -188,6 +215,7 @@ let common machine kernel program_file interlock tree =
 
 let show_cmd =
   let run machine kernel program_file interlock tree =
+    guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
     Format.printf "%a@." Machine.Spec.pp_summary
       (sel_tr s).Pipeline.Transform.base;
@@ -202,6 +230,7 @@ let show_cmd =
 
 let verilog_cmd =
   let run machine kernel program_file interlock tree =
+    guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
     print_string (Core.verilog (sel_tr s));
     `Ok ()
@@ -215,6 +244,7 @@ let verilog_cmd =
 
 let verify_cmd =
   let run machine kernel program_file interlock tree jobs =
+    guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
     let v =
       with_jobs jobs @@ fun pool ->
@@ -239,7 +269,7 @@ let verify_cmd =
     end
     else begin
       Format.printf "VERIFICATION FAILED@.";
-      exit 1
+      raise (Failed_check "verification failed")
     end
   in
   Cmd.v
@@ -252,6 +282,7 @@ let verify_cmd =
 
 let proof_cmd =
   let run machine kernel program_file interlock tree jobs =
+    guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
     let v =
       with_jobs jobs @@ fun pool ->
@@ -276,6 +307,7 @@ let run_cmd =
     Cmdliner.Arg.(value & flag & info [ "diagram"; "d" ] ~doc)
   in
   let run machine kernel program_file interlock tree diagram =
+    guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
     let result =
       if diagram then begin
@@ -293,12 +325,9 @@ let run_cmd =
     Format.printf "%a" Workload.Stats.pp_table [ row ];
     (match result.Pipeline.Pipesem.outcome with
     | Pipeline.Pipesem.Completed -> ()
-    | Pipeline.Pipesem.Deadlocked ->
-      Format.printf "DEADLOCK@.";
-      exit 1
+    | Pipeline.Pipesem.Deadlocked -> raise (Failed_check "simulation deadlocked")
     | Pipeline.Pipesem.Out_of_cycles ->
-      Format.printf "out of cycles@.";
-      exit 1);
+      raise (Failed_check "simulation ran out of cycles"));
     `Ok ()
   in
   Cmd.v
@@ -315,6 +344,7 @@ let trace_cmd =
       value & opt string "pipeline.vcd" & info [ "output"; "o" ] ~docv:"FILE" ~doc)
   in
   let run machine kernel program_file interlock tree out =
+    guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
     let result = Workload.Sim.trace_vcd ~path:out s.sim in
     Format.printf "wrote %s (%d cycles, %d instructions)@." out
@@ -332,6 +362,7 @@ let trace_cmd =
 
 let dot_cmd =
   let run machine kernel program_file interlock tree =
+    guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
     print_string (Pipeline.Dot.forwarding_graph (sel_tr s));
     `Ok ()
@@ -358,16 +389,14 @@ let stats_cmd =
     Cmdliner.Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run machine kernel program_file interlock tree json =
+    guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
     let result, summary = Workload.Sim.attribute s.sim in
     (match result.Pipeline.Pipesem.outcome with
     | Pipeline.Pipesem.Completed -> ()
-    | Pipeline.Pipesem.Deadlocked ->
-      Format.eprintf "DEADLOCK@.";
-      exit 1
+    | Pipeline.Pipesem.Deadlocked -> raise (Failed_check "simulation deadlocked")
     | Pipeline.Pipesem.Out_of_cycles ->
-      Format.eprintf "out of cycles@.";
-      exit 1);
+      raise (Failed_check "simulation ran out of cycles"));
     if json then
       print_endline (Obs.Json.to_string (Obs.Hazard.summary_to_json summary))
     else begin
@@ -396,6 +425,7 @@ let profile_cmd =
       & info [ "output"; "o" ] ~docv:"FILE" ~doc)
   in
   let run machine kernel program_file interlock tree out jobs =
+    guard @@ fun () ->
     Obs.Span.set_enabled true;
     let s = common machine kernel program_file interlock tree in
     let (_ : Pipeline.Pipesem.result) = Workload.Sim.run s.sim in
@@ -427,6 +457,7 @@ let symbolic_cmd =
     Cmdliner.Arg.(value & opt int 8 & info [ "instructions"; "n" ] ~doc)
   in
   let run machine kernel program_file interlock tree insns =
+    guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
     let outcome =
       Proof_engine.Symsim.check
@@ -437,7 +468,8 @@ let symbolic_cmd =
     match outcome with
     | Proof_engine.Symsim.Proved _ -> `Ok ()
     | Proof_engine.Symsim.Control_depends_on_data _ -> `Ok ()
-    | Proof_engine.Symsim.Mismatch _ -> exit 1
+    | Proof_engine.Symsim.Mismatch _ ->
+      raise (Failed_check "symbolic co-simulation found a mismatch")
   in
   Cmd.v
     (Cmd.info "symbolic"
@@ -447,6 +479,118 @@ let symbolic_cmd =
       ret
         (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
        $ tree_arg $ insn_arg))
+
+let campaign_cmd =
+  let seed_arg =
+    let doc = "Random seed for mutant enumeration and sampling." in
+    Cmdliner.Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let mutants_arg =
+    let doc = "Run at most $(docv) mutants (a seeded-shuffle sample)." in
+    Cmdliner.Arg.(
+      value & opt (some int) None & info [ "mutants"; "n" ] ~docv:"N" ~doc)
+  in
+  let transients_arg =
+    let doc = "Number of seeded transient bit-flip mutants." in
+    Cmdliner.Arg.(value & opt int 8 & info [ "transients" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Per-mutant budget in seconds; a mutant past it is cancelled \
+       cooperatively and classified timed_out."
+    in
+    Cmdliner.Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SEC" ~doc)
+  in
+  let hang_arg =
+    let doc =
+      "Include the wedged-engine mutant (spins until the timeout fires)."
+    in
+    Cmdliner.Arg.(value & flag & info [ "hang" ] ~doc)
+  in
+  let bmc_arg =
+    let doc =
+      "Add an exhaustive program sweep per mutant (toy3 only: every program \
+       over a small alphabet)."
+    in
+    Cmdliner.Arg.(value & flag & info [ "bmc" ] ~doc)
+  in
+  let checkpoint_arg =
+    let doc = "JSON checkpoint file, rewritten after every batch." in
+    Cmdliner.Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc = "Skip mutants already classified in the checkpoint file." in
+    Cmdliner.Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the outcomes as JSON on stdout." in
+    Cmdliner.Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run machine kernel program_file interlock tree jobs seed mutants
+      transients timeout hang bmc checkpoint resume json =
+    guard @@ fun () ->
+    let s = common machine kernel program_file interlock tree in
+    let tr = sel_tr s in
+    let all = Fault.Mutate.enumerate ~transients ~seed ~hang tr in
+    let selected =
+      match mutants with
+      | None -> all
+      | Some count ->
+        if count < 1 then raise (Usage "--mutants must be at least 1");
+        Fault.Mutate.sample ~seed ~count all
+    in
+    let bmc =
+      if not bmc then None
+      else if machine <> "toy3" then
+        raise (Usage "--bmc is only available for toy3")
+      else
+        let alphabet =
+          [
+            Core.Toy.encode ~dst:1 ~src1:1 ~src2:2;
+            Core.Toy.encode ~dst:2 ~src1:1 ~src2:1;
+            Core.Toy.encode ~dst:1 ~src1:2 ~src2:2;
+          ]
+        in
+        Some ((fun program -> Core.Toy.transform ~program ()), alphabet, 2)
+    in
+    let target =
+      Fault.Campaign.make_target ?reference:s.reference
+        ~instructions:(sel_instructions s) ?disasm:s.disasm ?bmc tr
+    in
+    let outcomes, summary =
+      with_jobs jobs @@ fun pool ->
+      Fault.Campaign.run ?pool ~timeout_s:timeout ?checkpoint ~resume target
+        selected
+    in
+    if json then
+      print_endline (Obs.Json.to_string (Fault.Campaign.to_json outcomes))
+    else begin
+      List.iter
+        (fun o -> Format.printf "%a@." Fault.Campaign.pp_outcome o)
+        outcomes;
+      Format.printf "%a@." Fault.Campaign.pp_summary summary
+    end;
+    if Fault.Campaign.ok summary then `Ok ()
+    else
+      raise
+        (Failed_check
+           (Format.asprintf "campaign failed: %a" Fault.Campaign.pp_summary
+              summary))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Fault-injection detection-coverage campaign: mutate the generated \
+          pipeline control, run the verification stack against every mutant, \
+          and fail on any mutant that corrupts architectural state without \
+          being detected.")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg $ jobs_arg $ seed_arg $ mutants_arg $ transients_arg
+       $ timeout_arg $ hang_arg $ bmc_arg $ checkpoint_arg $ resume_arg
+       $ json_arg))
 
 let () =
   let info =
@@ -459,4 +603,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ show_cmd; verilog_cmd; verify_cmd; proof_cmd; run_cmd; stats_cmd;
-            profile_cmd; trace_cmd; dot_cmd; symbolic_cmd ]))
+            profile_cmd; trace_cmd; dot_cmd; symbolic_cmd; campaign_cmd ]))

@@ -7,7 +7,8 @@ type verification = {
   obligations : Proof_engine.Obligation.obligation list;
 }
 
-let verify ?ext ?max_instructions ?reference ?compiled ?pool tr =
+let verify ?ext ?max_instructions ?reference ?compiled ?pool ?inject ?cancel
+    ?disasm tr =
   (* One evaluation plan serves every co-simulation below: the compiled
      plan is immutable after [compile], so sharing it across pool
      domains is safe (each run builds its own state and plan instance —
@@ -27,11 +28,11 @@ let verify ?ext ?max_instructions ?reference ?compiled ?pool tr =
         (fun () ->
           `Consistency
             (Proof_engine.Consistency.check ?ext ?max_instructions ?reference
-               ~compiled tr));
+               ~compiled ?inject ?cancel tr));
         (fun () ->
           `Obligations
             (Proof_engine.Obligation.discharge_all ?ext ?max_instructions
-               ?reference ~compiled ?pool tr));
+               ?reference ~compiled ?pool ?inject ?cancel ?disasm tr));
       ]
   in
   let consistency =
@@ -42,10 +43,36 @@ let verify ?ext ?max_instructions ?reference ?compiled ?pool tr =
     |> Option.get
   in
   let liveness =
-    Proof_engine.Liveness.check ?ext ~compiled
+    Proof_engine.Liveness.check ?ext ~compiled ?inject ?cancel
       ~stop_after:consistency.Proof_engine.Consistency.instructions tr
   in
   { consistency; liveness; obligations }
+
+type verify_error = { phase : string; message : string }
+
+let verify_result ?ext ?max_instructions ?reference ?compiled ?pool ?inject
+    ?cancel ?disasm tr =
+  match
+    verify ?ext ?max_instructions ?reference ?compiled ?pool ?inject ?cancel
+      ?disasm tr
+  with
+  | v -> Ok v
+  | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
+  | exception e ->
+    (* The top-level consistency run is not routed through
+       [check_result] (the obligation suite's copy is), so a mutant
+       that breaks plan evaluation can still surface here as an
+       exception.  Classify it the same way. *)
+    let phase, message =
+      match e with
+      | Hw.Plan.Compile_error m -> ("plan compilation", m)
+      | Hw.Plan.Run_error m -> ("plan evaluation", m)
+      | Hw.Eval.Eval_error m -> ("expression evaluation", m)
+      | Hw.Expr.Ill_typed m -> ("expression typing", m)
+      | Invalid_argument m -> ("state access", m)
+      | e -> ("verification", Printexc.to_string e)
+    in
+    Error { phase; message }
 
 let verified v =
   Proof_engine.Consistency.ok v.consistency

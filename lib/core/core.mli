@@ -38,6 +38,9 @@ val verify :
   ?reference:Machine.Seqsem.trace ->
   ?compiled:Pipeline.Pipesem.compiled ->
   ?pool:Exec.Pool.t ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
+  ?disasm:(int -> string option) ->
   Pipeline.Transform.t ->
   verification
 (** Generate and discharge the proof obligations; run the
@@ -46,9 +49,32 @@ val verify :
     With [pool], the top-level consistency run and the obligation suite
     are discharged concurrently, and the obligation checkers fan out
     over the same pool (see {!Proof_engine.Obligation.discharge_all}).
-    The result is identical to the serial run at any pool size. *)
+    The result is identical to the serial run at any pool size.
+
+    [inject] runs the behavioural checkers against a faulted machine
+    (see {!Pipeline.Pipesem.injection}); [cancel] aborts by raising
+    {!Exec.Cancel.Cancelled}; [disasm] renders instruction tags in
+    failure evidence. *)
 
 val verified : verification -> bool
+
+type verify_error = { phase : string; message : string }
+
+val verify_result :
+  ?ext:Pipeline.Pipesem.ext_model ->
+  ?max_instructions:int ->
+  ?reference:Machine.Seqsem.trace ->
+  ?compiled:Pipeline.Pipesem.compiled ->
+  ?pool:Exec.Pool.t ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
+  ?disasm:(int -> string option) ->
+  Pipeline.Transform.t ->
+  (verification, verify_error) result
+(** [verify] with no escaping checker exception: a machine broken
+    badly enough to abort verification (a fault-campaign mutant whose
+    plan no longer evaluates, say) yields [Error] with the failing
+    phase.  Only {!Exec.Cancel.Cancelled} propagates. *)
 
 val report : Pipeline.Transform.t -> string
 (** The generated-hardware inventory (figure 2 style). *)

@@ -548,3 +548,14 @@ let ref_trace ?(data = []) variant ~program ~instructions =
   done;
   snaps.(instructions) <- snapshot_of_ref variant s;
   { Machine.Seqsem.spec_before = snaps; instructions; halted = false }
+
+let disasm ~(reference : Machine.Seqsem.trace) ~program tag =
+  let snaps = reference.Machine.Seqsem.spec_before in
+  if tag < 0 || tag >= Array.length snaps then None
+  else
+    match List.assoc_opt "DPC" snaps.(tag) with
+    | Some (Machine.Value.Scalar pc) -> (
+      match List.nth_opt program (Hw.Bitvec.to_int pc lsr 2) with
+      | Some word -> Option.map Isa.to_string (Isa.decode word)
+      | None -> None)
+    | Some (Machine.Value.File _) | None -> None

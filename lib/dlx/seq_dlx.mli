@@ -62,4 +62,10 @@ val ref_trace :
     ({!Refmodel}), in the shape {!Proof_engine.Consistency} consumes.
     Required for the speculation variants, valid for all three. *)
 
+val disasm :
+  reference:Machine.Seqsem.trace -> program:int list -> int -> string option
+(** Render instruction tag [i] of the reference run: the word the
+    instruction's [DPC] addresses, decoded ({!Isa.to_string}).  Used
+    to put disassembly into verification-failure evidence. *)
+
 val visible_names : variant -> string list

@@ -1,0 +1,37 @@
+exception Cancelled
+
+type token = {
+  flag : bool Atomic.t;
+  created : float;
+  deadline : float option;  (* absolute, from [created] + timeout *)
+}
+
+let create ?timeout_s () =
+  let created = Unix.gettimeofday () in
+  {
+    flag = Atomic.make false;
+    created;
+    deadline = Option.map (fun t -> created +. t) timeout_s;
+  }
+
+let never =
+  { flag = Atomic.make false; created = 0.0; deadline = None }
+
+let cancel t = Atomic.set t.flag true
+
+let cancelled t =
+  Atomic.get t.flag
+  ||
+  match t.deadline with
+  | None -> false
+  | Some d ->
+    if Unix.gettimeofday () > d then begin
+      (* Latch, so later polls skip the clock read. *)
+      Atomic.set t.flag true;
+      true
+    end
+    else false
+
+let check t = if cancelled t then raise Cancelled
+
+let elapsed_s t = Unix.gettimeofday () -. t.created

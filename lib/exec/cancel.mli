@@ -1,0 +1,41 @@
+(** Cooperative cancellation for verification work.
+
+    OCaml domains cannot be killed from outside, so cancellation is a
+    contract: long-running tasks (the cycle simulators, obligation
+    checkers, campaign mutant runs) poll a shared {!token} at safe
+    points and abandon their work by raising {!Cancelled}.  A token
+    trips either explicitly ({!cancel}) or implicitly when its
+    deadline passes — the deadline is evaluated lazily at each poll,
+    so no timer domain or signal handler is needed.
+
+    Tokens are domain-safe: the flag is an [Atomic.t] and the deadline
+    is immutable, so one token may be shared between the {!Pool}
+    submitter that sets the budget and the worker running the task. *)
+
+exception Cancelled
+(** Raised by {!check} (and by polling tasks) when the token has
+    tripped.  {!Pool.map_result} catches it and classifies the task as
+    timed out; anywhere else it propagates like any exception. *)
+
+type token
+
+val create : ?timeout_s:float -> unit -> token
+(** A fresh token; with [timeout_s], it trips automatically once that
+    many wall-clock seconds have passed since creation. *)
+
+val never : token
+(** A shared token that never trips (the zero-cost default for
+    [?cancel] parameters). *)
+
+val cancel : token -> unit
+(** Trip the token explicitly.  Idempotent. *)
+
+val cancelled : token -> bool
+(** Whether the token has tripped (checks the deadline too). *)
+
+val check : token -> unit
+(** @raise Cancelled when the token has tripped.  Cheap enough to call
+    once per simulated cycle. *)
+
+val elapsed_s : token -> float
+(** Wall-clock seconds since the token was created. *)

@@ -163,6 +163,27 @@ let map t f xs =
 
 let map_reduce t ~map:f ~fold ~init xs = List.fold_left fold init (map t f xs)
 
+type 'a task_result =
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+  | Timed_out of float
+
+(* [map] with per-task fault isolation: each task gets its own
+   cancellation token (tripping after [timeout_s], when given) and its
+   exception — including {!Cancel.Cancelled} from the timeout — is
+   captured in the result instead of poisoning the batch.  The wrapper
+   task never raises, so the plain [map] machinery's first-error path
+   stays dormant and every element yields a verdict. *)
+let map_result ?timeout_s t f xs =
+  map t
+    (fun x ->
+      let token = Cancel.create ?timeout_s () in
+      match f ~cancel:token x with
+      | r -> Done r
+      | exception Cancel.Cancelled -> Timed_out (Cancel.elapsed_s token)
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ()))
+    xs
+
 let stats t =
   Mutex.lock t.mutex;
   let r =

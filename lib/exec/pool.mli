@@ -55,6 +55,34 @@ val map_reduce :
     order (the merge is deterministic regardless of completion
     order). *)
 
+(** {1 Fault-isolated map} *)
+
+type 'a task_result =
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+      (** the task raised; the batch was unaffected *)
+  | Timed_out of float
+      (** the task raised {!Cancel.Cancelled} (its token tripped, e.g.
+          past the [timeout_s] deadline); payload is the task's
+          elapsed wall-clock seconds *)
+
+val map_result :
+  ?timeout_s:float ->
+  t ->
+  (cancel:Cancel.token -> 'a -> 'b) ->
+  'a list ->
+  'b task_result list
+(** Order-preserving parallel map with per-task fault isolation: every
+    element yields a {!task_result}; a raising or timed-out task never
+    aborts the batch or kills a worker domain.
+
+    Cancellation is {e cooperative} ({!Cancel}): each task receives a
+    fresh token whose deadline is [timeout_s] seconds after the task
+    starts, and is expected to poll it ({!Cancel.check}) at safe
+    points — the cycle simulators do.  A task that never polls cannot
+    be interrupted (OCaml domains are not killable); it will simply
+    run to completion and be reported [Done]/[Failed]. *)
+
 val shutdown : t -> unit
 (** Signal the workers and join them.  Idempotent.  Pending work of a
     concurrent {!map} is still drained (the caller of that map helps);

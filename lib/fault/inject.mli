@@ -1,0 +1,30 @@
+(** Behavioural fault injectors (detection-coverage campaigns,
+    step 1b).
+
+    Turns the behavioural {!Mutate.fault}s — the ones that live on
+    wires the cycle driver computes rather than in the synthesized
+    netlist — into {!Pipeline.Pipesem.injection} hooks.  Structural
+    faults are carried by the rewritten netlist ({!Mutate.rewrite})
+    and need no injection. *)
+
+val build :
+  ?cancel:Exec.Cancel.token ->
+  Mutate.fault ->
+  Pipeline.Pipesem.injection option
+(** [None] for structural faults.  Stuck full bits land in
+    [inj_fullb]; stuck stall/ue/rollback wires in [inj_compute], with
+    the dependent wires ([rollback'], [ue], and through them the
+    next full bits) re-derived coherently so the fault behaves like a
+    single defective wire, not an inconsistent engine state.
+    Transient flips land in [inj_edge].
+
+    [Hang] spins inside [inj_compute] from its cycle on, polling
+    [cancel] (default {!Exec.Cancel.never} — it then spins forever):
+    the campaign's per-task timeout token is what unwedges it, by
+    raising {!Exec.Cancel.Cancelled}. *)
+
+val injection_of_mutant :
+  ?cancel:Exec.Cancel.token ->
+  Mutate.mutant ->
+  Pipeline.Pipesem.injection option
+(** [build] on the mutant's fault. *)

@@ -1,0 +1,194 @@
+module Transform = Pipeline.Transform
+module Expr = Hw.Expr
+
+type wire = Full | Stall | Update_enable | Rollback
+
+type fault =
+  | Stuck_wire of { wire : wire; stage : int; value : bool }
+  | Stuck_hit of { signal : string; value : bool }
+  | Drop_dhaz of { signal : string }
+  | Mux_swap of { g_signal : string; hit_a : string; hit_b : string }
+  | Transient_flip of { register : string; bit : int; at_cycle : int }
+  | Hang of { at_cycle : int }
+
+type mutant = {
+  mut_id : string;
+  mut_fault : fault;
+  mut_tr : Transform.t;
+  mut_structural : bool;
+}
+
+let wire_name = function
+  | Full -> "full"
+  | Stall -> "stall"
+  | Update_enable -> "ue"
+  | Rollback -> "rollback"
+
+let id = function
+  | Stuck_wire { wire; stage; value } ->
+    Printf.sprintf "%s@%d=%d" (wire_name wire) stage (Bool.to_int value)
+  | Stuck_hit { signal; value } ->
+    Printf.sprintf "hit:%s=%d" signal (Bool.to_int value)
+  | Drop_dhaz { signal } -> Printf.sprintf "dhaz:%s=0" signal
+  | Mux_swap { g_signal; hit_a; hit_b } ->
+    Printf.sprintf "muxswap:%s:%s<->%s" g_signal hit_a hit_b
+  | Transient_flip { register; bit; at_cycle } ->
+    Printf.sprintf "flip:%s[%d]@c%d" register bit at_cycle
+  | Hang { at_cycle } -> Printf.sprintf "hang@c%d" at_cycle
+
+let structural = function
+  | Stuck_hit _ | Drop_dhaz _ | Mux_swap _ -> true
+  | Stuck_wire _ | Transient_flip _ | Hang _ -> false
+
+(* Rewrite one synthesized signal definition in place; every later
+   definition and every stage write referencing it sees the faulted
+   version through plan compilation, exactly as a netlist defect
+   would propagate. *)
+let rewrite_signal name f (tr : Transform.t) =
+  let found = ref false in
+  let signals =
+    List.map
+      (fun (n, e) ->
+        if String.equal n name then (
+          found := true;
+          (n, f e))
+        else (n, e))
+      tr.Transform.signals
+  in
+  if not !found then
+    invalid_arg (Printf.sprintf "Fault.Mutate: no synthesized signal %s" name);
+  { tr with Transform.signals }
+
+let rewrite fault tr =
+  match fault with
+  | Stuck_hit { signal; value } ->
+    rewrite_signal signal (fun _ -> Expr.bool_of value) tr
+  | Drop_dhaz { signal } -> rewrite_signal signal (fun _ -> Expr.fls) tr
+  | Mux_swap { g_signal; hit_a; hit_b } ->
+    rewrite_signal g_signal
+      (Expr.subst (fun n ->
+           if String.equal n hit_a then Some (Expr.input hit_b 1)
+           else if String.equal n hit_b then Some (Expr.input hit_a 1)
+           else None))
+      tr
+  | Stuck_wire _ | Transient_flip _ | Hang _ -> tr
+
+let apply fault tr =
+  {
+    mut_id = id fault;
+    mut_fault = fault;
+    mut_tr = rewrite fault tr;
+    mut_structural = structural fault;
+  }
+
+let enumerate ?(transients = 8) ?(seed = 0) ?(max_cycle = 30) ?(hang = false)
+    (tr : Transform.t) =
+  let n = tr.Transform.base.Machine.Spec.n_stages in
+  let speculates = tr.Transform.speculations <> [] in
+  let wires =
+    List.concat_map
+      (fun stage ->
+        List.concat_map
+          (fun wire ->
+            let polarities =
+              match wire with
+              | Full -> if stage = 0 then [] else [ false; true ]
+              | Stall | Update_enable -> [ false; true ]
+              | Rollback -> if speculates then [ false; true ] else [ true ]
+            in
+            List.map (fun value -> Stuck_wire { wire; stage; value }) polarities)
+          [ Full; Stall; Update_enable; Rollback ])
+      (List.init n Fun.id)
+  in
+  let forwarding =
+    List.concat_map
+      (fun (r : Transform.rule) ->
+        let hits =
+          List.concat_map
+            (fun (s : Transform.source) ->
+              [
+                Stuck_hit { signal = s.Transform.hit_signal; value = false };
+                Stuck_hit { signal = s.Transform.hit_signal; value = true };
+              ])
+            r.Transform.sources
+        in
+        let drop = [ Drop_dhaz { signal = r.Transform.dhaz_signal } ] in
+        let swap =
+          match r.Transform.g_signal with
+          | None -> []
+          | Some g -> (
+            match
+              List.filter
+                (fun (s : Transform.source) -> s.Transform.cand_signal <> None)
+                r.Transform.sources
+            with
+            | a :: b :: _ ->
+              [
+                Mux_swap
+                  {
+                    g_signal = g;
+                    hit_a = a.Transform.hit_signal;
+                    hit_b = b.Transform.hit_signal;
+                  };
+              ]
+            | _ -> [])
+        in
+        hits @ drop @ swap)
+      tr.Transform.rules
+  in
+  let flips =
+    let scalars =
+      List.filter
+        (fun (r : Machine.Spec.register) -> r.Machine.Spec.kind = Machine.Spec.Simple)
+        tr.Transform.machine.Machine.Spec.registers
+    in
+    match scalars with
+    | [] -> []
+    | _ ->
+      let rng = Random.State.make [| seed; 0x5eed |] in
+      let regs = Array.of_list scalars in
+      List.init transients (fun _ ->
+          let r = regs.(Random.State.int rng (Array.length regs)) in
+          Transient_flip
+            {
+              register = r.Machine.Spec.reg_name;
+              bit = Random.State.int rng r.Machine.Spec.width;
+              at_cycle = 1 + Random.State.int rng max_cycle;
+            })
+  in
+  let hang = if hang then [ Hang { at_cycle = 5 } ] else [] in
+  List.map (fun f -> apply f tr) (wires @ forwarding @ flips @ hang)
+
+let sample ~seed ~count xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  let rng = Random.State.make [| seed; 0xca4d |] in
+  (* Fisher–Yates prefix: positions [0, count) end up uniformly
+     sampled and ordered by the seed alone. *)
+  let count = min count n in
+  for i = 0 to count - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list (Array.sub a 0 count)
+
+let pp_fault ppf f =
+  Format.pp_print_string ppf
+    (match f with
+    | Stuck_wire { wire; stage; value } ->
+      Printf.sprintf "stall-engine wire %s_%d stuck at %d" (wire_name wire)
+        stage (Bool.to_int value)
+    | Stuck_hit { signal; value } ->
+      Printf.sprintf "forwarding hit %s stuck at %d" signal (Bool.to_int value)
+    | Drop_dhaz { signal } ->
+      Printf.sprintf "interlock request %s dropped" signal
+    | Mux_swap { g_signal; hit_a; hit_b } ->
+      Printf.sprintf "forwarding mux %s selects %s and %s crossed" g_signal
+        hit_a hit_b
+    | Transient_flip { register; bit; at_cycle } ->
+      Printf.sprintf "transient flip of %s bit %d after cycle %d" register bit
+        at_cycle
+    | Hang { at_cycle } ->
+      Printf.sprintf "engine wedged from cycle %d" at_cycle)

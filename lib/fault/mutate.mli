@@ -1,0 +1,93 @@
+(** Fault models and structural mutators (detection-coverage
+    campaigns, step 1).
+
+    A {!fault} describes one defect in the generated pipeline control:
+    a stuck-at on a stall-engine wire, a structural rewrite of the
+    synthesized forwarding netlist, a transient single-event bit flip
+    in a pipeline register, or a wedged engine.  {!apply} turns a
+    fault into a {!mutant} — a possibly-rewritten {!Pipeline.Transform.t}
+    plus a stable identifier — which the campaign driver then runs the
+    verification stack against.
+
+    Structural faults ([Stuck_hit], [Drop_dhaz], [Mux_swap]) rewrite
+    the synthesized signal definitions, so they are carried by the
+    netlist itself and survive plan compilation; behavioural faults
+    ([Stuck_wire], [Transient_flip], [Hang]) live in the simulator's
+    injection hooks ({!Inject.injection}) because the stall engine's
+    wires are computed by the cycle driver, not the netlist. *)
+
+(** A stall-engine wire, per stage. *)
+type wire =
+  | Full           (** the full-bit register output, [full_k] *)
+  | Stall          (** [stall_k]; a stuck wire also re-derives [ue_k] *)
+  | Update_enable  (** [ue_k] after derivation *)
+  | Rollback       (** the squash request [rollback_k]; the suffix OR
+                       and [ue] are re-derived coherently *)
+
+type fault =
+  | Stuck_wire of { wire : wire; stage : int; value : bool }
+  | Stuck_hit of { signal : string; value : bool }
+      (** a forwarding hit comparator output tied to 0 or 1 *)
+  | Drop_dhaz of { signal : string }
+      (** a per-operand interlock request wire dropped (tied to 0) *)
+  | Mux_swap of { g_signal : string; hit_a : string; hit_b : string }
+      (** two select inputs of a forwarding mux crossed *)
+  | Transient_flip of { register : string; bit : int; at_cycle : int }
+      (** single-event upset: one bit of a pipeline register flips
+          right after the given clock edge *)
+  | Hang of { at_cycle : int }
+      (** the stall engine wedges (spins) at the given cycle — the
+          deliberate liveness-broken mutant exercising the campaign's
+          timeout path *)
+
+type mutant = {
+  mut_id : string;          (** stable, human-readable; see {!id} *)
+  mut_fault : fault;
+  mut_tr : Pipeline.Transform.t;
+      (** the machine under test: structurally rewritten for
+          structural faults, the original otherwise *)
+  mut_structural : bool;    (** the netlist was rewritten *)
+}
+
+val id : fault -> string
+(** Deterministic identifier, e.g. ["stall@2=1"], ["hit:$hit_A_3=0"],
+    ["muxswap:$g_A:$hit_A_1<->$hit_A_2"], ["flip:C.4[7]@c12"],
+    ["hang@c5"].  Used as the checkpoint/resume key. *)
+
+val structural : fault -> bool
+
+val rewrite : fault -> Pipeline.Transform.t -> Pipeline.Transform.t
+(** Apply a structural fault to the netlist (identity for behavioural
+    faults).  Exposed separately so the BMC sweep can re-apply a
+    fault to freshly built machines of the same family.
+    @raise Invalid_argument when the fault names a signal the machine
+    does not have. *)
+
+val apply : fault -> Pipeline.Transform.t -> mutant
+
+val enumerate :
+  ?transients:int ->
+  ?seed:int ->
+  ?max_cycle:int ->
+  ?hang:bool ->
+  Pipeline.Transform.t ->
+  mutant list
+(** The campaign's mutant space, in a deterministic order:
+
+    - stuck-at faults on every stall-engine wire of every stage
+      (both polarities where meaningful; rollback stuck-at-0 only
+      when the machine speculates);
+    - per forwarding rule: every hit comparator stuck both ways, the
+      interlock request dropped, and — when the rule has at least two
+      forwarding sources — the mux-select swap;
+    - [transients] (default 8) seeded-random single-bit flips in
+      scalar pipeline registers at cycles in [1, max_cycle]
+      (default 30), replayable from [seed] (default 0);
+    - with [hang] (default [false]), one wedged-engine mutant. *)
+
+val sample : seed:int -> count:int -> 'a list -> 'a list
+(** A seeded-shuffle prefix of [count] elements (the whole list when
+    shorter), deterministic in [seed]; input order does not leak into
+    the prefix order. *)
+
+val pp_fault : Format.formatter -> fault -> unit

@@ -56,6 +56,31 @@ type result = {
 let bool_bv b = Hw.Bitvec.of_bool b
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection.  The hooks mirror where a physical fault would sit
+   in the generated machine: on the full-bit register outputs (feeding
+   both the synthesized signals and the stall engine), inside the
+   stall engine's input/output wiring, or on a pipeline register right
+   at the clock edge (a single-event upset).                           *)
+(* ------------------------------------------------------------------ *)
+
+type injection = {
+  inj_fullb : cycle:int -> bool array -> bool array;
+  inj_compute :
+    cycle:int ->
+    compute:(dhaz:bool array -> Stall_engine.signals) ->
+    dhaz:bool array ->
+    Stall_engine.signals;
+  inj_edge : cycle:int -> Machine.State.t -> unit;
+}
+
+let no_injection =
+  {
+    inj_fullb = (fun ~cycle:_ fullb -> fullb);
+    inj_compute = (fun ~cycle:_ ~compute ~dhaz -> compute ~dhaz);
+    inj_edge = (fun ~cycle:_ _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
 (* The cycle driver, generic over how a cycle's combinational values
    are produced.  Both the compiled (plan) and the reference (closure)
    engines drive exactly this loop, so their schedules, statistics and
@@ -73,7 +98,14 @@ type engine = {
 }
 
 let run_loop ~engine ~state ?(ext = fun ~stage:_ ~cycle:_ -> false)
-    ?(callbacks = no_callbacks) ?max_cycles ~stop_after (t : Transform.t) =
+    ?(callbacks = no_callbacks) ?inject ?(cancel = Exec.Cancel.never)
+    ?max_cycles ~stop_after (t : Transform.t) =
+  (* Under injection the control invariants the unfaulted engine
+     guarantees (a firing stage holds an instruction) no longer hold;
+     the loop degrades to "no tag, no retirement" instead of
+     asserting. *)
+  let faulty = inject <> None in
+  let inject = match inject with Some i -> i | None -> no_injection in
   let m = t.Transform.machine in
   let n = m.Machine.Spec.n_stages in
   let max_cycles =
@@ -96,13 +128,20 @@ let run_loop ~engine ~state ?(ext = fun ~stage:_ ~cycle:_ -> false)
   let squashed = ref 0 in
   (while !retired < stop_after && !cycle < max_cycles && !outcome <> Deadlocked
    do
+     Exec.Cancel.check cancel;
      (* Bind the free inputs (full and ext per stage) and evaluate the
-        synthesized signals in definition order. *)
+        synthesized signals in definition order.  A full-bit fault is
+        applied to the register outputs, so it feeds the synthesized
+        signals and the stall engine alike — the register itself is
+        untouched. *)
      let ext_now = Array.init n (fun k -> ext ~stage:k ~cycle:!cycle) in
-     engine.eng_begin ~cycle:!cycle ~fullb ~ext_now;
+     let fullb_eff = inject.inj_fullb ~cycle:!cycle fullb in
+     engine.eng_begin ~cycle:!cycle ~fullb:fullb_eff ~ext_now;
      callbacks.on_signals ~cycle:!cycle engine.eng_lookup;
      let dhaz = Array.init n engine.eng_dhaz in
-     (* Stall engine. *)
+     (* Stall engine, with the injection as middleware: input-wire
+        faults perturb [dhaz], control-wire faults rewrite the
+        computed signals. *)
      let mispredict ~stage ~stalled =
        (not stalled)
        && List.exists
@@ -110,7 +149,10 @@ let run_loop ~engine ~state ?(ext = fun ~stage:_ ~cycle:_ -> false)
               sp.Fwd_spec.resolve_stage = stage && engine.eng_mispredict sp)
             t.Transform.speculations
      in
-     let s = Stall_engine.compute ~fullb ~dhaz ~ext:ext_now ~mispredict in
+     let compute ~dhaz =
+       Stall_engine.compute ~fullb:fullb_eff ~dhaz ~ext:ext_now ~mispredict
+     in
+     let s = inject.inj_compute ~cycle:!cycle ~compute ~dhaz in
      let record =
        {
          cycle = !cycle;
@@ -147,19 +189,23 @@ let run_loop ~engine ~state ?(ext = fun ~stage:_ ~cycle:_ -> false)
      (match firing_spec with
      | None -> ()
      | Some sp -> updates := engine.eng_rollback_updates sp :: !updates);
-     (* Clock edge: registers, tags, full bits. *)
+     (* Clock edge: registers, tags, full bits.  A transient fault
+        (single-event upset) flips its bit right after the edge, so
+        the consistency checker observes the corrupted state exactly
+        as downstream hardware would. *)
      List.iter (Machine.Commit.apply state) (List.rev !updates);
+     inject.inj_edge ~cycle:!cycle state;
      callbacks.on_edge record state;
      let retirements = ref [] in
      if s.ue.(n - 1) then (
        match tags.(n - 1) with
        | Some tag -> retirements := (tag, Normal) :: !retirements
-       | None -> assert false);
+       | None -> assert faulty);
      (match (deepest_rollback, firing_spec) with
      | Some k, Some sp when sp.Fwd_spec.retires -> (
        match tags.(k) with
        | Some tag -> retirements := (tag, Via_rollback sp.Fwd_spec.spec_label) :: !retirements
-       | None -> assert false)
+       | None -> assert faulty)
      | Some _, Some _ | Some _, None | None, _ -> ());
      (* Count evicted (non-retiring) instructions. *)
      (match deepest_rollback with
@@ -339,14 +385,15 @@ let plan_engine c state =
         Machine.Commit.writes_updates_compiled inst (List.assq sp c.c_rollbacks));
   }
 
-let run_compiled ?ext ?callbacks ?max_cycles ~stop_after c =
+let run_compiled ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after c =
   Obs.Span.with_span "pipesem.run" @@ fun () ->
   let state = State.create c.c_tr.Transform.machine in
-  run_loop ~engine:(plan_engine c state) ~state ?ext ?callbacks ?max_cycles
-    ~stop_after c.c_tr
+  run_loop ~engine:(plan_engine c state) ~state ?ext ?callbacks ?inject
+    ?cancel ?max_cycles ~stop_after c.c_tr
 
-let run ?ext ?callbacks ?max_cycles ~stop_after t =
-  run_compiled ?ext ?callbacks ?max_cycles ~stop_after (compile t)
+let run ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after t =
+  run_compiled ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after
+    (compile t)
 
 (* ------------------------------------------------------------------ *)
 (* Reference engine: the original tree-walking interpreter with its
@@ -406,10 +453,11 @@ let reference_engine (t : Transform.t) state =
           ~env state);
   }
 
-let run_reference ?ext ?callbacks ?max_cycles ~stop_after (t : Transform.t) =
+let run_reference ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after
+    (t : Transform.t) =
   Obs.Span.with_span "pipesem.run_reference" @@ fun () ->
   let state = State.create t.Transform.machine in
-  run_loop ~engine:(reference_engine t state) ~state ?ext ?callbacks
-    ?max_cycles ~stop_after t
+  run_loop ~engine:(reference_engine t state) ~state ?ext ?callbacks ?inject
+    ?cancel ?max_cycles ~stop_after t
 
 let cpi s = if s.retired = 0 then infinity else float_of_int s.cycles /. float_of_int s.retired

@@ -56,6 +56,37 @@ type callbacks = {
 
 val no_callbacks : callbacks
 
+(** {1 Fault injection}
+
+    Hooks that place a fault exactly where it would sit in the
+    generated machine; built by [Fault.Inject], consumed by the
+    detection-coverage campaigns.  With an injection present, the run
+    loop relaxes the control invariants of the unfaulted engine (a
+    stage may fire with no instruction in flight — it then simply
+    retires nothing) instead of asserting. *)
+
+type injection = {
+  inj_fullb : cycle:int -> bool array -> bool array;
+      (** applied to the full-bit register {e outputs} before the
+          cycle's signal evaluation and the stall engine (stuck-at
+          faults on [full_k]); must not mutate its argument *)
+  inj_compute :
+    cycle:int ->
+    compute:(dhaz:bool array -> Stall_engine.signals) ->
+    dhaz:bool array ->
+    Stall_engine.signals;
+      (** middleware around the stall engine: perturb [dhaz] before
+          calling [compute] (dropped-interlock faults) or rewrite the
+          returned signals (stuck-at faults on [stall_k], [ue_k] and
+          the rollback/squash wires) *)
+  inj_edge : cycle:int -> Machine.State.t -> unit;
+      (** right after the clock edge, before the [on_edge] callback:
+          transient single-event bit flips in pipeline registers *)
+}
+
+val no_injection : injection
+(** The identity injection ([run ?inject:None] behaves identically). *)
+
 type outcome =
   | Completed       (** the requested number of instructions retired *)
   | Deadlocked      (** liveness violation: no progress within the bound *)
@@ -101,6 +132,8 @@ val plan : compiled -> Hw.Plan.t
 val run_compiled :
   ?ext:ext_model ->
   ?callbacks:callbacks ->
+  ?inject:injection ->
+  ?cancel:Exec.Cancel.token ->
   ?max_cycles:int ->
   stop_after:int ->
   compiled ->
@@ -109,11 +142,17 @@ val run_compiled :
     [stop_after] instructions have retired.  [max_cycles] defaults to
     a generous bound derived from [stop_after].  Deadlock is declared
     when no stage updates for [4 * n_stages + 64] consecutive cycles
-    while work remains. *)
+    while work remains.
+
+    [cancel] is polled once per cycle; a tripped token aborts the run
+    by raising {!Exec.Cancel.Cancelled} — the campaign driver's
+    backstop against mutants whose simulation never converges. *)
 
 val run :
   ?ext:ext_model ->
   ?callbacks:callbacks ->
+  ?inject:injection ->
+  ?cancel:Exec.Cancel.token ->
   ?max_cycles:int ->
   stop_after:int ->
   Transform.t ->
@@ -123,6 +162,8 @@ val run :
 val run_reference :
   ?ext:ext_model ->
   ?callbacks:callbacks ->
+  ?inject:injection ->
+  ?cancel:Exec.Cancel.token ->
   ?max_cycles:int ->
   stop_after:int ->
   Transform.t ->

@@ -5,7 +5,8 @@ type outcome = {
 
 let ok o = o.failures = []
 
-let exhaustive ?(max_failures = 5) ?ext ?pool ~build ~alphabet ~length () =
+let exhaustive ?(max_failures = 5) ?ext ?pool ?inject ?cancel ~build ~alphabet
+    ~length () =
   Obs.Span.with_span "verify.bmc" @@ fun () ->
   (* Materialize the program space in enumeration order, then check
      every program independently — the unit of pool fan-out.  Failures
@@ -21,22 +22,30 @@ let exhaustive ?(max_failures = 5) ?ext ?pool ~build ~alphabet ~length () =
   let programs = enumerate [] length in
   let check program =
     match build program with
+    | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
     | exception e -> Some ("transform failed: " ^ Printexc.to_string e)
     | t -> (
-      let report = Consistency.check ?ext ~max_instructions:(length + 4) t in
-      if Consistency.ok report then None
-      else
-        Some
-          (match report.Consistency.violations with
-          | v :: _ ->
-            Printf.sprintf "instr %d register %s: expected %s, got %s"
-              v.Consistency.tag v.Consistency.register
-              v.Consistency.expected v.Consistency.got
-          | [] -> (
-            match report.Consistency.outcome with
-            | Pipeline.Pipesem.Deadlocked -> "deadlock"
-            | Pipeline.Pipesem.Out_of_cycles -> "out of cycles"
-            | Pipeline.Pipesem.Completed -> "lemma or final-state failure")))
+      match
+        Consistency.check_result ?ext ?inject ?cancel
+          ~max_instructions:(length + 4) t
+      with
+      | Error f ->
+        Some (Printf.sprintf "%s failed: %s" f.Consistency.failing_phase
+                f.Consistency.message)
+      | Ok report ->
+        if Consistency.ok report then None
+        else
+          Some
+            (match report.Consistency.violations with
+            | v :: _ ->
+              Printf.sprintf "instr %d register %s: expected %s, got %s"
+                v.Consistency.tag v.Consistency.register
+                v.Consistency.expected v.Consistency.got
+            | [] -> (
+              match report.Consistency.outcome with
+              | Pipeline.Pipesem.Deadlocked -> "deadlock"
+              | Pipeline.Pipesem.Out_of_cycles -> "out of cycles"
+              | Pipeline.Pipesem.Completed -> "lemma or final-state failure")))
   in
   let checked =
     Exec.Pool.map_opt pool (fun program -> (program, check program)) programs

@@ -23,6 +23,8 @@ val exhaustive :
   ?max_failures:int ->
   ?ext:Pipeline.Pipesem.ext_model ->
   ?pool:Exec.Pool.t ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
   build:(int list -> Pipeline.Transform.t) ->
   alphabet:int list ->
   length:int ->
@@ -36,6 +38,13 @@ val exhaustive :
 
     With [pool], programs are checked concurrently (each check builds
     its own machine and plan); failures are reported in enumeration
-    order, identically to the serial sweep. *)
+    order, identically to the serial sweep.
+
+    [inject] runs every program's co-simulation against the faulted
+    machine (the fault-injection campaigns use this to let the
+    exhaustive sweep hunt a mutant the loaded workload masks); a
+    per-program exception is recorded as that program's failure
+    instead of aborting the sweep.  [cancel] aborts the whole sweep
+    by raising {!Exec.Cancel.Cancelled}. *)
 
 val pp : Format.formatter -> outcome -> unit

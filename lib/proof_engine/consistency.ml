@@ -38,7 +38,7 @@ let ok r =
 
 let value_at snapshot name = List.assoc_opt name snapshot
 
-let check ?ext ?(max_instructions = 200) ?reference ?compiled
+let check ?ext ?(max_instructions = 200) ?reference ?compiled ?inject ?cancel
     (t : Pipeline.Transform.t) =
   Obs.Span.with_span "verify.consistency" @@ fun () ->
   let base = t.Pipeline.Transform.base in
@@ -135,7 +135,8 @@ let check ?ext ?(max_instructions = 200) ?reference ?compiled
   in
   let result =
     let c = match compiled with Some c -> c | None -> Pipesem.compile t in
-    Pipesem.run_compiled ?ext ~callbacks ~stop_after:instructions c
+    Pipesem.run_compiled ?ext ~callbacks ?inject ?cancel
+      ~stop_after:instructions c
   in
   let trace = List.rev !records in
   let lemma1 =
@@ -178,6 +179,35 @@ let check ?ext ?(max_instructions = 200) ?reference ?compiled
     final_visible_match;
     trace;
   }
+
+type failure = {
+  failing_phase : string;
+  message : string;
+}
+
+(* The hardened entry point: any exception the co-simulation raises —
+   a plan width violation from a structurally mutated machine, an
+   unknown-register access from a corrupted address, an interpreter
+   Eval_error — becomes a typed [Error] instead of aborting the
+   caller's batch.  Cancellation is not a failure of the machine under
+   test and keeps propagating. *)
+let check_result ?ext ?max_instructions ?reference ?compiled ?inject ?cancel t
+    =
+  match check ?ext ?max_instructions ?reference ?compiled ?inject ?cancel t
+  with
+  | report -> Ok report
+  | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
+  | exception e ->
+    let failing_phase, message =
+      match e with
+      | Hw.Plan.Compile_error m -> ("plan compilation", m)
+      | Hw.Plan.Run_error m -> ("plan evaluation", m)
+      | Hw.Eval.Eval_error m -> ("expression evaluation", m)
+      | Hw.Expr.Ill_typed m -> ("expression typing", m)
+      | Invalid_argument m -> ("state access", m)
+      | e -> ("co-simulation", Printexc.to_string e)
+    in
+    Error { failing_phase; message }
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -57,6 +57,8 @@ val check :
   ?max_instructions:int ->
   ?reference:Machine.Seqsem.trace ->
   ?compiled:Pipeline.Pipesem.compiled ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
   Pipeline.Transform.t ->
   report
 (** Run the sequential reference and the pipelined machine on the same
@@ -74,6 +76,34 @@ val check :
     speculation declaration (paper §5): e.g. with precise interrupts,
     the JISR updates live in the speculation's rollback writes, so the
     plain round-robin sweep does not perform them — the reference is
-    then the ISA-level golden model (see [Dlx.Refmodel]). *)
+    then the ISA-level golden model (see [Dlx.Refmodel]).
+
+    [inject] threads a fault into the pipelined run (the sequential
+    reference stays unfaulted — it is the specification); [cancel] is
+    polled once per simulated cycle. *)
+
+(** {1 Hardened entry point} *)
+
+type failure = {
+  failing_phase : string;  (** e.g. ["plan compilation"] *)
+  message : string;
+}
+
+val check_result :
+  ?ext:Pipeline.Pipesem.ext_model ->
+  ?max_instructions:int ->
+  ?reference:Machine.Seqsem.trace ->
+  ?compiled:Pipeline.Pipesem.compiled ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
+  Pipeline.Transform.t ->
+  (report, failure) result
+(** {!check}, but any exception the co-simulation raises (a mutated
+    machine breaking plan compilation, a corrupted address escaping
+    the state tables, ...) is returned as a typed [Error] instead of
+    propagating — one broken mutant must not abort a campaign batch.
+    {!Exec.Cancel.Cancelled} is {e not} caught: a tripped cancellation
+    token is the caller's signal, not a property of the machine under
+    test. *)
 
 val pp_report : Format.formatter -> report -> unit

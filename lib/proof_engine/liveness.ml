@@ -9,7 +9,8 @@ type report = {
 
 let ok r = r.outcome = Pipesem.Completed && r.max_gap <= r.bound
 
-let check ?ext ?bound ?compiled ~stop_after (t : Pipeline.Transform.t) =
+let check ?ext ?bound ?compiled ?inject ?cancel ~stop_after
+    (t : Pipeline.Transform.t) =
   Obs.Span.with_span "verify.liveness" @@ fun () ->
   let n = t.Pipeline.Transform.base.Machine.Spec.n_stages in
   let bound = match bound with Some b -> b | None -> (8 * n) + 64 in
@@ -32,7 +33,7 @@ let check ?ext ?bound ?compiled ~stop_after (t : Pipeline.Transform.t) =
   in
   let result =
     let c = match compiled with Some c -> c | None -> Pipesem.compile t in
-    Pipesem.run_compiled ?ext ~callbacks ~stop_after c
+    Pipesem.run_compiled ?ext ~callbacks ?inject ?cancel ~stop_after c
   in
   {
     checked = !checked;

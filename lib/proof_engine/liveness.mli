@@ -23,11 +23,15 @@ val check :
   ?ext:Pipeline.Pipesem.ext_model ->
   ?bound:int ->
   ?compiled:Pipeline.Pipesem.compiled ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
   stop_after:int ->
   Pipeline.Transform.t ->
   report
 (** [bound] defaults to [8 * n_stages + 64], comfortably above any
     legitimate stall run for the machines in this repository;
-    ext models that stall longer need an explicit bound. *)
+    ext models that stall longer need an explicit bound.  [inject]
+    runs the checker against a faulted machine; [cancel] is polled
+    per cycle (see {!Pipeline.Pipesem.run_compiled}). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -173,23 +173,45 @@ let check_top_structural (t : Transform.t) (r : Transform.rule) =
     | Equiv.Width_mismatch (a, b) ->
       Error (Printf.sprintf "width mismatch %d vs %d" a b))
 
-let discharge_all ?ext ?max_instructions ?reference ?compiled ?pool
-    (t : Transform.t) =
+let discharge_all ?ext ?max_instructions ?reference ?compiled ?pool ?inject
+    ?cancel ?disasm (t : Transform.t) =
   Obs.Span.with_span "verify.obligations" @@ fun () ->
   let obs = generate t in
+  let disassemble tag =
+    match disasm with
+    | None -> ""
+    | Some f -> (
+      match f tag with None -> "" | Some text -> Printf.sprintf " (%s)" text)
+  in
   (* Discharge in two parallel waves.  Wave 1: the co-simulation run
      and the per-rule structural proofs are mutually independent (the
      BDD checker builds a private manager per rule; the co-simulation
      instantiates the shared immutable plan privately).  Wave 2:
      everything that consumes the recorded trace.  Results are
      assembled in the fixed obligation order, so the statuses are
-     bit-identical to the serial discharge. *)
+     bit-identical to the serial discharge.
+
+     Every task is hardened: a diverging or structurally broken
+     machine (a campaign mutant) yields a [Failed] status on the
+     obligations it was meant to discharge, never an exception that
+     would mask the remaining obligations.  Only cancellation
+     propagates. *)
+  let top_structural r =
+    match check_top_structural t r with
+    | res -> res
+    | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
+    | exception e ->
+      Error
+        (Printf.sprintf "structural check aborted: %s" (Printexc.to_string e))
+  in
   let wave1 =
     (fun () ->
-      `Report (Consistency.check ?ext ?max_instructions ?reference ?compiled t))
+      `Report
+        (Consistency.check_result ?ext ?max_instructions ?reference ?compiled
+           ?inject ?cancel t))
     :: List.map
          (fun (r : Transform.rule) () ->
-           `Top (r.Transform.rule_label, check_top_structural t r))
+           `Top (r.Transform.rule_label, top_structural r))
          t.Transform.rules
   in
   let wave1 = Exec.Pool.map_opt pool (fun task -> task ()) wave1 in
@@ -205,10 +227,12 @@ let discharge_all ?ext ?max_instructions ?reference ?compiled ?pool
      evidence from "on this run" to "for all initial data" when the
      machine's symbolic state is small enough.  Only attempted without
      an external reference (the symbolic checker uses the machine's own
-     sequential semantics) and without ext stalls. *)
-  let symbolic_task () =
-    match (reference, ext) with
-    | None, None -> (
+     sequential semantics), without ext stalls, and without fault
+     injection (the symbolic checker replays the unfaulted semantics,
+     so its verdict would not be about the machine under test). *)
+  let symbolic_task (report : Consistency.report) =
+    match (reference, ext, inject) with
+    | None, None, None -> (
       let small =
         List.for_all
           (fun (r : Spec.register) ->
@@ -231,72 +255,129 @@ let discharge_all ?ext ?max_instructions ?reference ?compiled ?pool
                "; additionally proved for ALL initial data over %d                 instructions (%d symbolic variables)"
                instructions variables)
         | Symsim.Mismatch _ | Symsim.Control_depends_on_data _
+        | (exception Exec.Cancel.Cancelled) -> raise Exec.Cancel.Cancelled
         | (exception _) -> None)
     | _ -> None
   in
   let n = t.Transform.base.Spec.n_stages in
-  let wave2 =
+  let wave2 report =
     Exec.Pool.map_opt pool
       (fun task -> task ())
       [
-        (fun () -> `Sym (symbolic_task ()));
+        (fun () -> `Sym (symbolic_task report));
         (fun () ->
           `Ti (Trace_invariants.check ~n_stages:n report.Consistency.trace));
         (fun () ->
           `Live
-            (Liveness.check ?ext ?compiled
-               ~stop_after:report.Consistency.instructions t));
+            (match
+               Liveness.check ?ext ?compiled ?inject ?cancel
+                 ~stop_after:report.Consistency.instructions t
+             with
+            | live -> Ok live
+            | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
+            | exception e -> Error (Printexc.to_string e)));
       ]
   in
-  let symbolic_evidence, ti, live =
-    match wave2 with
-    | [ `Sym s; `Ti ti; `Live l ] -> (s, ti, l)
-    | _ -> assert false
+  let statuses =
+    match report with
+    | Error (f : Consistency.failure) ->
+      (* The co-simulation itself died: every obligation that depends
+         on its trace fails with the same typed evidence, and the
+         structural TOP proofs (wave 1) still stand on their own. *)
+      let failed =
+        Failed
+          (Printf.sprintf "co-simulation aborted during %s: %s"
+             f.Consistency.failing_phase f.Consistency.message)
+      in
+      `All_cosim_failed failed
+    | Ok report ->
+      let wave2 = wave2 report in
+      let symbolic_evidence, ti, live =
+        match wave2 with
+        | [ `Sym s; `Ti ti; `Live l ] -> (s, ti, l)
+        | _ -> assert false
+      in
+      `Statuses (report, symbolic_evidence, ti, live)
   in
-  let lemma1_status =
-    match report.Consistency.lemma1 with
-    | Consistency.Lemma_ok ->
-      Discharged
-        (Printf.sprintf "checked on a %d-cycle trace"
-           (List.length report.Consistency.trace))
-    | Consistency.Lemma_skipped_rollback ->
-      Discharged "not applicable: the trace contains rollbacks (paper 6.1)"
-    | Consistency.Lemma_failed es -> Failed (String.concat "; " es)
-  in
-  let engine_status =
-    match ti with
-    | Ok () ->
-      Discharged
-        (Printf.sprintf "re-derived on a %d-cycle trace"
-           (List.length report.Consistency.trace))
-    | Error es -> Failed (String.concat "; " es)
-  in
-  let consistency_status register =
-    let mine =
-      List.filter
-        (fun (v : Consistency.violation) ->
-          String.equal v.Consistency.register register)
-        report.Consistency.violations
-    in
-    match mine with
-    | [] ->
-      if report.Consistency.outcome = Pipeline.Pipesem.Completed then
-        Discharged
-          (Printf.sprintf "co-simulated %d instructions, %d comparisons%s"
-             report.Consistency.instructions report.Consistency.edge_checks
-             (Option.value ~default:"" symbolic_evidence))
-      else Failed "run did not complete"
-    | v :: _ ->
-      Failed
-        (Printf.sprintf "instr %d: expected %s, got %s" v.Consistency.tag
-           v.Consistency.expected v.Consistency.got)
-  in
-  let cosim_global_status () =
-    if Consistency.ok report then
-      Discharged
-        (Printf.sprintf "co-simulated %d instructions with no violations"
-           report.Consistency.instructions)
-    else Failed "data-consistency violations on the co-simulation"
+  let lemma1_status, engine_status, consistency_status, cosim_global_status,
+      lv_status =
+    match statuses with
+    | `All_cosim_failed failed ->
+      (failed, failed, (fun _ -> failed), failed, failed)
+    | `Statuses (report, symbolic_evidence, ti, live) ->
+      let lemma1_status =
+        match report.Consistency.lemma1 with
+        | Consistency.Lemma_ok ->
+          Discharged
+            (Printf.sprintf "checked on a %d-cycle trace"
+               (List.length report.Consistency.trace))
+        | Consistency.Lemma_skipped_rollback ->
+          Discharged "not applicable: the trace contains rollbacks (paper 6.1)"
+        | Consistency.Lemma_failed es -> Failed (String.concat "; " es)
+      in
+      let engine_status =
+        match ti with
+        | Ok () ->
+          Discharged
+            (Printf.sprintf "re-derived on a %d-cycle trace"
+               (List.length report.Consistency.trace))
+        | Error es -> Failed (String.concat "; " es)
+      in
+      let consistency_status register =
+        let mine =
+          List.filter
+            (fun (v : Consistency.violation) ->
+              String.equal v.Consistency.register register)
+            report.Consistency.violations
+        in
+        match mine with
+        | [] ->
+          if report.Consistency.outcome = Pipeline.Pipesem.Completed then
+            Discharged
+              (Printf.sprintf "co-simulated %d instructions, %d comparisons%s"
+                 report.Consistency.instructions report.Consistency.edge_checks
+                 (Option.value ~default:"" symbolic_evidence))
+          else Failed "run did not complete"
+        | v :: _ ->
+          Failed
+            (Printf.sprintf
+               "cycle %d stage %d instr %d%s: register %s diverged, expected \
+                %s, got %s"
+               v.Consistency.at_cycle v.Consistency.at_stage v.Consistency.tag
+               (disassemble v.Consistency.tag)
+               v.Consistency.register v.Consistency.expected v.Consistency.got)
+      in
+      let cosim_global_status =
+        if Consistency.ok report then
+          Discharged
+            (Printf.sprintf "co-simulated %d instructions with no violations"
+               report.Consistency.instructions)
+        else
+          match report.Consistency.violations with
+          | v :: _ ->
+            Failed
+              (Printf.sprintf
+                 "data-consistency violation at cycle %d instr %d%s on \
+                  register %s"
+                 v.Consistency.at_cycle v.Consistency.tag
+                 (disassemble v.Consistency.tag) v.Consistency.register)
+          | [] -> Failed "data-consistency violations on the co-simulation"
+      in
+      let lv_status =
+        match live with
+        | Ok live ->
+          if Liveness.ok live then
+            Discharged
+              (Printf.sprintf "max inter-retirement gap %d <= bound %d"
+                 live.Liveness.max_gap live.Liveness.bound)
+          else
+            Failed
+              (Printf.sprintf "liveness bound exceeded: max gap %d > bound %d"
+                 live.Liveness.max_gap live.Liveness.bound)
+        | Error msg -> Failed ("liveness check aborted: " ^ msg)
+      in
+      (lemma1_status, engine_status, consistency_status, cosim_global_status,
+       lv_status)
   in
   List.iter
     (fun o ->
@@ -317,13 +398,8 @@ let discharge_all ?ext ?max_instructions ?reference ?compiled ?pool
            | Some (Error msg) -> Failed msg
          end
          else if starts "L2." || starts "L3." || starts "SP." then
-           cosim_global_status ()
-         else if String.equal id "LV" then
-           if Liveness.ok live then
-             Discharged
-               (Printf.sprintf "max inter-retirement gap %d <= bound %d"
-                  live.Liveness.max_gap live.Liveness.bound)
-           else Failed "liveness bound exceeded"
+           cosim_global_status
+         else if String.equal id "LV" then lv_status
          else Pending))
     obs;
   obs

@@ -41,6 +41,9 @@ val discharge_all :
   ?reference:Machine.Seqsem.trace ->
   ?compiled:Pipeline.Pipesem.compiled ->
   ?pool:Exec.Pool.t ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
+  ?disasm:(int -> string option) ->
   Pipeline.Transform.t ->
   obligation list
 (** Generate and check.  Structural obligations are checked on the
@@ -55,7 +58,17 @@ val discharge_all :
     builds private state (a BDD manager per rule) or instantiates the
     shared immutable plan privately, and the statuses are assembled in
     the fixed obligation order — the result is bit-identical to the
-    serial discharge. *)
+    serial discharge.
+
+    No checker exception escapes as an exception: a co-simulation
+    that diverges or dies (e.g. on a fault-campaign mutant) marks the
+    obligations it was meant to discharge [Failed] with typed
+    evidence — the diverging register, cycle, stage, instruction tag
+    and (via [disasm], a tag-to-text hook) its disassembly — so one
+    failing obligation never masks the others.  [inject] runs the
+    behavioural checks against a faulted machine and disables the
+    symbolic strengthening (which replays unfaulted semantics).
+    Only {!Exec.Cancel.Cancelled} propagates, when [cancel] fires. *)
 
 val all_discharged : obligation list -> bool
 

@@ -19,8 +19,8 @@ let compiled t = Lazy.force t.sim_compiled
 
 let stop t = function Some n -> n | None -> t.sim_instructions
 
-let run ?ext ?callbacks ?max_cycles ?stop_after t =
-  Pipeline.Pipesem.run_compiled ?ext ?callbacks ?max_cycles
+let run ?ext ?callbacks ?inject ?cancel ?max_cycles ?stop_after t =
+  Pipeline.Pipesem.run_compiled ?ext ?callbacks ?inject ?cancel ?max_cycles
     ~stop_after:(stop t stop_after) (compiled t)
 
 let run_interpreted ?ext ?callbacks ?max_cycles ?stop_after t =
@@ -35,10 +35,12 @@ let trace_vcd ~path ?ext ?registers ?signals ?stop_after t =
   Pipeline.Tracer.write ~path ?ext ?registers ?signals
     ~compiled:(compiled t) ~stop_after:(stop t stop_after) t.sim_tr
 
-let verify ?ext ?max_instructions t =
+let reference t = t.sim_reference
+
+let verify ?ext ?max_instructions ?inject ?cancel t =
   Proof_engine.Consistency.check ?ext
     ~max_instructions:(stop t max_instructions)
-    ?reference:t.sim_reference ~compiled:(compiled t) t.sim_tr
+    ?reference:t.sim_reference ~compiled:(compiled t) ?inject ?cancel t.sim_tr
 
 let stats_row ?label t (s : Pipeline.Pipesem.stats) =
   let label = match label with Some l -> l | None -> "sim" in

@@ -39,11 +39,14 @@ val compiled : t -> Pipeline.Pipesem.compiled
 val run :
   ?ext:Pipeline.Pipesem.ext_model ->
   ?callbacks:Pipeline.Pipesem.callbacks ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
   ?max_cycles:int ->
   ?stop_after:int ->
   t ->
   Pipeline.Pipesem.result
-(** Cycle-accurate simulation through the compiled plan. *)
+(** Cycle-accurate simulation through the compiled plan.  [inject]
+    and [cancel] as in {!Pipeline.Pipesem.run_compiled}. *)
 
 val run_interpreted :
   ?ext:Pipeline.Pipesem.ext_model ->
@@ -73,14 +76,21 @@ val trace_vcd :
   Pipeline.Pipesem.result
 (** Simulation with waveform capture ({!Pipeline.Tracer.write}). *)
 
+val reference : t -> Machine.Seqsem.trace option
+(** The stored specification trace, if one was given to {!make}. *)
+
 val verify :
   ?ext:Pipeline.Pipesem.ext_model ->
   ?max_instructions:int ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
   t ->
   Proof_engine.Consistency.report
 (** Data-consistency co-simulation against the stored reference trace
     (or the prepared sequential machine when none was given).
-    [max_instructions] defaults to {!instructions}. *)
+    [max_instructions] defaults to {!instructions}.  [inject] checks
+    a faulted machine against the unfaulted reference; [cancel]
+    aborts by raising {!Exec.Cancel.Cancelled}. *)
 
 val stats_row : ?label:string -> t -> Pipeline.Pipesem.stats -> Stats.row
 (** Summarize into a workload table row; the sequential-machine stage

@@ -120,6 +120,80 @@ let test_invalid_size () =
   | (_ : Pool.t) -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Fault-isolated map (map_result): failure paths                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_result_failure_isolated () =
+  (* A raising task yields Failed for its slot only; every sibling
+     still completes and the pool survives at full width. *)
+  Pool.with_pool ~size:4 @@ fun pool ->
+  let rs =
+    Pool.map_result pool
+      (fun ~cancel:_ x ->
+        if x mod 3 = 0 then failwith ("boom" ^ string_of_int x) else x * 2)
+      (List.init 7 Fun.id)
+  in
+  Alcotest.(check int) "one result per input" 7 (List.length rs);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Pool.Done v ->
+        Alcotest.(check bool) "survivor slot" false (i mod 3 = 0);
+        Alcotest.(check int) "survivor value" (i * 2) v
+      | Pool.Failed (Failure msg, _) ->
+        Alcotest.(check bool) "failed slot" true (i mod 3 = 0);
+        Alcotest.(check string) "failure message"
+          ("boom" ^ string_of_int i) msg
+      | Pool.Failed _ -> Alcotest.fail "unexpected exception kind"
+      | Pool.Timed_out _ -> Alcotest.fail "unexpected timeout")
+    rs;
+  Alcotest.(check (list int)) "pool reusable after failures" [ 2; 4; 6 ]
+    (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_map_result_timeout_spinner () =
+  (* A task that spins forever but polls its token: the deadline trips
+     it, the slot is Timed_out with the elapsed time, and no worker
+     domain is lost — a later full-width batch still completes. *)
+  Pool.with_pool ~size:2 @@ fun pool ->
+  let rs =
+    Pool.map_result ~timeout_s:0.2 pool
+      (fun ~cancel x ->
+        if x = 1 then
+          while true do
+            Exec.Cancel.check cancel;
+            Domain.cpu_relax ()
+          done;
+        x)
+      [ 0; 1; 2 ]
+  in
+  (match rs with
+  | [ Pool.Done 0; Pool.Timed_out dt; Pool.Done 2 ] ->
+    Alcotest.(check bool) "elapsed covers the deadline" true (dt >= 0.2)
+  | _ -> Alcotest.fail "expected [Done 0; Timed_out _; Done 2]");
+  Alcotest.(check (list int)) "pool at full width after the timeout"
+    (List.init 8 succ)
+    (Pool.map pool succ (List.init 8 Fun.id))
+
+let test_map_result_nested_under_failure () =
+  (* A sibling raises while another task runs a nested Pool.map on the
+     same pool: the nested batch is unaffected (helping keeps it
+     deadlock-free) and only the raising slot is Failed. *)
+  Pool.with_pool ~size:2 @@ fun pool ->
+  let rs =
+    Pool.map_result pool
+      (fun ~cancel:_ x ->
+        if x = 0 then failwith "sibling"
+        else Pool.map pool (fun y -> (10 * x) + y) [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  match rs with
+  | [ Pool.Failed (Failure msg, _); Pool.Done r1; Pool.Done r2 ] ->
+    Alcotest.(check string) "sibling message" "sibling" msg;
+    Alcotest.(check (list int)) "nested under failure 1" [ 10; 11; 12 ] r1;
+    Alcotest.(check (list int)) "nested under failure 2" [ 20; 21; 22 ] r2
+  | _ -> Alcotest.fail "expected [Failed; Done; Done]"
+
 let test_map_opt () =
   Alcotest.(check (list int)) "None = List.map" [ 2; 3 ]
     (Pool.map_opt None succ [ 1; 2 ]);
@@ -211,6 +285,15 @@ let () =
           Alcotest.test_case "shutdown rejects" `Quick test_shutdown_rejects;
           Alcotest.test_case "invalid size" `Quick test_invalid_size;
           Alcotest.test_case "map_opt" `Quick test_map_opt;
+        ] );
+      ( "map_result",
+        [
+          Alcotest.test_case "failure isolated, batch drains" `Quick
+            test_map_result_failure_isolated;
+          Alcotest.test_case "timeout cancels a spinner" `Quick
+            test_map_result_timeout_spinner;
+          Alcotest.test_case "nested map under raising sibling" `Quick
+            test_map_result_nested_under_failure;
         ] );
       ( "determinism",
         [
