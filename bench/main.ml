@@ -658,6 +658,148 @@ let perf_parallel ~jobs () =
   add_entry (Obs.Export.entry ~ns_per_run:speedup "PERF.par_sweep_speedup")
 
 (* ------------------------------------------------------------------ *)
+(* PERF-BMC: compile-once batched verification vs rebuild-per-program  *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched paths (Bmc.exhaustive ~load, Sweep ~batched) compile
+   the machine shape once and drive every program by rebinding initial
+   register values over per-domain sessions.  This section is both the
+   benchmark (ns/program, programs/s, the PERF.bmc entries) and the
+   @check guard that the fast path can never silently diverge: batched
+   outcomes must equal the rebuild path's bit for bit, serially and
+   under the pool, or the run fails. *)
+let perf_bmc ~jobs () =
+  section "PERF-BMC"
+    (Printf.sprintf
+       "Batched (compile-once) vs rebuild-per-program verification (-j %d)"
+       jobs);
+  (* One machine family per row: equality-check the three paths, then
+     export the outcome (semantic — regressed by compare_baseline) and
+     the per-program timings (informational). *)
+  let pair name ~build ~load ~alphabet ~length =
+    let bmc ?pool ~batched () =
+      Proof_engine.Bmc.exhaustive ?pool
+        ?load:(if batched then Some load else None)
+        ~build ~alphabet ~length ()
+    in
+    let rebuild = bmc ~batched:false () in
+    let batched = bmc ~batched:true () in
+    let batched_par =
+      Exec.Pool.with_pool ~size:jobs @@ fun pool -> bmc ~pool ~batched:true ()
+    in
+    if batched <> rebuild || batched_par <> rebuild then begin
+      Format.printf "BATCHED BMC DIVERGES from the rebuild path on %s (-j %d)!@."
+        name jobs;
+      exit 1
+    end;
+    let programs = rebuild.Proof_engine.Bmc.programs in
+    let failures = List.length rebuild.Proof_engine.Bmc.failures in
+    add_entry
+      (Obs.Export.entry
+         ~breakdown:
+           [
+             ("programs", float_of_int programs);
+             ("failures", float_of_int failures);
+           ]
+         (Printf.sprintf "PERF.bmc_%s_outcome" name));
+    let per ~batched =
+      time_ns_per_run (fun () -> bmc ~batched ()) /. float_of_int programs
+    in
+    let np_r = per ~batched:false in
+    let np_b = per ~batched:true in
+    let speedup = np_r /. np_b in
+    Format.printf
+      "  %-6s %4d programs: rebuild %8.0f ns/prog (%8.0f/s), batched %8.0f \
+       ns/prog (%8.0f/s): %5.2fx, outcomes bit-identical at -j %d@."
+      name programs np_r (1e9 /. np_r) np_b (1e9 /. np_b) speedup jobs;
+    add_entry
+      (Obs.Export.entry ~ns_per_run:np_r
+         (Printf.sprintf "PERF.bmc_%s_rebuild" name));
+    add_entry
+      (Obs.Export.entry ~ns_per_run:np_b
+         (Printf.sprintf "PERF.bmc_%s_batched" name));
+    add_entry
+      (Obs.Export.entry ~ns_per_run:speedup
+         (Printf.sprintf "PERF.bmc_%s_speedup" name))
+  in
+  (* The 3-stage toy: run cost is a large share of the rebuild cost,
+     so this is the conservative end of the win. *)
+  pair "toy"
+    ~build:(fun program -> Core.Toy.transform ~program ())
+    ~load:(fun program -> Core.Toy.image ~program)
+    ~alphabet:
+      [
+        Core.Toy.encode ~dst:1 ~src1:1 ~src2:1;
+        Core.Toy.encode ~dst:2 ~src1:1 ~src2:1;
+        Core.Toy.encode ~dst:1 ~src1:2 ~src2:2;
+        Core.Toy.encode ~dst:3 ~src1:1 ~src2:3;
+      ]
+    ~length:3;
+  (* A deep generated machine (6 stages, late unit, accumulator):
+     transform + plan compilation dominates the rebuild path — the
+     shape the compile-once design targets. *)
+  let p =
+    {
+      Proof_engine.Machine_gen.n_stages = 6;
+      data_width = 16;
+      addr_bits = 3;
+      late_stage = Some 3;
+      has_accumulator = true;
+      seed = 5;
+    }
+  in
+  let enc = Proof_engine.Machine_gen.encode p in
+  pair "gen6"
+    ~build:(fun program ->
+      Pipeline.Transform.run
+        ~hints:(Proof_engine.Machine_gen.hints p)
+        (Proof_engine.Machine_gen.machine p ~program))
+    ~load:(fun program -> Proof_engine.Machine_gen.image p ~program)
+    ~alphabet:
+      [
+        enc ~late:false ~dst:1 ~src1:1 ~src2:2;
+        enc ~late:false ~dst:2 ~src1:1 ~src2:1;
+        enc ~late:true ~dst:1 ~src1:2 ~src2:1;
+        enc ~late:true ~dst:2 ~src1:1 ~src2:2;
+      ]
+    ~length:3;
+  (* The benchmark machine itself, the 5-stage DLX: its ~ms
+     transform + plan compilation is the cost the batched path
+     amortizes, so this row carries the headline speedup. *)
+  pair "dlx"
+    ~build:(fun program -> Dlx.Seq_dlx.transform Dlx.Seq_dlx.Base ~program)
+    ~load:(fun program -> Dlx.Seq_dlx.image ~program ())
+    ~alphabet:
+      Dlx.Isa.
+        [
+          encode (Add (1, 1, 2));
+          encode (Addi (2, 1, 1));
+          encode (Sub (1, 2, 1));
+          encode (Xor (3, 1, 2));
+        ]
+    ~length:3;
+  (* Same guard and measurement for the workload sweeps. *)
+  let biases = [ 0.0; 0.5; 1.0 ] in
+  let sweep ~batched () =
+    Workload.Sweep.dependency_sweep ~batched ~biases ~length:200 ~seed:7 ()
+  in
+  let rows_rebuild = sweep ~batched:false () in
+  let rows_batched = sweep ~batched:true () in
+  if rows_rebuild <> rows_batched then begin
+    Format.printf "BATCHED SWEEP ROWS DIVERGE from the rebuild path!@.";
+    exit 1
+  end;
+  let ns_sr = time_ns_per_run (fun () -> sweep ~batched:false ()) in
+  let ns_sb = time_ns_per_run (fun () -> sweep ~batched:true ()) in
+  Format.printf
+    "  sweep (%d points): rebuild %.2f ms, batched %.2f ms: speedup %.2fx, \
+     rows bit-identical@."
+    (List.length biases) (ns_sr /. 1e6) (ns_sb /. 1e6) (ns_sr /. ns_sb);
+  add_entry
+    (Obs.Export.entry ~ns_per_run:(ns_sr /. ns_sb)
+       "PERF.sweep_batched_vs_rebuild")
+
+(* ------------------------------------------------------------------ *)
 (* CAMPAIGN: fault-injection detection coverage (smoke campaign)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -875,14 +1017,16 @@ let run_bechamel () =
 
 (* --smoke: the fast subset wired into the @check alias — T1, F2 and
    C1 on one tiny kernel, the compiled-vs-interpreted perf check, the
-   parallel-sweep determinism check, the fault-injection smoke
-   campaign, plus the export round-trip check. *)
+   parallel-sweep determinism check, the batched-vs-rebuild BMC/sweep
+   agreement check, the fault-injection smoke campaign, plus the
+   export round-trip check. *)
 let smoke ~jobs () =
   table1 ();
   figure2 ();
   case_study ~kernels:[ Dlx.Progs.fib 5 ] ();
   perf_compiled ();
   perf_parallel ~jobs ();
+  perf_bmc ~jobs ();
   campaign_smoke ~jobs ();
   write_export ();
   Format.printf "@.smoke ok.@."
@@ -904,6 +1048,7 @@ let full ~jobs () =
   retime_sweep ();
   perf_compiled ();
   perf_parallel ~jobs ();
+  perf_bmc ~jobs ();
   campaign_smoke ~jobs ();
   run_bechamel ();
   write_export ();

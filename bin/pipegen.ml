@@ -554,9 +554,10 @@ let campaign_cmd =
         in
         Some ((fun program -> Core.Toy.transform ~program ()), alphabet, 2)
     in
+    let bmc_load = (fun program -> Core.Toy.image ~program) in
     let target =
       Fault.Campaign.make_target ?reference:s.reference
-        ~instructions:(sel_instructions s) ?disasm:s.disasm ?bmc tr
+        ~instructions:(sel_instructions s) ?disasm:s.disasm ?bmc ~bmc_load tr
     in
     let outcomes, summary =
       with_jobs jobs @@ fun pool ->

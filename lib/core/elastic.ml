@@ -142,6 +142,16 @@ let machine ~n ~program =
       ];
   }
 
+(* The program-dependent part of [machine]'s init (the IMEM contents):
+   depth and register-file seeding are fixed per [n], so this is the
+   [?init] override for batched checking over one compiled shape. *)
+let image ~program =
+  [
+    ( "IMEM",
+      Machine.Value.file_of_list ~width:16 ~addr_bits:8
+        (List.map (fun v -> Hw.Bitvec.make ~width:16 v) program) );
+  ]
+
 let hints ~n =
   ignore n;
   [

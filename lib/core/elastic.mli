@@ -34,6 +34,13 @@ val machine : n:int -> program:int list -> Machine.Spec.t
 (** Registers r1..r4 start as 1..4.
     @raise Invalid_argument if [n < min_stages]. *)
 
+val image : program:int list -> (string * Machine.Value.t) list
+(** The program-dependent initial values only (the IMEM contents); the
+    machine structure, depth and register-file seeding are fixed by
+    [n], so this is the [?init] override for batched checking
+    ({!Proof_engine.Bmc.exhaustive}'s [load],
+    {!Proof_engine.Consistency.check_batched}). *)
+
 val hints : n:int -> Pipeline.Fwd_spec.hint list
 
 val transform :

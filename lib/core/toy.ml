@@ -66,6 +66,17 @@ let machine ~program =
       ];
   }
 
+(* The program-dependent part of [machine]'s init: everything else in
+   the spec is identical for every program, which is what lets the
+   batched checkers treat the program as data over one compiled
+   shape. *)
+let image ~program =
+  [
+    ( "IMEM",
+      Machine.Value.file_of_list ~width:16 ~addr_bits:8
+        (List.map (bv ~width:16) program) );
+  ]
+
 let hints =
   [
     Pipeline.Fwd_spec.hint ~stage:1 ~label:"srcA"

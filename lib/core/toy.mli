@@ -13,6 +13,13 @@ val encode : dst:int -> src1:int -> src2:int -> int
 val machine : program:int list -> Machine.Spec.t
 (** Registers r1 and r2 start as 1 and 2; everything else is zero. *)
 
+val image : program:int list -> (string * Machine.Value.t) list
+(** The program-dependent initial values only (the IMEM contents):
+    the [?init] override that makes [machine ~program] out of any
+    other program's machine of the same shape.  Feed to
+    {!Proof_engine.Consistency.check_batched} /
+    {!Proof_engine.Bmc.exhaustive}'s [load]. *)
+
 val hints : Pipeline.Fwd_spec.hint list
 
 val transform :

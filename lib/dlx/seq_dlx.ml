@@ -493,6 +493,36 @@ let speculations variant =
       };
     ]
 
+(* The point-dependent part of [machine]'s init — IMEM (the program)
+   and MEM (the data image).  Everything else (PC/DPC/SR/SPC and the
+   machine structure) depends only on the variant, so sweeps compile
+   one shape per variant and rebind these per point. *)
+(* The all-zero MEM table, shared by every empty-[data] image: images
+   are read-only initial values ([State.reset] copies out of them), so
+   one 4096-entry array serves the whole batched sweep instead of
+   being reallocated per program.  Eager, not [lazy] — [image] runs on
+   pool workers and OCaml lazy is not domain-safe. *)
+let zero_mem =
+  Machine.Value.File (Array.make (1 lsl mem_addr_bits) (Hw.Bitvec.zero 32))
+
+let image ?(data = []) ~program () =
+  let imem =
+    Machine.Value.file_of_list ~width:32 ~addr_bits:mem_addr_bits
+      (List.map (fun v -> Hw.Bitvec.make ~width:32 v) program)
+  in
+  let mem =
+    match data with
+    | [] -> zero_mem
+    | data ->
+      let arr = Array.make (1 lsl mem_addr_bits) (Hw.Bitvec.zero 32) in
+      List.iter
+        (fun (i, v) ->
+          arr.(i land ((1 lsl mem_addr_bits) - 1)) <- Hw.Bitvec.make ~width:32 v)
+        data;
+      Machine.Value.File arr
+  in
+  [ ("IMEM", imem); ("MEM", mem) ]
+
 let transform ?options ?data variant ~program =
   Pipeline.Transform.run ?options ~hints:(hints variant)
     ~speculations:(speculations variant)

@@ -44,6 +44,17 @@ val speculations : variant -> Pipeline.Fwd_spec.speculation list
     [With_interrupts]; the next-fetch-address speculation for
     [Branch_predict]. *)
 
+val image :
+  ?data:(int * int) list -> program:int list -> unit ->
+  (string * Machine.Value.t) list
+(** The point-dependent initial values only — IMEM from [program] and
+    MEM from [data], exactly as {!machine} initializes them.  The
+    [?init] override that drives one compiled machine shape (fixed
+    variant and options) across many programs in batched sweeps.
+    Treat the result as read-only: consumers copy out of it
+    ({!Machine.State.reset}), and the empty-[data] MEM table is one
+    shared array. *)
+
 val transform :
   ?options:Pipeline.Fwd_spec.options ->
   ?data:(int * int) list ->

@@ -24,19 +24,27 @@ let ok s = s.missed = 0 && s.aborted = 0
 
 type target = {
   tgt_tr : Transform.t;
+  tgt_compiled : Pipesem.compiled;
+      (* compiled once per campaign; serves the golden run and every
+         behavioural mutant (their [mut_tr] is physically the target's
+         transform — only structural mutants carry a rewritten netlist
+         and recompile) *)
   tgt_reference : Machine.Seqsem.trace option;
   tgt_instructions : int;
   tgt_disasm : (int -> string option) option;
   tgt_bmc : ((int list -> Transform.t) * int list * int) option;
+  tgt_bmc_load : (int list -> (string * Machine.Value.t) list) option;
 }
 
-let make_target ?reference ?(instructions = 200) ?disasm ?bmc tr =
+let make_target ?reference ?(instructions = 200) ?disasm ?bmc ?bmc_load tr =
   {
     tgt_tr = tr;
+    tgt_compiled = Pipesem.compile tr;
     tgt_reference = reference;
     tgt_instructions = instructions;
     tgt_disasm = disasm;
     tgt_bmc = bmc;
+    tgt_bmc_load = bmc_load;
   }
 
 let class_label = function
@@ -110,8 +118,15 @@ let classify ~cancel (t : target) ~golden (m : Mutate.mutant) =
       out_evidence;
     }
   in
+  (* A behavioural mutant's transform is physically the target's
+     (only the injection hooks differ), so the target's precompiled
+     plan serves it; a structural mutant's rewritten netlist must be
+     recompiled. *)
+  let compiled =
+    if m.Mutate.mut_tr == t.tgt_tr then Some t.tgt_compiled else None
+  in
   match
-    Core.verify_result ?reference:t.tgt_reference
+    Core.verify_result ?reference:t.tgt_reference ?compiled
       ~max_instructions:t.tgt_instructions ?inject ~cancel
       ?disasm:t.tgt_disasm m.Mutate.mut_tr
   with
@@ -126,9 +141,12 @@ let classify ~cancel (t : target) ~golden (m : Mutate.mutant) =
       | None -> None
       | Some (build, alphabet, length) ->
         let build program = Mutate.rewrite m.Mutate.mut_fault (build program) in
+        (* With a load function the sweep is batched: [build] (and the
+           fault rewrite) runs once per mutant instead of once per
+           program — see {!Proof_engine.Bmc.exhaustive}. *)
         let o =
-          Proof_engine.Bmc.exhaustive ~max_failures:1 ?inject ~cancel ~build
-            ~alphabet ~length ()
+          Proof_engine.Bmc.exhaustive ~max_failures:1 ?inject ~cancel
+            ?load:t.tgt_bmc_load ~build ~alphabet ~length ()
         in
         if Proof_engine.Bmc.ok o then None
         else
@@ -144,8 +162,15 @@ let classify ~cancel (t : target) ~golden (m : Mutate.mutant) =
     | Some evidence -> finish Detected evidence
     | None -> (
       match
-        Pipesem.run ?inject ~cancel ~stop_after:t.tgt_instructions
-          m.Mutate.mut_tr
+        match compiled with
+        | Some c ->
+          (* Session path: the faulted run reuses this domain's cached
+             instance of the target's plan (reset on entry). *)
+          Pipesem.run_session ?inject ~cancel
+            ~stop_after:t.tgt_instructions (Pipesem.local_session c)
+        | None ->
+          Pipesem.run ?inject ~cancel ~stop_after:t.tgt_instructions
+            m.Mutate.mut_tr
       with
       | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
       | exception e ->
@@ -252,9 +277,11 @@ let run ?pool ?timeout_s ?checkpoint ?(resume = false) ?metrics (t : target)
     | Error _ -> ())
   | _ -> ());
   (* One golden (unfaulted) run serves every mutant's masked-vs-missed
-     comparison. *)
+     comparison; it replays the target's precompiled plan. *)
   let golden =
-    let r = Pipesem.run ~stop_after:t.tgt_instructions t.tgt_tr in
+    let r =
+      Pipesem.run_compiled ~stop_after:t.tgt_instructions t.tgt_compiled
+    in
     Machine.State.snapshot_visible t.tgt_tr.Transform.machine r.Pipesem.state
   in
   let results = Hashtbl.copy prior in

@@ -52,16 +52,27 @@ val make_target :
   ?instructions:int ->
   ?disasm:(int -> string option) ->
   ?bmc:(int list -> Pipeline.Transform.t) * int list * int ->
+  ?bmc_load:(int list -> (string * Machine.Value.t) list) ->
   Pipeline.Transform.t ->
   target
-(** The machine under test.  [reference] is the specification trace
-    the co-simulations compare against (default: the prepared
-    sequential machine itself); [instructions] the workload length
-    (default 200); [disasm] renders instruction tags in evidence
-    strings; [bmc = (build, alphabet, length)] adds an exhaustive
-    sweep per mutant — [build] constructs the {e unfaulted} machine
-    for a program, the campaign re-applies each structural fault to
-    it ({!Mutate.rewrite}). *)
+(** The machine under test.  Its evaluation plan is compiled once,
+    here: the golden run and every {e behavioural} mutant (injection
+    hooks over the unchanged netlist) replay it through per-domain
+    sessions; only {e structural} mutants — whose fault is a rewritten
+    netlist ({!Mutate.mut_structural}) — still transform and compile
+    their own machine.
+
+    [reference] is the specification trace the co-simulations compare
+    against (default: the prepared sequential machine itself);
+    [instructions] the workload length (default 200); [disasm] renders
+    instruction tags in evidence strings; [bmc = (build, alphabet,
+    length)] adds an exhaustive sweep per mutant — [build] constructs
+    the {e unfaulted} machine for a program, the campaign re-applies
+    each structural fault to it ({!Mutate.rewrite}).  [bmc_load] makes
+    those sweeps batched (compile once {e per mutant}, see
+    {!Proof_engine.Bmc.exhaustive}): it must return the
+    program-dependent initial values of [build]'s machine (e.g.
+    [Core.Toy.image]). *)
 
 val run :
   ?pool:Exec.Pool.t ->

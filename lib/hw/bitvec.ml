@@ -6,10 +6,17 @@ let max_width = 62
 
 let mask w = if w = max_width then -1 lsr (63 - max_width) else (1 lsl w) - 1
 
+(* Zeros are interned per width: register-file images pad with zeros,
+   and sharing one object per width lets session resets and snapshot
+   comparisons recognize untouched entries by pointer (it also spares
+   the allocation). *)
+let zeros = Array.init (max_width + 1) (fun w -> { w; v = 0 })
+
 let make ~width v =
   if width < 1 || width > max_width then
     invalid_arg (Printf.sprintf "Bitvec.make: width %d not in 1..%d" width max_width);
-  { w = width; v = v land mask width }
+  let v = v land mask width in
+  if v = 0 then zeros.(width) else { w = width; v }
 
 let zero width = make ~width 0
 let one width = make ~width 1

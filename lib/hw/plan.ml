@@ -286,14 +286,23 @@ let iter_files p f =
 let slot_name p s =
   if s >= 0 && s < Array.length p.names then p.names.(s) else None
 
+let unbound_reader p i _ = rerr "unbound register file %s" p.file_names.(i)
+
 let instance p =
   let slots = Array.make (max p.p_n_slots 1) (Bitvec.zero 1) in
   Array.iter (fun (s, v) -> slots.(s) <- v) p.consts;
   let files =
-    Array.init (Array.length p.file_names) (fun i ->
-        fun _ -> rerr "unbound register file %s" p.file_names.(i))
+    Array.init (Array.length p.file_names) (fun i -> unbound_reader p i)
   in
   { plan = p; slots; files }
+
+let reset inst =
+  let p = inst.plan in
+  Array.fill inst.slots 0 (Array.length inst.slots) (Bitvec.zero 1);
+  Array.iter (fun (s, v) -> inst.slots.(s) <- v) p.consts;
+  for i = 0 to Array.length inst.files - 1 do
+    inst.files.(i) <- unbound_reader p i
+  done
 
 let bind_file inst name reader =
   match Hashtbl.find_opt inst.plan.p_files name with

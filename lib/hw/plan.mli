@@ -31,6 +31,23 @@
     ({!set}), then {!run} executes the tape; read results with {!get}.
     A plan is immutable and can back any number of instances.
 
+    {2 Instance reuse}
+
+    Instances are designed to be reused across evaluation contexts
+    rather than reallocated: {!reset} returns an instance to its
+    freshly created state (constants reloaded, every other slot
+    cleared, every file unbound), after which it may serve an
+    unrelated program or data image over the same plan.  Rebinding is
+    also supported without a reset: {!bind_file} {e replaces} the
+    current reader for a file, and {!run} recomputes every non-input
+    slot from scratch, so a caller that rebinds all files and reloads
+    all input slots between runs observes no state from the previous
+    evaluation.  {!reset} is the belt-and-braces form for handing an
+    instance to a new context: it also clears slots left over from an
+    aborted or cancelled run and downgrades stale file bindings back
+    to {!Run_error}-raising stubs, so forgetting a rebind fails loudly
+    instead of silently reading the previous context's data.
+
     {2 Thread safety}
 
     The plan/instance split is the concurrency contract for the whole
@@ -44,7 +61,10 @@
       concurrent evaluation, never shared).
 
     Callers running plan-backed simulations in an {!Exec.Pool} compile
-    once and create a fresh instance inside each task. *)
+    once and keep {e one reusable instance per domain} (domain-local
+    storage keyed by the plan, as in {!Pipeline.Pipesem.local_session}),
+    resetting or rebinding it between tasks instead of allocating a
+    fresh instance inside every task. *)
 
 exception Compile_error of string
 (** Width mismatch, undeclared name, or duplicate definition. *)
@@ -114,6 +134,14 @@ val slot_name : t -> int -> string option
 
 val instance : t -> instance
 (** Fresh slots (constants preloaded), no files bound. *)
+
+val reset : instance -> unit
+(** Return the instance to its freshly created state: constants are
+    reloaded, every other slot is cleared, and every file binding is
+    dropped (subsequent file reads raise {!Run_error} until
+    {!bind_file} is called again).  Equivalent to replacing the
+    instance with [instance (plan of inst)] but without allocation;
+    see the instance-reuse contract above. *)
 
 val bind_file : instance -> string -> (Bitvec.t -> Bitvec.t) -> unit
 (** Bind a register-file reader.  Unknown names are ignored (the plan

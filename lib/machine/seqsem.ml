@@ -34,20 +34,51 @@ let compile (m : Spec.t) =
 
 let spec cm = cm.cm_spec
 
-let run_state_compiled ?(halt = fun _ -> false) ~max_instructions cm =
-  let m = cm.cm_spec in
-  let state = State.create m in
+(* A session: one persistent state with the per-stage plans bound to
+   it once.  [run_session] resets the state (cells mutate in place, so
+   the bindings stay wired) and replays the machine on new initial
+   contents. *)
+type session = {
+  ss_cm : compiled;
+  ss_state : State.t;
+  ss_stages : (State.bound * Commit.cstage) array;
+  mutable ss_arena : (string * Value.t) list list;
+      (* last run's trace snapshots, recycled by the next run — this
+         is what invalidates a session's previous trace *)
+}
+
+let session cm =
+  let state = State.create cm.cm_spec in
   let stages =
     Array.map
       (fun (plan, cs) -> (State.bind_plan state plan, cs))
       cm.cm_stages
   in
+  { ss_cm = cm; ss_state = state; ss_stages = stages; ss_arena = [] }
+
+let run_session ?(halt = fun _ -> false) ?init ~max_instructions s =
+  let m = s.ss_cm.cm_spec in
+  let state = s.ss_state in
+  let stages = s.ss_stages in
+  State.reset ?init m state;
   let step k =
     let bound, cs = stages.(k) in
     State.load bound;
     Hw.Plan.run (State.bound_instance bound);
     Commit.apply state
       (Commit.stage_updates_compiled (State.bound_instance bound) cs)
+  in
+  let arena = ref s.ss_arena in
+  s.ss_arena <- [];
+  let snapshot () =
+    let prev =
+      match !arena with
+      | [] -> []
+      | p :: tl ->
+        arena := tl;
+        p
+    in
+    State.snapshot_visible_reusing ~prev m state
   in
   let snaps = ref [] in
   let count = ref 0 in
@@ -58,20 +89,44 @@ let run_state_compiled ?(halt = fun _ -> false) ~max_instructions cm =
          halted := true;
          raise Exit
        end;
-       snaps := State.snapshot_visible m state :: !snaps;
+       snaps := snapshot () :: !snaps;
        for k = 0 to m.n_stages - 1 do
          step k
        done;
        incr count
      done
    with Exit -> ());
-  snaps := State.snapshot_visible m state :: !snaps;
+  snaps := snapshot () :: !snaps;
+  s.ss_arena <- !snaps;
   ( {
       spec_before = Array.of_list (List.rev !snaps);
       instructions = !count;
       halted = !halted;
     },
     state )
+
+let run_state_compiled ?halt ~max_instructions cm =
+  run_session ?halt ~max_instructions (session cm)
+
+(* Per-domain session cache: workers in an {!Exec.Pool} reuse one
+   session per compiled machine instead of binding plans per task.
+   Keyed by physical equality on [compiled]; bounded so abandoned
+   machines are eventually collectable. *)
+let local_sessions : (compiled * session) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let local_session cm =
+  let cache = Domain.DLS.get local_sessions in
+  match List.assq_opt cm !cache with
+  | Some s -> s
+  | None ->
+    let s = session cm in
+    cache := take 8 ((cm, s) :: !cache);
+    s
 
 let run_state ?halt ~max_instructions (m : Spec.t) =
   run_state_compiled ?halt ~max_instructions (compile m)

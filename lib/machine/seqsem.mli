@@ -42,6 +42,39 @@ val run_state_compiled :
   trace * State.t
 (** Execute a precompiled machine from its initial state. *)
 
+(** {1 Sessions (compile once, run many programs)}
+
+    A session pairs a compiled machine with one persistent
+    {!State.t} whose cells the per-stage plans are bound to.
+    {!run_session} resets the state in place (bindings survive —
+    see {!State.reset}), applies per-program initial-value
+    overrides, and replays the machine: many programs, one
+    compilation, no per-run plan binding.  A session is
+    single-domain mutable state (see {!Hw.Plan}); {!local_session}
+    maintains one per domain. *)
+
+type session
+
+val session : compiled -> session
+(** A fresh session over the compiled machine. *)
+
+val local_session : compiled -> session
+(** The calling domain's cached session for this compiled machine
+    (physical equality), created on first use.  Lets {!Exec.Pool}
+    workers bind plans once per domain rather than once per task. *)
+
+val run_session :
+  ?halt:(State.t -> bool) ->
+  ?init:(string * Value.t) list ->
+  max_instructions:int ->
+  session ->
+  trace * State.t
+(** Reset the session state — [init] entries override the spec's
+    initial values, see {!State.reset} — and execute.  The returned
+    state {e and trace} are the session's own (live until the next
+    [run_session] on this session, which recycles the trace's
+    snapshot storage): copy what must outlive the next run. *)
+
 val run :
   ?halt:(State.t -> bool) ->
   max_instructions:int ->

@@ -12,6 +12,62 @@ let create (m : Spec.t) =
     m.registers;
   tbl
 
+let reset ?(init = []) (m : Spec.t) t =
+  List.iter
+    (fun (n, _) ->
+      if not (Spec.register_exists m n) then
+        invalid_arg (Printf.sprintf "State.reset: unknown register %s" n))
+    init;
+  (* Registers are reset in place (cells survive) so plan bindings
+     capturing a cell stay wired across resets.
+     Refill an existing cell without allocating: register files are
+     rewritten in the cell's own array (keeping session resets off the
+     GC), and only entries that differ are stored — after the first
+     reset the arrays share their entries with the source image, so a
+     reset is a pointer scan plus the handful of entries the last run
+     dirtied.  The sharing also feeds the [Value.equal] pointer
+     shortcut. *)
+  let refill c v =
+    match (c.v, v) with
+    | Value.File dst, Value.File src
+      when dst != src && Array.length dst = Array.length src ->
+      (* [unsafe]: i < length src = length dst. *)
+      for i = 0 to Array.length src - 1 do
+        let s = Array.unsafe_get src i in
+        if Array.unsafe_get dst i != s then Array.unsafe_set dst i s
+      done
+    | _ -> c.v <- Value.copy v
+  in
+  List.iter
+    (fun (r : Spec.register) ->
+      let v =
+        match List.assoc_opt r.reg_name init with
+        | Some v -> Some v
+        | None -> List.assoc_opt r.reg_name m.Spec.init
+      in
+      match (Hashtbl.find_opt t r.reg_name, v) with
+      | Some c, Some v -> refill c v
+      | Some c, None -> (
+        match (c.v, r.kind) with
+        | Value.File dst, Spec.File { addr_bits }
+          when Array.length dst = 1 lsl addr_bits ->
+          Array.fill dst 0 (Array.length dst) (Hw.Bitvec.zero r.width)
+        | _ -> c.v <- Spec.initial_value m r)
+      | None, Some v -> Hashtbl.replace t r.reg_name { v = Value.copy v }
+      | None, None -> Hashtbl.replace t r.reg_name { v = Spec.initial_value m r })
+    m.registers;
+  (* Every spec register is now present, so names the spec does not
+     know — added by [set] during an instrumented run — exist only if
+     the table outgrew the spec; scan for them only then. *)
+  if Hashtbl.length t > List.length m.registers then begin
+    let extras =
+      Hashtbl.fold
+        (fun n _ acc -> if Spec.register_exists m n then acc else n :: acc)
+        t []
+    in
+    List.iter (Hashtbl.remove t) extras
+  end
+
 let get t name =
   match Hashtbl.find_opt t name with
   | Some c -> c.v
@@ -89,6 +145,39 @@ let snapshot_visible (m : Spec.t) t =
   Spec.visible_registers m
   |> List.map (fun (r : Spec.register) -> (r.reg_name, Value.copy (get t r.reg_name)))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* [snapshot_visible], but recycling [prev] (a snapshot of the same
+   machine from an earlier run): matching file entries are blitted
+   into [prev]'s own arrays instead of allocating fresh ones, and the
+   pairs are reused wholesale.  The caller transfers ownership of
+   [prev] — sessions use this to keep per-instruction trace snapshots
+   off the GC, which is why a session's trace is only valid until its
+   next run. *)
+let snapshot_visible_reusing ~prev (m : Spec.t) t =
+  let regs =
+    Spec.visible_registers m
+    |> List.sort (fun (a : Spec.register) b ->
+           String.compare a.reg_name b.reg_name)
+  in
+  let rec go prev regs =
+    match (regs, prev) with
+    | [], _ -> []
+    | (r : Spec.register) :: rtl, ((n, pv) as pair) :: ptl
+      when n = r.reg_name -> (
+      let cur = get t r.reg_name in
+      match (pv, cur) with
+      | Value.File dst, Value.File src
+        when dst != src && Array.length dst = Array.length src ->
+        (* [unsafe]: i < length src = length dst. *)
+        for i = 0 to Array.length src - 1 do
+          let s = Array.unsafe_get src i in
+          if Array.unsafe_get dst i != s then Array.unsafe_set dst i s
+        done;
+        pair :: go ptl rtl
+      | _ -> (r.reg_name, Value.copy cur) :: go ptl rtl)
+    | r :: rtl, _ -> (r.reg_name, Value.copy (get t r.reg_name)) :: go [] rtl
+  in
+  go prev regs
 
 let restore t snap = List.iter (fun (n, v) -> set t n (Value.copy v)) snap
 

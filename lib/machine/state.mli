@@ -6,6 +6,17 @@ type t
 val create : Spec.t -> t
 (** All registers at their initial values ({!Spec.initial_value}). *)
 
+val reset : ?init:(string * Value.t) list -> Spec.t -> t -> unit
+(** Return the state to [create m] semantics without reallocating
+    cells: every spec register is restored to its initial value, with
+    entries of [init] (deep-copied) taking precedence over the spec's
+    own [init] list, and registers the spec does not know are removed.
+    Because cells are reset {e in place}, plan bindings made with
+    {!bind_plan} remain valid across resets — this is what lets one
+    compiled session serve many programs (see
+    {!Pipeline.Pipesem.run_session}).
+    @raise Invalid_argument if an [init] name is not a spec register. *)
+
 val get : t -> string -> Value.t
 (** @raise Invalid_argument for unknown registers. *)
 
@@ -51,6 +62,15 @@ val snapshot : t -> (string * Value.t) list
 
 val snapshot_visible : Spec.t -> t -> (string * Value.t) list
 (** Deep copy of the programmer-visible registers only. *)
+
+val snapshot_visible_reusing :
+  prev:(string * Value.t) list -> Spec.t -> t -> (string * Value.t) list
+(** {!snapshot_visible}, recycling the storage of [prev] — a snapshot
+    of the same machine from an earlier run whose ownership transfers
+    to the result.  Register files are blitted into [prev]'s arrays
+    instead of freshly allocated, keeping session replays off the GC;
+    sessions consequently invalidate their previous trace on every
+    run. *)
 
 val restore : t -> (string * Value.t) list -> unit
 

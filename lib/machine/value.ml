@@ -25,14 +25,26 @@ let copy = function
   | Scalar _ as v -> v
   | File arr -> File (Array.copy arr)
 
+(* The per-entry physical shortcut matters: batched runs seed both
+   machines from one shared image ([copy] preserves entry sharing), so
+   comparing two register files mostly compares identical pointers. *)
 let equal a b =
+  a == b
+  ||
   match (a, b) with
   | Scalar x, Scalar y -> Hw.Bitvec.equal x y
   | File x, File y ->
-    Array.length x = Array.length y
-    && (let ok = ref true in
-        Array.iteri (fun i xi -> if not (Hw.Bitvec.equal xi y.(i)) then ok := false) x;
-        !ok)
+    x == y
+    || Array.length x = Array.length y
+       && (let n = Array.length x in
+           (* [unsafe_get]: i < n = length x = length y.  This scan is
+              the inner loop of every visible-state comparison. *)
+           let rec go i =
+             i >= n
+             || (let a = Array.unsafe_get x i and b = Array.unsafe_get y i in
+                 (a == b || Hw.Bitvec.equal a b) && go (i + 1))
+           in
+           go 0)
   | Scalar _, File _ | File _, Scalar _ -> false
 
 let read_scalar = function

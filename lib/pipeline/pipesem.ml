@@ -385,11 +385,52 @@ let plan_engine c state =
         Machine.Commit.writes_updates_compiled inst (List.assq sp c.c_rollbacks));
   }
 
-let run_compiled ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after c =
-  Obs.Span.with_span "pipesem.run" @@ fun () ->
+(* A session: one persistent state with the plan bound to it once.
+   [run_session] resets the state in place (bindings survive) and
+   replays the machine on new initial contents — many programs, one
+   compilation and one plan binding. *)
+type session = {
+  s_c : compiled;
+  s_state : State.t;
+  s_engine : engine;
+}
+
+let session c =
   let state = State.create c.c_tr.Transform.machine in
-  run_loop ~engine:(plan_engine c state) ~state ?ext ?callbacks ?inject
-    ?cancel ?max_cycles ~stop_after c.c_tr
+  { s_c = c; s_state = state; s_engine = plan_engine c state }
+
+let run_session ?ext ?callbacks ?inject ?cancel ?max_cycles ?init ~stop_after
+    s =
+  Obs.Span.with_span "pipesem.run" @@ fun () ->
+  (* The reset also repairs state left dirty by a cancelled, faulted
+     or raising previous run on this session. *)
+  State.reset ?init s.s_c.c_tr.Transform.machine s.s_state;
+  run_loop ~engine:s.s_engine ~state:s.s_state ?ext ?callbacks ?inject
+    ?cancel ?max_cycles ~stop_after s.s_c.c_tr
+
+(* Per-domain session cache, keyed by physical equality on the
+   compiled machine: pool workers allocate (and plan-bind) one
+   instance per domain, not per task.  Bounded so abandoned machines
+   become collectable. *)
+let local_sessions : (compiled * session) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let local_session c =
+  let cache = Domain.DLS.get local_sessions in
+  match List.assq_opt c !cache with
+  | Some s -> s
+  | None ->
+    let s = session c in
+    cache := take 8 ((c, s) :: !cache);
+    s
+
+let run_compiled ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after c =
+  run_session ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after
+    (session c)
 
 let run ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after t =
   run_compiled ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after

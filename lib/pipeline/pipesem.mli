@@ -117,14 +117,18 @@ type compiled
     string-keyed overlay. *)
 
 val compile : Transform.t -> compiled
-(** Compile once; reuse across {!run_compiled} calls (the plan is
-    immutable — each run gets a private instance).
+(** Compile once; reuse across {!run_compiled} / {!run_session} calls
+    (the plan is immutable — instances are private to sessions).
 
     Thread safety: a [compiled] value is immutable after [compile] and
-    may be shared across {!Exec.Pool} domains; every {!run_compiled}
-    call allocates its own {!Machine.State.t} and {!Hw.Plan.instance},
-    so concurrent runs over one [compiled] never share mutable state
-    (the {!Hw.Plan} plan/instance contract). *)
+    may be shared across {!Exec.Pool} domains.  Mutable evaluation
+    state ({!Machine.State.t} + {!Hw.Plan.instance}) lives in a
+    {!session}, which is single-domain: either allocate a fresh one
+    per run ({!run_compiled} does) or — the batched-sweep fast path —
+    reuse the calling domain's cached session ({!local_session}), so
+    pool workers bind a plan once per domain rather than once per
+    task.  Concurrent runs over one [compiled] never share mutable
+    state (the {!Hw.Plan} plan/instance contract). *)
 
 val transform : compiled -> Transform.t
 val plan : compiled -> Hw.Plan.t
@@ -147,6 +151,52 @@ val run_compiled :
     [cancel] is polled once per cycle; a tripped token aborts the run
     by raising {!Exec.Cancel.Cancelled} — the campaign driver's
     backstop against mutants whose simulation never converges. *)
+
+(** {1 Sessions (compile once, run many programs)}
+
+    For BMC sweeps, workload sweeps and fault campaigns the machine
+    {e shape} is fixed and only the initial register-file contents
+    (the program, its data) vary per point.  A session makes the
+    program data instead of structure: it owns one persistent
+    {!Machine.State.t} with the compiled plan bound to it once;
+    {!run_session} resets the state in place — plan bindings survive,
+    see {!Machine.State.reset} — applies per-program initial-value
+    overrides, and replays the machine.  Cost per point drops from
+    build + compile + bind + run to reset + run.
+
+    A session is single-domain mutable state.  A run's [result.state]
+    is the session's own state, live only until the next
+    [run_session] on the same session — snapshot what must survive
+    (the checkers do). *)
+
+type session
+
+val session : compiled -> session
+(** A fresh session (own state, plan bound once). *)
+
+val local_session : compiled -> session
+(** The calling domain's cached session for this compiled machine
+    (physical equality), created on first use.  {!Exec.Pool} workers
+    use this so instances are allocated once per domain, not per
+    task.  Do not use from a task that re-enters the pool (and may
+    help execute other tasks) while a run on the session is in
+    progress. *)
+
+val run_session :
+  ?ext:ext_model ->
+  ?callbacks:callbacks ->
+  ?inject:injection ->
+  ?cancel:Exec.Cancel.token ->
+  ?max_cycles:int ->
+  ?init:(string * Machine.Value.t) list ->
+  stop_after:int ->
+  session ->
+  result
+(** Reset the session state — [init] entries (deep-copied) override
+    the spec's initial values, see {!Machine.State.reset} — and
+    simulate as {!run_compiled} does.  The reset also recovers the
+    session after a cancelled, faulted or raising run, so pooled
+    sessions need no cleanup between tasks. *)
 
 val run :
   ?ext:ext_model ->

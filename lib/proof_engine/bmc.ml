@@ -5,8 +5,28 @@ type outcome = {
 
 let ok o = o.failures = []
 
-let exhaustive ?(max_failures = 5) ?ext ?pool ?inject ?cancel ~build ~alphabet
-    ~length () =
+let reason_of_result = function
+  | Error (f : Consistency.failure) ->
+    Some
+      (Printf.sprintf "%s failed: %s" f.Consistency.failing_phase
+         f.Consistency.message)
+  | Ok report ->
+    if Consistency.ok report then None
+    else
+      Some
+        (match report.Consistency.violations with
+        | v :: _ ->
+          Printf.sprintf "instr %d register %s: expected %s, got %s"
+            v.Consistency.tag v.Consistency.register v.Consistency.expected
+            v.Consistency.got
+        | [] -> (
+          match report.Consistency.outcome with
+          | Pipeline.Pipesem.Deadlocked -> "deadlock"
+          | Pipeline.Pipesem.Out_of_cycles -> "out of cycles"
+          | Pipeline.Pipesem.Completed -> "lemma or final-state failure"))
+
+let exhaustive ?(max_failures = 5) ?ext ?pool ?inject ?cancel ?load ~build
+    ~alphabet ~length () =
   Obs.Span.with_span "verify.bmc" @@ fun () ->
   (* Materialize the program space in enumeration order, then check
      every program independently — the unit of pool fan-out.  Failures
@@ -20,32 +40,49 @@ let exhaustive ?(max_failures = 5) ?ext ?pool ?inject ?cancel ~build ~alphabet
         alphabet
   in
   let programs = enumerate [] length in
-  let check program =
-    match build program with
-    | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
-    | exception e -> Some ("transform failed: " ^ Printexc.to_string e)
-    | t -> (
-      match
-        Consistency.check_result ?ext ?inject ?cancel
-          ~max_instructions:(length + 4) t
-      with
-      | Error f ->
-        Some (Printf.sprintf "%s failed: %s" f.Consistency.failing_phase
-                f.Consistency.message)
-      | Ok report ->
-        if Consistency.ok report then None
-        else
-          Some
-            (match report.Consistency.violations with
-            | v :: _ ->
-              Printf.sprintf "instr %d register %s: expected %s, got %s"
-                v.Consistency.tag v.Consistency.register
-                v.Consistency.expected v.Consistency.got
-            | [] -> (
-              match report.Consistency.outcome with
-              | Pipeline.Pipesem.Deadlocked -> "deadlock"
-              | Pipeline.Pipesem.Out_of_cycles -> "out of cycles"
-              | Pipeline.Pipesem.Completed -> "lemma or final-state failure")))
+  let check =
+    match load with
+    | None ->
+      (* Rebuild path: each program builds its own machine and plan. *)
+      fun program ->
+        (match build program with
+        | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
+        | exception e -> Some ("transform failed: " ^ Printexc.to_string e)
+        | t ->
+          reason_of_result
+            (Consistency.check_result ?ext ?inject ?cancel
+               ~max_instructions:(length + 4) t))
+    | Some load ->
+      (* Batched path: [build] runs once, on the first enumerated
+         program, to fix the machine shape; every program (including
+         the first) is then checked by rebinding [load program] over
+         the compiled shape through per-domain sessions.  Requires the
+         shape-invariance contract: [build p] differs from
+         [build p'] only in the initial values that [load] covers. *)
+      let shape =
+        match programs with
+        | [] -> Ok None
+        | p0 :: _ -> (
+          match build p0 with
+          | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
+          | exception e -> Error ("transform failed: " ^ Printexc.to_string e)
+          | t -> (
+            match Consistency.shape t with
+            | s -> Ok (Some s)
+            | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
+            | exception Hw.Plan.Compile_error m ->
+              Error ("plan compilation failed: " ^ m)
+            | exception e ->
+              Error ("shape compilation failed: " ^ Printexc.to_string e)))
+      in
+      fun program ->
+        (match shape with
+        | Error reason -> Some reason
+        | Ok None -> None
+        | Ok (Some shape) ->
+          reason_of_result
+            (Consistency.check_batched_result ?ext ?inject ?cancel
+               ~max_instructions:(length + 4) ~init:(load program) shape))
   in
   let checked =
     Exec.Pool.map_opt pool (fun program -> (program, check program)) programs

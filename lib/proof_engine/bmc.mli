@@ -25,20 +25,36 @@ val exhaustive :
   ?pool:Exec.Pool.t ->
   ?inject:Pipeline.Pipesem.injection ->
   ?cancel:Exec.Cancel.token ->
+  ?load:(int list -> (string * Machine.Value.t) list) ->
   build:(int list -> Pipeline.Transform.t) ->
   alphabet:int list ->
   length:int ->
   unit ->
   outcome
 (** [exhaustive ~build ~alphabet ~length ()] enumerates all
-    [|alphabet|^length] programs, builds the transformed machine for
-    each (the program usually lands in instruction-memory init), and
-    runs the full consistency check.  Keep [|alphabet|^length] modest:
-    it is a product with the per-program simulation cost.
+    [|alphabet|^length] programs and runs the full consistency check
+    on each.  Keep [|alphabet|^length] modest: it is a product with
+    the per-program simulation cost.
 
-    With [pool], programs are checked concurrently (each check builds
-    its own machine and plan); failures are reported in enumeration
-    order, identically to the serial sweep.
+    Without [load] (the rebuild path), every program builds its own
+    transformed machine and compiles its own plan — robust, but the
+    build + compile cost is paid [|alphabet|^length] times for one
+    machine shape.  With [load] (the batched, compile-once path),
+    [build] runs {e once} — on the first enumerated program — to fix
+    the shape; each program is then checked by overriding the initial
+    register values with [load program] (typically the IMEM image —
+    see [Core.Toy.image], [Machine_gen.image]) over the compiled
+    shape, reusing per-domain cached sessions.  This requires the
+    {e shape-invariance} contract: [build p] and [build p'] must
+    differ only in initial values covered by [load].  Outcomes are
+    then bit-identical to the rebuild path, at a fraction of the
+    cost (regressed by the [PERF.bmc_*] bench entries).
+
+    With [pool], programs are checked concurrently — the compiled
+    shape is shared across domains, and each pool worker allocates
+    its evaluation instances once per domain, not per program;
+    failures are reported in enumeration order, identically to the
+    serial sweep.
 
     [inject] runs every program's co-simulation against the faulted
     machine (the fault-injection campaigns use this to let the

@@ -38,16 +38,12 @@ let ok r =
 
 let value_at snapshot name = List.assoc_opt name snapshot
 
-let check ?ext ?(max_instructions = 200) ?reference ?compiled ?inject ?cancel
-    (t : Pipeline.Transform.t) =
-  Obs.Span.with_span "verify.consistency" @@ fun () ->
+(* The co-simulation core, generic over how the pipelined run is
+   produced: [check] gives it a fresh per-call run, [check_batched] a
+   per-domain session replay. *)
+let check_core ~seq_trace ~run_pipe (t : Pipeline.Transform.t) =
   let base = t.Pipeline.Transform.base in
   let n = base.Spec.n_stages in
-  let seq_trace =
-    match reference with
-    | Some trace -> trace
-    | None -> Machine.Seqsem.run ~max_instructions base
-  in
   let instructions = seq_trace.Machine.Seqsem.instructions in
   let spec = seq_trace.Machine.Seqsem.spec_before in
   let visible_of_stage =
@@ -133,11 +129,7 @@ let check ?ext ?(max_instructions = 200) ?reference ?compiled ?inject ?cancel
   let callbacks =
     { Pipesem.no_callbacks with Pipesem.on_cycle; on_edge; on_retire }
   in
-  let result =
-    let c = match compiled with Some c -> c | None -> Pipesem.compile t in
-    Pipesem.run_compiled ?ext ~callbacks ?inject ?cancel
-      ~stop_after:instructions c
-  in
+  let result = run_pipe ~callbacks ~stop_after:instructions in
   let trace = List.rev !records in
   let lemma1 =
     if Pipeline.Schedule.has_rollback trace then Lemma_skipped_rollback
@@ -180,6 +172,58 @@ let check ?ext ?(max_instructions = 200) ?reference ?compiled ?inject ?cancel
     trace;
   }
 
+let check ?ext ?(max_instructions = 200) ?reference ?compiled ?inject ?cancel
+    (t : Pipeline.Transform.t) =
+  Obs.Span.with_span "verify.consistency" @@ fun () ->
+  let seq_trace =
+    match reference with
+    | Some trace -> trace
+    | None -> Machine.Seqsem.run ~max_instructions t.Pipeline.Transform.base
+  in
+  let run_pipe ~callbacks ~stop_after =
+    let c = match compiled with Some c -> c | None -> Pipesem.compile t in
+    Pipesem.run_compiled ?ext ~callbacks ?inject ?cancel ~stop_after c
+  in
+  check_core ~seq_trace ~run_pipe t
+
+(* A machine shape ready for batched checking: the transform plus both
+   compiled machines, all immutable and freely shared across domains.
+   Per-program mutable state lives in per-domain sessions created on
+   demand ({!Pipesem.local_session} / {!Machine.Seqsem.local_session}),
+   so a pool worker binds each plan exactly once. *)
+type shape = {
+  sh_tr : Pipeline.Transform.t;
+  sh_pipe : Pipesem.compiled;
+  sh_seq : Machine.Seqsem.compiled;
+}
+
+let shape ?compiled (t : Pipeline.Transform.t) =
+  {
+    sh_tr = t;
+    sh_pipe = (match compiled with Some c -> c | None -> Pipesem.compile t);
+    sh_seq = Machine.Seqsem.compile t.Pipeline.Transform.base;
+  }
+
+let shape_transform s = s.sh_tr
+let shape_compiled s = s.sh_pipe
+
+let check_batched ?ext ?(max_instructions = 200) ?reference ?inject ?cancel
+    ?init (s : shape) =
+  Obs.Span.with_span "verify.consistency" @@ fun () ->
+  let seq_trace =
+    match reference with
+    | Some trace -> trace
+    | None ->
+      fst
+        (Machine.Seqsem.run_session ?init ~max_instructions
+           (Machine.Seqsem.local_session s.sh_seq))
+  in
+  let run_pipe ~callbacks ~stop_after =
+    Pipesem.run_session ?ext ~callbacks ?inject ?cancel ?init ~stop_after
+      (Pipesem.local_session s.sh_pipe)
+  in
+  check_core ~seq_trace ~run_pipe s.sh_tr
+
 type failure = {
   failing_phase : string;
   message : string;
@@ -191,23 +235,33 @@ type failure = {
    Eval_error — becomes a typed [Error] instead of aborting the
    caller's batch.  Cancellation is not a failure of the machine under
    test and keeps propagating. *)
+let failure_of_exn e =
+  let failing_phase, message =
+    match e with
+    | Hw.Plan.Compile_error m -> ("plan compilation", m)
+    | Hw.Plan.Run_error m -> ("plan evaluation", m)
+    | Hw.Eval.Eval_error m -> ("expression evaluation", m)
+    | Hw.Expr.Ill_typed m -> ("expression typing", m)
+    | Invalid_argument m -> ("state access", m)
+    | e -> ("co-simulation", Printexc.to_string e)
+  in
+  { failing_phase; message }
+
 let check_result ?ext ?max_instructions ?reference ?compiled ?inject ?cancel t
     =
   match check ?ext ?max_instructions ?reference ?compiled ?inject ?cancel t
   with
   | report -> Ok report
   | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
-  | exception e ->
-    let failing_phase, message =
-      match e with
-      | Hw.Plan.Compile_error m -> ("plan compilation", m)
-      | Hw.Plan.Run_error m -> ("plan evaluation", m)
-      | Hw.Eval.Eval_error m -> ("expression evaluation", m)
-      | Hw.Expr.Ill_typed m -> ("expression typing", m)
-      | Invalid_argument m -> ("state access", m)
-      | e -> ("co-simulation", Printexc.to_string e)
-    in
-    Error { failing_phase; message }
+  | exception e -> Error (failure_of_exn e)
+
+let check_batched_result ?ext ?max_instructions ?reference ?inject ?cancel
+    ?init s =
+  match check_batched ?ext ?max_instructions ?reference ?inject ?cancel ?init s
+  with
+  | report -> Ok report
+  | exception Exec.Cancel.Cancelled -> raise Exec.Cancel.Cancelled
+  | exception e -> Error (failure_of_exn e)
 
 let pp_report ppf r =
   Format.fprintf ppf

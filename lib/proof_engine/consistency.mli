@@ -82,6 +82,45 @@ val check :
     reference stays unfaulted — it is the specification); [cancel] is
     polled once per simulated cycle. *)
 
+(** {1 Batched checking (compile once, check many programs)}
+
+    BMC sweeps and workload sweeps check the {e same machine shape}
+    over many programs: only the initial register-file contents (the
+    program image) differ between points.  A {!shape} packages the
+    transform together with both compiled machines — all immutable and
+    shared across {!Exec.Pool} domains — and {!check_batched} replays
+    them through per-domain cached sessions
+    ({!Pipeline.Pipesem.local_session}), so each worker binds each
+    plan exactly once for the whole sweep.  Results are bit-identical
+    to {!check} on a freshly built machine of the same shape with the
+    same initial values. *)
+
+type shape
+(** A transform plus its compiled pipelined and sequential machines,
+    ready for batched checking.  Immutable; share freely. *)
+
+val shape : ?compiled:Pipeline.Pipesem.compiled -> Pipeline.Transform.t -> shape
+(** Compile both machines once ([compiled] reuses an existing
+    pipelined plan). *)
+
+val shape_transform : shape -> Pipeline.Transform.t
+val shape_compiled : shape -> Pipeline.Pipesem.compiled
+
+val check_batched :
+  ?ext:Pipeline.Pipesem.ext_model ->
+  ?max_instructions:int ->
+  ?reference:Machine.Seqsem.trace ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
+  ?init:(string * Machine.Value.t) list ->
+  shape ->
+  report
+(** {!check} over a prebuilt shape: [init] entries override the
+    spec's initial register values (the per-program image — see
+    {!Machine.State.reset}) in {e both} the pipelined machine and the
+    sequential reference.  [reference] supplies the specification
+    trace explicitly, as in {!check}. *)
+
 (** {1 Hardened entry point} *)
 
 type failure = {
@@ -105,5 +144,19 @@ val check_result :
     {!Exec.Cancel.Cancelled} is {e not} caught: a tripped cancellation
     token is the caller's signal, not a property of the machine under
     test. *)
+
+val check_batched_result :
+  ?ext:Pipeline.Pipesem.ext_model ->
+  ?max_instructions:int ->
+  ?reference:Machine.Seqsem.trace ->
+  ?inject:Pipeline.Pipesem.injection ->
+  ?cancel:Exec.Cancel.token ->
+  ?init:(string * Machine.Value.t) list ->
+  shape ->
+  (report, failure) result
+(** {!check_batched} with the same exception hardening as
+    {!check_result}.  The session reset recovers the per-domain state
+    after a failure, so one broken program cannot poison the next
+    task's run. *)
 
 val pp_report : Format.formatter -> report -> unit

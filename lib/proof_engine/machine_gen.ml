@@ -221,6 +221,17 @@ let machine p ~program =
       ];
   }
 
+(* Everything in [machine] except the IMEM contents — structure,
+   random expressions (seeded by [p.seed] only) and the RF preload —
+   is independent of [program], so this override turns one compiled
+   shape into any program's machine. *)
+let image (_p : params) ~program =
+  [
+    ( "IMEM",
+      Machine.Value.file_of_list ~width:16 ~addr_bits:8
+        (List.map (fun v -> Hw.Bitvec.make ~width:16 v) program) );
+  ]
+
 let hints p =
   ignore p;
   [

@@ -31,6 +31,15 @@ val sample_params : seed:int -> params
 
 val machine : params -> program:int list -> Machine.Spec.t
 
+val encode : params -> late:bool -> dst:int -> src1:int -> src2:int -> int
+(** Pack one instruction in the machine's encoding. *)
+
+val image : params -> program:int list -> (string * Machine.Value.t) list
+(** The program-dependent initial values only (the IMEM contents); the
+    machine structure and every other initial value are deterministic
+    in [params], so this is the [?init] override for batched checking
+    ({!Bmc.exhaustive}'s [load]). *)
+
 val hints : params -> Pipeline.Fwd_spec.hint list
 
 val random_program : params -> length:int -> int list

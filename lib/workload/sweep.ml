@@ -50,11 +50,51 @@ let run_program ?(config = default) (p : Dlx.Progs.t) =
   in
   Stats.of_stats ~label:p.Dlx.Progs.prog_name ~n_stages:5 stats
 
-(* Each sweep point owns its whole pipeline — program generation,
-   transformation, plan compilation, simulation, verification — so the
-   points share no mutable state and fan out over the pool verbatim.
-   Pool.map preserves input order: the rows are bit-identical to the
-   serial execution whatever the pool size. *)
+(* The machine shape of a sweep is fixed by the config (variant +
+   options): only the program and its data image differ between
+   points.  The batched path compiles the shape once — from the first
+   point — and drives every point by overriding the IMEM/MEM initial
+   values over per-domain cached sessions ({!Pipesem.local_session}),
+   so a pool worker binds each plan once for the whole sweep.  Rows
+   are bit-identical to the rebuild path ([run_program] per point). *)
+let sweep_shape ~config (p0 : Dlx.Progs.t) =
+  Proof_engine.Consistency.shape
+    (Dlx.Seq_dlx.transform ~options:config.options ~data:p0.Dlx.Progs.data
+       config.variant ~program:(Dlx.Progs.program p0))
+
+let run_batched ~config ~shape (p : Dlx.Progs.t) =
+  let program = Dlx.Progs.program p in
+  let n = p.Dlx.Progs.dyn_instructions in
+  let init = Dlx.Seq_dlx.image ~data:p.Dlx.Progs.data ~program () in
+  let stats =
+    if config.verify then begin
+      let reference =
+        Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data config.variant ~program
+          ~instructions:n
+      in
+      let report =
+        Proof_engine.Consistency.check_batched ?ext:config.ext
+          ~max_instructions:n ~reference ~init shape
+      in
+      if not (Proof_engine.Consistency.ok report) then
+        raise
+          (Verification_failed
+             (Format.asprintf "%s: %a" p.Dlx.Progs.prog_name
+                Proof_engine.Consistency.pp_report report));
+      report.Proof_engine.Consistency.stats
+    end
+    else
+      (Pipeline.Pipesem.run_session ?ext:config.ext ~init ~stop_after:n
+         (Pipeline.Pipesem.local_session
+            (Proof_engine.Consistency.shape_compiled shape)))
+        .Pipeline.Pipesem.stats
+  in
+  Stats.of_stats ~label:p.Dlx.Progs.prog_name ~n_stages:5 stats
+
+(* Each sweep point generates its own program, so the points share no
+   mutable state and fan out over the pool verbatim.  Pool.map
+   preserves input order: the rows are bit-identical to the serial
+   execution whatever the pool size. *)
 let sweep_span name ?pool points f =
   let j =
     match pool with None -> 1 | Some p -> Exec.Pool.size p
@@ -65,12 +105,25 @@ let sweep_span name ?pool points f =
         ("j", string_of_int j) ]
   @@ fun () -> Exec.Pool.map_opt pool f points
 
-let dependency_sweep ?config ?pool ~biases ~length ~seed () =
-  sweep_span "sweep.dependency" ?pool biases (fun bias ->
-      let p = Gen.generate ~seed ~length (Gen.alu_only ~dependency_bias:bias) in
-      (bias, run_program ?config p))
+let sweep name ?(config = default) ?pool ?(batched = true) ~points ~gen () =
+  if not batched then
+    sweep_span name ?pool points (fun pt -> (pt, run_program ~config (gen pt)))
+  else
+    match points with
+    | [] -> []
+    | p0 :: _ ->
+      let shape = sweep_shape ~config (gen p0) in
+      sweep_span name ?pool points (fun pt ->
+          (pt, run_batched ~config ~shape (gen pt)))
 
-let branch_sweep ?config ?pool ~taken_fracs ~length ~seed () =
-  sweep_span "sweep.branch" ?pool taken_fracs (fun tf ->
-      let p = Gen.generate ~seed ~length (Gen.branch_heavy ~taken_frac:tf) in
-      (tf, run_program ?config p))
+let dependency_sweep ?config ?pool ?batched ~biases ~length ~seed () =
+  sweep "sweep.dependency" ?config ?pool ?batched ~points:biases
+    ~gen:(fun bias ->
+      Gen.generate ~seed ~length (Gen.alu_only ~dependency_bias:bias))
+    ()
+
+let branch_sweep ?config ?pool ?batched ~taken_fracs ~length ~seed () =
+  sweep "sweep.branch" ?config ?pool ?batched ~points:taken_fracs
+    ~gen:(fun tf ->
+      Gen.generate ~seed ~length (Gen.branch_heavy ~taken_frac:tf))
+    ()

@@ -29,16 +29,27 @@ val memory_wait_states : every:int -> wait:int -> Pipeline.Pipesem.ext_model
     stall condition... e.g. caused by slow memory". *)
 
 val dependency_sweep :
-  ?config:config -> ?pool:Exec.Pool.t ->
+  ?config:config -> ?pool:Exec.Pool.t -> ?batched:bool ->
   biases:float list -> length:int -> seed:int -> unit ->
   (float * Stats.row) list
-(** CPI as a function of the operand dependency bias.  With [pool],
-    the points fan out over the domain pool, one {!Sim.t} per point
-    (generation, transformation, plan compilation and simulation are
-    all per-task); rows are bit-identical to the serial run and in
-    input order. *)
+(** CPI as a function of the operand dependency bias.
+
+    By default ([batched], the compile-once path) the machine shape —
+    fixed by the config's variant and options — is transformed and
+    plan-compiled {e once} for the whole sweep; each point only
+    generates its program and rebinds the IMEM/MEM initial values
+    over a per-domain cached session
+    ({!Pipeline.Pipesem.local_session}).  [~batched:false] restores
+    the rebuild path (one {!Sim.t} per point: generation,
+    transformation, plan compilation and simulation all per-task) —
+    kept as the reference for the equivalence tests and the
+    [PERF.sweep_batched_vs_rebuild] benchmark; both paths produce
+    bit-identical rows.
+
+    With [pool], the points fan out over the domain pool; rows are
+    bit-identical to the serial run and in input order. *)
 
 val branch_sweep :
-  ?config:config -> ?pool:Exec.Pool.t ->
+  ?config:config -> ?pool:Exec.Pool.t -> ?batched:bool ->
   taken_fracs:float list -> length:int -> seed:int -> unit ->
   (float * Stats.row) list

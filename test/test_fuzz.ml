@@ -164,6 +164,43 @@ let test_bmc_through_pool () =
     (List.length serial.Proof_engine.Bmc.failures > 0);
   Alcotest.(check bool) "parallel outcome = serial" true (serial = parallel)
 
+let test_bmc_batched_equals_rebuild () =
+  (* The compile-once BMC path ([exhaustive ~load]) must be
+     observationally identical to the rebuild-per-program path — same
+     outcome record, same failure enumeration order — on machines it
+     was not written against, serial and through a pool. *)
+  let module G = Proof_engine.Machine_gen in
+  List.iter
+    (fun seed ->
+      let p = G.sample_params ~seed in
+      let build program =
+        Pipeline.Transform.run ~hints:(G.hints p) (G.machine p ~program)
+      in
+      let load program = G.image p ~program in
+      let alphabet =
+        [
+          G.encode p ~late:false ~dst:1 ~src1:1 ~src2:2;
+          G.encode p ~late:true ~dst:2 ~src1:1 ~src2:1;
+          G.encode p ~late:false ~dst:1 ~src1:2 ~src2:1;
+        ]
+      in
+      let run ?pool ?load () =
+        Proof_engine.Bmc.exhaustive ?pool ?load ~build ~alphabet ~length:2 ()
+      in
+      let rebuild = run () in
+      let batched = run ~load () in
+      let pooled = Pool.with_pool ~size:4 (fun pool -> run ~pool ~load ()) in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: programs" seed)
+        9 rebuild.Proof_engine.Bmc.programs;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: batched = rebuild" seed)
+        true (batched = rebuild);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: pooled batched = rebuild" seed)
+        true (pooled = rebuild))
+    [ 11; 222; 3333 ]
+
 (* ------------------------------------------------------------------ *)
 (* The machine space itself, seeded                                    *)
 (* ------------------------------------------------------------------ *)
@@ -193,6 +230,8 @@ let () =
             test_machine_space_through_pool;
           Alcotest.test_case "bmc failure order through pool" `Quick
             test_bmc_through_pool;
+          Alcotest.test_case "bmc batched = rebuild" `Quick
+            test_bmc_batched_equals_rebuild;
         ] );
       ( "properties",
         List.map to_alcotest

@@ -246,6 +246,55 @@ let test_run_errors () =
   Alcotest.(check bool) "read_name input" true
     (P.read_name inst "a" = Some (bv ~width:8 1))
 
+let test_reset_rebind () =
+  (* The instance-reuse contract behind compiled sessions: [reset]
+     must erase everything the previous evaluation context could
+     leak.  The two hazards are a stale input slot surviving into the
+     next run and a stale file reader silently serving the previous
+     context's data. *)
+  let b = P.create ~inputs:[ ("a", 8) ] ~files:[ ("mem", 8) ] () in
+  let k = P.define b "k" (E.const_int ~width:8 42) in
+  let sum =
+    P.root b
+      (E.Binop
+         ( E.Add,
+           E.input "a" 8,
+           E.File_read { file = "mem"; data_width = 8; addr = E.input "a" 8 }
+         ))
+  in
+  let plan = P.build b in
+  let a_slot = Option.get (P.input_slot plan "a") in
+  let inst = P.instance plan in
+  P.set inst a_slot (bv ~width:8 2);
+  P.bind_file inst "mem" mem_fun;
+  P.run inst;
+  Alcotest.(check bool) "first run" true
+    (P.get inst sum = B.add (bv ~width:8 2) (mem_fun (bv ~width:8 2)));
+  P.reset inst;
+  (* Constants are reloaded... *)
+  Alcotest.(check bool) "const reloaded" true (P.get inst k = bv ~width:8 42);
+  (* ...the stale input slot is cleared rather than still holding 2... *)
+  Alcotest.(check bool) "stale slot cleared" true
+    (P.get inst a_slot <> bv ~width:8 2);
+  (* ...and the stale file binding fails loudly instead of reading
+     the previous context's table. *)
+  P.set inst a_slot (bv ~width:8 3);
+  (match P.run inst with
+  | () -> Alcotest.fail "expected Run_error on stale file after reset"
+  | exception P.Run_error _ -> ());
+  (* Rebinding restores the full contract. *)
+  P.bind_file inst "mem" mem_fun;
+  P.run inst;
+  Alcotest.(check bool) "rebound run" true
+    (P.get inst sum = B.add (bv ~width:8 3) (mem_fun (bv ~width:8 3)));
+  (* bind_file without a reset replaces the reader in place — the
+     rebind-only session path (new file table, same slots). *)
+  let shifted addr = B.add (mem_fun addr) (bv ~width:8 1) in
+  P.bind_file inst "mem" shifted;
+  P.run inst;
+  Alcotest.(check bool) "replaced reader" true
+    (P.get inst sum = B.add (bv ~width:8 3) (shifted (bv ~width:8 3)))
+
 let test_hash_consing () =
   (* (a + b) used three times: one add on the tape, not three. *)
   let a = E.input "a" 8 and b = E.input "b" 8 in
@@ -306,6 +355,7 @@ let () =
             test_compile_errors;
           Alcotest.test_case "strict inputs" `Quick test_strict_inputs;
           Alcotest.test_case "run-time errors" `Quick test_run_errors;
+          Alcotest.test_case "reset and rebind" `Quick test_reset_rebind;
           Alcotest.test_case "hash-consing" `Quick test_hash_consing;
           Alcotest.test_case "define resolution" `Quick
             test_define_resolution;
