@@ -593,6 +593,75 @@ let campaign_cmd =
        $ timeout_arg $ hang_arg $ bmc_arg $ checkpoint_arg $ resume_arg
        $ json_arg))
 
+let perf_cmd =
+  let history_arg =
+    let doc =
+      "History file to read (default: BENCH_history.jsonl at the repository \
+       root)."
+    in
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "history" ] ~docv:"FILE" ~doc)
+  in
+  let diff_arg =
+    let doc =
+      "Diff two records instead of printing trends.  $(docv) selects a \
+       record: a negative index from the end (-1 = newest), a non-negative \
+       index from the start, or a commit prefix.  Give the flag twice."
+    in
+    Cmdliner.Arg.(
+      value & opt_all string [] & info [ "diff" ] ~docv:"REC" ~doc)
+  in
+  let window_arg =
+    let doc = "Trend window: span the last $(docv) records." in
+    Cmdliner.Arg.(value & opt int 10 & info [ "last" ] ~docv:"K" ~doc)
+  in
+  let run history diff k =
+    guard @@ fun () ->
+    let path =
+      match history with Some p -> p | None -> Obs.History.default_path ()
+    in
+    if not (Sys.file_exists path) then
+      raise
+        (Usage
+           (Printf.sprintf
+              "no history at %s (seed it with `bench --smoke --history` or \
+               `dune build @check`)"
+              path));
+    let records =
+      match Obs.History.read ~path with
+      | Ok r -> r
+      | Error msg -> raise (Failed_check msg)
+    in
+    (match diff with
+    | [] ->
+      Format.printf "perf history %s@." path;
+      Format.printf "%a" (Obs.History.pp_trends ~k) records
+    | [ a; b ] ->
+      let sel spec =
+        match Obs.History.select records spec with
+        | Ok r -> r
+        | Error msg -> raise (Usage msg)
+      in
+      let ra = sel a and rb = sel b in
+      let rows = Obs.History.diff ra rb in
+      if rows = [] then
+        Format.printf "records %s and %s carry identical metrics@."
+          ra.Obs.History.commit rb.Obs.History.commit
+      else Format.printf "%a" (Obs.History.pp_diff ~a:ra ~b:rb) rows
+    | _ -> raise (Usage "--diff takes exactly two selectors (repeat the flag)"));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Report trends from the per-commit bench history \
+          (BENCH_history.jsonl): deterministic WORK.* scores, timing rows \
+          and scheduling counters over the last K records, or an exact diff \
+          of any two records.")
+    Term.(ret (const run $ history_arg $ diff_arg $ window_arg))
+
 let () =
   let info =
     Cmd.info "pipegen" ~version:"1.0"
@@ -604,4 +673,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ show_cmd; verilog_cmd; verify_cmd; proof_cmd; run_cmd; stats_cmd;
-            profile_cmd; trace_cmd; dot_cmd; symbolic_cmd; campaign_cmd ]))
+            profile_cmd; trace_cmd; dot_cmd; symbolic_cmd; campaign_cmd;
+            perf_cmd ]))

@@ -34,6 +34,9 @@ let run_task t slot task =
   let t0 = Unix.gettimeofday () in
   task ();
   let dt = Unix.gettimeofday () -. t0 in
+  Obs.Counters.bump Obs.Counters.Pool_tasks;
+  Obs.Counters.bump
+    (if slot = 0 then Obs.Counters.Pool_helped else Obs.Counters.Pool_stolen);
   Mutex.lock t.mutex;
   t.w_tasks.(slot) <- t.w_tasks.(slot) + 1;
   t.w_busy.(slot) <- t.w_busy.(slot) +. dt;
@@ -101,7 +104,10 @@ let map t f xs =
     (* Zero-domain fallback: inline, still accounted in the stats. *)
     let t0 = Unix.gettimeofday () in
     let r = List.map f xs in
-    t.w_tasks.(0) <- t.w_tasks.(0) + List.length xs;
+    let n = List.length xs in
+    Obs.Counters.add Obs.Counters.Pool_tasks n;
+    Obs.Counters.add Obs.Counters.Pool_inline n;
+    t.w_tasks.(0) <- t.w_tasks.(0) + n;
     t.w_busy.(0) <- t.w_busy.(0) +. (Unix.gettimeofday () -. t0);
     r
   end
@@ -135,6 +141,8 @@ let map t f xs =
       for i = 0 to n - 1 do
         Queue.add (task i) t.queue
       done;
+      Obs.Counters.record_max Obs.Counters.Pool_queue_hwm
+        (Queue.length t.queue);
       Condition.broadcast t.work;
       (* Help drain the queue until this batch is done. *)
       let rec wait_drain () =
@@ -201,3 +209,27 @@ let reset_stats t =
 
 let map_opt pool f xs =
   match pool with None -> List.map f xs | Some p -> map p f xs
+
+(* Contiguous, balanced shards: shard [i] of [k] holds elements
+   [i*n/k, (i+1)*n/k).  Concatenating the shards in order restores the
+   input order exactly, so a sharded map is bit-identical to [map]. *)
+let shard ~shards xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let k = max 1 (min shards n) in
+  List.init k (fun i ->
+      let lo = i * n / k and hi = (i + 1) * n / k in
+      Array.to_list (Array.sub arr lo (hi - lo)))
+
+let map_sharded ?shards t f xs =
+  match xs with
+  | [] -> []
+  | xs ->
+    let k = match shards with Some k -> k | None -> t.pool_size in
+    if t.pool_size <= 1 || k <= 1 then map t f xs
+    else List.concat (map t (fun chunk -> List.map f chunk) (shard ~shards:k xs))
+
+let map_opt_sharded ?shards pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some p -> map_sharded ?shards p f xs

@@ -111,3 +111,22 @@ val map_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_opt None] is [List.map]; [map_opt (Some pool)] is
     [map pool].  The idiom for [?pool] parameters throughout the
     verification stack. *)
+
+(** {1 Sharded map (coarse-grained fan-out)} *)
+
+val map_sharded : ?shards:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] with element batching: the input is split into at most
+    [shards] (default: the pool size) {e contiguous} balanced chunks,
+    each chunk is one pool task, and each task maps its elements in
+    input order.  Results are bit-identical to [map] — only the
+    scheduling granularity changes.
+
+    Use this when the per-element work is small relative to the task
+    dispatch cost, or when consecutive elements share domain-local
+    caches (e.g. {!Pipeline.Pipesem.local_session}): one shard runs
+    entirely on one domain, so a cached session is bound once per
+    shard instead of competing per element. *)
+
+val map_opt_sharded :
+  ?shards:int -> t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_opt] with {!map_sharded} on the pool path. *)

@@ -344,6 +344,8 @@ let apply_binop op a b =
 let run inst =
   let s = inst.slots in
   let tape = inst.plan.tape in
+  Obs.Counters.bump Obs.Counters.Plan_runs;
+  Obs.Counters.add Obs.Counters.Plan_ops (Array.length tape);
   for i = 0 to Array.length tape - 1 do
     let { dst; op } = Array.unsafe_get tape i in
     let v =

@@ -177,6 +177,7 @@ let stage_updates_compiled inst (cs : cstage) =
 let writes_updates_compiled inst cws = List.concat_map (cwrite_updates inst) cws
 
 let apply state updates =
+  Obs.Counters.add Obs.Counters.Cells_written (List.length updates);
   List.iter
     (fun u ->
       match u with

@@ -48,6 +48,7 @@ type session = {
 }
 
 let session cm =
+  Obs.Counters.bump Obs.Counters.Sessions;
   let state = State.create cm.cm_spec in
   let stages =
     Array.map
@@ -97,6 +98,7 @@ let run_session ?(halt = fun _ -> false) ?init ~max_instructions s =
      done
    with Exit -> ());
   snaps := snapshot () :: !snaps;
+  Obs.Counters.add Obs.Counters.Seq_instructions !count;
   s.ss_arena <- !snaps;
   ( {
       spec_before = Array.of_list (List.rev !snaps);

@@ -13,6 +13,7 @@ let create (m : Spec.t) =
   tbl
 
 let reset ?(init = []) (m : Spec.t) t =
+  Obs.Counters.bump Obs.Counters.State_resets;
   List.iter
     (fun (n, _) ->
       if not (Spec.register_exists m n) then
@@ -109,6 +110,7 @@ type bound = {
 }
 
 let bind_plan ?(extern = fun _ -> false) t plan =
+  Obs.Counters.bump Obs.Counters.Plan_binds;
   let loads = ref [] in
   Hw.Plan.iter_inputs plan (fun name ~slot ~width:_ ->
       match Hashtbl.find_opt t name with
@@ -141,10 +143,25 @@ let snapshot t =
   Hashtbl.fold (fun n c acc -> (n, Value.copy c.v) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* A snapshot's work score is the words it scans: one per scalar, the
+   array length per register file — independent of how many entries
+   the blit below actually had to store. *)
+let snap_words snap =
+  List.fold_left
+    (fun acc (_, v) ->
+      acc
+      + match v with Value.Scalar _ -> 1 | Value.File a -> Array.length a)
+    0 snap
+
 let snapshot_visible (m : Spec.t) t =
-  Spec.visible_registers m
-  |> List.map (fun (r : Spec.register) -> (r.reg_name, Value.copy (get t r.reg_name)))
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let snap =
+    Spec.visible_registers m
+    |> List.map (fun (r : Spec.register) ->
+           (r.reg_name, Value.copy (get t r.reg_name)))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Obs.Counters.add Obs.Counters.Snapshot_words (snap_words snap);
+  snap
 
 (* [snapshot_visible], but recycling [prev] (a snapshot of the same
    machine from an earlier run): matching file entries are blitted
@@ -177,7 +194,9 @@ let snapshot_visible_reusing ~prev (m : Spec.t) t =
       | _ -> (r.reg_name, Value.copy cur) :: go ptl rtl)
     | r :: rtl, _ -> (r.reg_name, Value.copy (get t r.reg_name)) :: go [] rtl
   in
-  go prev regs
+  let snap = go prev regs in
+  Obs.Counters.add Obs.Counters.Snapshot_words (snap_words snap);
+  snap
 
 let restore t snap = List.iter (fun (n, v) -> set t n (Value.copy v)) snap
 

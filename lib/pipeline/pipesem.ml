@@ -259,6 +259,8 @@ let run_loop ~engine ~state ?(ext = fun ~stage:_ ~cycle:_ -> false)
      incr cycle
    done);
   if !retired >= stop_after then outcome := Completed;
+  Obs.Counters.add Obs.Counters.Sim_cycles !cycle;
+  Obs.Counters.add Obs.Counters.Sim_retired !retired;
   {
     outcome = !outcome;
     stats =
@@ -396,6 +398,7 @@ type session = {
 }
 
 let session c =
+  Obs.Counters.bump Obs.Counters.Sessions;
   let state = State.create c.c_tr.Transform.machine in
   { s_c = c; s_state = state; s_engine = plan_engine c state }
 

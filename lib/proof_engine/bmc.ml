@@ -40,6 +40,7 @@ let exhaustive ?(max_failures = 5) ?ext ?pool ?inject ?cancel ?load ~build
         alphabet
   in
   let programs = enumerate [] length in
+  Obs.Counters.add Obs.Counters.Bmc_programs (List.length programs);
   let check =
     match load with
     | None ->

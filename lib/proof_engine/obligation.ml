@@ -177,6 +177,7 @@ let discharge_all ?ext ?max_instructions ?reference ?compiled ?pool ?inject
     ?cancel ?disasm (t : Transform.t) =
   Obs.Span.with_span "verify.obligations" @@ fun () ->
   let obs = generate t in
+  Obs.Counters.add Obs.Counters.Obligations (List.length obs);
   let disassemble tag =
     match disasm with
     | None -> ""

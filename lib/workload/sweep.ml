@@ -92,9 +92,16 @@ let run_batched ~config ~shape (p : Dlx.Progs.t) =
   Stats.of_stats ~label:p.Dlx.Progs.prog_name ~n_stages:5 stats
 
 (* Each sweep point generates its own program, so the points share no
-   mutable state and fan out over the pool verbatim.  Pool.map
-   preserves input order: the rows are bit-identical to the serial
-   execution whatever the pool size. *)
+   mutable state and fan out over the pool.  The fan-out is {e
+   sharded} ({!Exec.Pool.map_sharded}): one contiguous chunk of points
+   per pool slot, not one task per point.  Per-point tasks were too
+   fine a grain — the dispatch cost (enqueue, wake, join) rivals a
+   point's simulation time at smoke sizes, and every task re-entered
+   the per-domain session cache.  A shard binds its domain's cached
+   session once and runs its points back to back (per-domain session
+   affinity).  Shards are concatenated in input order, so the rows
+   stay bit-identical to the serial execution whatever the pool
+   size. *)
 let sweep_span name ?pool points f =
   let j =
     match pool with None -> 1 | Some p -> Exec.Pool.size p
@@ -103,17 +110,20 @@ let sweep_span name ?pool points f =
     ~args:
       [ ("points", string_of_int (List.length points));
         ("j", string_of_int j) ]
-  @@ fun () -> Exec.Pool.map_opt pool f points
+  @@ fun () -> Exec.Pool.map_opt_sharded pool f points
 
 let sweep name ?(config = default) ?pool ?(batched = true) ~points ~gen () =
   if not batched then
-    sweep_span name ?pool points (fun pt -> (pt, run_program ~config (gen pt)))
+    sweep_span name ?pool points (fun pt ->
+        Obs.Counters.bump Obs.Counters.Sweep_points;
+        (pt, run_program ~config (gen pt)))
   else
     match points with
     | [] -> []
     | p0 :: _ ->
       let shape = sweep_shape ~config (gen p0) in
       sweep_span name ?pool points (fun pt ->
+          Obs.Counters.bump Obs.Counters.Sweep_points;
           (pt, run_batched ~config ~shape (gen pt)))
 
 let dependency_sweep ?config ?pool ?batched ~biases ~length ~seed () =

@@ -168,8 +168,17 @@ let test_bmc_batched_equals_rebuild () =
   (* The compile-once BMC path ([exhaustive ~load]) must be
      observationally identical to the rebuild-per-program path — same
      outcome record, same failure enumeration order — on machines it
-     was not written against, serial and through a pool. *)
+     was not written against, serial and through a pool.  The
+     deterministic work counters (the WORK class) must also agree: the batched
+     path changes how plans are bound and sessions cached, never how
+     much semantic work each program costs. *)
   let module G = Proof_engine.Machine_gen in
+  let counted f =
+    Obs.Counters.reset ();
+    let r = f () in
+    (r, Obs.Counters.work_snapshot ())
+  in
+  let work = Alcotest.(list (pair string int)) in
   List.iter
     (fun seed ->
       let p = G.sample_params ~seed in
@@ -187,9 +196,12 @@ let test_bmc_batched_equals_rebuild () =
       let run ?pool ?load () =
         Proof_engine.Bmc.exhaustive ?pool ?load ~build ~alphabet ~length:2 ()
       in
-      let rebuild = run () in
-      let batched = run ~load () in
-      let pooled = Pool.with_pool ~size:4 (fun pool -> run ~pool ~load ()) in
+      let rebuild, w_rebuild = counted (fun () -> run ()) in
+      let batched, w_batched = counted (fun () -> run ~load ()) in
+      let pooled, w_pooled =
+        counted (fun () ->
+            Pool.with_pool ~size:4 (fun pool -> run ~pool ~load ()))
+      in
       Alcotest.(check int)
         (Printf.sprintf "seed %d: programs" seed)
         9 rebuild.Proof_engine.Bmc.programs;
@@ -198,7 +210,13 @@ let test_bmc_batched_equals_rebuild () =
         true (batched = rebuild);
       Alcotest.(check bool)
         (Printf.sprintf "seed %d: pooled batched = rebuild" seed)
-        true (pooled = rebuild))
+        true (pooled = rebuild);
+      Alcotest.check work
+        (Printf.sprintf "seed %d: WORK batched = rebuild" seed)
+        w_rebuild w_batched;
+      Alcotest.check work
+        (Printf.sprintf "seed %d: WORK pooled batched = rebuild" seed)
+        w_rebuild w_pooled)
     [ 11; 222; 3333 ]
 
 (* ------------------------------------------------------------------ *)

@@ -137,6 +137,187 @@ let test_export_roundtrip () =
   | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Work counters: the facility itself                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_basic () =
+  Obs.Counters.reset ();
+  Obs.Counters.bump Obs.Counters.Plan_runs;
+  Obs.Counters.add Obs.Counters.Plan_ops 41;
+  Obs.Counters.add Obs.Counters.Plan_ops 1;
+  Alcotest.(check int) "bump" 1 (Obs.Counters.get Obs.Counters.Plan_runs);
+  Alcotest.(check int) "add" 42 (Obs.Counters.get Obs.Counters.Plan_ops);
+  Obs.Counters.record_max Obs.Counters.Pool_queue_hwm 7;
+  Obs.Counters.record_max Obs.Counters.Pool_queue_hwm 3;
+  Alcotest.(check int) "record_max keeps the max" 7
+    (Obs.Counters.get Obs.Counters.Pool_queue_hwm);
+  Obs.Counters.with_disabled (fun () ->
+      Obs.Counters.bump Obs.Counters.Plan_runs;
+      Alcotest.(check bool) "disabled inside" false (Obs.Counters.enabled ()));
+  Alcotest.(check bool) "re-enabled after" true (Obs.Counters.enabled ());
+  Alcotest.(check int) "no counting while disabled" 1
+    (Obs.Counters.get Obs.Counters.Plan_runs);
+  let work = Obs.Counters.work_snapshot () in
+  Alcotest.(check (option int))
+    "snapshot row" (Some 42)
+    (List.assoc_opt "plan_ops" work);
+  Alcotest.(check bool) "work snapshot has no sched rows" false
+    (List.mem_assoc "pool_tasks" work);
+  Alcotest.(check bool) "sched snapshot has the hwm" true
+    (List.mem_assoc "pool_queue_hwm" (Obs.Counters.sched_snapshot ()));
+  Obs.Counters.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Counters.get Obs.Counters.Plan_ops)
+
+(* ------------------------------------------------------------------ *)
+(* Per-commit history: JSONL round-trip and the trend gate             *)
+(* ------------------------------------------------------------------ *)
+
+(* A miniature export: deterministic WORK scores, an informational
+   SCHED row, one ns-like timing row and one speedup row. *)
+let entries_v n =
+  [
+    Obs.Export.entry
+      ~breakdown:[ ("plan_ops", float_of_int n); ("sim_cycles", 100.0) ]
+      "WORK.counters";
+    Obs.Export.entry ~breakdown:[ ("pool_tasks", 5.0) ] "SCHED.counters";
+    Obs.Export.entry ~ns_per_run:1000.0 "PERF.sweep_serial";
+    Obs.Export.entry ~ns_per_run:2.0 "PERF.par_sweep_speedup";
+  ]
+
+let record ?(commit = "abc1234") ?(epoch = 1754000000.0) entries =
+  { Obs.History.commit; epoch; entries }
+
+let test_history_roundtrip () =
+  let path = Filename.temp_file "pipegen_hist" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let r1 = record ~commit:"aaaa111" (entries_v 10) in
+  let r2 = record ~commit:"bbbb222" ~epoch:1754100000.5 (entries_v 11) in
+  Obs.History.append ~path r1;
+  Obs.History.append ~path r2;
+  (match Obs.History.read ~path with
+  | Ok back -> Alcotest.(check bool) "append/read round-trip" true (back = [ r1; r2 ])
+  | Error msg -> Alcotest.failf "read failed: %s" msg);
+  (* One minified line per record. *)
+  let lines =
+    In_channel.with_open_text path In_channel.input_lines
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "one line per record" 2 (List.length lines);
+  (* Unknown history schemas are rejected. *)
+  match
+    Obs.History.record_of_json
+      (Obs.Json.Obj [ ("schema", Obs.Json.String "pipeline-bench-history/999") ])
+  with
+  | Ok _ -> Alcotest.fail "accepted unknown history schema"
+  | Error _ -> ()
+
+let test_trend_gate_work () =
+  let history = [ record (entries_v 10) ] in
+  Alcotest.(check int) "identical run passes" 0
+    (List.length (Obs.History.trend_gate ~history (entries_v 10)));
+  (* A changed WORK row gates from the very first record; the SCHED row
+     and the under-populated timing rows never do. *)
+  match Obs.History.trend_gate ~history (entries_v 11) with
+  | [ g ] ->
+    Alcotest.(check string) "row" "WORK.counters.plan_ops" g.Obs.History.g_name;
+    Alcotest.(check bool) "kind" true (g.Obs.History.g_kind = Obs.History.Work);
+    Alcotest.(check (float 1e-9)) "baseline" 10.0 g.Obs.History.g_baseline;
+    Alcotest.(check (float 1e-9)) "current" 11.0 g.Obs.History.g_current
+  | gates -> Alcotest.failf "expected 1 gate, got %d" (List.length gates)
+
+let test_trend_gate_missing_work_row () =
+  let history = [ record (entries_v 10) ] in
+  let current =
+    [ Obs.Export.entry ~breakdown:[ ("plan_ops", 10.0) ] "WORK.counters" ]
+  in
+  let gates = Obs.History.trend_gate ~history current in
+  Alcotest.(check bool) "disappeared WORK row is gated" true
+    (List.exists
+       (fun (g : Obs.History.gate) ->
+         g.Obs.History.g_name = "WORK.counters.sim_cycles"
+         && Float.is_nan g.Obs.History.g_current)
+       gates)
+
+let test_trend_gate_timing_band () =
+  let hist ns = record [ Obs.Export.entry ~ns_per_run:ns "PERF.sweep_serial" ] in
+  let current ns = [ Obs.Export.entry ~ns_per_run:ns "PERF.sweep_serial" ] in
+  Alcotest.(check int) "too few records: not gated" 0
+    (List.length
+       (Obs.History.trend_gate ~history:[ hist 100.; hist 100. ]
+          (current 1000.)));
+  let history = [ hist 120.; hist 100.; hist 110. ] in
+  (* Window best is 100; the default tol 0.5 allows up to 150. *)
+  Alcotest.(check int) "within the band" 0
+    (List.length (Obs.History.trend_gate ~history (current 149.)));
+  (match Obs.History.trend_gate ~history (current 151.) with
+  | [ g ] ->
+    Alcotest.(check string) "row" "PERF.sweep_serial.ns_per_run"
+      g.Obs.History.g_name;
+    Alcotest.(check bool) "kind" true (g.Obs.History.g_kind = Obs.History.Timing);
+    Alcotest.(check (float 1e-9)) "baseline is the window min" 100.0
+      g.Obs.History.g_baseline
+  | gates -> Alcotest.failf "expected 1 gate, got %d" (List.length gates));
+  Alcotest.(check int) "wider tolerance passes" 0
+    (List.length (Obs.History.trend_gate ~tol:1.0 ~history (current 151.)))
+
+let test_trend_gate_speedup_direction () =
+  let hist s =
+    record [ Obs.Export.entry ~ns_per_run:s "PERF.par_sweep_speedup" ]
+  in
+  let current s =
+    [ Obs.Export.entry ~ns_per_run:s "PERF.par_sweep_speedup" ]
+  in
+  let history = [ hist 1.8; hist 2.0; hist 1.9 ] in
+  Alcotest.(check int) "getting faster passes" 0
+    (List.length (Obs.History.trend_gate ~history (current 3.0)));
+  (* Window best is 2.0; tol 0.5 puts the floor at 1.0. *)
+  Alcotest.(check int) "above the floor passes" 0
+    (List.length (Obs.History.trend_gate ~history (current 1.05)));
+  match Obs.History.trend_gate ~history (current 0.9) with
+  | [ g ] ->
+    Alcotest.(check (float 1e-9)) "baseline is the window max" 2.0
+      g.Obs.History.g_baseline
+  | gates -> Alcotest.failf "expected 1 gate, got %d" (List.length gates)
+
+let test_trend_gate_window () =
+  let hist ns = record [ Obs.Export.entry ~ns_per_run:ns "PERF.x" ] in
+  let history = [ hist 100.; hist 1000.; hist 1000. ] in
+  let current = [ Obs.Export.entry ~ns_per_run:1400.0 "PERF.x" ] in
+  Alcotest.(check int) "old fast record aged out of the window" 0
+    (List.length (Obs.History.trend_gate ~k:2 ~min_records:2 ~history current));
+  Alcotest.(check bool) "gated once the window reaches it" true
+    (Obs.History.trend_gate ~k:3 ~min_records:2 ~history current <> [])
+
+let test_history_select_diff () =
+  let r1 = record ~commit:"aaaa111" (entries_v 10) in
+  let r2 = record ~commit:"bbbb222" (entries_v 12) in
+  let records = [ r1; r2 ] in
+  (match Obs.History.select records "-1" with
+  | Ok r -> Alcotest.(check string) "-1 is newest" "bbbb222" r.Obs.History.commit
+  | Error e -> Alcotest.fail e);
+  (match Obs.History.select records "0" with
+  | Ok r -> Alcotest.(check string) "0 is oldest" "aaaa111" r.Obs.History.commit
+  | Error e -> Alcotest.fail e);
+  (match Obs.History.select records "aaa" with
+  | Ok r ->
+    Alcotest.(check string) "commit prefix" "aaaa111" r.Obs.History.commit
+  | Error e -> Alcotest.fail e);
+  (match Obs.History.select records "zzz" with
+  | Ok _ -> Alcotest.fail "bogus selector accepted"
+  | Error _ -> ());
+  let rows = Obs.History.diff r1 r2 in
+  Alcotest.(check bool) "diff finds the changed row" true
+    (List.exists
+       (fun (d : Obs.History.diff_row) ->
+         d.Obs.History.d_name = "WORK.counters.plan_ops")
+       rows);
+  Alcotest.(check bool) "diff skips identical rows" false
+    (List.exists
+       (fun (d : Obs.History.diff_row) ->
+         d.Obs.History.d_name = "PERF.sweep_serial.ns_per_run")
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* Hazard attribution: exact cycle accounting on the DLX               *)
 (* ------------------------------------------------------------------ *)
 
@@ -280,6 +461,22 @@ let () =
           Alcotest.test_case "disabled" `Quick test_spans_disabled;
         ] );
       ("export", [ Alcotest.test_case "round-trip" `Quick test_export_roundtrip ]);
+      ("counters", [ Alcotest.test_case "facility" `Quick test_counters_basic ]);
+      ( "history",
+        [
+          Alcotest.test_case "JSONL round-trip" `Quick test_history_roundtrip;
+          Alcotest.test_case "WORK rows gate exactly" `Quick
+            test_trend_gate_work;
+          Alcotest.test_case "disappeared WORK row" `Quick
+            test_trend_gate_missing_work_row;
+          Alcotest.test_case "timing tolerance band" `Quick
+            test_trend_gate_timing_band;
+          Alcotest.test_case "speedup gates downward" `Quick
+            test_trend_gate_speedup_direction;
+          Alcotest.test_case "window bounds the trend" `Quick
+            test_trend_gate_window;
+          Alcotest.test_case "select and diff" `Quick test_history_select_diff;
+        ] );
       ( "hazard attribution",
         [
           Alcotest.test_case "forwarding" `Quick test_accounting_forwarding;

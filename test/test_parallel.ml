@@ -254,6 +254,86 @@ let test_branch_sweep_deterministic () =
   in
   check_rows_equal "branch" serial parallel
 
+(* ------------------------------------------------------------------ *)
+(* Sharded map: bit-identical to map, order preserved                  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_map_sharded_is_map =
+  QCheck.Test.make ~name:"Pool.map_sharded = List.map (j, shards varied)"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (j, k, xs) ->
+         Printf.sprintf "QCHECK_SEED=%d j=%d shards=%d [%s]" qcheck_seed j k
+           (String.concat "; " (List.map string_of_int xs)))
+       QCheck.Gen.(
+         triple (oneofl [ 1; 2; 4 ]) (oneofl [ 1; 2; 3; 8 ])
+           (list_size (int_bound 64) small_int)))
+    (fun (j, k, xs) ->
+      let f x = (x * 7919) lxor (x lsl 3) in
+      Pool.with_pool ~size:j (fun pool -> Pool.map_sharded ~shards:k pool f xs)
+      = List.map f xs)
+
+(* ------------------------------------------------------------------ *)
+(* WORK counter determinism: every deterministic counter must be       *)
+(* bit-identical across -j 1 vs -j 4 and batched vs rebuild            *)
+(* ------------------------------------------------------------------ *)
+
+let counted f =
+  Obs.Counters.reset ();
+  let r = f () in
+  (r, Obs.Counters.work_snapshot ())
+
+let check_work_equal what a b =
+  Alcotest.(check (list (pair string int))) (what ^ ": WORK counters") a b
+
+let test_work_counters_j1_vs_j4 () =
+  let biases = [ 0.0; 0.3; 0.6; 1.0 ] in
+  let run ?pool () =
+    Workload.Sweep.dependency_sweep ?pool ~biases ~length:80 ~seed:5 ()
+  in
+  let rows_s, work_s = counted (fun () -> run ()) in
+  let rows_p, work_p =
+    counted (fun () -> Pool.with_pool ~size:4 (fun pool -> run ~pool ()))
+  in
+  check_rows_equal "work j1 vs j4" rows_s rows_p;
+  check_work_equal "serial vs -j4" work_s work_p;
+  Alcotest.(check bool) "counters actually counted" true
+    (List.assoc "sim_cycles" work_s > 0
+    && List.assoc "plan_ops" work_s > 0
+    && List.assoc "sweep_points" work_s = List.length biases)
+
+let test_work_counters_batched_vs_rebuild () =
+  let biases = [ 0.0; 0.5; 1.0 ] in
+  let run ~batched () =
+    Workload.Sweep.dependency_sweep ~batched ~biases ~length:60 ~seed:3 ()
+  in
+  let rows_b, work_b = counted (fun () -> run ~batched:true ()) in
+  let rows_r, work_r = counted (fun () -> run ~batched:false ()) in
+  check_rows_equal "batched vs rebuild" rows_b rows_r;
+  check_work_equal "batched vs rebuild" work_b work_r
+
+let prop_work_counters_deterministic =
+  QCheck.Test.make
+    ~name:"WORK counters bit-identical (random sweep, j in {1,2,4})"
+    ~count:6
+    (QCheck.make
+       ~print:(fun (j, seed, bias) ->
+         Printf.sprintf "QCHECK_SEED=%d j=%d seed=%d bias=%.2f" qcheck_seed j
+           seed bias)
+       QCheck.Gen.(
+         triple (oneofl [ 2; 4 ]) (int_bound 1000)
+           (map (fun n -> float_of_int n /. 100.) (int_bound 100))))
+    (fun (j, seed, bias) ->
+      let biases = [ bias; 1.0 -. bias ] in
+      let run ?pool () =
+        Workload.Sweep.dependency_sweep ?pool ~biases ~length:40 ~seed ()
+      in
+      let rows_s, work_s = counted (fun () -> run ()) in
+      let rows_p, work_p =
+        counted (fun () -> Pool.with_pool ~size:j (fun pool -> run ~pool ()))
+      in
+      rows_s = rows_p && work_s = work_p)
+
 let test_verify_deterministic () =
   (* Core.verify with and without a pool: same verdict, same reports. *)
   let tr = Core.Toy.transform ~program:Core.Toy.default_program () in
@@ -303,6 +383,16 @@ let () =
             test_branch_sweep_deterministic;
           Alcotest.test_case "Core.verify -j4 = serial" `Quick
             test_verify_deterministic;
+          Alcotest.test_case "WORK counters -j4 = serial" `Quick
+            test_work_counters_j1_vs_j4;
+          Alcotest.test_case "WORK counters batched = rebuild" `Quick
+            test_work_counters_batched_vs_rebuild;
         ] );
-      ("properties", List.map to_alcotest [ prop_map_is_list_map ]);
+      ( "properties",
+        List.map to_alcotest
+          [
+            prop_map_is_list_map;
+            prop_map_sharded_is_map;
+            prop_work_counters_deterministic;
+          ] );
     ]
