@@ -868,7 +868,9 @@ let perf_bmc ~jobs () =
 let campaign_smoke ~jobs () =
   section "CAMPAIGN"
     (Printf.sprintf
-       "Fault-injection detection coverage - toy3 smoke campaign (-j %d)" jobs);
+       "Fault-injection detection coverage - %s smoke campaign (-j %d)"
+       (Service.Machine_spec.to_string Service.Machine_spec.Toy3)
+       jobs);
   let tr = Core.Toy.transform ~program:Core.Toy.default_program () in
   let seed = 42 in
   let mutants =

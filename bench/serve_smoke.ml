@@ -1,0 +1,136 @@
+(* End-to-end smoke of [pipegen serve] (the @check serve leg).
+
+   Drives the real binary over pipes: a small request batch goes
+   through the serve loop, and the responses must (a) come back in
+   input order, (b) match the direct CLI invocations byte for byte —
+   text and exit code — since both front ends share one handler, and
+   (c) answer a repeated request from the content-addressed verdict
+   cache with a bit-identical payload, observable in the exported
+   serve counters. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("serve_smoke: FAILED: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run a CLI subcommand, capturing stdout and the exit code. *)
+let run_cli exe args =
+  let cmd = String.concat " " (List.map Filename.quote (exe :: args)) in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED code -> (Buffer.contents buf, code)
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> die "CLI `%s` was killed" cmd
+
+let payload_string (r : Service.Response.t) =
+  match r.Service.Response.result with
+  | Ok p -> Obs.Json.to_string ~minify:true (Service.Response.payload_to_json p)
+  | Error e -> die "unexpected error response: %s" (Service.Response.error_message e)
+
+let response_text (r : Service.Response.t) =
+  match r.Service.Response.result with
+  | Ok p -> Service.Response.text p
+  | Error e -> die "unexpected error response: %s" (Service.Response.error_message e)
+
+let () =
+  let exe =
+    if Array.length Sys.argv < 2 then die "usage: serve_smoke PIPEGEN_EXE"
+    else Sys.argv.(1)
+  in
+  let metrics_file = Filename.temp_file "serve_smoke" ".json" in
+  (* cloexec: the child must not inherit the parent-side pipe ends, or
+     closing [to_serve] would never deliver EOF (the child itself would
+     still hold a write end of its own stdin). *)
+  let serve_stdin_r, serve_stdin_w = Unix.pipe ~cloexec:true () in
+  let serve_stdout_r, serve_stdout_w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "-j"; "2"; "--metrics-out"; metrics_file |]
+      serve_stdin_r serve_stdout_w Unix.stderr
+  in
+  Unix.close serve_stdin_r;
+  Unix.close serve_stdout_w;
+  let to_serve = Unix.out_channel_of_descr serve_stdin_w in
+  let from_serve = Unix.in_channel_of_descr serve_stdout_r in
+  let send line =
+    output_string to_serve (line ^ "\n");
+    flush to_serve
+  in
+  let recv () =
+    match input_line from_serve with
+    | line -> (
+      match Service.Response.of_string line with
+      | Ok r -> r
+      | Error msg -> die "undecodable response %S: %s" line msg)
+    | exception End_of_file -> die "serve closed the stream early"
+  in
+  (* Batch 1: two distinct requests; responses must be in input order. *)
+  send {|{"pipegen":1,"id":"v1","kind":"verify","machine":"toy3"}|};
+  send {|{"pipegen":1,"id":"s1","kind":"stats","machine":"dlx5"}|};
+  let rv = recv () in
+  let rs = recv () in
+  if rv.Service.Response.id <> Some "v1" || rs.Service.Response.id <> Some "s1"
+  then die "responses out of input order";
+  if rv.Service.Response.cached then die "first verify claims to be cached";
+  (* Batch 2: repeat the verify — must be a verdict-cache hit with a
+     bit-identical payload. *)
+  send {|{"pipegen":1,"id":"v2","kind":"verify","machine":"toy3"}|};
+  let rv2 = recv () in
+  if not rv2.Service.Response.cached then
+    die "repeated request was not served from the verdict cache";
+  if payload_string rv <> payload_string rv2 then
+    die "cached verdict differs from the cold evaluation";
+  close_out to_serve;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> die "serve exited with %d" n
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> die "serve was killed");
+  close_in from_serve;
+  (* The cache hit must be visible in the exported serve counters. *)
+  let counters =
+    match Obs.Json.parse (read_file metrics_file) with
+    | Error msg -> die "bad metrics file: %s" msg
+    | Ok j -> (
+      match Obs.Json.member "counters" j with
+      | Some c -> c
+      | None -> die "metrics file has no counters")
+  in
+  let counter name =
+    match Option.bind (Obs.Json.member name counters) Obs.Json.to_int_opt with
+    | Some v -> v
+    | None -> die "metrics file has no %s counter" name
+  in
+  if counter "serve_cache_hits" < 1 then
+    die "serve_cache_hits = %d, expected >= 1" (counter "serve_cache_hits");
+  if counter "serve_requests" < 3 then
+    die "serve_requests = %d, expected >= 3" (counter "serve_requests");
+  Sys.remove metrics_file;
+  (* CLI equivalence: same requests through the argv front end must
+     print the same bytes and exit with the same code. *)
+  let cli_verify, code_verify = run_cli exe [ "verify"; "toy3" ] in
+  if cli_verify <> response_text rv then
+    die "verify: serve text differs from CLI stdout";
+  if code_verify <> Service.Response.exit_code rv then
+    die "verify: exit codes differ (cli %d, serve %d)" code_verify
+      (Service.Response.exit_code rv);
+  let cli_stats, code_stats = run_cli exe [ "stats"; "-m"; "dlx5" ] in
+  if cli_stats <> response_text rs then
+    die "stats: serve text differs from CLI stdout";
+  if code_stats <> Service.Response.exit_code rs then
+    die "stats: exit codes differ (cli %d, serve %d)" code_stats
+      (Service.Response.exit_code rs);
+  print_endline
+    "serve_smoke: OK (order, cache hit, counters, CLI equivalence)"

@@ -3,161 +3,66 @@
    Takes a built-in prepared sequential machine, performs the paper's
    steps 3) and 4) — forwarding and interlock synthesis plus the stall
    engine and speculation support — and emits reports, HDL, the
-   generated proof, or runs the verification. *)
+   generated proof, or runs the verification.
 
-let machines = [ "toy3"; "dlx5"; "dlx6"; "dlx5_intr"; "dlx5_bp" ]
+   The subcommands are thin adapters over [Service]: argv parses into
+   a {!Service.Request.t}, {!Service.Handler.handle} evaluates it, and
+   the response's text/exit-code are printed verbatim — the same code
+   path [pipegen serve] drives from JSON lines, so the CLI and the
+   daemon cannot drift apart. *)
 
-(* Every user-facing error funnels through [guard]: [Usage] is a
-   command-line mistake (exit 2), [Failed_check] a verification or
-   campaign failure (exit 3), anything else an internal error reported
-   without a backtrace (exit 1). *)
-exception Usage of string
+let machines = Service.Machine_spec.names
+
+(* A failed check in the legacy (not yet service-backed) subcommands:
+   run, trace, symbolic, perf.  Exit codes come from the one policy in
+   {!Service.Response}. *)
 exception Failed_check of string
 
 let guard f =
+  let fail code msg =
+    Format.eprintf "pipegen: %s@." msg;
+    exit (Service.Response.error_exit_code code)
+  in
   try f () with
-  | Usage msg ->
-    Format.eprintf "pipegen: %s@." msg;
-    exit 2
-  | Failed_check msg ->
-    Format.eprintf "pipegen: %s@." msg;
-    exit 3
+  | Service.Handler.Invalid_request msg -> fail Service.Response.Usage msg
+  | Failed_check msg -> fail Service.Response.Failed_check msg
   | Pipeline.Transform.Transform_error msg ->
-    Format.eprintf "pipegen: transform error: %s@." msg;
-    exit 1
+    fail Service.Response.Internal ("transform error: " ^ msg)
   | Hw.Expr.Ill_typed msg ->
-    Format.eprintf "pipegen: ill-typed expression: %s@." msg;
-    exit 1
-  | Sys_error msg | Failure msg ->
-    Format.eprintf "pipegen: %s@." msg;
-    exit 1
+    fail Service.Response.Internal ("ill-typed expression: " ^ msg)
+  | Sys_error msg | Failure msg -> fail Service.Response.Internal msg
 
-let kernels () =
-  List.map
-    (fun (p : Dlx.Progs.t) -> (p.Dlx.Progs.prog_name, p))
-    (Dlx.Progs.all_kernels @ [ Dlx.Progs.overflow_trap ])
+let parse_machine name =
+  match Service.Machine_spec.of_string name with
+  | Ok m -> m
+  | Error msg -> raise (Service.Handler.Invalid_request msg)
 
-(* Every command views the selected machine through the same compiled
-   simulation handle: one Pipesem.compile per invocation, shared by
-   run/trace/stats/verify. *)
-type selection = {
-  sim : Workload.Sim.t;
-  reference : Machine.Seqsem.trace option;
-  disasm : (int -> string option) option;
-}
+let spec machine kernel program_file interlock_only impl =
+  {
+    Service.Request.machine = parse_machine machine;
+    kernel;
+    program_file;
+    interlock_only;
+    impl;
+  }
 
-let selection ?reference ?disasm ~instructions tr =
-  { sim = Workload.Sim.make ?reference ~instructions tr; reference; disasm }
+(* Print a response the way the subcommands always have: payload text
+   on stdout, the failure diagnostic (if any) as "pipegen: ..." on
+   stderr, process status from the response. *)
+let finish ?(print = Service.Response.text) resp =
+  (match resp.Service.Response.result with
+  | Ok payload -> print_string (print payload)
+  | Error _ -> ());
+  (match Service.Response.failure_message resp with
+  | Some msg -> Format.eprintf "pipegen: %s@." msg
+  | None -> ());
+  match Service.Response.exit_code resp with 0 -> `Ok () | n -> exit n
 
-let sel_tr s = Workload.Sim.transform s.sim
-let sel_instructions s = Workload.Sim.instructions s.sim
+let sel_tr (s : Service.Handler.selection) =
+  Workload.Sim.transform s.Service.Handler.sim
 
-let unknown ~what ~name ~available =
-  raise
-    (Usage
-       (Printf.sprintf "unknown %s %s; available: %s" what name
-          (String.concat ", " available)))
-
-(* Exact kernel name, or a unique prefix of one ("fib" -> "fib_10"). *)
-let find_kernel name =
-  let ks = kernels () in
-  match List.assoc_opt name ks with
-  | Some p -> p
-  | None -> (
-    match
-      List.filter
-        (fun (n, _) -> String.starts_with ~prefix:name n)
-        ks
-    with
-    | [ (_, p) ] -> p
-    | _ -> unknown ~what:"kernel" ~name ~available:(List.map fst ks))
-
-let select ~machine ~kernel ~program_file ~interlock_only ~tree =
-  let options =
-    {
-      Pipeline.Fwd_spec.mode =
-        (if interlock_only then Pipeline.Fwd_spec.Interlock_only
-         else Pipeline.Fwd_spec.Full);
-      impl = tree;
-    }
-  in
-  let dlx variant =
-    let p =
-      match (program_file, kernel) with
-      | Some path, _ -> (
-        match Dlx.Asm_parser.parse_file path with
-        | items ->
-          (* The parser's "halt" already expanded to the idiom; strip it
-             so Progs.make (which appends its own) measures the dynamic
-             count correctly. *)
-          let body =
-            let rec drop_halt = function
-              | [] -> []
-              | Dlx.Asm.Label "$halt" :: _ -> []
-              | item :: rest -> item :: drop_halt rest
-            in
-            drop_halt items
-          in
-          let config =
-            match variant with
-            | Dlx.Seq_dlx.With_interrupts { sisr } ->
-              { Dlx.Refmodel.with_interrupts = true; sisr }
-            | Dlx.Seq_dlx.Base | Dlx.Seq_dlx.Branch_predict ->
-              Dlx.Refmodel.default_config
-          in
-          Dlx.Progs.make ~config (Filename.basename path) body
-        | exception Dlx.Asm_parser.Parse_error { line; message } ->
-          raise (Usage (Printf.sprintf "%s:%d: %s" path line message)))
-      | None, None -> Dlx.Progs.fib 10
-      | None, Some name -> find_kernel name
-    in
-    let program = Dlx.Progs.program p in
-    let n = p.Dlx.Progs.dyn_instructions in
-    let reference =
-      Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data variant ~program
-        ~instructions:n
-    in
-    selection ~reference
-      ~disasm:(Dlx.Seq_dlx.disasm ~reference ~program)
-      ~instructions:n
-      (Dlx.Seq_dlx.transform ~options ~data:p.Dlx.Progs.data variant ~program)
-  in
-  let dlx6 () =
-    (* The DLX with a two-stage memory, derived mechanically by
-       splitting EX/MEM (Machine.Retime). *)
-    let p =
-      match kernel with
-      | None -> Dlx.Progs.fib 10
-      | Some name -> find_kernel name
-    in
-    let m =
-      Machine.Retime.insert_passthrough
-        (Dlx.Seq_dlx.machine ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
-           ~program:(Dlx.Progs.program p))
-        ~at:3
-    in
-    let reference =
-      Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data Dlx.Seq_dlx.Base
-        ~program:(Dlx.Progs.program p)
-        ~instructions:p.Dlx.Progs.dyn_instructions
-    in
-    selection ~reference
-      ~disasm:(Dlx.Seq_dlx.disasm ~reference ~program:(Dlx.Progs.program p))
-      ~instructions:p.Dlx.Progs.dyn_instructions
-      (Pipeline.Transform.run ~options
-         ~hints:(Dlx.Seq_dlx.hints Dlx.Seq_dlx.Base)
-         m)
-  in
-  match machine with
-  | "dlx6" -> dlx6 ()
-  | "toy3" ->
-    selection
-      ~instructions:(List.length Core.Toy.default_program)
-      (Core.Toy.transform ~options ~program:Core.Toy.default_program ())
-  | "dlx5" -> dlx Dlx.Seq_dlx.Base
-  | "dlx5_intr" -> dlx (Dlx.Seq_dlx.With_interrupts { sisr = 8 })
-  | "dlx5_bp" -> dlx Dlx.Seq_dlx.Branch_predict
-  | other -> unknown ~what:"machine" ~name:other ~available:machines
+let sel_instructions (s : Service.Handler.selection) =
+  Workload.Sim.instructions s.Service.Handler.sim
 
 open Cmdliner
 
@@ -206,21 +111,33 @@ let jobs_arg =
 (* Run [f pool] inside a pool of [jobs] domains; [-j 1] passes no pool
    at all (the pure serial path, not even an inline pool). *)
 let with_jobs jobs f =
-  if jobs < 1 then raise (Usage "-j must be at least 1")
+  if jobs < 1 then
+    raise (Service.Handler.Invalid_request "-j must be at least 1")
   else if jobs = 1 then f None
   else Exec.Pool.with_pool ~size:jobs (fun pool -> f (Some pool))
 
 let common machine kernel program_file interlock tree =
-  select ~machine ~kernel ~program_file ~interlock_only:interlock ~tree
+  Service.Handler.select (spec machine kernel program_file interlock tree)
+
+(* Build the request, evaluate it through the service handler (the
+   serve code path), print the response. *)
+let dispatch ?id ?jobs ?checkpoint ?resume ?print mk_spec kind =
+  guard @@ fun () ->
+  let req = Service.Request.make ?id ~spec:(mk_spec ()) kind in
+  let resp =
+    match jobs with
+    | None -> Service.Handler.handle ?checkpoint ?resume req
+    | Some jobs ->
+      with_jobs jobs @@ fun pool ->
+      Service.Handler.handle ?pool ?checkpoint ?resume req
+  in
+  finish ?print resp
 
 let show_cmd =
   let run machine kernel program_file interlock tree =
-    guard @@ fun () ->
-    let s = common machine kernel program_file interlock tree in
-    Format.printf "%a@." Machine.Spec.pp_summary
-      (sel_tr s).Pipeline.Transform.base;
-    Format.printf "%a" Pipeline.Report.pp_inventory (sel_tr s);
-    `Ok ()
+    dispatch
+      (fun () -> spec machine kernel program_file interlock tree)
+      (Service.Request.Transform { verilog = false })
   in
   Cmd.v (Cmd.info "show" ~doc:"Print the machine and the generated hardware.")
     Term.(
@@ -230,10 +147,9 @@ let show_cmd =
 
 let verilog_cmd =
   let run machine kernel program_file interlock tree =
-    guard @@ fun () ->
-    let s = common machine kernel program_file interlock tree in
-    print_string (Core.verilog (sel_tr s));
-    `Ok ()
+    dispatch
+      (fun () -> spec machine kernel program_file interlock tree)
+      (Service.Request.Transform { verilog = true })
   in
   Cmd.v
     (Cmd.info "verilog" ~doc:"Emit the generated control logic as HDL.")
@@ -244,33 +160,9 @@ let verilog_cmd =
 
 let verify_cmd =
   let run machine kernel program_file interlock tree jobs =
-    guard @@ fun () ->
-    let s = common machine kernel program_file interlock tree in
-    let v =
-      with_jobs jobs @@ fun pool ->
-      Core.verify ?reference:s.reference ?pool
-        ~max_instructions:(sel_instructions s)
-        ~compiled:(Workload.Sim.compiled s.sim) (sel_tr s)
-    in
-    Format.printf "%a" Proof_engine.Consistency.pp_report
-      v.Core.consistency;
-    Format.printf "%a" Proof_engine.Liveness.pp_report v.Core.liveness;
-    let cov =
-      Pipeline.Coverage.measure ~stop_after:(sel_instructions s) (sel_tr s)
-    in
-    Format.printf "%a" Pipeline.Coverage.pp cov;
-    List.iter (Format.printf "  coverage hole: %s@.")
-      (Pipeline.Coverage.holes cov);
-    Format.printf "obligations:@.%a" Proof_engine.Obligation.pp
-      v.Core.obligations;
-    if Core.verified v then begin
-      Format.printf "VERIFIED@.";
-      `Ok ()
-    end
-    else begin
-      Format.printf "VERIFICATION FAILED@.";
-      raise (Failed_check "verification failed")
-    end
+    dispatch ~jobs
+      (fun () -> spec machine kernel program_file interlock tree)
+      Service.Request.Verify
   in
   Cmd.v
     (Cmd.info "verify"
@@ -282,16 +174,9 @@ let verify_cmd =
 
 let proof_cmd =
   let run machine kernel program_file interlock tree jobs =
-    guard @@ fun () ->
-    let s = common machine kernel program_file interlock tree in
-    let v =
-      with_jobs jobs @@ fun pool ->
-      Core.verify ?reference:s.reference ?pool
-        ~max_instructions:(sel_instructions s)
-        ~compiled:(Workload.Sim.compiled s.sim) (sel_tr s)
-    in
-    print_string (Core.proof_script (sel_tr s) v);
-    `Ok ()
+    dispatch ~jobs
+      (fun () -> spec machine kernel program_file interlock tree)
+      Service.Request.Proof
   in
   Cmd.v
     (Cmd.info "proof"
@@ -317,10 +202,11 @@ let run_cmd =
         print_string d;
         result
       end
-      else Workload.Sim.run s.sim
+      else Workload.Sim.run s.Service.Handler.sim
     in
     let row =
-      Workload.Sim.stats_row ~label:machine s.sim result.Pipeline.Pipesem.stats
+      Workload.Sim.stats_row ~label:machine s.Service.Handler.sim
+        result.Pipeline.Pipesem.stats
     in
     Format.printf "%a" Workload.Stats.pp_table [ row ];
     (match result.Pipeline.Pipesem.outcome with
@@ -346,7 +232,7 @@ let trace_cmd =
   let run machine kernel program_file interlock tree out =
     guard @@ fun () ->
     let s = common machine kernel program_file interlock tree in
-    let result = Workload.Sim.trace_vcd ~path:out s.sim in
+    let result = Workload.Sim.trace_vcd ~path:out s.Service.Handler.sim in
     Format.printf "wrote %s (%d cycles, %d instructions)@." out
       result.Pipeline.Pipesem.stats.Pipeline.Pipesem.cycles
       result.Pipeline.Pipesem.stats.Pipeline.Pipesem.retired;
@@ -389,22 +275,17 @@ let stats_cmd =
     Cmdliner.Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run machine kernel program_file interlock tree json =
-    guard @@ fun () ->
-    let s = common machine kernel program_file interlock tree in
-    let result, summary = Workload.Sim.attribute s.sim in
-    (match result.Pipeline.Pipesem.outcome with
-    | Pipeline.Pipesem.Completed -> ()
-    | Pipeline.Pipesem.Deadlocked -> raise (Failed_check "simulation deadlocked")
-    | Pipeline.Pipesem.Out_of_cycles ->
-      raise (Failed_check "simulation ran out of cycles"));
-    if json then
-      print_endline (Obs.Json.to_string (Obs.Hazard.summary_to_json summary))
-    else begin
-      Format.printf "%a" Obs.Hazard.pp_summary summary;
-      Format.printf "%a" Obs.Hazard.pp_decomposition
-        (Obs.Hazard.decompose summary)
-    end;
-    `Ok ()
+    let print =
+      if not json then Service.Response.text
+      else
+        function
+        | Service.Response.Stats_report { summary; _ } ->
+          Obs.Json.to_string summary ^ "\n"
+        | p -> Service.Response.text p
+    in
+    dispatch ~print
+      (fun () -> spec machine kernel program_file interlock tree)
+      Service.Request.Stats
   in
   Cmd.v
     (Cmd.info "stats"
@@ -428,12 +309,13 @@ let profile_cmd =
     guard @@ fun () ->
     Obs.Span.set_enabled true;
     let s = common machine kernel program_file interlock tree in
-    let (_ : Pipeline.Pipesem.result) = Workload.Sim.run s.sim in
+    let (_ : Pipeline.Pipesem.result) = Workload.Sim.run s.Service.Handler.sim in
     let v =
       with_jobs jobs @@ fun pool ->
-      Core.verify ?reference:s.reference ?pool
+      Core.verify ?reference:s.Service.Handler.reference ?pool
         ~max_instructions:(sel_instructions s)
-        ~compiled:(Workload.Sim.compiled s.sim) (sel_tr s)
+        ~compiled:(Workload.Sim.compiled s.Service.Handler.sim)
+        (sel_tr s)
     in
     let records = Obs.Span.records () in
     Obs.Trace_event.write_file ~path:out ~process_name:"pipegen" records;
@@ -529,55 +411,18 @@ let campaign_cmd =
   in
   let run machine kernel program_file interlock tree jobs seed mutants
       transients timeout hang bmc checkpoint resume json =
-    guard @@ fun () ->
-    let s = common machine kernel program_file interlock tree in
-    let tr = sel_tr s in
-    let all = Fault.Mutate.enumerate ~transients ~seed ~hang tr in
-    let selected =
-      match mutants with
-      | None -> all
-      | Some count ->
-        if count < 1 then raise (Usage "--mutants must be at least 1");
-        Fault.Mutate.sample ~seed ~count all
-    in
-    let bmc =
-      if not bmc then None
-      else if machine <> "toy3" then
-        raise (Usage "--bmc is only available for toy3")
+    let print =
+      if not json then Service.Response.text
       else
-        let alphabet =
-          [
-            Core.Toy.encode ~dst:1 ~src1:1 ~src2:2;
-            Core.Toy.encode ~dst:2 ~src1:1 ~src2:1;
-            Core.Toy.encode ~dst:1 ~src1:2 ~src2:2;
-          ]
-        in
-        Some ((fun program -> Core.Toy.transform ~program ()), alphabet, 2)
+        function
+        | Service.Response.Campaign_report { outcomes; _ } ->
+          Obs.Json.to_string outcomes ^ "\n"
+        | p -> Service.Response.text p
     in
-    let bmc_load = (fun program -> Core.Toy.image ~program) in
-    let target =
-      Fault.Campaign.make_target ?reference:s.reference
-        ~instructions:(sel_instructions s) ?disasm:s.disasm ?bmc ~bmc_load tr
-    in
-    let outcomes, summary =
-      with_jobs jobs @@ fun pool ->
-      Fault.Campaign.run ?pool ~timeout_s:timeout ?checkpoint ~resume target
-        selected
-    in
-    if json then
-      print_endline (Obs.Json.to_string (Fault.Campaign.to_json outcomes))
-    else begin
-      List.iter
-        (fun o -> Format.printf "%a@." Fault.Campaign.pp_outcome o)
-        outcomes;
-      Format.printf "%a@." Fault.Campaign.pp_summary summary
-    end;
-    if Fault.Campaign.ok summary then `Ok ()
-    else
-      raise
-        (Failed_check
-           (Format.asprintf "campaign failed: %a" Fault.Campaign.pp_summary
-              summary))
+    dispatch ~jobs ?checkpoint ~resume ~print
+      (fun () -> spec machine kernel program_file interlock tree)
+      (Service.Request.Campaign
+         { seed; mutants; transients; hang; timeout_s = timeout; bmc })
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -592,6 +437,94 @@ let campaign_cmd =
        $ tree_arg $ jobs_arg $ seed_arg $ mutants_arg $ transients_arg
        $ timeout_arg $ hang_arg $ bmc_arg $ checkpoint_arg $ resume_arg
        $ json_arg))
+
+let sweep_cmd =
+  let axis_arg =
+    let doc = "Sweep axis: dependency (operand bias) or branch (taken rate)." in
+    Cmdliner.Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("dependency", Service.Request.Dependency);
+               ("branch", Service.Request.Branch);
+             ])
+          Service.Request.Dependency
+      & info [ "axis" ] ~docv:"AXIS" ~doc)
+  in
+  let points_arg =
+    let doc = "Sweep points (dependency biases / taken fractions)." in
+    Cmdliner.Arg.(
+      value
+      & opt (list float) [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+      & info [ "points" ] ~docv:"P,P,..." ~doc)
+  in
+  let length_arg =
+    let doc = "Generated program length (instructions)." in
+    Cmdliner.Arg.(value & opt int 32 & info [ "length" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed for program generation." in
+    Cmdliner.Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let run machine kernel program_file interlock tree jobs axis points length
+      seed =
+    dispatch ~jobs
+      (fun () -> spec machine kernel program_file interlock tree)
+      (Service.Request.Sweep { axis; points; length; seed })
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "CPI as a function of a workload parameter: generate a program per \
+          point, simulate and verify it on the selected machine (compiled \
+          once per shape), and print the metric table.")
+    Term.(
+      ret
+        (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
+       $ tree_arg $ jobs_arg $ axis_arg $ points_arg $ length_arg $ seed_arg))
+
+let serve_cmd =
+  let timeout_arg =
+    let doc = "Per-request budget in seconds (unbounded when absent)." in
+    Cmdliner.Arg.(
+      value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Verdict-cache capacity (entries, FIFO eviction)." in
+    Cmdliner.Arg.(value & opt int 256 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Write the service metrics (JSON) to $(docv) on exit." in
+    Cmdliner.Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let socket_arg =
+    let doc = "Serve on this Unix socket instead of stdin/stdout." in
+    Cmdliner.Arg.(
+      value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let run jobs timeout_s capacity metrics_out socket =
+    guard @@ fun () ->
+    if jobs < 1 then
+      raise (Service.Handler.Invalid_request "-j must be at least 1");
+    let config =
+      { Service.Serve.jobs; timeout_s; capacity; metrics_out; socket }
+    in
+    match Service.Serve.run ~config () with 0 -> `Ok () | n -> exit n
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running verification service: read one JSON request per line \
+          (stdin or a Unix socket), answer with one JSON response per line \
+          in input order.  Identical requests coalesce, repeated requests \
+          are answered from a content-addressed verdict cache, and each \
+          request runs isolated under a per-request timeout.")
+    Term.(
+      ret
+        (const run $ jobs_arg $ timeout_arg $ capacity_arg $ metrics_arg
+       $ socket_arg))
 
 let perf_cmd =
   let history_arg =
@@ -619,16 +552,16 @@ let perf_cmd =
   in
   let run history diff k =
     guard @@ fun () ->
+    let usage msg = raise (Service.Handler.Invalid_request msg) in
     let path =
       match history with Some p -> p | None -> Obs.History.default_path ()
     in
     if not (Sys.file_exists path) then
-      raise
-        (Usage
-           (Printf.sprintf
-              "no history at %s (seed it with `bench --smoke --history` or \
-               `dune build @check`)"
-              path));
+      usage
+        (Printf.sprintf
+           "no history at %s (seed it with `bench --smoke --history` or \
+            `dune build @check`)"
+           path);
     let records =
       match Obs.History.read ~path with
       | Ok r -> r
@@ -642,7 +575,7 @@ let perf_cmd =
       let sel spec =
         match Obs.History.select records spec with
         | Ok r -> r
-        | Error msg -> raise (Usage msg)
+        | Error msg -> usage msg
       in
       let ra = sel a and rb = sel b in
       let rows = Obs.History.diff ra rb in
@@ -650,7 +583,7 @@ let perf_cmd =
         Format.printf "records %s and %s carry identical metrics@."
           ra.Obs.History.commit rb.Obs.History.commit
       else Format.printf "%a" (Obs.History.pp_diff ~a:ra ~b:rb) rows
-    | _ -> raise (Usage "--diff takes exactly two selectors (repeat the flag)"));
+    | _ -> usage "--diff takes exactly two selectors (repeat the flag)");
     `Ok ()
   in
   Cmd.v
@@ -674,4 +607,4 @@ let () =
        (Cmd.group info
           [ show_cmd; verilog_cmd; verify_cmd; proof_cmd; run_cmd; stats_cmd;
             profile_cmd; trace_cmd; dot_cmd; symbolic_cmd; campaign_cmd;
-            perf_cmd ]))
+            sweep_cmd; serve_cmd; perf_cmd ]))

@@ -4,6 +4,7 @@ type token = {
   flag : bool Atomic.t;
   created : float;
   deadline : float option;  (* absolute, from [created] + timeout *)
+  parent : token option;  (* tripping the parent trips this token *)
 }
 
 let create ?timeout_s () =
@@ -12,21 +13,40 @@ let create ?timeout_s () =
     flag = Atomic.make false;
     created;
     deadline = Option.map (fun t -> created +. t) timeout_s;
+    parent = None;
+  }
+
+let with_parent parent ?timeout_s () =
+  let created = Unix.gettimeofday () in
+  {
+    flag = Atomic.make false;
+    created;
+    deadline = Option.map (fun t -> created +. t) timeout_s;
+    parent = Some parent;
   }
 
 let never =
-  { flag = Atomic.make false; created = 0.0; deadline = None }
+  { flag = Atomic.make false; created = 0.0; deadline = None; parent = None }
 
 let cancel t = Atomic.set t.flag true
 
-let cancelled t =
+let rec cancelled t =
   Atomic.get t.flag
+  || (match t.deadline with
+     | None -> false
+     | Some d ->
+       if Unix.gettimeofday () > d then begin
+         (* Latch, so later polls skip the clock read. *)
+         Atomic.set t.flag true;
+         true
+       end
+       else false)
   ||
-  match t.deadline with
+  match t.parent with
   | None -> false
-  | Some d ->
-    if Unix.gettimeofday () > d then begin
-      (* Latch, so later polls skip the clock read. *)
+  | Some p ->
+    if cancelled p then begin
+      (* Latch, so later polls skip the parent chain. *)
       Atomic.set t.flag true;
       true
     end

@@ -23,6 +23,14 @@ val create : ?timeout_s:float -> unit -> token
 (** A fresh token; with [timeout_s], it trips automatically once that
     many wall-clock seconds have passed since creation. *)
 
+val with_parent : token -> ?timeout_s:float -> unit -> token
+(** A fresh token linked to [parent]: it trips when its own flag or
+    deadline trips {e or} whenever the parent is tripped.  A tripped
+    parent latches into the child's own flag on first observation, so
+    subsequent polls stay one atomic load.  The serve loop gives each
+    request such a child of the server-wide shutdown token: a request
+    timeout cancels one request, shutdown cancels them all. *)
+
 val never : token
 (** A shared token that never trips (the zero-cost default for
     [?cancel] parameters). *)

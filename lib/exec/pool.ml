@@ -182,10 +182,14 @@ type 'a task_result =
    captured in the result instead of poisoning the batch.  The wrapper
    task never raises, so the plain [map] machinery's first-error path
    stays dormant and every element yields a verdict. *)
-let map_result ?timeout_s t f xs =
+let map_result ?timeout_s ?cancel t f xs =
   map t
     (fun x ->
-      let token = Cancel.create ?timeout_s () in
+      let token =
+        match cancel with
+        | None -> Cancel.create ?timeout_s ()
+        | Some parent -> Cancel.with_parent parent ?timeout_s ()
+      in
       match f ~cancel:token x with
       | r -> Done r
       | exception Cancel.Cancelled -> Timed_out (Cancel.elapsed_s token)

@@ -68,6 +68,7 @@ type 'a task_result =
 
 val map_result :
   ?timeout_s:float ->
+  ?cancel:Cancel.token ->
   t ->
   (cancel:Cancel.token -> 'a -> 'b) ->
   'a list ->
@@ -81,7 +82,12 @@ val map_result :
     starts, and is expected to poll it ({!Cancel.check}) at safe
     points — the cycle simulators do.  A task that never polls cannot
     be interrupted (OCaml domains are not killable); it will simply
-    run to completion and be reported [Done]/[Failed]. *)
+    run to completion and be reported [Done]/[Failed].
+
+    With [cancel], every per-task token is a child of that token
+    ({!Cancel.with_parent}): tripping it cancels the whole batch while
+    each task still keeps its individual [timeout_s] budget.  The
+    serve loop passes its shutdown token here. *)
 
 val shutdown : t -> unit
 (** Signal the workers and join them.  Idempotent.  Pending work of a

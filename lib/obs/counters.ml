@@ -17,13 +17,19 @@ type id =
   | Pool_helped
   | Pool_inline
   | Pool_queue_hwm
+  | Serve_requests
+  | Serve_cache_hits
+  | Serve_cache_misses
+  | Serve_coalesced
+  | Serve_queue_hwm
 
 let all =
   [
     Plan_runs; Plan_ops; Cells_written; State_resets; Snapshot_words;
     Sim_cycles; Sim_retired; Seq_instructions; Obligations; Bmc_programs;
     Sweep_points; Plan_binds; Sessions; Pool_tasks; Pool_stolen; Pool_helped;
-    Pool_inline; Pool_queue_hwm;
+    Pool_inline; Pool_queue_hwm; Serve_requests; Serve_cache_hits;
+    Serve_cache_misses; Serve_coalesced; Serve_queue_hwm;
   ]
 
 let index = function
@@ -45,8 +51,13 @@ let index = function
   | Pool_helped -> 15
   | Pool_inline -> 16
   | Pool_queue_hwm -> 17
+  | Serve_requests -> 18
+  | Serve_cache_hits -> 19
+  | Serve_cache_misses -> 20
+  | Serve_coalesced -> 21
+  | Serve_queue_hwm -> 22
 
-let n_ids = 18
+let n_ids = 23
 
 let name = function
   | Plan_runs -> "plan_runs"
@@ -67,6 +78,11 @@ let name = function
   | Pool_helped -> "pool_helped"
   | Pool_inline -> "pool_inline"
   | Pool_queue_hwm -> "pool_queue_hwm"
+  | Serve_requests -> "serve_requests"
+  | Serve_cache_hits -> "serve_cache_hits"
+  | Serve_cache_misses -> "serve_cache_misses"
+  | Serve_coalesced -> "serve_coalesced"
+  | Serve_queue_hwm -> "serve_queue_hwm"
 
 let is_work = function
   | Plan_runs | Plan_ops | Cells_written | State_resets | Snapshot_words
@@ -74,10 +90,11 @@ let is_work = function
   | Sweep_points ->
     true
   | Plan_binds | Sessions | Pool_tasks | Pool_stolen | Pool_helped
-  | Pool_inline | Pool_queue_hwm ->
+  | Pool_inline | Pool_queue_hwm | Serve_requests | Serve_cache_hits
+  | Serve_cache_misses | Serve_coalesced | Serve_queue_hwm ->
     false
 
-let is_max = function Pool_queue_hwm -> true | _ -> false
+let is_max = function Pool_queue_hwm | Serve_queue_hwm -> true | _ -> false
 
 (* Every domain counts into a private array (registered once, on the
    domain's first count) so the hot path takes no lock; aggregation

@@ -45,6 +45,11 @@ type id =
   | Pool_helped  (** tasks the submitting thread ran while waiting *)
   | Pool_inline  (** tasks run inline by a size-1 pool *)
   | Pool_queue_hwm  (** queued-task high-water mark (a [Max] counter) *)
+  | Serve_requests  (** requests admitted by the [pipegen serve] loop *)
+  | Serve_cache_hits  (** verdicts served from the content-addressed cache *)
+  | Serve_cache_misses  (** verdict-cache lookups that had to evaluate *)
+  | Serve_coalesced  (** duplicate in-batch requests folded into one run *)
+  | Serve_queue_hwm  (** admission batch depth high-water mark (a [Max]) *)
 
 val all : id list
 (** Every counter, in declaration order. *)

@@ -351,6 +351,33 @@ let compile (t : Transform.t) =
 let transform c = c.c_tr
 let plan c = c.c_plan
 
+(* Cross-request plan reuse: two transforms of the same shape (same
+   stages, registers and synthesized signals — only initial values
+   differ, the batched-path contract) can share one compiled plan.
+   The returned [compiled] carries [t], so state creation and session
+   resets read [t]'s init.  The structural guard is deliberately
+   cheap: name-level equality catches shape drift without re-walking
+   expression trees (transforms of one machine builder are
+   expression-identical by construction). *)
+let rebind c (t : Transform.t) =
+  let m0 = c.c_tr.Transform.machine and m1 = t.Transform.machine in
+  let reg_names (m : Machine.Spec.t) =
+    List.map
+      (fun r ->
+        ( r.Machine.Spec.reg_name,
+          r.Machine.Spec.width,
+          r.Machine.Spec.stage,
+          r.Machine.Spec.kind ))
+      m.Machine.Spec.registers
+  in
+  if
+    m0.Machine.Spec.n_stages <> m1.Machine.Spec.n_stages
+    || reg_names m0 <> reg_names m1
+    || List.map fst c.c_tr.Transform.signals <> List.map fst t.Transform.signals
+    || c.c_tr.Transform.stage_dhaz <> t.Transform.stage_dhaz
+  then invalid_arg "Pipesem.rebind: transforms differ in shape";
+  { c with c_tr = t }
+
 let plan_engine c state =
   let bound =
     State.bind_plan ~extern:(Hashtbl.mem c.c_free) state c.c_plan

@@ -133,6 +133,21 @@ val compile : Transform.t -> compiled
 val transform : compiled -> Transform.t
 val plan : compiled -> Hw.Plan.t
 
+val rebind : compiled -> Transform.t -> compiled
+(** [rebind c t] reuses [c]'s evaluation plan for transform [t], which
+    must have the {e same shape} as [c]'s transform: identical stage
+    count, register names, synthesized signal names and hazard
+    structure — i.e. the two transforms come from the same machine
+    builder and differ only in initial values (the program image).
+    This is the batched-path contract from the sweep engine, promoted
+    to a public operation: plan slots are shape-only, and state
+    creation reads initial values from the {e rebound} transform, so
+    runs of the result behave exactly as if [t] had been compiled
+    directly.  The service layer uses this to compile each machine
+    shape once and serve every program against it.
+
+    @raise Invalid_argument when the shapes differ. *)
+
 val run_compiled :
   ?ext:ext_model ->
   ?callbacks:callbacks ->

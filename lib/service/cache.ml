@@ -1,0 +1,142 @@
+type t = {
+  capacity : int;
+  table : (string, Response.payload) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  mutex : Mutex.t;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  m_hits : Obs.Metrics.counter option;
+  m_misses : Obs.Metrics.counter option;
+}
+
+let create ?(capacity = 256) ?metrics () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  let m name =
+    Option.map (fun r -> Obs.Metrics.counter r ("serve.cache_" ^ name)) metrics
+  in
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    mutex = Mutex.create ();
+    n_hits = 0;
+    n_misses = 0;
+    m_hits = m "hits";
+    m_misses = m "misses";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The content address.                                               *)
+(*                                                                    *)
+(* Everything that can influence a verdict is rendered into one       *)
+(* buffer and digested: the request kind and parameters, the          *)
+(* transform options, the machine structure (registers and their      *)
+(* shapes, every stage write's expressions, the synthesized signal    *)
+(* definitions in order) and the initial register contents — the      *)
+(* program image, since instruction and data memory are init values   *)
+(* of the pipelined machine.  The sequential reference trace needs no *)
+(* separate component: it is derived deterministically from the same  *)
+(* machine and image.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let add_expr buf e =
+  Buffer.add_string buf (Hw.Expr.to_string e);
+  Buffer.add_char buf '\n'
+
+let add_expr_opt buf = function
+  | None -> Buffer.add_string buf "-\n"
+  | Some e -> add_expr buf e
+
+let add_machine buf (m : Machine.Spec.t) =
+  Buffer.add_string buf m.Machine.Spec.machine_name;
+  Buffer.add_string buf (Printf.sprintf "/%d\n" m.Machine.Spec.n_stages);
+  List.iter
+    (fun (r : Machine.Spec.register) ->
+      Buffer.add_string buf
+        (Printf.sprintf "reg %s w%d s%d %s %b %s\n" r.Machine.Spec.reg_name
+           r.Machine.Spec.width r.Machine.Spec.stage
+           (match r.Machine.Spec.kind with
+           | Machine.Spec.Simple -> "simple"
+           | Machine.Spec.File { addr_bits } ->
+             Printf.sprintf "file:%d" addr_bits)
+           r.Machine.Spec.visible
+           (Option.value ~default:"-" r.Machine.Spec.prev_instance)))
+    m.Machine.Spec.registers;
+  List.iter
+    (fun (s : Machine.Spec.stage) ->
+      Buffer.add_string buf
+        (Printf.sprintf "stage %d %s\n" s.Machine.Spec.index
+           s.Machine.Spec.stage_name);
+      List.iter
+        (fun (w : Machine.Spec.write) ->
+          Buffer.add_string buf ("  -> " ^ w.Machine.Spec.dst ^ "\n");
+          add_expr buf w.Machine.Spec.value;
+          add_expr_opt buf w.Machine.Spec.guard;
+          add_expr_opt buf w.Machine.Spec.wr_addr)
+        s.Machine.Spec.writes)
+    m.Machine.Spec.stages
+
+let add_image buf (m : Machine.Spec.t) =
+  (* Every register's effective initial value, in declaration order:
+     the program image (IMEM/MEM contents) lives here. *)
+  List.iter
+    (fun (r : Machine.Spec.register) ->
+      Buffer.add_string buf (r.Machine.Spec.reg_name ^ "=");
+      Buffer.add_string buf
+        (Format.asprintf "%a" Machine.Value.pp (Machine.Spec.initial_value m r));
+      Buffer.add_char buf '\n')
+    m.Machine.Spec.registers
+
+let key ~kind ?(extra = []) (tr : Pipeline.Transform.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf ("kind " ^ kind ^ "\n");
+  List.iter (fun e -> Buffer.add_string buf ("param " ^ e ^ "\n")) extra;
+  Buffer.add_string buf
+    (Printf.sprintf "options %s %s\n"
+       (match tr.Pipeline.Transform.options.Pipeline.Fwd_spec.mode with
+       | Pipeline.Fwd_spec.Full -> "full"
+       | Pipeline.Fwd_spec.Interlock_only -> "interlock_only")
+       (match tr.Pipeline.Transform.options.Pipeline.Fwd_spec.impl with
+       | Hw.Circuits.Chain -> "chain"
+       | Hw.Circuits.Tree -> "tree"
+       | Hw.Circuits.Bus -> "bus"));
+  add_machine buf tr.Pipeline.Transform.machine;
+  List.iter
+    (fun (name, e) ->
+      Buffer.add_string buf ("sig " ^ name ^ " ");
+      add_expr buf e)
+    tr.Pipeline.Transform.signals;
+  add_image buf tr.Pipeline.Transform.machine;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t k =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.table k with
+  | Some payload ->
+    t.n_hits <- t.n_hits + 1;
+    Obs.Counters.bump Obs.Counters.Serve_cache_hits;
+    Option.iter Obs.Metrics.incr t.m_hits;
+    Some payload
+  | None ->
+    t.n_misses <- t.n_misses + 1;
+    Obs.Counters.bump Obs.Counters.Serve_cache_misses;
+    Option.iter Obs.Metrics.incr t.m_misses;
+    None
+
+let add t k payload =
+  with_lock t @@ fun () ->
+  if not (Hashtbl.mem t.table k) then begin
+    while Queue.length t.order >= t.capacity do
+      Hashtbl.remove t.table (Queue.pop t.order)
+    done;
+    Hashtbl.replace t.table k payload;
+    Queue.push k t.order
+  end
+
+let hits t = with_lock t @@ fun () -> t.n_hits
+let misses t = with_lock t @@ fun () -> t.n_misses
+let length t = with_lock t @@ fun () -> Hashtbl.length t.table

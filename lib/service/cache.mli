@@ -1,0 +1,46 @@
+(** Content-addressed verdict cache.
+
+    Verification is deterministic: the verdict for a machine is a pure
+    function of the machine {e shape} (stages, registers, data paths,
+    the synthesized control), the {e program image} (the initial
+    register contents, including instruction and data memory) and the
+    {e request kind} with its parameters.  The cache key is the MD5
+    digest of exactly those three components — not of the request's
+    surface syntax — so two requests that name the same work by
+    different routes (a kernel name vs. the assembly file it came
+    from) hit the same entry, while any change to the program bytes or
+    the generated hardware misses.
+
+    A hit returns the stored {!Response.payload} unchanged: replayed
+    verdicts are bit-identical to the cold evaluation (the test suite
+    asserts this on the JSON encoding).  Entries are evicted FIFO past
+    [capacity].
+
+    Thread safety: all operations take an internal mutex; the serve
+    loop shares one cache across its {!Exec.Pool} workers.  Hits and
+    misses are surfaced through {!Obs.Counters}
+    ([serve_cache_hits]/[serve_cache_misses], Sched class) and through
+    the optional per-cache {!Obs.Metrics} registry. *)
+
+type t
+
+val create : ?capacity:int -> ?metrics:Obs.Metrics.registry -> unit -> t
+(** [capacity] defaults to 256 entries. *)
+
+val key :
+  kind:string -> ?extra:string list -> Pipeline.Transform.t -> string
+(** The content address: a digest over [kind], the extra request
+    parameters, the transform's structural shape (registers, stage
+    writes, synthesized signals, options) and the program image (every
+    initial register value of the pipelined machine). *)
+
+val find : t -> string -> Response.payload option
+(** Counter-bumping lookup. *)
+
+val add : t -> string -> Response.payload -> unit
+
+val hits : t -> int
+
+val misses : t -> int
+
+val length : t -> int

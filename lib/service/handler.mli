@@ -1,0 +1,78 @@
+(** The one code path behind every front end.
+
+    [handle] turns a {!Request.t} into a {!Response.t}.  The [pipegen]
+    subcommands build a request from argv and pretty-print the
+    response; the serve loop decodes requests from JSON lines and
+    encodes responses back — both call this module, so the CLI and the
+    daemon are provably the same evaluation (the test suite asserts
+    output equality request by request).
+
+    {2 The environment}
+
+    A long-running service amortizes two things across requests:
+
+    {ul
+    {- the {e shape cache} — one {!Pipeline.Pipesem.compile} per
+       machine shape (machine x forwarding mode x network
+       implementation); later requests for the same shape but a
+       different program reuse the plan through
+       {!Pipeline.Pipesem.rebind};}
+    {- the {e verdict cache} — a content-addressed {!Cache} of
+       finished payloads, keyed by machine shape + program image +
+       request kind, so a repeated question is answered without
+       evaluating anything.  Campaign requests are never cached: their
+       timed-out classification depends on wall-clock budgets.}}
+
+    Without an [env] (the one-shot CLI) both caches are skipped.
+
+    Thread safety: an {!env} may be shared by concurrent [handle]
+    calls (both caches take internal locks); the serve loop calls
+    [handle] from {!Exec.Pool} workers. *)
+
+type selection = {
+  sim : Workload.Sim.t;
+  reference : Machine.Seqsem.trace option;
+  disasm : (int -> string option) option;
+}
+(** A selected machine: the compiled simulation handle, the sequential
+    reference trace (DLX machines) and the disassembler for failure
+    evidence. *)
+
+type env
+
+val create_env : ?capacity:int -> ?metrics:Obs.Metrics.registry -> unit -> env
+(** [capacity] bounds the verdict cache (default 256 entries). *)
+
+val verdicts : env -> Cache.t
+(** The environment's verdict cache (for observability and tests). *)
+
+exception Invalid_request of string
+(** A semantically invalid request — unknown kernel, unparsable
+    assembly file, a [bmc] campaign on a non-toy3 machine.  [handle]
+    maps it to a [Usage] error response; the CLI's legacy subcommands
+    map it to exit code 2. *)
+
+val select : ?env:env -> Request.spec -> selection
+(** Resolve a request's machine selection: load the kernel or assembly
+    file, build the reference trace, transform, and compile (or rebind
+    a cached same-shape plan when [env] is given).
+
+    @raise Invalid_request on unknown machines/kernels or parse
+    errors. *)
+
+val handle :
+  ?env:env ->
+  ?pool:Exec.Pool.t ->
+  ?cancel:Exec.Cancel.token ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  Request.t ->
+  Response.t
+(** Evaluate one request.  Never raises: usage errors become [Usage]
+    responses, {!Exec.Cancel.Cancelled} becomes a [Timeout] error
+    (cooperative cancellation is a typed result, not an escape), and
+    engine exceptions become [Internal] errors.  [cancel] is polled by
+    the simulators and checkers; [pool] fans out the obligation suite
+    and campaign mutants; [checkpoint]/[resume] are the campaign's
+    operational knobs ({!Fault.Campaign.run}) — per the {!Request}
+    contract they stay with the caller, not on the wire. *)

@@ -1,0 +1,26 @@
+type t = Toy3 | Dlx5 | Dlx6 | Dlx5_intr | Dlx5_bp
+
+let all = [ Toy3; Dlx5; Dlx6; Dlx5_intr; Dlx5_bp ]
+
+let to_string = function
+  | Toy3 -> "toy3"
+  | Dlx5 -> "dlx5"
+  | Dlx6 -> "dlx6"
+  | Dlx5_intr -> "dlx5_intr"
+  | Dlx5_bp -> "dlx5_bp"
+
+let names = List.map to_string all
+
+let of_string name =
+  match List.find_opt (fun m -> to_string m = name) all with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown machine %s; available: %s" name
+         (String.concat ", " names))
+
+let variant = function
+  | Dlx5 -> Some Dlx.Seq_dlx.Base
+  | Dlx5_intr -> Some (Dlx.Seq_dlx.With_interrupts { sisr = 8 })
+  | Dlx5_bp -> Some Dlx.Seq_dlx.Branch_predict
+  | Toy3 | Dlx6 -> None

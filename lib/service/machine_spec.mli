@@ -1,0 +1,32 @@
+(** The machines the tool ships with, as a closed enumeration.
+
+    Every front end — the [pipegen] CLI, the [serve] request decoder
+    and the benchmark harness — selects machines through this one
+    module, so the set of names and the unknown-name error message
+    exist in exactly one place. *)
+
+type t =
+  | Toy3  (** the 3-stage triadic-add demo machine *)
+  | Dlx5  (** the paper's five-stage DLX case study *)
+  | Dlx6  (** DLX with a two-stage memory (mechanical EX/MEM split) *)
+  | Dlx5_intr  (** DLX with precise interrupts via speculation (§5) *)
+  | Dlx5_bp  (** DLX with branch (next-fetch-address) speculation *)
+
+val all : t list
+(** Every machine, in the order the CLI documents them. *)
+
+val names : string list
+(** [List.map to_string all]. *)
+
+val to_string : t -> string
+(** The stable CLI/wire name, e.g. ["dlx5_intr"]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; [Error] carries the unified unknown-name
+    message (["unknown machine NAME; available: ..."]) used verbatim
+    by the CLI, the serve decoder and the bench. *)
+
+val variant : t -> Dlx.Seq_dlx.variant option
+(** The DLX variant behind the five-stage machines; [None] for
+    {!Toy3} and {!Dlx6} (which is derived by retiming, not a
+    variant). *)

@@ -1,0 +1,242 @@
+module J = Obs.Json
+
+type spec = {
+  machine : Machine_spec.t;
+  kernel : string option;
+  program_file : string option;
+  interlock_only : bool;
+  impl : Hw.Circuits.priority_impl;
+}
+
+let default_spec =
+  {
+    machine = Machine_spec.Dlx5;
+    kernel = None;
+    program_file = None;
+    interlock_only = false;
+    impl = Hw.Circuits.Chain;
+  }
+
+type sweep_axis = Dependency | Branch
+
+type kind =
+  | Transform of { verilog : bool }
+  | Verify
+  | Proof
+  | Stats
+  | Campaign of {
+      seed : int;
+      mutants : int option;
+      transients : int;
+      hang : bool;
+      timeout_s : float;
+      bmc : bool;
+    }
+  | Sweep of { axis : sweep_axis; points : float list; length : int; seed : int }
+
+type t = { id : string option; spec : spec; kind : kind }
+
+let make ?id ?(spec = default_spec) kind = { id; spec; kind }
+
+let kind_name t =
+  match t.kind with
+  | Transform _ -> "transform"
+  | Verify -> "verify"
+  | Proof -> "proof"
+  | Stats -> "stats"
+  | Campaign _ -> "campaign"
+  | Sweep _ -> "sweep"
+
+let version = 1
+
+let impl_to_string = function
+  | Hw.Circuits.Chain -> "chain"
+  | Hw.Circuits.Tree -> "tree"
+  | Hw.Circuits.Bus -> "bus"
+
+let axis_to_string = function Dependency -> "dependency" | Branch -> "branch"
+
+(* ------------------------------------------------------------------ *)
+(* Encoding: canonical — fields at their default are omitted, so the  *)
+(* emitted object is minimal and round-trips through [of_json].       *)
+(* ------------------------------------------------------------------ *)
+
+let to_json t =
+  let fields = ref [] in
+  let put k v = fields := (k, v) :: !fields in
+  put "pipegen" (J.Int version);
+  (match t.id with None -> () | Some id -> put "id" (J.String id));
+  put "kind" (J.String (kind_name t));
+  put "machine" (J.String (Machine_spec.to_string t.spec.machine));
+  (match t.spec.kernel with None -> () | Some k -> put "kernel" (J.String k));
+  (match t.spec.program_file with
+  | None -> ()
+  | Some p -> put "program" (J.String p));
+  if t.spec.interlock_only then put "interlock_only" (J.Bool true);
+  if t.spec.impl <> Hw.Circuits.Chain then
+    put "impl" (J.String (impl_to_string t.spec.impl));
+  (match t.kind with
+  | Transform { verilog } -> if verilog then put "verilog" (J.Bool true)
+  | Verify | Proof | Stats -> ()
+  | Campaign { seed; mutants; transients; hang; timeout_s; bmc } ->
+    put "seed" (J.Int seed);
+    (match mutants with None -> () | Some n -> put "mutants" (J.Int n));
+    put "transients" (J.Int transients);
+    if hang then put "hang" (J.Bool true);
+    put "timeout_s" (J.Float timeout_s);
+    if bmc then put "bmc" (J.Bool true)
+  | Sweep { axis; points; length; seed } ->
+    put "axis" (J.String (axis_to_string axis));
+    put "points" (J.List (List.map (fun p -> J.Float p) points));
+    put "length" (J.Int length);
+    put "seed" (J.Int seed));
+  J.Obj (List.rev !fields)
+
+(* ------------------------------------------------------------------ *)
+(* Strict decoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type decode_error = { path : string; message : string }
+
+exception Reject of decode_error
+
+let reject path fmt =
+  Printf.ksprintf (fun message -> raise (Reject { path; message })) fmt
+
+(* A field cursor: [take] consumes a member (an explicit [null] counts
+   as absent); whatever remains unconsumed at the end is an unknown
+   field and rejects the request. *)
+type fields = { mutable remaining : (string * J.t) list }
+
+let take fs key =
+  match List.assoc_opt key fs.remaining with
+  | None -> None
+  | Some v ->
+    fs.remaining <- List.remove_assoc key fs.remaining;
+    if v = J.Null then None else Some v
+
+let get_typed fs key what conv =
+  match take fs key with
+  | None -> None
+  | Some v -> (
+    match conv v with
+    | Some x -> Some x
+    | None -> reject ("$." ^ key) "expected %s" what)
+
+let get_string fs key = get_typed fs key "a string" J.to_string_opt
+let get_int fs key = get_typed fs key "an integer" J.to_int_opt
+let get_bool fs key = get_typed fs key "a boolean" J.to_bool_opt
+let get_float fs key = get_typed fs key "a number" J.to_float_opt
+
+let get_float_list fs key =
+  get_typed fs key "an array of numbers" (fun v ->
+      match J.to_list_opt v with
+      | None -> None
+      | Some items ->
+        let floats = List.filter_map J.to_float_opt items in
+        if List.length floats = List.length items then Some floats else None)
+
+let dflt d = function Some x -> x | None -> d
+
+let decode_spec fs =
+  let machine =
+    match get_string fs "machine" with
+    | None -> default_spec.machine
+    | Some name -> (
+      match Machine_spec.of_string name with
+      | Ok m -> m
+      | Error msg -> reject "$.machine" "%s" msg)
+  in
+  let kernel = get_string fs "kernel" in
+  let program_file = get_string fs "program" in
+  let interlock_only = dflt false (get_bool fs "interlock_only") in
+  let impl =
+    match get_string fs "impl" with
+    | None -> Hw.Circuits.Chain
+    | Some "chain" -> Hw.Circuits.Chain
+    | Some "tree" -> Hw.Circuits.Tree
+    | Some "bus" -> Hw.Circuits.Bus
+    | Some other -> reject "$.impl" "unknown impl %s (chain, tree or bus)" other
+  in
+  { machine; kernel; program_file; interlock_only; impl }
+
+let decode_kind fs = function
+  | "transform" -> Transform { verilog = dflt false (get_bool fs "verilog") }
+  | "verify" -> Verify
+  | "proof" -> Proof
+  | "stats" -> Stats
+  | "campaign" ->
+    Campaign
+      {
+        seed = dflt 0 (get_int fs "seed");
+        mutants = get_int fs "mutants";
+        transients = dflt 8 (get_int fs "transients");
+        hang = dflt false (get_bool fs "hang");
+        timeout_s = dflt 30.0 (get_float fs "timeout_s");
+        bmc = dflt false (get_bool fs "bmc");
+      }
+  | "sweep" ->
+    let axis =
+      match get_string fs "axis" with
+      | Some "dependency" -> Dependency
+      | Some "branch" -> Branch
+      | Some other ->
+        reject "$.axis" "unknown axis %s (dependency or branch)" other
+      | None -> reject "$.axis" "sweep requests require an axis"
+    in
+    let points =
+      match get_float_list fs "points" with
+      | Some [] -> reject "$.points" "points must be non-empty"
+      | Some ps -> ps
+      | None -> reject "$.points" "sweep requests require points"
+    in
+    Sweep
+      {
+        axis;
+        points;
+        length = dflt 32 (get_int fs "length");
+        seed = dflt 0 (get_int fs "seed");
+      }
+  | other ->
+    reject "$.kind"
+      "unknown kind %s (transform, verify, proof, stats, campaign or sweep)"
+      other
+
+let of_json j =
+  match j with
+  | J.Obj members -> (
+    try
+      let fs = { remaining = members } in
+      (match get_int fs "pipegen" with
+      | None -> reject "$.pipegen" "missing protocol version (expected %d)" version
+      | Some v when v <> version ->
+        reject "$.pipegen" "unsupported protocol version %d (expected %d)" v
+          version
+      | Some _ -> ());
+      let id = get_string fs "id" in
+      let kind_s =
+        match get_string fs "kind" with
+        | Some k -> k
+        | None -> reject "$.kind" "missing request kind"
+      in
+      let spec = decode_spec fs in
+      let kind = decode_kind fs kind_s in
+      (match fs.remaining with
+      | [] -> ()
+      | (key, _) :: _ ->
+        reject ("$." ^ key) "unknown field %S for kind %s" key kind_s);
+      Ok { id; spec; kind }
+    with Reject e -> Error e)
+  | _ -> Error { path = "$"; message = "expected a JSON object" }
+
+let of_string s =
+  match J.parse s with
+  | Ok j -> of_json j
+  | Error msg -> Error { path = "$"; message = msg }
+
+let to_string t = J.to_string ~minify:true (to_json t)
+
+let equal (a : t) (b : t) = a = b
+
+let pp_decode_error ppf e =
+  Format.fprintf ppf "invalid request at %s: %s" e.path e.message

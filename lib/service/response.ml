@@ -1,0 +1,346 @@
+module J = Obs.Json
+
+type verify_summary = {
+  v_verified : bool;
+  v_violations : int;
+  v_edge_checks : int;
+  v_liveness_ok : bool;
+  v_max_gap : int;
+  v_obligations : int;
+  v_obligations_failed : string list;
+  v_coverage_holes : string list;
+}
+
+type payload =
+  | Transformed of {
+      summary : string;
+      inventory : string;
+      verilog : string option;
+    }
+  | Verdict of { summary : verify_summary; text : string }
+  | Proof_text of { verified : bool; text : string }
+  | Stats_report of { summary : J.t; text : string }
+  | Campaign_report of {
+      summary : Fault.Campaign.summary;
+      outcomes : J.t;
+      text : string;
+    }
+  | Sweep_rows of { rows : (float * Workload.Stats.row) list; text : string }
+
+type error_code = Usage | Failed_check | Timeout | Cancelled | Internal
+
+type error = { code : error_code; message : string; phase : string option }
+
+type t = {
+  id : string option;
+  cached : bool;
+  result : (payload, error) result;
+}
+
+let ok ?id ?(cached = false) payload = { id; cached; result = Ok payload }
+
+let fail ?id ?phase code message =
+  { id; cached = false; result = Error { code; message; phase } }
+
+let error_exit_code = function
+  | Usage -> 2
+  | Failed_check | Timeout -> 3
+  | Internal | Cancelled -> 1
+
+let exit_code t =
+  match t.result with
+  | Error e -> error_exit_code e.code
+  | Ok (Verdict { summary; _ }) -> if summary.v_verified then 0 else 3
+  | Ok (Campaign_report { summary; _ }) ->
+    if Fault.Campaign.ok summary then 0 else 3
+  | Ok (Transformed _ | Proof_text _ | Stats_report _ | Sweep_rows _) -> 0
+
+let text = function
+  | Transformed { summary; inventory; verilog } -> (
+    match verilog with
+    | Some v -> v
+    | None -> summary ^ inventory)
+  | Verdict { text; _ }
+  | Proof_text { text; _ }
+  | Stats_report { text; _ }
+  | Campaign_report { text; _ }
+  | Sweep_rows { text; _ } ->
+    text
+
+let error_message e =
+  match e.phase with
+  | Some phase -> Printf.sprintf "%s: %s" phase e.message
+  | None -> e.message
+
+let failure_message t =
+  match t.result with
+  | Error e -> Some (error_message e)
+  | Ok (Verdict { summary; _ }) ->
+    if summary.v_verified then None else Some "verification failed"
+  | Ok (Campaign_report { summary; _ }) ->
+    if Fault.Campaign.ok summary then None
+    else
+      Some
+        (Format.asprintf "campaign failed: %a" Fault.Campaign.pp_summary
+           summary)
+  | Ok (Transformed _ | Proof_text _ | Stats_report _ | Sweep_rows _) -> None
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let code_label = function
+  | Usage -> "usage"
+  | Failed_check -> "failed_check"
+  | Timeout -> "timeout"
+  | Cancelled -> "cancelled"
+  | Internal -> "internal"
+
+let code_of_label = function
+  | "usage" -> Some Usage
+  | "failed_check" -> Some Failed_check
+  | "timeout" -> Some Timeout
+  | "cancelled" -> Some Cancelled
+  | "internal" -> Some Internal
+  | _ -> None
+
+let verify_summary_to_json s =
+  J.Obj
+    [
+      ("verified", J.Bool s.v_verified);
+      ("violations", J.Int s.v_violations);
+      ("edge_checks", J.Int s.v_edge_checks);
+      ("liveness_ok", J.Bool s.v_liveness_ok);
+      ("max_gap", J.Int s.v_max_gap);
+      ("obligations", J.Int s.v_obligations);
+      ( "obligations_failed",
+        J.List (List.map (fun i -> J.String i) s.v_obligations_failed) );
+      ( "coverage_holes",
+        J.List (List.map (fun h -> J.String h) s.v_coverage_holes) );
+    ]
+
+let campaign_summary_to_json (s : Fault.Campaign.summary) =
+  J.Obj
+    [
+      ("mutants", J.Int s.Fault.Campaign.mutants);
+      ("detected", J.Int s.Fault.Campaign.detected);
+      ("masked", J.Int s.Fault.Campaign.masked);
+      ("missed", J.Int s.Fault.Campaign.missed);
+      ("timed_out", J.Int s.Fault.Campaign.timed_out);
+      ("aborted", J.Int s.Fault.Campaign.aborted);
+    ]
+
+let row_to_json (point, row) =
+  match Workload.Stats.row_to_json row with
+  | J.Obj fields -> J.Obj (("point", J.Float point) :: fields)
+  | other -> other
+
+let payload_to_json = function
+  | Transformed { summary; inventory; verilog } ->
+    J.Obj
+      ([
+         ("payload", J.String "transformed");
+         ("summary", J.String summary);
+         ("inventory", J.String inventory);
+       ]
+      @ match verilog with None -> [] | Some v -> [ ("verilog", J.String v) ])
+  | Verdict { summary; text } ->
+    J.Obj
+      [
+        ("payload", J.String "verdict");
+        ("verdict", verify_summary_to_json summary);
+        ("text", J.String text);
+      ]
+  | Proof_text { verified; text } ->
+    J.Obj
+      [
+        ("payload", J.String "proof");
+        ("verified", J.Bool verified);
+        ("text", J.String text);
+      ]
+  | Stats_report { summary; text } ->
+    J.Obj
+      [
+        ("payload", J.String "stats");
+        ("hazards", summary);
+        ("text", J.String text);
+      ]
+  | Campaign_report { summary; outcomes; text } ->
+    J.Obj
+      [
+        ("payload", J.String "campaign");
+        ("summary", campaign_summary_to_json summary);
+        ("outcomes", outcomes);
+        ("text", J.String text);
+      ]
+  | Sweep_rows { rows; text } ->
+    J.Obj
+      [
+        ("payload", J.String "sweep");
+        ("rows", J.List (List.map row_to_json rows));
+        ("text", J.String text);
+      ]
+
+let to_json t =
+  let envelope =
+    [ ("pipegen", J.Int Request.version); ("cached", J.Bool t.cached) ]
+  in
+  let envelope =
+    match t.id with
+    | None -> envelope
+    | Some id -> envelope @ [ ("id", J.String id) ]
+  in
+  match t.result with
+  | Ok payload -> (
+    match payload_to_json payload with
+    | J.Obj fields -> J.Obj ((envelope @ [ ("ok", J.Bool true) ]) @ fields)
+    | other -> other)
+  | Error e ->
+    J.Obj
+      (envelope
+      @ [
+          ("ok", J.Bool false);
+          ("error", J.String (code_label e.code));
+          ("message", J.String e.message);
+        ]
+      @ match e.phase with None -> [] | Some p -> [ ("phase", J.String p) ])
+
+let to_string t = J.to_string ~minify:true (to_json t)
+
+(* Decoding — lenient on envelope extras is not wanted either: the
+   serve protocol is ours on both ends, so we only need the fields we
+   emit.  Malformed input yields [Error msg]. *)
+
+let mem k j = J.member k j
+let str k j = Option.bind (mem k j) J.to_string_opt
+let int_ k j = Option.bind (mem k j) J.to_int_opt
+let bool_ k j = Option.bind (mem k j) J.to_bool_opt
+let float_ k j = Option.bind (mem k j) J.to_float_opt
+
+let ( let* ) o f = Option.bind o f
+
+let verify_summary_of_json j =
+  let strings k =
+    let* l = Option.bind (mem k j) J.to_list_opt in
+    let ss = List.filter_map J.to_string_opt l in
+    if List.length ss = List.length l then Some ss else None
+  in
+  let* v_verified = bool_ "verified" j in
+  let* v_violations = int_ "violations" j in
+  let* v_edge_checks = int_ "edge_checks" j in
+  let* v_liveness_ok = bool_ "liveness_ok" j in
+  let* v_max_gap = int_ "max_gap" j in
+  let* v_obligations = int_ "obligations" j in
+  let* v_obligations_failed = strings "obligations_failed" in
+  let* v_coverage_holes = strings "coverage_holes" in
+  Some
+    {
+      v_verified;
+      v_violations;
+      v_edge_checks;
+      v_liveness_ok;
+      v_max_gap;
+      v_obligations;
+      v_obligations_failed;
+      v_coverage_holes;
+    }
+
+let campaign_summary_of_json j : Fault.Campaign.summary option =
+  let* mutants = int_ "mutants" j in
+  let* detected = int_ "detected" j in
+  let* masked = int_ "masked" j in
+  let* missed = int_ "missed" j in
+  let* timed_out = int_ "timed_out" j in
+  let* aborted = int_ "aborted" j in
+  Some
+    {
+      Fault.Campaign.mutants;
+      detected;
+      masked;
+      missed;
+      timed_out;
+      aborted;
+    }
+
+let row_of_json j : (float * Workload.Stats.row) option =
+  let* point = float_ "point" j in
+  let* label = str "label" j in
+  let* instructions = int_ "instructions" j in
+  let* cycles = int_ "cycles" j in
+  let* cpi = float_ "cpi" j in
+  let* speedup_vs_sequential = float_ "speedup_vs_sequential" j in
+  let* fetch_stall_cycles = int_ "fetch_stall_cycles" j in
+  let* dhaz_cycles = int_ "dhaz_cycles" j in
+  let* ext_cycles = int_ "ext_cycles" j in
+  let* rollbacks = int_ "rollbacks" j in
+  let* squashed = int_ "squashed" j in
+  Some
+    ( point,
+      {
+        Workload.Stats.label;
+        instructions;
+        cycles;
+        cpi;
+        speedup_vs_sequential;
+        fetch_stall_cycles;
+        dhaz_cycles;
+        ext_cycles;
+        rollbacks;
+        squashed;
+      } )
+
+let payload_of_json j =
+  match str "payload" j with
+  | Some "transformed" ->
+    let* summary = str "summary" j in
+    let* inventory = str "inventory" j in
+    Some (Transformed { summary; inventory; verilog = str "verilog" j })
+  | Some "verdict" ->
+    let* s = Option.bind (mem "verdict" j) verify_summary_of_json in
+    let* text = str "text" j in
+    Some (Verdict { summary = s; text })
+  | Some "proof" ->
+    let* verified = bool_ "verified" j in
+    let* text = str "text" j in
+    Some (Proof_text { verified; text })
+  | Some "stats" ->
+    let* summary = mem "hazards" j in
+    let* text = str "text" j in
+    Some (Stats_report { summary; text })
+  | Some "campaign" ->
+    let* summary = Option.bind (mem "summary" j) campaign_summary_of_json in
+    let* outcomes = mem "outcomes" j in
+    let* text = str "text" j in
+    Some (Campaign_report { summary; outcomes; text })
+  | Some "sweep" ->
+    let* items = Option.bind (mem "rows" j) J.to_list_opt in
+    let rows = List.filter_map row_of_json items in
+    if List.length rows <> List.length items then None
+    else
+      let* text = str "text" j in
+      Some (Sweep_rows { rows; text })
+  | _ -> None
+
+let of_json j =
+  match (int_ "pipegen" j, bool_ "ok" j) with
+  | Some v, _ when v <> Request.version ->
+    Error (Printf.sprintf "unsupported response version %d" v)
+  | None, _ -> Error "missing response version"
+  | Some _, None -> Error "missing ok flag"
+  | Some _, Some okf ->
+    let id = str "id" j in
+    let cached = match bool_ "cached" j with Some c -> c | None -> false in
+    if okf then
+      match payload_of_json j with
+      | Some p -> Ok { id; cached; result = Ok p }
+      | None -> Error "malformed response payload"
+    else (
+      match (Option.bind (str "error" j) code_of_label, str "message" j) with
+      | Some code, Some message ->
+        Ok { id; cached; result = Error { code; message; phase = str "phase" j } }
+      | _ -> Error "malformed error response")
+
+let of_string s =
+  match J.parse s with Ok j -> of_json j | Error msg -> Error msg
+
+let equal (a : t) (b : t) = a = b

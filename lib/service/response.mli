@@ -1,0 +1,108 @@
+(** Typed responses of the verification service.
+
+    A {!t} is the complete result of handling one {!Request.t}: a
+    structured payload (or a typed error) plus the envelope the serve
+    loop needs (the echoed request id, whether the verdict came from
+    the content-addressed cache).  Payloads carry both machine-readable
+    summaries and the {e exact} text the CLI has always printed, so
+    the CLI adapter reduces to "print the text, exit by
+    {!exit_code}" and a serve client sees byte-identical renderings.
+
+    Exit-code policy (the one place it is defined):
+    {ul
+    {- [0] — success, including a [proof] whose obligations failed
+       (the script itself is the deliverable);}
+    {- [1] — internal error (a transform bug, an ill-typed expression,
+       an I/O failure), or a cancelled request;}
+    {- [2] — usage error (unknown machine/kernel, malformed request);}
+    {- [3] — a failed check: verification failed, a campaign missed a
+       mutant, a simulation deadlocked, or the request timed out.}} *)
+
+type verify_summary = {
+  v_verified : bool;
+  v_violations : int;  (** data-consistency violations *)
+  v_edge_checks : int;
+  v_liveness_ok : bool;
+  v_max_gap : int;
+  v_obligations : int;
+  v_obligations_failed : string list;  (** ids of failed obligations *)
+  v_coverage_holes : string list;
+}
+
+type payload =
+  | Transformed of {
+      summary : string;  (** {!Machine.Spec.pp_summary} of the base *)
+      inventory : string;  (** {!Pipeline.Report.pp_inventory} *)
+      verilog : string option;
+    }
+  | Verdict of { summary : verify_summary; text : string }
+  | Proof_text of { verified : bool; text : string }
+  | Stats_report of { summary : Obs.Json.t; text : string }
+      (** [summary] is {!Obs.Hazard.summary_to_json} *)
+  | Campaign_report of {
+      summary : Fault.Campaign.summary;
+      outcomes : Obs.Json.t;  (** {!Fault.Campaign.to_json} *)
+      text : string;
+    }
+  | Sweep_rows of { rows : (float * Workload.Stats.row) list; text : string }
+
+type error_code = Usage | Failed_check | Timeout | Cancelled | Internal
+
+type error = {
+  code : error_code;
+  message : string;
+  phase : string option;  (** failing phase, when the taxonomy knows it *)
+}
+
+type t = {
+  id : string option;  (** echoed from the request *)
+  cached : bool;  (** served from the content-addressed verdict cache *)
+  result : (payload, error) result;
+}
+
+val ok : ?id:string -> ?cached:bool -> payload -> t
+val fail : ?id:string -> ?phase:string -> error_code -> string -> t
+
+val error_exit_code : error_code -> int
+(** [Usage -> 2], [Failed_check | Timeout -> 3],
+    [Internal | Cancelled -> 1]. *)
+
+val exit_code : t -> int
+(** The process exit status this response maps to: 0 for a clean
+    payload, 3 for a payload carrying a failed verdict (an unverified
+    {!Verdict}, a {!Campaign_report} with misses or aborts),
+    {!error_exit_code} for errors. *)
+
+val text : payload -> string
+(** The CLI rendering: exactly what the pre-service [pipegen]
+    subcommands printed on stdout. *)
+
+val error_message : error -> string
+(** The CLI error line (without the ["pipegen: "] prefix). *)
+
+val failure_message : t -> string option
+(** The stderr diagnostic for a response whose {!exit_code} is
+    nonzero: {!error_message} for errors, ["verification failed"] for
+    an unverified verdict, ["campaign failed: ..."] for a failed
+    campaign — exactly the lines the pre-service CLI printed.  [None]
+    when the response exits 0. *)
+
+(** {1 Codec}
+
+    Responses travel as one JSON object per line, versioned like
+    requests ([{"pipegen": 1, ...}]).  The encoding contains no
+    wall-clock data, so a response is bit-identical across runs and a
+    cached replay equals the cold evaluation byte for byte (only the
+    envelope's [cached] flag differs). *)
+
+val to_json : t -> Obs.Json.t
+val to_string : t -> string
+
+val payload_to_json : payload -> Obs.Json.t
+(** The payload alone — the unit of verdict caching and of the
+    bit-identity tests. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+val equal : t -> t -> bool

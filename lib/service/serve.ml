@@ -1,0 +1,304 @@
+type config = {
+  jobs : int;
+  timeout_s : float option;
+  capacity : int;
+  metrics_out : string option;
+  socket : string option;
+}
+
+let default_config =
+  {
+    jobs = Exec.Pool.default_size ();
+    timeout_s = None;
+    capacity = 256;
+    metrics_out = None;
+    socket = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Batch admission                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type role =
+  | Malformed of Request.decode_error
+  | Leader of Request.t
+  | Follower of int * Request.t  (* index of the leader *)
+
+let process_batch ~env ~pool ?timeout_s ?cancel ?latency lines =
+  let n = List.length lines in
+  Obs.Counters.record_max Obs.Counters.Serve_queue_hwm n;
+  let seen = Hashtbl.create 16 in
+  let roles =
+    List.mapi
+      (fun i line ->
+        match Request.of_string line with
+        | Error e -> Malformed e
+        | Ok req -> (
+          let canonical = Request.to_string { req with Request.id = None } in
+          match Hashtbl.find_opt seen canonical with
+          | None ->
+            Hashtbl.add seen canonical i;
+            Leader req
+          | Some j ->
+            Obs.Counters.bump Obs.Counters.Serve_coalesced;
+            Follower (j, req)))
+      lines
+  in
+  let roles = Array.of_list roles in
+  let leaders =
+    Array.to_list roles
+    |> List.mapi (fun i role -> (i, role))
+    |> List.filter_map (function
+         | i, Leader req -> Some (i, req)
+         | _, (Malformed _ | Follower _) -> None)
+  in
+  let observe_latency f =
+    match latency with
+    | None -> f ()
+    | Some h ->
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.observe h ((Unix.gettimeofday () -. t0) *. 1000.0))
+        f
+  in
+  let outcomes =
+    Exec.Pool.map_result ?timeout_s ?cancel pool
+      (fun ~cancel (_, req) ->
+        observe_latency (fun () -> Handler.handle ~env ~pool ~cancel req))
+      leaders
+  in
+  let responses = Array.make (Array.length roles) None in
+  List.iter2
+    (fun (i, (req : Request.t)) outcome ->
+      let resp =
+        match outcome with
+        | Exec.Pool.Done resp -> resp
+        | Exec.Pool.Failed (e, _) ->
+          Response.fail ?id:req.Request.id Response.Internal
+            (Printexc.to_string e)
+        | Exec.Pool.Timed_out elapsed ->
+          Response.fail ?id:req.Request.id Response.Timeout
+            (Printf.sprintf "request timed out after %.2fs" elapsed)
+      in
+      responses.(i) <- Some resp)
+    leaders outcomes;
+  Array.iteri
+    (fun i role ->
+      match role with
+      | Leader _ -> ()
+      | Malformed err ->
+        responses.(i) <-
+          Some
+            (Response.fail Response.Usage
+               (Format.asprintf "%a" Request.pp_decode_error err))
+      | Follower (j, req) ->
+        let leader =
+          match responses.(j) with Some r -> r | None -> assert false
+        in
+        let cached =
+          match leader.Response.result with Ok _ -> true | Error _ -> false
+        in
+        responses.(i) <-
+          Some { leader with Response.id = req.Request.id; cached })
+    roles;
+  Array.to_list responses
+  |> List.map (function Some r -> r | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Line transport                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A buffered fd reader that can both block for the next line and
+   greedily drain whatever further complete lines have already
+   arrived — the admission loop's batching primitive.  [Unix.read]
+   is retried on EINTR with the shutdown token checked in between,
+   so SIGINT lands even mid-read. *)
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable eof : bool;
+}
+
+let reader fd = { fd; buf = Buffer.create 4096; eof = false }
+
+let take_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+    Some (String.sub s 0 i)
+
+let refill ~shutdown r =
+  let bytes = Bytes.create 4096 in
+  let rec read () =
+    match Unix.read r.fd bytes 0 (Bytes.length bytes) with
+    | 0 ->
+      r.eof <- true;
+      false
+    | k ->
+      Buffer.add_subbytes r.buf bytes 0 k;
+      true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Exec.Cancel.cancelled shutdown then begin
+        r.eof <- true;
+        false
+      end
+      else read ()
+  in
+  read ()
+
+(* Block until at least one line (or EOF). *)
+let rec next_line ~shutdown r =
+  if Exec.Cancel.cancelled shutdown then None
+  else
+    match take_line r with
+    | Some l -> Some l
+    | None ->
+      if r.eof then None
+      else if refill ~shutdown r then next_line ~shutdown r
+      else if Buffer.length r.buf > 0 then begin
+        (* trailing line without a newline *)
+        let l = Buffer.contents r.buf in
+        Buffer.clear r.buf;
+        Some l
+      end
+      else None
+
+(* Drain every further complete line that is already available,
+   without blocking: buffered remainders first, then whatever
+   [select] says is readable right now. *)
+let drain_available ~shutdown r =
+  let rec lines acc =
+    match take_line r with
+    | Some l -> lines (l :: acc)
+    | None ->
+      if r.eof then List.rev acc
+      else (
+        match Unix.select [ r.fd ] [] [] 0.0 with
+        | [], _, _ -> List.rev acc
+        | _ ->
+          if refill ~shutdown r then lines acc
+          else List.rev acc
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> List.rev acc)
+  in
+  lines []
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let serve_fds ~env ~pool ~cfg ~shutdown ~latency ~depth in_fd out_fd =
+  let r = reader in_fd in
+  let rec loop () =
+    match next_line ~shutdown r with
+    | None -> ()
+    | Some first ->
+      let batch = first :: drain_available ~shutdown r in
+      Obs.Metrics.set depth (float_of_int (List.length batch));
+      let responses =
+        process_batch ~env ~pool ?timeout_s:cfg.timeout_s ~cancel:shutdown
+          ~latency batch
+      in
+      List.iter
+        (fun resp -> write_all out_fd (Response.to_string resp ^ "\n"))
+        responses;
+      loop ()
+  in
+  loop ()
+
+let write_metrics ~metrics path =
+  let json =
+    Obs.Json.Obj
+      [
+        ("metrics", Obs.Metrics.to_json metrics);
+        ( "counters",
+          Obs.Json.Obj
+            (List.map
+               (fun (k, v) -> (k, Obs.Json.Int v))
+               (Obs.Counters.sched_snapshot ())) );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string json ^ "\n"))
+
+let run ?(config = default_config) () =
+  if config.jobs < 1 then (
+    prerr_endline "pipegen: serve: jobs must be at least 1";
+    2)
+  else begin
+    let shutdown = Exec.Cancel.create () in
+    let stop _ = Exec.Cancel.cancel shutdown in
+    let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle stop) in
+    let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop) in
+    let metrics = Obs.Metrics.create () in
+    let latency = Obs.Metrics.histogram metrics "serve.latency_ms" in
+    let depth = Obs.Metrics.gauge metrics "serve.batch_depth" in
+    let env = Handler.create_env ~capacity:config.capacity ~metrics () in
+    let code =
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.set_signal Sys.sigint prev_int;
+          Sys.set_signal Sys.sigterm prev_term;
+          Option.iter
+            (fun path -> write_metrics ~metrics path)
+            config.metrics_out)
+        (fun () ->
+          try
+            Exec.Pool.with_pool ~size:config.jobs (fun pool ->
+                match config.socket with
+                | None ->
+                  serve_fds ~env ~pool ~cfg:config ~shutdown ~latency ~depth
+                    Unix.stdin Unix.stdout;
+                  0
+                | Some path ->
+                  if Sys.file_exists path then Sys.remove path;
+                  let sock =
+                    Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+                  in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      (try Unix.close sock with Unix.Unix_error _ -> ());
+                      if Sys.file_exists path then Sys.remove path)
+                    (fun () ->
+                      Unix.bind sock (Unix.ADDR_UNIX path);
+                      Unix.listen sock 8;
+                      let rec accept_loop () =
+                        if Exec.Cancel.cancelled shutdown then ()
+                        else
+                          match Unix.accept sock with
+                          | client, _ ->
+                            Fun.protect
+                              ~finally:(fun () ->
+                                try Unix.close client
+                                with Unix.Unix_error _ -> ())
+                              (fun () ->
+                                serve_fds ~env ~pool ~cfg:config ~shutdown
+                                  ~latency ~depth client client);
+                            accept_loop ()
+                          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                            accept_loop ()
+                      in
+                      accept_loop ();
+                      0))
+          with Unix.Unix_error (e, fn, _) ->
+            Printf.eprintf "pipegen: serve: %s: %s\n%!" fn
+              (Unix.error_message e);
+            1)
+    in
+    code
+  end

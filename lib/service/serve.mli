@@ -1,0 +1,62 @@
+(** The long-running verification service ([pipegen serve]).
+
+    Protocol: newline-delimited JSON.  Each input line is one
+    {!Request.t}; each output line is the matching {!Response.t}, in
+    input order.  The loop reads stdin until EOF (or serves one client
+    at a time on a Unix socket with [socket]) and admits requests in
+    {e batches}: after a blocking read of the first pending line, every
+    further line already available is drained into the same batch.
+
+    Admission per batch:
+
+    {ul
+    {- {e Coalescing} — requests identical up to their [id] (same
+       canonical {!Request.to_json}) collapse into one evaluation; the
+       followers are answered with the leader's payload, marked
+       [cached], and counted in [serve_coalesced].}
+    {- {e Verdict cache} — each distinct request is answered from the
+       environment's content-addressed {!Cache} when its key is
+       present ([serve_cache_hits]); otherwise it is evaluated and the
+       payload stored.}
+    {- {e Isolation} — evaluations fan out over an {!Exec.Pool} via
+       [map_result]: each request gets a cancellation token that is a
+       child of the server's shutdown token, with [timeout_s] as its
+       per-request budget.  A timeout or crash yields a typed error
+       response; the loop and the other requests are unaffected.}}
+
+    Observability: [serve_requests], [serve_cache_hits]/[_misses],
+    [serve_coalesced] and [serve_queue_hwm] ({!Obs.Counters}, Sched
+    class — never perf-gated), plus a per-run {!Obs.Metrics} registry
+    (cache counters, queue-depth gauge, per-request latency histogram
+    [serve.latency_ms]) written to [metrics_out] as JSON on exit. *)
+
+type config = {
+  jobs : int;  (** pool size for request evaluation (>= 1) *)
+  timeout_s : float option;  (** per-request budget; [None] = unbounded *)
+  capacity : int;  (** verdict-cache entries *)
+  metrics_out : string option;  (** write the metrics JSON here on exit *)
+  socket : string option;  (** serve on this Unix socket, not stdin *)
+}
+
+val default_config : config
+(** Pool of {!Exec.Pool.default_size}, no timeout, 256 cache entries,
+    no metrics file, stdin/stdout. *)
+
+val run : ?config:config -> unit -> int
+(** Serve until EOF (stdin mode) or SIGINT/SIGTERM; returns the
+    process exit code (0 on clean shutdown, 1 on an I/O failure of the
+    transport itself). *)
+
+(**/**)
+
+val process_batch :
+  env:Handler.env ->
+  pool:Exec.Pool.t ->
+  ?timeout_s:float ->
+  ?cancel:Exec.Cancel.token ->
+  ?latency:Obs.Metrics.histogram ->
+  string list ->
+  Response.t list
+(** One admission batch over raw input lines, exposed for the test
+    suite: parse, coalesce, cache-check, evaluate, and return
+    responses in input order. *)

@@ -20,6 +20,7 @@
 type t
 
 val make :
+  ?compiled:Pipeline.Pipesem.compiled ->
   ?reference:Machine.Seqsem.trace ->
   ?instructions:int ->
   Pipeline.Transform.t ->
@@ -28,7 +29,11 @@ val make :
     default [stop_after] of every entry point (default: 200, matching
     {!Proof_engine.Consistency.check}).  [reference] is the
     specification trace for verification; when absent, {!verify} runs
-    the prepared sequential machine itself. *)
+    the prepared sequential machine itself.  [compiled], when given,
+    skips compilation and reuses an existing plan — it must carry this
+    very transform (e.g. a same-shape plan passed through
+    {!Pipeline.Pipesem.rebind}); the service layer uses this to share
+    one plan across requests that differ only in program image. *)
 
 val transform : t -> Pipeline.Transform.t
 val instructions : t -> int

@@ -1,0 +1,484 @@
+(* The service layer: request/response codecs, the CLI-equivalent
+   handler, the content-addressed verdict cache, batch admission. *)
+
+module Req = Service.Request
+module Resp = Service.Response
+module H = Service.Handler
+module MS = Service.Machine_spec
+module J = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Machine_spec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_machine_spec_roundtrip () =
+  List.iter
+    (fun m ->
+      match MS.of_string (MS.to_string m) with
+      | Ok m' -> Alcotest.(check bool) (MS.to_string m) true (m = m')
+      | Error msg -> Alcotest.fail msg)
+    MS.all;
+  Alcotest.(check int) "five machines" 5 (List.length MS.names)
+
+(* [contains s sub]: naive substring search, enough for diagnostics. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let test_machine_spec_unknown () =
+  match MS.of_string "z80" with
+  | Ok _ -> Alcotest.fail "z80 accepted"
+  | Error msg ->
+    Alcotest.(check bool) "names the machine" true
+      (contains msg "unknown machine z80");
+    List.iter
+      (fun name ->
+        Alcotest.(check bool) ("lists " ^ name) true (contains msg name))
+      MS.names
+
+(* ------------------------------------------------------------------ *)
+(* Request codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Floats that survive the JSON text round-trip exactly. *)
+let safe_floats = [ 0.0; 0.25; 0.5; 0.75; 1.0; 1.5; 30.0 ]
+
+let gen_request =
+  let open QCheck.Gen in
+  let gen_id = opt (oneofl [ "r1"; "batch42"; "x" ]) in
+  let gen_spec =
+    let* machine = oneofl MS.all in
+    let* kernel = opt (oneofl [ "fib_10"; "memcpy_8"; "fib" ]) in
+    let* program_file = opt (oneofl [ "prog.s"; "a/b.s" ]) in
+    let* interlock_only = bool in
+    let* impl = oneofl [ Hw.Circuits.Chain; Hw.Circuits.Tree; Hw.Circuits.Bus ] in
+    return { Req.machine; kernel; program_file; interlock_only; impl }
+  in
+  let gen_kind =
+    oneof
+      [
+        (let* verilog = bool in
+         return (Req.Transform { verilog }));
+        return Req.Verify;
+        return Req.Proof;
+        return Req.Stats;
+        (let* seed = small_nat in
+         let* mutants = opt (int_range 1 50) in
+         let* transients = small_nat in
+         let* hang = bool in
+         let* timeout_s = oneofl safe_floats in
+         let* bmc = bool in
+         return (Req.Campaign { seed; mutants; transients; hang; timeout_s; bmc }));
+        (let* axis = oneofl [ Req.Dependency; Req.Branch ] in
+         let* points = list_size (int_range 1 4) (oneofl safe_floats) in
+         let* length = int_range 1 100 in
+         let* seed = small_nat in
+         return (Req.Sweep { axis; points; length; seed }));
+      ]
+  in
+  let* id = gen_id in
+  let* spec = gen_spec in
+  let* kind = gen_kind in
+  QCheck.Gen.return { Req.id; spec; kind }
+
+let arb_request = QCheck.make ~print:Req.to_string gen_request
+
+let test_request_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"request JSON round-trip" ~count:200 arb_request
+       (fun r ->
+         match Req.of_string (Req.to_string r) with
+         | Ok r' -> Req.equal r r'
+         | Error e ->
+           QCheck.Test.fail_reportf "rejected own encoding: %s at %s" e.message
+             e.path))
+
+let test_request_unknown_field () =
+  match
+    Req.of_string
+      {|{"pipegen":1,"kind":"verify","machine":"toy3","bogus":7}|}
+  with
+  | Ok _ -> Alcotest.fail "unknown field accepted"
+  | Error e ->
+    Alcotest.(check string) "path names the key" "$.bogus" e.Req.path
+
+let test_request_kind_mismatched_field () =
+  (* A field of another kind is an unknown field for this kind. *)
+  match
+    Req.of_string {|{"pipegen":1,"kind":"verify","verilog":true}|}
+  with
+  | Ok _ -> Alcotest.fail "verilog accepted on verify"
+  | Error e -> Alcotest.(check string) "path" "$.verilog" e.Req.path
+
+let test_request_version () =
+  (match Req.of_string {|{"pipegen":2,"kind":"verify"}|} with
+  | Ok _ -> Alcotest.fail "future version accepted"
+  | Error e -> Alcotest.(check string) "path" "$.pipegen" e.Req.path);
+  match Req.of_string {|{"kind":"verify"}|} with
+  | Ok _ -> Alcotest.fail "missing version accepted"
+  | Error e -> Alcotest.(check string) "path" "$.pipegen" e.Req.path
+
+let test_request_wrong_type () =
+  match Req.of_string {|{"pipegen":1,"kind":"verify","kernel":3}|} with
+  | Ok _ -> Alcotest.fail "int kernel accepted"
+  | Error e ->
+    Alcotest.(check string) "path" "$.kernel" e.Req.path;
+    Alcotest.(check string) "message" "expected a string" e.Req.message
+
+let test_request_sweep_requires_points () =
+  match
+    Req.of_string {|{"pipegen":1,"kind":"sweep","axis":"dependency"}|}
+  with
+  | Ok _ -> Alcotest.fail "pointless sweep accepted"
+  | Error e -> Alcotest.(check string) "path" "$.points" e.Req.path
+
+(* ------------------------------------------------------------------ *)
+(* Response codec                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sample_verify_summary =
+  {
+    Resp.v_verified = true;
+    v_violations = 0;
+    v_edge_checks = 12;
+    v_liveness_ok = true;
+    v_max_gap = 3;
+    v_obligations = 9;
+    v_obligations_failed = [];
+    v_coverage_holes = [ "rule r3 never fired" ];
+  }
+
+let sample_row =
+  {
+    Workload.Stats.label = "p0.5";
+    instructions = 32;
+    cycles = 48;
+    cpi = 1.5;
+    speedup_vs_sequential = 2.0;
+    fetch_stall_cycles = 4;
+    dhaz_cycles = 8;
+    ext_cycles = 0;
+    rollbacks = 1;
+    squashed = 2;
+  }
+
+let sample_responses =
+  [
+    Resp.ok ~id:"t1"
+      (Resp.Transformed
+         { summary = "m\n"; inventory = "inv\n"; verilog = None });
+    Resp.ok
+      (Resp.Transformed
+         { summary = "m\n"; inventory = "inv\n"; verilog = Some "module x;" });
+    Resp.ok ~cached:true
+      (Resp.Verdict { summary = sample_verify_summary; text = "VERIFIED\n" });
+    Resp.ok (Resp.Proof_text { verified = false; text = "theory T\n" });
+    Resp.ok
+      (Resp.Stats_report
+         { summary = J.Obj [ ("cycles", J.Int 48) ]; text = "cpi 1.5\n" });
+    Resp.ok
+      (Resp.Campaign_report
+         {
+           summary =
+             {
+               Fault.Campaign.mutants = 3;
+               detected = 2;
+               masked = 1;
+               missed = 0;
+               timed_out = 0;
+               aborted = 0;
+             };
+           outcomes = J.List [];
+           text = "campaign\n";
+         });
+    Resp.ok (Resp.Sweep_rows { rows = [ (0.5, sample_row) ]; text = "table\n" });
+    Resp.fail ~id:"e1" Resp.Usage "unknown machine z80";
+    Resp.fail ~phase:"transform" Resp.Internal "boom";
+    Resp.fail Resp.Timeout "request timed out after 1.00s";
+    Resp.fail Resp.Cancelled "shutting down";
+    Resp.fail Resp.Failed_check "verification failed";
+  ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun r ->
+      match Resp.of_string (Resp.to_string r) with
+      | Ok r' ->
+        Alcotest.(check bool)
+          ("round-trip: " ^ Resp.to_string r)
+          true (Resp.equal r r')
+      | Error msg -> Alcotest.fail (Resp.to_string r ^ ": " ^ msg))
+    sample_responses
+
+let test_exit_codes () =
+  let code r = Resp.exit_code r in
+  Alcotest.(check int) "usage" 2 (code (Resp.fail Resp.Usage "x"));
+  Alcotest.(check int) "failed_check" 3 (code (Resp.fail Resp.Failed_check "x"));
+  Alcotest.(check int) "timeout" 3 (code (Resp.fail Resp.Timeout "x"));
+  Alcotest.(check int) "internal" 1 (code (Resp.fail Resp.Internal "x"));
+  Alcotest.(check int) "cancelled" 1 (code (Resp.fail Resp.Cancelled "x"));
+  Alcotest.(check int) "verified" 0
+    (code
+       (Resp.ok (Resp.Verdict { summary = sample_verify_summary; text = "" })));
+  Alcotest.(check int) "unverified" 3
+    (code
+       (Resp.ok
+          (Resp.Verdict
+             {
+               summary = { sample_verify_summary with Resp.v_verified = false };
+               text = "";
+             })));
+  Alcotest.(check bool) "unverified has diagnostic" true
+    (Resp.failure_message
+       (Resp.ok
+          (Resp.Verdict
+             {
+               summary = { sample_verify_summary with Resp.v_verified = false };
+               text = "";
+             }))
+    = Some "verification failed")
+
+(* ------------------------------------------------------------------ *)
+(* Handler: CLI-equivalent output                                     *)
+(* ------------------------------------------------------------------ *)
+
+let render f =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let spec machine = { Req.default_spec with Req.machine }
+
+(* The pre-service CLI's verify printing, replicated independently:
+   the handler must produce these exact bytes. *)
+let expected_verify_text s =
+  let tr = Workload.Sim.transform s.H.sim in
+  let n = Workload.Sim.instructions s.H.sim in
+  let v =
+    match
+      Core.verify_result ?reference:s.H.reference ~max_instructions:n
+        ~compiled:(Workload.Sim.compiled s.H.sim) ?disasm:s.H.disasm tr
+    with
+    | Ok v -> v
+    | Error _ -> Alcotest.fail "verification aborted"
+  in
+  let cov = Pipeline.Coverage.measure ~stop_after:n tr in
+  render (fun fmt ->
+      Format.fprintf fmt "%a" Proof_engine.Consistency.pp_report
+        v.Core.consistency;
+      Format.fprintf fmt "%a" Proof_engine.Liveness.pp_report v.Core.liveness;
+      Format.fprintf fmt "%a" Pipeline.Coverage.pp cov;
+      List.iter
+        (Format.fprintf fmt "  coverage hole: %s@.")
+        (Pipeline.Coverage.holes cov);
+      Format.fprintf fmt "obligations:@.%a" Proof_engine.Obligation.pp
+        v.Core.obligations;
+      if Core.verified v then Format.fprintf fmt "VERIFIED@."
+      else Format.fprintf fmt "VERIFICATION FAILED@.")
+
+let expected_stats_text s =
+  let _, summary = Workload.Sim.attribute s.H.sim in
+  render (fun fmt ->
+      Format.fprintf fmt "%a" Obs.Hazard.pp_summary summary;
+      Format.fprintf fmt "%a" Obs.Hazard.pp_decomposition
+        (Obs.Hazard.decompose summary))
+
+let handle_text req =
+  match (H.handle req).Resp.result with
+  | Ok p -> Resp.text p
+  | Error e -> Alcotest.fail (Resp.error_message e)
+
+let test_handler_verify_matches_cli () =
+  List.iter
+    (fun m ->
+      let s = H.select (spec m) in
+      Alcotest.(check string)
+        ("verify text, " ^ MS.to_string m)
+        (expected_verify_text s)
+        (handle_text (Req.make ~spec:(spec m) Req.Verify)))
+    [ MS.Toy3; MS.Dlx5 ]
+
+let test_handler_stats_matches_cli () =
+  List.iter
+    (fun m ->
+      let s = H.select (spec m) in
+      Alcotest.(check string)
+        ("stats text, " ^ MS.to_string m)
+        (expected_stats_text s)
+        (handle_text (Req.make ~spec:(spec m) Req.Stats)))
+    [ MS.Toy3; MS.Dlx5 ]
+
+let test_handler_usage_errors () =
+  let r =
+    H.handle
+      (Req.make ~spec:{ (spec MS.Dlx5) with Req.kernel = Some "nosuch" }
+         Req.Verify)
+  in
+  (match r.Resp.result with
+  | Error { Resp.code = Resp.Usage; message; _ } ->
+    Alcotest.(check bool) "names the kernel" true
+      (contains message "unknown kernel")
+  | _ -> Alcotest.fail "expected a usage error");
+  Alcotest.(check int) "exit 2" 2 (Resp.exit_code r)
+
+(* ------------------------------------------------------------------ *)
+(* Verdict cache and shape reuse                                      *)
+(* ------------------------------------------------------------------ *)
+
+let payload_bytes r =
+  match r.Resp.result with
+  | Ok p -> J.to_string ~minify:true (Resp.payload_to_json p)
+  | Error e -> Alcotest.fail (Resp.error_message e)
+
+let test_cache_bit_identity () =
+  let env = H.create_env () in
+  let req = Req.make ~spec:(spec MS.Toy3) Req.Verify in
+  let r1 = H.handle ~env req in
+  let r2 = H.handle ~env req in
+  Alcotest.(check bool) "cold is uncached" false r1.Resp.cached;
+  Alcotest.(check bool) "replay is cached" true r2.Resp.cached;
+  Alcotest.(check string) "bit-identical payload" (payload_bytes r1)
+    (payload_bytes r2);
+  Alcotest.(check int) "one hit" 1 (Service.Cache.hits (H.verdicts env));
+  (* A different program image must miss. *)
+  let other =
+    Req.make ~spec:{ (spec MS.Dlx5) with Req.kernel = Some "memcpy_8" }
+      Req.Stats
+  in
+  let r3 = H.handle ~env other in
+  Alcotest.(check bool) "different key misses" false r3.Resp.cached
+
+let test_shape_reuse_sound () =
+  (* Two programs on one machine shape through a shared environment
+     (plan compiled once, rebound) must answer exactly like fresh
+     one-shot evaluations. *)
+  let env = H.create_env () in
+  List.iter
+    (fun kernel ->
+      let s = { (spec MS.Dlx5) with Req.kernel = Some kernel } in
+      let shared =
+        H.handle ~env (Req.make ~spec:s Req.Stats) |> payload_bytes
+      in
+      let fresh = H.handle (Req.make ~spec:s Req.Stats) |> payload_bytes in
+      Alcotest.(check string) ("shape reuse, " ^ kernel) fresh shared)
+    [ "fib_10"; "memcpy_8"; "dep_chain_24" ]
+
+let test_campaign_not_cached () =
+  let env = H.create_env () in
+  let req =
+    Req.make ~spec:(spec MS.Toy3)
+      (Req.Campaign
+         {
+           seed = 1;
+           mutants = Some 2;
+           transients = 1;
+           hang = false;
+           timeout_s = 10.0;
+           bmc = false;
+         })
+  in
+  let r1 = H.handle ~env req in
+  let r2 = H.handle ~env req in
+  Alcotest.(check bool) "never cached" false (r1.Resp.cached || r2.Resp.cached);
+  Alcotest.(check string) "still deterministic" (payload_bytes r1)
+    (payload_bytes r2)
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation is a typed result                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeout_is_typed () =
+  let cancel = Exec.Cancel.create ~timeout_s:0.0 () in
+  let r = H.handle ~cancel (Req.make ~spec:(spec MS.Dlx5) Req.Verify) in
+  (match r.Resp.result with
+  | Error { Resp.code = Resp.Timeout; _ } -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Resp.error_message e)
+  | Ok _ -> Alcotest.fail "expired token did not cancel");
+  Alcotest.(check int) "timeout exits 3" 3 (Resp.exit_code r)
+
+let test_parent_token () =
+  let parent = Exec.Cancel.create () in
+  let child = Exec.Cancel.with_parent parent () in
+  Alcotest.(check bool) "fresh child" false (Exec.Cancel.cancelled child);
+  Exec.Cancel.cancel parent;
+  Alcotest.(check bool) "parent trip reaches child" true
+    (Exec.Cancel.cancelled child);
+  (* and it latched: the child now trips on its own flag *)
+  Alcotest.(check bool) "latched" true (Exec.Cancel.cancelled child)
+
+(* ------------------------------------------------------------------ *)
+(* Batch admission                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_process_batch () =
+  Exec.Pool.with_pool ~size:2 @@ fun pool ->
+  let env = H.create_env () in
+  let lines =
+    [
+      {|{"pipegen":1,"id":"a","kind":"verify","machine":"toy3"}|};
+      {|not json|};
+      {|{"pipegen":1,"id":"b","kind":"verify","machine":"toy3"}|};
+    ]
+  in
+  match Service.Serve.process_batch ~env ~pool lines with
+  | [ ra; rbad; rb ] ->
+    Alcotest.(check (option string)) "order: a" (Some "a") ra.Resp.id;
+    Alcotest.(check (option string)) "order: b" (Some "b") rb.Resp.id;
+    (match rbad.Resp.result with
+    | Error { Resp.code = Resp.Usage; _ } -> ()
+    | _ -> Alcotest.fail "malformed line must be a usage error");
+    Alcotest.(check bool) "duplicate coalesced" true rb.Resp.cached;
+    Alcotest.(check string) "coalesced payload identical" (payload_bytes ra)
+      (payload_bytes rb)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 3 responses, got %d" (List.length rs))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "machine_spec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_machine_spec_roundtrip;
+          Alcotest.test_case "unknown name" `Quick test_machine_spec_unknown;
+        ] );
+      ( "request",
+        [
+          test_request_roundtrip;
+          Alcotest.test_case "unknown field" `Quick test_request_unknown_field;
+          Alcotest.test_case "mismatched kind field" `Quick
+            test_request_kind_mismatched_field;
+          Alcotest.test_case "version" `Quick test_request_version;
+          Alcotest.test_case "wrong type" `Quick test_request_wrong_type;
+          Alcotest.test_case "sweep needs points" `Quick
+            test_request_sweep_requires_points;
+        ] );
+      ( "response",
+        [
+          Alcotest.test_case "round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+        ] );
+      ( "handler",
+        [
+          Alcotest.test_case "verify = CLI" `Quick
+            test_handler_verify_matches_cli;
+          Alcotest.test_case "stats = CLI" `Quick test_handler_stats_matches_cli;
+          Alcotest.test_case "usage errors" `Quick test_handler_usage_errors;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "bit-identical replay" `Quick
+            test_cache_bit_identity;
+          Alcotest.test_case "shape reuse sound" `Quick test_shape_reuse_sound;
+          Alcotest.test_case "campaign not cached" `Slow
+            test_campaign_not_cached;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "timeout is typed" `Quick test_timeout_is_typed;
+          Alcotest.test_case "parent token" `Quick test_parent_token;
+        ] );
+      ( "serve",
+        [ Alcotest.test_case "batch admission" `Quick test_process_batch ] );
+    ]
