@@ -855,6 +855,150 @@ let perf_bmc ~jobs () =
        "PERF.sweep_batched_vs_rebuild")
 
 (* ------------------------------------------------------------------ *)
+(* PERF-BMC-LANES: bit-parallel lane verification vs scalar batched    *)
+(* ------------------------------------------------------------------ *)
+
+(* The lane engine (Bmc.exhaustive ~lanes) packs up to 62 programs
+   into one machine word per boolean plan slot and drives them through
+   a single bit-parallel run of the control fabric.  This section is
+   both the benchmark (the PERF.bmc_lanes entries, per-program ns
+   against the scalar batched rows above) and the @check guard that
+   the lane path can never silently diverge: outcomes AND the WORK
+   counter deltas must equal the scalar batched path's bit for bit,
+   serially and under the pool, or the run fails. *)
+let perf_bmc_lanes ~jobs () =
+  section "PERF-BMC-LANES"
+    (Printf.sprintf
+       "Bit-parallel 62-lane verification vs scalar batched (-j %d)" jobs);
+  let pair name ~build ~load ~alphabet ~length =
+    let bmc ?pool ?(lanes = false) () =
+      Proof_engine.Bmc.exhaustive ?pool ~lanes ~load ~build ~alphabet ~length
+        ()
+    in
+    (* The WORK deltas of the two paths, not just the verdicts: a lane
+       run that silently fell back (or skipped accounting) would still
+       agree on outcomes. *)
+    let counted f =
+      let before = Obs.Counters.work_snapshot () in
+      let r = f () in
+      ( r,
+        List.map2
+          (fun (n, b) (_, a) -> (n, a - b))
+          before
+          (Obs.Counters.work_snapshot ()) )
+    in
+    let scalar, w_scalar = counted (fun () -> bmc ()) in
+    let lanes, w_lanes = counted (fun () -> bmc ~lanes:true ()) in
+    let lanes_par, w_par =
+      counted (fun () ->
+          Exec.Pool.with_pool ~size:jobs @@ fun pool ->
+          bmc ~pool ~lanes:true ())
+    in
+    if lanes <> scalar || lanes_par <> scalar then begin
+      Format.printf
+        "LANE BMC DIVERGES from the scalar batched path on %s (-j %d)!@." name
+        jobs;
+      exit 1
+    end;
+    if w_lanes <> w_scalar || w_par <> w_scalar then begin
+      Format.printf
+        "LANE BMC WORK COUNTERS DIVERGE from the scalar batched path on %s \
+         (-j %d)!@."
+        name jobs;
+      exit 1
+    end;
+    let programs = scalar.Proof_engine.Bmc.programs in
+    let per f = time_ns_per_run f /. float_of_int programs in
+    let np_s = per (fun () -> bmc ()) in
+    let np_l = per (fun () -> bmc ~lanes:true ()) in
+    let speedup = np_s /. np_l in
+    Format.printf
+      "  %-6s %4d programs: batched %8.0f ns/prog (%8.0f/s), lanes %8.0f \
+       ns/prog (%8.0f/s): %5.2fx, outcomes and WORK bit-identical at -j %d@."
+      name programs np_s (1e9 /. np_s) np_l (1e9 /. np_l) speedup jobs;
+    add_entry
+      (Obs.Export.entry ~ns_per_run:np_l
+         (Printf.sprintf "PERF.bmc_lanes_%s_ns_per_run" name));
+    add_entry
+      (Obs.Export.entry ~ns_per_run:speedup
+         (Printf.sprintf "PERF.bmc_lanes_%s_speedup" name))
+  in
+  (* The same three machine rows as PERF-BMC, so the lane speedups read
+     directly against the batched rows above. *)
+  pair "toy"
+    ~build:(fun program -> Core.Toy.transform ~program ())
+    ~load:(fun program -> Core.Toy.image ~program)
+    ~alphabet:
+      [
+        Core.Toy.encode ~dst:1 ~src1:1 ~src2:1;
+        Core.Toy.encode ~dst:2 ~src1:1 ~src2:1;
+        Core.Toy.encode ~dst:1 ~src1:2 ~src2:2;
+        Core.Toy.encode ~dst:3 ~src1:1 ~src2:3;
+      ]
+    ~length:3;
+  let p =
+    {
+      Proof_engine.Machine_gen.n_stages = 6;
+      data_width = 16;
+      addr_bits = 3;
+      late_stage = Some 3;
+      has_accumulator = true;
+      seed = 5;
+    }
+  in
+  let enc = Proof_engine.Machine_gen.encode p in
+  pair "gen6"
+    ~build:(fun program ->
+      Pipeline.Transform.run
+        ~hints:(Proof_engine.Machine_gen.hints p)
+        (Proof_engine.Machine_gen.machine p ~program))
+    ~load:(fun program -> Proof_engine.Machine_gen.image p ~program)
+    ~alphabet:
+      [
+        enc ~late:false ~dst:1 ~src1:1 ~src2:2;
+        enc ~late:false ~dst:2 ~src1:1 ~src2:1;
+        enc ~late:true ~dst:1 ~src1:2 ~src2:1;
+        enc ~late:true ~dst:2 ~src1:1 ~src2:2;
+      ]
+    ~length:3;
+  pair "dlx"
+    ~build:(fun program -> Dlx.Seq_dlx.transform Dlx.Seq_dlx.Base ~program)
+    ~load:(fun program -> Dlx.Seq_dlx.image ~program ())
+    ~alphabet:
+      Dlx.Isa.
+        [
+          encode (Add (1, 1, 2));
+          encode (Addi (2, 1, 1));
+          encode (Sub (1, 2, 1));
+          encode (Xor (3, 1, 2));
+        ]
+    ~length:3;
+  (* The lane sweeps ride the same guard: rows and WORK must match the
+     scalar batched sweep. *)
+  let biases = [ 0.0; 0.5; 1.0 ] in
+  let sweep ?(lanes = false) () =
+    Workload.Sweep.dependency_sweep ~lanes ~biases ~length:200 ~seed:7 ()
+  in
+  let before = Obs.Counters.work_snapshot () in
+  let rows_scalar = sweep () in
+  let mid = Obs.Counters.work_snapshot () in
+  let rows_lanes = sweep ~lanes:true () in
+  let after = Obs.Counters.work_snapshot () in
+  let delta a b = List.map2 (fun (n, x) (_, y) -> (n, y - x)) a b in
+  if rows_scalar <> rows_lanes || delta before mid <> delta mid after then begin
+    Format.printf "LANE SWEEP DIVERGES from the scalar batched sweep!@.";
+    exit 1
+  end;
+  let ns_s = time_ns_per_run (fun () -> sweep ()) in
+  let ns_l = time_ns_per_run (fun () -> sweep ~lanes:true ()) in
+  Format.printf
+    "  sweep (%d points): batched %.2f ms, lanes %.2f ms: speedup %.2fx, \
+     rows and WORK bit-identical@."
+    (List.length biases) (ns_s /. 1e6) (ns_l /. 1e6) (ns_s /. ns_l);
+  add_entry
+    (Obs.Export.entry ~ns_per_run:(ns_s /. ns_l) "PERF.sweep_lanes_speedup")
+
+(* ------------------------------------------------------------------ *)
 (* CAMPAIGN: fault-injection detection coverage (smoke campaign)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1128,6 +1272,7 @@ let smoke ~jobs () =
   perf_compiled ();
   perf_parallel ~jobs ();
   perf_bmc ~jobs ();
+  perf_bmc_lanes ~jobs ();
   campaign_smoke ~jobs ();
   counters_section ();
   write_export ();
@@ -1152,6 +1297,7 @@ let full ~jobs () =
   perf_compiled ();
   perf_parallel ~jobs ();
   perf_bmc ~jobs ();
+  perf_bmc_lanes ~jobs ();
   campaign_smoke ~jobs ();
   run_bechamel ();
   counters_section ();

@@ -467,11 +467,19 @@ let sweep_cmd =
     let doc = "Random seed for program generation." in
     Cmdliner.Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
   in
+  let lanes_arg =
+    let doc =
+      "Drive the verified sweep points through the bit-parallel lane engine \
+       (up to 62 points per machine word).  The rows are bit-identical to \
+       the scalar sweep."
+    in
+    Cmdliner.Arg.(value & flag & info [ "lanes" ] ~doc)
+  in
   let run machine kernel program_file interlock tree jobs axis points length
-      seed =
+      seed lanes =
     dispatch ~jobs
       (fun () -> spec machine kernel program_file interlock tree)
-      (Service.Request.Sweep { axis; points; length; seed })
+      (Service.Request.Sweep { axis; points; length; seed; lanes })
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -482,7 +490,8 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ machine_arg $ kernel_arg $ program_arg $ interlock_arg
-       $ tree_arg $ jobs_arg $ axis_arg $ points_arg $ length_arg $ seed_arg))
+       $ tree_arg $ jobs_arg $ axis_arg $ points_arg $ length_arg $ seed_arg
+       $ lanes_arg))
 
 let serve_cmd =
   let timeout_arg =

@@ -505,11 +505,32 @@ let speculations variant =
 let zero_mem =
   Machine.Value.File (Array.make (1 lsl mem_addr_bits) (Hw.Bitvec.zero 32))
 
+(* Per-domain IMEM memo: an exhaustive sweep asks for the same few
+   dozen programs on every query, and downstream reset paths skip
+   refill work when they see the {e same physical} image array again
+   ([State.reset]'s pointer-equal entry skip, [State.reset_lanes]'s
+   per-lane source tracking).  Like [zero_mem], cached images are
+   read-only by convention.  Per-domain (not global) so no locking is
+   needed and pointer stability lands where the per-domain session
+   caches live.  Bounded: wiped when it outgrows a sweep's alphabet. *)
+let imem_memo : (int list, Machine.Value.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let imem_of_program program =
+  let memo = Domain.DLS.get imem_memo in
+  match Hashtbl.find_opt memo program with
+  | Some v -> v
+  | None ->
+    let v =
+      Machine.Value.file_of_list ~width:32 ~addr_bits:mem_addr_bits
+        (List.map (fun v -> Hw.Bitvec.make ~width:32 v) program)
+    in
+    if Hashtbl.length memo >= 512 then Hashtbl.reset memo;
+    Hashtbl.add memo program v;
+    v
+
 let image ?(data = []) ~program () =
-  let imem =
-    Machine.Value.file_of_list ~width:32 ~addr_bits:mem_addr_bits
-      (List.map (fun v -> Hw.Bitvec.make ~width:32 v) program)
-  in
+  let imem = imem_of_program program in
   let mem =
     match data with
     | [] -> zero_mem

@@ -374,3 +374,333 @@ let read_name inst name =
   match slot_of_name inst.plan name with
   | Some s -> Some inst.slots.(s)
   | None -> None
+
+let slot_width p s = p.p_widths.(s)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-parallel lane evaluation                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A lane instance evaluates the same tape for up to [l_cap] programs
+   at once.  Width-1 slots live as one packed word per slot (bit [l] =
+   lane [l]); wider slots as one raw int per lane per slot.  Register
+   files are one int array per lane, bound by the lane state.
+
+   Garbage discipline: bits [l_active ..] of a packed word, and
+   entries [l_active ..] of a per-lane array, are unspecified.  Word
+   ops run over the whole word and only mask where an [lnot] would
+   otherwise smear ones upward; per-lane ops only visit active lanes.
+
+   [run_lanes] deliberately counts nothing: callers account the
+   equivalent scalar work through an [Obs.Counters.ledger] so the
+   WORK totals stay bit-identical to the scalar batched path. *)
+type lanes = {
+  l_plan : t;
+  l_cap : int;
+  l_all : int;  (* mask_of_count l_cap *)
+  mutable l_active : int;
+  mutable l_mask : int;  (* mask_of_count l_active *)
+  l_bool : bool array;  (* slot -> width = 1 *)
+  l_words : int array;  (* packed word, one per width-1 slot *)
+  l_vals : int array array;  (* lane-indexed ints, one row per wide slot *)
+  l_files : int array array array;  (* file -> lane -> contents; [||] unbound *)
+}
+
+let lanes ?(capacity = Lanes.max_lanes) p =
+  if capacity < 1 || capacity > Lanes.max_lanes then
+    invalid_arg (Printf.sprintf "Plan.lanes: capacity %d" capacity);
+  let n = max p.p_n_slots 1 in
+  let l_bool = Array.init n (fun s -> p.p_widths.(s) = 1) in
+  let ln =
+    {
+      l_plan = p;
+      l_cap = capacity;
+      l_all = Lanes.mask_of_count capacity;
+      l_active = capacity;
+      l_mask = Lanes.mask_of_count capacity;
+      l_bool;
+      l_words = Array.make n 0;
+      l_vals =
+        Array.init n (fun s ->
+            if l_bool.(s) then [||] else Array.make capacity 0);
+      l_files = Array.make (Array.length p.file_names) [||];
+    }
+  in
+  (* Constants are replicated across every lane once: no tape step
+     writes a const slot, so they survive any number of runs. *)
+  Array.iter
+    (fun (s, v) ->
+      if l_bool.(s) then
+        ln.l_words.(s) <- (if Bitvec.to_bool v then ln.l_all else 0)
+      else Array.fill ln.l_vals.(s) 0 capacity (Bitvec.to_int v))
+    p.consts;
+  ln
+
+let lanes_plan ln = ln.l_plan
+let lanes_capacity ln = ln.l_cap
+let lanes_active ln = ln.l_active
+
+let lanes_set_active ln n =
+  if n < 1 || n > ln.l_cap then
+    invalid_arg (Printf.sprintf "Plan.lanes_set_active: %d" n);
+  ln.l_active <- n;
+  ln.l_mask <- Lanes.mask_of_count n
+
+let lanes_is_bool ln s = ln.l_bool.(s)
+let lanes_word ln s = ln.l_words.(s)
+let lanes_set_word ln s w = ln.l_words.(s) <- w
+let lanes_ints ln s = ln.l_vals.(s)
+
+let lanes_get ln s l =
+  if ln.l_bool.(s) then (ln.l_words.(s) lsr l) land 1 else ln.l_vals.(s).(l)
+
+let lanes_bind_file ln name rows =
+  match Hashtbl.find_opt ln.l_plan.p_files name with
+  | None -> ()
+  | Some (i, _) -> ln.l_files.(i) <- rows
+
+(* Raw-int mirrors of the Bitvec primitives.  These must agree with
+   bitvec.ml bit for bit, including the width-62 special cases. *)
+let maskw w = if w = Bitvec.max_width then max_int else (1 lsl w) - 1
+
+let signedw w v =
+  if w = Bitvec.max_width then v
+  else if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w)
+  else v
+
+let run_lanes ln =
+  let p = ln.l_plan in
+  let words = ln.l_words and vals = ln.l_vals and isb = ln.l_bool in
+  let widths = p.p_widths in
+  let act = ln.l_active in
+  let amask = ln.l_mask in
+  let geti s l =
+    if Array.unsafe_get isb s then (Array.unsafe_get words s lsr l) land 1
+    else Array.unsafe_get (Array.unsafe_get vals s) l
+  in
+  let tape = p.tape in
+  for i = 0 to Array.length tape - 1 do
+    let { dst; op } = Array.unsafe_get tape i in
+    match op with
+    | O_unop (o, a) ->
+      if isb.(dst) then begin
+        if isb.(a) then
+          words.(dst) <-
+            (match o with
+            | Expr.Not -> lnot words.(a) land amask
+            | Expr.Neg | Expr.Reduce_or | Expr.Reduce_and -> words.(a))
+        else begin
+          (* reduction of a wide operand into a packed bit *)
+          let va = vals.(a) in
+          let full = maskw widths.(a) in
+          let w = ref 0 in
+          (match o with
+          | Expr.Reduce_or ->
+            for l = 0 to act - 1 do
+              if (Array.unsafe_get va l) <> 0 then w := !w lor (1 lsl l)
+            done
+          | Expr.Reduce_and ->
+            for l = 0 to act - 1 do
+              if (Array.unsafe_get va l) = full then w := !w lor (1 lsl l)
+            done
+          | Expr.Not | Expr.Neg -> assert false);
+          words.(dst) <- !w
+        end
+      end
+      else begin
+        let va = vals.(a) and vd = vals.(dst) in
+        let m = maskw widths.(dst) in
+        match o with
+        | Expr.Not ->
+          for l = 0 to act - 1 do
+            Array.unsafe_set vd l (lnot (Array.unsafe_get va l) land m)
+          done
+        | Expr.Neg ->
+          for l = 0 to act - 1 do
+            Array.unsafe_set vd l (-(Array.unsafe_get va l) land m)
+          done
+        | Expr.Reduce_or | Expr.Reduce_and -> assert false
+      end
+    | O_binop (o, a, b) ->
+      if isb.(dst) then begin
+        if isb.(a) && isb.(b) then
+          (* both operands packed: one word op serves every lane *)
+          let wa = words.(a) and wb = words.(b) in
+          words.(dst) <-
+            (match o with
+            | Expr.And | Expr.Mul -> wa land wb
+            | Expr.Or -> wa lor wb
+            | Expr.Xor | Expr.Add | Expr.Sub | Expr.Ne -> wa lxor wb
+            | Expr.Eq -> lnot (wa lxor wb) land amask
+            | Expr.Ltu -> lnot wa land wb land amask
+            | Expr.Lts -> wa land lnot wb land amask
+            | Expr.Shl | Expr.Shr -> wa land lnot wb land amask
+            | Expr.Sra -> wa)
+        else begin
+          let w = ref 0 in
+          (match o with
+          | Expr.Eq ->
+            let va = vals.(a) and vb = vals.(b) in
+            for l = 0 to act - 1 do
+              if (Array.unsafe_get va l) = (Array.unsafe_get vb l) then w := !w lor (1 lsl l)
+            done
+          | Expr.Ne ->
+            let va = vals.(a) and vb = vals.(b) in
+            for l = 0 to act - 1 do
+              if (Array.unsafe_get va l) <> (Array.unsafe_get vb l) then w := !w lor (1 lsl l)
+            done
+          | Expr.Ltu ->
+            (* masked values are non-negative: plain int compare *)
+            let va = vals.(a) and vb = vals.(b) in
+            for l = 0 to act - 1 do
+              if (Array.unsafe_get va l) < (Array.unsafe_get vb l) then w := !w lor (1 lsl l)
+            done
+          | Expr.Lts ->
+            let va = vals.(a) and vb = vals.(b) in
+            let wd = widths.(a) in
+            for l = 0 to act - 1 do
+              if signedw wd (Array.unsafe_get va l) < signedw wd (Array.unsafe_get vb l) then
+                w := !w lor (1 lsl l)
+            done
+          | Expr.Shl | Expr.Shr ->
+            (* width-1 value, wide shift amount: survives only amt=0 *)
+            let wa = words.(a) in
+            for l = 0 to act - 1 do
+              if geti b l = 0 then w := !w lor (wa land (1 lsl l))
+            done
+          | Expr.Sra ->
+            (* amt clamped to width-1 = 0: identity *)
+            w := words.(a)
+          | Expr.Add | Expr.Sub | Expr.Mul | Expr.And | Expr.Or | Expr.Xor ->
+            (* equal operand widths: both packed, handled above *)
+            assert false);
+          words.(dst) <- !w
+        end
+      end
+      else begin
+        let vd = vals.(dst) in
+        let wd = widths.(dst) in
+        let m = maskw wd in
+        match o with
+        | Expr.Add ->
+          let va = vals.(a) and vb = vals.(b) in
+          for l = 0 to act - 1 do
+            Array.unsafe_set vd l (((Array.unsafe_get va l) + (Array.unsafe_get vb l)) land m)
+          done
+        | Expr.Sub ->
+          let va = vals.(a) and vb = vals.(b) in
+          for l = 0 to act - 1 do
+            Array.unsafe_set vd l (((Array.unsafe_get va l) - (Array.unsafe_get vb l)) land m)
+          done
+        | Expr.Mul ->
+          let va = vals.(a) and vb = vals.(b) in
+          for l = 0 to act - 1 do
+            Array.unsafe_set vd l ((Array.unsafe_get va l) * (Array.unsafe_get vb l) land m)
+          done
+        | Expr.And ->
+          let va = vals.(a) and vb = vals.(b) in
+          for l = 0 to act - 1 do
+            Array.unsafe_set vd l ((Array.unsafe_get va l) land (Array.unsafe_get vb l))
+          done
+        | Expr.Or ->
+          let va = vals.(a) and vb = vals.(b) in
+          for l = 0 to act - 1 do
+            Array.unsafe_set vd l ((Array.unsafe_get va l) lor (Array.unsafe_get vb l))
+          done
+        | Expr.Xor ->
+          let va = vals.(a) and vb = vals.(b) in
+          for l = 0 to act - 1 do
+            Array.unsafe_set vd l ((Array.unsafe_get va l) lxor (Array.unsafe_get vb l))
+          done
+        | Expr.Shl ->
+          let va = vals.(a) in
+          for l = 0 to act - 1 do
+            let n = geti b l in
+            Array.unsafe_set vd l ((if n >= wd then 0 else (Array.unsafe_get va l) lsl n land m))
+          done
+        | Expr.Shr ->
+          let va = vals.(a) in
+          for l = 0 to act - 1 do
+            let n = geti b l in
+            Array.unsafe_set vd l ((if n >= wd then 0 else (Array.unsafe_get va l) lsr n))
+          done
+        | Expr.Sra ->
+          let va = vals.(a) in
+          for l = 0 to act - 1 do
+            let n = min (geti b l) (wd - 1) in
+            Array.unsafe_set vd l (signedw wd (Array.unsafe_get va l) asr n land m)
+          done
+        | Expr.Eq | Expr.Ne | Expr.Ltu | Expr.Lts ->
+          (* comparisons always produce a width-1 slot *)
+          assert false
+      end
+    | O_mux (c, a, b) ->
+      let wc = words.(c) in
+      if isb.(dst) then
+        words.(dst) <- (wc land words.(a)) lor (lnot wc land words.(b) land amask)
+      else begin
+        let va = vals.(a) and vb = vals.(b) and vd = vals.(dst) in
+        for l = 0 to act - 1 do
+          Array.unsafe_set vd l ((if (wc lsr l) land 1 <> 0 then (Array.unsafe_get va l) else (Array.unsafe_get vb l)))
+        done
+      end
+    | O_concat (a, b) ->
+      (* result width >= 2: always a wide slot *)
+      let vd = vals.(dst) in
+      let wb = widths.(b) in
+      for l = 0 to act - 1 do
+        Array.unsafe_set vd l ((geti a l lsl wb) lor geti b l)
+      done
+    | O_slice (a, _hi, lo) ->
+      if isb.(dst) then begin
+        if isb.(a) then words.(dst) <- words.(a)
+        else begin
+          let va = vals.(a) in
+          let w = ref 0 in
+          for l = 0 to act - 1 do
+            w := !w lor ((((Array.unsafe_get va l) lsr lo) land 1) lsl l)
+          done;
+          words.(dst) <- !w
+        end
+      end
+      else begin
+        let va = vals.(a) and vd = vals.(dst) in
+        let m = maskw widths.(dst) in
+        for l = 0 to act - 1 do
+          Array.unsafe_set vd l (((Array.unsafe_get va l) lsr lo) land m)
+        done
+      end
+    | O_zext (a, _) ->
+      (* strictly widening (same-width zext never reaches the tape) *)
+      let vd = vals.(dst) in
+      for l = 0 to act - 1 do
+        Array.unsafe_set vd l (geti a l)
+      done
+    | O_sext (a, w) ->
+      let vd = vals.(dst) in
+      let wa = widths.(a) in
+      let m = maskw w in
+      for l = 0 to act - 1 do
+        Array.unsafe_set vd l (signedw wa (geti a l) land m)
+      done
+    | O_file_read (f, a, _) ->
+      let rows = ln.l_files.(f) in
+      if Array.length rows = 0 then
+        rerr "unbound register file %s" p.file_names.(f);
+      if isb.(dst) then begin
+        let w = ref 0 in
+        for l = 0 to act - 1 do
+          let row = Array.unsafe_get rows l in
+          if Array.unsafe_get row (geti a l land (Array.length row - 1)) land 1 <> 0 then
+            w := !w lor (1 lsl l)
+        done;
+        words.(dst) <- !w
+      end
+      else begin
+        let vd = vals.(dst) in
+        for l = 0 to act - 1 do
+          let row = Array.unsafe_get rows l in
+          Array.unsafe_set vd l (row.((geti a l) land (Array.length row - 1)))
+        done
+      end
+  done

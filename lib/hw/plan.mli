@@ -161,3 +161,70 @@ val get_bool : instance -> int -> bool
 val read_name : instance -> string -> Bitvec.t option
 (** Name-based lookup over defines and inputs (callback compatibility
     view). *)
+
+val slot_width : t -> int -> int
+(** Declared width of a slot. *)
+
+(** {1 Bit-parallel lanes}
+
+    A {!lanes} instance evaluates the same tape for up to
+    {!Lanes.max_lanes} independent programs at once.  Width-1 slots
+    are carried as one packed word per slot (bit [l] = lane [l]), so
+    the boolean control fabric — stalls, fulls, hazard hits, squashes
+    — advances every lane with single word ops; wider slots hold one
+    raw (unboxed) int per lane and evaluate with flat array sweeps.
+
+    Garbage discipline: bits and entries at index [>= lanes_active]
+    are unspecified.  Callers load input slots with {!lanes_set_word}
+    / {!lanes_ints} (mutate the row in place), bind register files as
+    one [int array] per lane, and read results the same way.
+
+    Like an {!instance}, a lanes instance is single-domain mutable
+    state over an immutable shared plan.
+
+    {!run_lanes} counts {e nothing} into {!Obs.Counters}: lane callers
+    stage the equivalent scalar work (one [Plan_runs] / tape-length
+    [Plan_ops] per lane) into an {!Obs.Counters.ledger} so the WORK
+    totals stay bit-identical to the scalar batched path. *)
+
+type lanes
+
+val lanes : ?capacity:int -> t -> lanes
+(** Fresh lane instance (constants replicated into every lane).
+    [capacity] defaults to {!Lanes.max_lanes}; raises
+    [Invalid_argument] outside [1 .. Lanes.max_lanes]. *)
+
+val lanes_plan : lanes -> t
+val lanes_capacity : lanes -> int
+val lanes_active : lanes -> int
+
+val lanes_set_active : lanes -> int -> unit
+(** Number of meaningful lanes for subsequent runs (1 to capacity). *)
+
+val lanes_is_bool : lanes -> int -> bool
+(** Whether a slot is width-1 (packed-word representation). *)
+
+val lanes_word : lanes -> int -> int
+(** Packed word of a width-1 slot. *)
+
+val lanes_set_word : lanes -> int -> int -> unit
+(** Store the packed word of a width-1 input slot (no width check —
+    lane binders validate widths once at bind time). *)
+
+val lanes_ints : lanes -> int -> int array
+(** The lane-indexed row of a wide slot, for in-place load/readout. *)
+
+val lanes_get : lanes -> int -> int -> int
+(** [lanes_get ln slot lane]: one lane's raw value, either
+    representation. *)
+
+val lanes_bind_file : lanes -> string -> int array array -> unit
+(** Bind a register file as one contents array per lane (outer array
+    indexed by lane).  Unknown names are ignored.  The outer array is
+    captured by reference: replacing an inner row later is seen by
+    subsequent runs.  Reads mask the address by [row length - 1],
+    mirroring {!Machine.Value.read_file}. *)
+
+val run_lanes : lanes -> unit
+(** Execute the tape across all active lanes.
+    @raise Run_error on an unbound file. *)

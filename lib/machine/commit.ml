@@ -185,6 +185,131 @@ let apply state updates =
       | Write_file (f, addr, data) -> State.write_file state f ~addr ~data)
     updates
 
+(* ---- lane path: one compiled write applied across a lane mask ---- *)
+
+(* The lane mirror of [cwrite_updates] + [apply], fused: values come
+   straight from the lane slots and land in the lane cells, no update
+   list is materialised.  [mask] selects the lanes this commit applies
+   to (the stage's update-enable word).  The return value is the exact
+   scalar [Cells_written] equivalent: one per enabled file or plain
+   scalar write per lane, one per pass-through or shift write per
+   masked lane — the caller stages it into its ledger.
+
+   Width discipline: the value/pass slots were compiled from the same
+   spec that sized the lane cells, so widths agree by construction;
+   the [lane_err] guards catch degenerate mutants and punt the pack to
+   the scalar fallback. *)
+
+let lane_err fmt = Printf.ksprintf invalid_arg fmt
+
+let lanes_guard inst ~mask ~act = function
+  | None -> mask
+  | Some g ->
+    if Hw.Plan.lanes_is_bool inst g then Hw.Plan.lanes_word inst g land mask
+    else begin
+      (* get_bool on a wide slot is a nonzero test *)
+      let va = Hw.Plan.lanes_ints inst g in
+      let w = ref 0 in
+      for l = 0 to act - 1 do
+        if Hw.Lanes.test mask l && va.(l) <> 0 then w := !w lor (1 lsl l)
+      done;
+      !w
+    end
+
+let lanes_cwrite inst st ~mask (cw : cwrite) =
+  let act = State.lanes_active st in
+  let cell = State.lanes_cell st cw.cw_dst in
+  let plan = Hw.Plan.lanes_plan inst in
+  if Hw.Plan.slot_width plan cw.cw_value <> cell.State.lc_width then
+    lane_err "lane commit: %s: write width %d, register expects %d" cw.cw_dst
+      (Hw.Plan.slot_width plan cw.cw_value)
+      cell.State.lc_width;
+  let en = lanes_guard inst ~mask ~act cw.cw_guard in
+  if cw.cw_file then begin
+    match cell.State.lc_value with
+    | State.Lfile rows ->
+      let addr = Option.get cw.cw_addr in
+      let srcs = cell.State.lc_srcs in
+      for l = 0 to act - 1 do
+        if Hw.Lanes.test en l then begin
+          let row = rows.(l) in
+          row.(Hw.Plan.lanes_get inst addr l land (Array.length row - 1)) <-
+            Hw.Plan.lanes_get inst cw.cw_value l;
+          srcs.(l) <- None
+        end
+      done;
+      cell.State.lc_dirty <- cell.State.lc_dirty lor en;
+      Hw.Lanes.popcount en
+    | State.Lbool _ | State.Lints _ ->
+      lane_err "lane commit: %s is a scalar, not a register file" cw.cw_dst
+  end
+  else
+    match cw.cw_pass with
+    | None ->
+      (match cell.State.lc_value with
+      | State.Lbool b ->
+        b.State.word <-
+          (b.State.word land lnot en)
+          lor (Hw.Plan.lanes_word inst cw.cw_value land en)
+      | State.Lints a ->
+        let v = Hw.Plan.lanes_ints inst cw.cw_value in
+        for l = 0 to act - 1 do
+          if Hw.Lanes.test en l then a.(l) <- v.(l)
+        done
+      | State.Lfile _ ->
+        lane_err "lane commit: %s is a register file, not a scalar" cw.cw_dst);
+      cell.State.lc_dirty <- cell.State.lc_dirty lor en;
+      Hw.Lanes.popcount en
+    | Some p ->
+      (match cell.State.lc_value with
+      | State.Lbool b ->
+        let src =
+          (Hw.Plan.lanes_word inst cw.cw_value land en)
+          lor (Hw.Plan.lanes_word inst p land mask land lnot en)
+        in
+        b.State.word <- (b.State.word land lnot mask) lor (src land mask)
+      | State.Lints a ->
+        let v = Hw.Plan.lanes_ints inst cw.cw_value in
+        let pv = Hw.Plan.lanes_ints inst p in
+        for l = 0 to act - 1 do
+          if Hw.Lanes.test mask l then
+            a.(l) <- (if Hw.Lanes.test en l then v.(l) else pv.(l))
+        done
+      | State.Lfile _ ->
+        lane_err "lane commit: %s is a register file, not a scalar" cw.cw_dst);
+      cell.State.lc_dirty <- cell.State.lc_dirty lor mask;
+      Hw.Lanes.popcount mask
+
+let lanes_shift inst st ~mask (dst, slot) =
+  let act = State.lanes_active st in
+  let cell = State.lanes_cell st dst in
+  if Hw.Plan.slot_width (Hw.Plan.lanes_plan inst) slot <> cell.State.lc_width
+  then
+    lane_err "lane commit: %s: shift width %d, register expects %d" dst
+      (Hw.Plan.slot_width (Hw.Plan.lanes_plan inst) slot)
+      cell.State.lc_width;
+  (match cell.State.lc_value with
+  | State.Lbool b ->
+    b.State.word <-
+      (b.State.word land lnot mask)
+      lor (Hw.Plan.lanes_word inst slot land mask)
+  | State.Lints a ->
+    let v = Hw.Plan.lanes_ints inst slot in
+    for l = 0 to act - 1 do
+      if Hw.Lanes.test mask l then a.(l) <- v.(l)
+    done
+  | State.Lfile _ -> lane_err "lane commit: %s is a register file" dst);
+  cell.State.lc_dirty <- cell.State.lc_dirty lor mask;
+  Hw.Lanes.popcount mask
+
+let lanes_writes_updates inst st ~mask cws =
+  List.fold_left (fun acc cw -> acc + lanes_cwrite inst st ~mask cw) 0 cws
+
+let lanes_stage_updates inst st ~mask (cs : cstage) =
+  let cells = lanes_writes_updates inst st ~mask cs.cs_writes in
+  List.fold_left (fun acc s -> acc + lanes_shift inst st ~mask s) cells
+    cs.cs_shifts
+
 let pp_update ppf = function
   | Set_scalar (n, v) -> Format.fprintf ppf "%s := %a" n Hw.Bitvec.pp v
   | Write_file (f, a, d) ->

@@ -65,4 +65,25 @@ val writes_updates_compiled : Hw.Plan.instance -> cwrite list -> update list
 
 val apply : State.t -> update list -> unit
 
+(** {1 Lane path}
+
+    The lane mirror of [stage_updates_compiled] + [apply], fused:
+    values flow straight from lane slots into lane cells under a lane
+    mask, with no update list.  Both functions return the scalar
+    [Cells_written] equivalent of what they committed (one per enabled
+    plain write per lane, one per pass-through/shift per masked lane)
+    for the caller's {!Obs.Counters.ledger} — nothing is counted
+    directly.  Width or kind mismatches raise [Invalid_argument]; lane
+    drivers respond by replaying the pack through the scalar path. *)
+
+val lanes_stage_updates :
+  Hw.Plan.lanes -> State.lanes -> mask:int -> cstage -> int
+(** Commit one stage's writes and shifts for every lane in [mask],
+    reading an evaluated lane instance. *)
+
+val lanes_writes_updates :
+  Hw.Plan.lanes -> State.lanes -> mask:int -> cwrite list -> int
+(** Commit an explicit write list (rollback writes) for every lane in
+    [mask]. *)
+
 val pp_update : Format.formatter -> update -> unit

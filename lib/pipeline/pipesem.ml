@@ -462,6 +462,366 @@ let run_compiled ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after c =
   run_session ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after
     (session c)
 
+(* ------------------------------------------------------------------ *)
+(* Bit-parallel lane loop: the same cycle driver, advancing a whole
+   pack of programs per iteration.  The control fabric (full, stall,
+   rollback, ue, tags) lives in packed words/word arrays; register
+   values in the SoA lane state.  Every decision the scalar loop makes
+   per run is made here per lane, in the same per-cycle order, so a
+   lane's outcome, stats and observer view are bit-identical to a solo
+   scalar run of the same program.
+
+   Injection hooks are not supported: lane drivers only engage for
+   runs whose injection is absent or the physical [no_injection]
+   record (structural mutants).  [faulty] relaxes the missing-tag
+   asserts exactly like the scalar loop's [inject <> None].
+
+   Work accounting goes into the caller's ledger; any exception means
+   the caller discards it and replays each lane through the scalar
+   path, which reproduces behaviour and counters exactly.             *)
+(* ------------------------------------------------------------------ *)
+
+type lane_result = {
+  lr_outcome : outcome;
+  lr_stats : stats;
+  lr_divergence : int;
+      (* first cycle a stall/rollback word split this lane from the
+         pack's majority; -1 = never diverged *)
+}
+
+type lane_obs = {
+  lob_pre_edge :
+    cycle:int -> Stall_engine.lane_signals -> tags:int array array ->
+    running:int -> unit;
+      (* after signal evaluation, before the clock edge; [tags] are
+         the pre-shift tags (-1 = none), stage-major, lane-indexed *)
+  lob_post_edge :
+    cycle:int -> Stall_engine.lane_signals -> tags:int array array ->
+    running:int -> unit;
+      (* after the clock edge commits, tags still pre-shift *)
+  lob_retire : cycle:int -> lane:int -> tag:int -> rollback:string option -> unit;
+      (* after [lob_post_edge], in (tag, kind) order per lane *)
+}
+
+let no_lane_obs =
+  {
+    lob_pre_edge = (fun ~cycle:_ _ ~tags:_ ~running:_ -> ());
+    lob_post_edge = (fun ~cycle:_ _ ~tags:_ ~running:_ -> ());
+    lob_retire = (fun ~cycle:_ ~lane:_ ~tag:_ ~rollback:_ -> ());
+  }
+
+type lane_session = {
+  lns_c : compiled;
+  lns_state : State.lanes;
+  lns_inst : Hw.Plan.lanes;
+  lns_bound : State.lanes_bound;
+}
+
+let lanes_session ?capacity c =
+  Obs.Counters.bump Obs.Counters.Sessions;
+  let state = State.create_lanes ?capacity c.c_tr.Transform.machine in
+  let inst = Hw.Plan.lanes ?capacity c.c_plan in
+  let bound = State.bind_lanes ~extern:(Hashtbl.mem c.c_free) state inst in
+  { lns_c = c; lns_state = state; lns_inst = inst; lns_bound = bound }
+
+let lanes_state ls = ls.lns_state
+
+let local_lane_sessions : (compiled * lane_session) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let local_lanes_session c =
+  let cache = Domain.DLS.get local_lane_sessions in
+  match List.assq_opt c !cache with
+  | Some s -> s
+  | None ->
+    let s = lanes_session c in
+    cache := take 8 ((c, s) :: !cache);
+    s
+
+(* get_bool on a wide slot is a nonzero test; mirror that when
+   lifting a slot to a packed word. *)
+let word_of_slot inst ~act s =
+  if Hw.Plan.lanes_is_bool inst s then Hw.Plan.lanes_word inst s
+  else begin
+    let v = Hw.Plan.lanes_ints inst s in
+    let w = ref 0 in
+    for l = 0 to act - 1 do
+      if v.(l) <> 0 then w := !w lor (1 lsl l)
+    done;
+    !w
+  end
+
+let run_lanes_session ?(ext = fun ~stage:_ ~cycle:_ -> false)
+    ?(cancel = Exec.Cancel.never) ?(obs = no_lane_obs) ?(faulty = false)
+    ~ledger ~inits ~stop_afters ls =
+  Obs.Span.with_span "pipesem.run_lanes" @@ fun () ->
+  let c = ls.lns_c in
+  let t = c.c_tr in
+  let m = t.Transform.machine in
+  let n = m.Machine.Spec.n_stages in
+  let act = Array.length inits in
+  if Array.length stop_afters <> act then
+    invalid_arg "Pipesem.run_lanes_session: inits/stop_afters length mismatch";
+  State.reset_lanes ~ledger ~inits ls.lns_state;
+  Hw.Plan.lanes_set_active ls.lns_inst act;
+  let inst = ls.lns_inst in
+  let all = Hw.Lanes.mask_of_count act in
+  let tape_len = Hw.Plan.n_instrs c.c_plan in
+  let deadlock_window = (4 * n) + 64 in
+  let maxc = Array.map (fun stop -> (stop * 4 * n) + 10_000) stop_afters in
+  let fullb = Array.make n 0 in
+  let tags = Array.init n (fun _ -> Array.make act (-1)) in
+  Array.fill tags.(0) 0 act 0;
+  let old_tags = Array.init n (fun _ -> Array.make act (-1)) in
+  let running = ref all in
+  let cycle = ref 0 in
+  let retired = Array.make act 0 in
+  let idle = Array.make act 0 in
+  let out = Array.make act Out_of_cycles in
+  let out_cycles = Array.make act 0 in
+  let fetch_stall = Array.make act 0 in
+  let dhaz_c = Array.make act 0 in
+  let ext_c = Array.make act 0 in
+  let rollbacks = Array.make act 0 in
+  let squashed = Array.make act 0 in
+  let diverged = Array.make act (-1) in
+  let deep = Array.make act (-1) in
+  let fspec : Fwd_spec.speculation option array = Array.make act None in
+  let deepw = Array.make n 0 in
+  let taken = Array.make n 0 in
+  let deactivate l oc =
+    running := Hw.Lanes.clear !running l;
+    out.(l) <- oc;
+    out_cycles.(l) <- (match oc with Out_of_cycles -> maxc.(l) | _ -> !cycle);
+    Obs.Counters.ledger_add ledger Obs.Counters.Sim_cycles out_cycles.(l);
+    Obs.Counters.ledger_add ledger Obs.Counters.Sim_retired retired.(l)
+  in
+  (* stop_after <= 0 completes without entering the loop, like the
+     scalar while condition *)
+  for l = 0 to act - 1 do
+    if stop_afters.(l) <= 0 then begin
+      deactivate l Completed;
+      out_cycles.(l) <- 0
+    end
+  done;
+  while !running <> 0 do
+    Exec.Cancel.check cancel;
+    for l = 0 to act - 1 do
+      if Hw.Lanes.test !running l && !cycle >= maxc.(l) then
+        deactivate l Out_of_cycles
+    done;
+    if !running <> 0 then begin
+      let run_mask = !running in
+      let n_running = Hw.Lanes.popcount run_mask in
+      (* ---- begin: bind free inputs, evaluate the pack's signals ---- *)
+      State.load_lanes ls.lns_bound;
+      let ext_now = Array.init n (fun k -> ext ~stage:k ~cycle:!cycle) in
+      for k = 0 to n - 1 do
+        Hw.Plan.lanes_set_word inst c.c_full_slots.(k)
+          (if k = 0 then all else fullb.(k));
+        Hw.Plan.lanes_set_word inst c.c_ext_slots.(k)
+          (if ext_now.(k) then all else 0)
+      done;
+      Hw.Plan.run_lanes inst;
+      Obs.Counters.ledger_add ledger Obs.Counters.Plan_runs n_running;
+      Obs.Counters.ledger_add ledger Obs.Counters.Plan_ops
+        (tape_len * n_running);
+      let dhaz =
+        Array.init n (fun k ->
+            word_of_slot inst ~act c.c_dhaz_slots.(k) land run_mask)
+      in
+      let extw =
+        Array.init n (fun k -> if ext_now.(k) then run_mask else 0)
+      in
+      let spec_words =
+        List.map
+          (fun (sp, slot) -> (sp, word_of_slot inst ~act slot land run_mask))
+          c.c_spec_slots
+      in
+      let misp = Array.make n 0 in
+      List.iter
+        (fun ((sp : Fwd_spec.speculation), w) ->
+          misp.(sp.Fwd_spec.resolve_stage) <-
+            misp.(sp.Fwd_spec.resolve_stage) lor w)
+        spec_words;
+      let s =
+        Stall_engine.compute_lanes ~mask:run_mask ~fullb ~dhaz ~ext:extw
+          ~mispredict:misp
+      in
+      (* ---- divergence mask: lanes leaving the pack's majority ---- *)
+      let flag w =
+        let wr = w land run_mask in
+        if wr <> 0 && wr <> run_mask then
+          Hw.Lanes.iter ~mask:(Hw.Lanes.minority ~mask:run_mask w) (fun l ->
+              if diverged.(l) < 0 then diverged.(l) <- !cycle)
+      in
+      for k = 0 to n - 1 do
+        flag s.Stall_engine.l_stall.(k);
+        flag s.Stall_engine.l_rollback.(k)
+      done;
+      obs.lob_pre_edge ~cycle:!cycle s ~tags ~running:run_mask;
+      (* ---- deepest rollback and firing speculation per lane ---- *)
+      Array.fill deep 0 act (-1);
+      Array.fill fspec 0 act None;
+      Array.fill deepw 0 n 0;
+      Array.fill taken 0 n 0;
+      for k = 0 to n - 1 do
+        let w = s.Stall_engine.l_rollback.(k) in
+        if w <> 0 then
+          for l = 0 to act - 1 do
+            if Hw.Lanes.test w l then deep.(l) <- k
+          done
+      done;
+      for l = 0 to act - 1 do
+        if deep.(l) >= 0 then deepw.(deep.(l)) <- Hw.Lanes.set deepw.(deep.(l)) l
+      done;
+      let fires =
+        List.map
+          (fun ((sp : Fwd_spec.speculation), w) ->
+            let k = sp.Fwd_spec.resolve_stage in
+            let f = deepw.(k) land w land lnot taken.(k) in
+            taken.(k) <- taken.(k) lor f;
+            Hw.Lanes.iter ~mask:f (fun l -> fspec.(l) <- Some sp);
+            (sp, f))
+          spec_words
+      in
+      (* ---- clock edge: stage writes then rollback writes ---- *)
+      for k = 0 to n - 1 do
+        let mask = s.Stall_engine.l_ue.(k) in
+        if mask <> 0 then
+          Obs.Counters.ledger_add ledger Obs.Counters.Cells_written
+            (Machine.Commit.lanes_stage_updates inst ls.lns_state ~mask
+               c.c_stages.(k))
+      done;
+      List.iter
+        (fun (sp, f) ->
+          if f <> 0 then
+            Obs.Counters.ledger_add ledger Obs.Counters.Cells_written
+              (Machine.Commit.lanes_writes_updates inst ls.lns_state ~mask:f
+                 (List.assq sp c.c_rollbacks)))
+        fires;
+      obs.lob_post_edge ~cycle:!cycle s ~tags ~running:run_mask;
+      (* ---- retirements (kept per lane for the sorted callbacks) ---- *)
+      let rets : (int * string option) list array = Array.make act [] in
+      for l = 0 to act - 1 do
+        if Hw.Lanes.test run_mask l then begin
+          if Hw.Lanes.test s.Stall_engine.l_ue.(n - 1) l then begin
+            let tag = tags.(n - 1).(l) in
+            if tag >= 0 then rets.(l) <- (tag, None) :: rets.(l)
+            else if not faulty then
+              invalid_arg "Pipesem.run_lanes_session: retiring stage lost its tag"
+          end;
+          (match fspec.(l) with
+          | Some sp when sp.Fwd_spec.retires ->
+            let tag = tags.(deep.(l)).(l) in
+            if tag >= 0 then
+              rets.(l) <- (tag, Some sp.Fwd_spec.spec_label) :: rets.(l)
+            else if not faulty then
+              invalid_arg "Pipesem.run_lanes_session: rollback lost its tag"
+          | Some _ | None -> ());
+          (* Normal before Via_rollback at equal tags, like the scalar
+             [List.sort compare] on retire kinds. *)
+          rets.(l) <-
+            List.sort
+              (fun (t1, k1) (t2, k2) ->
+                if t1 <> t2 then compare t1 t2 else compare k1 k2)
+              rets.(l)
+        end
+      done;
+      (* ---- squashed (evicted, non-retiring) instructions ---- *)
+      for l = 0 to act - 1 do
+        if Hw.Lanes.test run_mask l && deep.(l) >= 0 then begin
+          rollbacks.(l) <- rollbacks.(l) + 1;
+          for j = 0 to deep.(l) do
+            let tg = tags.(j).(l) in
+            if
+              tg >= 0
+              && (not (List.exists (fun (t', _) -> t' = tg) rets.(l)))
+              && Hw.Lanes.test s.Stall_engine.l_full.(j) l
+            then squashed.(l) <- squashed.(l) + 1
+          done
+        end
+      done;
+      (* ---- tag shift ---- *)
+      for st = 0 to n - 1 do
+        Array.blit tags.(st) 0 old_tags.(st) 0 act
+      done;
+      for st = n - 1 downto 1 do
+        let rbup = s.Stall_engine.l_rollback_up.(st) in
+        let ue1 = s.Stall_engine.l_ue.(st - 1) in
+        let stf = s.Stall_engine.l_stall.(st) land s.Stall_engine.l_full.(st) in
+        let cur = tags.(st) in
+        let prev = old_tags.(st - 1) in
+        let self = old_tags.(st) in
+        for l = 0 to act - 1 do
+          if Hw.Lanes.test run_mask l then
+            cur.(l) <-
+              (if Hw.Lanes.test rbup l then -1
+               else if Hw.Lanes.test ue1 l then prev.(l)
+               else if Hw.Lanes.test stf l then self.(l)
+               else -1)
+        done
+      done;
+      for l = 0 to act - 1 do
+        if Hw.Lanes.test run_mask l then
+          if deep.(l) >= 0 then (
+            match fspec.(l) with
+            | Some sp ->
+              let b = old_tags.(deep.(l)).(l) in
+              let base = if b >= 0 then b else 0 in
+              tags.(0).(l) <-
+                base + (if sp.Fwd_spec.retires then 1 else 0)
+            | None -> (* cannot happen; keep the fetch tag *) ())
+          else if Hw.Lanes.test s.Stall_engine.l_ue.(0) l then begin
+            let b = old_tags.(0).(l) in
+            tags.(0).(l) <- (if b >= 0 then b else 0) + 1
+          end
+      done;
+      let fb' = Stall_engine.next_fullb_lanes ~mask:run_mask s in
+      Array.blit fb' 0 fullb 0 n;
+      (* ---- statistics, retire callbacks, liveness ---- *)
+      let stall0 = s.Stall_engine.l_stall.(0) in
+      let anyd = Array.fold_left ( lor ) 0 dhaz in
+      let any_ext = Array.exists (fun b -> b) ext_now in
+      let ue_any = Array.fold_left ( lor ) 0 s.Stall_engine.l_ue in
+      for l = 0 to act - 1 do
+        if Hw.Lanes.test run_mask l then begin
+          if Hw.Lanes.test stall0 l then fetch_stall.(l) <- fetch_stall.(l) + 1;
+          if Hw.Lanes.test anyd l then dhaz_c.(l) <- dhaz_c.(l) + 1;
+          if any_ext then ext_c.(l) <- ext_c.(l) + 1;
+          List.iter
+            (fun (tag, rb) ->
+              retired.(l) <- retired.(l) + 1;
+              obs.lob_retire ~cycle:!cycle ~lane:l ~tag ~rollback:rb)
+            rets.(l);
+          if Hw.Lanes.test ue_any l || rets.(l) <> [] then idle.(l) <- 0
+          else idle.(l) <- idle.(l) + 1
+        end
+      done;
+      incr cycle;
+      for l = 0 to act - 1 do
+        if Hw.Lanes.test run_mask l then
+          if retired.(l) >= stop_afters.(l) then deactivate l Completed
+          else if idle.(l) > deadlock_window then deactivate l Deadlocked
+      done
+    end
+  done;
+  Array.init act (fun l ->
+      {
+        lr_outcome = out.(l);
+        lr_stats =
+          {
+            cycles = out_cycles.(l);
+            retired = retired.(l);
+            fetch_stall_cycles = fetch_stall.(l);
+            dhaz_cycles = dhaz_c.(l);
+            ext_cycles = ext_c.(l);
+            rollbacks = rollbacks.(l);
+            squashed = squashed.(l);
+          };
+        lr_divergence = diverged.(l);
+      })
+
 let run ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after t =
   run_compiled ?ext ?callbacks ?inject ?cancel ?max_cycles ~stop_after
     (compile t)

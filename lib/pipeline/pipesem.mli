@@ -242,3 +242,76 @@ val run_reference :
 
 val cpi : stats -> float
 (** Cycles per retired instruction. *)
+
+(** {1 Bit-parallel lane runs (up to 62 programs per cycle loop)}
+
+    The lane mirror of a session: the compiled control/data plan
+    evaluated as a {!Hw.Plan.lanes} pack over a {!Machine.State.lanes}
+    SoA state, advancing every lane one cycle per loop iteration.  The
+    per-cycle decision order is identical to the scalar loop, so each
+    lane's outcome, statistics and observer view match a solo scalar
+    run of the same program bit for bit.
+
+    Restrictions: injection hooks are not supported (fault campaigns
+    only use lanes for structural mutants, whose injection record is
+    the physical {!no_injection}); the [ext] model is queried once per
+    global cycle and shared by all lanes, so it must be a pure function
+    of [stage]/[cycle].  Work counts are staged into the caller's
+    {!Obs.Counters.ledger}; on any exception the caller discards the
+    ledger and replays the lanes through the scalar path. *)
+
+type lane_result = {
+  lr_outcome : outcome;
+  lr_stats : stats;
+  lr_divergence : int;
+      (** first cycle this lane's stall/rollback bits split from the
+          pack's majority; [-1] if it never diverged *)
+}
+
+type lane_obs = {
+  lob_pre_edge :
+    cycle:int -> Stall_engine.lane_signals -> tags:int array array ->
+    running:int -> unit;
+      (** after signal evaluation, before the clock edge.  [tags] is
+          stage-major, lane-indexed, [-1] = no tag, pre-shift; the
+          arrays are live — read only, do not retain. *)
+  lob_post_edge :
+    cycle:int -> Stall_engine.lane_signals -> tags:int array array ->
+    running:int -> unit;
+      (** after the edge committed stage and rollback writes; [tags]
+          still pre-shift *)
+  lob_retire : cycle:int -> lane:int -> tag:int -> rollback:string option -> unit;
+      (** per retirement, in (tag, kind) order within a lane *)
+}
+
+val no_lane_obs : lane_obs
+
+type lane_session
+
+val lanes_session : ?capacity:int -> compiled -> lane_session
+(** Fresh SoA state + lane plan instance bound once; reusable across
+    {!run_lanes_session} calls. *)
+
+val lanes_state : lane_session -> Machine.State.lanes
+
+val local_lanes_session : compiled -> lane_session
+(** The calling domain's cached lane session (physical equality on
+    [compiled]), capacity {!Hw.Lanes.max_lanes}. *)
+
+val run_lanes_session :
+  ?ext:ext_model ->
+  ?cancel:Exec.Cancel.token ->
+  ?obs:lane_obs ->
+  ?faulty:bool ->
+  ledger:Obs.Counters.ledger ->
+  inits:(string * Machine.Value.t) list array ->
+  stop_afters:int array ->
+  lane_session ->
+  lane_result array
+(** Reset lane [l] from [inits.(l)] and simulate until it retires
+    [stop_afters.(l)] instructions (per-lane cycle budget and deadlock
+    window as in the scalar loop); finished lanes are peeled from the
+    pack while the rest keep running.  [faulty] relaxes the
+    missing-retire-tag asserts exactly like the scalar loop's
+    [inject <> None].  Raises on any width/shape problem — callers
+    discard the ledger and fall back to scalar runs. *)

@@ -34,6 +34,55 @@ let next_fullb s =
       if k = 0 then true
       else (s.ue.(k - 1) || s.stall.(k)) && not s.rollback_up.(k))
 
+(* Lane-parallel mirror of [compute]/[next_fullb]: every array entry
+   is a packed word over the lanes in [mask] (bit l = lane l).  One
+   word op per stage serves the whole pack.  [mispredict.(k)] is the
+   raw per-lane misprediction word of stage k (the OR of that stage's
+   speculation comparators); the [land lnot stall] conjunct below is
+   the scalar path's [not stalled] guard.  All outputs are masked. *)
+type lane_signals = {
+  l_full : int array;
+  l_stall : int array;
+  l_rollback : int array;
+  l_rollback_up : int array;
+  l_ue : int array;
+}
+
+let compute_lanes ~mask ~fullb ~dhaz ~ext ~mispredict =
+  let n = Array.length fullb in
+  let full = Array.init n (fun k -> if k = 0 then mask else fullb.(k) land mask) in
+  let stall = Array.make n 0 in
+  for k = n - 1 downto 0 do
+    let below = if k = n - 1 then 0 else stall.(k + 1) in
+    stall.(k) <- (dhaz.(k) lor ext.(k) lor below) land full.(k)
+  done;
+  let rollback =
+    Array.init n (fun k -> full.(k) land lnot stall.(k) land mispredict.(k))
+  in
+  let rollback_up = Array.make n 0 in
+  for k = n - 1 downto 0 do
+    let above = if k = n - 1 then 0 else rollback_up.(k + 1) in
+    rollback_up.(k) <- rollback.(k) lor above
+  done;
+  let ue =
+    Array.init n (fun k ->
+        full.(k) land lnot stall.(k) land lnot rollback_up.(k))
+  in
+  {
+    l_full = full;
+    l_stall = stall;
+    l_rollback = rollback;
+    l_rollback_up = rollback_up;
+    l_ue = ue;
+  }
+
+let next_fullb_lanes ~mask s =
+  let n = Array.length s.l_full in
+  Array.init n (fun k ->
+      if k = 0 then mask
+      else (s.l_ue.(k - 1) lor s.l_stall.(k)) land lnot s.l_rollback_up.(k)
+           land mask)
+
 let exprs ~n_stages ~dhaz ~mispredict =
   Obs.Span.with_span "stall_engine.exprs" @@ fun () ->
   let open Hw.Expr in

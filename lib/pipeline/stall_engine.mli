@@ -40,6 +40,34 @@ val next_fullb : signals -> bool array
 (** The register update: [fullb'.(s) = (ue.(s-1) ∨ stall.(s)) ∧
     ¬rollback'.(s)]; index 0 is [true]. *)
 
+(** {1 Lane-parallel form}
+
+    The same equations over packed lane words (bit [l] = lane [l]):
+    one word op per stage advances every lane in the pack. *)
+
+type lane_signals = {
+  l_full : int array;
+  l_stall : int array;
+  l_rollback : int array;
+  l_rollback_up : int array;
+  l_ue : int array;
+}
+
+val compute_lanes :
+  mask:int ->
+  fullb:int array ->
+  dhaz:int array ->
+  ext:int array ->
+  mispredict:int array ->
+  lane_signals
+(** [mask] selects the live lanes; all outputs are masked.
+    [mispredict.(k)] is the raw misprediction word of stage [k] (OR of
+    the stage's speculation comparators) — the scalar path's
+    [not stalled] guard is applied here via [∧ ¬stall]. *)
+
+val next_fullb_lanes : mask:int -> lane_signals -> int array
+(** The lane mirror of {!next_fullb}; index 0 is [mask]. *)
+
 val exprs :
   n_stages:int ->
   dhaz:(int -> Hw.Expr.t) ->

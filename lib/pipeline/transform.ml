@@ -628,6 +628,106 @@ let run ?(options = Fwd_spec.default_options) ?(hints = [])
     rules = List.rev b.rules_rev;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Structural digest                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the evaluation engines compile or consume is rendered
+   and digested: both machines (registers, stage writes, initial
+   values), the synthesized signals in definition order, the hazard
+   signal names and the speculation declarations.  Two transforms with
+   equal digests compile to behaviourally identical plans and
+   sessions, so per-domain session caches can key on the digest and
+   survive the caller rebuilding a structurally identical transform.
+
+   File initial values are folded into a cheap rolling hash rather
+   than pretty-printed — a 4k-entry memory image must not cost more
+   to digest than to reset. *)
+
+let digest_add_expr buf e =
+  Buffer.add_string buf (Hw.Expr.to_string e);
+  Buffer.add_char buf '\n'
+
+let digest_add_expr_opt buf = function
+  | None -> Buffer.add_string buf "-\n"
+  | Some e -> digest_add_expr buf e
+
+let digest_add_write buf (w : Spec.write) =
+  Buffer.add_string buf ("  -> " ^ w.Spec.dst ^ "\n");
+  digest_add_expr buf w.Spec.value;
+  digest_add_expr_opt buf w.Spec.guard;
+  digest_add_expr_opt buf w.Spec.wr_addr
+
+let digest_add_value buf v =
+  match v with
+  | Machine.Value.Scalar bv ->
+    Buffer.add_string buf
+      (Printf.sprintf "s%d:%d" (Hw.Bitvec.width bv) (Hw.Bitvec.to_int bv))
+  | Machine.Value.File arr ->
+    let h = ref (Array.length arr) in
+    Array.iter
+      (fun bv ->
+        h := ((!h * 31) + ((Hw.Bitvec.width bv * 131) + Hw.Bitvec.to_int bv))
+             land max_int)
+      arr;
+    Buffer.add_string buf (Printf.sprintf "f%d:%d" (Array.length arr) !h)
+
+let digest_add_machine buf (m : Spec.t) =
+  Buffer.add_string buf m.Spec.machine_name;
+  Buffer.add_string buf (Printf.sprintf "/%d\n" m.Spec.n_stages);
+  List.iter
+    (fun (r : Spec.register) ->
+      Buffer.add_string buf
+        (Printf.sprintf "reg %s w%d s%d %s %b %s " r.Spec.reg_name r.Spec.width
+           r.Spec.stage
+           (match r.Spec.kind with
+           | Spec.Simple -> "simple"
+           | Spec.File { addr_bits } -> Printf.sprintf "file:%d" addr_bits)
+           r.Spec.visible
+           (Option.value ~default:"-" r.Spec.prev_instance));
+      digest_add_value buf (Spec.initial_value m r);
+      Buffer.add_char buf '\n')
+    m.Spec.registers;
+  List.iter
+    (fun (s : Spec.stage) ->
+      Buffer.add_string buf
+        (Printf.sprintf "stage %d %s\n" s.Spec.index s.Spec.stage_name);
+      List.iter (digest_add_write buf) s.Spec.writes)
+    m.Spec.stages
+
+let digest (t : t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "options %s %s\n"
+       (match t.options.Fwd_spec.mode with
+       | Fwd_spec.Full -> "full"
+       | Fwd_spec.Interlock_only -> "interlock_only")
+       (match t.options.Fwd_spec.impl with
+       | Hw.Circuits.Chain -> "chain"
+       | Hw.Circuits.Tree -> "tree"
+       | Hw.Circuits.Bus -> "bus"));
+  Buffer.add_string buf "base\n";
+  digest_add_machine buf t.base;
+  Buffer.add_string buf "machine\n";
+  digest_add_machine buf t.machine;
+  List.iter
+    (fun (name, e) ->
+      Buffer.add_string buf ("sig " ^ name ^ " ");
+      digest_add_expr buf e)
+    t.signals;
+  Array.iter
+    (fun name -> Buffer.add_string buf ("dhaz " ^ name ^ "\n"))
+    t.stage_dhaz;
+  List.iter
+    (fun (sp : Fwd_spec.speculation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "spec %s r%d %b " sp.Fwd_spec.spec_label
+           sp.Fwd_spec.resolve_stage sp.Fwd_spec.retires);
+      digest_add_expr buf sp.Fwd_spec.mispredict;
+      List.iter (digest_add_write buf) sp.Fwd_spec.rollback_writes)
+    t.speculations;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let optimize (t : t) =
   let sw (w : Spec.write) =
     {

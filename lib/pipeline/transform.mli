@@ -86,6 +86,16 @@ val run :
 (** @raise Transform_error when the machine is not well-formed
     ({!Machine.Validate.run}) or a hint is inconsistent. *)
 
+val digest : t -> string
+(** Structural content address: both machines (registers, stage
+    writes, initial values), the synthesized signals, hazard names and
+    speculations, rendered and MD5-digested.  Equal digests mean the
+    evaluation engines compile behaviourally identical plans, so
+    session caches can key on it and survive callers rebuilding a
+    structurally identical transform.  File initial values are folded
+    through a rolling hash, so digesting costs far less than one
+    state reset. *)
+
 val optimize : t -> t
 (** Apply {!Hw.Opt.simplify} to every synthesized signal, every stage
     write of the pipelined machine, and the speculation expressions.

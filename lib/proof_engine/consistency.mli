@@ -160,3 +160,49 @@ val check_batched_result :
     task's run. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Lane-parallel checking (up to 62 programs per co-simulation)}
+
+    The bit-parallel mirror of {!check_batched}: one
+    {!Pipeline.Pipesem.run_lanes_session} pipelined run checked
+    against one SoA sequential reference run (or caller-supplied
+    scalar traces), with the scalar checker's per-tag violation
+    buffering, rollback cancellation, scheduling-function lemma and
+    final-state comparison replicated per lane.  [lv_ok] equals the
+    scalar [ok report] verdict for the same program.
+
+    All work counters are staged in a {!Obs.Counters.ledger} and
+    flushed only when the whole pack succeeds; any exception discards
+    the staged work and silently re-checks every lane through the
+    scalar batched path with counters live, so WORK totals stay
+    bit-identical to a scalar sweep either way. *)
+
+type lane_verdict = {
+  lv_ok : bool;
+  lv_outcome : Pipeline.Pipesem.outcome;
+  lv_stats : Pipeline.Pipesem.stats;
+  lv_divergence : int;
+      (** first cycle the lane's stall/rollback bits split from the
+          pack's majority; [-1] if never.  Informational: a diverged
+          lane is still checked exactly. *)
+}
+
+val check_lanes :
+  ?ext:Pipeline.Pipesem.ext_model ->
+  ?cancel:Exec.Cancel.token ->
+  ?faulty:bool ->
+  ?max_instructions:int ->
+  ?references:Machine.Seqsem.trace array ->
+  inits:(string * Machine.Value.t) list array ->
+  shape ->
+  lane_verdict array
+(** Check lane [l] initialized from [inits.(l)].  Without
+    [references], one SoA sequential reference is run for the pack
+    ([max_instructions] each, default 200, like {!check_batched}).
+    With [references] (per-lane scalar traces, e.g. a sweep's), lane
+    [l] runs [references.(l).instructions] instructions.  [faulty]
+    relaxes the lane loop's retire-tag asserts and makes the fallback
+    replay pass {!Pipeline.Pipesem.no_injection}, matching how fault
+    campaigns drive structural mutants.  [lv_stats]/[lv_outcome] are
+    unspecified for a lane whose scalar fallback errored ([lv_ok] is
+    [false] there). *)

@@ -325,7 +325,8 @@ let eval_campaign ?pool ?checkpoint ?(resume = false) ~machine ~seed ~mutants
   Response.Campaign_report
     { summary; outcomes = Fault.Campaign.to_json outcomes; text }
 
-let eval_sweep ?pool ~(spec : Request.spec) ~axis ~points ~length ~seed () =
+let eval_sweep ?pool ~(spec : Request.spec) ~axis ~points ~length ~seed
+    ~lanes () =
   let variant =
     match Machine_spec.variant spec.Request.machine with
     | Some v -> v
@@ -346,11 +347,11 @@ let eval_sweep ?pool ~(spec : Request.spec) ~axis ~points ~length ~seed () =
   let rows =
     match (axis : Request.sweep_axis) with
     | Request.Dependency ->
-      Workload.Sweep.dependency_sweep ~config ?pool ~biases:points ~length
-        ~seed ()
+      Workload.Sweep.dependency_sweep ~config ?pool ~lanes ~biases:points
+        ~length ~seed ()
     | Request.Branch ->
-      Workload.Sweep.branch_sweep ~config ?pool ~taken_fracs:points ~length
-        ~seed ()
+      Workload.Sweep.branch_sweep ~config ?pool ~lanes ~taken_fracs:points
+        ~length ~seed ()
   in
   let text =
     render (fun fmt ->
@@ -370,7 +371,10 @@ let cache_extra ~instructions (req : Request.t) =
     Some (common @ [ Printf.sprintf "verilog=%b" verilog ])
   | Request.Verify | Request.Proof | Request.Stats -> Some common
   | Request.Campaign _ -> None
-  | Request.Sweep { axis; points; length; seed } ->
+  | Request.Sweep { axis; points; length; seed; lanes = _ } ->
+    (* [lanes] is an execution strategy, not a semantic parameter: the
+       rows are bit-identical either way, so both modes share the
+       cached verdict. *)
     Some
       (common
       @ [
@@ -413,9 +417,9 @@ let handle ?env ?pool ?cancel ?checkpoint ?resume (req : Request.t) =
           eval_campaign ?pool ?checkpoint ?resume
             ~machine:req.Request.spec.Request.machine ~seed ~mutants
             ~transients ~hang ~timeout_s ~bmc s
-        | Request.Sweep { axis; points; length; seed } ->
+        | Request.Sweep { axis; points; length; seed; lanes } ->
           eval_sweep ?pool ~spec:req.Request.spec ~axis ~points ~length ~seed
-            ()
+            ~lanes ()
       in
       Option.iter (fun (cache, k) -> Cache.add cache k payload) cache_key;
       respond payload

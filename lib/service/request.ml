@@ -32,7 +32,13 @@ type kind =
       timeout_s : float;
       bmc : bool;
     }
-  | Sweep of { axis : sweep_axis; points : float list; length : int; seed : int }
+  | Sweep of {
+      axis : sweep_axis;
+      points : float list;
+      length : int;
+      seed : int;
+      lanes : bool;
+    }
 
 type t = { id : string option; spec : spec; kind : kind }
 
@@ -85,11 +91,12 @@ let to_json t =
     if hang then put "hang" (J.Bool true);
     put "timeout_s" (J.Float timeout_s);
     if bmc then put "bmc" (J.Bool true)
-  | Sweep { axis; points; length; seed } ->
+  | Sweep { axis; points; length; seed; lanes } ->
     put "axis" (J.String (axis_to_string axis));
     put "points" (J.List (List.map (fun p -> J.Float p) points));
     put "length" (J.Int length);
-    put "seed" (J.Int seed));
+    put "seed" (J.Int seed);
+    if lanes then put "lanes" (J.Bool true));
   J.Obj (List.rev !fields)
 
 (* ------------------------------------------------------------------ *)
@@ -196,6 +203,7 @@ let decode_kind fs = function
         points;
         length = dflt 32 (get_int fs "length");
         seed = dflt 0 (get_int fs "seed");
+        lanes = dflt false (get_bool fs "lanes");
       }
   | other ->
     reject "$.kind"

@@ -56,6 +56,10 @@ type kind =
       points : float list;  (** dependency biases / taken fractions *)
       length : int;
       seed : int;
+      lanes : bool;
+          (** drive the verified points through the bit-parallel lane
+              engine, up to 62 per machine word; rows are bit-identical
+              to the scalar sweep *)
     }
 
 type t = { id : string option; spec : spec; kind : kind }

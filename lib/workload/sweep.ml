@@ -112,7 +112,65 @@ let sweep_span name ?pool points f =
         ("j", string_of_int j) ]
   @@ fun () -> Exec.Pool.map_opt_sharded pool f points
 
-let sweep name ?(config = default) ?pool ?(batched = true) ~points ~gen () =
+(* Lane mode: consecutive points pack into ≤62-lane words, one
+   bit-parallel verified run per pack ({!Consistency.check_lanes}).
+   Each point still generates its own program and golden reference
+   trace (scalar, identical to the batched path); only the pipelined
+   verification run is shared.  A lane whose verdict is not ok is
+   replayed through the scalar path — with its counters discarded,
+   the lane run already accounted the point — which either raises the
+   byte-identical [Verification_failed] or (divergence) supplies the
+   scalar row.  Rows and WORK counters match the scalar batched sweep
+   bit for bit. *)
+let run_lane_pack ~config ~shape pack =
+  let progs =
+    List.map
+      (fun (pt, (p : Dlx.Progs.t)) ->
+        Obs.Counters.bump Obs.Counters.Sweep_points;
+        let program = Dlx.Progs.program p in
+        let n = p.Dlx.Progs.dyn_instructions in
+        let reference =
+          Dlx.Seq_dlx.ref_trace ~data:p.Dlx.Progs.data config.variant ~program
+            ~instructions:n
+        in
+        let init = Dlx.Seq_dlx.image ~data:p.Dlx.Progs.data ~program () in
+        (pt, p, reference, init))
+      pack
+  in
+  let references =
+    Array.of_list (List.map (fun (_, _, r, _) -> r) progs)
+  in
+  let inits = Array.of_list (List.map (fun (_, _, _, i) -> i) progs) in
+  let verdicts =
+    Proof_engine.Consistency.check_lanes ?ext:config.ext ~references ~inits
+      shape
+  in
+  List.mapi
+    (fun l (pt, (p : Dlx.Progs.t), _, _) ->
+      let v = verdicts.(l) in
+      if v.Proof_engine.Consistency.lv_ok then
+        ( pt,
+          Stats.of_stats ~label:p.Dlx.Progs.prog_name ~n_stages:5
+            v.Proof_engine.Consistency.lv_stats )
+      else
+        Obs.Counters.with_discarded (fun () ->
+            (pt, run_batched ~config ~shape p)))
+    progs
+
+let rec chunk n l =
+  if l = [] then []
+  else begin
+    let rec split k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: tl -> split (k - 1) (x :: acc) tl
+    in
+    let pack, rest = split n [] l in
+    pack :: chunk n rest
+  end
+
+let sweep name ?(config = default) ?pool ?(batched = true) ?(lanes = false)
+    ~points ~gen () =
   if not batched then
     sweep_span name ?pool points (fun pt ->
         Obs.Counters.bump Obs.Counters.Sweep_points;
@@ -122,18 +180,25 @@ let sweep name ?(config = default) ?pool ?(batched = true) ~points ~gen () =
     | [] -> []
     | p0 :: _ ->
       let shape = sweep_shape ~config (gen p0) in
-      sweep_span name ?pool points (fun pt ->
-          Obs.Counters.bump Obs.Counters.Sweep_points;
-          (pt, run_batched ~config ~shape (gen pt)))
+      if lanes && config.verify then
+        let packs = chunk Hw.Lanes.max_lanes points in
+        List.concat
+          (sweep_span name ?pool packs (fun pack ->
+               run_lane_pack ~config ~shape
+                 (List.map (fun pt -> (pt, gen pt)) pack)))
+      else
+        sweep_span name ?pool points (fun pt ->
+            Obs.Counters.bump Obs.Counters.Sweep_points;
+            (pt, run_batched ~config ~shape (gen pt)))
 
-let dependency_sweep ?config ?pool ?batched ~biases ~length ~seed () =
-  sweep "sweep.dependency" ?config ?pool ?batched ~points:biases
+let dependency_sweep ?config ?pool ?batched ?lanes ~biases ~length ~seed () =
+  sweep "sweep.dependency" ?config ?pool ?batched ?lanes ~points:biases
     ~gen:(fun bias ->
       Gen.generate ~seed ~length (Gen.alu_only ~dependency_bias:bias))
     ()
 
-let branch_sweep ?config ?pool ?batched ~taken_fracs ~length ~seed () =
-  sweep "sweep.branch" ?config ?pool ?batched ~points:taken_fracs
+let branch_sweep ?config ?pool ?batched ?lanes ~taken_fracs ~length ~seed () =
+  sweep "sweep.branch" ?config ?pool ?batched ?lanes ~points:taken_fracs
     ~gen:(fun tf ->
       Gen.generate ~seed ~length (Gen.branch_heavy ~taken_frac:tf))
     ()

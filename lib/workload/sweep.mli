@@ -29,7 +29,7 @@ val memory_wait_states : every:int -> wait:int -> Pipeline.Pipesem.ext_model
     stall condition... e.g. caused by slow memory". *)
 
 val dependency_sweep :
-  ?config:config -> ?pool:Exec.Pool.t -> ?batched:bool ->
+  ?config:config -> ?pool:Exec.Pool.t -> ?batched:bool -> ?lanes:bool ->
   biases:float list -> length:int -> seed:int -> unit ->
   (float * Stats.row) list
 (** CPI as a function of the operand dependency bias.
@@ -47,9 +47,17 @@ val dependency_sweep :
     bit-identical rows.
 
     With [pool], the points fan out over the domain pool; rows are
-    bit-identical to the serial run and in input order. *)
+    bit-identical to the serial run and in input order.
+
+    [lanes] (batched, verified sweeps only; ignored otherwise) packs
+    consecutive points into ≤62-lane bit-parallel packs: one
+    {!Proof_engine.Consistency.check_lanes} run verifies the whole
+    pack against the points' individual golden traces.  Rows, failure
+    behaviour and WORK counters are bit-identical to the scalar
+    batched sweep; a lane the pack cannot represent is transparently
+    replayed through the scalar path. *)
 
 val branch_sweep :
-  ?config:config -> ?pool:Exec.Pool.t -> ?batched:bool ->
+  ?config:config -> ?pool:Exec.Pool.t -> ?batched:bool -> ?lanes:bool ->
   taken_fracs:float list -> length:int -> seed:int -> unit ->
   (float * Stats.row) list

@@ -74,7 +74,8 @@ let gen_request =
          let* points = list_size (int_range 1 4) (oneofl safe_floats) in
          let* length = int_range 1 100 in
          let* seed = small_nat in
-         return (Req.Sweep { axis; points; length; seed }));
+         let* lanes = bool in
+         return (Req.Sweep { axis; points; length; seed; lanes }));
       ]
   in
   let* id = gen_id in
