@@ -1081,6 +1081,162 @@ let counters_section () =
   add_entry (Obs.Export.entry ~breakdown:(breakdown sched) "SCHED.counters")
 
 (* ------------------------------------------------------------------ *)
+(* SERVE: directed robustness phases with exact counter outcomes       *)
+(* ------------------------------------------------------------------ *)
+
+(* Each phase drives one serve failure path to a count that is exact
+   by construction — shed by queue arithmetic, retries by a crash
+   budget, restarts by a kill budget, replay by journal shape — on
+   its own fixed-size pools, so the deltas are identical at -j 1 and
+   -j max and regress exactly like WORK.* scores.  Runs after
+   [counters_section] so the WORK/SCHED snapshots above are
+   untouched by the work done here. *)
+let serve_robustness () =
+  section "SERVE"
+    "Robustness counters (shed / retry / restart / replay: gated exactly)";
+  let module Req = Service.Request in
+  let module Srv = Service.Serve in
+  let delta id f =
+    let before = Obs.Counters.get id in
+    f ();
+    Obs.Counters.get id - before
+  in
+  let line ?id kind machine kernel =
+    Req.to_string
+      (Req.make ?id
+         ~spec:{ Req.default_spec with Req.machine; Req.kernel = kernel }
+         kind)
+  in
+  let stats_lines =
+    [
+      line Req.Stats Service.Machine_spec.Dlx5 (Some "fib_10");
+      line Req.Stats Service.Machine_spec.Dlx6 (Some "fib_10");
+      line Req.Stats Service.Machine_spec.Dlx5 (Some "memcpy_8");
+      line Req.Stats Service.Machine_spec.Dlx6 (Some "memcpy_8");
+    ]
+  in
+  (* Shed: 10 distinct leaders against max_queue 4 -> exactly 6 shed
+     (the four kept ones are cheap stats; the shed ones never run). *)
+  let shed =
+    delta Obs.Counters.Serve_shed (fun () ->
+        let env = Service.Handler.create_env () in
+        let admission = Srv.make_admission ~max_queue:4 ~retries:0 () in
+        Exec.Pool.with_pool ~size:2 (fun pool ->
+            let extra =
+              [
+                line Req.Stats Service.Machine_spec.Dlx5
+                  (Some "dep_chain_24");
+                line Req.Stats Service.Machine_spec.Dlx6
+                  (Some "dep_chain_24");
+                line Req.Verify Service.Machine_spec.Dlx5 (Some "fib_10");
+                line Req.Verify Service.Machine_spec.Dlx6 (Some "fib_10");
+                line Req.Verify Service.Machine_spec.Dlx5
+                  (Some "memcpy_8");
+                line Req.Verify Service.Machine_spec.Dlx6
+                  (Some "memcpy_8");
+              ]
+            in
+            ignore
+              (Srv.process_batch ~env ~pool ~admission (stats_lines @ extra)
+                : Service.Response.t list)))
+  in
+  (* Retry: crash probability 1 with budget 2 -> round one fails
+     exactly two leaders, the retry round succeeds -> 2 retries. *)
+  let retries =
+    delta Obs.Counters.Serve_retries (fun () ->
+        let env = Service.Handler.create_env () in
+        let admission = Srv.make_admission ~max_queue:64 ~retries:2 () in
+        let chaos =
+          Exec.Chaos.create
+            { Exec.Chaos.default_config with
+              Exec.Chaos.seed = 5; crash = 1.0; crash_budget = Some 2 }
+        in
+        Exec.Pool.with_pool ~size:2 ~chaos (fun pool ->
+            ignore
+              (Srv.process_batch ~env ~pool ~admission stats_lines
+                : Service.Response.t list)))
+  in
+  (* Restart: kill budget 1 -> the watchdog heals exactly one worker. *)
+  let restarts =
+    delta Obs.Counters.Pool_restarts (fun () ->
+        let chaos =
+          Exec.Chaos.create
+            { Exec.Chaos.default_config with
+              Exec.Chaos.seed = 7; kill = 1.0; kill_budget = Some 1 }
+        in
+        Exec.Pool.with_pool ~size:3 ~chaos (fun pool ->
+            (* The tasks sleep briefly so the workers — not just the
+               helping submitter — claim some, meeting the kill draw. *)
+            let rec settle n =
+              if n > 0 && Exec.Pool.heal pool = 0 then begin
+                ignore
+                  (Exec.Pool.map pool
+                     (fun x ->
+                       Unix.sleepf 0.001;
+                       x + 1)
+                     [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+                    : int list);
+                settle (n - 1)
+              end
+            in
+            settle 50))
+  in
+  (* Replay: a journal holding one completed and two pending entries
+     -> exactly three responses re-emitted on restart. *)
+  let replayed =
+    delta Obs.Counters.Serve_journal_replayed (fun () ->
+        let path = Filename.temp_file "bench_serve_journal" ".jsonl" in
+        let done_line = line ~id:"r0" Req.Stats Service.Machine_spec.Toy3 None in
+        let pending =
+          [
+            line ~id:"r1" Req.Stats Service.Machine_spec.Dlx5 (Some "fib_10");
+            line ~id:"r2" Req.Stats Service.Machine_spec.Dlx6 (Some "fib_10");
+          ]
+        in
+        let response =
+          match Req.of_string done_line with
+          | Ok req -> Service.Response.to_string (Service.Handler.handle req)
+          | Error _ -> assert false
+        in
+        let j = Service.Journal.open_ path in
+        (match Service.Journal.append_admits j (done_line :: pending) with
+        | seq0 :: _ -> Service.Journal.append_done j [ (seq0, response) ]
+        | [] -> assert false);
+        Service.Journal.close j;
+        let j = Service.Journal.open_ path in
+        let env = Service.Handler.create_env () in
+        let cfg = { Srv.default_config with Srv.journal = Some path; jobs = 2 } in
+        let latency =
+          Obs.Metrics.histogram (Obs.Metrics.create ()) "bench.latency_ms"
+        in
+        Exec.Pool.with_pool ~size:2 (fun pool ->
+            Srv.replay ~env ~pool ~cfg ~shutdown:(Exec.Cancel.create ())
+              ~latency
+              ~admission:(Srv.make_admission ())
+              j
+              (fun _ -> ()));
+        Service.Journal.close j;
+        Sys.remove path)
+  in
+  Format.printf "  %-20s %14s@." "phase" "count";
+  List.iter
+    (fun (n, v) -> Format.printf "  %-20s %14d@." n v)
+    [
+      ("serve_shed", shed); ("serve_retries", retries);
+      ("pool_restarts", restarts); ("journal_replayed", replayed);
+    ];
+  add_entry
+    (Obs.Export.entry
+       ~breakdown:
+         [
+           ("serve_shed", float_of_int shed);
+           ("serve_retries", float_of_int retries);
+           ("pool_restarts", float_of_int restarts);
+           ("journal_replayed", float_of_int replayed);
+         ]
+       "SERVE.counters")
+
+(* ------------------------------------------------------------------ *)
 (* Baseline regression guard (@check): compare the semantic fields of
    this run's export against the committed BENCH_pipeline.json.  CPI,
    instruction and cycle counts are deterministic — any drift means
@@ -1275,6 +1431,7 @@ let smoke ~jobs () =
   perf_bmc_lanes ~jobs ();
   campaign_smoke ~jobs ();
   counters_section ();
+  serve_robustness ();
   write_export ();
   Format.printf "@.smoke ok.@."
 
@@ -1301,6 +1458,7 @@ let full ~jobs () =
   campaign_smoke ~jobs ();
   run_bechamel ();
   counters_section ();
+  serve_robustness ();
   write_export ();
   Format.printf "@.all experiments reproduced.@."
 

@@ -513,12 +513,69 @@ let serve_cmd =
     Cmdliner.Arg.(
       value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
   in
-  let run jobs timeout_s capacity metrics_out socket =
+  let journal_arg =
+    let doc =
+      "Write-ahead request journal: admitted requests and completed \
+       responses are appended (and fsync'd) here, and an existing journal \
+       is replayed on startup — completed responses re-emitted verbatim, \
+       unfinished requests re-evaluated."
+    in
+    Cmdliner.Arg.(
+      value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Admission bound: requests beyond this many distinct evaluations per \
+       batch are shed with a typed overloaded response."
+    in
+    Cmdliner.Arg.(value & opt int 256 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry budget for transient evaluation failures (exponential \
+       backoff; evaluation is pure, so re-running is safe)."
+    in
+    Cmdliner.Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Arm the seeded fault injector on the evaluation pool.  $(docv) is \
+       SEED[,key=value,...] with keys crash, delay, delay_ms, wedge, \
+       wedge_ms, alloc, alloc_kwords, kill and matching *_budget caps, \
+       e.g. --chaos 42,crash=0.2,crash_budget=2,delay=0.3."
+    in
+    Cmdliner.Arg.(
+      value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+  in
+  let run jobs timeout_s capacity metrics_out socket journal max_queue retries
+      chaos =
     guard @@ fun () ->
     if jobs < 1 then
       raise (Service.Handler.Invalid_request "-j must be at least 1");
+    if max_queue < 1 then
+      raise (Service.Handler.Invalid_request "--max-queue must be at least 1");
+    if retries < 0 then
+      raise (Service.Handler.Invalid_request "--retries must be non-negative");
+    let chaos =
+      match chaos with
+      | None -> None
+      | Some spec -> (
+        match Exec.Chaos.config_of_string spec with
+        | Ok c -> Some c
+        | Error msg -> raise (Service.Handler.Invalid_request msg))
+    in
     let config =
-      { Service.Serve.jobs; timeout_s; capacity; metrics_out; socket }
+      {
+        Service.Serve.jobs;
+        timeout_s;
+        capacity;
+        metrics_out;
+        socket;
+        journal;
+        max_queue;
+        retries;
+        chaos;
+      }
     in
     match Service.Serve.run ~config () with 0 -> `Ok () | n -> exit n
   in
@@ -529,11 +586,15 @@ let serve_cmd =
           (stdin or a Unix socket), answer with one JSON response per line \
           in input order.  Identical requests coalesce, repeated requests \
           are answered from a content-addressed verdict cache, and each \
-          request runs isolated under a per-request timeout.")
+          request runs isolated under a per-request timeout.  With \
+          --journal the service is crash-safe: a killed server replays its \
+          write-ahead journal on restart.  --max-queue bounds admission \
+          (overloaded responses carry retry-after), --chaos arms seeded \
+          fault injection for robustness testing.")
     Term.(
       ret
         (const run $ jobs_arg $ timeout_arg $ capacity_arg $ metrics_arg
-       $ socket_arg))
+       $ socket_arg $ journal_arg $ max_queue_arg $ retries_arg $ chaos_arg))
 
 let perf_cmd =
   let history_arg =

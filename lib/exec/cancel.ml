@@ -1,7 +1,17 @@
 exception Cancelled
 
+type reason = Explicit | Deadline
+
+(* The flag encodes the trip reason so callers can distinguish a
+   deadline trip (report Timeout) from an explicit one (report
+   Cancelled) without guessing from context: 0 = armed, 1 = explicit,
+   2 = deadline.  A token latches the *first* reason and keeps it. *)
+let armed = 0
+let r_explicit = 1
+let r_deadline = 2
+
 type token = {
-  flag : bool Atomic.t;
+  flag : int Atomic.t;
   created : float;
   deadline : float option;  (* absolute, from [created] + timeout *)
   parent : token option;  (* tripping the parent trips this token *)
@@ -10,7 +20,7 @@ type token = {
 let create ?timeout_s () =
   let created = Unix.gettimeofday () in
   {
-    flag = Atomic.make false;
+    flag = Atomic.make armed;
     created;
     deadline = Option.map (fun t -> created +. t) timeout_s;
     parent = None;
@@ -19,25 +29,28 @@ let create ?timeout_s () =
 let with_parent parent ?timeout_s () =
   let created = Unix.gettimeofday () in
   {
-    flag = Atomic.make false;
+    flag = Atomic.make armed;
     created;
     deadline = Option.map (fun t -> created +. t) timeout_s;
     parent = Some parent;
   }
 
 let never =
-  { flag = Atomic.make false; created = 0.0; deadline = None; parent = None }
+  { flag = Atomic.make armed; created = 0.0; deadline = None; parent = None }
 
-let cancel t = Atomic.set t.flag true
+(* First reason wins: an already-tripped token keeps its reason. *)
+let latch t r = ignore (Atomic.compare_and_set t.flag armed r : bool)
+
+let cancel t = latch t r_explicit
 
 let rec cancelled t =
-  Atomic.get t.flag
+  Atomic.get t.flag <> armed
   || (match t.deadline with
      | None -> false
      | Some d ->
        if Unix.gettimeofday () > d then begin
          (* Latch, so later polls skip the clock read. *)
-         Atomic.set t.flag true;
+         latch t r_deadline;
          true
        end
        else false)
@@ -46,11 +59,19 @@ let rec cancelled t =
   | None -> false
   | Some p ->
     if cancelled p then begin
-      (* Latch, so later polls skip the parent chain. *)
-      Atomic.set t.flag true;
+      (* Latch the parent's reason, so later polls skip the chain and
+         the child reports why the whole tree went down. *)
+      latch t (Atomic.get p.flag);
       true
     end
     else false
+
+let reason t =
+  if cancelled t then
+    match Atomic.get t.flag with
+    | 2 -> Some Deadline
+    | _ -> Some Explicit
+  else None
 
 let check t = if cancelled t then raise Cancelled
 

@@ -14,8 +14,18 @@
 
 exception Cancelled
 (** Raised by {!check} (and by polling tasks) when the token has
-    tripped.  {!Pool.map_result} catches it and classifies the task as
-    timed out; anywhere else it propagates like any exception. *)
+    tripped.  {!Pool.map_result} catches it and classifies the task
+    from the token's {!reason} — [Timed_out] on a deadline trip,
+    [Cancelled] on an explicit one; anywhere else it propagates like
+    any exception. *)
+
+type reason =
+  | Explicit  (** {!cancel} was called (directly or on an ancestor) *)
+  | Deadline  (** the token's (or an ancestor's) deadline passed *)
+(** Why a token tripped.  The {e first} cause latches: a token that
+    timed out stays [Deadline] even if {!cancel} is called later, and
+    a child inherits the reason of the ancestor that brought it
+    down. *)
 
 type token
 
@@ -40,6 +50,12 @@ val cancel : token -> unit
 
 val cancelled : token -> bool
 (** Whether the token has tripped (checks the deadline too). *)
+
+val reason : token -> reason option
+(** [None] while the token is armed; the latched {!reason} once it has
+    tripped.  Call sites that must answer "timeout or cancelled?" —
+    {!Pool.map_result}, the service handler — read this instead of
+    inferring from which budget they happen to know about. *)
 
 val check : token -> unit
 (** @raise Cancelled when the token has tripped.  Cheap enough to call

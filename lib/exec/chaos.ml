@@ -1,0 +1,230 @@
+(* Seeded fault injection for the execution engine itself.
+
+   Decisions come from a pure function of (seed, draw index): the
+   draw stream is fixed by the seed, so a run at -j 1 is fully
+   reproducible and at any -j the *multiset* of injected faults is —
+   each consultation consumes the next stream position regardless of
+   which domain gets there first.  Per-fault budgets turn rates into
+   exact counts ("crash the first 2 tasks, then nothing"), which is
+   what the bench's gated SERVE.counters section and the retry
+   guarantees rely on: a crash budget no larger than the admission
+   retry budget means a retried task always eventually succeeds. *)
+
+type config = {
+  seed : int;
+  crash : float;  (* probability of a forced task exception *)
+  crash_budget : int option;
+  delay : float;  (* probability of an injected sleep *)
+  delay_s : float;  (* injected sleep duration *)
+  delay_budget : int option;
+  wedge : float;  (* probability of a simulated wedged domain *)
+  wedge_s : float;  (* how long the wedge spins (cancel still polls) *)
+  wedge_budget : int option;
+  alloc : float;  (* probability of an allocation-pressure spike *)
+  alloc_words : int;  (* words allocated (and dropped) per spike *)
+  alloc_budget : int option;
+  kill : float;  (* probability of a simulated killed worker domain *)
+  kill_budget : int option;
+}
+
+let default_config =
+  {
+    seed = 0;
+    crash = 0.0;
+    crash_budget = None;
+    delay = 0.0;
+    delay_s = 0.002;
+    delay_budget = None;
+    wedge = 0.0;
+    wedge_s = 0.02;
+    wedge_budget = None;
+    alloc = 0.0;
+    alloc_words = 1 lsl 18;
+    alloc_budget = None;
+    kill = 0.0;
+    kill_budget = None;
+  }
+
+type fault = Crash | Delay | Wedge | Alloc
+
+exception Injected_crash of int
+exception Injected_kill of int
+
+type t = {
+  config : config;
+  draws : int Atomic.t;  (* task-level stream position *)
+  kill_draws : int Atomic.t;  (* worker-level stream (own salt) *)
+  spent_crash : int Atomic.t;
+  spent_delay : int Atomic.t;
+  spent_wedge : int Atomic.t;
+  spent_alloc : int Atomic.t;
+  spent_kill : int Atomic.t;
+  injected : int Atomic.t;
+}
+
+let create config =
+  {
+    config;
+    draws = Atomic.make 0;
+    kill_draws = Atomic.make 0;
+    spent_crash = Atomic.make 0;
+    spent_delay = Atomic.make 0;
+    spent_wedge = Atomic.make 0;
+    spent_alloc = Atomic.make 0;
+    spent_kill = Atomic.make 0;
+    injected = Atomic.make 0;
+  }
+
+let injected t = Atomic.get t.injected
+
+(* splitmix-style avalanche on the native int, good enough to turn
+   (seed, index, salt) into an i.i.d.-looking uniform draw. *)
+let mix seed index salt =
+  let h = ref (seed lxor (salt * 0x9e3779b9) lxor (index * 0x85ebca6b)) in
+  h := !h lxor (!h lsr 16);
+  h := !h * 0x21f0aaad land max_int;
+  h := !h lxor (!h lsr 15);
+  h := !h * 0x735a2d97 land max_int;
+  h := !h lxor (!h lsr 15);
+  !h land 0x3FFFFFFF
+
+let unit_float seed index salt =
+  float_of_int (mix seed index salt) /. float_of_int 0x40000000
+
+(* Claim one unit of a budget.  [None] = unlimited. *)
+let within budget spent =
+  match budget with
+  | None ->
+    Atomic.incr spent;
+    true
+  | Some b ->
+    let rec claim () =
+      let n = Atomic.get spent in
+      n < b
+      && (Atomic.compare_and_set spent n (n + 1) || claim ())
+    in
+    claim ()
+
+(* One task-level decision: thresholds are cumulative over the same
+   uniform draw, so at most one fault fires per consultation. *)
+let decide t =
+  let c = t.config in
+  let k = Atomic.fetch_and_add t.draws 1 in
+  let u = unit_float c.seed k 1 in
+  let pick lo hi budget spent =
+    u >= lo && u < hi && within budget spent
+  in
+  let a = c.crash in
+  let b = a +. c.delay in
+  let d = b +. c.wedge in
+  let e = d +. c.alloc in
+  if pick 0.0 a c.crash_budget t.spent_crash then Some (Crash, k)
+  else if pick a b c.delay_budget t.spent_delay then Some (Delay, k)
+  else if pick b d c.wedge_budget t.spent_wedge then Some (Wedge, k)
+  else if pick d e c.alloc_budget t.spent_alloc then Some (Alloc, k)
+  else None
+
+(* Busy-spin [wedge_s] seconds, polling the cancellation token the way
+   a wedged-but-instrumented domain would: the per-task deadline (or a
+   shutdown) still cuts it short, and without one the wedge clears on
+   its own — a *temporarily* unresponsive domain, never a hung batch. *)
+let spin_wedge ~cancel ~until =
+  let rec spin () =
+    Cancel.check cancel;
+    if Unix.gettimeofday () < until then begin
+      ignore (Sys.opaque_identity (ref 0));
+      spin ()
+    end
+  in
+  spin ()
+
+let apply_task t ~cancel =
+  match decide t with
+  | None -> ()
+  | Some (fault, k) -> (
+    Atomic.incr t.injected;
+    match fault with
+    | Crash -> raise (Injected_crash k)
+    | Delay -> Unix.sleepf t.config.delay_s
+    | Wedge ->
+      spin_wedge ~cancel ~until:(Unix.gettimeofday () +. t.config.wedge_s)
+    | Alloc ->
+      (* An allocation-pressure spike: a short-lived major-heap block,
+         immediately garbage. *)
+      ignore (Sys.opaque_identity (Array.make t.config.alloc_words 0)))
+
+let apply_worker t =
+  let c = t.config in
+  if c.kill > 0.0 then begin
+    let k = Atomic.fetch_and_add t.kill_draws 1 in
+    if unit_float c.seed k 2 < c.kill && within c.kill_budget t.spent_kill
+    then begin
+      Atomic.incr t.injected;
+      raise (Injected_kill k)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The spec string: SEED[,key=value,...]                               *)
+(* ------------------------------------------------------------------ *)
+
+let config_of_string s =
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let float_v k v =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> Ok f
+    | _ -> err "chaos: %s wants a non-negative number, got %S" k v
+  in
+  let int_v k v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> err "chaos: %s wants a non-negative integer, got %S" k v
+  in
+  match String.split_on_char ',' (String.trim s) with
+  | [] | [ "" ] -> err "chaos: empty spec (want SEED[,key=value,...])"
+  | seed_s :: fields ->
+    let* seed =
+      match int_of_string_opt (String.trim seed_s) with
+      | Some n -> Ok n
+      | None -> err "chaos: spec must start with a seed, got %S" seed_s
+    in
+    List.fold_left
+      (fun acc field ->
+        let* c = acc in
+        match String.index_opt field '=' with
+        | None -> err "chaos: expected key=value, got %S" field
+        | Some i ->
+          let k = String.trim (String.sub field 0 i) in
+          let v =
+            String.trim
+              (String.sub field (i + 1) (String.length field - i - 1))
+          in
+          let f () = float_v k v in
+          let n () = int_v k v in
+          let b () = Result.map (fun n -> Some n) (int_v k v) in
+          (match k with
+          | "crash" -> Result.map (fun x -> { c with crash = x }) (f ())
+          | "crash_budget" ->
+            Result.map (fun x -> { c with crash_budget = x }) (b ())
+          | "delay" -> Result.map (fun x -> { c with delay = x }) (f ())
+          | "delay_ms" ->
+            Result.map (fun x -> { c with delay_s = x /. 1000.0 }) (f ())
+          | "delay_budget" ->
+            Result.map (fun x -> { c with delay_budget = x }) (b ())
+          | "wedge" -> Result.map (fun x -> { c with wedge = x }) (f ())
+          | "wedge_ms" ->
+            Result.map (fun x -> { c with wedge_s = x /. 1000.0 }) (f ())
+          | "wedge_budget" ->
+            Result.map (fun x -> { c with wedge_budget = x }) (b ())
+          | "alloc" -> Result.map (fun x -> { c with alloc = x }) (f ())
+          | "alloc_kwords" ->
+            Result.map (fun x -> { c with alloc_words = x * 1024 }) (n ())
+          | "alloc_budget" ->
+            Result.map (fun x -> { c with alloc_budget = x }) (b ())
+          | "kill" -> Result.map (fun x -> { c with kill = x }) (f ())
+          | "kill_budget" ->
+            Result.map (fun x -> { c with kill_budget = x }) (b ())
+          | _ -> err "chaos: unknown key %S" k))
+      (Ok { default_config with seed })
+      fields

@@ -1,0 +1,79 @@
+(** Seeded, deterministic fault injection for the execution engine.
+
+    PR 4 pointed seeded fault campaigns at the {e verified machines};
+    this module points the same discipline at the {e engine and
+    service}: every robustness path in {!Pool} and the serve loop can
+    be exercised on demand, reproducibly, from a single seed.
+
+    Determinism contract: each consultation of the injector consumes
+    the next position in a pure (seed, index) decision stream, so the
+    {e multiset} of injected faults is a function of the seed and the
+    number of consultations — independent of how tasks race onto
+    domains.  Per-fault budgets cap the total injections of a kind,
+    turning rates into exact counts ("crash the first 2 draws that
+    land in the crash band, then nothing"), which is what lets the
+    bench gate SERVE.* robustness counters exactly and lets admission
+    control guarantee that a bounded retry outlasts a bounded crash
+    budget. *)
+
+type config = {
+  seed : int;
+  crash : float;  (** probability a task raises {!Injected_crash} *)
+  crash_budget : int option;
+  delay : float;  (** probability of an injected sleep before a task *)
+  delay_s : float;  (** duration of that sleep *)
+  delay_budget : int option;
+  wedge : float;  (** probability of a simulated wedged domain *)
+  wedge_s : float;  (** busy-spin length (the cancel token still polls) *)
+  wedge_budget : int option;
+  alloc : float;  (** probability of an allocation-pressure spike *)
+  alloc_words : int;  (** words allocated (then dropped) per spike *)
+  alloc_budget : int option;
+  kill : float;  (** probability a worker domain dies ({!Injected_kill}) *)
+  kill_budget : int option;
+}
+
+val default_config : config
+(** Seed 0, all probabilities 0, sane durations (2ms delay, 20ms
+    wedge, 256k-word alloc spike), no budgets. *)
+
+val config_of_string : string -> (config, string) result
+(** Parse the [--chaos] spec [SEED[,key=value,...]].  Keys: [crash],
+    [delay], [delay_ms], [wedge], [wedge_ms], [alloc], [alloc_kwords],
+    [kill] and the corresponding [*_budget]s.  Probabilities are
+    per-draw in \[0,1\]; the crash/delay/wedge/alloc bands share one
+    uniform draw (cumulative thresholds), so their probabilities
+    should sum to at most 1. *)
+
+exception Injected_crash of int
+(** A forced task exception; the payload is the draw index.  Escapes a
+    task like any bug would — {!Pool.map_result} reports the task
+    [Failed], and the serve layer's bounded retry treats it as
+    transient. *)
+
+exception Injected_kill of int
+(** A simulated killed worker domain (the payload is the draw index).
+    Raised {e before} the victim runs its claimed task, so the task
+    can be requeued losslessly; the worker records itself dead and
+    exits, and {!Pool.heal} respawns it. *)
+
+type t
+
+val create : config -> t
+(** A fresh injector: stream positions and budgets start at zero. *)
+
+val injected : t -> int
+(** Total faults injected so far (all kinds). *)
+
+val apply_task : t -> cancel:Cancel.token -> unit
+(** Consult the task-level stream once; called by {!Pool.map_result}
+    immediately before each task attempt.  May sleep (delay), spin
+    polling [cancel] (wedge — a deadline or shutdown still cuts it
+    short), allocate garbage (alloc), or raise {!Injected_crash}. *)
+
+val apply_worker : t -> unit
+(** Consult the worker-level kill stream once; called by the pool as a
+    worker claims a task.  Raises {!Injected_kill} when the draw says
+    this domain dies.  The kill stream is salted separately from the
+    task stream so enabling kills does not shift task-fault
+    decisions. *)

@@ -25,19 +25,28 @@ type t = {
   mutable domains : unit Domain.t array;
   w_tasks : int array; (* slot 0 = submitting thread, 1.. = workers *)
   w_busy : float array;
+  w_started : float array; (* 0.0 = idle, else task start timestamp *)
+  mutable dead_slots : int list; (* killed workers awaiting [heal] *)
+  chaos : Chaos.t option;
 }
 
 let default_size () = Domain.recommended_domain_count ()
 
-(* Run one task outside the lock, charging wall time to [slot]. *)
+(* Run one task outside the lock, charging wall time to [slot].  The
+   start timestamp is published under the mutex so the watchdog
+   ([wedged]) can spot a slot that has been inside one task too long. *)
 let run_task t slot task =
   let t0 = Unix.gettimeofday () in
+  Mutex.lock t.mutex;
+  t.w_started.(slot) <- t0;
+  Mutex.unlock t.mutex;
   task ();
   let dt = Unix.gettimeofday () -. t0 in
   Obs.Counters.bump Obs.Counters.Pool_tasks;
   Obs.Counters.bump
     (if slot = 0 then Obs.Counters.Pool_helped else Obs.Counters.Pool_stolen);
   Mutex.lock t.mutex;
+  t.w_started.(slot) <- 0.0;
   t.w_tasks.(slot) <- t.w_tasks.(slot) + 1;
   t.w_busy.(slot) <- t.w_busy.(slot) +. dt;
   Mutex.unlock t.mutex
@@ -47,10 +56,25 @@ let worker_loop t slot =
     (* invariant: mutex held here *)
     if not (Queue.is_empty t.queue) then begin
       let task = Queue.pop t.queue in
-      Mutex.unlock t.mutex;
-      run_task t slot task;
-      Mutex.lock t.mutex;
-      next ()
+      match
+        match t.chaos with Some c -> Chaos.apply_worker c | None -> ()
+      with
+      | () ->
+        Mutex.unlock t.mutex;
+        run_task t slot task;
+        Mutex.lock t.mutex;
+        next ()
+      | exception Chaos.Injected_kill _ ->
+        (* This domain "dies" before running its claimed task: the task
+           goes back on the queue losslessly (result cells are
+           index-addressed, so requeue position is irrelevant), the
+           corpse is recorded for [heal], and the domain exits.  The
+           batch still completes without healing because the submitter
+           helps drain. *)
+        Queue.add task t.queue;
+        t.dead_slots <- slot :: t.dead_slots;
+        Condition.broadcast t.work;
+        Mutex.unlock t.mutex
     end
     else if t.closed then Mutex.unlock t.mutex
     else begin
@@ -61,7 +85,7 @@ let worker_loop t slot =
   Mutex.lock t.mutex;
   next ()
 
-let create ?size () =
+let create ?size ?chaos () =
   let pool_size = match size with None -> default_size () | Some n -> n in
   if pool_size < 1 then
     invalid_arg "Exec.Pool.create: size must be at least 1";
@@ -75,6 +99,9 @@ let create ?size () =
       domains = [||];
       w_tasks = Array.make pool_size 0;
       w_busy = Array.make pool_size 0.0;
+      w_started = Array.make pool_size 0.0;
+      dead_slots = [];
+      chaos;
     }
   in
   t.domains <-
@@ -83,6 +110,43 @@ let create ?size () =
   t
 
 let size t = t.pool_size
+
+(* Respawn every recorded dead worker.  Draining [dead_slots] under the
+   mutex makes each corpse the responsibility of exactly one healer, so
+   the joins and the [domains] writes below race with nobody. *)
+let heal t =
+  Mutex.lock t.mutex;
+  let dead = t.dead_slots in
+  t.dead_slots <- [];
+  let closed = t.closed in
+  Mutex.unlock t.mutex;
+  if closed then 0
+  else begin
+    List.iter
+      (fun slot ->
+        Domain.join t.domains.(slot - 1);
+        t.domains.(slot - 1) <- Domain.spawn (fun () -> worker_loop t slot);
+        Obs.Counters.bump Obs.Counters.Pool_restarts)
+      dead;
+    List.length dead
+  end
+
+let dead_workers t =
+  Mutex.lock t.mutex;
+  let n = List.length t.dead_slots in
+  Mutex.unlock t.mutex;
+  n
+
+let wedged ?(budget_s = 1.0) t =
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.mutex;
+  let r =
+    List.filter
+      (fun i -> t.w_started.(i) > 0.0 && now -. t.w_started.(i) > budget_s)
+      (List.init t.pool_size Fun.id)
+  in
+  Mutex.unlock t.mutex;
+  r
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -95,8 +159,8 @@ let shutdown t =
     t.domains <- [||]
   end
 
-let with_pool ?size f =
-  let t = create ?size () in
+let with_pool ?size ?chaos f =
+  let t = create ?size ?chaos () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let map t f xs =
@@ -115,6 +179,10 @@ let map t f xs =
     match xs with
     | [] -> []
     | xs ->
+      (* Self-healing: respawn any workers that died since the last
+         batch, so injected kills degrade parallelism only briefly.
+         Correctness never depends on this — the submitter helps. *)
+      if t.chaos <> None then ignore (heal t : int);
       let arr = Array.of_list xs in
       let n = Array.length arr in
       let results = Array.make n None in
@@ -161,6 +229,7 @@ let map t f xs =
         end
       in
       wait_drain ();
+      if t.chaos <> None then ignore (heal t : int);
       (match !first_error with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ());
@@ -175,13 +244,22 @@ type 'a task_result =
   | Done of 'a
   | Failed of exn * Printexc.raw_backtrace
   | Timed_out of float
+  | Cancelled of float
 
 (* [map] with per-task fault isolation: each task gets its own
    cancellation token (tripping after [timeout_s], when given) and its
    exception — including {!Cancel.Cancelled} from the timeout — is
    captured in the result instead of poisoning the batch.  The wrapper
    task never raises, so the plain [map] machinery's first-error path
-   stays dormant and every element yields a verdict. *)
+   stays dormant and every element yields a verdict.
+
+   A {!Cancel.Cancelled} escape is classified from the token's latched
+   {!Cancel.reason}: a deadline trip is [Timed_out], an explicit trip
+   (batch cancellation, shutdown) is [Cancelled].  The pool's chaos
+   injector, when armed, consults its task stream once per attempt
+   right here — inside the isolation wrapper — so an injected crash
+   surfaces as [Failed] and an injected wedge is still bounded by the
+   task's own deadline. *)
 let map_result ?timeout_s ?cancel t f xs =
   map t
     (fun x ->
@@ -190,9 +268,18 @@ let map_result ?timeout_s ?cancel t f xs =
         | None -> Cancel.create ?timeout_s ()
         | Some parent -> Cancel.with_parent parent ?timeout_s ()
       in
-      match f ~cancel:token x with
+      match
+        (match t.chaos with
+        | Some c -> Chaos.apply_task c ~cancel:token
+        | None -> ());
+        f ~cancel:token x
+      with
       | r -> Done r
-      | exception Cancel.Cancelled -> Timed_out (Cancel.elapsed_s token)
+      | exception Cancel.Cancelled -> (
+        let el = Cancel.elapsed_s token in
+        match Cancel.reason token with
+        | Some Cancel.Deadline -> Timed_out el
+        | Some Cancel.Explicit | None -> Cancelled el)
       | exception e -> Failed (e, Printexc.get_raw_backtrace ()))
     xs
 

@@ -35,10 +35,16 @@ type t
 val default_size : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val create : ?size:int -> unit -> t
+val create : ?size:int -> ?chaos:Chaos.t -> unit -> t
 (** [create ~size ()] spawns [size - 1] worker domains
     (default size: {!default_size}).  @raise Invalid_argument when
-    [size < 1]. *)
+    [size < 1].
+
+    With [chaos], the pool consults the injector on every worker task
+    claim (kill stream) and inside every {!map_result} task (task
+    stream): injected crashes surface as [Failed] results, injected
+    kills exercise the requeue + {!heal} path.  Plain {!map} tasks are
+    not crash-injected — only the fault-isolated path is. *)
 
 val size : t -> int
 (** The parallelism degree [n] the pool was created with. *)
@@ -62,9 +68,13 @@ type 'a task_result =
   | Failed of exn * Printexc.raw_backtrace
       (** the task raised; the batch was unaffected *)
   | Timed_out of float
-      (** the task raised {!Cancel.Cancelled} (its token tripped, e.g.
-          past the [timeout_s] deadline); payload is the task's
-          elapsed wall-clock seconds *)
+      (** the task's token tripped on its {e deadline}
+          ({!Cancel.reason} = [Deadline], e.g. past the [timeout_s]
+          budget); payload is the task's elapsed wall-clock seconds *)
+  | Cancelled of float
+      (** the task's token was tripped {e explicitly}
+          ({!Cancel.reason} = [Explicit] — batch cancellation via
+          [?cancel], server shutdown); payload as for [Timed_out] *)
 
 val map_result :
   ?timeout_s:float ->
@@ -94,8 +104,32 @@ val shutdown : t -> unit
     concurrent {!map} is still drained (the caller of that map helps);
     new batches are rejected. *)
 
-val with_pool : ?size:int -> (t -> 'a) -> 'a
+val with_pool : ?size:int -> ?chaos:Chaos.t -> (t -> 'a) -> 'a
 (** [create], run, then {!shutdown} (also on exceptions). *)
+
+(** {1 Self-healing}
+
+    A worker domain that dies (an injected kill — or, symmetrically,
+    any exception escaping the worker loop) first requeues its claimed
+    task, so no batch ever loses work; the submitting thread's helping
+    guarantees the batch completes even with {e every} worker dead.
+    Healing restores parallelism, not correctness. *)
+
+val heal : t -> int
+(** Join and respawn every worker recorded dead since the last call,
+    bumping [Pool_restarts] per respawn; returns the number respawned.
+    Called automatically at batch boundaries when the pool has a chaos
+    injector; a serve-loop watchdog may also call it directly.  Safe
+    from any thread; a no-op (0) after {!shutdown}. *)
+
+val dead_workers : t -> int
+(** Workers currently dead and not yet healed. *)
+
+val wedged : ?budget_s:float -> t -> int list
+(** Worker slots that have been inside a {e single} task for more than
+    [budget_s] seconds (default 1.0) — the watchdog's view of a wedged
+    domain.  Advisory: a wedged domain cannot be killed, only reported
+    and (if the task polls its token) cancelled. *)
 
 (** {1 Utilization} *)
 

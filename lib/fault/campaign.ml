@@ -345,6 +345,14 @@ let run ?pool ?timeout_s ?checkpoint ?(resume = false) ?metrics
                   out_class = Aborted;
                   out_evidence = "classification died: " ^ Printexc.to_string e;
                 }
+              | Exec.Pool.Cancelled _ ->
+                {
+                  out_id = m.Mutate.mut_id;
+                  out_fault =
+                    Format.asprintf "%a" Mutate.pp_fault m.Mutate.mut_fault;
+                  out_class = Aborted;
+                  out_evidence = "classification cancelled explicitly";
+                }
             in
             Hashtbl.replace results m.Mutate.mut_id o)
           chunk rs;

@@ -22,6 +22,10 @@ type id =
   | Serve_cache_misses
   | Serve_coalesced
   | Serve_queue_hwm
+  | Serve_shed
+  | Serve_retries
+  | Serve_journal_replayed
+  | Pool_restarts
 
 let all =
   [
@@ -29,7 +33,8 @@ let all =
     Sim_cycles; Sim_retired; Seq_instructions; Obligations; Bmc_programs;
     Sweep_points; Plan_binds; Sessions; Pool_tasks; Pool_stolen; Pool_helped;
     Pool_inline; Pool_queue_hwm; Serve_requests; Serve_cache_hits;
-    Serve_cache_misses; Serve_coalesced; Serve_queue_hwm;
+    Serve_cache_misses; Serve_coalesced; Serve_queue_hwm; Serve_shed;
+    Serve_retries; Serve_journal_replayed; Pool_restarts;
   ]
 
 let index = function
@@ -56,8 +61,12 @@ let index = function
   | Serve_cache_misses -> 20
   | Serve_coalesced -> 21
   | Serve_queue_hwm -> 22
+  | Serve_shed -> 23
+  | Serve_retries -> 24
+  | Serve_journal_replayed -> 25
+  | Pool_restarts -> 26
 
-let n_ids = 23
+let n_ids = 27
 
 let name = function
   | Plan_runs -> "plan_runs"
@@ -83,6 +92,10 @@ let name = function
   | Serve_cache_misses -> "serve_cache_misses"
   | Serve_coalesced -> "serve_coalesced"
   | Serve_queue_hwm -> "serve_queue_hwm"
+  | Serve_shed -> "serve_shed"
+  | Serve_retries -> "serve_retries"
+  | Serve_journal_replayed -> "serve_journal_replayed"
+  | Pool_restarts -> "pool_restarts"
 
 let is_work = function
   | Plan_runs | Plan_ops | Cells_written | State_resets | Snapshot_words
@@ -91,7 +104,8 @@ let is_work = function
     true
   | Plan_binds | Sessions | Pool_tasks | Pool_stolen | Pool_helped
   | Pool_inline | Pool_queue_hwm | Serve_requests | Serve_cache_hits
-  | Serve_cache_misses | Serve_coalesced | Serve_queue_hwm ->
+  | Serve_cache_misses | Serve_coalesced | Serve_queue_hwm | Serve_shed
+  | Serve_retries | Serve_journal_replayed | Pool_restarts ->
     false
 
 let is_max = function Pool_queue_hwm | Serve_queue_hwm -> true | _ -> false

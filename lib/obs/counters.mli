@@ -50,6 +50,10 @@ type id =
   | Serve_cache_misses  (** verdict-cache lookups that had to evaluate *)
   | Serve_coalesced  (** duplicate in-batch requests folded into one run *)
   | Serve_queue_hwm  (** admission batch depth high-water mark (a [Max]) *)
+  | Serve_shed  (** requests rejected [Overloaded] by admission control *)
+  | Serve_retries  (** transient-failure task retries by the serve loop *)
+  | Serve_journal_replayed  (** requests recovered from the journal *)
+  | Pool_restarts  (** dead worker domains respawned by {!Exec.Pool.heal} *)
 
 val all : id list
 (** Every counter, in declaration order. *)

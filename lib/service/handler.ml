@@ -386,7 +386,8 @@ let cache_extra ~instructions (req : Request.t) =
           Printf.sprintf "seed=%d" seed;
         ])
 
-let handle ?env ?pool ?cancel ?checkpoint ?resume (req : Request.t) =
+let handle ?env ?pool ?cancel ?(cache_only = false) ?checkpoint ?resume
+    (req : Request.t) =
   Obs.Counters.bump Obs.Counters.Serve_requests;
   let id = req.Request.id in
   let respond ?cached payload = Response.ok ?id ?cached payload in
@@ -405,6 +406,11 @@ let handle ?env ?pool ?cancel ?checkpoint ?resume (req : Request.t) =
     in
     match cached_payload with
     | Some payload -> respond ~cached:true payload
+    | None when cache_only ->
+      (* Degraded mode: only cached answers are served; fresh
+         evaluation is refused so the queue can drain. *)
+      Response.fail ?id Response.Overloaded
+        "server is in cache-only degraded mode and this verdict is not cached"
     | None ->
       let payload =
         match req.Request.kind with
@@ -426,16 +432,43 @@ let handle ?env ?pool ?cancel ?checkpoint ?resume (req : Request.t) =
   with
   | Invalid_request msg -> Response.fail ?id Response.Usage msg
   | Check_failed msg -> Response.fail ?id Response.Failed_check msg
-  | Exec.Cancel.Cancelled ->
-    let detail =
+  | Exec.Cancel.Cancelled -> (
+    (* The token's latched reason decides the response class; a
+       deadline trip is a timeout, an explicit trip (shutdown, client
+       abandonment) is a cancellation.  No token in scope can only
+       mean some descendant deadline fired — a timeout. *)
+    let elapsed =
       match cancel with
-      | Some c ->
-        Printf.sprintf "request cancelled after %.2fs" (Exec.Cancel.elapsed_s c)
-      | None -> "request cancelled"
+      | Some c -> Printf.sprintf " after %.2fs" (Exec.Cancel.elapsed_s c)
+      | None -> ""
     in
-    Response.fail ?id Response.Timeout detail
+    match Option.bind cancel Exec.Cancel.reason with
+    | Some Exec.Cancel.Explicit ->
+      Response.fail ?id Response.Cancelled ("request cancelled" ^ elapsed)
+    | Some Exec.Cancel.Deadline | None ->
+      Response.fail ?id Response.Timeout ("request timed out" ^ elapsed))
   | Pipeline.Transform.Transform_error msg ->
     Response.fail ?id ~phase:"transform" Response.Internal msg
   | Hw.Expr.Ill_typed msg ->
     Response.fail ?id ~phase:"expr" Response.Internal msg
   | Sys_error msg | Failure msg -> Response.fail ?id Response.Internal msg
+
+(* Warm-start the verdict cache from a journaled (request, payload)
+   pair: recompute the content address the ordinary path would use and
+   install the payload under it.  Campaigns are never cached, and any
+   failure to rebuild the key (the kernel disappeared, the assembly
+   file moved) just skips the warm — replay correctness does not
+   depend on it, only cache hit rates do. *)
+let warm ~env (req : Request.t) payload =
+  match req.Request.kind with
+  | Request.Campaign _ -> ()
+  | _ -> (
+    try
+      let s = select ~env req.Request.spec in
+      match cache_extra ~instructions:(sel_instructions s) req with
+      | Some extra ->
+        Cache.add env.env_verdicts
+          (Cache.key ~kind:(Request.kind_name req) ~extra (sel_tr s))
+          payload
+      | None -> ()
+    with _ -> ())

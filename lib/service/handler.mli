@@ -64,15 +64,28 @@ val handle :
   ?env:env ->
   ?pool:Exec.Pool.t ->
   ?cancel:Exec.Cancel.token ->
+  ?cache_only:bool ->
   ?checkpoint:string ->
   ?resume:bool ->
   Request.t ->
   Response.t
 (** Evaluate one request.  Never raises: usage errors become [Usage]
-    responses, {!Exec.Cancel.Cancelled} becomes a [Timeout] error
-    (cooperative cancellation is a typed result, not an escape), and
-    engine exceptions become [Internal] errors.  [cancel] is polled by
-    the simulators and checkers; [pool] fans out the obligation suite
-    and campaign mutants; [checkpoint]/[resume] are the campaign's
-    operational knobs ({!Fault.Campaign.run}) — per the {!Request}
-    contract they stay with the caller, not on the wire. *)
+    responses, {!Exec.Cancel.Cancelled} becomes a [Timeout] error on a
+    deadline trip and a [Cancelled] error on an explicit one (the
+    token's {!Exec.Cancel.reason} decides — cooperative cancellation
+    is a typed result, not an escape), and engine exceptions become
+    [Internal] errors.  [cancel] is polled by the simulators and
+    checkers; [pool] fans out the obligation suite and campaign
+    mutants; [checkpoint]/[resume] are the campaign's operational
+    knobs ({!Fault.Campaign.run}) — per the {!Request} contract they
+    stay with the caller, not on the wire.
+
+    With [cache_only] (the serve loop's degraded mode) a cache miss is
+    answered [Overloaded] instead of evaluated. *)
+
+val warm : env:env -> Request.t -> Response.payload -> unit
+(** Install a journaled payload into the verdict cache under the key
+    the ordinary path would compute for this request.  Campaigns (not
+    cacheable) and requests whose selection no longer resolves are
+    skipped silently — warming is an optimization, never a correctness
+    dependency. *)

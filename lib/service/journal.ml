@@ -1,0 +1,185 @@
+module J = Obs.Json
+
+(* The write-ahead request journal: crash-only durability for serve.
+
+   Append-only JSONL, two record shapes:
+
+     {"journal":1,"op":"admit","seq":N,"line":"<raw request line>"}
+     {"journal":1,"op":"done","seq":N,"response":"<raw response line>"}
+
+   An admitted batch is journaled (one write, one fsync) *before*
+   evaluation starts; each completed verdict is journaled after.  The
+   raw wire lines are stored verbatim — not re-encoded — so replay can
+   re-admit a request byte-identically and re-emit a completed
+   response byte-identically without trusting any codec round-trip.
+
+   Recovery reads the journal back tolerating a torn final line (the
+   crash may have landed mid-write); [admit] records without a
+   matching [done] are the unfinished requests.  The journal is
+   truncated only on a *clean* end-of-input shutdown — a signal or a
+   crash leaves it in place for the next process, which is the whole
+   point. *)
+
+let version = 1
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_seq : int;
+  mutex : Mutex.t;
+}
+
+type entry = {
+  seq : int;
+  line : string;  (* the admitted request, verbatim *)
+  response : string option;  (* the completed response, verbatim *)
+}
+
+let record_of_line line =
+  match J.parse line with
+  | Error _ -> None
+  | Ok j -> (
+    let int_ k = Option.bind (J.member k j) J.to_int_opt in
+    let str k = Option.bind (J.member k j) J.to_string_opt in
+    match (int_ "journal", str "op", int_ "seq") with
+    | Some v, Some "admit", Some seq when v = version ->
+      Option.map (fun l -> `Admit (seq, l)) (str "line")
+    | Some v, Some "done", Some seq when v = version ->
+      Option.map (fun r -> `Done (seq, r)) (str "response")
+    | _ -> None)
+
+(* Read every intact record.  A torn trailing line (no '\n', or
+   unparseable) is skipped: its write never completed, so the entry it
+   was journaling is simply treated as absent. *)
+let read_records path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let records = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             match record_of_line line with
+             | Some r -> records := r :: !records
+             | None -> ()
+           done
+         with End_of_file -> ());
+        List.rev !records)
+  end
+
+let read path =
+  let records = read_records path in
+  let tbl : (int, string * string option) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (function
+      | `Admit (seq, line) ->
+        if not (Hashtbl.mem tbl seq) then begin
+          Hashtbl.add tbl seq (line, None);
+          order := seq :: !order
+        end
+      | `Done (seq, response) -> (
+        match Hashtbl.find_opt tbl seq with
+        | Some (line, None) -> Hashtbl.replace tbl seq (line, Some response)
+        | Some (_, Some _) | None -> ()))
+    records;
+  List.rev_map
+    (fun seq ->
+      let line, response = Hashtbl.find tbl seq in
+      { seq; line; response })
+    !order
+
+let max_seq path =
+  List.fold_left
+    (fun acc -> function
+      | `Admit (seq, _) | `Done (seq, _) -> max acc seq)
+    (-1) (read_records path)
+
+let open_ path =
+  let next_seq = max_seq path + 1 in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  { fd; next_seq; mutex = Mutex.create () }
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let encode_admit seq line =
+  J.to_string ~minify:true
+    (J.Obj
+       [
+         ("journal", J.Int version);
+         ("op", J.String "admit");
+         ("seq", J.Int seq);
+         ("line", J.String line);
+       ])
+
+let encode_done seq response =
+  J.to_string ~minify:true
+    (J.Obj
+       [
+         ("journal", J.Int version);
+         ("op", J.String "done");
+         ("seq", J.Int seq);
+         ("response", J.String response);
+       ])
+
+(* One buffer, one write, one fsync for the whole batch: admission
+   latency pays a single synchronous disk round-trip per batch, not
+   per request. *)
+let append_admits t lines =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let buf = Buffer.create 256 in
+      let seqs =
+        List.map
+          (fun line ->
+            let seq = t.next_seq in
+            t.next_seq <- seq + 1;
+            Buffer.add_string buf (encode_admit seq line);
+            Buffer.add_char buf '\n';
+            seq)
+          lines
+      in
+      if seqs <> [] then begin
+        write_all t.fd (Buffer.contents buf);
+        Unix.fsync t.fd
+      end;
+      seqs)
+
+let append_done t pairs =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match pairs with
+      | [] -> ()
+      | pairs ->
+        let buf = Buffer.create 256 in
+        List.iter
+          (fun (seq, response) ->
+            Buffer.add_string buf (encode_done seq response);
+            Buffer.add_char buf '\n')
+          pairs;
+        write_all t.fd (Buffer.contents buf);
+        Unix.fsync t.fd)
+
+let truncate t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Unix.ftruncate t.fd 0;
+      t.next_seq <- 0)
+
+let close t = Unix.close t.fd

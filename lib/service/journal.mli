@@ -1,0 +1,55 @@
+(** The write-ahead request journal behind [pipegen serve --journal].
+
+    Crash-only durability for the serve loop: admitted request lines
+    are journaled (and fsync'd, one batch per disk round-trip)
+    {e before} evaluation starts, completed responses after.  A
+    restarted server {!read}s the journal, re-emits the completed
+    responses verbatim (and warm-starts the verdict cache from them),
+    and re-evaluates the unfinished remainder — at-least-once delivery
+    whose responses are byte-identical thanks to the content-addressed
+    cache keys, so clients deduplicate by request id alone.
+
+    The wire lines are stored {e verbatim} inside the journal records;
+    replay never re-encodes, so it cannot drift from what the client
+    actually sent or was sent.
+
+    The format is append-only JSONL ([{"journal":1,"op":"admit",...}]
+    / [{"op":"done",...}]); a torn final line from a mid-write crash
+    is tolerated and simply dropped.  {!truncate} runs only on a clean
+    end-of-input shutdown — SIGTERM and SIGKILL leave the journal for
+    the next process, by design. *)
+
+type t
+
+val open_ : string -> t
+(** Open (or create) a journal for appending.  Sequence numbering
+    continues from the highest seq already present, so replayed-then-
+    new workloads never collide. *)
+
+val append_admits : t -> string list -> int list
+(** Journal a batch of admitted raw request lines; returns their
+    sequence numbers, in order.  One write + one [fsync] for the whole
+    batch.  Thread-safe. *)
+
+val append_done : t -> (int * string) list -> unit
+(** Journal completed [(seq, raw response line)] pairs, then [fsync].
+    Thread-safe. *)
+
+val truncate : t -> unit
+(** Empty the journal (clean-shutdown path only: every admitted
+    request has been answered on the wire). *)
+
+val close : t -> unit
+
+(** {1 Recovery} *)
+
+type entry = {
+  seq : int;
+  line : string;  (** the admitted request line, verbatim *)
+  response : string option;
+      (** the completed response line, verbatim; [None] = unfinished *)
+}
+
+val read : string -> entry list
+(** Parse a journal file into entries ordered by admission.  Missing
+    file = no entries; torn or foreign trailing lines are skipped. *)

@@ -40,9 +40,15 @@ type kind =
       lanes : bool;
     }
 
-type t = { id : string option; spec : spec; kind : kind }
+type t = {
+  id : string option;
+  spec : spec;
+  kind : kind;
+  deadline_s : float option;
+}
 
-let make ?id ?(spec = default_spec) kind = { id; spec; kind }
+let make ?id ?deadline_s ?(spec = default_spec) kind =
+  { id; spec; kind; deadline_s }
 
 let kind_name t =
   match t.kind with
@@ -72,6 +78,9 @@ let to_json t =
   let put k v = fields := (k, v) :: !fields in
   put "pipegen" (J.Int version);
   (match t.id with None -> () | Some id -> put "id" (J.String id));
+  (match t.deadline_s with
+  | None -> ()
+  | Some d -> put "deadline_s" (J.Float d));
   put "kind" (J.String (kind_name t));
   put "machine" (J.String (Machine_spec.to_string t.spec.machine));
   (match t.spec.kernel with None -> () | Some k -> put "kernel" (J.String k));
@@ -222,6 +231,11 @@ let of_json j =
           version
       | Some _ -> ());
       let id = get_string fs "id" in
+      let deadline_s =
+        match get_float fs "deadline_s" with
+        | Some d when d <= 0.0 -> reject "$.deadline_s" "deadline must be positive"
+        | d -> d
+      in
       let kind_s =
         match get_string fs "kind" with
         | Some k -> k
@@ -233,7 +247,7 @@ let of_json j =
       | [] -> ()
       | (key, _) :: _ ->
         reject ("$." ^ key) "unknown field %S for kind %s" key kind_s);
-      Ok { id; spec; kind }
+      Ok { id; spec; kind; deadline_s }
     with Reject e -> Error e)
   | _ -> Error { path = "$"; message = "expected a JSON object" }
 

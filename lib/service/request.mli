@@ -62,9 +62,22 @@ type kind =
               to the scalar sweep *)
     }
 
-type t = { id : string option; spec : spec; kind : kind }
+type t = {
+  id : string option;
+  spec : spec;
+  kind : kind;
+  deadline_s : float option;
+      (** client deadline, seconds from admission: the serve loop
+          rejects the request [Overloaded] when the projected queue
+          wait already exceeds it, and otherwise evaluates under a
+          cancellation deadline of this budget (a trip is a [Timeout]
+          response).  [None] = the server's [--timeout] policy alone.
+          Note duplicate coalescing keys on the full canonical
+          encoding, so requests differing only in deadline do not
+          coalesce. *)
+}
 
-val make : ?id:string -> ?spec:spec -> kind -> t
+val make : ?id:string -> ?deadline_s:float -> ?spec:spec -> kind -> t
 
 val kind_name : t -> string
 (** The wire name of the request kind, e.g. ["verify"]. *)

@@ -27,9 +27,20 @@ type payload =
     }
   | Sweep_rows of { rows : (float * Workload.Stats.row) list; text : string }
 
-type error_code = Usage | Failed_check | Timeout | Cancelled | Internal
+type error_code =
+  | Usage
+  | Failed_check
+  | Timeout
+  | Cancelled
+  | Overloaded
+  | Internal
 
-type error = { code : error_code; message : string; phase : string option }
+type error = {
+  code : error_code;
+  message : string;
+  phase : string option;
+  retry_after_s : float option;
+}
 
 type t = {
   id : string option;
@@ -39,13 +50,13 @@ type t = {
 
 let ok ?id ?(cached = false) payload = { id; cached; result = Ok payload }
 
-let fail ?id ?phase code message =
-  { id; cached = false; result = Error { code; message; phase } }
+let fail ?id ?phase ?retry_after_s code message =
+  { id; cached = false; result = Error { code; message; phase; retry_after_s } }
 
 let error_exit_code = function
   | Usage -> 2
   | Failed_check | Timeout -> 3
-  | Internal | Cancelled -> 1
+  | Internal | Cancelled | Overloaded -> 1
 
 let exit_code t =
   match t.result with
@@ -94,6 +105,7 @@ let code_label = function
   | Failed_check -> "failed_check"
   | Timeout -> "timeout"
   | Cancelled -> "cancelled"
+  | Overloaded -> "overloaded"
   | Internal -> "internal"
 
 let code_of_label = function
@@ -101,6 +113,7 @@ let code_of_label = function
   | "failed_check" -> Some Failed_check
   | "timeout" -> Some Timeout
   | "cancelled" -> Some Cancelled
+  | "overloaded" -> Some Overloaded
   | "internal" -> Some Internal
   | _ -> None
 
@@ -203,7 +216,11 @@ let to_json t =
           ("error", J.String (code_label e.code));
           ("message", J.String e.message);
         ]
-      @ match e.phase with None -> [] | Some p -> [ ("phase", J.String p) ])
+      @ (match e.phase with None -> [] | Some p -> [ ("phase", J.String p) ])
+      @
+      match e.retry_after_s with
+      | None -> []
+      | Some r -> [ ("retry_after_s", J.Float r) ])
 
 let to_string t = J.to_string ~minify:true (to_json t)
 
@@ -337,7 +354,19 @@ let of_json j =
     else (
       match (Option.bind (str "error" j) code_of_label, str "message" j) with
       | Some code, Some message ->
-        Ok { id; cached; result = Error { code; message; phase = str "phase" j } }
+        Ok
+          {
+            id;
+            cached;
+            result =
+              Error
+                {
+                  code;
+                  message;
+                  phase = str "phase" j;
+                  retry_after_s = float_ "retry_after_s" j;
+                };
+          }
       | _ -> Error "malformed error response")
 
 let of_string s =

@@ -13,7 +13,8 @@
     {- [0] — success, including a [proof] whose obligations failed
        (the script itself is the deliverable);}
     {- [1] — internal error (a transform bug, an ill-typed expression,
-       an I/O failure), or a cancelled request;}
+       an I/O failure), a cancelled request, or a shed ([Overloaded])
+       one — retryable, unlike everything else in this class;}
     {- [2] — usage error (unknown machine/kernel, malformed request);}
     {- [3] — a failed check: verification failed, a campaign missed a
        mutant, a simulation deadlocked, or the request timed out.}} *)
@@ -46,12 +47,24 @@ type payload =
     }
   | Sweep_rows of { rows : (float * Workload.Stats.row) list; text : string }
 
-type error_code = Usage | Failed_check | Timeout | Cancelled | Internal
+type error_code =
+  | Usage
+  | Failed_check
+  | Timeout
+  | Cancelled
+  | Overloaded
+      (** shed by admission control (queue full, deadline unmeetable,
+          or cache-only degraded mode) — never evaluated; safe to
+          retry after [retry_after_s] *)
+  | Internal
 
 type error = {
   code : error_code;
   message : string;
   phase : string option;  (** failing phase, when the taxonomy knows it *)
+  retry_after_s : float option;
+      (** [Overloaded] only: the server's backoff hint, derived from
+          its recent per-request service time *)
 }
 
 type t = {
@@ -61,11 +74,14 @@ type t = {
 }
 
 val ok : ?id:string -> ?cached:bool -> payload -> t
-val fail : ?id:string -> ?phase:string -> error_code -> string -> t
+
+val fail :
+  ?id:string -> ?phase:string -> ?retry_after_s:float -> error_code ->
+  string -> t
 
 val error_exit_code : error_code -> int
 (** [Usage -> 2], [Failed_check | Timeout -> 3],
-    [Internal | Cancelled -> 1]. *)
+    [Internal | Cancelled | Overloaded -> 1]. *)
 
 val exit_code : t -> int
 (** The process exit status this response maps to: 0 for a clean

@@ -4,6 +4,10 @@ type config = {
   capacity : int;
   metrics_out : string option;
   socket : string option;
+  journal : string option;
+  max_queue : int;
+  retries : int;
+  chaos : Exec.Chaos.config option;
 }
 
 let default_config =
@@ -13,7 +17,40 @@ let default_config =
     capacity = 256;
     metrics_out = None;
     socket = None;
+    journal = None;
+    max_queue = 256;
+    retries = 2;
+    chaos = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Mutable across batches, touched only by the serve thread.  The
+   EWMA of per-request service time drives both the [retry_after_s]
+   hint on shed responses and the deadline-based early reject; the
+   hot-batch counter is the degrade hysteresis (3 consecutive
+   shedding batches switch evaluation to cache-only, a half-empty
+   queue switches back). *)
+type admission = {
+  adm_max_queue : int;
+  adm_retries : int;
+  mutable degraded : bool;
+  mutable hot_batches : int;
+  mutable ewma_ms : float;
+}
+
+let make_admission ?(max_queue = 256) ?(retries = 2) () =
+  {
+    adm_max_queue = max_queue;
+    adm_retries = retries;
+    degraded = false;
+    hot_batches = 0;
+    ewma_ms = 50.0;
+  }
+
+let degraded a = a.degraded
 
 (* ------------------------------------------------------------------ *)
 (* Batch admission                                                    *)
@@ -24,7 +61,7 @@ type role =
   | Leader of Request.t
   | Follower of int * Request.t  (* index of the leader *)
 
-let process_batch ~env ~pool ?timeout_s ?cancel ?latency lines =
+let process_batch ~env ~pool ?timeout_s ?cancel ?latency ?admission lines =
   let n = List.length lines in
   Obs.Counters.record_max Obs.Counters.Serve_queue_hwm n;
   let seen = Hashtbl.create 16 in
@@ -52,6 +89,45 @@ let process_batch ~env ~pool ?timeout_s ?cancel ?latency lines =
          | i, Leader req -> Some (i, req)
          | _, (Malformed _ | Follower _) -> None)
   in
+  let jobs = max 1 (Exec.Pool.size pool) in
+  (* Admission: shed the leaders past the queue bound, then the ones
+     whose projected queue wait already exceeds their own deadline.
+     Both get typed [Overloaded] responses carrying a retry-after hint
+     and never reach evaluation. *)
+  let cache_only, kept, shed =
+    match admission with
+    | None -> (false, leaders, [])
+    | Some a ->
+      let ewma_s = a.ewma_ms /. 1000.0 in
+      let retry_after =
+        Float.max 0.01
+          (ewma_s *. float_of_int (List.length leaders) /. float_of_int jobs)
+      in
+      let kept = ref [] and shed = ref [] in
+      List.iteri
+        (fun ord (i, (req : Request.t)) ->
+          if ord >= a.adm_max_queue then
+            shed := (i, req, "queue full (max-queue exceeded)") :: !shed
+          else
+            match req.Request.deadline_s with
+            | Some d
+              when ewma_s *. float_of_int ord /. float_of_int jobs > d ->
+              shed :=
+                (i, req, "projected queue wait exceeds request deadline")
+                :: !shed
+            | _ -> kept := (i, req) :: !kept)
+        leaders;
+      let kept = List.rev !kept and shed_l = List.rev !shed in
+      if shed_l <> [] then a.hot_batches <- a.hot_batches + 1
+      else if 2 * List.length leaders <= a.adm_max_queue then begin
+        a.hot_batches <- 0;
+        a.degraded <- false
+      end;
+      if a.hot_batches >= 3 then a.degraded <- true;
+      ( a.degraded,
+        kept,
+        List.map (fun (i, req, msg) -> (i, req, msg, retry_after)) shed_l )
+  in
   let observe_latency f =
     match latency with
     | None -> f ()
@@ -62,17 +138,65 @@ let process_batch ~env ~pool ?timeout_s ?cancel ?latency lines =
           Obs.Metrics.observe h ((Unix.gettimeofday () -. t0) *. 1000.0))
         f
   in
-  let outcomes =
+  let eval_batch items =
     Exec.Pool.map_result ?timeout_s ?cancel pool
-      (fun ~cancel (_, req) ->
-        observe_latency (fun () -> Handler.handle ~env ~pool ~cancel req))
-      leaders
+      (fun ~cancel (_, (req : Request.t)) ->
+        (* The request's own deadline rides as one more child token:
+           server timeout, client deadline and shutdown all trip the
+           same cooperative chain, and [Cancel.reason] keeps Timeout
+           vs Cancelled straight. *)
+        let cancel =
+          match req.Request.deadline_s with
+          | None -> cancel
+          | Some d -> Exec.Cancel.with_parent cancel ~timeout_s:d ()
+        in
+        observe_latency (fun () ->
+            Handler.handle ~env ~pool ~cancel ~cache_only req))
+      items
   in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Array.of_list (eval_batch kept) in
+  let kept_arr = Array.of_list kept in
+  (* Bounded retry with backoff for transient failures: evaluation is
+     pure, so re-running a crashed task is safe.  Only [Failed]
+     outcomes retry — timeouts and cancellations are answers. *)
+  let retries =
+    match admission with Some a -> a.adm_retries | None -> 0
+  in
+  let rec retry_round attempt =
+    if attempt <= retries then begin
+      let failed = ref [] in
+      Array.iteri
+        (fun j o ->
+          match o with Exec.Pool.Failed _ -> failed := j :: !failed | _ -> ())
+        outcomes;
+      let failed = List.rev !failed in
+      if failed <> [] then begin
+        Unix.sleepf (0.001 *. float_of_int (1 lsl (attempt - 1)));
+        List.iter
+          (fun _ -> Obs.Counters.bump Obs.Counters.Serve_retries)
+          failed;
+        let redo = eval_batch (List.map (fun j -> kept_arr.(j)) failed) in
+        List.iter2 (fun j o -> outcomes.(j) <- o) failed redo;
+        retry_round (attempt + 1)
+      end
+    end
+  in
+  retry_round 1;
+  (match admission with
+  | Some a when kept <> [] ->
+    let per_req_ms =
+      (Unix.gettimeofday () -. t0)
+      *. 1000.0
+      /. float_of_int (List.length kept)
+    in
+    a.ewma_ms <- (0.8 *. a.ewma_ms) +. (0.2 *. per_req_ms)
+  | _ -> ());
   let responses = Array.make (Array.length roles) None in
-  List.iter2
-    (fun (i, (req : Request.t)) outcome ->
+  Array.iteri
+    (fun j (i, (req : Request.t)) ->
       let resp =
-        match outcome with
+        match outcomes.(j) with
         | Exec.Pool.Done resp -> resp
         | Exec.Pool.Failed (e, _) ->
           Response.fail ?id:req.Request.id Response.Internal
@@ -80,9 +204,20 @@ let process_batch ~env ~pool ?timeout_s ?cancel ?latency lines =
         | Exec.Pool.Timed_out elapsed ->
           Response.fail ?id:req.Request.id Response.Timeout
             (Printf.sprintf "request timed out after %.2fs" elapsed)
+        | Exec.Pool.Cancelled elapsed ->
+          Response.fail ?id:req.Request.id Response.Cancelled
+            (Printf.sprintf "request cancelled after %.2fs" elapsed)
       in
       responses.(i) <- Some resp)
-    leaders outcomes;
+    kept_arr;
+  List.iter
+    (fun (i, (req : Request.t), msg, retry_after) ->
+      Obs.Counters.bump Obs.Counters.Serve_shed;
+      responses.(i) <-
+        Some
+          (Response.fail ?id:req.Request.id ~retry_after_s:retry_after
+             Response.Overloaded msg))
+    shed;
   Array.iteri
     (fun i role ->
       match role with
@@ -108,6 +243,12 @@ let process_batch ~env ~pool ?timeout_s ?cancel ?latency lines =
 (* ------------------------------------------------------------------ *)
 (* Line transport                                                     *)
 (* ------------------------------------------------------------------ *)
+
+exception Client_gone
+(* The peer vanished mid-conversation (EPIPE/ECONNRESET).  Fails this
+   connection only: the socket accept loop moves to the next client,
+   the daemon never dies.  SIGPIPE is ignored in [run] so the write
+   error surfaces here instead of killing the process. *)
 
 (* A buffered fd reader that can both block for the next line and
    greedily drain whatever further complete lines have already
@@ -147,6 +288,10 @@ let refill ~shutdown r =
         false
       end
       else read ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      (* a vanished client is EOF, not a daemon failure *)
+      r.eof <- true;
+      false
   in
   read ()
 
@@ -193,14 +338,71 @@ let write_all fd s =
       match Unix.write fd b off (Bytes.length b - off) with
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Client_gone
   in
   go 0
+
+(* ------------------------------------------------------------------ *)
+(* Journal replay                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Recovery on restart: completed journal entries are re-emitted
+   verbatim (and warm the verdict cache), unfinished ones are
+   re-admitted as one batch whose done-records land on their original
+   sequence numbers.  At-least-once overall; responses are
+   byte-identical thanks to the journaled raw lines and the
+   content-addressed evaluation, so clients dedup by id. *)
+let replay ~env ~pool ~cfg ~shutdown ~latency ~admission journal emit =
+  match cfg.journal with
+  | None -> ()
+  | Some path ->
+    let entries = Journal.read path in
+    List.iter
+      (fun (e : Journal.entry) ->
+        match e.Journal.response with
+        | None -> ()
+        | Some resp_line ->
+          (match
+             (Request.of_string e.Journal.line, Response.of_string resp_line)
+           with
+          | Ok req, Ok { Response.result = Ok payload; _ } ->
+            Handler.warm ~env req payload
+          | _ -> ());
+          Obs.Counters.bump Obs.Counters.Serve_journal_replayed;
+          emit resp_line)
+      entries;
+    let pending =
+      List.filter (fun e -> e.Journal.response = None) entries
+    in
+    if pending <> [] && not (Exec.Cancel.cancelled shutdown) then begin
+      let responses =
+        process_batch ~env ~pool ?timeout_s:cfg.timeout_s ~cancel:shutdown
+          ~latency ~admission
+          (List.map (fun e -> e.Journal.line) pending)
+      in
+      let dones = ref [] in
+      List.iter2
+        (fun (e : Journal.entry) resp ->
+          let line = Response.to_string resp in
+          (match resp.Response.result with
+          | Error { Response.code = Response.Cancelled | Response.Overloaded;
+                    _ } ->
+            (* still unanswered in substance: stays pending *)
+            ()
+          | _ -> dones := (e.Journal.seq, line) :: !dones);
+          Obs.Counters.bump Obs.Counters.Serve_journal_replayed;
+          emit line)
+        pending responses;
+      Journal.append_done journal (List.rev !dones)
+    end
 
 (* ------------------------------------------------------------------ *)
 (* The loop                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let serve_fds ~env ~pool ~cfg ~shutdown ~latency ~depth in_fd out_fd =
+let serve_fds ~env ~pool ~cfg ~shutdown ~latency ~depth ~admission ~journal
+    ~watchdog in_fd out_fd =
   let r = reader in_fd in
   let rec loop () =
     match next_line ~shutdown r with
@@ -208,13 +410,35 @@ let serve_fds ~env ~pool ~cfg ~shutdown ~latency ~depth in_fd out_fd =
     | Some first ->
       let batch = first :: drain_available ~shutdown r in
       Obs.Metrics.set depth (float_of_int (List.length batch));
+      (* Write-ahead: the batch is journaled and fsync'd before any
+         evaluation starts, so a crash from here on loses nothing. *)
+      let seqs =
+        match journal with
+        | None -> []
+        | Some j -> Journal.append_admits j batch
+      in
       let responses =
         process_batch ~env ~pool ?timeout_s:cfg.timeout_s ~cancel:shutdown
-          ~latency batch
+          ~latency ~admission batch
       in
-      List.iter
-        (fun resp -> write_all out_fd (Response.to_string resp ^ "\n"))
-        responses;
+      let lines = List.map Response.to_string responses in
+      (match journal with
+      | None -> ()
+      | Some j ->
+        let dones =
+          List.filter_map
+            (fun (seq, (resp, line)) ->
+              match resp.Response.result with
+              | Error
+                  { Response.code = Response.Cancelled | Response.Overloaded;
+                    _ } ->
+                None
+              | _ -> Some (seq, line))
+            (List.combine seqs (List.combine responses lines))
+        in
+        Journal.append_done j dones);
+      watchdog ();
+      List.iter (fun line -> write_all out_fd (line ^ "\n")) lines;
       loop ()
   in
   loop ()
@@ -245,27 +469,73 @@ let run ?(config = default_config) () =
     let stop _ = Exec.Cancel.cancel shutdown in
     let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle stop) in
     let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop) in
+    (* A client that hangs up mid-response must surface as EPIPE on
+       the write (handled per connection), not as a process kill. *)
+    let prev_pipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ -> None
+    in
     let metrics = Obs.Metrics.create () in
     let latency = Obs.Metrics.histogram metrics "serve.latency_ms" in
     let depth = Obs.Metrics.gauge metrics "serve.batch_depth" in
+    let restarts_g = Obs.Metrics.gauge metrics "serve.pool_restarts" in
+    let wedged_g = Obs.Metrics.gauge metrics "serve.wedged_domains" in
     let env = Handler.create_env ~capacity:config.capacity ~metrics () in
+    let admission =
+      make_admission ~max_queue:config.max_queue ~retries:config.retries ()
+    in
+    let chaos = Option.map Exec.Chaos.create config.chaos in
+    let journal = Option.map Journal.open_ config.journal in
     let code =
       Fun.protect
         ~finally:(fun () ->
           Sys.set_signal Sys.sigint prev_int;
           Sys.set_signal Sys.sigterm prev_term;
+          Option.iter (Sys.set_signal Sys.sigpipe) prev_pipe;
+          Option.iter Journal.close journal;
           Option.iter
             (fun path -> write_metrics ~metrics path)
             config.metrics_out)
         (fun () ->
           try
-            Exec.Pool.with_pool ~size:config.jobs (fun pool ->
+            Exec.Pool.with_pool ~size:config.jobs ?chaos (fun pool ->
+                (* The self-healing watchdog: respawn dead workers,
+                   surface restart and wedge counts, once per batch. *)
+                let watchdog () =
+                  ignore (Exec.Pool.heal pool : int);
+                  Obs.Metrics.set restarts_g
+                    (float_of_int
+                       (Obs.Counters.get Obs.Counters.Pool_restarts));
+                  Obs.Metrics.set wedged_g
+                    (float_of_int
+                       (List.length (Exec.Pool.wedged pool)))
+                in
                 match config.socket with
                 | None ->
+                  (* stdio: replayed responses go to the client too *)
+                  (match journal with
+                  | None -> ()
+                  | Some j ->
+                    replay ~env ~pool ~cfg:config ~shutdown ~latency
+                      ~admission j (fun line ->
+                        write_all Unix.stdout (line ^ "\n")));
                   serve_fds ~env ~pool ~cfg:config ~shutdown ~latency ~depth
-                    Unix.stdin Unix.stdout;
+                    ~admission ~journal ~watchdog Unix.stdin Unix.stdout;
+                  (* Clean end-of-input shutdown: every admitted
+                     request was answered on the wire, so the journal
+                     is done.  A signal (or crash) skips this — the
+                     journal stays for the next process. *)
+                  if not (Exec.Cancel.cancelled shutdown) then
+                    Option.iter Journal.truncate journal;
                   0
                 | Some path ->
+                  (* socket: no client to re-emit to; replay completes
+                     unfinished work into journal + verdict cache *)
+                  (match journal with
+                  | None -> ()
+                  | Some j ->
+                    replay ~env ~pool ~cfg:config ~shutdown ~latency
+                      ~admission j (fun _ -> ()));
                   if Sys.file_exists path then Sys.remove path;
                   let sock =
                     Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
@@ -287,18 +557,25 @@ let run ?(config = default_config) () =
                                 try Unix.close client
                                 with Unix.Unix_error _ -> ())
                               (fun () ->
-                                serve_fds ~env ~pool ~cfg:config ~shutdown
-                                  ~latency ~depth client client);
+                                try
+                                  serve_fds ~env ~pool ~cfg:config ~shutdown
+                                    ~latency ~depth ~admission ~journal
+                                    ~watchdog client client
+                                with Client_gone -> ());
                             accept_loop ()
                           | exception Unix.Unix_error (Unix.EINTR, _, _) ->
                             accept_loop ()
                       in
                       accept_loop ();
                       0))
-          with Unix.Unix_error (e, fn, _) ->
+          with
+          | Unix.Unix_error (e, fn, _) ->
             Printf.eprintf "pipegen: serve: %s: %s\n%!" fn
               (Unix.error_message e);
-            1)
+            1
+          | Client_gone ->
+            (* stdout vanished under stdio mode: nothing left to say *)
+            0)
     in
     code
   end

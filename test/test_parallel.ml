@@ -146,7 +146,8 @@ let test_map_result_failure_isolated () =
         Alcotest.(check string) "failure message"
           ("boom" ^ string_of_int i) msg
       | Pool.Failed _ -> Alcotest.fail "unexpected exception kind"
-      | Pool.Timed_out _ -> Alcotest.fail "unexpected timeout")
+      | Pool.Timed_out _ -> Alcotest.fail "unexpected timeout"
+      | Pool.Cancelled _ -> Alcotest.fail "unexpected cancellation")
     rs;
   Alcotest.(check (list int)) "pool reusable after failures" [ 2; 4; 6 ]
     (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ])
@@ -193,6 +194,106 @@ let test_map_result_nested_under_failure () =
     Alcotest.(check (list int)) "nested under failure 1" [ 10; 11; 12 ] r1;
     Alcotest.(check (list int)) "nested under failure 2" [ 20; 21; 22 ] r2
   | _ -> Alcotest.fail "expected [Failed; Done; Done]"
+
+let test_map_result_explicit_cancel_typed () =
+  (* An explicitly tripped batch token yields Cancelled (not
+     Timed_out): the token's latched reason classifies the result. *)
+  Pool.with_pool ~size:2 @@ fun pool ->
+  let cancel = Exec.Cancel.create () in
+  Exec.Cancel.cancel cancel;
+  (match
+     Pool.map_result ~cancel pool
+       (fun ~cancel x ->
+         Exec.Cancel.check cancel;
+         x)
+       [ 0; 1 ]
+   with
+  | [ Pool.Cancelled _; Pool.Cancelled _ ] -> ()
+  | [ Pool.Timed_out _; _ ] | [ _; Pool.Timed_out _ ] ->
+    Alcotest.fail "explicit cancel misclassified as a timeout"
+  | _ -> Alcotest.fail "expected two Cancelled results");
+  (* ...while a deadline trip still reports Timed_out. *)
+  match
+    Pool.map_result ~timeout_s:0.0 pool
+      (fun ~cancel _ ->
+        Unix.sleepf 0.002;
+        Exec.Cancel.check cancel)
+      [ () ]
+  with
+  | [ Pool.Timed_out _ ] -> ()
+  | _ -> Alcotest.fail "expected a Timed_out result"
+
+(* ------------------------------------------------------------------ *)
+(* Chaos injection and self-healing                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_crash_budget_exact () =
+  (* Budgets turn probabilities into exact counts: crash = 1.0 with a
+     budget of 3 fails exactly the first three draws, wherever the
+     scheduler happens to land them, and every other task completes
+     with the right value. *)
+  let chaos =
+    Exec.Chaos.create
+      {
+        Exec.Chaos.default_config with
+        Exec.Chaos.seed = 3;
+        crash = 1.0;
+        crash_budget = Some 3;
+      }
+  in
+  Pool.with_pool ~size:3 ~chaos @@ fun pool ->
+  let rs = Pool.map_result pool (fun ~cancel:_ x -> x) (List.init 10 Fun.id) in
+  let failed, done_ =
+    List.partition (function Pool.Failed _ -> true | _ -> false) rs
+  in
+  Alcotest.(check int) "exactly budget crashes" 3 (List.length failed);
+  Alcotest.(check int) "the rest completed" 7 (List.length done_);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Pool.Done v -> Alcotest.(check int) "slot value" i v
+      | Pool.Failed (Exec.Chaos.Injected_crash _, _) -> ()
+      | _ -> Alcotest.fail "unexpected result kind")
+    rs;
+  Alcotest.(check int) "injector accounted" 3 (Exec.Chaos.injected chaos)
+
+let test_self_healing () =
+  (* Injected worker kills: the claimed tasks are requeued (no batch
+     ever loses work), the dead domains are respawned by [heal] at a
+     batch boundary, and the restarts surface in Pool_restarts. *)
+  let chaos =
+    Exec.Chaos.create
+      {
+        Exec.Chaos.default_config with
+        Exec.Chaos.seed = 7;
+        kill = 1.0;
+        kill_budget = Some 2;
+      }
+  in
+  Pool.with_pool ~size:4 ~chaos @@ fun pool ->
+  let restarts0 = Obs.Counters.get Obs.Counters.Pool_restarts in
+  let xs = List.init 32 Fun.id in
+  let expect = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "no work lost to the kills" expect
+    (Pool.map pool (fun x -> x * x) xs);
+  (* Chaos pools heal at batch boundaries; drive a few batches until
+     both victims have been respawned. *)
+  let rec settle n =
+    if
+      n > 0
+      && Obs.Counters.get Obs.Counters.Pool_restarts - restarts0 < 2
+    then begin
+      Alcotest.(check (list int)) "batch while healing" [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]);
+      settle (n - 1)
+    end
+  in
+  settle 10;
+  Alcotest.(check int) "both kills healed" 2
+    (Obs.Counters.get Obs.Counters.Pool_restarts - restarts0);
+  Alcotest.(check int) "no dead workers left" 0 (Pool.dead_workers pool);
+  Alcotest.(check (list int)) "full width restored" expect
+    (Pool.map pool (fun x -> x * x) xs)
 
 let test_map_opt () =
   Alcotest.(check (list int)) "None = List.map" [ 2; 3 ]
@@ -374,6 +475,15 @@ let () =
             test_map_result_timeout_spinner;
           Alcotest.test_case "nested map under raising sibling" `Quick
             test_map_result_nested_under_failure;
+          Alcotest.test_case "explicit cancel is typed" `Quick
+            test_map_result_explicit_cancel_typed;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "crash budget exact" `Quick
+            test_chaos_crash_budget_exact;
+          Alcotest.test_case "kills heal, no work lost" `Quick
+            test_self_healing;
         ] );
       ( "determinism",
         [

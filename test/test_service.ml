@@ -81,7 +81,8 @@ let gen_request =
   let* id = gen_id in
   let* spec = gen_spec in
   let* kind = gen_kind in
-  QCheck.Gen.return { Req.id; spec; kind }
+  let* deadline_s = opt (oneofl [ 0.25; 1.5; 30.0 ]) in
+  QCheck.Gen.return { Req.id; spec; kind; deadline_s }
 
 let arb_request = QCheck.make ~print:Req.to_string gen_request
 
@@ -199,6 +200,8 @@ let sample_responses =
     Resp.fail Resp.Timeout "request timed out after 1.00s";
     Resp.fail Resp.Cancelled "shutting down";
     Resp.fail Resp.Failed_check "verification failed";
+    Resp.fail ~id:"o1" ~retry_after_s:0.25 Resp.Overloaded "queue full";
+    Resp.fail Resp.Overloaded "degraded: verdict not cached";
   ]
 
 let test_response_roundtrip () =
@@ -219,6 +222,7 @@ let test_exit_codes () =
   Alcotest.(check int) "timeout" 3 (code (Resp.fail Resp.Timeout "x"));
   Alcotest.(check int) "internal" 1 (code (Resp.fail Resp.Internal "x"));
   Alcotest.(check int) "cancelled" 1 (code (Resp.fail Resp.Cancelled "x"));
+  Alcotest.(check int) "overloaded" 1 (code (Resp.fail Resp.Overloaded "x"));
   Alcotest.(check int) "verified" 0
     (code
        (Resp.ok (Resp.Verdict { summary = sample_verify_summary; text = "" })));
@@ -410,6 +414,33 @@ let test_parent_token () =
   (* and it latched: the child now trips on its own flag *)
   Alcotest.(check bool) "latched" true (Exec.Cancel.cancelled child)
 
+let test_cancel_reason () =
+  let t = Exec.Cancel.create () in
+  Alcotest.(check bool) "armed has no reason" true
+    (Exec.Cancel.reason t = None);
+  Exec.Cancel.cancel t;
+  Alcotest.(check bool) "explicit" true
+    (Exec.Cancel.reason t = Some Exec.Cancel.Explicit);
+  let d = Exec.Cancel.create ~timeout_s:0.0 () in
+  (* the deadline compare is strict, so let the clock tick past it *)
+  Unix.sleepf 0.002;
+  Alcotest.(check bool) "deadline trips" true (Exec.Cancel.cancelled d);
+  Alcotest.(check bool) "deadline reason" true
+    (Exec.Cancel.reason d = Some Exec.Cancel.Deadline);
+  (* The first cause latches: a later explicit cancel cannot turn a
+     timeout into a cancellation. *)
+  Exec.Cancel.cancel d;
+  Alcotest.(check bool) "first cause latches" true
+    (Exec.Cancel.reason d = Some Exec.Cancel.Deadline);
+  (* A child inherits the reason of the ancestor that tripped it. *)
+  let p = Exec.Cancel.create () in
+  let c = Exec.Cancel.with_parent p ~timeout_s:60.0 () in
+  Exec.Cancel.cancel p;
+  Alcotest.(check bool) "child trips with parent" true
+    (Exec.Cancel.cancelled c);
+  Alcotest.(check bool) "child inherits reason" true
+    (Exec.Cancel.reason c = Some Exec.Cancel.Explicit)
+
 (* ------------------------------------------------------------------ *)
 (* Batch admission                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -435,6 +466,368 @@ let test_process_batch () =
     Alcotest.(check string) "coalesced payload identical" (payload_bytes ra)
       (payload_bytes rb)
   | rs -> Alcotest.fail (Printf.sprintf "expected 3 responses, got %d" (List.length rs))
+
+(* ------------------------------------------------------------------ *)
+(* Degraded mode and journal warm-start (handler level)               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_only_mode () =
+  let env = H.create_env () in
+  let req = Req.make ~spec:(spec MS.Toy3) Req.Verify in
+  let r_miss = H.handle ~env ~cache_only:true req in
+  (match r_miss.Resp.result with
+  | Error { Resp.code = Resp.Overloaded; _ } -> ()
+  | _ -> Alcotest.fail "cache-only miss must answer Overloaded");
+  let r_fill = H.handle ~env req in
+  let r_hit = H.handle ~env ~cache_only:true req in
+  Alcotest.(check bool) "degraded hit is cached" true r_hit.Resp.cached;
+  Alcotest.(check string) "degraded hit bit-identical" (payload_bytes r_fill)
+    (payload_bytes r_hit)
+
+let test_warm_start () =
+  let env1 = H.create_env () in
+  let req = Req.make ~spec:(spec MS.Toy3) Req.Verify in
+  let r1 = H.handle ~env:env1 req in
+  let payload =
+    match r1.Resp.result with
+    | Ok p -> p
+    | Error e -> Alcotest.fail (Resp.error_message e)
+  in
+  (* A "restarted" environment warmed from the journaled payload must
+     answer from the cache, bit-identically. *)
+  let env2 = H.create_env () in
+  H.warm ~env:env2 req payload;
+  let r2 = H.handle ~env:env2 req in
+  Alcotest.(check bool) "warmed key hits" true r2.Resp.cached;
+  Alcotest.(check string) "warmed payload bit-identical" (payload_bytes r1)
+    (payload_bytes r2)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Srv = Service.Serve
+module Jl = Service.Journal
+
+let kernels = [| "fib_10"; "memcpy_8"; "dep_chain_24" |]
+
+(* The [i]-th member of a family of cheap requests that are pairwise
+   distinct up to their id for i in [0, 12): none of them coalesce,
+   and none share a verdict-cache key (machine, kernel and kind all
+   matter to the evaluation — Toy3 is excluded because it ignores the
+   kernel, which would alias the keys). *)
+let family_request ?deadline_s ~id i =
+  let machine = if i mod 2 = 0 then MS.Dlx5 else MS.Dlx6 in
+  let s = { (spec machine) with Req.kernel = Some kernels.(i / 2 mod 3) } in
+  let kind = if i / 6 mod 2 = 0 then Req.Stats else Req.Verify in
+  Req.make ~id ?deadline_s ~spec:s kind
+
+let family_line ?deadline_s ~id i =
+  Req.to_string (family_request ?deadline_s ~id i)
+
+let test_admission_shed () =
+  Exec.Pool.with_pool ~size:2 @@ fun pool ->
+  let env = H.create_env () in
+  let adm = Srv.make_admission ~max_queue:2 ~retries:0 () in
+  let lines =
+    List.init 4 (fun i -> family_line ~id:(Printf.sprintf "q%d" i) i)
+  in
+  let shed0 = Obs.Counters.get Obs.Counters.Serve_shed in
+  let rs = Srv.process_batch ~env ~pool ~admission:adm lines in
+  Alcotest.(check int) "4 responses" 4 (List.length rs);
+  List.iteri
+    (fun i r ->
+      match (i < 2, r.Resp.result) with
+      | true, Ok _ -> ()
+      | true, Error e ->
+        Alcotest.fail ("kept leader failed: " ^ Resp.error_message e)
+      | ( false,
+          Error { Resp.code = Resp.Overloaded; retry_after_s = Some ra; _ } )
+        ->
+        Alcotest.(check bool) "retry-after positive" true (ra > 0.0)
+      | false, _ -> Alcotest.fail "overflow leader not shed Overloaded")
+    rs;
+  Alcotest.(check int) "serve_shed bumped per shed" (shed0 + 2)
+    (Obs.Counters.get Obs.Counters.Serve_shed)
+
+let test_admission_deadline_reject () =
+  Exec.Pool.with_pool ~size:2 @@ fun pool ->
+  let env = H.create_env () in
+  (* ewma starts at 50ms: the second leader's projected queue wait
+     (25ms) dwarfs a 1ms client deadline, so it is shed up front
+     instead of timing out after queueing. *)
+  let adm = Srv.make_admission () in
+  let lines =
+    [ family_line ~id:"d0" 0; family_line ~deadline_s:0.001 ~id:"d1" 1 ]
+  in
+  match Srv.process_batch ~env ~pool ~admission:adm lines with
+  | [ r0; r1 ] -> (
+    (match r0.Resp.result with
+    | Ok _ -> ()
+    | Error e ->
+      Alcotest.fail ("deadline-free leader failed: " ^ Resp.error_message e));
+    match r1.Resp.result with
+    | Error { Resp.code = Resp.Overloaded; message; _ } ->
+      Alcotest.(check bool) "names the deadline" true
+        (contains message "deadline")
+    | _ -> Alcotest.fail "unmeetable deadline was not shed early")
+  | rs ->
+    Alcotest.fail (Printf.sprintf "expected 2 responses, got %d" (List.length rs))
+
+let test_admission_degraded () =
+  Exec.Pool.with_pool ~size:2 @@ fun pool ->
+  let env = H.create_env () in
+  let adm = Srv.make_admission ~max_queue:1 ~retries:0 () in
+  (* Three consecutive shedding batches trip cache-only mode. *)
+  for b = 1 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "not yet degraded before batch %d" b)
+      false (Srv.degraded adm);
+    ignore
+      (Srv.process_batch ~env ~pool ~admission:adm
+         [ family_line ~id:"h0" 0; family_line ~id:"h1" 1 ]
+        : Resp.t list)
+  done;
+  Alcotest.(check bool) "degraded after 3 hot batches" true (Srv.degraded adm);
+  (* Degraded: an uncached verdict is answered Overloaded without
+     being evaluated... *)
+  (match
+     Srv.process_batch ~env ~pool ~admission:adm [ family_line ~id:"h2" 2 ]
+   with
+  | [ r ] -> (
+    match r.Resp.result with
+    | Error { Resp.code = Resp.Overloaded; _ } -> ()
+    | _ -> Alcotest.fail "degraded cache miss was evaluated")
+  | _ -> Alcotest.fail "one response expected");
+  (* ...while a journaled/previously-evaluated one is still served. *)
+  (match
+     Srv.process_batch ~env ~pool ~admission:adm [ family_line ~id:"h3" 0 ]
+   with
+  | [ r ] -> (
+    match r.Resp.result with
+    | Ok _ -> Alcotest.(check bool) "served from cache" true r.Resp.cached
+    | Error e ->
+      Alcotest.fail ("cached verdict refused: " ^ Resp.error_message e))
+  | _ -> Alcotest.fail "one response expected");
+  (* A quiet batch (nothing shed, queue at most half full) resets. *)
+  ignore (Srv.process_batch ~env ~pool ~admission:adm [ {|not json|} ]
+           : Resp.t list);
+  Alcotest.(check bool) "quiet batch resets the mode" false (Srv.degraded adm)
+
+let test_retry_outlasts_crash_budget () =
+  let cfg =
+    {
+      Exec.Chaos.default_config with
+      Exec.Chaos.seed = 11;
+      crash = 1.0;
+      crash_budget = Some 2;
+    }
+  in
+  Exec.Pool.with_pool ~size:2 ~chaos:(Exec.Chaos.create cfg) @@ fun pool ->
+  let env = H.create_env () in
+  let adm = Srv.make_admission ~retries:2 () in
+  let retries0 = Obs.Counters.get Obs.Counters.Serve_retries in
+  let lines =
+    List.init 4 (fun i -> family_line ~id:(Printf.sprintf "c%d" i) i)
+  in
+  let rs = Srv.process_batch ~env ~pool ~admission:adm lines in
+  List.iter
+    (fun (r : Resp.t) ->
+      match r.Resp.result with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.fail
+          ("a crash outlived the retry budget: " ^ Resp.error_message e))
+    rs;
+  Alcotest.(check int) "serve_retries = crash budget" (retries0 + 2)
+    (Obs.Counters.get Obs.Counters.Serve_retries)
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "pipegen_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_temp_file @@ fun path ->
+  let j = Jl.open_ path in
+  let seqs = Jl.append_admits j [ "ra"; "rb"; "rc" ] in
+  Alcotest.(check (list int)) "fresh seqs" [ 0; 1; 2 ] seqs;
+  Jl.append_done j [ (0, "resp-a"); (2, "resp-c") ];
+  Jl.close j;
+  (match Jl.read path with
+  | [ e0; e1; e2 ] ->
+    Alcotest.(check string) "e0 line" "ra" e0.Jl.line;
+    Alcotest.(check (option string)) "e0 done" (Some "resp-a") e0.Jl.response;
+    Alcotest.(check string) "e1 line" "rb" e1.Jl.line;
+    Alcotest.(check (option string)) "e1 pending" None e1.Jl.response;
+    Alcotest.(check (option string)) "e2 done" (Some "resp-c") e2.Jl.response
+  | es -> Alcotest.fail (Printf.sprintf "expected 3 entries, got %d"
+                           (List.length es)));
+  (* Reopen: numbering continues past the existing max. *)
+  let j2 = Jl.open_ path in
+  Alcotest.(check (list int)) "seq continues" [ 3 ]
+    (Jl.append_admits j2 [ "rd" ]);
+  Jl.close j2;
+  (* A torn trailing record (mid-write crash) is skipped, not fatal. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc {|{"journal":1,"op":"admit","seq":9,"line":"torn|};
+  close_out oc;
+  let entries = Jl.read path in
+  Alcotest.(check int) "torn line skipped" 4 (List.length entries);
+  Alcotest.(check bool) "rd still pending" true
+    (List.exists
+       (fun e -> e.Jl.line = "rd" && e.Jl.response = None)
+       entries);
+  (* Truncation (the clean-shutdown path) restarts numbering. *)
+  let j3 = Jl.open_ path in
+  Jl.truncate j3;
+  Alcotest.(check (list int)) "post-truncate seqs restart" [ 0 ]
+    (Jl.append_admits j3 [ "re" ]);
+  Jl.close j3
+
+let test_journal_recovery_shape () =
+  (* The serve loop's crash-recovery contract at the library level:
+     journal a batch, complete only part of it, "crash", and check that
+     the journal hands back exactly the unfinished line for
+     re-admission — whose re-evaluation in a fresh environment is
+     byte-identical to the lost original. *)
+  Exec.Pool.with_pool ~size:2 @@ fun pool ->
+  with_temp_file @@ fun path ->
+  let lines = [ family_line ~id:"j0" 0; family_line ~id:"j1" 1 ] in
+  let j = Jl.open_ path in
+  let seqs = Jl.append_admits j lines in
+  let env = H.create_env () in
+  let rs = Srv.process_batch ~env ~pool lines in
+  let first = Resp.to_string (List.hd rs) in
+  let second = Resp.to_string (List.nth rs 1) in
+  (* the crash lands after journaling only the first verdict *)
+  Jl.append_done j [ (List.hd seqs, first) ];
+  Jl.close j;
+  (* restart *)
+  let completed, pending =
+    List.partition (fun e -> e.Jl.response <> None) (Jl.read path)
+  in
+  (match completed with
+  | [ e ] ->
+    Alcotest.(check (option string)) "completed replays verbatim"
+      (Some first) e.Jl.response
+  | _ -> Alcotest.fail "exactly one completed entry expected");
+  match pending with
+  | [ e ] ->
+    let env2 = H.create_env () in
+    (match Srv.process_batch ~env:env2 ~pool [ e.Jl.line ] with
+    | [ r ] ->
+      Alcotest.(check string) "re-evaluation byte-identical" second
+        (Resp.to_string r)
+    | _ -> Alcotest.fail "one replayed response expected")
+  | _ -> Alcotest.fail "exactly one pending entry expected"
+
+(* ------------------------------------------------------------------ *)
+(* Chaos soaks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [n] requests cycling through the 12-member distinct family: plenty
+   of coalescing, every leader evaluated on a chaos-armed pool. *)
+let soak_batch n =
+  List.init n (fun i -> family_line ~id:(Printf.sprintf "k%d" i) (i mod 12))
+
+let run_soak ?chaos n =
+  let work0 = Obs.Counters.work_snapshot () in
+  let responses =
+    Exec.Pool.with_pool ~size:3 ?chaos @@ fun pool ->
+    let env = H.create_env () in
+    let adm = Srv.make_admission ~max_queue:(2 * n) ~retries:3 () in
+    Srv.process_batch ~env ~pool ~admission:adm (soak_batch n)
+  in
+  let work1 = Obs.Counters.work_snapshot () in
+  let delta =
+    List.map2
+      (fun (k0, v0) (k1, v1) ->
+        assert (k0 = k1);
+        (k0, v1 - v0))
+      work0 work1
+  in
+  (List.map Resp.to_string responses, delta)
+
+let test_soak_delay_chaos () =
+  (* Delays-only chaos perturbs scheduling, never semantics: the
+     responses and the WORK.* counter deltas must both be
+     bit-identical to the clean run. *)
+  let n = 60 in
+  let clean, work_clean = run_soak n in
+  let chaos =
+    Exec.Chaos.create
+      {
+        Exec.Chaos.default_config with
+        Exec.Chaos.seed = 42;
+        delay = 0.5;
+        delay_s = 0.0005;
+        alloc = 0.25;
+        alloc_words = 1 lsl 12;
+      }
+  in
+  let chaotic, work_chaos = run_soak ~chaos n in
+  Alcotest.(check (list string)) "responses bit-identical" clean chaotic;
+  Alcotest.(check (list (pair string int))) "WORK.* bit-identical" work_clean
+    work_chaos
+
+let test_soak_crash_chaos () =
+  (* Crash + wedge + kill chaos within the retry budget: every request
+     is answered exactly once, byte-identically to the clean run —
+     nothing lost, duplicated or corrupted. *)
+  let n = 60 in
+  let clean, _ = run_soak n in
+  let chaos =
+    Exec.Chaos.create
+      {
+        Exec.Chaos.default_config with
+        Exec.Chaos.seed = 1234;
+        crash = 0.05;
+        crash_budget = Some 3;
+        delay = 0.1;
+        delay_s = 0.0005;
+        wedge = 0.05;
+        wedge_s = 0.002;
+        wedge_budget = Some 4;
+        kill = 0.25;
+        kill_budget = Some 2;
+      }
+  in
+  let chaotic, _ = run_soak ~chaos n in
+  Alcotest.(check int) "no response lost or duplicated" n
+    (List.length chaotic);
+  Alcotest.(check (list string)) "responses bit-identical under faults"
+    clean chaotic;
+  Alcotest.(check bool) "faults were actually injected" true
+    (Exec.Chaos.injected chaos > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Client disconnects                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_epipe_contained () =
+  (* A client that hangs up mid-response must surface as the typed
+     [Client_gone] (failing one connection), not as a SIGPIPE process
+     kill — the regression that motivated ignoring SIGPIPE in
+     [Serve.run]. *)
+  let prev =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter (Sys.set_signal Sys.sigpipe) prev)
+  @@ fun () ->
+  let r, w = Unix.pipe () in
+  Unix.close r;
+  (match Srv.write_all w "late response\n" with
+  | () -> Alcotest.fail "write to a gone client succeeded"
+  | exception Srv.Client_gone -> ());
+  Unix.close w
 
 let () =
   Alcotest.run "service"
@@ -479,7 +872,36 @@ let () =
         [
           Alcotest.test_case "timeout is typed" `Quick test_timeout_is_typed;
           Alcotest.test_case "parent token" `Quick test_parent_token;
+          Alcotest.test_case "trip reason" `Quick test_cancel_reason;
         ] );
       ( "serve",
-        [ Alcotest.test_case "batch admission" `Quick test_process_batch ] );
+        [
+          Alcotest.test_case "batch admission" `Quick test_process_batch;
+          Alcotest.test_case "shed past max-queue" `Quick test_admission_shed;
+          Alcotest.test_case "deadline early reject" `Quick
+            test_admission_deadline_reject;
+          Alcotest.test_case "degraded mode hysteresis" `Quick
+            test_admission_degraded;
+          Alcotest.test_case "retry outlasts crash budget" `Quick
+            test_retry_outlasts_crash_budget;
+          Alcotest.test_case "EPIPE contained" `Quick test_epipe_contained;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "cache-only mode" `Quick test_cache_only_mode;
+          Alcotest.test_case "journal warm-start" `Quick test_warm_start;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "round-trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "crash-recovery shape" `Quick
+            test_journal_recovery_shape;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "delays keep WORK bit-identical" `Slow
+            test_soak_delay_chaos;
+          Alcotest.test_case "crash soak loses nothing" `Slow
+            test_soak_crash_chaos;
+        ] );
     ]
