@@ -14,6 +14,12 @@ type op =
   | O_zext of int * int
   | O_sext of int * int
   | O_file_read of int * int * int  (* file index, addr slot, data width *)
+  | O_lut of int * int  (* operand slot, table index: dst = tbl.(a) *)
+  | O_lut2 of int * int * int
+      (* operand slots a b, table index: dst = tbl.((a lsl width_b) lor b).
+         Both lut forms are synthesized by [tableify]: a small-support
+         combinational cone collapsed into one exhaustively-enumerated
+         lookup, provably equivalent by construction. *)
 
 type step = { dst : int; op : op }
 
@@ -41,6 +47,7 @@ type builder = {
   b_files : (string, int * int) Hashtbl.t;    (* name -> index, width *)
   mutable n_files : int;
   cse : (key, int) Hashtbl.t;
+  mutable roots_rev : int list;  (* slots returned by [root] *)
   mutable built : bool;
 }
 
@@ -55,6 +62,28 @@ type t = {
   file_names : string array;  (* index -> name, for errors *)
   file_widths : int array;
   names : string option array;  (* slot -> name view *)
+  p_roots : int array;
+      (* every slot handed out by [root]: liveness roots for
+         [optimize], alongside the named inputs and defines *)
+  p_ctrl : int;
+      (* control-prefix length: [tape.(0 .. p_ctrl - 1)] is the
+         always-evaluated segment.  Unsegmented plans have
+         [p_ctrl = Array.length tape]. *)
+  p_groups : (int * int) array;
+      (* on-demand segments: group [g] is [tape.(lo .. hi - 1)],
+         evaluated by [run_group] only on the cycles that consume its
+         slots.  [[||]] for unsegmented plans. *)
+  p_tables : Bitvec.t array array;
+      (* lookup tables backing [O_lut]/[O_lut2]; every entry of table
+         [t] has the destination slot's width.  Immutable and shared
+         freely across domains, like the rest of the plan. *)
+  p_equiv : t option;
+      (* work-accounting twin: when this tape is an engine-specific
+         variant (the lanes engine runs the fold-only tape — per-lane
+         table walks would regress its packed boolean logic), [Some]
+         holds the canonical scalar tape whose geometry defines the
+         scalar-equivalent WORK counters, keeping lanes and scalar
+         runs bit-identical on every counter. *)
 }
 
 type instance = {
@@ -116,6 +145,7 @@ let create ?(auto = false) ?(inputs = []) ?(files = []) () =
       b_files = Hashtbl.create 4;
       n_files = 0;
       cse = Hashtbl.create 256;
+      roots_rev = [];
       built = false;
     }
   in
@@ -226,7 +256,9 @@ let check_built b = if b.built then cerr "builder already built"
 
 let root b e =
   check_built b;
-  compile b e
+  let s = compile b e in
+  b.roots_rev <- s :: b.roots_rev;
+  s
 
 let define b name e =
   check_built b;
@@ -256,17 +288,23 @@ let build b =
   let names = Array.make (max b.n_slots 1) None in
   Hashtbl.iter (fun n (s, _) -> names.(s) <- Some n) b.b_inputs;
   Hashtbl.iter (fun n (s, _) -> names.(s) <- Some n) b.b_defines;
+  let tape = Array.of_list (List.rev b.tape_rev) in
   {
     p_n_slots = b.n_slots;
     p_widths = Array.sub b.widths 0 (max b.n_slots 1);
     consts = Array.of_list (List.rev b.consts_rev);
-    tape = Array.of_list (List.rev b.tape_rev);
+    tape;
     p_inputs = b.b_inputs;
     p_defines = b.b_defines;
     p_files = b.b_files;
     file_names;
     file_widths;
     names;
+    p_roots = Array.of_list (List.rev b.roots_rev);
+    p_ctrl = Array.length tape;
+    p_groups = [||];
+    p_tables = [||];
+    p_equiv = None;
   }
 
 let n_slots p = p.p_n_slots
@@ -341,12 +379,10 @@ let apply_binop op a b =
   | Expr.Shr -> Bitvec.shift_right_logical a (Bitvec.to_int b)
   | Expr.Sra -> Bitvec.shift_right_arith a (Bitvec.to_int b)
 
-let run inst =
+let run_range inst lo hi =
   let s = inst.slots in
   let tape = inst.plan.tape in
-  Obs.Counters.bump Obs.Counters.Plan_runs;
-  Obs.Counters.add Obs.Counters.Plan_ops (Array.length tape);
-  for i = 0 to Array.length tape - 1 do
+  for i = lo to hi - 1 do
     let { dst; op } = Array.unsafe_get tape i in
     let v =
       match op with
@@ -363,9 +399,35 @@ let run inst =
           rerr "file %s: stored width %d, expression expects %d"
             inst.plan.file_names.(f) (Bitvec.width v) w;
         v
+      | O_lut (a, t) ->
+        Array.unsafe_get
+          (Array.unsafe_get inst.plan.p_tables t)
+          (Bitvec.to_int s.(a))
+      | O_lut2 (a, b, t) ->
+        Array.unsafe_get
+          (Array.unsafe_get inst.plan.p_tables t)
+          ((Bitvec.to_int s.(a) lsl inst.plan.p_widths.(b))
+          lor Bitvec.to_int s.(b))
     in
     s.(dst) <- v
   done
+
+let run inst =
+  let len = Array.length inst.plan.tape in
+  Obs.Counters.bump Obs.Counters.Plan_runs;
+  Obs.Counters.add Obs.Counters.Plan_ops len;
+  run_range inst 0 len
+
+let run_control inst =
+  let ctrl = inst.plan.p_ctrl in
+  Obs.Counters.bump Obs.Counters.Plan_runs;
+  Obs.Counters.add Obs.Counters.Plan_ops ctrl;
+  run_range inst 0 ctrl
+
+let run_group inst g =
+  let lo, hi = inst.plan.p_groups.(g) in
+  Obs.Counters.add Obs.Counters.Plan_ops (hi - lo);
+  run_range inst lo hi
 
 let get inst slot = inst.slots.(slot)
 let get_bool inst slot = Bitvec.to_bool inst.slots.(slot)
@@ -404,6 +466,8 @@ type lanes = {
   l_words : int array;  (* packed word, one per width-1 slot *)
   l_vals : int array array;  (* lane-indexed ints, one row per wide slot *)
   l_files : int array array array;  (* file -> lane -> contents; [||] unbound *)
+  l_tables : int array array;
+      (* [p_tables] lowered to raw ints once at lane creation *)
 }
 
 let lanes ?(capacity = Lanes.max_lanes) p =
@@ -424,6 +488,7 @@ let lanes ?(capacity = Lanes.max_lanes) p =
         Array.init n (fun s ->
             if l_bool.(s) then [||] else Array.make capacity 0);
       l_files = Array.make (Array.length p.file_names) [||];
+      l_tables = Array.map (Array.map Bitvec.to_int) p.p_tables;
     }
   in
   (* Constants are replicated across every lane once: no tape step
@@ -468,7 +533,7 @@ let signedw w v =
   else if v land (1 lsl (w - 1)) <> 0 then v - (1 lsl w)
   else v
 
-let run_lanes ln =
+let run_lanes_range ln lo hi =
   let p = ln.l_plan in
   let words = ln.l_words and vals = ln.l_vals and isb = ln.l_bool in
   let widths = p.p_widths in
@@ -479,7 +544,7 @@ let run_lanes ln =
     else Array.unsafe_get (Array.unsafe_get vals s) l
   in
   let tape = p.tape in
-  for i = 0 to Array.length tape - 1 do
+  for i = lo to hi - 1 do
     let { dst; op } = Array.unsafe_get tape i in
     match op with
     | O_unop (o, a) ->
@@ -703,4 +768,761 @@ let run_lanes ln =
           Array.unsafe_set vd l (row.((geti a l) land (Array.length row - 1)))
         done
       end
+    | O_lut (a, t) ->
+      let tbl = Array.unsafe_get ln.l_tables t in
+      if isb.(dst) then begin
+        let w = ref 0 in
+        for l = 0 to act - 1 do
+          if Array.unsafe_get tbl (geti a l) <> 0 then w := !w lor (1 lsl l)
+        done;
+        words.(dst) <- !w
+      end
+      else begin
+        let vd = vals.(dst) in
+        for l = 0 to act - 1 do
+          Array.unsafe_set vd l (Array.unsafe_get tbl (geti a l))
+        done
+      end
+    | O_lut2 (a, b, t) ->
+      let tbl = Array.unsafe_get ln.l_tables t in
+      let wb = widths.(b) in
+      if isb.(dst) then begin
+        let w = ref 0 in
+        for l = 0 to act - 1 do
+          if Array.unsafe_get tbl ((geti a l lsl wb) lor geti b l) <> 0 then
+            w := !w lor (1 lsl l)
+        done;
+        words.(dst) <- !w
+      end
+      else begin
+        let vd = vals.(dst) in
+        for l = 0 to act - 1 do
+          Array.unsafe_set vd l
+            (Array.unsafe_get tbl ((geti a l lsl wb) lor geti b l))
+        done
+      end
   done
+
+let run_lanes ln = run_lanes_range ln 0 (Array.length ln.l_plan.tape)
+let run_lanes_control ln = run_lanes_range ln 0 ln.l_plan.p_ctrl
+
+let run_lanes_group ln g =
+  let lo, hi = ln.l_plan.p_groups.(g) in
+  run_lanes_range ln lo hi
+
+let iter_op_operands op k =
+  match op with
+  | O_unop (_, a) | O_slice (a, _, _) | O_zext (a, _) | O_sext (a, _)
+  | O_file_read (_, a, _)
+  | O_lut (a, _) ->
+    k a
+  | O_binop (_, a, b) | O_concat (a, b) | O_lut2 (a, b, _) ->
+    k a;
+    k b
+  | O_mux (c, a, b) ->
+    k c;
+    k a;
+    k b
+
+(* ------------------------------------------------------------------ *)
+(* Tape optimization: fold, rewrite, kill, compact                     *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_flag = Atomic.make true
+let optimize_default () = Atomic.get optimize_flag
+let set_optimize_default b = Atomic.set optimize_flag b
+
+let bv_is_zero v = Bitvec.is_zero v
+let bv_is_ones v = Bitvec.equal v (Bitvec.ones (Bitvec.width v))
+
+(* Outcome of rewriting one step whose operands are already
+   representative slots: a compile-time constant, an alias to an
+   existing slot, or the (operand-resolved) step itself. *)
+type rewrite = R_const of Bitvec.t | R_alias of int | R_keep of op
+
+(* One fold pass: constant folding and propagation, algebraic
+   identities, dead-code elimination by backward liveness, and tape
+   compaction.  [optimize_remap] below runs it twice around the
+   [tableify] lookup-table synthesis and does the counting. *)
+let fold_remap ?keep_define p =
+  let n = p.p_n_slots in
+  let widths = p.p_widths in
+  (* [repr.(s)]: the slot [s] evaluates to after rewriting.  Operands
+     always resolve through [repr] before a step is examined, and a
+     step only ever aliases to one of its resolved operands (or to a
+     slot already registered as holding the same constant), so every
+     representative is final by the time it is read. *)
+  let repr = Array.init (max n 1) Fun.id in
+  let cval : Bitvec.t option array = Array.make (max n 1) None in
+  Array.iter (fun (s, v) -> cval.(s) <- Some v) p.consts;
+  (* Constant slots by value: original consts first, then folded step
+     destinations promoted to constants, deduplicated as they appear. *)
+  let const_slot : (Bitvec.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (s, v) ->
+      if not (Hashtbl.mem const_slot v) then Hashtbl.add const_slot v s)
+    p.consts;
+  let new_consts_rev = ref [] in
+  let kept_rev = ref [] in
+  let cv s = cval.(s) in
+  let rewrite dst op =
+    let w = widths.(dst) in
+    match op with
+    | O_unop (o, a) -> (
+      match cv a with
+      | Some va -> R_const (apply_unop o va)
+      | None -> (
+        match o with
+        | (Expr.Reduce_or | Expr.Reduce_and) when widths.(a) = 1 -> R_alias a
+        | _ -> R_keep op))
+    | O_binop (o, a, b) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb -> R_const (apply_binop o va vb)
+      | ca, cb ->
+        if a = b then
+          (* hash-consing gives structurally equal subtrees one slot,
+             so [x op x] is detectable as equal operand slots *)
+          match o with
+          | Expr.And | Expr.Or -> R_alias a
+          | Expr.Xor | Expr.Sub -> R_const (Bitvec.zero w)
+          | Expr.Eq -> R_const (Bitvec.of_bool true)
+          | Expr.Ne | Expr.Ltu | Expr.Lts -> R_const (Bitvec.of_bool false)
+          | Expr.Add | Expr.Mul | Expr.Shl | Expr.Shr | Expr.Sra -> R_keep op
+        else (
+          match (o, ca, cb) with
+          | Expr.And, Some z, _ when bv_is_zero z -> R_const (Bitvec.zero w)
+          | Expr.And, _, Some z when bv_is_zero z -> R_const (Bitvec.zero w)
+          | Expr.And, Some v, _ when bv_is_ones v -> R_alias b
+          | Expr.And, _, Some v when bv_is_ones v -> R_alias a
+          | Expr.Or, Some v, _ when bv_is_ones v -> R_const (Bitvec.ones w)
+          | Expr.Or, _, Some v when bv_is_ones v -> R_const (Bitvec.ones w)
+          | Expr.Or, Some z, _ when bv_is_zero z -> R_alias b
+          | Expr.Or, _, Some z when bv_is_zero z -> R_alias a
+          | Expr.Xor, Some z, _ when bv_is_zero z -> R_alias b
+          | Expr.Xor, _, Some z when bv_is_zero z -> R_alias a
+          | Expr.Add, Some z, _ when bv_is_zero z -> R_alias b
+          | Expr.Add, _, Some z when bv_is_zero z -> R_alias a
+          | Expr.Sub, _, Some z when bv_is_zero z -> R_alias a
+          | Expr.Mul, Some z, _ when bv_is_zero z -> R_const (Bitvec.zero w)
+          | Expr.Mul, _, Some z when bv_is_zero z -> R_const (Bitvec.zero w)
+          | (Expr.Shl | Expr.Shr | Expr.Sra), _, Some z when bv_is_zero z ->
+            R_alias a
+          | _ -> R_keep op))
+    | O_mux (c, a, b) -> (
+      match cv c with
+      | Some vc -> R_alias (if Bitvec.to_bool vc then a else b)
+      | None ->
+        if a = b then R_alias a
+        else (
+          match (cv a, cv b) with
+          | Some va, Some vb when w = 1 && bv_is_ones va && bv_is_zero vb ->
+            (* mux(c, 1, 0) = c; the select is width-1 by construction *)
+            R_alias c
+          | _ -> R_keep op))
+    | O_concat (a, b) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb -> R_const (Bitvec.concat va vb)
+      | _ -> R_keep op)
+    | O_slice (a, hi, lo) -> (
+      match cv a with
+      | Some va -> R_const (Bitvec.slice va ~hi ~lo)
+      | None -> if lo = 0 && hi = widths.(a) - 1 then R_alias a else R_keep op)
+    | O_zext (a, wz) -> (
+      match cv a with
+      | Some va -> R_const (Bitvec.zero_extend va wz)
+      | None -> if wz = widths.(a) then R_alias a else R_keep op)
+    | O_sext (a, wz) -> (
+      match cv a with
+      | Some va -> R_const (Bitvec.sign_extend va wz)
+      | None -> if wz = widths.(a) then R_alias a else R_keep op)
+    (* Never folded: the read depends on the reader bound at run time.
+       A dead read is still killable below — readers are pure. *)
+    | O_file_read _ -> R_keep op
+    | O_lut (a, t) -> (
+      match cv a with
+      | Some va -> R_const p.p_tables.(t).(Bitvec.to_int va)
+      | None -> R_keep op)
+    | O_lut2 (a, b, t) -> (
+      match (cv a, cv b) with
+      | Some va, Some vb ->
+        R_const
+          p.p_tables.(t).((Bitvec.to_int va lsl widths.(b)) lor Bitvec.to_int vb)
+      | _ -> R_keep op)
+  in
+  Array.iter
+    (fun { dst; op } ->
+      let op =
+        match op with
+        | O_unop (o, a) -> O_unop (o, repr.(a))
+        | O_binop (o, a, b) -> O_binop (o, repr.(a), repr.(b))
+        | O_mux (c, a, b) -> O_mux (repr.(c), repr.(a), repr.(b))
+        | O_concat (a, b) -> O_concat (repr.(a), repr.(b))
+        | O_slice (a, hi, lo) -> O_slice (repr.(a), hi, lo)
+        | O_zext (a, w) -> O_zext (repr.(a), w)
+        | O_sext (a, w) -> O_sext (repr.(a), w)
+        | O_file_read (f, a, w) -> O_file_read (f, repr.(a), w)
+        | O_lut (a, t) -> O_lut (repr.(a), t)
+        | O_lut2 (a, b, t) -> O_lut2 (repr.(a), repr.(b), t)
+      in
+      match rewrite dst op with
+      | R_const v -> (
+        match Hashtbl.find_opt const_slot v with
+        | Some s0 -> repr.(dst) <- s0
+        | None ->
+          Hashtbl.add const_slot v dst;
+          cval.(dst) <- Some v;
+          new_consts_rev := (dst, v) :: !new_consts_rev)
+      | R_alias s -> repr.(dst) <- s
+      | R_keep op -> kept_rev := { dst; op } :: !kept_rev)
+    p.tape;
+  (* Backward liveness from the observed roots: named inputs (loaded
+     by callers), named defines (readable by name), and every slot
+     handed out by [root] (commit writes, snapshot cells, mispredict
+     probes — anything a caller captured). *)
+  let kept = Array.of_list (List.rev !kept_rev) in
+  let live = Array.make (max n 1) false in
+  let mark s = live.(s) <- true in
+  Hashtbl.iter (fun _ (s, _) -> mark s) p.p_inputs;
+  (* [keep_define] narrows the define roots: a caller that knows which
+     names it will ever read back (the verification hot path reads
+     only the hazard signals — everything else it consumes came from
+     [root]) lets the rest of the signal forest die unless it feeds a
+     surviving root.  Dropped defines disappear from the name tables,
+     so a stale [define_slot]/[read_name] misses loudly instead of
+     returning a dead slot. *)
+  Hashtbl.iter
+    (fun nm (s, _) ->
+      match keep_define with
+      | None -> mark repr.(s)
+      | Some keep -> if keep nm then mark repr.(s))
+    p.p_defines;
+  Array.iter (fun s -> mark repr.(s)) p.p_roots;
+  for i = Array.length kept - 1 downto 0 do
+    let { dst; op } = kept.(i) in
+    if live.(dst) then iter_op_operands op mark
+  done;
+  (* Compact: renumber live slots in allocation order (operands keep
+     preceding their uses in tape order — aliases only ever point at
+     resolved operands or constants, and constants are preloaded). *)
+  let new_id = Array.make (max n 1) (-1) in
+  let n' = ref 0 in
+  for s = 0 to n - 1 do
+    if live.(s) then begin
+      new_id.(s) <- !n';
+      incr n'
+    end
+  done;
+  let n' = !n' in
+  let widths' = Array.make (max n' 1) 0 in
+  for s = 0 to n - 1 do
+    if live.(s) then widths'.(new_id.(s)) <- widths.(s)
+  done;
+  let tape' =
+    Array.of_list
+      (List.filter_map
+         (fun { dst; op } ->
+           if not live.(dst) then None
+           else
+             let f s = new_id.(s) in
+             Some
+               {
+                 dst = f dst;
+                 op =
+                   (match op with
+                   | O_unop (o, a) -> O_unop (o, f a)
+                   | O_binop (o, a, b) -> O_binop (o, f a, f b)
+                   | O_mux (c, a, b) -> O_mux (f c, f a, f b)
+                   | O_concat (a, b) -> O_concat (f a, f b)
+                   | O_slice (a, hi, lo) -> O_slice (f a, hi, lo)
+                   | O_zext (a, w) -> O_zext (f a, w)
+                   | O_sext (a, w) -> O_sext (f a, w)
+                   | O_file_read (fi, a, w) -> O_file_read (fi, f a, w)
+                   | O_lut (a, t) -> O_lut (f a, t)
+                   | O_lut2 (a, b, t) -> O_lut2 (f a, f b, t));
+               })
+         (Array.to_list kept))
+  in
+  let consts' =
+    Array.of_list
+      (List.filter_map
+         (fun (s, v) -> if live.(s) then Some (new_id.(s), v) else None)
+         (Array.to_list p.consts @ List.rev !new_consts_rev))
+  in
+  let inputs' = Hashtbl.create (max 16 (Hashtbl.length p.p_inputs)) in
+  Hashtbl.iter
+    (fun nm (s, w) -> Hashtbl.replace inputs' nm (new_id.(s), w))
+    p.p_inputs;
+  let defines' = Hashtbl.create (max 16 (Hashtbl.length p.p_defines)) in
+  Hashtbl.iter
+    (fun nm (s, w) ->
+      let s' = new_id.(repr.(s)) in
+      if s' >= 0 then Hashtbl.replace defines' nm (s', w))
+    p.p_defines;
+  let names' = Array.make (max n' 1) None in
+  Hashtbl.iter (fun nm (s, _) -> names'.(s) <- Some nm) inputs';
+  Hashtbl.iter (fun nm (s, _) -> names'.(s) <- Some nm) defines';
+  let remap = Array.init (max n 1) (fun s -> new_id.(repr.(s))) in
+  ( {
+      p_n_slots = n';
+      p_widths = widths';
+      consts = consts';
+      tape = tape';
+      p_inputs = inputs';
+      p_defines = defines';
+      p_files = p.p_files;
+      file_names = p.file_names;
+      file_widths = p.file_widths;
+      names = names';
+      p_roots = Array.map (fun s -> remap.(s)) p.p_roots;
+      p_ctrl = Array.length tape';
+      p_groups = [||];
+      p_tables = p.p_tables;
+      p_equiv = p.p_equiv;
+    },
+    remap )
+
+(* ------------------------------------------------------------------ *)
+(* Lookup-table synthesis                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A step's {e support} is the set of frontier slots its value depends
+   on: constants contribute nothing, tableable operand steps contribute
+   their own support, and everything else (inputs, file reads, wide
+   steps past the limits below) contributes itself.  A cone whose
+   support fits in at most two slots and [max_lut_bits] total bits is a
+   pure function of a small domain — [tableify] replaces each such step
+   with an [O_lut]/[O_lut2] over a table built by exhaustively
+   enumerating the support and evaluating the original ops with Bitvec
+   semantics, so the replacement is equivalent by construction.  The
+   interior of a collapsed cone loses its consumers and dies in the
+   fold pass that follows.
+
+   Steps whose support is entirely width-1 are left alone: the lane
+   engine evaluates packed bool logic with one word op per step, which
+   a per-lane table walk would only slow down.  A wide support slot
+   means the cone is worth collapsing for the scalar engine; the lanes
+   engine still loses (measured): its per-lane loops over wide slots
+   are cheaper than per-lane table-index assembly and walks, so the
+   lanes tape is compiled with LUT synthesis off entirely
+   ([optimize_remap ~lut:false]). *)
+let max_lut_bits = 12
+
+let tableify p =
+  let n = p.p_n_slots in
+  let len = Array.length p.tape in
+  if len = 0 then p
+  else begin
+    let widths = p.p_widths in
+    let is_const = Array.make (max n 1) false in
+    Array.iter (fun (s, _) -> is_const.(s) <- true) p.consts;
+    let step_of = Array.make (max n 1) (-1) in
+    Array.iteri (fun i { dst; _ } -> step_of.(dst) <- i) p.tape;
+    (* [supp.(i)]: sorted support slots of tableable step [i] *)
+    let supp : int list option array = Array.make len None in
+    let rec union a b =
+      match (a, b) with
+      | [], l | l, [] -> l
+      | x :: xs, y :: ys ->
+        if x = y then x :: union xs ys
+        else if x < y then x :: union xs b
+        else y :: union a ys
+    in
+    let contrib s =
+      if is_const.(s) then []
+      else
+        let i = step_of.(s) in
+        if i >= 0 then (match supp.(i) with Some l -> l | None -> [ s ])
+        else [ s ]
+    in
+    for i = 0 to len - 1 do
+      let { op; _ } = p.tape.(i) in
+      match op with
+      | O_file_read _ | O_lut _ | O_lut2 _ -> ()
+      | _ ->
+        let s = ref [] in
+        iter_op_operands op (fun a -> s := union !s (contrib a));
+        let sup = !s in
+        let bits = List.fold_left (fun acc a -> acc + widths.(a)) 0 sup in
+        (match sup with
+        | [ _ ] | [ _; _ ] when bits <= max_lut_bits -> supp.(i) <- Some sup
+        | _ -> ())
+    done;
+    (* Group the replacement candidates by exact support so one
+       enumeration sweep fills every table keyed on the same slots. *)
+    let groups : (int list, int list ref) Hashtbl.t = Hashtbl.create 16 in
+    for i = 0 to len - 1 do
+      match supp.(i) with
+      | Some sup when List.exists (fun a -> widths.(a) > 1) sup -> (
+        match Hashtbl.find_opt groups sup with
+        | Some r -> r := i :: !r
+        | None -> Hashtbl.add groups sup (ref [ i ]))
+      | _ -> ()
+    done;
+    if Hashtbl.length groups = 0 then p
+    else begin
+      let scratch = Array.make (max n 1) (Bitvec.zero 1) in
+      Array.iter (fun (s, v) -> scratch.(s) <- v) p.consts;
+      let eval_step { dst; op } =
+        scratch.(dst) <-
+          (match op with
+          | O_unop (o, a) -> apply_unop o scratch.(a)
+          | O_binop (o, a, b) -> apply_binop o scratch.(a) scratch.(b)
+          | O_mux (c, a, b) ->
+            if Bitvec.to_bool scratch.(c) then scratch.(a) else scratch.(b)
+          | O_concat (a, b) -> Bitvec.concat scratch.(a) scratch.(b)
+          | O_slice (a, hi, lo) -> Bitvec.slice scratch.(a) ~hi ~lo
+          | O_zext (a, w) -> Bitvec.zero_extend scratch.(a) w
+          | O_sext (a, w) -> Bitvec.sign_extend scratch.(a) w
+          | O_file_read _ | O_lut _ | O_lut2 _ -> assert false)
+      in
+      let tape' = Array.copy p.tape in
+      let tables_rev = ref [] in
+      let n_tables = ref (Array.length p.p_tables) in
+      let keys =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups [])
+      in
+      List.iter
+        (fun sup ->
+          let members = List.rev !(Hashtbl.find groups sup) in
+          (* every tableable step supported by a subset of [sup], in
+             tape order: evaluating these covers each member's cone
+             (operands are consts, slots of [sup], or earlier steps of
+             this very set) *)
+          let cone = ref [] in
+          for i = len - 1 downto 0 do
+            match supp.(i) with
+            | Some s' when List.for_all (fun a -> List.mem a sup) s' ->
+              cone := i :: !cone
+            | _ -> ()
+          done;
+          let cone = !cone in
+          let bits = List.fold_left (fun acc a -> acc + widths.(a)) 0 sup in
+          let size = 1 lsl bits in
+          let mtbl =
+            List.map (fun i -> (i, Array.make size (Bitvec.zero 1))) members
+          in
+          for idx = 0 to size - 1 do
+            (match sup with
+            | [ a ] -> scratch.(a) <- Bitvec.make ~width:widths.(a) idx
+            | [ a; b ] ->
+              let wb = widths.(b) in
+              scratch.(a) <- Bitvec.make ~width:widths.(a) (idx lsr wb);
+              scratch.(b) <- Bitvec.make ~width:wb (idx land ((1 lsl wb) - 1))
+            | _ -> assert false);
+            List.iter (fun i -> eval_step p.tape.(i)) cone;
+            List.iter
+              (fun (i, tbl) -> tbl.(idx) <- scratch.(p.tape.(i).dst))
+              mtbl
+          done;
+          List.iter
+            (fun (i, tbl) ->
+              let t = !n_tables in
+              incr n_tables;
+              tables_rev := tbl :: !tables_rev;
+              let op =
+                match sup with
+                | [ a ] -> O_lut (a, t)
+                | [ a; b ] -> O_lut2 (a, b, t)
+                | _ -> assert false
+              in
+              tape'.(i) <- { tape'.(i) with op })
+            mtbl)
+        keys;
+      {
+        p with
+        tape = tape';
+        p_tables =
+          Array.append p.p_tables (Array.of_list (List.rev !tables_rev));
+      }
+    end
+  end
+
+(* Drop the tables of luts that did not survive (cone interiors killed
+   by the fold after [tableify]), renumbering the survivors. *)
+let prune_tables p =
+  let nt = Array.length p.p_tables in
+  if nt = 0 then p
+  else begin
+    let used = Array.make nt false in
+    Array.iter
+      (fun { op; _ } ->
+        match op with
+        | O_lut (_, t) | O_lut2 (_, _, t) -> used.(t) <- true
+        | _ -> ())
+      p.tape;
+    let new_t = Array.make nt (-1) in
+    let cnt = ref 0 in
+    for t = 0 to nt - 1 do
+      if used.(t) then begin
+        new_t.(t) <- !cnt;
+        incr cnt
+      end
+    done;
+    if !cnt = nt then p
+    else begin
+      let tables = Array.make !cnt [||] in
+      for t = 0 to nt - 1 do
+        if used.(t) then tables.(new_t.(t)) <- p.p_tables.(t)
+      done;
+      let tape =
+        Array.map
+          (fun ({ op; _ } as st) ->
+            match op with
+            | O_lut (a, t) -> { st with op = O_lut (a, new_t.(t)) }
+            | O_lut2 (a, b, t) -> { st with op = O_lut2 (a, b, new_t.(t)) }
+            | _ -> st)
+          p.tape
+      in
+      { p with tape; p_tables = tables }
+    end
+  end
+
+let optimize_remap ?(count = true) ?keep_define ?(lut = true) p =
+  let ops0 = Array.length p.tape and slots0 = p.p_n_slots in
+  let p1, r1 = fold_remap ?keep_define p in
+  (* Iterate LUT synthesis to a fixpoint (bounded): each round's table
+     outputs become frontier slots the next round can fold cones over,
+     so a deep cone collapses through successive 2-input tables.  A
+     round that stops shrinking the tape has nothing left to offer.
+     [lut = false] stops after the fold: the caller wants the variant
+     for an engine whose cost model table walks don't fit (the lanes
+     engine evaluates packed boolean logic at one word op per step,
+     and its per-lane loops over wide slots beat per-lane table
+     walks — both measured on the dlx tape). *)
+  let p2 = ref p1 and r2 = ref (Array.init (max p1.p_n_slots 1) Fun.id) in
+  (let rounds = ref 0 and shrinking = ref lut in
+   while !shrinking && !rounds < 4 do
+     incr rounds;
+     let before = Array.length !p2.tape in
+     let p', r' = fold_remap (tableify !p2) in
+     let prev = !r2 in
+     p2 := p';
+     r2 :=
+       Array.map (fun m -> if m < 0 then -1 else r'.(m)) prev;
+     shrinking := Array.length p'.tape < before
+   done);
+  let p2 = prune_tables !p2 and r2 = !r2 in
+  let remap =
+    Array.init (max slots0 1) (fun s ->
+        let m = r1.(s) in
+        if m < 0 then -1 else r2.(m))
+  in
+  if count then begin
+    Obs.Counters.add Obs.Counters.Plan_ops_folded
+      (ops0 - Array.length p2.tape);
+    Obs.Counters.add Obs.Counters.Slots_killed (slots0 - p2.p_n_slots)
+  end;
+  (p2, remap)
+
+let optimize ?count ?keep_define ?lut p =
+  fst (optimize_remap ?count ?keep_define ?lut p)
+
+let with_work_equiv ~equiv p = { p with p_equiv = Some equiv }
+let work_equiv p = match p.p_equiv with Some e -> e | None -> p
+
+(* ------------------------------------------------------------------ *)
+(* Tape segmentation: control prefix + on-demand groups                *)
+(* ------------------------------------------------------------------ *)
+
+let n_ctrl_instrs p = p.p_ctrl
+let n_groups p = Array.length p.p_groups
+
+let group_instrs p g =
+  let lo, hi = p.p_groups.(g) in
+  hi - lo
+
+let is_segmented p = Array.length p.p_groups > 0
+
+let segment ?(ctrl_roots = [||]) p ~groups =
+  let groups = Array.of_list groups in
+  let ng = Array.length groups in
+  if ng = 0 then p
+  else if ng > 62 then
+    invalid_arg (Printf.sprintf "Plan.segment: %d groups (max 62)" ng)
+  else begin
+    let len = Array.length p.tape in
+    (* slot -> tape index of its defining step (-1: const or input) *)
+    let step_of = Array.make (max p.p_n_slots 1) (-1) in
+    Array.iteri (fun i { dst; _ } -> step_of.(dst) <- i) p.tape;
+    (* [need.(i)]: bitmask of the groups whose root slots transitively
+       read step [i]. *)
+    let need = Array.make (max len 1) 0 in
+    Array.iteri
+      (fun g roots ->
+        let bit = 1 lsl g in
+        let stack = ref [] in
+        let push s =
+          let i = step_of.(s) in
+          if i >= 0 && need.(i) land bit = 0 then begin
+            need.(i) <- need.(i) lor bit;
+            stack := i :: !stack
+          end
+        in
+        Array.iter push roots;
+        let rec drain () =
+          match !stack with
+          | [] -> ()
+          | i :: tl ->
+            stack := tl;
+            iter_op_operands p.tape.(i).op push;
+            drain ()
+        in
+        drain ())
+      groups;
+    (* Control membership: explicit control roots (slots the engine
+       reads unconditionally every cycle), every named define (reachable
+       through [read_name] / [define_slot] at any time), every step no
+       group claims, and every step two or more groups share.  Control
+       runs before any group, so membership propagates to operands — the
+       single descending sweep suffices because the tape is
+       topologically ordered (operands always sit at lower indices). *)
+    let ctrl = Array.make (max len 1) false in
+    let mark_ctrl s =
+      let i = step_of.(s) in
+      if i >= 0 then ctrl.(i) <- true
+    in
+    Array.iter mark_ctrl ctrl_roots;
+    Hashtbl.iter (fun _ (s, _) -> mark_ctrl s) p.p_defines;
+    for i = 0 to len - 1 do
+      let m = need.(i) in
+      if m = 0 || m land (m - 1) <> 0 then ctrl.(i) <- true
+    done;
+    for i = len - 1 downto 0 do
+      if ctrl.(i) then iter_op_operands p.tape.(i).op mark_ctrl
+    done;
+    (* Stable reorder: control prefix, then each group's steps in
+       original (hence still topological) order.  Slots are NOT
+       renumbered — only the tape order changes. *)
+    let bucket i =
+      if ctrl.(i) then 0
+      else begin
+        (* exactly one bit set: its group, shifted past control *)
+        let m = need.(i) in
+        let rec log2 m acc = if m = 1 then acc else log2 (m lsr 1) (acc + 1) in
+        1 + log2 m 0
+      end
+    in
+    let order = Array.init len Fun.id in
+    (* counting sort by bucket keeps the within-bucket order stable *)
+    let counts = Array.make (ng + 1) 0 in
+    Array.iter (fun i -> counts.(bucket i) <- counts.(bucket i) + 1) order;
+    let starts = Array.make (ng + 1) 0 in
+    for b = 1 to ng do
+      starts.(b) <- starts.(b - 1) + counts.(b - 1)
+    done;
+    let bounds = Array.init ng (fun g -> (starts.(g + 1), starts.(g + 1) + counts.(g + 1))) in
+    let tape' = Array.make len { dst = 0; op = O_zext (0, 1) } in
+    let cursor = Array.copy starts in
+    Array.iter
+      (fun i ->
+        let b = bucket i in
+        tape'.(cursor.(b)) <- p.tape.(i);
+        cursor.(b) <- cursor.(b) + 1)
+      order;
+    { p with tape = tape'; p_ctrl = counts.(0); p_groups = bounds }
+  end
+
+let pp ppf p =
+  let slot ppf s =
+    match p.names.(s) with
+    | Some n -> Format.fprintf ppf "s%d{%s}" s n
+    | None -> Format.fprintf ppf "s%d" s
+  in
+  let unop = function
+    | Expr.Not -> "not"
+    | Expr.Neg -> "neg"
+    | Expr.Reduce_or -> "reduce_or"
+    | Expr.Reduce_and -> "reduce_and"
+  in
+  let binop = function
+    | Expr.Add -> "add"
+    | Expr.Sub -> "sub"
+    | Expr.Mul -> "mul"
+    | Expr.And -> "and"
+    | Expr.Or -> "or"
+    | Expr.Xor -> "xor"
+    | Expr.Eq -> "eq"
+    | Expr.Ne -> "ne"
+    | Expr.Ltu -> "ltu"
+    | Expr.Lts -> "lts"
+    | Expr.Shl -> "shl"
+    | Expr.Shr -> "shr"
+    | Expr.Sra -> "sra"
+  in
+  Format.fprintf ppf "plan: %d slots, %d consts, %d instrs@." p.p_n_slots
+    (Array.length p.consts) (Array.length p.tape);
+  Array.iter
+    (fun (s, v) -> Format.fprintf ppf "%a = const %a@." slot s Bitvec.pp v)
+    p.consts;
+  Array.iter
+    (fun { dst; op } ->
+      Format.fprintf ppf "%a:%d = " slot dst p.p_widths.(dst);
+      (match op with
+      | O_unop (o, a) -> Format.fprintf ppf "%s %a" (unop o) slot a
+      | O_binop (o, a, b) ->
+        Format.fprintf ppf "%s %a %a" (binop o) slot a slot b
+      | O_mux (c, a, b) ->
+        Format.fprintf ppf "mux %a %a %a" slot c slot a slot b
+      | O_concat (a, b) -> Format.fprintf ppf "concat %a %a" slot a slot b
+      | O_slice (a, hi, lo) ->
+        Format.fprintf ppf "slice %a [%d:%d]" slot a hi lo
+      | O_zext (a, w) -> Format.fprintf ppf "zext %a %d" slot a w
+      | O_sext (a, w) -> Format.fprintf ppf "sext %a %d" slot a w
+      | O_file_read (f, a, w) ->
+        Format.fprintf ppf "file_read %s[%a] %d" p.file_names.(f) slot a w
+      | O_lut (a, t) ->
+        Format.fprintf ppf "lut t%d[%a] (%d entries)" t slot a
+          (Array.length p.p_tables.(t))
+      | O_lut2 (a, b, t) ->
+        Format.fprintf ppf "lut2 t%d[%a,%a] (%d entries)" t slot a slot b
+          (Array.length p.p_tables.(t)));
+      Format.fprintf ppf "@.")
+    p.tape
+
+let stats p =
+  let tbl = Hashtbl.create 16 in
+  let bump k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  Array.iter
+    (fun { op; _ } ->
+      bump
+        (match op with
+        | O_unop (o, _) -> (
+          match o with
+          | Expr.Not -> "unop_not"
+          | Expr.Neg -> "unop_neg"
+          | Expr.Reduce_or -> "unop_reduce_or"
+          | Expr.Reduce_and -> "unop_reduce_and")
+        | O_binop (o, _, _) -> (
+          match o with
+          | Expr.Add -> "binop_add"
+          | Expr.Sub -> "binop_sub"
+          | Expr.Mul -> "binop_mul"
+          | Expr.And -> "binop_and"
+          | Expr.Or -> "binop_or"
+          | Expr.Xor -> "binop_xor"
+          | Expr.Eq -> "binop_eq"
+          | Expr.Ne -> "binop_ne"
+          | Expr.Ltu -> "binop_ltu"
+          | Expr.Lts -> "binop_lts"
+          | Expr.Shl -> "binop_shl"
+          | Expr.Shr -> "binop_shr"
+          | Expr.Sra -> "binop_sra")
+        | O_mux _ -> "mux"
+        | O_concat _ -> "concat"
+        | O_slice _ -> "slice"
+        | O_zext _ -> "zext"
+        | O_sext _ -> "sext"
+        | O_file_read _ -> "file_read"
+        | O_lut _ -> "lut"
+        | O_lut2 _ -> "lut2"))
+    p.tape;
+  let ops =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  ("slots", p.p_n_slots)
+  :: ("consts", Array.length p.consts)
+  :: ("instrs", Array.length p.tape)
+  :: ("tables", Array.length p.p_tables)
+  :: ops

@@ -110,6 +110,154 @@ val input : builder -> string -> int -> int
 val build : builder -> t
 (** Freeze the tape.  The builder must not be used afterwards. *)
 
+(** {1 Optimization}
+
+    {!optimize} runs a semantics-preserving pass pipeline over a built
+    tape: constant folding and propagation (any step whose operands
+    are constants — including mux-with-constant-select collapse — is
+    evaluated now through the same {!Bitvec} semantics {!run} uses),
+    algebraic identities ([x & 0], [x | 0], [x ^ x], [eq x x],
+    width-identity [zext]/[sext]/[slice], shifts by zero, ...),
+    dead-code elimination by backward liveness, and tape compaction
+    (surviving slots are renumbered densely, preserving topological
+    order, so {!run} and {!run_lanes} walk a smaller array).
+
+    Liveness roots are the named inputs, the named defines, and every
+    slot handed out by {!root} while building — commit-write values,
+    guards and addresses, mispredict probes — so file-write side
+    effects can never be eliminated.  [O_file_read] steps are never
+    {e folded} (the read depends on the reader bound at run time), but
+    a dead read is killable: readers are pure.
+
+    Because slots are renumbered, callers that captured raw slot
+    indices must translate them through the remap array returned by
+    {!optimize_remap}: [remap.(old_slot)] is the new slot, or [-1] if
+    the slot was removed (never the case for inputs, defines or
+    {!root} results).  Name-based lookups ({!input_slot},
+    {!define_slot}, {!read_name}, {!iter_inputs}, {!bind_file}) work
+    unchanged on the optimized plan.
+
+    After folding, {e LUT synthesis} collapses whole combinational
+    cones whose transitive support fits in at most two slots and 12
+    total bits — instruction decode trees, comparator chains against
+    constants, small next-state functions — into single table-lookup
+    steps over tables built by exhaustive enumeration through the same
+    {!Bitvec} semantics (equivalent by construction).  Synthesis
+    iterates to a bounded fixpoint: each round's table outputs are
+    frontier slots the next round can fold cones over.  Cones whose
+    support is entirely 1-bit slots are left alone — the lanes engine
+    already evaluates packed boolean logic at one word op per step.
+
+    [count] (default [true]) adds the number of eliminated tape steps
+    and slots to {!Obs.Counters.Plan_ops_folded} /
+    {!Obs.Counters.Slots_killed}.  Optimizing an already optimized
+    plan cannot shrink it further (and counts nothing). *)
+
+val optimize :
+  ?count:bool -> ?keep_define:(string -> bool) -> ?lut:bool -> t -> t
+(** [optimize p] = [fst (optimize_remap p)]. *)
+
+val optimize_remap :
+  ?count:bool ->
+  ?keep_define:(string -> bool) ->
+  ?lut:bool ->
+  t ->
+  t * int array
+(** The optimized plan plus the old-slot → new-slot translation.
+
+    [keep_define] narrows the define liveness roots: only defines it
+    accepts are kept alive for their own sake (the rest survive only
+    where they feed a kept root).  Callers that read back a known name
+    set — the verification hot path reads only the per-stage hazard
+    signals — use this to let the unobserved signal forest die.
+    Dropped defines are removed from the name tables, so
+    {!define_slot} / {!read_name} on them return [None] rather than a
+    stale slot.  Default: keep every define.
+
+    [lut] (default [true]) enables LUT synthesis.  [lut:false] stops
+    after fold/DCE/compaction: the tape variant for the lanes engine,
+    whose packed boolean word ops and tight per-lane loops both beat
+    per-lane table walks (see {!with_work_equiv}). *)
+
+val with_work_equiv : equiv:t -> t -> t
+(** [with_work_equiv ~equiv p] marks [p] as an engine-specific variant
+    of the canonical tape [equiv]: WORK counters for runs of [p] are
+    accounted against [equiv]'s geometry ({!work_equiv}), so a lanes
+    run over a fold-only tape reports bit-identical [Plan_ops] to the
+    scalar run over the LUT tape it replays.  Both plans must be
+    segmented into the same logical groups. *)
+
+val work_equiv : t -> t
+(** The plan whose geometry defines this plan's scalar-equivalent WORK
+    accounting: the [equiv] twin when one was attached, the plan
+    itself otherwise. *)
+
+(** {1 Segmentation}
+
+    The pipeline step engine consumes most tape slots {e conditionally}:
+    a stage's commit-write values, guards and addresses are read only on
+    the cycles that stage fires, and a speculation's rollback values
+    only on the cycles it mispredicts.  {!segment} splits an (already
+    optimized) tape into an always-evaluated {e control prefix} plus one
+    on-demand {e group} per conditional consumer, so hot paths run
+    {!run_control} every cycle and {!run_group} only for the stages that
+    actually fire — the dominant [Plan_ops] saving of the optimizer.
+
+    [segment p ~ctrl_roots ~groups] assigns each tape step to the single
+    group whose roots (transitively) read it; steps read by no group, by
+    two or more groups, by a [ctrl_roots] slot, or by any named define
+    (reachable through {!read_name} / {!define_slot} at any time) land
+    in the control prefix, and control membership propagates to operands
+    so the prefix is self-contained.  Only the tape {e order} changes —
+    slot numbers, names and constants are untouched, and the reordered
+    tape remains topological (a group's operands live in the control
+    prefix or earlier in the same group).  {!run} still evaluates
+    everything, so segmentation never changes results for full-tape
+    callers; at most 62 groups.
+
+    Gated callers must read a group's slots only after running that
+    group {e in the same cycle} — between cycles a skipped group's slots
+    hold stale values. *)
+
+val segment : ?ctrl_roots:int array -> t -> groups:int array list -> t
+(** [segment ~ctrl_roots p ~groups]: [groups] lists each conditional
+    consumer's root slots ([groups = []] returns [p] unchanged);
+    [ctrl_roots] (default [[||]]) adds slots the caller reads
+    unconditionally every cycle (mispredict probes). *)
+
+val is_segmented : t -> bool
+
+val n_ctrl_instrs : t -> int
+(** Control-prefix length: the per-cycle floor of a gated run.  Equals
+    {!n_instrs} on unsegmented plans. *)
+
+val n_groups : t -> int
+(** Number of on-demand groups (0 on unsegmented plans). *)
+
+val group_instrs : t -> int -> int
+(** Tape steps in one group: the marginal cost of a cycle that runs
+    it. *)
+
+val optimize_default : unit -> bool
+(** The process-wide default the compile entry points
+    ([Pipeline.Pipesem.compile], [Machine.Seqsem.compile], ...) read
+    for their [?optimize] argument.  Starts [true]. *)
+
+val set_optimize_default : bool -> unit
+(** Override the process-wide default (the bench's [--no-opt] leg and
+    [pipegen --no-opt] flip it to [false] before any compilation). *)
+
+val stats : t -> (string * int) list
+(** Plan shape for reports: [("slots", _); ("consts", _);
+    ("instrs", _)] followed by a per-opcode histogram of the tape
+    (["binop_add"], ["mux"], ["file_read"], ...), sorted by name,
+    zero-count opcodes omitted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Dump the tape: one line per constant and per instruction, slots
+    annotated with their names where they have one ([pipegen plan
+    --dump]). *)
+
 (** {1 Plan structure} *)
 
 val n_slots : t -> int
@@ -154,6 +302,18 @@ val set : instance -> int -> Bitvec.t -> unit
 val run : instance -> unit
 (** Execute the tape: every non-input slot receives its value.
     @raise Run_error on an unbound file. *)
+
+val run_control : instance -> unit
+(** Execute only the control prefix of a {!segment}ed plan (the whole
+    tape when unsegmented).  Counts one [Plan_runs] plus
+    control-prefix-length [Plan_ops], so a gated cycle and a full {!run}
+    cycle stay comparable run-for-run. *)
+
+val run_group : instance -> int -> unit
+(** Execute one on-demand group ({!run_control} must already have run
+    this cycle).  Counts the group's length into [Plan_ops] and does
+    {e not} bump [Plan_runs] — the cycle was already counted by
+    {!run_control}. *)
 
 val get : instance -> int -> Bitvec.t
 val get_bool : instance -> int -> bool
@@ -228,3 +388,12 @@ val lanes_bind_file : lanes -> string -> int array array -> unit
 val run_lanes : lanes -> unit
 (** Execute the tape across all active lanes.
     @raise Run_error on an unbound file. *)
+
+val run_lanes_control : lanes -> unit
+(** Execute only the control prefix across all active lanes (the whole
+    tape when unsegmented).  Counts nothing, like {!run_lanes}. *)
+
+val run_lanes_group : lanes -> int -> unit
+(** Execute one on-demand group across all active lanes (a lane whose
+    stage did not fire computes throwaway values — harmless, its commit
+    is masked out).  Counts nothing, like {!run_lanes}. *)

@@ -31,7 +31,9 @@ type compiled
 (** The machine's stage writes compiled to evaluation plans (one tape
     per stage), reusable across runs. *)
 
-val compile : Spec.t -> compiled
+val compile : ?optimize:bool -> Spec.t -> compiled
+(** [optimize] (default {!Hw.Plan.optimize_default}) runs
+    {!Hw.Plan.optimize} on each stage tape. *)
 
 val spec : compiled -> Spec.t
 

@@ -37,7 +37,17 @@ type id =
   | Obligations  (** proof obligations processed by [discharge_all] *)
   | Bmc_programs  (** programs enumerated by [Bmc.exhaustive] *)
   | Sweep_points  (** sweep points evaluated by [Workload.Sweep] *)
-  (* Sched class: varies with pool size and session-cache hits. *)
+  (* Sched class: varies with pool size, session-cache and
+     compile-cache hits. *)
+  | Plan_ops_folded
+      (** tape instructions removed by {!Hw.Plan.optimize} (constant
+          folding, identities, dead-code elimination) — compile-time
+          work avoided on every subsequent {!Hw.Plan.run}.  Sched
+          class: scales with the number of (re)compilations, not with
+          per-program semantic work *)
+  | Slots_killed
+      (** plan slots removed by tape compaction in {!Hw.Plan.optimize}
+          (Sched class, like {!Plan_ops_folded}) *)
   | Plan_binds  (** {!Machine.State.bind_plan} calls (per session) *)
   | Sessions  (** simulation sessions created (per domain) *)
   | Pool_tasks  (** tasks executed by an {!Exec.Pool} (any path) *)

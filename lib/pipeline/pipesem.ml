@@ -290,9 +290,16 @@ type compiled = {
   c_spec_slots : (Fwd_spec.speculation * int) list;     (* assq *)
   c_stages : Machine.Commit.cstage array;
   c_rollbacks : (Fwd_spec.speculation * Machine.Commit.cwrite list) list;
+  c_lanes : compiled Lazy.t;
+      (* the lanes engine's sibling compile: same machine, fold-only
+         tape (LUT synthesis would replace the packed boolean word ops
+         the bit-parallel engine lives on with per-lane table walks),
+         its plan stamped with this compile's plan as work-accounting
+         twin so lane and scalar runs stay counter-identical.  Self
+         for an unoptimized compile. *)
 }
 
-let compile (t : Transform.t) =
+let rec compile_gen ~lut ~optimize ~observe (t : Transform.t) =
   Obs.Span.with_span "pipesem.compile" @@ fun () ->
   let m = t.Transform.machine in
   let n = m.Machine.Spec.n_stages in
@@ -323,6 +330,73 @@ let compile (t : Transform.t) =
       t.Transform.speculations
   in
   let plan = Hw.Plan.build b in
+  (* Optimize the tape, then translate every captured slot.  Inputs,
+     defines and [root] results are liveness roots, so the remap never
+     yields -1 for anything captured above. *)
+  let plan, c_full_slots, c_ext_slots, c_spec_slots, c_stages, c_rollbacks =
+    if optimize then begin
+      (* [observe = false]: the caller promises never to read signals
+         back by name (no [on_signals] consumers — the verification
+         hot path), so only the hazard signals the cycle driver itself
+         polls stay define-rooted; the rest of the signal forest
+         survives only where it feeds a commit write, a mispredict
+         probe or a hazard chain. *)
+      let keep_define =
+        if observe then None
+        else begin
+          let dhaz = Hashtbl.create 8 in
+          Array.iter
+            (fun nm -> Hashtbl.replace dhaz nm ())
+            t.Transform.stage_dhaz;
+          Some (Hashtbl.mem dhaz)
+        end
+      in
+      let plan, remap =
+        Hw.Plan.optimize_remap ~count:lut ~lut ?keep_define plan
+      in
+      let f s = remap.(s) in
+      let c_full_slots = Array.map f c_full_slots in
+      let c_ext_slots = Array.map f c_ext_slots in
+      let c_spec_slots = List.map (fun (sp, s) -> (sp, f s)) c_spec_slots in
+      let c_stages = Array.map (Machine.Commit.remap_cstage f) c_stages in
+      let c_rollbacks =
+        List.map
+          (fun (sp, ws) -> (sp, List.map (Machine.Commit.remap_cwrite f) ws))
+          c_rollbacks
+      in
+      (* Segment the optimized tape: a stage's commit slots are read
+         only on the cycles the stage fires, a speculation's rollback
+         slots only when it is the firing rollback.  Group convention
+         (relied on by [plan_engine] and [run_lanes_session]): group
+         [k] is stage [k]'s commit, group [n + i] the [i]-th entry of
+         [c_rollbacks].  Mispredict probes are polled every cycle, so
+         they root the control prefix. *)
+      let stage_groups =
+        Array.to_list
+          (Array.map
+             (fun cs -> Array.of_list (Machine.Commit.cstage_slots cs))
+             c_stages)
+      in
+      let rb_groups =
+        List.map
+          (fun (_, ws) ->
+            Array.of_list
+              (List.fold_left
+                 (fun acc cw -> Machine.Commit.cwrite_slots cw acc)
+                 [] ws))
+          c_rollbacks
+      in
+      let ctrl_roots = Array.of_list (List.map snd c_spec_slots) in
+      let groups = stage_groups @ rb_groups in
+      let plan =
+        if List.length groups <= 62 then
+          Hw.Plan.segment ~ctrl_roots plan ~groups
+        else plan
+      in
+      (plan, c_full_slots, c_ext_slots, c_spec_slots, c_stages, c_rollbacks)
+    end
+    else (plan, c_full_slots, c_ext_slots, c_spec_slots, c_stages, c_rollbacks)
+  in
   let c_dhaz_slots =
     Array.map
       (fun name ->
@@ -336,20 +410,40 @@ let compile (t : Transform.t) =
     Hashtbl.replace c_free (Transform.full_signal k) ();
     Hashtbl.replace c_free (Transform.ext_signal k) ()
   done;
-  {
-    c_tr = t;
-    c_plan = plan;
-    c_free;
-    c_full_slots;
-    c_ext_slots;
-    c_dhaz_slots;
-    c_spec_slots;
-    c_stages;
-    c_rollbacks;
-  }
+  let rec c =
+    {
+      c_tr = t;
+      c_plan = plan;
+      c_free;
+      c_full_slots;
+      c_ext_slots;
+      c_dhaz_slots;
+      c_spec_slots;
+      c_stages;
+      c_rollbacks;
+      c_lanes =
+        lazy
+          (if not (optimize && lut) then c
+           else
+             let lc = compile_gen ~lut:false ~optimize ~observe t in
+             let rec lc' =
+               {
+                 lc with
+                 c_plan = Hw.Plan.with_work_equiv ~equiv:c.c_plan lc.c_plan;
+                 c_lanes = lazy lc';
+               }
+             in
+             lc');
+    }
+  in
+  c
+
+let compile ?(optimize = Hw.Plan.optimize_default ()) ?(observe = true) t =
+  compile_gen ~lut:true ~optimize ~observe t
 
 let transform c = c.c_tr
 let plan c = c.c_plan
+let lanes_plan c = (Lazy.force c.c_lanes).c_plan
 
 (* Cross-request plan reuse: two transforms of the same shape (same
    stages, registers and synthesized signals — only initial values
@@ -384,13 +478,19 @@ let plan_engine c state =
   in
   let inst = State.bound_instance bound in
   let n = Array.length c.c_full_slots in
+  (* Segmented plans evaluate the control prefix every cycle and a
+     stage's (or rollback's) group only when its updates are read —
+     always before [run_loop] applies any update, so group evaluation
+     sees pre-edge state. *)
+  let gated = Hw.Plan.is_segmented c.c_plan in
+  let rb_index = List.mapi (fun i (sp, _) -> (sp, i)) c.c_rollbacks in
   let eng_begin ~cycle:_ ~fullb ~ext_now =
     State.load bound;
     for k = 0 to n - 1 do
       Hw.Plan.set inst c.c_full_slots.(k) (bool_bv (k = 0 || fullb.(k)));
       Hw.Plan.set inst c.c_ext_slots.(k) (bool_bv ext_now.(k))
     done;
-    Hw.Plan.run inst
+    if gated then Hw.Plan.run_control inst else Hw.Plan.run inst
   in
   let eng_lookup name =
     match Hw.Plan.read_name inst name with
@@ -408,9 +508,12 @@ let plan_engine c state =
     eng_mispredict =
       (fun sp -> Hw.Plan.get_bool inst (List.assq sp c.c_spec_slots));
     eng_stage_updates =
-      (fun k -> Machine.Commit.stage_updates_compiled inst c.c_stages.(k));
+      (fun k ->
+        if gated then Hw.Plan.run_group inst k;
+        Machine.Commit.stage_updates_compiled inst c.c_stages.(k));
     eng_rollback_updates =
       (fun sp ->
+        if gated then Hw.Plan.run_group inst (n + List.assq sp rb_index);
         Machine.Commit.writes_updates_compiled inst (List.assq sp c.c_rollbacks));
   }
 
@@ -519,10 +622,14 @@ type lane_session = {
 
 let lanes_session ?capacity c =
   Obs.Counters.bump Obs.Counters.Sessions;
-  let state = State.create_lanes ?capacity c.c_tr.Transform.machine in
-  let inst = Hw.Plan.lanes ?capacity c.c_plan in
-  let bound = State.bind_lanes ~extern:(Hashtbl.mem c.c_free) state inst in
-  { lns_c = c; lns_state = state; lns_inst = inst; lns_bound = bound }
+  (* Bind the lanes engine to the fold-only sibling tape; keep the
+     caller's transform so a [rebind]ed compiled still seeds its own
+     initial values through the sibling's slot map. *)
+  let lc = { (Lazy.force c.c_lanes) with c_tr = c.c_tr } in
+  let state = State.create_lanes ?capacity lc.c_tr.Transform.machine in
+  let inst = Hw.Plan.lanes ?capacity lc.c_plan in
+  let bound = State.bind_lanes ~extern:(Hashtbl.mem lc.c_free) state inst in
+  { lns_c = lc; lns_state = state; lns_inst = inst; lns_bound = bound }
 
 let lanes_state ls = ls.lns_state
 
@@ -566,7 +673,14 @@ let run_lanes_session ?(ext = fun ~stage:_ ~cycle:_ -> false)
   Hw.Plan.lanes_set_active ls.lns_inst act;
   let inst = ls.lns_inst in
   let all = Hw.Lanes.mask_of_count act in
-  let tape_len = Hw.Plan.n_instrs c.c_plan in
+  (* WORK geometry comes from the scalar twin ([work_equiv]) so lane
+     packs account the same per-program op counts as the scalar gated
+     engine; gating and group ranges come from the real bound plan. *)
+  let wplan = Hw.Plan.work_equiv c.c_plan in
+  let tape_len = Hw.Plan.n_instrs wplan in
+  let gated = Hw.Plan.is_segmented c.c_plan in
+  let ctrl_len = Hw.Plan.n_ctrl_instrs wplan in
+  let rb_index = List.mapi (fun i (sp, _) -> (sp, i)) c.c_rollbacks in
   let deadlock_window = (4 * n) + 64 in
   let maxc = Array.map (fun stop -> (stop * 4 * n) + 10_000) stop_afters in
   let fullb = Array.make n 0 in
@@ -622,10 +736,11 @@ let run_lanes_session ?(ext = fun ~stage:_ ~cycle:_ -> false)
         Hw.Plan.lanes_set_word inst c.c_ext_slots.(k)
           (if ext_now.(k) then all else 0)
       done;
-      Hw.Plan.run_lanes inst;
+      if gated then Hw.Plan.run_lanes_control inst
+      else Hw.Plan.run_lanes inst;
       Obs.Counters.ledger_add ledger Obs.Counters.Plan_runs n_running;
       Obs.Counters.ledger_add ledger Obs.Counters.Plan_ops
-        (tape_len * n_running);
+        ((if gated then ctrl_len else tape_len) * n_running);
       let dhaz =
         Array.init n (fun k ->
             word_of_slot inst ~act c.c_dhaz_slots.(k) land run_mask)
@@ -685,6 +800,30 @@ let run_lanes_session ?(ext = fun ~stage:_ ~cycle:_ -> false)
             (sp, f))
           spec_words
       in
+      (* ---- on-demand groups, all before any commit: register-file
+         reads dispatch through the live state rows, so every group
+         the edge consumes must evaluate while state is still
+         pre-edge.  The ledger mirrors the scalar gated engine: each
+         lane pays for exactly the groups its own stages fired. ---- *)
+      if gated then begin
+        for k = 0 to n - 1 do
+          let mask = s.Stall_engine.l_ue.(k) in
+          if mask <> 0 then begin
+            Hw.Plan.run_lanes_group inst k;
+            Obs.Counters.ledger_add ledger Obs.Counters.Plan_ops
+              (Hw.Plan.group_instrs wplan k * Hw.Lanes.popcount mask)
+          end
+        done;
+        List.iter
+          (fun (sp, f) ->
+            if f <> 0 then begin
+              let g = n + List.assq sp rb_index in
+              Hw.Plan.run_lanes_group inst g;
+              Obs.Counters.ledger_add ledger Obs.Counters.Plan_ops
+                (Hw.Plan.group_instrs wplan g * Hw.Lanes.popcount f)
+            end)
+          fires
+      end;
       (* ---- clock edge: stage writes then rollback writes ---- *)
       for k = 0 to n - 1 do
         let mask = s.Stall_engine.l_ue.(k) in

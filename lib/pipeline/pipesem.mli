@@ -116,9 +116,24 @@ type compiled
     integer slots instead of re-walking expression trees against a
     string-keyed overlay. *)
 
-val compile : Transform.t -> compiled
+val compile : ?optimize:bool -> ?observe:bool -> Transform.t -> compiled
 (** Compile once; reuse across {!run_compiled} / {!run_session} calls
     (the plan is immutable — instances are private to sessions).
+
+    [optimize] (default {!Hw.Plan.optimize_default}) runs
+    {!Hw.Plan.optimize} on the tape and remaps every captured slot;
+    the engines are oblivious to which plan they evaluate.
+
+    [observe] (default [true]) keeps every synthesized signal
+    readable by name on the running instance (the [on_signals]
+    callback view used by the tracer and hazard attribution).
+    [~observe:false] — only meaningful with [optimize] — keeps just
+    the hazard signals the cycle driver polls and lets dead-code
+    elimination drop the rest of the signal forest; use it only when
+    no callback will read signals back by name (the verification hot
+    path: {!Proof_engine.Consistency} compiles its own plans this
+    way).  Outcomes, statistics and commit behaviour are identical
+    either way.
 
     Thread safety: a [compiled] value is immutable after [compile] and
     may be shared across {!Exec.Pool} domains.  Mutable evaluation
@@ -132,6 +147,15 @@ val compile : Transform.t -> compiled
 
 val transform : compiled -> Transform.t
 val plan : compiled -> Hw.Plan.t
+
+val lanes_plan : compiled -> Hw.Plan.t
+(** The tape the bit-parallel lanes engine actually evaluates.  For an
+    optimized compile this is the fold-only sibling of {!plan} — LUT
+    synthesis is skipped because a per-lane table walk would replace
+    the packed boolean word ops the lanes engine lives on — stamped
+    with {!plan} as its {!Hw.Plan.work_equiv} twin so both engines
+    account identical WORK counters.  For an unoptimized compile it is
+    {!plan} itself.  Forces the lazily-built sibling. *)
 
 val rebind : compiled -> Transform.t -> compiled
 (** [rebind c t] reuses [c]'s evaluation plan for transform [t], which

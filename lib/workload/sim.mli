@@ -21,6 +21,7 @@ type t
 
 val make :
   ?compiled:Pipeline.Pipesem.compiled ->
+  ?optimize:bool ->
   ?reference:Machine.Seqsem.trace ->
   ?instructions:int ->
   Pipeline.Transform.t ->

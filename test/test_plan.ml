@@ -333,6 +333,233 @@ let test_define_resolution () =
     (P.slot_name plan (Option.get (P.define_slot plan "double"))
     = Some "double")
 
+(* ------------------------------------------------------------------ *)
+(* The optimizer: folding, identities, DCE, compaction, LUT synthesis  *)
+(* ------------------------------------------------------------------ *)
+
+let plan_of es =
+  let b = P.create ~auto:true ~files:[ ("mem", mem_width) ] () in
+  let slots = List.map (P.root b) es in
+  (P.build b, slots)
+
+let run_get plan bindings slot =
+  let inst = P.instance plan in
+  P.bind_file inst "mem" mem_fun;
+  P.iter_inputs plan (fun name ~slot ~width:_ ->
+      P.set inst slot (List.assoc name bindings));
+  P.run inst;
+  P.get inst slot
+
+let test_opt_const_fold () =
+  (* A constant cone evaluates at compile time: the tape vanishes and
+     the root reads back the folded value. *)
+  let e =
+    E.Binop
+      ( E.Mul,
+        E.Binop (E.Add, E.const_int ~width:8 1, E.const_int ~width:8 2),
+        E.const_int ~width:8 3 )
+  in
+  let plan, slots = plan_of [ e ] in
+  let opt, remap = P.optimize_remap plan in
+  Alcotest.(check int) "tape empty" 0 (P.n_instrs opt);
+  Alcotest.(check int) "folded value" 9
+    (B.to_int (run_get opt [] remap.(List.hd slots)))
+
+let test_opt_identities () =
+  let x = E.input "x" 8 in
+  let z = E.const_int ~width:8 0 in
+  let es =
+    [
+      E.Binop (E.Or, x, z) (* alias x *);
+      E.Binop (E.And, x, z) (* const 0 *);
+      E.Binop (E.Xor, x, x) (* const 0: hash-consed equal slots *);
+      E.Binop (E.Shl, x, E.const_int ~width:2 0) (* alias x *);
+      E.Zext (E.Slice (x, 7, 0), 8) (* width identities: alias x *);
+    ]
+  in
+  let plan, slots = plan_of es in
+  let opt, remap = P.optimize_remap plan in
+  Alcotest.(check int) "all identities folded" 0 (P.n_instrs opt);
+  let bindings = [ ("x", bv ~width:8 0xa5) ] in
+  let vals = List.map (fun s -> B.to_int (run_get opt bindings remap.(s))) slots in
+  Alcotest.(check (list int)) "values" [ 0xa5; 0; 0; 0xa5; 0xa5 ] vals
+
+let test_opt_mux_collapse () =
+  let c = E.input "c" 1 in
+  let a = E.input "a" 8 and b8 = E.input "b" 8 in
+  let es =
+    [
+      E.Mux (E.const_int ~width:1 1, a, b8) (* constant select: alias a *);
+      E.Mux (c, a, a) (* equal branches: alias a *);
+      E.Mux (c, E.const_int ~width:1 1, E.const_int ~width:1 0)
+      (* mux(c,1,0) = c *);
+    ]
+  in
+  let plan, slots = plan_of es in
+  let opt, remap = P.optimize_remap plan in
+  Alcotest.(check int) "all muxes collapsed" 0 (P.n_instrs opt);
+  let bindings =
+    [ ("c", bv ~width:1 1); ("a", bv ~width:8 7); ("b", bv ~width:8 9) ]
+  in
+  let vals = List.map (fun s -> B.to_int (run_get opt bindings remap.(s))) slots in
+  Alcotest.(check (list int)) "values" [ 7; 7; 1 ] vals
+
+let test_opt_keep_define () =
+  (* [keep_define] narrows the liveness roots: the unobserved define's
+     cone dies (its file read included — readers are pure) and its name
+     disappears from the tables rather than resolving to a dead slot. *)
+  let x = E.input "x" 8 in
+  let b = P.create ~inputs:[ ("x", 8) ] ~files:[ ("mem", mem_width) ] () in
+  let (_ : int) =
+    P.define b "live" (E.Binop (E.Add, x, E.const_int ~width:8 1))
+  in
+  let (_ : int) =
+    P.define b "dead"
+      (E.File_read
+         {
+           file = "mem";
+           data_width = mem_width;
+           addr = E.Binop (E.Mul, x, E.const_int ~width:8 3);
+         })
+  in
+  let plan = P.build b in
+  let full = P.optimize plan in
+  let narrow = P.optimize ~keep_define:(fun n -> n = "live") plan in
+  Alcotest.(check bool) "narrowed tape is smaller" true
+    (P.n_instrs narrow < P.n_instrs full);
+  Alcotest.(check bool) "dead define dropped" true
+    (P.define_slot narrow "dead" = None);
+  let inst = P.instance narrow in
+  P.set inst (Option.get (P.input_slot narrow "x")) (bv ~width:8 4);
+  P.run inst;
+  Alcotest.(check bool) "kept define still reads" true
+    (P.read_name inst "live" = Some (bv ~width:8 5))
+
+let test_opt_counters () =
+  (* Plan_ops_folded / Slots_killed tally exactly the tape and slot
+     shrink of this compile. *)
+  let x = E.input "x" 8 in
+  let e = E.Binop (E.Or, E.Binop (E.And, x, E.const_int ~width:8 0), x) in
+  let plan, _ = plan_of [ e ] in
+  let before_f = Obs.Counters.get Obs.Counters.Plan_ops_folded in
+  let before_k = Obs.Counters.get Obs.Counters.Slots_killed in
+  let opt = P.optimize plan in
+  Alcotest.(check int) "ops folded"
+    (P.n_instrs plan - P.n_instrs opt)
+    (Obs.Counters.get Obs.Counters.Plan_ops_folded - before_f);
+  Alcotest.(check int) "slots killed"
+    (P.n_slots plan - P.n_slots opt)
+    (Obs.Counters.get Obs.Counters.Slots_killed - before_k)
+
+let test_opt_lut_synthesis () =
+  (* A decode-shaped cone — eq-against-const chain, or tree, const-mux
+     ladder, all keyed on one 6-bit field — collapses to a single
+     lookup step, equivalent on every point of the domain. *)
+  let op6 = E.input "op" 6 in
+  let eqc k = E.Binop (E.Eq, op6, E.const_int ~width:6 k) in
+  let sel = E.Binop (E.Or, eqc 3, eqc 7) in
+  let e =
+    E.Mux
+      ( sel,
+        E.const_int ~width:4 9,
+        E.Mux (eqc 12, E.const_int ~width:4 5, E.const_int ~width:4 1) )
+  in
+  let plan, slots = plan_of [ e ] in
+  let opt, remap = P.optimize_remap plan in
+  Alcotest.(check int) "cone collapsed to one step" 1 (P.n_instrs opt);
+  Alcotest.(check int) "one lut" 1
+    (Option.value ~default:0 (List.assoc_opt "lut" (P.stats opt)));
+  Alcotest.(check int) "one table survives pruning" 1
+    (Option.value ~default:0 (List.assoc_opt "tables" (P.stats opt)));
+  let root = List.hd slots in
+  for v = 0 to 63 do
+    let bindings = [ ("op", bv ~width:6 v) ] in
+    let reference = run_get plan bindings root in
+    let lut = run_get opt bindings remap.(root) in
+    if not (B.equal reference lut) then
+      Alcotest.failf "lut diverges at op=%d: %d <> %d" v (B.to_int reference)
+        (B.to_int lut)
+  done
+
+let test_opt_lut2_synthesis () =
+  (* A two-operand cone becomes one [O_lut2]; exhaustive over the
+     8-bit joint domain. *)
+  let a = E.input "a" 4 and b4 = E.input "b" 4 in
+  let e =
+    E.Mux
+      ( E.Binop (E.Eq, a, b4),
+        E.Binop (E.Add, a, b4),
+        E.Binop (E.Xor, a, b4) )
+  in
+  let plan, slots = plan_of [ e ] in
+  let opt, remap = P.optimize_remap plan in
+  Alcotest.(check int) "cone collapsed to one step" 1 (P.n_instrs opt);
+  Alcotest.(check int) "one lut2" 1
+    (Option.value ~default:0 (List.assoc_opt "lut2" (P.stats opt)));
+  let root = List.hd slots in
+  for va = 0 to 15 do
+    for vb = 0 to 15 do
+      let bindings = [ ("a", bv ~width:4 va); ("b", bv ~width:4 vb) ] in
+      let reference = run_get plan bindings root in
+      let lut = run_get opt bindings remap.(root) in
+      if not (B.equal reference lut) then
+        Alcotest.failf "lut2 diverges at a=%d b=%d" va vb
+    done
+  done
+
+let test_segment_gating () =
+  (* Control prefix + on-demand groups: running control then each
+     group reproduces the full run, and the counters account one
+     Plan_runs per cycle plus exactly the instructions executed. *)
+  let x = E.input "x" 8 in
+  let b = P.create ~inputs:[ ("x", 8) ] () in
+  let ctrl = P.root b (E.Binop (E.Eq, x, E.const_int ~width:8 0)) in
+  let g0 = P.root b (E.Binop (E.Add, x, E.const_int ~width:8 1)) in
+  let g1 = P.root b (E.Binop (E.Mul, x, E.const_int ~width:8 3)) in
+  let plan = P.build b in
+  let seg =
+    P.segment ~ctrl_roots:[| ctrl |] plan ~groups:[ [| g0 |]; [| g1 |] ]
+  in
+  Alcotest.(check bool) "segmented" true (P.is_segmented seg);
+  Alcotest.(check int) "groups" 2 (P.n_groups seg);
+  Alcotest.(check int) "partition covers the tape" (P.n_instrs plan)
+    (P.n_ctrl_instrs seg + P.group_instrs seg 0 + P.group_instrs seg 1);
+  let inst = P.instance seg in
+  P.set inst (Option.get (P.input_slot seg "x")) (bv ~width:8 5);
+  let runs0 = Obs.Counters.get Obs.Counters.Plan_runs in
+  let ops0 = Obs.Counters.get Obs.Counters.Plan_ops in
+  P.run_control inst;
+  Alcotest.(check bool) "ctrl value" true
+    (B.equal (P.get inst ctrl) (B.of_bool false));
+  P.run_group inst 0;
+  Alcotest.(check int) "group 0 on demand" 6 (B.to_int (P.get inst g0));
+  P.run_group inst 1;
+  Alcotest.(check int) "group 1 on demand" 15 (B.to_int (P.get inst g1));
+  Alcotest.(check int) "one run counted" 1
+    (Obs.Counters.get Obs.Counters.Plan_runs - runs0);
+  Alcotest.(check int) "every executed instr counted" (P.n_instrs plan)
+    (Obs.Counters.get Obs.Counters.Plan_ops - ops0)
+
+(* Optimized ≡ unoptimized over the same random expression space the
+   interpreter property uses — the differential oracle for the whole
+   rewrite catalogue, LUT synthesis included. *)
+let opt_value e bindings =
+  let b = P.create ~auto:true ~files:[ ("mem", mem_width) ] () in
+  let slot = P.root b e in
+  let plan, remap = P.optimize_remap (P.build b) in
+  let inst = P.instance plan in
+  P.bind_file inst "mem" mem_fun;
+  P.iter_inputs plan (fun name ~slot ~width:_ ->
+      P.set inst slot (List.assoc name bindings));
+  P.run inst;
+  P.get inst remap.(slot)
+
+let prop_optimize_matches =
+  QCheck.Test.make ~name:"optimized plan = unoptimized (all ops)" ~count:500
+    arb_expr_seed (fun (e, seed) ->
+      let bindings = bindings_of e seed in
+      B.equal (plan_value e bindings) (opt_value e bindings))
+
 let test_env_of_assoc_semantics () =
   (* First binding wins (List.assoc compatibility) and unknown names
      still raise, so Eval_error reporting is preserved. *)
@@ -362,6 +589,19 @@ let () =
           Alcotest.test_case "env_of_assoc semantics" `Quick
             test_env_of_assoc_semantics;
         ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "constant folding" `Quick test_opt_const_fold;
+          Alcotest.test_case "algebraic identities" `Quick test_opt_identities;
+          Alcotest.test_case "mux collapse" `Quick test_opt_mux_collapse;
+          Alcotest.test_case "keep_define narrows liveness" `Quick
+            test_opt_keep_define;
+          Alcotest.test_case "fold counters" `Quick test_opt_counters;
+          Alcotest.test_case "lut synthesis" `Quick test_opt_lut_synthesis;
+          Alcotest.test_case "lut2 synthesis" `Quick test_opt_lut2_synthesis;
+          Alcotest.test_case "segmentation gating" `Quick test_segment_gating;
+        ] );
       ( "properties",
-        List.map to_alcotest [ prop_plan_matches_interpreter ] );
+        List.map to_alcotest
+          [ prop_plan_matches_interpreter; prop_optimize_matches ] );
     ]
